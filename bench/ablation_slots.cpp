@@ -1,0 +1,85 @@
+// Ablation: pre-posted slot depth vs replenishment robustness.
+//
+// DESIGN.md calls out slot sizing: HyperLoop pre-posts WAIT/op/SEND chains
+// per channel, and busy replica CPUs replenish them off the critical path.
+// Too few slots and a burst outruns replenishment: the chain stalls on RNR
+// backoff (latency cliff). This bench sweeps the slot depth under saturated
+// replica CPUs and pipelined load, reporting latency and RNR-induced tail.
+#include "bench/common.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+constexpr int kOps = 3'000;
+constexpr int kWindow = 16;
+
+LatencyHistogram run_depth(std::uint32_t slots) {
+  TestbedParams tparams;
+  tparams.replicas = 3;  // busy CPUs: replenishment is slow to get scheduled
+  Cluster cluster;
+  NodeConfig node;
+  node.cores = 16;
+  for (int i = 0; i < 4; ++i) cluster.add_node(node);
+
+  core::GroupParams gp;
+  gp.slots = slots;
+  gp.max_outstanding = std::max<std::uint32_t>(slots / 4, 2);
+  core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, 8 << 20, gp);
+
+  auto lp = cpu::BackgroundLoad::Params::for_utilization(160, 16, 0.8);
+  lp.spinner_threads = 24;
+  std::vector<std::unique_ptr<cpu::BackgroundLoad>> loads;
+  for (int n = 1; n <= 3; ++n) {
+    loads.push_back(std::make_unique<cpu::BackgroundLoad>(
+        cluster.sim(), cluster.node(n).sched(), lp, Rng(10 + n)));
+    loads.back()->start();
+  }
+  cluster.sim().run_until(5'000'000);
+
+  std::vector<char> data(1024, 's');
+  group.client().region_write(0, data.data(), data.size());
+
+  LatencyHistogram hist;
+  int issued = 0, completed = 0;
+  std::function<void()> pump = [&] {
+    while (issued < kOps &&
+           issued - completed < std::min<int>(kWindow, gp.max_outstanding)) {
+      ++issued;
+      const Time start = cluster.sim().now();
+      group.client().gwrite(0, 1024, true, [&, start](Status s, const auto&) {
+        HL_CHECK(s.is_ok());
+        hist.record(cluster.sim().now() - start);
+        ++completed;
+        pump();
+      });
+    }
+  };
+  pump();
+  while (completed < kOps) {
+    cluster.sim().run_until(cluster.sim().now() + 100'000);
+  }
+  return hist;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main() {
+  using namespace hyperloop::bench;
+  print_header("Ablation: pre-posted slot depth (replenishment headroom)",
+               "design choice behind GroupParams::slots — pre-post enough "
+               "chains that off-critical-path replenishment never gates the "
+               "datapath");
+  print_row_header({"slots", "avg", "p95", "p99", "max"});
+  for (const std::uint32_t slots : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto hist = run_depth(slots);
+    std::printf("%-16u%-16s%-16s%-16s%-16s\n", slots,
+                fmt(static_cast<hyperloop::Duration>(hist.mean())).c_str(),
+                fmt(hist.p95()).c_str(), fmt(hist.p99()).c_str(),
+                fmt(hist.max()).c_str());
+  }
+  std::printf("\nshallow rings stall on RNR backoff whenever a burst outruns "
+              "the (CPU-scheduled) replenisher; deep rings keep the NIC "
+              "datapath self-sufficient.\n");
+  return 0;
+}

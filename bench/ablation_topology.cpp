@@ -1,0 +1,125 @@
+// Ablation: chain vs fan-out topology (paper §7).
+//
+// The paper optimizes for chain replication because it load-balances NIC
+// resources: "at most one active write-QP per active partition as opposed to
+// several per partition such as in fan-out protocols". The fan-out extension
+// (FanoutGroup) lets us measure that trade directly:
+//
+//   * latency: fan-out finishes in ~one hop plus parallel writes, the chain
+//     pays a hop per member — fan-out wins unloaded latency, and the gap
+//     grows with the group size;
+//   * bandwidth: the fan-out primary's NIC must transmit N copies of the
+//     data, the chain spreads transmission across members — the chain wins
+//     large-message throughput, and the crossover moves with group size.
+#include <functional>
+
+#include "bench/common.hpp"
+#include "hyperloop/fanout_group.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+struct Numbers {
+  Duration p50 = 0;
+  double gbps = 0;
+};
+
+Numbers run_topology(bool fanout, std::size_t members, std::uint32_t size) {
+  std::fprintf(stderr, "[topology] %s members=%zu size=%u...\n",
+               fanout ? "fanout" : "chain", members, size);
+  Cluster cluster;
+  for (std::size_t i = 0; i <= members; ++i) cluster.add_node();
+  std::vector<std::size_t> nodes;
+  for (std::size_t i = 1; i <= members; ++i) nodes.push_back(i);
+
+  std::unique_ptr<core::FanoutGroup> fan;
+  std::unique_ptr<core::HyperLoopGroup> chain;
+  core::GroupInterface* group = nullptr;
+  if (fanout) {
+    fan = std::make_unique<core::FanoutGroup>(cluster, 0, nodes, 8 << 20);
+    group = fan.get();
+  } else {
+    chain = std::make_unique<core::HyperLoopGroup>(cluster, 0, nodes, 8 << 20);
+    group = &chain->client();
+  }
+  cluster.sim().run_until(2'000'000);
+
+  std::vector<char> data(size, 't');
+  group->region_write(0, data.data(), data.size());
+
+  Numbers out;
+  // Latency: 300 sequential flushed writes.
+  {
+    LatencyHistogram hist;
+    bool done = false;
+    std::function<void(int)> next = [&](int i) {
+      if (i == 300) {
+        done = true;
+        return;
+      }
+      const Time start = cluster.sim().now();
+      // i captured by value: the parameter dies before the callback runs.
+      group->gwrite(0, size, true, [&, start, i](Status s, const auto&) {
+        HL_CHECK(s.is_ok());
+        hist.record(cluster.sim().now() - start);
+        next(i + 1);
+      });
+    };
+    next(0);
+    while (!done) cluster.sim().run_until(cluster.sim().now() + 50'000);
+    out.p50 = hist.p50();
+  }
+  // Throughput: 8MB of pipelined writes (skipped for tiny messages where
+  // the op-rate, not bandwidth, is the bottleneck being measured above).
+  if (size >= 4096) {
+    const int total = static_cast<int>((8 << 20) / size);
+    int issued = 0, completed = 0;
+    const Time start = cluster.sim().now();
+    std::function<void()> pump = [&] {
+      while (issued < total && issued - completed < 16) {
+        ++issued;
+        group->gwrite(0, size, true, [&](Status s, const auto&) {
+          HL_CHECK(s.is_ok());
+          ++completed;
+          pump();
+        });
+      }
+    };
+    pump();
+    while (completed < total) {
+      cluster.sim().run_until(cluster.sim().now() + 200'000);
+    }
+    const double secs = to_sec(cluster.sim().now() - start);
+    out.gbps = static_cast<double>(total) * size * 8.0 / secs / 1e9;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main() {
+  using namespace hyperloop::bench;
+  print_header(
+      "Ablation: chain vs fan-out topology (paper §7)",
+      "\"Chain replication has a good load balancing property where there is "
+      "at most one active write-QP per active partition as opposed to "
+      "several per partition such as in fan-out protocols\"");
+
+  print_row_header({"members", "size", "chain-p50", "fanout-p50",
+                    "chain-Gbps", "fanout-Gbps"});
+  for (const std::size_t members : {3u, 5u, 7u}) {
+    for (const std::uint32_t size : {256u, 65536u}) {
+      const Numbers chain = run_topology(false, members, size);
+      const Numbers fan = run_topology(true, members, size);
+      std::printf("%-16zu%-16u%-16s%-16s%-16s%-16s\n", members, size,
+                  fmt(chain.p50).c_str(), fmt(fan.p50).c_str(),
+                  fmt(chain.gbps, "").c_str(), fmt(fan.gbps, "").c_str());
+    }
+  }
+  std::printf("\nfan-out wins small-message latency (one hop, parallel "
+              "writes); the chain wins large-message bandwidth (the fan-out "
+              "primary must transmit every byte N times) — the paper's "
+              "load-balancing argument, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Shared infrastructure for the paper-reproduction benchmarks: testbed
+// construction (nodes + multi-tenant background load), datapath selection,
+// primitive drivers, and table formatting.
+//
+// Calibration note: every bench reproduces *shape*, not absolute testbed
+// numbers — see EXPERIMENTS.md. The multi-tenant load defaults below follow
+// the paper's setup (10x tenant threads per core, CPU near saturation, as
+// with stress-ng / fully-active MongoDB instances).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/scheduler.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "util/histogram.hpp"
+
+namespace hyperloop::bench {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+using time_literals::operator""_s;
+
+enum class Datapath { kHyperLoop, kNaiveEvent, kNaivePolling };
+
+inline const char* datapath_name(Datapath d) {
+  switch (d) {
+    case Datapath::kHyperLoop: return "HyperLoop";
+    case Datapath::kNaiveEvent: return "Naive-Event";
+    case Datapath::kNaivePolling: return "Naive-Polling";
+  }
+  return "?";
+}
+
+struct TestbedParams {
+  std::size_t replicas = 3;
+  int cores_per_node = 16;
+  std::uint64_t region_size = 8ull << 20;
+  /// Multi-tenant background per replica node: bursty tenant threads at a
+  /// target offered load, plus always-runnable stress-ng-style spinners.
+  /// Calibrated so the pinned-poller baseline lands in the paper's regime
+  /// (avg in the 100s of us, p99 in the ms) while HyperLoop stays ~10us.
+  int tenant_threads = 160;
+  double offered_load = 0.8;
+  int spinner_threads = 24;
+  bool load_on_client = false;
+  std::uint64_t seed = 1;
+};
+
+/// A ready-to-drive testbed: cluster + group datapath + background load.
+struct Testbed {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<core::HyperLoopGroup> hl;
+  std::unique_ptr<core::NaiveGroup> naive;
+  core::GroupInterface* group = nullptr;
+  std::vector<std::unique_ptr<cpu::BackgroundLoad>> loads;
+  TestbedParams params;
+
+  [[nodiscard]] sim::Simulator& sim() { return cluster->sim(); }
+
+  void run_for(Duration d) { sim().run_until(sim().now() + d); }
+
+  bool run_until(const std::function<bool()>& pred, Duration budget) {
+    const Time deadline = sim().now() + budget;
+    while (!pred() && sim().now() < deadline) {
+      sim().run_until(sim().now() + 50_us);
+    }
+    return pred();
+  }
+
+  /// Average machine CPU utilization attributable to the datapath on the
+  /// replica nodes (HyperLoop: replenishment; naive: handler/poller).
+  [[nodiscard]] double replica_datapath_cpu() const {
+    double total = 0;
+    const double elapsed = static_cast<double>(cluster->sim().now());
+    if (elapsed == 0) return 0;
+    for (std::size_t r = 0; r < params.replicas; ++r) {
+      const Duration t = hl ? hl->replica(r).cpu_time()
+                            : naive->replica(r).cpu_time();
+      total += static_cast<double>(t) /
+               (elapsed * static_cast<double>(params.cores_per_node));
+    }
+    return total / static_cast<double>(params.replicas);
+  }
+};
+
+inline Testbed make_testbed(Datapath dp, TestbedParams params = {}) {
+  Testbed tb;
+  tb.params = params;
+  tb.cluster = std::make_unique<Cluster>();
+  NodeConfig node;
+  node.cores = params.cores_per_node;
+  for (std::size_t i = 0; i < params.replicas + 1; ++i) {
+    tb.cluster->add_node(node);
+  }
+  std::vector<std::size_t> chain;
+  for (std::size_t i = 1; i <= params.replicas; ++i) chain.push_back(i);
+
+  if (dp == Datapath::kHyperLoop) {
+    tb.hl = std::make_unique<core::HyperLoopGroup>(*tb.cluster, 0, chain,
+                                                   params.region_size);
+    tb.group = &tb.hl->client();
+  } else {
+    core::NaiveParams np;
+    np.mode = dp == Datapath::kNaivePolling
+                  ? core::NaiveParams::Mode::kPolling
+                  : core::NaiveParams::Mode::kEvent;
+    np.pin_thread = dp == Datapath::kNaivePolling;  // paper: pinned poller
+    tb.naive = std::make_unique<core::NaiveGroup>(*tb.cluster, 0, chain,
+                                                  params.region_size, np);
+    tb.group = tb.naive.get();
+  }
+
+  if (params.tenant_threads > 0 || params.spinner_threads > 0) {
+    auto lp = cpu::BackgroundLoad::Params::for_utilization(
+        std::max(params.tenant_threads, 1), params.cores_per_node,
+        params.offered_load);
+    lp.num_threads = params.tenant_threads;
+    lp.spinner_threads = params.spinner_threads;
+    const std::size_t first = params.load_on_client ? 0 : 1;
+    for (std::size_t n = first; n <= params.replicas; ++n) {
+      tb.loads.push_back(std::make_unique<cpu::BackgroundLoad>(
+          tb.cluster->sim(), tb.cluster->node(n).sched(), lp,
+          Rng(params.seed * 1000 + n)));
+      tb.loads.back()->start();
+    }
+  }
+  // Let setup + load warm up before measuring.
+  tb.cluster->sim().run_until(5_ms);
+  return tb;
+}
+
+/// Drive `ops` sequential group operations and collect client latency.
+/// `issue(i, done)` must start operation i and call done() at completion.
+inline LatencyHistogram drive_closed_loop(
+    Testbed& tb, int ops,
+    const std::function<void(int, std::function<void()>)>& issue,
+    Duration budget_per_op = 200_ms) {
+  LatencyHistogram hist;
+  bool finished = false;
+  std::function<void(int)> next = [&](int i) {
+    if (i == ops) {
+      finished = true;
+      return;
+    }
+    const Time start = tb.sim().now();
+    issue(i, [&, start, i] {
+      hist.record(tb.sim().now() - start);
+      next(i + 1);
+    });
+  };
+  next(0);
+  tb.run_until([&] { return finished; },
+               static_cast<Duration>(ops) * budget_per_op);
+  HL_CHECK_MSG(finished, "benchmark drive did not finish in budget");
+  return hist;
+}
+
+// --- Report formatting -------------------------------------------------------
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  // Benchmarks run minutes and are often piped/tee'd: keep progress visible.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper_ref.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void print_row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-16s", "---");
+  std::printf("\n");
+}
+
+inline std::string fmt(Duration ns) { return format_duration(ns); }
+inline std::string fmt(double v, const char* suffix = "") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffix);
+  return buf;
+}
+
+}  // namespace hyperloop::bench

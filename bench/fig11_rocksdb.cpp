@@ -1,0 +1,141 @@
+// Figure 11 reproduction: replicated MiniRocks (RocksDB case study) update
+// latency under multi-tenant co-location, three datapath variants:
+//
+//   Naive-Event    event-driven CPU forwarding on the backups
+//   Naive-Polling  CPU busy-polling on the backups (pinned core)
+//   HyperLoop      NIC-offloaded chain
+//
+// Paper result (YCSB-A update traces, 3 replicas, 10:1 threads:cores
+// co-location): HyperLoop's tail is 5.7x lower than Naive-Event and 24.2x
+// lower than Naive-Polling — and notably Naive-*Event* beats Naive-*Polling*
+// here, because many tenants polling at once thrash the CPUs.
+#include <memory>
+
+#include "bench/common.hpp"
+#include "kvstore/minirocks.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "ycsb/adapters.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+using storage::RegionLayout;
+
+struct VariantResult {
+  LatencyHistogram updates;
+  double backup_cpu = 0;
+};
+
+VariantResult run_variant(Datapath dp, int polling_neighbours) {
+  TestbedParams params;
+  params.replicas = 3;
+  // The paper's co-location: I/O-intensive neighbours at 10:1 threads:cores.
+  params.tenant_threads = 160;
+  params.offered_load = 0.8;
+  params.spinner_threads = polling_neighbours;
+  Testbed tb = make_testbed(dp, params);
+
+  // The client runs on the remote socket of a shared server (paper setup):
+  // lighter contention than the backup sockets, but not isolated.
+  auto client_lp = cpu::BackgroundLoad::Params::for_utilization(
+      100, params.cores_per_node, 0.45);
+  client_lp.spinner_threads = 8;
+  tb.loads.push_back(std::make_unique<cpu::BackgroundLoad>(
+      tb.sim(), tb.cluster->node(0).sched(), client_lp, Rng(999)));
+  tb.loads.back()->start();
+
+  RegionLayout layout;
+  layout.wal_capacity = 1 << 20;
+  layout.db_size = 4 << 20;
+  // make_testbed sized the region already (8MB >= layout needs).
+  storage::ReplicatedLog log(*tb.group, layout);
+  storage::GroupLockManager locks(*tb.group, tb.sim(), layout, 1);
+  kvstore::MiniRocksOptions opts;  // deferred: eventual-consistency replicas
+  storage::TransactionCoordinator txc(*tb.group, log, locks,
+                                      kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*tb.group, txc, opts, &tb.cluster->node(0));
+  ycsb::MiniRocksAdapter adapter(db);
+
+  bool ready = false;
+  log.initialize([&](Status s) {
+    HL_CHECK(s.is_ok());
+    ready = true;
+  });
+  tb.run_until([&] { return ready; }, 1'000_ms);
+
+  ycsb::DriverParams dparams;
+  dparams.record_count = 100;
+  dparams.operation_count = 4'000;
+  dparams.value_bytes = 1'024;  // paper: 1KB values, 32B keys
+  ycsb::YcsbDriver driver(tb.sim(), adapter, ycsb::WorkloadSpec::A(), dparams);
+
+  bool loaded = false;
+  driver.load([&](Status s) {
+    HL_CHECK(s.is_ok());
+    loaded = true;
+  });
+  tb.run_until([&] { return loaded; }, 60'000_ms);
+
+  const Time measure_start = tb.sim().now();
+  bool done = false;
+  driver.run([&](Status s) {
+    HL_CHECK(s.is_ok());
+    done = true;
+  });
+  tb.run_until([&] { return done; }, 600'000_ms);
+
+  VariantResult result;
+  result.updates = driver.latency(ycsb::OpType::kUpdate);
+  double cpu = 0;
+  for (std::size_t r = 0; r < params.replicas; ++r) {
+    const Duration t = tb.hl ? tb.hl->replica(r).cpu_time()
+                             : tb.naive->replica(r).cpu_time();
+    cpu += static_cast<double>(t) /
+           static_cast<double>(tb.sim().now() - measure_start);
+  }
+  result.backup_cpu = cpu / static_cast<double>(params.replicas);
+  if (tb.naive) tb.naive->stop();
+  return result;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main() {
+  using namespace hyperloop::bench;
+  print_header(
+      "Figure 11: replicated RocksDB (MiniRocks) update latency, YCSB-A",
+      "\"HyperLoop offers significantly lower tail latency in contrast to "
+      "Naive-Event (5.7x lower) and Naive-Polling (24.2x lower)\"; polling "
+      "loses to event-driven under multi-tenant contention");
+
+  // Each variant's neighbourhood matches its own architecture: event-driven
+  // instances co-locate with event-driven (bursty, non-spinning) neighbours,
+  // while in the polling deployment every co-located tenant busy-polls —
+  // "multiple tenants polling simultaneously increases the contention",
+  // which is exactly why Naive-Polling loses to Naive-Event in the paper.
+  const VariantResult ev = run_variant(Datapath::kNaiveEvent, 12);
+  const VariantResult poll = run_variant(Datapath::kNaivePolling, 24);
+  const VariantResult hl = run_variant(Datapath::kHyperLoop, 12);
+
+  print_row_header({"variant", "avg", "p95", "p99", "backup-cpu"});
+  auto row = [](const char* name, const VariantResult& r) {
+    std::printf("%-16s%-16s%-16s%-16s%-16s\n", name,
+                fmt(static_cast<hyperloop::Duration>(r.updates.mean())).c_str(),
+                fmt(r.updates.p95()).c_str(), fmt(r.updates.p99()).c_str(),
+                fmt(r.backup_cpu * 100, "% core").c_str());
+  };
+  row("Naive-Event", ev);
+  row("Naive-Polling", poll);
+  row("HyperLoop", hl);
+
+  std::printf("\np99 vs HyperLoop: Naive-Event %.1fx, Naive-Polling %.1fx "
+              "(paper: 5.7x and 24.2x)\n",
+              static_cast<double>(ev.updates.p99()) /
+                  static_cast<double>(hl.updates.p99()),
+              static_cast<double>(poll.updates.p99()) /
+                  static_cast<double>(hl.updates.p99()));
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 12 reproduction: MiniMongo (MongoDB case study) latency across
+// YCSB workloads A, B, D, E, F with (a) native CPU-driven replication and
+// (b) HyperLoop-enabled replication, under multi-tenant co-location.
+//
+// Paper result: HyperLoop cuts insert/update latency by up to 79% and the
+// gap between average and 99th percentile by up to 81%; backup-node CPU use
+// for replication drops from busy to ~0. The residual HyperLoop latency is
+// the client-side front end (query parsing etc.), which we model explicitly.
+#include <memory>
+
+#include "bench/common.hpp"
+#include "docstore/minimongo.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "ycsb/adapters.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+using storage::RegionLayout;
+
+struct WorkloadResult {
+  LatencyHistogram all;
+  double backup_cpu_us_per_op = 0;
+};
+
+WorkloadResult run_one(Datapath dp, char workload) {
+  TestbedParams params;
+  params.replicas = 3;
+  params.tenant_threads = 160;  // 10:1 processes-to-cores co-location
+  params.offered_load = 0.8;
+  params.spinner_threads = 24;
+  Testbed tb = make_testbed(dp, params);
+
+  RegionLayout layout;
+  layout.wal_capacity = 1 << 20;
+  layout.db_size = 4 << 20;
+  storage::ReplicatedLog log(*tb.group, layout);
+  storage::GroupLockManager locks(*tb.group, tb.sim(), layout, 1);
+  storage::TxnOptions topts;  // journal, execute under the group write lock
+  storage::TransactionCoordinator txc(*tb.group, log, locks, topts);
+  docstore::MiniMongo db(tb.cluster->node(0), *tb.group, txc, locks);
+  ycsb::MiniMongoAdapter adapter(db);
+
+  bool ready = false;
+  log.initialize([&](Status s) {
+    HL_CHECK(s.is_ok());
+    ready = true;
+  });
+  tb.run_until([&] { return ready; }, 1'000_ms);
+
+  ycsb::DriverParams dparams;
+  dparams.record_count = 100;
+  dparams.operation_count = 2'000;
+  dparams.value_bytes = 1'024;
+  dparams.seed = 7;
+  ycsb::YcsbDriver driver(tb.sim(), adapter,
+                          ycsb::WorkloadSpec::by_name(workload), dparams);
+
+  bool loaded = false;
+  driver.load([&](Status s) {
+    HL_CHECK(s.is_ok());
+    loaded = true;
+  });
+  tb.run_until([&] { return loaded; }, 120'000_ms);
+
+  const Time measure_start = tb.sim().now();
+  bool done = false;
+  driver.run([&](Status s) {
+    HL_CHECK(s.is_ok());
+    done = true;
+  });
+  tb.run_until([&] { return done; }, 1'200'000_ms);
+
+  (void)measure_start;
+  WorkloadResult result;
+  result.all = driver.overall();
+  // Backup CPU per operation: the datapath cycles each replicated op costs
+  // a backup node. Native replication pays receive+parse+apply+forward per
+  // op; HyperLoop pays only amortized slot replenishment. (The paper's
+  // "nearly 100% -> almost 0%" is this per-op cost summed over the 100s of
+  // co-located instances a real multi-tenant backup hosts.)
+  double cpu_ns = 0;
+  for (std::size_t r = 0; r < params.replicas; ++r) {
+    cpu_ns += static_cast<double>(tb.hl ? tb.hl->replica(r).cpu_time()
+                                        : tb.naive->replica(r).cpu_time());
+  }
+  result.backup_cpu_us_per_op =
+      cpu_ns / 1e3 / static_cast<double>(params.replicas) /
+      static_cast<double>(std::max<std::uint64_t>(result.all.count(), 1));
+  if (tb.naive) tb.naive->stop();
+  return result;
+}
+
+void report(Datapath dp, const char* sub) {
+  std::printf("\n--- Figure 12(%s): %s replication ---\n", sub,
+              dp == Datapath::kHyperLoop ? "HyperLoop-enabled"
+                                         : "native (CPU-driven)");
+  print_row_header(
+      {"workload", "avg", "p95", "p99", "tail-gap", "backup-cpu/op"});
+  for (const char w : {'A', 'B', 'D', 'E', 'F'}) {
+    const WorkloadResult r = run_one(dp, w);
+    const double gap = static_cast<double>(r.all.p99()) -
+                       r.all.mean();
+    std::printf("%-16c%-16s%-16s%-16s%-16s%-16s\n", w,
+                fmt(static_cast<hyperloop::Duration>(r.all.mean())).c_str(),
+                fmt(r.all.p95()).c_str(), fmt(r.all.p99()).c_str(),
+                fmt(static_cast<hyperloop::Duration>(std::max(gap, 0.0)))
+                    .c_str(),
+                fmt(r.backup_cpu_us_per_op, "us").c_str());
+  }
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main() {
+  using namespace hyperloop::bench;
+  print_header(
+      "Figure 12: MiniMongo latency across YCSB workloads",
+      "\"running MongoDB with HyperLoop decreases average latency of "
+      "insert/update operations by 79% and reduces the gap between average "
+      "and 99th percentile by 81%, while CPU usage on backup nodes goes "
+      "down from nearly 100% to almost 0%\"");
+  report(Datapath::kNaiveEvent, "a");
+  report(Datapath::kHyperLoop, "b");
+  return 0;
+}

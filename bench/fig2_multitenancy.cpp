@@ -1,0 +1,186 @@
+// Figure 2 reproduction: the motivating experiment. MiniMongo with
+// conventional CPU-driven replication on 3 servers; YCSB-A against a
+// growing number of co-located replica-sets.
+//
+// (a) latency (avg/95th/99th) and context switches grow with the number of
+//     replica-sets per server (9 -> 27);
+// (b) with 18 replica-sets fixed, adding cores per machine lowers latency
+//     and context-switch pressure (2 -> 16 cores).
+//
+// Every replica-set is an independent MiniMongo instance: its primary
+// (front end + coordinator) lives on one of the 3 servers round-robin, its
+// two backups on the other two — so each server hosts ~N primaries and ~2N
+// backup processes, exactly the multi-tenant pile-up of the paper.
+#include <memory>
+
+#include "bench/common.hpp"
+#include "docstore/minimongo.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "ycsb/adapters.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+using storage::RegionLayout;
+
+struct ReplicaSet {
+  std::unique_ptr<core::NaiveGroup> group;
+  std::unique_ptr<storage::ReplicatedLog> log;
+  std::unique_ptr<storage::GroupLockManager> locks;
+  std::unique_ptr<storage::TransactionCoordinator> txc;
+  std::unique_ptr<docstore::MiniMongo> db;
+  std::unique_ptr<ycsb::MiniMongoAdapter> adapter;
+  std::unique_ptr<ycsb::YcsbDriver> driver;
+  bool finished = false;
+};
+
+struct Result {
+  LatencyHistogram write_latency;  // insert/update ops across all sets
+  double norm_ctx = 0;             // raw context switches (caller normalizes)
+};
+
+Result run_config(int replica_sets, int cores, Duration measure_for) {
+  Cluster cluster;
+  NodeConfig node;
+  node.cores = cores;
+  node.memory_bytes = 192ull << 20;
+  for (int i = 0; i < 3; ++i) cluster.add_node(node);
+
+  RegionLayout layout;
+  layout.wal_capacity = 1 << 17;
+  layout.db_size = 1 << 19;
+
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  for (int s = 0; s < replica_sets; ++s) {
+    auto rs = std::make_unique<ReplicaSet>();
+    const std::size_t primary = static_cast<std::size_t>(s % 3);
+    const std::vector<std::size_t> backups = {(primary + 1) % 3,
+                                              (primary + 2) % 3};
+    core::NaiveParams np;  // conventional CPU-driven replication
+    np.mode = core::NaiveParams::Mode::kEvent;
+    np.pin_thread = false;
+    np.tenant = 100 + static_cast<std::uint64_t>(s);
+    // MongoDB-class backup work per message: oplog parse + BSON handling +
+    // index/document apply. This is what makes the servers saturate as
+    // replica-sets pile up (the paper's "CPU hits 100% utilization").
+    np.wakeup_cpu = 4'000;
+    np.parse_cpu = 8'000;
+    np.post_cpu = 6'000;
+    rs->group = std::make_unique<core::NaiveGroup>(
+        cluster, primary, backups, layout.region_size(), np);
+    rs->log = std::make_unique<storage::ReplicatedLog>(*rs->group, layout);
+    rs->locks = std::make_unique<storage::GroupLockManager>(
+        *rs->group, cluster.sim(), layout, 1);
+    storage::TxnOptions topts;  // journal + execute under locks
+    rs->txc = std::make_unique<storage::TransactionCoordinator>(
+        *rs->group, *rs->log, *rs->locks, topts);
+    docstore::MiniMongoOptions mopts;
+    mopts.front_end_cpu = 50'000;  // MongoDB-class query processing
+    mopts.front_end_cpu_per_kb = 5'000;
+    rs->db = std::make_unique<docstore::MiniMongo>(
+        cluster.node(primary), *rs->group, *rs->txc, *rs->locks, mopts);
+    rs->adapter = std::make_unique<ycsb::MiniMongoAdapter>(*rs->db);
+    ycsb::DriverParams dparams;
+    dparams.record_count = 24;
+    dparams.operation_count = 1u << 30;  // run() bounded by time, not count
+    dparams.value_bytes = 128;
+    dparams.concurrency = 8;  // YCSB drives each replica-set multi-threaded
+    dparams.seed = 77 + static_cast<std::uint64_t>(s);
+    rs->driver = std::make_unique<ycsb::YcsbDriver>(
+        cluster.sim(), *rs->adapter, ycsb::WorkloadSpec::A(), dparams);
+    sets.push_back(std::move(rs));
+  }
+
+  // Initialize + preload every set.
+  std::size_t ready = 0;
+  for (auto& rs : sets) {
+    rs->log->initialize([&, prs = rs.get()](Status s) {
+      HL_CHECK(s.is_ok());
+      prs->driver->load([&](Status ls) {
+        HL_CHECK(ls.is_ok());
+        ++ready;
+      });
+    });
+  }
+  while (ready < sets.size()) {
+    cluster.sim().run_until(cluster.sim().now() + 1_ms);
+  }
+
+  // Measure: run all drivers concurrently for a fixed simulated window.
+  for (int i = 0; i < 3; ++i) cluster.node(i).sched().reset_stats();
+  for (auto& rs : sets) {
+    rs->driver->run([prs = rs.get()](Status) { prs->finished = true; });
+  }
+  cluster.sim().run_until(cluster.sim().now() + measure_for);
+
+  Result result;
+  for (auto& rs : sets) {
+    result.write_latency.merge(rs->driver->latency(ycsb::OpType::kUpdate));
+    result.write_latency.merge(rs->driver->latency(ycsb::OpType::kInsert));
+    rs->group->stop();
+  }
+  for (int i = 0; i < 3; ++i) {
+    result.norm_ctx +=
+        static_cast<double>(cluster.node(i).sched().context_switches());
+  }
+  return result;
+}
+
+void sweep_sets() {
+  std::printf("\n--- Figure 2(a): varying number of replica-sets "
+              "(16 cores/server) ---\n");
+  print_row_header(
+      {"replica-sets", "avg", "p95", "p99", "ops", "ctx-switches"});
+  std::vector<std::pair<int, Result>> rows;
+  double max_ctx = 1;
+  for (int sets : {9, 12, 15, 18, 21, 24, 27}) {
+    rows.emplace_back(sets, run_config(sets, 16, 250_ms));
+    max_ctx = std::max(max_ctx, rows.back().second.norm_ctx);
+  }
+  for (auto& [sets, r] : rows) {
+    std::printf("%-16d%-16s%-16s%-16s%-16llu%.2f (norm)\n", sets,
+                fmt(static_cast<Duration>(r.write_latency.mean())).c_str(),
+                fmt(r.write_latency.p95()).c_str(),
+                fmt(r.write_latency.p99()).c_str(),
+                static_cast<unsigned long long>(r.write_latency.count()),
+                r.norm_ctx / max_ctx);
+  }
+}
+
+void sweep_cores() {
+  std::printf("\n--- Figure 2(b): varying cores per machine "
+              "(18 replica-sets) ---\n");
+  print_row_header({"cores", "avg", "p95", "p99", "ops", "ctx-switches"});
+  std::vector<std::pair<int, Result>> rows;
+  double max_ctx = 1;
+  for (int cores : {2, 4, 6, 8, 10, 12, 14, 16}) {
+    rows.emplace_back(cores, run_config(18, cores, 250_ms));
+    max_ctx = std::max(max_ctx, rows.back().second.norm_ctx);
+  }
+  for (auto& [cores, r] : rows) {
+    std::printf("%-16d%-16s%-16s%-16s%-16llu%.2f (norm)\n", cores,
+                fmt(static_cast<Duration>(r.write_latency.mean())).c_str(),
+                fmt(r.write_latency.p95()).c_str(),
+                fmt(r.write_latency.p99()).c_str(),
+                static_cast<unsigned long long>(r.write_latency.count()),
+                r.norm_ctx / max_ctx);
+  }
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main() {
+  using namespace hyperloop::bench;
+  print_header(
+      "Figure 2: multi-tenancy drives MongoDB-style latency (motivation)",
+      "\"As the number of partitions grow, there are more processes on each "
+      "server, thus more CPU context switches and higher latencies\" / "
+      "\"transaction latency and number of context switches decreases with "
+      "more cores\"");
+  sweep_sets();
+  sweep_cores();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the hot substrate paths: the event
+// queue, latency histogram, WQE (de)serialization, zipfian generation, log
+// record wire format, and slot encoding. These are the per-event costs that
+// bound how big a cluster/workload the simulator can chew through.
+#include <benchmark/benchmark.h>
+
+#include "mem/host_memory.hpp"
+#include "rnic/verbs.hpp"
+#include "sim/simulator.hpp"
+#include "storage/log.hpp"
+#include "storage/slot_table.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace hyperloop {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(static_cast<Duration>(i * 17 % 1000), [&] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sim.schedule(1000, [] {}));
+    }
+    for (auto& id : ids) sim.cancel(id);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  for (auto _ : state) {
+    hist.record(rng.next_below(100'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(2);
+  for (int i = 0; i < 100'000; ++i) hist.record(rng.next_below(10'000'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.p99());
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_WqeStoreLoad(benchmark::State& state) {
+  mem::HostMemory memory(1 << 20);
+  rnic::WqeData wqe;
+  wqe.valid = 1;
+  wqe.local_addr = 0x1234;
+  for (auto _ : state) {
+    rnic::store_wqe(memory, 0, wqe);
+    benchmark::DoNotOptimize(rnic::load_wqe(memory, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WqeStoreLoad);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next_scrambled(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_LogRecordSerialize(benchmark::State& state) {
+  storage::LogRecord record;
+  for (int i = 0; i < 4; ++i) {
+    storage::LogEntry e;
+    e.db_offset = static_cast<std::uint64_t>(i) * 4096;
+    e.data.assign(static_cast<std::size_t>(state.range(0)), std::byte{7});
+    record.entries.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::wire::serialize(record));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_LogRecordSerialize)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_LogRecordDeserialize(benchmark::State& state) {
+  storage::LogRecord record;
+  storage::LogEntry e;
+  e.data.assign(1024, std::byte{7});
+  record.entries.push_back(e);
+  const auto bytes = storage::wire::serialize(record);
+  for (auto _ : state) {
+    storage::LogRecord out;
+    std::uint64_t used = 0;
+    benchmark::DoNotOptimize(
+        storage::wire::deserialize(bytes.data(), bytes.size(), &out, &used));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_LogRecordDeserialize);
+
+void BM_SlotEncodeDecode(benchmark::State& state) {
+  storage::SlotTable table(1 << 20, 1280);
+  const std::string key = "user00000000000000000000000042";
+  const std::string value(1024, 'v');
+  for (auto _ : state) {
+    const auto buf = table.encode(key, value);
+    benchmark::DoNotOptimize(storage::SlotTable::decode(buf.data(), 1280));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotEncodeDecode);
+
+void BM_RngPareto(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_pareto(10.0, 1e6, 1.5));
+  }
+}
+BENCHMARK(BM_RngPareto);
+
+}  // namespace
+}  // namespace hyperloop
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Example: a replicated document store (MiniMongo, the MongoDB case study)
+// with strongly consistent reads from any replica.
+//
+// Writes journal through the replicated WAL and execute on every member
+// under the group write lock (gCAS); reads from backups take a per-replica
+// read lock — so every replica can serve consistent reads concurrently,
+// which is the read-scaling benefit the paper describes in §5.
+#include <cstdio>
+
+#include "docstore/minimongo.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+
+using namespace hyperloop;
+
+namespace {
+template <typename Pred>
+void run_until(Cluster& cluster, Pred&& done) {
+  while (!done()) cluster.sim().run_until(cluster.sim().now() + 10'000);
+}
+}  // namespace
+
+int main() {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+
+  storage::RegionLayout layout;
+  core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, layout.region_size());
+  storage::ReplicatedLog log(group.client(), layout);
+  storage::GroupLockManager locks(group.client(), cluster.sim(), layout, 1);
+  storage::TxnOptions topts;  // execute-in-commit + locking: strong mode
+  storage::TransactionCoordinator txc(group.client(), log, locks, topts);
+  docstore::MiniMongo db(cluster.node(0), group.client(), txc, locks);
+
+  bool ready = false;
+  log.initialize([&](Status s) { ready = s.is_ok(); });
+  run_until(cluster, [&] { return ready; });
+
+  // --- Insert documents into two collections.
+  int done_ops = 0;
+  db.insert("users", "ada",
+            {{"name", "Ada Lovelace"}, {"role", "analyst"}},
+            [&](Status s) { HL_CHECK(s.is_ok()); ++done_ops; });
+  db.insert("users", "gh",
+            {{"name", "Grace Hopper"}, {"role", "commodore"}},
+            [&](Status s) { HL_CHECK(s.is_ok()); ++done_ops; });
+  db.insert("machines", "ae2",
+            {{"kind", "analytical engine"}, {"status", "planned"}},
+            [&](Status s) { HL_CHECK(s.is_ok()); ++done_ops; });
+  run_until(cluster, [&] { return done_ops == 3; });
+  std::printf("3 documents inserted (journaled + executed on all replicas)\n");
+
+  // --- Update one field; others are preserved.
+  bool updated = false;
+  db.update("users", "ada", {{"role", "programmer"}}, [&](Status s) {
+    HL_CHECK(s.is_ok());
+    updated = true;
+  });
+  run_until(cluster, [&] { return updated; });
+
+  // --- Strongly consistent reads from *every* replica, under read locks.
+  for (std::size_t replica = 0; replica < 3; ++replica) {
+    bool read_done = false;
+    db.find_on_replica(replica, "users", "ada",
+                       [&](Status s, docstore::Document d) {
+                         HL_CHECK(s.is_ok());
+                         std::printf("replica %zu: ada = {name: \"%s\", "
+                                     "role: \"%s\"}\n",
+                                     replica, d["name"].c_str(),
+                                     d["role"].c_str());
+                         read_done = true;
+                       });
+    run_until(cluster, [&] { return read_done; });
+  }
+
+  // --- Collection scans are ordered and scoped.
+  bool scanned = false;
+  db.scan("users", "", 10, [&](Status s, auto rows) {
+    HL_CHECK(s.is_ok());
+    std::printf("users collection (%zu docs):\n", rows.size());
+    for (const auto& [id, doc] : rows) {
+      std::printf("  %s: %s\n", id.c_str(), doc.at("name").c_str());
+    }
+    scanned = true;
+  });
+  run_until(cluster, [&] { return scanned; });
+
+  std::printf("front-end CPU ran on the primary; replica CPUs stayed off "
+              "the critical path throughout\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Example: the headline effect, in one screen.
+//
+// Two identical chains under identical multi-tenant CPU load — one driven by
+// replica CPUs (the conventional way), one offloaded to NICs (HyperLoop) —
+// and the latency distribution of 1000 durable replicated writes on each.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/scheduler.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "util/histogram.hpp"
+
+using namespace hyperloop;
+
+namespace {
+
+LatencyHistogram measure(bool use_hyperloop) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+
+  std::unique_ptr<core::HyperLoopGroup> hl;
+  std::unique_ptr<core::NaiveGroup> naive;
+  core::GroupInterface* group = nullptr;
+  if (use_hyperloop) {
+    hl = std::make_unique<core::HyperLoopGroup>(
+        cluster, 0, std::vector<std::size_t>{1, 2, 3}, 1 << 20);
+    group = &hl->client();
+  } else {
+    core::NaiveParams np;
+    np.mode = core::NaiveParams::Mode::kPolling;  // the strongest baseline
+    naive = std::make_unique<core::NaiveGroup>(
+        cluster, 0, std::vector<std::size_t>{1, 2, 3}, 1 << 20, np);
+    group = naive.get();
+  }
+
+  // Multi-tenant neighbours on every replica: bursty tenants + CPU hogs.
+  auto lp = cpu::BackgroundLoad::Params::for_utilization(160, 16, 0.8);
+  lp.spinner_threads = 24;
+  std::vector<std::unique_ptr<cpu::BackgroundLoad>> loads;
+  for (int n = 1; n <= 3; ++n) {
+    loads.push_back(std::make_unique<cpu::BackgroundLoad>(
+        cluster.sim(), cluster.node(n).sched(), lp, Rng(10 + n)));
+    loads.back()->start();
+  }
+  cluster.sim().run_until(5'000'000);
+
+  std::vector<char> payload(1024, 'p');
+  group->region_write(0, payload.data(), payload.size());
+
+  LatencyHistogram hist;
+  bool finished = false;
+  std::function<void(int)> next = [&](int i) {
+    if (i == 1000) {
+      finished = true;
+      return;
+    }
+    const Time start = cluster.sim().now();
+    group->gwrite(0, 1024, /*flush=*/true, [&, start, i](Status s,
+                                                         const auto&) {
+      HL_CHECK(s.is_ok());
+      hist.record(cluster.sim().now() - start);
+      next(i + 1);
+    });
+  };
+  next(0);
+  while (!finished) cluster.sim().run_until(cluster.sim().now() + 100'000);
+  if (naive) naive->stop();
+  return hist;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1000 durable replicated 1KB writes, 3 replicas, busy "
+              "multi-tenant servers\n\n");
+  const LatencyHistogram naive = measure(false);
+  const LatencyHistogram hl = measure(true);
+  std::printf("%-22s %s\n", "CPU-driven (polling):", naive.summary().c_str());
+  std::printf("%-22s %s\n", "HyperLoop (NIC):", hl.summary().c_str());
+  std::printf("\np99 improvement: %.0fx — no replica CPU on the critical "
+              "path, no scheduling delay in the tail\n",
+              static_cast<double>(naive.p99()) /
+                  static_cast<double>(hl.p99()));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: a replicated key-value store (MiniRocks, the RocksDB case study)
+// over the HyperLoop datapath.
+//
+// Shows the paper's §5.1 workflow: puts go to the memtable + the replicated
+// durable WAL; replicas catch up in batches off the critical path; reads
+// from backups are eventually consistent; a power failure after the flush
+// loses nothing.
+#include <cstdio>
+#include <string>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "kvstore/minirocks.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+
+using namespace hyperloop;
+
+namespace {
+template <typename Pred>
+void run_until(Cluster& cluster, Pred&& done) {
+  while (!done()) cluster.sim().run_until(cluster.sim().now() + 10'000);
+}
+}  // namespace
+
+int main() {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+
+  storage::RegionLayout layout;  // control block + locks + WAL + database
+  core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, layout.region_size());
+  storage::ReplicatedLog log(group.client(), layout);
+  storage::GroupLockManager locks(group.client(), cluster.sim(), layout, 1);
+
+  kvstore::MiniRocksOptions opts;  // deferred execution, like the paper
+  storage::TransactionCoordinator txc(
+      group.client(), log, locks, kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(group.client(), txc, opts);
+
+  bool ready = false;
+  log.initialize([&](Status s) { ready = s.is_ok(); });
+  run_until(cluster, [&] { return ready; });
+
+  // --- Write a handful of records (each is replicated + durable on ack).
+  const char* fruits[][2] = {{"apple", "red"},
+                             {"banana", "yellow"},
+                             {"cherry", "dark red"},
+                             {"kiwi", "green"}};
+  int committed = 0;
+  for (const auto& kv : fruits) {
+    db.put(kv[0], kv[1], [&](Status s) {
+      HL_CHECK(s.is_ok());
+      ++committed;
+    });
+  }
+  run_until(cluster, [&] { return committed == 4; });
+  std::printf("4 puts committed (replicated WAL, durable)\n");
+
+  // --- Primary reads come from the memtable.
+  std::printf("get(banana) = \"%s\"\n", db.get("banana")->c_str());
+  auto rows = db.scan("b", 2);
+  for (const auto& [k, v] : rows) std::printf("scan: %s -> %s\n", k.c_str(),
+                                              v.c_str());
+
+  // --- Replica reads are eventual: not visible until the WAL executes.
+  std::string v;
+  const Status before = db.get_from_replica(0, "banana", &v);
+  std::printf("replica read before flush: %s\n", before.to_string().c_str());
+  bool flushed = false;
+  db.flush_wal([&](Status s) { flushed = s.is_ok(); });
+  run_until(cluster, [&] { return flushed; });
+  HL_CHECK(db.get_from_replica(0, "banana", &v).is_ok());
+  std::printf("replica read after flush:  OK -> \"%s\"\n", v.c_str());
+
+  // --- Durability: power-fail every replica NIC; data survives in NVM.
+  for (int n = 1; n <= 3; ++n) cluster.node(n).nic().power_fail();
+  HL_CHECK(db.get_from_replica(2, "cherry", &v).is_ok());
+  std::printf("after power failure, tail replica still has cherry -> \"%s\"\n",
+              v.c_str());
+
+  // --- And the WAL itself can be recovered from any replica.
+  const auto records = log.recover_from_replica(1);
+  std::printf("replica 1 WAL scan: %zu intact records (already truncated "
+              "after execution)\n",
+              records.size());
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "docstore/minimongo.hpp"
+
+#include <cstring>
+
+namespace hyperloop::docstore {
+
+std::string serialize_document(const Document& doc) {
+  std::string out;
+  const auto count = static_cast<std::uint32_t>(doc.size());
+  out.append(reinterpret_cast<const char*>(&count), 4);
+  for (const auto& [field, value] : doc) {
+    const auto flen = static_cast<std::uint32_t>(field.size());
+    const auto vlen = static_cast<std::uint32_t>(value.size());
+    out.append(reinterpret_cast<const char*>(&flen), 4);
+    out.append(reinterpret_cast<const char*>(&vlen), 4);
+    out.append(field);
+    out.append(value);
+  }
+  return out;
+}
+
+std::optional<Document> parse_document(std::string_view bytes) {
+  if (bytes.size() < 4) return std::nullopt;
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data(), 4);
+  std::size_t off = 4;
+  Document doc;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + 8 > bytes.size()) return std::nullopt;
+    std::uint32_t flen = 0, vlen = 0;
+    std::memcpy(&flen, bytes.data() + off, 4);
+    std::memcpy(&vlen, bytes.data() + off + 4, 4);
+    off += 8;
+    if (off + flen + vlen > bytes.size()) return std::nullopt;
+    std::string field(bytes.substr(off, flen));
+    off += flen;
+    doc[std::move(field)] = std::string(bytes.substr(off, vlen));
+    off += vlen;
+  }
+  return doc;
+}
+
+MiniMongo::MiniMongo(Node& primary, core::GroupInterface& group,
+                     storage::TransactionCoordinator& txc,
+                     storage::GroupLockManager& locks,
+                     MiniMongoOptions options)
+    : primary_(primary),
+      group_(group),
+      txc_(txc),
+      locks_(locks),
+      options_(options),
+      slots_(txc.layout().db_size, options.slot_bytes),
+      front_end_thread_(primary.sched().create_thread("minimongo-frontend")) {}
+
+void MiniMongo::with_front_end(std::uint64_t bytes,
+                               std::function<void()> work) {
+  const Duration cpu =
+      options_.front_end_cpu +
+      options_.front_end_cpu_per_kb * (bytes / 1024);
+  primary_.sched().submit(front_end_thread_, cpu, std::move(work));
+}
+
+void MiniMongo::journal_write(const std::string& key, const std::string& value,
+                              bool tombstone, DoneCallback done) {
+  std::uint32_t slot = 0;
+  if (tombstone) {
+    const auto existing = slots_.find(key);
+    if (!existing) {
+      if (done) done(Status(StatusCode::kNotFound, "no such document"));
+      return;
+    }
+    slot = *existing;
+    slots_.erase(key);
+  } else {
+    const Status st = slots_.assign(key, value.size(), &slot);
+    if (!st.is_ok()) {
+      if (done) done(st);
+      return;
+    }
+  }
+  auto bytes = tombstone ? slots_.encode_tombstone() : slots_.encode(key, value);
+  auto txn = txc_.begin();
+  txn.put(slots_.slot_offset(slot), bytes.data(), bytes.size());
+  txc_.commit(std::move(txn), std::move(done));
+}
+
+void MiniMongo::insert(const std::string& collection, const std::string& id,
+                       Document doc, DoneCallback done) {
+  const std::string key = make_key(collection, id);
+  const std::string value = serialize_document(doc);
+  with_front_end(value.size(), [this, key, value, doc = std::move(doc),
+                                done = std::move(done)]() mutable {
+    if (primary_copy_.contains(key)) {
+      if (done) done(Status(StatusCode::kAlreadyExists, "duplicate id"));
+      return;
+    }
+    ++ops_;
+    primary_copy_[key] = std::move(doc);
+    journal_write(key, value, /*tombstone=*/false, std::move(done));
+  });
+}
+
+void MiniMongo::update(const std::string& collection, const std::string& id,
+                       Document fields, DoneCallback done) {
+  const std::string key = make_key(collection, id);
+  with_front_end(serialize_document(fields).size(),
+                 [this, key, fields = std::move(fields),
+                  done = std::move(done)]() mutable {
+    auto it = primary_copy_.find(key);
+    if (it == primary_copy_.end()) {
+      if (done) done(Status(StatusCode::kNotFound, "no such document"));
+      return;
+    }
+    ++ops_;
+    for (auto& [f, v] : fields) it->second[f] = std::move(v);
+    journal_write(key, serialize_document(it->second), /*tombstone=*/false,
+                  std::move(done));
+  });
+}
+
+void MiniMongo::remove(const std::string& collection, const std::string& id,
+                       DoneCallback done) {
+  const std::string key = make_key(collection, id);
+  with_front_end(0, [this, key, done = std::move(done)]() mutable {
+    if (primary_copy_.erase(key) == 0) {
+      if (done) done(Status(StatusCode::kNotFound, "no such document"));
+      return;
+    }
+    ++ops_;
+    journal_write(key, {}, /*tombstone=*/true, std::move(done));
+  });
+}
+
+void MiniMongo::find(const std::string& collection, const std::string& id,
+                     FindCallback done) {
+  const std::string key = make_key(collection, id);
+  with_front_end(0, [this, key, done = std::move(done)] {
+    ++ops_;
+    auto it = primary_copy_.find(key);
+    if (it == primary_copy_.end()) {
+      done(Status(StatusCode::kNotFound, "no such document"), {});
+      return;
+    }
+    done(Status::ok(), it->second);
+  });
+}
+
+Status MiniMongo::read_replica_slot(std::size_t replica,
+                                    const std::string& key,
+                                    Document* out) const {
+  const auto slot = slots_.find(key);
+  if (!slot) return {StatusCode::kNotFound, "no such document"};
+  std::vector<std::byte> buf(options_.slot_bytes);
+  group_.replica_read(replica,
+                      txc_.layout().db_offset() + slots_.slot_offset(*slot),
+                      buf.data(), buf.size());
+  auto rec = storage::SlotTable::decode(buf.data(), options_.slot_bytes);
+  if (!rec || rec->key != key) {
+    return {StatusCode::kNotFound, "not visible on this replica"};
+  }
+  auto doc = parse_document(rec->value);
+  if (!doc) return {StatusCode::kDataLoss, "malformed document"};
+  *out = std::move(*doc);
+  return Status::ok();
+}
+
+void MiniMongo::find_on_replica(std::size_t replica,
+                                const std::string& collection,
+                                const std::string& id, FindCallback done) {
+  const std::string key = make_key(collection, id);
+  with_front_end(0, [this, replica, key, done = std::move(done)]() mutable {
+    ++ops_;
+    if (!options_.use_read_locks) {
+      Document doc;
+      const Status st = read_replica_slot(replica, key, &doc);
+      done(st, std::move(doc));
+      return;
+    }
+    locks_.rd_lock(
+        options_.journal_lock, replica,
+        [this, replica, key, done = std::move(done)](Status ls) mutable {
+          if (!ls.is_ok()) {
+            done(ls, {});
+            return;
+          }
+          Document doc;
+          const Status st = read_replica_slot(replica, key, &doc);
+          locks_.rd_unlock(options_.journal_lock, replica,
+                           [st, doc = std::move(doc), done = std::move(done)](
+                               Status us) mutable {
+                             done(!st.is_ok() ? st : us, std::move(doc));
+                           });
+        });
+  });
+}
+
+std::size_t MiniMongo::recover_from_replica(
+    const storage::ReplicatedLog& log, std::size_t replica) {
+  slots_.rebuild(group_, txc_.layout().db_offset(), /*from_replica=*/true,
+                 replica);
+  primary_copy_.clear();
+  std::vector<std::byte> buf(options_.slot_bytes);
+  auto install = [this](storage::SlotRecord rec) {
+    if (auto doc = parse_document(rec.value)) {
+      primary_copy_[std::move(rec.key)] = std::move(*doc);
+    }
+  };
+  for (std::uint32_t s = 0; s < slots_.num_slots(); ++s) {
+    group_.replica_read(replica,
+                        txc_.layout().db_offset() + slots_.slot_offset(s),
+                        buf.data(), buf.size());
+    if (auto rec = storage::SlotTable::decode(buf.data(),
+                                              options_.slot_bytes)) {
+      install(std::move(*rec));
+    }
+  }
+  const auto records = log.recover_from_replica(replica);
+  for (const auto& record : records) {
+    for (const auto& entry : record.entries) {
+      const auto slot = static_cast<std::uint32_t>(
+          entry.db_offset / options_.slot_bytes);
+      if (auto prev = slots_.key_at(slot)) primary_copy_.erase(*prev);
+      if (auto rec = storage::SlotTable::decode(entry.data.data(),
+                                                options_.slot_bytes)) {
+        slots_.claim(rec->key, slot);
+        install(std::move(*rec));
+      } else if (auto prev = slots_.key_at(slot)) {
+        slots_.erase(*prev);
+      }
+    }
+  }
+  return records.size();
+}
+
+void MiniMongo::scan(const std::string& collection,
+                     const std::string& start_id, std::size_t count,
+                     ScanCallback done) {
+  const std::string start_key = make_key(collection, start_id);
+  const std::string prefix = collection + "/";
+  with_front_end(count * 256, [this, start_key, prefix, count,
+                               done = std::move(done)] {
+    ++ops_;
+    std::vector<std::pair<std::string, Document>> out;
+    for (auto it = primary_copy_.lower_bound(start_key);
+         it != primary_copy_.end() && out.size() < count; ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.emplace_back(it->first.substr(prefix.size()), it->second);
+    }
+    done(Status::ok(), std::move(out));
+  });
+}
+
+}  // namespace hyperloop::docstore

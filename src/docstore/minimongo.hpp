@@ -1,0 +1,119 @@
+// MiniMongo: a document store with a MongoDB-shaped split (paper §5.2):
+// a front end that parses/validates queries on the primary's CPU, and a
+// replication backend that journals each mutation and executes it on all
+// replicas. Over HyperLoop, the backend's critical path runs entirely on
+// NICs, with each ExecuteAndAdvance bracketed by group write locks for
+// strong consistency; read locks let every replica serve consistent reads.
+//
+// The front-end CPU cost per operation is modelled explicitly (query parse,
+// BSON handling) and runs on the primary node's scheduler — it is the
+// "remaining latency due to MongoDB's software stack" the paper measures
+// after offloading replication.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/scheduler.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group_api.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "storage/slot_table.hpp"
+#include "storage/transaction.hpp"
+
+namespace hyperloop::docstore {
+
+/// A flat document: field name -> value (BSON-lite).
+using Document = std::map<std::string, std::string>;
+
+/// Binary document encoding (self-describing, used as slot values).
+std::string serialize_document(const Document& doc);
+std::optional<Document> parse_document(std::string_view bytes);
+
+struct MiniMongoOptions {
+  std::uint32_t slot_bytes = 2048;
+  /// CPU the front end burns per operation on the primary (query parsing,
+  /// validation, BSON encode/decode).
+  Duration front_end_cpu = 8'000;  // 8us
+  /// Extra front-end CPU per KB of document moved.
+  Duration front_end_cpu_per_kb = 1'000;
+  /// Take per-replica read locks on consistent replica reads.
+  bool use_read_locks = true;
+  /// Lock id used to serialize journal execution (the paper brackets
+  /// ExecuteAndAdvance with wrLock/wrUnlock on the primary).
+  std::uint32_t journal_lock = 0;
+};
+
+class MiniMongo {
+ public:
+  using DoneCallback = storage::DoneCallback;
+  using FindCallback = std::function<void(Status, Document)>;
+  using ScanCallback =
+      std::function<void(Status, std::vector<std::pair<std::string, Document>>)>;
+
+  /// `primary` is the node whose CPU runs the front end. The store works
+  /// over either datapath via `group`/`txc`.
+  MiniMongo(Node& primary, core::GroupInterface& group,
+            storage::TransactionCoordinator& txc,
+            storage::GroupLockManager& locks, MiniMongoOptions options = {});
+
+  // --- CRUD (asynchronous; callbacks fire when replicated + durable) ---
+  void insert(const std::string& collection, const std::string& id,
+              Document doc, DoneCallback done);
+  void update(const std::string& collection, const std::string& id,
+              Document fields, DoneCallback done);
+  void remove(const std::string& collection, const std::string& id,
+              DoneCallback done);
+
+  /// Read from the primary's authoritative copy.
+  void find(const std::string& collection, const std::string& id,
+            FindCallback done);
+
+  /// Read from a backup replica's durable copy, optionally under a read
+  /// lock (strongly consistent when writes execute under write locks).
+  void find_on_replica(std::size_t replica, const std::string& collection,
+                       const std::string& id, FindCallback done);
+
+  /// Ordered scan by id within a collection (primary copy).
+  void scan(const std::string& collection, const std::string& start_id,
+            std::size_t count, ScanCallback done);
+
+  [[nodiscard]] std::size_t size() const { return primary_copy_.size(); }
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+  /// The paper's §5.2 recovery: after a membership change, the chain
+  /// "flushes the log of all valid entries ... and hands off control to
+  /// MongoDB recovery". This is that hand-off target — rebuild the primary
+  /// copy and slot index from one member's durable database slots plus any
+  /// intact unexecuted journal records. Returns replayed record count.
+  std::size_t recover_from_replica(const storage::ReplicatedLog& log,
+                                   std::size_t replica);
+
+ private:
+  [[nodiscard]] static std::string make_key(const std::string& collection,
+                                            const std::string& id) {
+    return collection + "/" + id;
+  }
+  void with_front_end(std::uint64_t bytes, std::function<void()> work);
+  void journal_write(const std::string& key, const std::string& value,
+                     bool tombstone, DoneCallback done);
+  Status read_replica_slot(std::size_t replica, const std::string& key,
+                           Document* out) const;
+
+  Node& primary_;
+  core::GroupInterface& group_;
+  storage::TransactionCoordinator& txc_;
+  storage::GroupLockManager& locks_;
+  MiniMongoOptions options_;
+  storage::SlotTable slots_;
+  std::map<std::string, Document, std::less<>> primary_copy_;
+  cpu::ThreadId front_end_thread_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace hyperloop::docstore

@@ -1,0 +1,65 @@
+// Simulated testbed: nodes (host memory + RNIC + CPU scheduler) on a shared
+// fabric, mirroring the paper's 20-machine cluster of 2x8-core Xeons with
+// ConnectX-3 NICs and battery-backed DRAM.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/scheduler.hpp"
+#include "mem/host_memory.hpp"
+#include "rnic/network.hpp"
+#include "rnic/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyperloop {
+
+struct NodeConfig {
+  std::uint64_t memory_bytes = 64ull * 1024 * 1024;
+  int cores = 16;
+  cpu::SchedParams sched;
+  rnic::NicParams nic;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, rnic::Network& net, rnic::NicId id,
+       const NodeConfig& config)
+      : memory_(config.memory_bytes),
+        nic_(sim, net, id, memory_, config.nic),
+        sched_(sim, config.cores, config.sched) {}
+
+  [[nodiscard]] rnic::NicId id() const { return nic_.id(); }
+  [[nodiscard]] mem::HostMemory& memory() { return memory_; }
+  [[nodiscard]] rnic::Nic& nic() { return nic_; }
+  [[nodiscard]] cpu::CpuScheduler& sched() { return sched_; }
+
+ private:
+  mem::HostMemory memory_;
+  rnic::Nic nic_;
+  cpu::CpuScheduler sched_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(rnic::LinkParams link = {}) : network_(sim_, link) {}
+
+  Node& add_node(const NodeConfig& config = {}) {
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, network_, static_cast<rnic::NicId>(nodes_.size()), config));
+    return *nodes_.back();
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] rnic::Network& network() { return network_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  sim::Simulator sim_;
+  rnic::Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace hyperloop

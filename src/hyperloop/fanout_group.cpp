@@ -1,0 +1,575 @@
+#include "hyperloop/fanout_group.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::core {
+
+namespace {
+constexpr std::uint32_t kAllAccess =
+    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
+    mem::kRemoteWrite | mem::kRemoteAtomic;
+}  // namespace
+
+FanoutGroup::FanoutGroup(Cluster& cluster, std::size_t client_node,
+                         std::vector<std::size_t> replica_nodes,
+                         std::uint64_t region_size, GroupParams params)
+    : cluster_(cluster),
+      params_(params),
+      region_size_(region_size),
+      client_node_(&cluster.node(client_node)) {
+  HL_CHECK_MSG(replica_nodes.size() >= 2,
+               "fan-out needs a primary and at least one backup");
+  const std::size_t total = replica_nodes.size();
+  const std::size_t backups = total - 1;
+  const std::uint64_t blob = blob_bytes(total);
+
+  // --- Regions on every member (same layout as the chain datapath). -------
+  for (std::size_t i = 0; i < total; ++i) {
+    Member m;
+    m.node = &cluster.node(replica_nodes[i]);
+    mem::HostMemory& mem = m.node->memory();
+    m.region_addr = mem.alloc(region_size_, 64);
+    const mem::MemoryRegion mr = mem.register_region(
+        m.region_addr, region_size_, kAllAccess, params_.tenant);
+    m.region_lkey = mr.lkey;
+    m.region_rkey = mr.rkey;
+    members_.push_back(m);
+  }
+  {
+    mem::HostMemory& cmem = client_node_->memory();
+    client_region_addr_ = cmem.alloc(region_size_, 64);
+    const mem::MemoryRegion mr = cmem.register_region(
+        client_region_addr_, region_size_, kAllAccess, params_.tenant);
+    client_region_lkey_ = mr.lkey;
+  }
+
+  Node& primary = *members_[0].node;
+  rnic::Nic& pnic = primary.nic();
+  repost_thread_ = primary.sched().create_thread("fanout-replenish");
+
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    Channel& ch = channels_[static_cast<std::size_t>(p)];
+    ch.recv_cq = pnic.create_cq();
+    ch.loop_cq = pnic.create_cq();
+    ch.misc_cq = pnic.create_cq();
+
+    mem::HostMemory& pmem = primary.memory();
+    ch.staging_addr = pmem.alloc(params_.slots * blob, 64);
+    const mem::MemoryRegion smr = pmem.register_region(
+        ch.staging_addr, params_.slots * blob,
+        mem::kLocalRead | mem::kLocalWrite, params_.tenant);
+    ch.staging_lkey = smr.lkey;
+
+    ch.from_client = pnic.create_qp(ch.misc_cq, ch.recv_cq, 1, params_.tenant);
+
+    for (std::size_t k = 0; k < backups; ++k) {
+      rnic::CompletionQueue* fan_cq = pnic.create_cq();
+      rnic::QueuePair* qp =
+          pnic.create_qp(fan_cq, ch.misc_cq, 2 * params_.slots, params_.tenant);
+      const mem::MemoryRegion ring = pmem.register_region(
+          qp->ring_slot_addr(0),
+          2ull * params_.slots * rnic::kWqeSlotBytes, mem::kLocalWrite,
+          params_.tenant);
+      ch.to_backup.push_back(qp);
+      ch.ring_lkeys.push_back(ring.lkey);
+      // Wire primary <-> backup (a passive QP on the backup NIC).
+      Node& backup = *members_[k + 1].node;
+      rnic::CompletionQueue* bcq = backup.nic().create_cq();
+      rnic::QueuePair* bqp =
+          backup.nic().create_qp(bcq, bcq, 1, params_.tenant);
+      pnic.connect(qp, backup.id(), bqp->id());
+      backup.nic().connect(bqp, primary.id(), qp->id());
+    }
+
+    ch.loop = pnic.create_qp(ch.loop_cq, ch.misc_cq, 2 * params_.slots,
+                             params_.tenant);
+    const mem::MemoryRegion loop_ring = pmem.register_region(
+        ch.loop->ring_slot_addr(0),
+        2ull * params_.slots * rnic::kWqeSlotBytes, mem::kLocalWrite,
+        params_.tenant);
+    ch.loop_ring_lkey = loop_ring.lkey;
+    pnic.connect(ch.loop, primary.id(), ch.loop->id());
+
+    ch.ack = pnic.create_qp(
+        ch.misc_cq, ch.misc_cq,
+        static_cast<std::uint32_t>((backups + 2) * params_.slots),
+        params_.tenant);
+
+    // --- Client side of this channel. -------------------------------------
+    ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+    rnic::Nic& cnic = client_node_->nic();
+    cc.send_cq = cnic.create_cq();
+    cc.ack_cq = cnic.create_cq();
+    cc.up = cnic.create_qp(cc.send_cq, cc.send_cq, 3 * params_.slots,
+                           params_.tenant);
+    cc.ack = cnic.create_qp(cc.send_cq, cc.ack_cq, 1, params_.tenant);
+    mem::HostMemory& cmem = client_node_->memory();
+    cc.staging_addr = cmem.alloc(params_.slots * blob, 64);
+    const mem::MemoryRegion csmr = cmem.register_region(
+        cc.staging_addr, params_.slots * blob, mem::kLocalRead,
+        params_.tenant);
+    cc.staging_lkey = csmr.lkey;
+    cc.ack_addr = cmem.alloc(params_.slots * blob, 64);
+    const mem::MemoryRegion amr = cmem.register_region(
+        cc.ack_addr, params_.slots * blob,
+        mem::kRemoteWrite | mem::kLocalRead, params_.tenant);
+    cc.ack_rkey = amr.rkey;
+
+    cnic.connect(cc.up, primary.id(), ch.from_client->id());
+    pnic.connect(ch.from_client, client_node_->id(), cc.up->id());
+    pnic.connect(ch.ack, client_node_->id(), cc.ack->id());
+    cnic.connect(cc.ack, primary.id(), ch.ack->id());
+
+    for (std::uint32_t s = 0; s < params_.slots; ++s) {
+      rnic::RecvWr recv;
+      recv.wr_id = s;
+      HL_CHECK(cc.ack->post_recv(std::move(recv)).is_ok());
+    }
+    cc.ack_cq->set_event_handler(alive_.guard([this, prim] {
+      ClientChannel& c = client_[static_cast<std::size_t>(prim)];
+      while (auto wc = c.ack_cq->poll()) on_ack(prim, *wc);
+      c.ack_cq->arm();
+    }));
+    cc.ack_cq->arm();
+
+    // --- Prime the slots + replenishment. ----------------------------------
+    for (std::uint32_t s = 0; s < params_.slots; ++s) {
+      post_recv_for_slot(prim, s);
+      post_slot(prim, s);
+      ++ch.posted_slots;
+    }
+    ch.recv_cq->set_event_handler(alive_.guard([this, prim] {
+      Channel& c = channels_[static_cast<std::size_t>(prim)];
+      c.recv_cq->arm();
+      if (c.repost_scheduled ||
+          c.recv_cq->depth() < params_.slots / 4) {
+        return;
+      }
+      c.repost_scheduled = true;
+      members_[0].node->sched().submit(
+          repost_thread_, params_.repost_cpu_fixed,
+          alive_.guard([this, prim] { replenish(prim); }));
+    }));
+    ch.recv_cq->arm();
+  }
+
+  // Background sweep for leftover slots after bursts.
+  std::function<void()> sweep = alive_.guard([this] {
+    for (int p = 0; p < kNumPrimitives; ++p) {
+      Channel& ch = channels_[static_cast<std::size_t>(p)];
+      if (!ch.repost_scheduled && ch.recv_cq->depth() > 0) {
+        ch.repost_scheduled = true;
+        const auto prim = static_cast<Primitive>(p);
+        members_[0].node->sched().submit(
+            repost_thread_, params_.repost_cpu_fixed,
+            alive_.guard([this, prim] { replenish(prim); }));
+      }
+    }
+  });
+  // Self-renewing periodic sweep.
+  struct SweepLoop {
+    static void arm(FanoutGroup* g, std::function<void()> fn) {
+      g->cluster_.sim().schedule(
+          g->params_.sweep_interval, g->alive_.guard([g, fn]() {
+            fn();
+            arm(g, fn);
+          }));
+    }
+  };
+  SweepLoop::arm(this, sweep);
+}
+
+std::uint32_t FanoutGroup::fan_ops(Primitive p) const {
+  const auto backups = static_cast<std::uint32_t>(members_.size() - 1);
+  switch (p) {
+    case Primitive::kGWrite: return backups;
+    case Primitive::kGMemcpy: return backups;
+    case Primitive::kGCas: return backups;     // + loop op on loop_cq
+    case Primitive::kGFlush: return backups;   // + loop flush on loop_cq
+  }
+  return backups;
+}
+
+void FanoutGroup::post_slot(Primitive p, std::uint64_t logical_slot) {
+  Channel& ch = channels_[static_cast<std::size_t>(p)];
+  const std::size_t backups = members_.size() - 1;
+  const std::uint64_t blob = blob_bytes(members_.size());
+  const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
+  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+  const auto recv_threshold = static_cast<std::uint32_t>(logical_slot + 1);
+
+  const bool has_loop_op = p != Primitive::kGWrite;
+
+  if (has_loop_op) {
+    HL_CHECK(ch.loop->next_post_slot() == k * 2);
+    rnic::SendWr wait;
+    wait.opcode = rnic::Opcode::kWait;
+    wait.flags = rnic::kWaitThreshold;
+    wait.wait_cq = ch.recv_cq->id();
+    wait.wait_count = recv_threshold;
+    wait.enable_count = 1;
+    HL_CHECK(ch.loop->post_send(wait).is_ok());
+
+    rnic::SendWr op;
+    op.wr_id = logical_slot;
+    op.deferred_ownership = true;
+    if (p == Primitive::kGFlush) {
+      op.opcode = rnic::Opcode::kRead;  // loopback 0-byte READ: self-flush
+      op.flags = rnic::kSignaled;
+      op.local_len = 0;
+    } else {
+      op.opcode = rnic::Opcode::kNop;  // patched by the client
+      op.flags = rnic::kSignaled;
+    }
+    HL_CHECK(ch.loop->post_send(op).is_ok());
+  }
+
+  for (std::size_t b = 0; b < backups; ++b) {
+    rnic::QueuePair* qp = ch.to_backup[b];
+    HL_CHECK(qp->next_post_slot() == k * 2);
+    rnic::SendWr wait;
+    wait.opcode = rnic::Opcode::kWait;
+    wait.flags = rnic::kWaitThreshold;
+    // gMEMCPY backups must run after the local copy; others gate on the
+    // inbound metadata directly.
+    wait.wait_cq = p == Primitive::kGMemcpy ? ch.loop_cq->id()
+                                            : ch.recv_cq->id();
+    wait.wait_count = recv_threshold;
+    wait.enable_count = 1;
+    HL_CHECK(qp->post_send(wait).is_ok());
+
+    rnic::SendWr op;
+    op.wr_id = logical_slot;
+    op.deferred_ownership = true;
+    if (p == Primitive::kGFlush) {
+      op.opcode = rnic::Opcode::kRead;  // 0-byte READ: flush the backup
+      op.flags = rnic::kSignaled;
+      op.local_len = 0;
+    } else {
+      op.opcode = rnic::Opcode::kNop;  // patched by the client
+      op.flags = rnic::kSignaled;
+    }
+    HL_CHECK(qp->post_send(op).is_ok());
+  }
+
+  // ACK chain: one threshold WAIT per gating CQ, then WRITE_WITH_IMM.
+  const bool ack_waits_loop = p == Primitive::kGCas || p == Primitive::kGFlush;
+  if (ack_waits_loop) {
+    rnic::SendWr lwait;
+    lwait.opcode = rnic::Opcode::kWait;
+    lwait.flags = rnic::kWaitThreshold;
+    lwait.wait_cq = ch.loop_cq->id();
+    lwait.wait_count = recv_threshold;
+    lwait.enable_count = 0;
+    HL_CHECK(ch.ack->post_send(lwait).is_ok());
+  }
+  for (std::size_t b = 0; b < backups; ++b) {
+    rnic::SendWr bwait;
+    bwait.opcode = rnic::Opcode::kWait;
+    bwait.flags = rnic::kWaitThreshold;
+    bwait.wait_cq = ch.to_backup[b]->send_cq().id();
+    bwait.wait_count = recv_threshold;
+    bwait.enable_count = 0;
+    HL_CHECK(ch.ack->post_send(bwait).is_ok());
+  }
+  const auto pi = static_cast<std::size_t>(p);
+  rnic::SendWr ack;
+  ack.wr_id = logical_slot;
+  ack.opcode = rnic::Opcode::kWriteWithImm;
+  ack.flags = 0;
+  ack.local_addr = staging_slot;
+  ack.local_len = static_cast<std::uint32_t>(blob);
+  ack.lkey = ch.staging_lkey;
+  ack.remote_addr = client_[pi].ack_addr + k * blob;
+  ack.rkey = client_[pi].ack_rkey;
+  ack.imm = static_cast<std::uint32_t>(logical_slot);
+  HL_CHECK(ch.ack->post_send(ack).is_ok());
+}
+
+void FanoutGroup::post_recv_for_slot(Primitive p,
+                                     std::uint64_t logical_slot) {
+  Channel& ch = channels_[static_cast<std::size_t>(p)];
+  const std::size_t total = members_.size();
+  const std::uint64_t blob = blob_bytes(total);
+  const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
+  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+
+  rnic::RecvWr recv;
+  recv.wr_id = logical_slot;
+  if (p == Primitive::kGFlush) {
+    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(blob),
+                         ch.staging_lkey});
+    HL_CHECK(ch.from_client->post_recv(std::move(recv)).is_ok());
+    return;
+  }
+
+  // Entry i patches the op WQE that targets member i: the loop WQE for the
+  // primary (entry 0, gCAS/gMEMCPY only), the per-backup WQE otherwise.
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::uint64_t entry = staging_slot + i * kBlobEntryBytes;
+    std::uint64_t ring_addr = 0;
+    std::uint32_t ring_lkey = 0;
+    if (i == 0) {
+      if (p == Primitive::kGWrite) {
+        // The primary performs no op for gWRITE: passthrough entry.
+        recv.sges.push_back({entry, kBlobEntryBytes, ch.staging_lkey});
+        continue;
+      }
+      ring_addr = ch.loop->ring_slot_addr(k * 2 + 1);
+      ring_lkey = ch.loop_ring_lkey;
+    } else {
+      ring_addr = ch.to_backup[i - 1]->ring_slot_addr(k * 2 + 1);
+      ring_lkey = ch.ring_lkeys[i - 1];
+    }
+    recv.sges.push_back({ring_addr + kPatchPart1WqeOffset,
+                         static_cast<std::uint32_t>(kPatchPart1Bytes),
+                         ring_lkey});
+    recv.sges.push_back({ring_addr + kPatchPart2WqeOffset,
+                         static_cast<std::uint32_t>(kPatchPart2Bytes),
+                         ring_lkey});
+    recv.sges.push_back({entry + sizeof(WqePatch), 8, ch.staging_lkey});
+  }
+  HL_CHECK(ch.from_client->post_recv(std::move(recv)).is_ok());
+}
+
+void FanoutGroup::replenish(Primitive p) {
+  Channel& ch = channels_[static_cast<std::size_t>(p)];
+  while (ch.recv_cq->poll()) ++ch.consumed_slots;
+  while (ch.loop_cq->poll()) {
+  }
+  while (ch.misc_cq->poll()) {
+  }
+  for (auto* qp : ch.to_backup) {
+    while (qp->send_cq().poll()) {
+    }
+  }
+  std::uint64_t reposted = 0;
+  const std::size_t backups = members_.size() - 1;
+  while (ch.posted_slots < ch.consumed_slots + params_.slots) {
+    bool room = ch.ack->free_send_slots() >=
+                static_cast<std::uint32_t>(backups + 2);
+    for (auto* qp : ch.to_backup) room = room && qp->free_send_slots() >= 2;
+    room = room && ch.loop->free_send_slots() >= 2;
+    if (!room) break;
+    post_recv_for_slot(p, ch.posted_slots);
+    post_slot(p, ch.posted_slots);
+    ++ch.posted_slots;
+    ++reposted;
+  }
+  ch.repost_scheduled = false;
+  ch.recv_cq->arm();
+  if (reposted > 0) {
+    members_[0].node->sched().submit(
+        repost_thread_, params_.repost_cpu_per_slot * reposted, [] {});
+  }
+}
+
+void FanoutGroup::region_write(std::uint64_t offset, const void* data,
+                               std::uint64_t len) {
+  HL_CHECK_MSG(offset + len <= region_size_, "region_write OOB");
+  client_node_->memory().write(client_region_addr_ + offset, data, len);
+}
+
+void FanoutGroup::region_read(std::uint64_t offset, void* dst,
+                              std::uint64_t len) const {
+  client_node_->memory().read(client_region_addr_ + offset, dst, len);
+}
+
+void FanoutGroup::replica_read(std::size_t replica, std::uint64_t offset,
+                               void* dst, std::uint64_t len) const {
+  const Member& m = members_.at(replica);
+  m.node->memory().read(m.region_addr + offset, dst, len);
+}
+
+WqePatch FanoutGroup::build_patch(const OpSpec& spec, std::size_t member,
+                                  std::uint64_t slot) const {
+  const std::uint64_t blob = blob_bytes(members_.size());
+  const auto k = static_cast<std::uint32_t>(slot % params_.slots);
+  const Member& primary = members_[0];
+  const Member& target = members_[member];
+  const auto pi = static_cast<std::size_t>(spec.prim);
+  const Channel& ch = channels_[pi];
+
+  WqePatch patch;
+  switch (spec.prim) {
+    case Primitive::kGWrite: {
+      if (member == 0) break;  // data reaches the primary via the client
+      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+      patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
+      patch.local_addr = primary.region_addr + spec.offset;
+      patch.local_len = spec.size;
+      patch.lkey = primary.region_lkey;
+      patch.remote_addr = target.region_addr + spec.offset;
+      patch.rkey = target.region_rkey;
+      break;
+    }
+    case Primitive::kGCas: {
+      if ((spec.execute >> member) & 1u) {
+        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kCompareSwap);
+        patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
+        patch.local_addr = ch.staging_addr + k * blob +
+                           member * kBlobEntryBytes + sizeof(WqePatch);
+        patch.local_len = 8;
+        patch.lkey = ch.staging_lkey;
+        patch.remote_addr = target.region_addr + spec.offset;
+        patch.rkey = target.region_rkey;
+        patch.compare = spec.compare;
+        patch.swap = spec.swap;
+      } else {
+        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
+        patch.flags = rnic::kSignaled;
+      }
+      break;
+    }
+    case Primitive::kGMemcpy: {
+      patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
+      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+      if (member == 0) {
+        // Loopback copy src -> dst on the primary.
+        patch.local_addr = primary.region_addr + spec.offset;
+        patch.local_len = spec.size;
+        patch.lkey = primary.region_lkey;
+        patch.remote_addr = primary.region_addr + spec.dst_offset;
+        patch.rkey = primary.region_rkey;
+      } else {
+        // Push the freshly copied dst range out to the backup.
+        patch.local_addr = primary.region_addr + spec.dst_offset;
+        patch.local_len = spec.size;
+        patch.lkey = primary.region_lkey;
+        patch.remote_addr = target.region_addr + spec.dst_offset;
+        patch.rkey = target.region_rkey;
+      }
+      break;
+    }
+    case Primitive::kGFlush:
+      break;
+  }
+  return patch;
+}
+
+void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
+  const auto pi = static_cast<std::size_t>(spec.prim);
+  ClientChannel& cc = client_[pi];
+  if (cc.inflight.size() >= params_.max_outstanding) {
+    if (cb) {
+      cb(Status(StatusCode::kRetryLater, "fan-out channel saturated"), {});
+    }
+    return;
+  }
+  const std::uint64_t s = cc.next_slot++;
+  const auto k = static_cast<std::uint32_t>(s % params_.slots);
+  const std::size_t total = members_.size();
+  const std::uint64_t blob = blob_bytes(total);
+
+  std::vector<BlobEntry> entries(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    entries[i].patch = build_patch(spec, i, s);
+  }
+  client_node_->memory().write(cc.staging_addr + k * blob, entries.data(),
+                               blob);
+
+  // Mirror the op on the client's local copy (same contract as the chain).
+  if (spec.prim == Primitive::kGMemcpy) {
+    std::vector<std::byte> tmp(spec.size);
+    client_node_->memory().read(client_region_addr_ + spec.offset, tmp.data(),
+                                spec.size);
+    client_node_->memory().write(client_region_addr_ + spec.dst_offset,
+                                 tmp.data(), spec.size);
+  } else if (spec.prim == Primitive::kGCas) {
+    const std::uint64_t addr = client_region_addr_ + spec.offset;
+    if (client_node_->memory().read_u64(addr) == spec.compare) {
+      client_node_->memory().write_u64(addr, spec.swap);
+    }
+  }
+
+  if (spec.prim == Primitive::kGWrite) {
+    rnic::SendWr write;
+    write.opcode = rnic::Opcode::kWrite;
+    write.flags = spec.flush ? rnic::kFlush : 0u;
+    write.local_addr = client_region_addr_ + spec.offset;
+    write.local_len = spec.size;
+    write.lkey = client_region_lkey_;
+    write.remote_addr = members_[0].region_addr + spec.offset;
+    write.rkey = members_[0].region_rkey;
+    HL_CHECK(cc.up->post_send(write).is_ok());
+  }
+  rnic::SendWr send;
+  send.opcode = rnic::Opcode::kSend;
+  send.flags = 0;
+  send.local_addr = cc.staging_addr + k * blob;
+  send.local_len = static_cast<std::uint32_t>(blob);
+  send.lkey = cc.staging_lkey;
+  HL_CHECK(cc.up->post_send(send).is_ok());
+
+  cc.inflight.emplace_back(s, std::move(cb));
+}
+
+void FanoutGroup::on_ack(Primitive p, const rnic::Completion& c) {
+  ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+  rnic::RecvWr recv;
+  HL_CHECK(cc.ack->post_recv(std::move(recv)).is_ok());
+  if (c.status != StatusCode::kOk || cc.inflight.empty()) return;
+
+  auto [slot, cb] = std::move(cc.inflight.front());
+  cc.inflight.pop_front();
+  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(slot),
+               "fan-out ack/op mismatch");
+  const std::size_t total = members_.size();
+  const std::uint64_t blob = blob_bytes(total);
+  const auto k = static_cast<std::uint32_t>(slot % params_.slots);
+  std::vector<std::uint64_t> results(total, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    client_node_->nic().cache().read_through(
+        cc.ack_addr + k * blob + i * kBlobEntryBytes + sizeof(WqePatch),
+        &results[i], 8);
+  }
+  if (cb) cb(Status::ok(), results);
+}
+
+void FanoutGroup::gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+                         OpCallback cb) {
+  HL_CHECK_MSG(offset + size <= region_size_, "gwrite OOB");
+  OpSpec spec;
+  spec.prim = Primitive::kGWrite;
+  spec.offset = offset;
+  spec.size = size;
+  spec.flush = flush;
+  issue(spec, std::move(cb));
+}
+
+void FanoutGroup::gcas(std::uint64_t offset, std::uint64_t expected,
+                       std::uint64_t desired, ExecuteMap execute, bool flush,
+                       OpCallback cb) {
+  OpSpec spec;
+  spec.prim = Primitive::kGCas;
+  spec.offset = offset;
+  spec.compare = expected;
+  spec.swap = desired;
+  spec.execute = execute;
+  spec.flush = flush;
+  issue(spec, std::move(cb));
+}
+
+void FanoutGroup::gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+                          std::uint32_t size, bool flush, OpCallback cb) {
+  OpSpec spec;
+  spec.prim = Primitive::kGMemcpy;
+  spec.offset = src_offset;
+  spec.dst_offset = dst_offset;
+  spec.size = size;
+  spec.flush = flush;
+  issue(spec, std::move(cb));
+}
+
+void FanoutGroup::gflush(OpCallback cb) {
+  OpSpec spec;
+  spec.prim = Primitive::kGFlush;
+  issue(spec, std::move(cb));
+}
+
+Duration FanoutGroup::primary_cpu_time() const {
+  return members_[0].node->sched().thread_cpu_time(repost_thread_);
+}
+
+}  // namespace hyperloop::core

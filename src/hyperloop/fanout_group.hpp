@@ -1,0 +1,151 @@
+// Fan-out replication offloaded to the primary's NIC — the paper's §7
+// extension ("Supporting other replication protocols"):
+//
+//   "if a storage application has to rely on a fan-out replication (a single
+//    primary coordinates multiple backups) such as in FaRM, HyperLoop can be
+//    used to help the client offload the coordination between the primary
+//    and backups from the primary's CPU to the primary's NIC."
+//
+// Topology: client -> primary; the primary's NIC drives every backup with
+// one-sided operations and acks the client when all of them (and itself)
+// are done. No backup pre-posting is needed at all — backups are passive
+// one-sided targets — and the primary's CPU only replenishes slots.
+//
+// Chain shapes per slot s at the primary (N backups), using *threshold*
+// WAITs (a single inbound completion must trigger several queues, so the
+// consuming WAIT of the chain datapath does not fit):
+//
+//   gWRITE   per backup k:  QP_k  [WAIT(recv >= s+1)] [WRITE_k*  -> fan_cq]
+//            ack QP:        [WAIT(fan_cq >= (s+1)*N)] [WRITE_IMM -> client]
+//   gCAS     per backup k:  QP_k  [WAIT(recv >= s+1)] [CAS_k*    -> fan_cq]
+//            + loopback CAS on the primary itself     [CAS_self* -> fan_cq]
+//            ack QP:        [WAIT(fan_cq >= (s+1)*(N+1))] [WRITE_IMM]
+//   gMEMCPY  loopback copy on the primary, then the dst range is written
+//            out to each backup (cross-QP ordering via threshold WAITs).
+//   gFLUSH   0-byte READ to each backup + loopback; ack after N+1.
+//
+// Starred WQEs are deferred and patched by the client's metadata blob
+// (entry k patches the primary's per-backup WQE), exactly the remote work
+// request manipulation machinery of the chain datapath.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group_api.hpp"
+#include "hyperloop/group_types.hpp"
+#include "rnic/nic.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::core {
+
+class FanoutGroup : public GroupInterface {
+ public:
+  /// replica_nodes[0] is the primary; the rest are (passive) backups.
+  FanoutGroup(Cluster& cluster, std::size_t client_node,
+              std::vector<std::size_t> replica_nodes,
+              std::uint64_t region_size, GroupParams params = {});
+
+  [[nodiscard]] std::size_t num_replicas() const override {
+    return members_.size();
+  }
+  [[nodiscard]] std::uint64_t region_size() const override {
+    return region_size_;
+  }
+
+  void region_write(std::uint64_t offset, const void* data,
+                    std::uint64_t len) override;
+  void region_read(std::uint64_t offset, void* dst,
+                   std::uint64_t len) const override;
+  void replica_read(std::size_t replica, std::uint64_t offset, void* dst,
+                    std::uint64_t len) const override;
+
+  void gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+              OpCallback cb) override;
+  void gcas(std::uint64_t offset, std::uint64_t expected,
+            std::uint64_t desired, ExecuteMap execute, bool flush,
+            OpCallback cb) override;
+  void gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+               std::uint32_t size, bool flush, OpCallback cb) override;
+  void gflush(OpCallback cb) override;
+
+  /// Primary CPU spent on the datapath (slot replenishment only).
+  [[nodiscard]] Duration primary_cpu_time() const;
+
+ private:
+  struct Member {  // primary at index 0, then backups
+    Node* node = nullptr;
+    std::uint64_t region_addr = 0;
+    std::uint32_t region_lkey = 0;
+    std::uint32_t region_rkey = 0;
+  };
+
+  /// Per-primitive channel state at the primary.
+  struct Channel {
+    rnic::QueuePair* from_client = nullptr;     // recv side
+    std::vector<rnic::QueuePair*> to_backup;    // one per backup
+    rnic::QueuePair* loop = nullptr;            // primary-local ops
+    rnic::QueuePair* ack = nullptr;             // to the client
+    rnic::CompletionQueue* recv_cq = nullptr;
+    rnic::CompletionQueue* loop_cq = nullptr;   // primary-local op results
+    rnic::CompletionQueue* misc_cq = nullptr;   // send errors, ack sends
+    std::uint64_t staging_addr = 0;             // slots * blob
+    std::uint32_t staging_lkey = 0;
+    std::vector<std::uint32_t> ring_lkeys;      // per backup QP ring
+    std::uint32_t loop_ring_lkey = 0;
+    std::uint64_t posted_slots = 0;
+    std::uint64_t consumed_slots = 0;
+    bool repost_scheduled = false;
+  };
+
+  struct ClientChannel {
+    rnic::QueuePair* up = nullptr;   // to the primary
+    rnic::QueuePair* ack = nullptr;  // from the primary
+    rnic::CompletionQueue* ack_cq = nullptr;
+    rnic::CompletionQueue* send_cq = nullptr;
+    std::uint64_t staging_addr = 0;
+    std::uint32_t staging_lkey = 0;
+    std::uint64_t ack_addr = 0;
+    std::uint32_t ack_rkey = 0;
+    std::uint64_t next_slot = 0;
+    std::deque<std::pair<std::uint64_t, OpCallback>> inflight;  // slot, cb
+  };
+
+  struct OpSpec {
+    Primitive prim;
+    std::uint64_t offset = 0;
+    std::uint64_t dst_offset = 0;
+    std::uint32_t size = 0;
+    bool flush = false;
+    std::uint64_t compare = 0;
+    std::uint64_t swap = 0;
+    ExecuteMap execute = kAllReplicas;
+  };
+
+  /// Ops-per-ack completions on fan_cq for one slot of a primitive.
+  [[nodiscard]] std::uint32_t fan_ops(Primitive p) const;
+  void post_slot(Primitive p, std::uint64_t logical_slot);
+  void post_recv_for_slot(Primitive p, std::uint64_t logical_slot);
+  void replenish(Primitive p);
+  void issue(const OpSpec& spec, OpCallback cb);
+  WqePatch build_patch(const OpSpec& spec, std::size_t member,
+                       std::uint64_t slot) const;
+  void on_ack(Primitive p, const rnic::Completion& c);
+
+  Cluster& cluster_;
+  GroupParams params_;
+  std::uint64_t region_size_;
+  Node* client_node_;
+  std::vector<Member> members_;
+  std::uint64_t client_region_addr_ = 0;
+  std::uint32_t client_region_lkey_ = 0;
+  std::array<Channel, kNumPrimitives> channels_;
+  std::array<ClientChannel, kNumPrimitives> client_;
+  cpu::ThreadId repost_thread_ = cpu::kInvalidThread;
+  Lifetime alive_;
+};
+
+}  // namespace hyperloop::core

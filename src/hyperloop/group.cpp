@@ -1,0 +1,762 @@
+#include "hyperloop/group.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hyperloop::core {
+
+namespace {
+
+constexpr std::uint32_t kAllAccess =
+    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
+    mem::kRemoteWrite | mem::kRemoteAtomic;
+
+/// WQEs per slot on the next-hop QP / loop QP for a channel.
+constexpr std::uint32_t next_wqes_per_slot(Primitive p) {
+  return p == Primitive::kGWrite ? 3 : 2;  // WAIT+WRITE+SEND vs WAIT+SEND
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HyperLoopGroup: setup / wiring (the control path; runs once)
+// ---------------------------------------------------------------------------
+
+HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
+                               std::vector<std::size_t> replica_nodes,
+                               std::uint64_t region_size, GroupParams params)
+    : cluster_(cluster),
+      params_(params),
+      region_size_(region_size),
+      client_node_(&cluster.node(client_node)) {
+  HL_CHECK_MSG(!replica_nodes.empty(), "a group needs at least one replica");
+  HL_CHECK_MSG(replica_nodes.size() <= 32,
+               "execute map limits groups to 32 replicas");
+  for (std::size_t n : replica_nodes) {
+    replica_nodes_.push_back(&cluster.node(n));
+  }
+  const std::size_t R = replica_nodes_.size();
+  const std::uint64_t blob = blob_bytes(R);
+
+  // --- Regions -------------------------------------------------------------
+  auto setup_member = [&](Node& node, bool is_client) {
+    MemberInfo info;
+    info.nic = node.id();
+    mem::HostMemory& mem = node.memory();
+    const std::uint64_t region = mem.alloc(region_size_, 64);
+    const mem::MemoryRegion mr =
+        mem.register_region(region, region_size_, kAllAccess, params_.tenant);
+    info.region_addr = region;
+    info.region_size = region_size_;
+    info.region_lkey = mr.lkey;
+    info.region_rkey = mr.rkey;
+    for (int p = 0; p < kNumPrimitives; ++p) {
+      const std::uint64_t staging =
+          mem.alloc(params_.slots * blob, 64);
+      const mem::MemoryRegion smr = mem.register_region(
+          staging, params_.slots * blob,
+          mem::kLocalRead | mem::kLocalWrite |
+              (is_client ? mem::kRemoteWrite : 0u),
+          params_.tenant);
+      info.staging_addr[p] = staging;
+      info.staging_lkey[p] = smr.lkey;
+    }
+    return info;
+  };
+  client_info_ = setup_member(*client_node_, true);
+  for (Node* n : replica_nodes_) {
+    members_.push_back(setup_member(*n, false));
+  }
+
+  // --- Replica engines (QPs created inside) --------------------------------
+  for (std::size_t i = 0; i < R; ++i) {
+    replicas_.push_back(std::make_unique<ReplicaEngine>(
+        *replica_nodes_[i], *this, i, /*is_tail=*/i + 1 == R));
+  }
+  client_ = std::make_unique<HyperLoopClient>(*client_node_, *this);
+
+  // --- Wire the chain: client -> r0 -> r1 -> ... -> tail -> client ---------
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    auto& cch = client_->channels_[static_cast<std::size_t>(p)];
+    auto& first = replicas_[0]->channel(prim);
+    client_node_->nic().connect(cch.down, replica_nodes_[0]->id(),
+                                first.prev->id());
+    replica_nodes_[0]->nic().connect(first.prev, client_node_->id(),
+                                     cch.down->id());
+    for (std::size_t i = 0; i + 1 < R; ++i) {
+      auto& a = replicas_[i]->channel(prim);
+      auto& b = replicas_[i + 1]->channel(prim);
+      replica_nodes_[i]->nic().connect(a.next, replica_nodes_[i + 1]->id(),
+                                       b.prev->id());
+      replica_nodes_[i + 1]->nic().connect(b.prev, replica_nodes_[i]->id(),
+                                           a.next->id());
+    }
+    auto& tail = replicas_[R - 1]->channel(prim);
+    replica_nodes_[R - 1]->nic().connect(tail.next, client_node_->id(),
+                                         cch.ack->id());
+    client_node_->nic().connect(cch.ack, replica_nodes_[R - 1]->id(),
+                                tail.next->id());
+  }
+
+  for (auto& r : replicas_) r->start();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaEngine
+// ---------------------------------------------------------------------------
+
+ReplicaEngine::ReplicaEngine(Node& node, HyperLoopGroup& group,
+                             std::size_t index, bool is_tail)
+    : node_(node), group_(group), index_(index), is_tail_(is_tail) {
+  rnic::Nic& nic = node_.nic();
+  mem::HostMemory& mem = node_.memory();
+  const GroupParams& gp = group_.params();
+  const MemberInfo& me = group_.member(index_);
+
+  repost_thread_ = node_.sched().create_thread(
+      "hl-replenish-" + std::to_string(index_));
+
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    Channel& ch = channels_[static_cast<std::size_t>(p)];
+    ch.recv_cq = nic.create_cq();
+    ch.send_cq = nic.create_cq();
+    ch.staging_addr = me.staging_addr[p];
+    ch.staging_lkey = me.staging_lkey[p];
+
+    // prev: inbound only; minimal send ring.
+    ch.prev = nic.create_qp(ch.send_cq, ch.recv_cq, 1, gp.tenant);
+
+    // The gWRITE tail chain is WAIT + WRITE_WITH_IMM (2 WQEs per slot).
+    const std::uint32_t chain_wqes =
+        (prim == Primitive::kGWrite && is_tail_) ? 2
+                                                 : next_wqes_per_slot(prim);
+    const std::uint32_t next_ring = chain_wqes * gp.slots;
+    // next's recv side is unused; recv completions would go to send_cq.
+    ch.next = nic.create_qp(ch.send_cq, ch.send_cq, next_ring, gp.tenant);
+    const mem::MemoryRegion next_mr = mem.register_region(
+        ch.next->ring_slot_addr(0),
+        static_cast<std::uint64_t>(next_ring) * rnic::kWqeSlotBytes,
+        mem::kLocalWrite, gp.tenant);
+    ch.ring_lkey = next_mr.lkey;
+
+    if (prim != Primitive::kGWrite) {
+      ch.loop_cq = nic.create_cq();
+      const std::uint32_t loop_ring = 2 * gp.slots;
+      ch.loop = nic.create_qp(ch.loop_cq, ch.send_cq, loop_ring, gp.tenant);
+      const mem::MemoryRegion loop_mr = mem.register_region(
+          ch.loop->ring_slot_addr(0),
+          static_cast<std::uint64_t>(loop_ring) * rnic::kWqeSlotBytes,
+          mem::kLocalWrite, gp.tenant);
+      ch.loop_ring_lkey = loop_mr.lkey;
+      nic.connect(ch.loop, nic.id(), ch.loop->id());  // loopback
+    }
+  }
+}
+
+void ReplicaEngine::start() {
+  const GroupParams& gp = group_.params();
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    Channel& ch = channels_[static_cast<std::size_t>(p)];
+    for (std::uint32_t s = 0; s < gp.slots; ++s) {
+      post_recv_for_slot(prim, s);
+      post_slot(prim, s);
+      ++ch.posted_slots;
+    }
+    ch.recv_cq->set_event_handler(
+        alive_.guard([this, prim] { on_recv_event(prim); }));
+    ch.recv_cq->arm();
+  }
+  periodic_sweep();
+}
+
+void ReplicaEngine::periodic_sweep() {
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    Channel& ch = channels_[static_cast<std::size_t>(p)];
+    if (!ch.repost_scheduled && ch.recv_cq->depth() > 0) {
+      ch.repost_scheduled = true;
+      const auto prim = static_cast<Primitive>(p);
+      node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
+                           alive_.guard([this, prim] { replenish(prim); }));
+    }
+  }
+  group_.sim().schedule(group_.params().sweep_interval,
+                        alive_.guard([this] { periodic_sweep(); }));
+}
+
+bool ReplicaEngine::post_slot(Primitive p, std::uint64_t logical_slot) {
+  Channel& ch = channel(p);
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(logical_slot % gp.slots);
+  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+
+  // Ring alignment invariant: slot chains always occupy the same ring
+  // positions across reposts, so the client-side patch targets stay valid.
+  // The gWRITE tail chain is WAIT + WRITE_WITH_IMM (2 WQEs), every other
+  // shape is covered by next_wqes_per_slot().
+  const std::uint32_t wqes_per_slot =
+      (p == Primitive::kGWrite && is_tail_) ? 2 : next_wqes_per_slot(p);
+  if (ch.next->state() == rnic::QueuePair::State::kError ||
+      (ch.loop != nullptr &&
+       ch.loop->state() == rnic::QueuePair::State::kError)) {
+    return false;  // chain failed; recovery replaces these QPs
+  }
+  HL_CHECK(ch.next->next_post_slot() == k * wqes_per_slot);
+
+  if (p == Primitive::kGWrite) {
+    rnic::SendWr wait;
+    wait.wr_id = logical_slot;
+    wait.opcode = rnic::Opcode::kWait;
+    wait.flags = 0;
+    wait.wait_cq = ch.recv_cq->id();
+    wait.wait_count = 1;
+    wait.enable_count = is_tail_ ? 1 : 2;
+    HL_CHECK(ch.next->post_send(wait).is_ok());
+
+    if (!is_tail_) {
+      // Forward-WRITE: descriptor garbage until the RECV scatter patches it.
+      rnic::SendWr write;
+      write.wr_id = logical_slot;
+      write.opcode = rnic::Opcode::kWrite;
+      write.flags = 0;
+      write.deferred_ownership = true;
+      HL_CHECK(ch.next->post_send(write).is_ok());
+
+      rnic::SendWr send;
+      send.wr_id = logical_slot;
+      send.opcode = rnic::Opcode::kSend;
+      send.flags = 0;
+      send.local_addr = staging_slot;
+      send.local_len = static_cast<std::uint32_t>(blob);
+      send.lkey = ch.staging_lkey;
+      send.deferred_ownership = true;
+      HL_CHECK(ch.next->post_send(send).is_ok());
+    } else {
+      rnic::SendWr ack;
+      ack.wr_id = logical_slot;
+      ack.opcode = rnic::Opcode::kWriteWithImm;
+      ack.flags = 0;
+      ack.local_addr = staging_slot;
+      ack.local_len = static_cast<std::uint32_t>(blob);
+      ack.lkey = ch.staging_lkey;
+      ack.remote_addr = group_.client_->channels_[0].ack_addr + k * blob;
+      ack.rkey = group_.client_->channels_[0].ack_rkey;
+      ack.imm = static_cast<std::uint32_t>(logical_slot);
+      ack.deferred_ownership = true;
+      HL_CHECK(ch.next->post_send(ack).is_ok());
+    }
+    return true;
+  }
+
+  // gCAS / gMEMCPY / gFLUSH: local op on the loopback QP, then forward.
+  HL_CHECK(ch.loop->next_post_slot() == k * 2);
+
+  rnic::SendWr lwait;
+  lwait.wr_id = logical_slot;
+  lwait.opcode = rnic::Opcode::kWait;
+  lwait.flags = 0;
+  lwait.wait_cq = ch.recv_cq->id();
+  lwait.wait_count = 1;
+  lwait.enable_count = 1;
+  HL_CHECK(ch.loop->post_send(lwait).is_ok());
+
+  rnic::SendWr op;
+  op.wr_id = logical_slot;
+  op.deferred_ownership = true;
+  if (p == Primitive::kGFlush) {
+    // Fixed descriptor: a 0-byte loopback READ drains this NIC's cache.
+    op.opcode = rnic::Opcode::kRead;
+    op.flags = rnic::kSignaled;
+    op.local_len = 0;
+  } else {
+    // Placeholder — the client patches opcode, flags, and descriptors.
+    op.opcode = rnic::Opcode::kNop;
+    op.flags = rnic::kSignaled;
+  }
+  HL_CHECK(ch.loop->post_send(op).is_ok());
+
+  rnic::SendWr fwait;
+  fwait.wr_id = logical_slot;
+  fwait.opcode = rnic::Opcode::kWait;
+  fwait.flags = 0;
+  fwait.wait_cq = ch.loop_cq->id();
+  fwait.wait_count = 1;
+  fwait.enable_count = 1;
+  HL_CHECK(ch.next->post_send(fwait).is_ok());
+
+  rnic::SendWr fwd;
+  fwd.wr_id = logical_slot;
+  fwd.deferred_ownership = true;
+  fwd.local_addr = staging_slot;
+  fwd.local_len = static_cast<std::uint32_t>(blob);
+  fwd.lkey = ch.staging_lkey;
+  fwd.flags = 0;
+  if (!is_tail_) {
+    fwd.opcode = rnic::Opcode::kSend;
+  } else {
+    const auto pi = static_cast<std::size_t>(p);
+    fwd.opcode = rnic::Opcode::kWriteWithImm;
+    fwd.remote_addr = group_.client_->channels_[pi].ack_addr + k * blob;
+    fwd.rkey = group_.client_->channels_[pi].ack_rkey;
+    fwd.imm = static_cast<std::uint32_t>(logical_slot);
+  }
+  HL_CHECK(ch.next->post_send(fwd).is_ok());
+  return true;
+}
+
+void ReplicaEngine::post_recv_for_slot(Primitive p,
+                                       std::uint64_t logical_slot) {
+  Channel& ch = channel(p);
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(logical_slot % gp.slots);
+  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+
+  rnic::RecvWr recv;
+  recv.wr_id = logical_slot;
+
+  const bool no_patch =
+      p == Primitive::kGFlush || (p == Primitive::kGWrite && is_tail_);
+  if (no_patch) {
+    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(blob),
+                         ch.staging_lkey});
+    HL_CHECK(ch.prev->post_recv(std::move(recv)).is_ok());
+    return;
+  }
+
+  // Aim the scatter so that this replica's blob entry lands directly on the
+  // descriptor fields of its pre-posted op WQE. Entries of other replicas
+  // pass through into the staging blob for forwarding.
+  std::uint64_t op_wqe;
+  std::uint32_t ring_lkey;
+  if (p == Primitive::kGWrite) {
+    op_wqe = ch.next->ring_slot_addr(k * 3 + 1);
+    ring_lkey = ch.ring_lkey;
+  } else {
+    op_wqe = ch.loop->ring_slot_addr(k * 2 + 1);
+    ring_lkey = ch.loop_ring_lkey;
+  }
+
+  const std::uint64_t pre = index_ * kBlobEntryBytes;
+  if (pre > 0) {
+    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(pre),
+                         ch.staging_lkey});
+  }
+  recv.sges.push_back({op_wqe + kPatchPart1WqeOffset,
+                       static_cast<std::uint32_t>(kPatchPart1Bytes),
+                       ring_lkey});
+  recv.sges.push_back({op_wqe + kPatchPart2WqeOffset,
+                       static_cast<std::uint32_t>(kPatchPart2Bytes),
+                       ring_lkey});
+  recv.sges.push_back({staging_slot + pre + sizeof(WqePatch), 8,
+                       ch.staging_lkey});  // result word stays in the blob
+  const std::uint64_t post = (R - 1 - index_) * kBlobEntryBytes;
+  if (post > 0) {
+    recv.sges.push_back({staging_slot + pre + kBlobEntryBytes,
+                         static_cast<std::uint32_t>(post), ch.staging_lkey});
+  }
+  HL_CHECK(ch.prev->post_recv(std::move(recv)).is_ok());
+}
+
+void ReplicaEngine::on_recv_event(Primitive p) {
+  Channel& ch = channel(p);
+  ch.recv_cq->arm();  // keep counting consumptions while we wait
+  // Batch: waking the CPU per completion would put scheduling back near the
+  // critical path (and burn cycles); repost in bulk instead. A periodic
+  // sweep catches stragglers at the end of a burst.
+  const std::uint64_t pending_cqes = ch.recv_cq->depth();
+  if (pending_cqes < group_.params().slots / 4) return;
+  if (ch.repost_scheduled) return;
+  ch.repost_scheduled = true;
+  // Interrupt context ends here; the actual CQ drain + repost is CPU work
+  // that must be scheduled like any other thread — off the critical path.
+  node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
+                       alive_.guard([this, p] { replenish(p); }));
+}
+
+void ReplicaEngine::replenish(Primitive p) {
+  Channel& ch = channel(p);
+  std::uint64_t drained = 0;
+  while (ch.recv_cq->poll()) {
+    ++ch.consumed_slots;
+    ++drained;
+  }
+  // Housekeeping: discard op/forward completions (errors would surface in
+  // client timeouts; a production build would log them).
+  if (ch.loop_cq != nullptr) {
+    while (ch.loop_cq->poll()) {
+    }
+  }
+  while (ch.send_cq->poll()) {
+  }
+
+  std::uint64_t reposted = 0;
+  while (ch.posted_slots < ch.consumed_slots + group_.params().slots) {
+    // A consumed slot's chain may not have fully retired from the ring yet
+    // (the forward SEND completes only when the downstream ack returns);
+    // defer until space exists rather than failing the post.
+    if (ch.next->free_send_slots() < next_wqes_per_slot(p)) break;
+    if (ch.loop != nullptr && ch.loop->free_send_slots() < 2) break;
+    if (!post_slot(p, ch.posted_slots)) break;  // QP in error: recovery owns it
+    post_recv_for_slot(p, ch.posted_slots);
+    ++ch.posted_slots;
+    ++reposted;
+  }
+  ch.repost_scheduled = false;
+  if (reposted > 0) {
+    // Retroactively charge the per-slot CPU cost for the work just done.
+    node_.sched().submit(repost_thread_,
+                         group_.params().repost_cpu_per_slot * reposted,
+                         [] {});
+  }
+  if (ch.posted_slots < ch.consumed_slots + group_.params().slots) {
+    group_.sim().schedule(20'000,
+                          alive_.guard([this, p] { on_recv_event(p); }));
+  }
+}
+
+Duration ReplicaEngine::cpu_time() const {
+  return node_.sched().thread_cpu_time(repost_thread_);
+}
+
+// ---------------------------------------------------------------------------
+// HyperLoopClient
+// ---------------------------------------------------------------------------
+
+HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
+    : node_(node), group_(group) {
+  rnic::Nic& nic = node_.nic();
+  mem::HostMemory& mem = node_.memory();
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+    ch.send_cq = nic.create_cq();
+    ch.ack_cq = nic.create_cq();
+    ch.down = nic.create_qp(ch.send_cq, ch.send_cq, 3 * gp.slots, gp.tenant);
+    ch.ack = nic.create_qp(ch.send_cq, ch.ack_cq, 1, gp.tenant);
+    ch.staging_addr = group_.client_info().staging_addr[p];
+    ch.staging_lkey = group_.client_info().staging_lkey[p];
+
+    const std::uint64_t ack_region = mem.alloc(gp.slots * blob, 64);
+    const mem::MemoryRegion amr = mem.register_region(
+        ack_region, gp.slots * blob, mem::kRemoteWrite | mem::kLocalRead,
+        gp.tenant);
+    ch.ack_addr = ack_region;
+    ch.ack_rkey = amr.rkey;
+
+    for (std::uint32_t s = 0; s < gp.slots; ++s) {
+      rnic::RecvWr recv;
+      recv.wr_id = s;
+      HL_CHECK(ch.ack->post_recv(std::move(recv)).is_ok());
+    }
+    const auto prim = static_cast<Primitive>(p);
+    ch.ack_cq->set_event_handler(alive_.guard([this, prim] {
+      ChannelState& c = channels_[static_cast<std::size_t>(prim)];
+      while (auto wc = c.ack_cq->poll()) {
+        on_ack(prim, *wc);
+      }
+      c.ack_cq->arm();
+    }));
+    ch.ack_cq->arm();
+    ch.send_cq->set_event_handler(alive_.guard([this, prim] {
+      ChannelState& c = channels_[static_cast<std::size_t>(prim)];
+      bool failed = false;
+      Status st = Status::ok();
+      while (auto wc = c.send_cq->poll()) {
+        if (wc->status != StatusCode::kOk) {
+          failed = true;
+          st = Status(wc->status, "client send failed");
+        }
+      }
+      c.send_cq->arm();
+      if (failed) fail_op(prim, st);
+    }));
+    ch.send_cq->arm();
+  }
+}
+
+std::size_t HyperLoopClient::num_replicas() const {
+  return group_.num_replicas();
+}
+
+std::uint64_t HyperLoopClient::region_size() const {
+  return group_.region_size();
+}
+
+void HyperLoopClient::region_write(std::uint64_t offset, const void* data,
+                                   std::uint64_t len) {
+  HL_CHECK_MSG(offset + len <= group_.region_size(), "region_write OOB");
+  node_.memory().write(group_.client_info().region_addr + offset, data, len);
+}
+
+void HyperLoopClient::region_read(std::uint64_t offset, void* dst,
+                                  std::uint64_t len) const {
+  HL_CHECK_MSG(offset + len <= group_.region_size(), "region_read OOB");
+  node_.memory().read(group_.client_info().region_addr + offset, dst, len);
+}
+
+void HyperLoopClient::replica_read(std::size_t replica, std::uint64_t offset,
+                                   void* dst, std::uint64_t len) const {
+  const MemberInfo& m = group_.member(replica);
+  HL_CHECK_MSG(offset + len <= m.region_size, "replica_read OOB");
+  // Reads durable NVM contents only: data still in the NIC cache is
+  // deliberately invisible here (that is what gFLUSH is for).
+  group_.replica_nodes_[replica]->memory().read(m.region_addr + offset, dst,
+                                                len);
+}
+
+std::size_t HyperLoopClient::outstanding() const {
+  std::size_t n = 0;
+  for (const auto& ch : channels_) n += ch.inflight.size();
+  return n;
+}
+
+void HyperLoopClient::gwrite(std::uint64_t offset, std::uint32_t size,
+                             bool flush, OpCallback cb) {
+  HL_CHECK_MSG(offset + size <= group_.region_size(), "gwrite OOB");
+  OpSpec spec;
+  spec.prim = Primitive::kGWrite;
+  spec.offset = offset;
+  spec.size = size;
+  spec.flush = flush;
+  issue(spec, std::move(cb));
+}
+
+void HyperLoopClient::gcas(std::uint64_t offset, std::uint64_t expected,
+                           std::uint64_t desired, ExecuteMap execute,
+                           bool flush, OpCallback cb) {
+  HL_CHECK_MSG(offset + 8 <= group_.region_size(), "gcas OOB");
+  OpSpec spec;
+  spec.prim = Primitive::kGCas;
+  spec.offset = offset;
+  spec.flush = flush;
+  spec.compare = expected;
+  spec.swap = desired;
+  spec.execute = execute;
+  issue(spec, std::move(cb));
+}
+
+void HyperLoopClient::gmemcpy(std::uint64_t src_offset,
+                              std::uint64_t dst_offset, std::uint32_t size,
+                              bool flush, OpCallback cb) {
+  HL_CHECK_MSG(src_offset + size <= group_.region_size(), "gmemcpy src OOB");
+  HL_CHECK_MSG(dst_offset + size <= group_.region_size(), "gmemcpy dst OOB");
+  OpSpec spec;
+  spec.prim = Primitive::kGMemcpy;
+  spec.offset = src_offset;
+  spec.dst_offset = dst_offset;
+  spec.size = size;
+  spec.flush = flush;
+  issue(spec, std::move(cb));
+}
+
+void HyperLoopClient::gflush(OpCallback cb) {
+  OpSpec spec;
+  spec.prim = Primitive::kGFlush;
+  issue(spec, std::move(cb));
+}
+
+void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(spec.prim)];
+  if (ch.inflight.size() >= group_.params().max_outstanding ||
+      !ch.backlog.empty()) {
+    ch.backlog.emplace_back(spec, std::move(cb));
+    return;
+  }
+  post_now(spec, std::move(cb));
+}
+
+void HyperLoopClient::pump_backlog(ChannelState& ch) {
+  while (!ch.backlog.empty() &&
+         ch.inflight.size() < group_.params().max_outstanding) {
+    auto [spec, cb] = std::move(ch.backlog.front());
+    ch.backlog.pop_front();
+    post_now(spec, std::move(cb));
+  }
+}
+
+WqePatch HyperLoopClient::build_patch(const OpSpec& spec, std::size_t replica,
+                                      std::uint64_t logical_slot) const {
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(logical_slot % gp.slots);
+  const MemberInfo& me = group_.member(replica);
+  const auto pi = static_cast<std::size_t>(spec.prim);
+
+  WqePatch patch;
+  switch (spec.prim) {
+    case Primitive::kGWrite: {
+      if (replica + 1 == R) break;  // tail forwards no data
+      const MemberInfo& next = group_.member(replica + 1);
+      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+      patch.flags = spec.flush ? rnic::kFlush : 0u;
+      patch.local_addr = me.region_addr + spec.offset;
+      patch.local_len = spec.size;
+      patch.lkey = me.region_lkey;
+      patch.remote_addr = next.region_addr + spec.offset;
+      patch.rkey = next.region_rkey;
+      break;
+    }
+    case Primitive::kGCas: {
+      if ((spec.execute >> replica) & 1u) {
+        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kCompareSwap);
+        patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
+        // The observed value is deposited straight into this replica's
+        // result word inside the staging blob, so it rides down the chain.
+        patch.local_addr = me.staging_addr[pi] + k * blob +
+                           replica * kBlobEntryBytes + sizeof(WqePatch);
+        patch.local_len = 8;
+        patch.lkey = me.staging_lkey[pi];
+        patch.remote_addr = me.region_addr + spec.offset;
+        patch.rkey = me.region_rkey;
+        patch.compare = spec.compare;
+        patch.swap = spec.swap;
+      } else {
+        // Execute map bit clear: the paper turns the CAS into a NOP when
+        // granting ownership; the patch does exactly that.
+        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
+        patch.flags = rnic::kSignaled;
+      }
+      break;
+    }
+    case Primitive::kGMemcpy: {
+      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+      patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
+      patch.local_addr = me.region_addr + spec.offset;
+      patch.local_len = spec.size;
+      patch.lkey = me.region_lkey;
+      patch.remote_addr = me.region_addr + spec.dst_offset;
+      patch.rkey = me.region_rkey;
+      break;
+    }
+    case Primitive::kGFlush:
+      break;  // fixed descriptor, nothing to patch
+  }
+  return patch;
+}
+
+void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const auto pi = static_cast<std::size_t>(spec.prim);
+  ChannelState& ch = channels_[pi];
+
+  const std::uint64_t s = ch.next_slot++;
+  const std::uint32_t k = static_cast<std::uint32_t>(s % gp.slots);
+
+  // Build the metadata blob in the client staging slot.
+  std::vector<BlobEntry> entries(R);
+  for (std::size_t i = 0; i < R; ++i) {
+    entries[i].patch = build_patch(spec, i, s);
+    entries[i].result = 0;
+  }
+  node_.memory().write(ch.staging_addr + k * blob, entries.data(), blob);
+
+  // Keep the client's local copy in step with what the group will apply
+  // (assuming uniform replicas; divergent members surface in result maps).
+  if (spec.prim == Primitive::kGMemcpy) {
+    const std::uint64_t base = group_.client_info().region_addr;
+    std::vector<std::byte> tmp(spec.size);
+    node_.memory().read(base + spec.offset, tmp.data(), spec.size);
+    node_.memory().write(base + spec.dst_offset, tmp.data(), spec.size);
+  } else if (spec.prim == Primitive::kGCas) {
+    const std::uint64_t addr =
+        group_.client_info().region_addr + spec.offset;
+    if (node_.memory().read_u64(addr) == spec.compare) {
+      node_.memory().write_u64(addr, spec.swap);
+    }
+  }
+
+  if (spec.prim == Primitive::kGWrite) {
+    rnic::SendWr write;
+    write.opcode = rnic::Opcode::kWrite;
+    write.flags = spec.flush ? rnic::kFlush : 0u;
+    write.local_addr = group_.client_info().region_addr + spec.offset;
+    write.local_len = spec.size;
+    write.lkey = group_.client_info().region_lkey;
+    write.remote_addr = group_.member(0).region_addr + spec.offset;
+    write.rkey = group_.member(0).region_rkey;
+    HL_CHECK(ch.down->post_send(write).is_ok());
+  }
+
+  rnic::SendWr send;
+  send.opcode = rnic::Opcode::kSend;
+  send.flags = 0;
+  send.local_addr = ch.staging_addr + k * blob;
+  send.local_len = static_cast<std::uint32_t>(blob);
+  send.lkey = ch.staging_lkey;
+  HL_CHECK(ch.down->post_send(send).is_ok());
+
+  PendingOp op;
+  op.logical_slot = s;
+  op.cb = std::move(cb);
+  const auto prim = spec.prim;
+  op.timeout = group_.sim().schedule(
+      gp.op_timeout, alive_.guard([this, prim] {
+        fail_op(prim, Status(StatusCode::kUnavailable, "group op timed out"));
+      }));
+  ch.inflight.push_back(std::move(op));
+}
+
+void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+
+  // Replenish the consumed ack RECV immediately (client-side, cheap).
+  rnic::RecvWr recv;
+  HL_CHECK(ch.ack->post_recv(std::move(recv)).is_ok());
+
+  if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
+  if (ch.inflight.empty()) return;          // stale ack after a timeout
+
+  PendingOp op = std::move(ch.inflight.front());
+  ch.inflight.pop_front();
+  group_.sim().cancel(op.timeout);
+  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(op.logical_slot),
+               "ack/operation mismatch");
+
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(op.logical_slot % group_.params().slots);
+  std::vector<std::uint64_t> results(R, 0);
+  for (std::size_t i = 0; i < R; ++i) {
+    // The tail's WRITE_WITH_IMM payload may still sit in this NIC's volatile
+    // cache; read through it like the driver's CQE path would.
+    node_.nic().cache().read_through(
+        ch.ack_addr + k * blob + i * kBlobEntryBytes + sizeof(WqePatch),
+        &results[i], 8);
+  }
+  if (op.cb) op.cb(Status::ok(), results);
+  pump_backlog(ch);
+}
+
+void HyperLoopClient::fail_op(Primitive p, Status status) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+  std::deque<PendingOp> failed;
+  failed.swap(ch.inflight);
+  for (auto& op : failed) {
+    group_.sim().cancel(op.timeout);
+    if (op.cb) op.cb(status, {});
+  }
+  // Backlogged ops would hit the same failed chain; fail them too.
+  decltype(ch.backlog) dropped;
+  dropped.swap(ch.backlog);
+  for (auto& [spec, cb] : dropped) {
+    if (cb) cb(status, {});
+  }
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,207 @@
+// The HyperLoop datapath: group construction, the per-replica NIC program
+// (pre-posted WAIT/op/SEND chains), and the client library that drives it.
+//
+// Chain shape per operation (paper §4, Figures 4-7), for replicas 0..R-1
+// where replica R-1 is the tail and the client is the head:
+//
+//   gWRITE   client:       WRITE(data) ; SEND(blob)          -> replica 0
+//            replica i<R-1: [WAIT(recv,1,en=2)][WRITE*][SEND] -> replica i+1
+//            tail:          [WAIT(recv,1,en=1)][WRITE_IMM ack]-> client
+//
+//   gCAS /   client:       SEND(blob)                        -> replica 0
+//   gMEMCPY/ replica i: loopQP [WAIT(recv,1,en=1)][OP*]      (local op)
+//   gFLUSH             nextQP [WAIT(loop,1,en=1)][SEND]      -> i+1
+//            tail's nextQP   [WAIT(loop,1,en=1)][WRITE_IMM ack] -> client
+//
+// Starred WQEs are posted with deferred ownership and their descriptors are
+// garbage until the inbound SEND's RECV scatters the client-built blob
+// directly over the descriptor fields (remote work request manipulation);
+// the WAIT that fires on that RECV completion then grants NIC ownership.
+// No replica CPU runs anywhere above: replica CPUs only replenish consumed
+// slots off the critical path.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group_api.hpp"
+#include "hyperloop/group_types.hpp"
+#include "rnic/nic.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::core {
+
+class HyperLoopGroup;
+
+/// The NIC program of one replica: owns the queue pairs of all four
+/// channels, posts the initial slot chains, and replenishes consumed slots
+/// from a (schedulable, off-critical-path) CPU thread.
+class ReplicaEngine {
+ public:
+  struct Channel {
+    rnic::QueuePair* prev = nullptr;   // from upstream (client or replica)
+    rnic::QueuePair* next = nullptr;   // to downstream replica / client ack
+    rnic::QueuePair* loop = nullptr;   // loopback QP (gCAS/gMEMCPY/gFLUSH)
+    rnic::CompletionQueue* recv_cq = nullptr;  // prev's recv completions
+    rnic::CompletionQueue* loop_cq = nullptr;  // loopback op completions
+    rnic::CompletionQueue* send_cq = nullptr;  // next/loop send errors
+    std::uint64_t staging_addr = 0;    // slots * blob_bytes staging blobs
+    std::uint32_t staging_lkey = 0;
+    std::uint32_t ring_lkey = 0;       // next QP's ring (patch scatter)
+    std::uint32_t loop_ring_lkey = 0;  // loop QP's ring (patch scatter)
+    // Replenishment bookkeeping.
+    std::uint64_t posted_slots = 0;    // logical slots ever posted
+    std::uint64_t consumed_slots = 0;  // recv completions drained
+    bool repost_scheduled = false;
+  };
+
+  ReplicaEngine(Node& node, HyperLoopGroup& group, std::size_t index,
+                bool is_tail);
+
+  /// Post the initial `slots` chains on every channel and arm replenishment.
+  void start();
+
+  [[nodiscard]] Node& node() { return node_; }
+  [[nodiscard]] Channel& channel(Primitive p) {
+    return channels_[static_cast<std::size_t>(p)];
+  }
+
+  /// Total CPU time this replica spent on HyperLoop work (replenishment
+  /// only — the datapath never runs here). Reported by the Fig. 9 bench.
+  [[nodiscard]] Duration cpu_time() const;
+
+ private:
+  friend class HyperLoopGroup;
+
+  bool post_slot(Primitive p, std::uint64_t logical_slot);
+  void periodic_sweep();
+  void post_recv_for_slot(Primitive p, std::uint64_t logical_slot);
+  void on_recv_event(Primitive p);
+  void replenish(Primitive p);
+
+  Node& node_;
+  HyperLoopGroup& group_;
+  Lifetime alive_;
+  std::size_t index_;  // position in the chain, 0-based
+  bool is_tail_ = false;
+  std::array<Channel, kNumPrimitives> channels_;
+  cpu::ThreadId repost_thread_ = cpu::kInvalidThread;
+};
+
+/// Client-side library: builds metadata blobs, posts WRITE/SEND pairs into
+/// the chain, and matches tail ACKs (WRITE_WITH_IMM) back to operations.
+class HyperLoopClient : public GroupInterface {
+ public:
+  HyperLoopClient(Node& node, HyperLoopGroup& group);
+
+  [[nodiscard]] std::size_t num_replicas() const override;
+  [[nodiscard]] std::uint64_t region_size() const override;
+
+  void region_write(std::uint64_t offset, const void* data,
+                    std::uint64_t len) override;
+  void region_read(std::uint64_t offset, void* dst,
+                   std::uint64_t len) const override;
+  void replica_read(std::size_t replica, std::uint64_t offset, void* dst,
+                    std::uint64_t len) const override;
+
+  void gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+              OpCallback cb) override;
+  void gcas(std::uint64_t offset, std::uint64_t expected,
+            std::uint64_t desired, ExecuteMap execute, bool flush,
+            OpCallback cb) override;
+  void gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+               std::uint32_t size, bool flush, OpCallback cb) override;
+  void gflush(OpCallback cb) override;
+
+  /// Outstanding operations across all channels (diagnostics).
+  [[nodiscard]] std::size_t outstanding() const;
+
+ private:
+  friend class HyperLoopGroup;
+
+  friend class ReplicaEngine;
+
+  struct PendingOp {
+    std::uint64_t logical_slot = 0;
+    OpCallback cb;
+    sim::EventId timeout;
+  };
+  struct OpSpec {
+    Primitive prim;
+    std::uint64_t offset = 0;      // gwrite/gcas offset or gmemcpy src
+    std::uint64_t dst_offset = 0;  // gmemcpy
+    std::uint32_t size = 0;
+    bool flush = false;
+    std::uint64_t compare = 0;
+    std::uint64_t swap = 0;
+    ExecuteMap execute = kAllReplicas;
+  };
+  struct ChannelState {
+    rnic::QueuePair* down = nullptr;  // to replica 0
+    rnic::QueuePair* ack = nullptr;   // from the tail
+    rnic::CompletionQueue* ack_cq = nullptr;
+    rnic::CompletionQueue* send_cq = nullptr;
+    std::uint64_t staging_addr = 0;   // blob build area, one per slot
+    std::uint32_t staging_lkey = 0;
+    std::uint64_t ack_addr = 0;       // tail deposits blobs here
+    std::uint32_t ack_rkey = 0;
+    std::uint64_t next_slot = 0;      // logical op counter
+    std::deque<PendingOp> inflight;   // FIFO: acks arrive in order
+    std::deque<std::pair<OpSpec, OpCallback>> backlog;  // over the cap
+  };
+
+  void issue(const OpSpec& spec, OpCallback cb);
+  void post_now(const OpSpec& spec, OpCallback cb);
+  WqePatch build_patch(const OpSpec& spec, std::size_t replica,
+                       std::uint64_t logical_slot) const;
+  void on_ack(Primitive p, const rnic::Completion& c);
+  void fail_op(Primitive p, Status status);
+  void pump_backlog(ChannelState& ch);
+
+  Node& node_;
+  HyperLoopGroup& group_;
+  Lifetime alive_;
+  std::array<ChannelState, kNumPrimitives> channels_;
+};
+
+/// Builds a HyperLoop group over nodes[0..R] of a cluster: node `client`
+/// is the head/coordinator, `replicas` lists the chain order. Allocates and
+/// registers regions, wires all queue pairs, and starts the replica engines.
+class HyperLoopGroup {
+ public:
+  HyperLoopGroup(Cluster& cluster, std::size_t client_node,
+                 std::vector<std::size_t> replica_nodes,
+                 std::uint64_t region_size, GroupParams params = {});
+
+  [[nodiscard]] HyperLoopClient& client() { return *client_; }
+  [[nodiscard]] ReplicaEngine& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
+  [[nodiscard]] const GroupParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t region_size() const { return region_size_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const MemberInfo& member(std::size_t i) const {
+    return members_[i];
+  }
+  [[nodiscard]] const MemberInfo& client_info() const { return client_info_; }
+  [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
+
+ private:
+  friend class ReplicaEngine;
+  friend class HyperLoopClient;
+
+  Cluster& cluster_;
+  GroupParams params_;
+  std::uint64_t region_size_;
+  Node* client_node_;
+  std::vector<Node*> replica_nodes_;
+  std::vector<MemberInfo> members_;   // one per replica, chain order
+  MemberInfo client_info_;            // the client's own region
+  std::vector<std::unique_ptr<ReplicaEngine>> replicas_;
+  std::unique_ptr<HyperLoopClient> client_;
+};
+
+}  // namespace hyperloop::core

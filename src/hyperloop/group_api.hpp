@@ -1,0 +1,66 @@
+// Abstract interface of a replication group datapath.
+//
+// Both the HyperLoop implementation (NIC-offloaded chain) and the
+// Naïve-RDMA baseline (replica CPUs forward messages) implement this, so
+// storage systems and benchmarks can switch datapaths with one line — the
+// comparison methodology of the paper's §6.
+#pragma once
+
+#include <cstdint>
+
+#include "hyperloop/group_types.hpp"
+
+namespace hyperloop::core {
+
+class GroupInterface {
+ public:
+  virtual ~GroupInterface() = default;
+
+  /// Number of replicas (excluding the client / transaction coordinator).
+  [[nodiscard]] virtual std::size_t num_replicas() const = 0;
+
+  /// Size of the replicated region each member holds.
+  [[nodiscard]] virtual std::uint64_t region_size() const = 0;
+
+  // --- Client-local access to the replicated region -----------------------
+
+  /// Write into the client's local copy of the replicated region (staging
+  /// for a subsequent gwrite).
+  virtual void region_write(std::uint64_t offset, const void* data,
+                            std::uint64_t len) = 0;
+
+  /// Read the client's local copy.
+  virtual void region_read(std::uint64_t offset, void* dst,
+                           std::uint64_t len) const = 0;
+
+  /// Read replica `i`'s *durable* copy (what its NVM holds right now). Used
+  /// by consistency checks, read paths, and durability tests.
+  virtual void replica_read(std::size_t replica, std::uint64_t offset,
+                            void* dst, std::uint64_t len) const = 0;
+
+  // --- Group primitives (paper Table 1) ------------------------------------
+
+  /// Replicate [offset, offset+size) of the client's region to every
+  /// replica's region at the same offset. With `flush`, each hop drains its
+  /// NIC cache before forwarding, so the ACK certifies durability.
+  virtual void gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+                      OpCallback cb) = 0;
+
+  /// Compare-and-swap the 8-byte word at `offset` on every replica whose
+  /// bit is set in `execute`. The callback's result map carries each
+  /// replica's pre-swap value (replicas skipped by the map report their
+  /// passthrough value unchanged).
+  virtual void gcas(std::uint64_t offset, std::uint64_t expected,
+                    std::uint64_t desired, ExecuteMap execute, bool flush,
+                    OpCallback cb) = 0;
+
+  /// Copy size bytes from src_offset to dst_offset within every replica's
+  /// region (the log-execution primitive behind ExecuteAndAdvance).
+  virtual void gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+                       std::uint32_t size, bool flush, OpCallback cb) = 0;
+
+  /// Standalone durability barrier: drain every replica's NIC cache.
+  virtual void gflush(OpCallback cb) = 0;
+};
+
+}  // namespace hyperloop::core

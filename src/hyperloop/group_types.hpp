@@ -1,0 +1,114 @@
+// Shared types of the HyperLoop group datapath: the primitive set (Table 1),
+// the metadata blob format the client replicates down the chain, and the
+// member descriptors exchanged at group setup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rnic/verbs.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop::core {
+
+/// The four group primitives (paper Table 1). gFLUSH additionally exists in
+/// interleaved form: a flush flag on the other three.
+enum class Primitive : std::uint8_t { kGWrite = 0, kGCas, kGMemcpy, kGFlush };
+inline constexpr int kNumPrimitives = 4;
+
+/// Completion callback of a group operation. `result_map` holds one value
+/// per replica; for gCAS it is the pre-swap value observed at each replica
+/// (the paper's result map), otherwise zeros.
+using OpCallback =
+    std::function<void(Status, const std::vector<std::uint64_t>& result_map)>;
+
+/// Patch segment the client writes into a replica's pre-posted op WQE via
+/// the RECV scatter (remote work request manipulation). Field order mirrors
+/// WqeData so the patch lands as two contiguous byte ranges:
+///   bytes [0, 8)   -> WqeData bytes [8, 16)   (opcode, flags)
+///   bytes [8, 56)  -> WqeData bytes [24, 72)  (descriptors + CAS operands)
+///
+/// The paper quotes 32 bytes as the largest descriptor (gCAS); our WqeData
+/// layout needs 48 because the CAS operands are not adjacent to the address
+/// fields — an immaterial layout difference, the mechanism is identical.
+struct WqePatch {
+  std::uint32_t opcode = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t local_addr = 0;
+  std::uint32_t local_len = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm = 0;
+  std::uint64_t compare = 0;
+  std::uint64_t swap = 0;
+};
+static_assert(sizeof(WqePatch) == 56);
+
+/// One per-replica entry of the metadata blob. The trailing result word is
+/// where a replica's CAS deposits the observed value; it rides down the
+/// chain inside the blob and reaches the client in the tail's ACK payload.
+struct BlobEntry {
+  WqePatch patch;
+  std::uint64_t result = 0;
+};
+static_assert(sizeof(BlobEntry) == 64);
+
+inline constexpr std::uint64_t kBlobEntryBytes = sizeof(BlobEntry);
+
+/// Blob size for a group with `replicas` members (excluding the client).
+constexpr std::uint64_t blob_bytes(std::size_t replicas) {
+  return kBlobEntryBytes * replicas;
+}
+
+/// Byte ranges within WqeData that RECV scatters patch.
+inline constexpr std::uint64_t kPatchPart1WqeOffset = 8;   // opcode+flags
+inline constexpr std::uint64_t kPatchPart1Bytes = 8;
+inline constexpr std::uint64_t kPatchPart2WqeOffset = 24;  // descriptors
+inline constexpr std::uint64_t kPatchPart2Bytes = 48;
+
+/// Everything the client must know about one replica to build blobs. All of
+/// it is exchanged once at group setup (the control path), never on the
+/// datapath.
+struct MemberInfo {
+  rnic::NicId nic = 0;
+  /// The replicated region (log + database + locks) on this member.
+  std::uint64_t region_addr = 0;
+  std::uint64_t region_size = 0;
+  std::uint32_t region_lkey = 0;
+  std::uint32_t region_rkey = 0;
+  /// Per-channel staging buffers (one blob per slot) for result deposits.
+  std::uint64_t staging_addr[kNumPrimitives] = {};
+  std::uint32_t staging_lkey[kNumPrimitives] = {};
+};
+
+struct GroupParams {
+  /// Pre-posted slots per channel per replica. Sized so replenishment (which
+  /// runs on busy replica CPUs, off the critical path) never starves the
+  /// datapath at the offered loads of the benchmarks.
+  std::uint32_t slots = 256;
+  /// Client-side cap on outstanding operations per channel; keeps slot
+  /// reuse safely behind replenishment.
+  std::uint32_t max_outstanding = 64;
+  /// Replica CPU cost of reposting one slot (RECV + chain WQEs; a handful
+  /// of userspace verbs posts).
+  Duration repost_cpu_per_slot = 400;
+  /// Fixed replica CPU cost per replenishment wakeup.
+  Duration repost_cpu_fixed = 1'500;
+  /// Period of the background sweep that reposts leftover slots after a
+  /// burst ends (off the critical path by construction).
+  Duration sweep_interval = 500'000;  // 500us
+  /// Client-side deadline for an operation (covers chain failures).
+  Duration op_timeout = 50'000'000;  // 50ms
+  /// Tenant token guarding every region the group registers.
+  std::uint64_t tenant = 1;
+};
+
+/// Bit i set => replica i executes the CAS (paper's execute map). Replicas
+/// with a clear bit get a NOP patched instead of the CAS.
+using ExecuteMap = std::uint32_t;
+inline constexpr ExecuteMap kAllReplicas = ~ExecuteMap{0};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,453 @@
+#include "hyperloop/naive_group.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::core {
+
+namespace {
+constexpr std::uint32_t kAllAccess =
+    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
+    mem::kRemoteWrite | mem::kRemoteAtomic;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NaiveGroup: setup + client side
+// ---------------------------------------------------------------------------
+
+NaiveGroup::NaiveGroup(Cluster& cluster, std::size_t client_node,
+                       std::vector<std::size_t> replica_nodes,
+                       std::uint64_t region_size, NaiveParams params)
+    : cluster_(cluster),
+      params_(params),
+      region_size_(region_size),
+      client_node_(&cluster.node(client_node)) {
+  HL_CHECK_MSG(!replica_nodes.empty(), "a group needs at least one replica");
+  for (std::size_t n : replica_nodes) {
+    replica_nodes_.push_back(&cluster.node(n));
+  }
+  const std::size_t R = replica_nodes_.size();
+
+  auto setup_member = [&](Node& node) {
+    MemberInfo info;
+    mem::HostMemory& mem = node.memory();
+    const std::uint64_t region = mem.alloc(region_size_, 64);
+    const mem::MemoryRegion mr =
+        mem.register_region(region, region_size_, kAllAccess, params_.tenant);
+    info.region_addr = region;
+    info.region_lkey = mr.lkey;
+    info.region_rkey = mr.rkey;
+    const std::uint64_t msg_total =
+        params_.slots * (sizeof(NaiveHeader) + 8ull * R);
+    const std::uint64_t msgs = mem.alloc(msg_total, 64);
+    const mem::MemoryRegion mmr = mem.register_region(
+        msgs, msg_total, mem::kLocalRead | mem::kLocalWrite, params_.tenant);
+    info.msg_addr = msgs;
+    info.msg_lkey = mmr.lkey;
+    return info;
+  };
+
+  client_info_ = setup_member(*client_node_);
+  for (Node* n : replica_nodes_) members_.push_back(setup_member(*n));
+
+  for (std::size_t i = 0; i < R; ++i) {
+    replicas_.push_back(std::make_unique<NaiveReplica>(
+        *replica_nodes_[i], *this, i, /*is_tail=*/i + 1 == R));
+  }
+
+  // Client QPs.
+  rnic::Nic& nic = client_node_->nic();
+  send_cq_ = nic.create_cq();
+  ack_cq_ = nic.create_cq();
+  down_ = nic.create_qp(send_cq_, send_cq_, 2 * params_.slots, params_.tenant);
+  ack_ = nic.create_qp(send_cq_, ack_cq_, 1, params_.tenant);
+  send_buf_addr_ = client_info_.msg_addr;
+  send_buf_lkey_ = client_info_.msg_lkey;
+
+  mem::HostMemory& cmem = client_node_->memory();
+  const std::uint64_t ack_total = params_.slots * msg_bytes();
+  ack_buf_addr_ = cmem.alloc(ack_total, 64);
+  const mem::MemoryRegion amr = cmem.register_region(
+      ack_buf_addr_, ack_total, mem::kLocalRead | mem::kLocalWrite,
+      params_.tenant);
+  ack_buf_lkey_ = amr.lkey;
+  for (std::uint32_t k = 0; k < params_.slots; ++k) {
+    rnic::RecvWr recv;
+    recv.wr_id = k;
+    recv.sges.push_back({ack_buf_addr_ + k * msg_bytes(),
+                         static_cast<std::uint32_t>(msg_bytes()),
+                         ack_buf_lkey_});
+    HL_CHECK(ack_->post_recv(std::move(recv)).is_ok());
+  }
+  ack_cq_->set_event_handler(alive_.guard([this] {
+    while (auto wc = ack_cq_->poll()) on_ack(*wc);
+    ack_cq_->arm();
+  }));
+  ack_cq_->arm();
+  send_cq_->set_event_handler(alive_.guard([this] {
+    bool failed = false;
+    Status st = Status::ok();
+    while (auto wc = send_cq_->poll()) {
+      if (wc->status != StatusCode::kOk) {
+        failed = true;
+        st = Status(wc->status, "naive client send failed");
+      }
+    }
+    send_cq_->arm();
+    if (failed) fail_all(st);
+  }));
+  send_cq_->arm();
+
+  // Wire the chain.
+  auto& r0 = *replicas_[0];
+  nic.connect(down_, replica_nodes_[0]->id(), r0.prev_->id());
+  replica_nodes_[0]->nic().connect(r0.prev_, client_node_->id(), down_->id());
+  for (std::size_t i = 0; i + 1 < R; ++i) {
+    auto& a = *replicas_[i];
+    auto& b = *replicas_[i + 1];
+    replica_nodes_[i]->nic().connect(a.next_, replica_nodes_[i + 1]->id(),
+                                     b.prev_->id());
+    replica_nodes_[i + 1]->nic().connect(b.prev_, replica_nodes_[i]->id(),
+                                         a.next_->id());
+  }
+  auto& tail = *replicas_[R - 1];
+  replica_nodes_[R - 1]->nic().connect(tail.next_, client_node_->id(),
+                                       ack_->id());
+  nic.connect(ack_, replica_nodes_[R - 1]->id(), tail.next_->id());
+
+  for (auto& r : replicas_) r->start();
+}
+
+void NaiveGroup::stop() {
+  for (auto& r : replicas_) r->running_ = false;
+}
+
+void NaiveGroup::region_write(std::uint64_t offset, const void* data,
+                              std::uint64_t len) {
+  HL_CHECK_MSG(offset + len <= region_size_, "region_write OOB");
+  client_node_->memory().write(client_info_.region_addr + offset, data, len);
+}
+
+void NaiveGroup::region_read(std::uint64_t offset, void* dst,
+                             std::uint64_t len) const {
+  client_node_->memory().read(client_info_.region_addr + offset, dst, len);
+}
+
+void NaiveGroup::replica_read(std::size_t replica, std::uint64_t offset,
+                              void* dst, std::uint64_t len) const {
+  replica_nodes_[replica]->memory().read(
+      members_[replica].region_addr + offset, dst, len);
+}
+
+void NaiveGroup::gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+                        OpCallback cb) {
+  HL_CHECK_MSG(offset + size <= region_size_, "gwrite OOB");
+  NaiveHeader h;
+  h.prim = static_cast<std::uint32_t>(Primitive::kGWrite);
+  h.offset = offset;
+  h.size = size;
+  h.flush = flush ? 1 : 0;
+  post_op(h, std::move(cb));
+}
+
+void NaiveGroup::gcas(std::uint64_t offset, std::uint64_t expected,
+                      std::uint64_t desired, ExecuteMap execute, bool flush,
+                      OpCallback cb) {
+  NaiveHeader h;
+  h.prim = static_cast<std::uint32_t>(Primitive::kGCas);
+  h.offset = offset;
+  h.compare = expected;
+  h.swap = desired;
+  h.execute_map = execute;
+  h.flush = flush ? 1 : 0;
+  // Mirror the swap on the client's local copy (same contract as HyperLoop).
+  const std::uint64_t addr = client_info_.region_addr + offset;
+  if (client_node_->memory().read_u64(addr) == expected) {
+    client_node_->memory().write_u64(addr, desired);
+  }
+  post_op(h, std::move(cb));
+}
+
+void NaiveGroup::gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+                         std::uint32_t size, bool flush, OpCallback cb) {
+  NaiveHeader h;
+  h.prim = static_cast<std::uint32_t>(Primitive::kGMemcpy);
+  h.offset = src_offset;
+  h.dst_offset = dst_offset;
+  h.size = size;
+  h.flush = flush ? 1 : 0;
+  // Keep the client's local copy in step (same contract as HyperLoop).
+  std::vector<std::byte> tmp(size);
+  client_node_->memory().read(client_info_.region_addr + src_offset,
+                              tmp.data(), size);
+  client_node_->memory().write(client_info_.region_addr + dst_offset,
+                               tmp.data(), size);
+  post_op(h, std::move(cb));
+}
+
+void NaiveGroup::gflush(OpCallback cb) {
+  NaiveHeader h;
+  h.prim = static_cast<std::uint32_t>(Primitive::kGFlush);
+  post_op(h, std::move(cb));
+}
+
+void NaiveGroup::post_op(const NaiveHeader& header, OpCallback cb) {
+  if (inflight_.size() >= params_.max_outstanding || !backlog_.empty()) {
+    backlog_.emplace_back(header, std::move(cb));
+    return;
+  }
+  NaiveHeader h = header;
+  h.op_id = next_op_id_++;
+  const std::uint32_t k = h.op_id % params_.slots;
+  const std::uint64_t buf = send_buf_addr_ + k * msg_bytes();
+
+  // Stage header + zeroed result words.
+  client_node_->memory().write(buf, &h, sizeof(h));
+  const std::vector<std::uint64_t> zeros(num_replicas(), 0);
+  client_node_->memory().write(buf + sizeof(h), zeros.data(),
+                               zeros.size() * 8);
+
+  if (h.prim == static_cast<std::uint32_t>(Primitive::kGWrite)) {
+    rnic::SendWr write;
+    write.opcode = rnic::Opcode::kWrite;
+    write.flags = 0;
+    write.local_addr = client_info_.region_addr + h.offset;
+    write.local_len = h.size;
+    write.lkey = client_info_.region_lkey;
+    write.remote_addr = members_[0].region_addr + h.offset;
+    write.rkey = members_[0].region_rkey;
+    HL_CHECK(down_->post_send(write).is_ok());
+  }
+  rnic::SendWr send;
+  send.opcode = rnic::Opcode::kSend;
+  send.flags = 0;
+  send.local_addr = buf;
+  send.local_len = static_cast<std::uint32_t>(msg_bytes());
+  send.lkey = send_buf_lkey_;
+  HL_CHECK(down_->post_send(send).is_ok());
+
+  PendingOp op;
+  op.op_id = h.op_id;
+  op.cb = std::move(cb);
+  op.timeout = sim().schedule(params_.op_timeout, alive_.guard([this] {
+    fail_all(Status(StatusCode::kUnavailable, "naive group op timed out"));
+  }));
+  inflight_.push_back(std::move(op));
+}
+
+void NaiveGroup::pump_backlog() {
+  while (!backlog_.empty() && inflight_.size() < params_.max_outstanding) {
+    auto [h, cb] = std::move(backlog_.front());
+    backlog_.pop_front();
+    post_op(h, std::move(cb));
+  }
+}
+
+void NaiveGroup::on_ack(const rnic::Completion& c) {
+  // Replenish the consumed RECV (same buffer slot).
+  const std::uint32_t k = static_cast<std::uint32_t>(c.wr_id);
+  rnic::RecvWr recv;
+  recv.wr_id = k;
+  recv.sges.push_back({ack_buf_addr_ + k * msg_bytes(),
+                       static_cast<std::uint32_t>(msg_bytes()),
+                       ack_buf_lkey_});
+  HL_CHECK(ack_->post_recv(std::move(recv)).is_ok());
+
+  if (c.status != StatusCode::kOk) return;
+  if (inflight_.empty()) return;  // stale ack after timeout
+
+  NaiveHeader h;
+  client_node_->nic().cache().read_through(ack_buf_addr_ + k * msg_bytes(),
+                                           &h, sizeof(h));
+  PendingOp op = std::move(inflight_.front());
+  inflight_.pop_front();
+  sim().cancel(op.timeout);
+  HL_CHECK_MSG(h.op_id == op.op_id, "naive ack/op mismatch");
+
+  std::vector<std::uint64_t> results(num_replicas(), 0);
+  client_node_->nic().cache().read_through(
+      ack_buf_addr_ + k * msg_bytes() + sizeof(NaiveHeader), results.data(),
+      results.size() * 8);
+  if (op.cb) op.cb(Status::ok(), results);
+  pump_backlog();
+}
+
+void NaiveGroup::fail_all(Status status) {
+  std::deque<PendingOp> failed;
+  failed.swap(inflight_);
+  for (auto& op : failed) {
+    sim().cancel(op.timeout);
+    if (op.cb) op.cb(status, {});
+  }
+  decltype(backlog_) dropped;
+  dropped.swap(backlog_);
+  for (auto& [h, cb] : dropped) {
+    if (cb) cb(status, {});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveReplica
+// ---------------------------------------------------------------------------
+
+NaiveReplica::NaiveReplica(Node& node, NaiveGroup& group, std::size_t index,
+                           bool is_tail)
+    : node_(node), group_(group), index_(index), is_tail_(is_tail) {
+  rnic::Nic& nic = node_.nic();
+  recv_cq_ = nic.create_cq();
+  send_cq_ = nic.create_cq();
+  const std::uint32_t slots = group_.params().slots;
+  prev_ = nic.create_qp(send_cq_, recv_cq_, 1, group_.params().tenant);
+  next_ = nic.create_qp(send_cq_, send_cq_, 2 * slots, group_.params().tenant);
+  msg_buf_addr_ = group_.members_[index_].msg_addr;
+  msg_buf_lkey_ = group_.members_[index_].msg_lkey;
+  thread_ = node_.sched().create_thread("naive-replica-" +
+                                        std::to_string(index));
+  if (group_.params().pin_thread) node_.sched().pin_thread(thread_, 0);
+}
+
+void NaiveReplica::start() {
+  running_ = true;
+  for (std::uint32_t k = 0; k < group_.params().slots; ++k) {
+    post_recv_slot(k);
+  }
+  if (group_.params().mode == NaiveParams::Mode::kEvent) {
+    arm_event_channel();
+  } else {
+    poll_loop();
+  }
+}
+
+void NaiveReplica::post_recv_slot(std::uint32_t k) {
+  rnic::RecvWr recv;
+  recv.wr_id = k;
+  recv.sges.push_back({msg_buf_addr_ + k * group_.msg_bytes(),
+                       static_cast<std::uint32_t>(group_.msg_bytes()),
+                       msg_buf_lkey_});
+  HL_CHECK(prev_->post_recv(std::move(recv)).is_ok());
+}
+
+void NaiveReplica::arm_event_channel() {
+  recv_cq_->set_event_handler(alive_.guard([this] {
+    if (!running_) return;
+    // Completion channel fired: the replica thread must now get scheduled —
+    // under multi-tenant load this is where the milliseconds come from.
+    node_.sched().submit(thread_, group_.params().wakeup_cpu,
+                         alive_.guard([this] { handle_completions(); }));
+  }));
+  recv_cq_->arm();
+}
+
+void NaiveReplica::handle_completions() {
+  const NaiveParams& p = group_.params();
+  std::uint64_t drained = 0;
+  while (auto wc = recv_cq_->poll()) {
+    if (wc->status != StatusCode::kOk) continue;
+    const std::uint64_t seq = recv_seq_++;
+    // Parse + apply + forward, charged as CPU work before the effect.
+    node_.sched().submit(thread_, p.parse_cpu,
+                         alive_.guard([this, seq] { apply_and_forward(seq); }));
+    ++drained;
+  }
+  while (send_cq_->poll()) {
+  }
+  if (p.mode == NaiveParams::Mode::kEvent) recv_cq_->arm();
+}
+
+void NaiveReplica::poll_loop() {
+  if (!running_) return;
+  const NaiveParams& p = group_.params();
+  // Busy-poll: burn a quantum checking the CQ, handle what arrived, repeat.
+  // The thread is permanently runnable — the paper's "burns a core".
+  node_.sched().submit(thread_, p.poll_quantum, alive_.guard([this] {
+    handle_completions();
+    poll_loop();
+  }));
+}
+
+void NaiveReplica::apply_and_forward(std::uint64_t seq) {
+  const NaiveParams& p = group_.params();
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(seq % group_.params().slots);
+  const std::uint64_t buf = msg_buf_addr_ + k * group_.msg_bytes();
+  rnic::NicCache& cache = node_.nic().cache();
+  mem::HostMemory& mem = node_.memory();
+  const auto& me = group_.members_[index_];
+
+  NaiveHeader h;
+  cache.read_through(buf, &h, sizeof(h));
+
+  Duration apply_cpu = 0;
+  switch (static_cast<Primitive>(h.prim)) {
+    case Primitive::kGWrite:
+      // Data landed via the upstream RDMA WRITE; persist it if asked.
+      if (h.flush) {
+        apply_cpu += static_cast<Duration>(
+            static_cast<double>(cache.dirty_bytes()) / p.flush_bytes_per_ns);
+        cache.flush();
+      }
+      break;
+    case Primitive::kGCas: {
+      if ((h.execute_map >> index_) & 1u) {
+        const std::uint64_t addr = me.region_addr + h.offset;
+        cache.flush_range(addr, 8);
+        const std::uint64_t old = mem.read_u64(addr);
+        if (old == h.compare) mem.write_u64(addr, h.swap);
+        // Record the observed value in this replica's result word.
+        const std::uint64_t raddr = buf + sizeof(NaiveHeader) + index_ * 8;
+        cache.flush_range(raddr, 8);
+        mem.write_u64(raddr, old);
+      }
+      if (h.flush) {
+        apply_cpu += static_cast<Duration>(
+            static_cast<double>(cache.dirty_bytes()) / p.flush_bytes_per_ns);
+        cache.flush();
+      }
+      break;
+    }
+    case Primitive::kGMemcpy: {
+      std::vector<std::byte> tmp(h.size);
+      cache.read_through(me.region_addr + h.offset, tmp.data(), h.size);
+      cache.flush_range(me.region_addr + h.dst_offset, h.size);
+      mem.write(me.region_addr + h.dst_offset, tmp.data(), h.size);
+      apply_cpu += static_cast<Duration>(static_cast<double>(h.size) /
+                                         p.memcpy_bytes_per_ns);
+      break;
+    }
+    case Primitive::kGFlush:
+      apply_cpu += static_cast<Duration>(
+          static_cast<double>(cache.dirty_bytes()) / p.flush_bytes_per_ns);
+      cache.flush();
+      break;
+  }
+
+  // Charge the apply + post cost, then perform the forwarding posts.
+  node_.sched().submit(thread_, apply_cpu + p.post_cpu,
+                       alive_.guard([this, h, buf, k] {
+    if (!is_tail_ &&
+        h.prim == static_cast<std::uint32_t>(Primitive::kGWrite)) {
+      const auto& me = group_.members_[index_];
+      const auto& nx = group_.members_[index_ + 1];
+      rnic::SendWr write;
+      write.opcode = rnic::Opcode::kWrite;
+      write.local_addr = me.region_addr + h.offset;
+      write.local_len = h.size;
+      write.lkey = me.region_lkey;
+      write.remote_addr = nx.region_addr + h.offset;
+      write.rkey = nx.region_rkey;
+      if (!next_->post_send(write).is_ok()) return;
+    }
+    rnic::SendWr send;
+    send.opcode = rnic::Opcode::kSend;
+    send.local_addr = buf;
+    send.local_len = static_cast<std::uint32_t>(group_.msg_bytes());
+    send.lkey = msg_buf_lkey_;
+    if (!next_->post_send(send).is_ok()) return;
+    post_recv_slot(k);
+  }));
+}
+
+Duration NaiveReplica::cpu_time() const {
+  return node_.sched().thread_cpu_time(thread_);
+}
+
+}  // namespace hyperloop::core

@@ -1,0 +1,197 @@
+// Naïve-RDMA baseline (the paper's §6 comparison point).
+//
+// Same group API and the same verbs substrate as HyperLoop, but the chain is
+// driven the conventional way: each replica runs a process whose CPU must
+// receive, parse, apply, and forward every operation. The CPU enters the
+// picture in one of two modes, matching the paper's variants:
+//
+//   * kEvent:   the replica blocks on a CQ completion channel; each message
+//               costs a wakeup (scheduling delay!) plus handler time.
+//   * kPolling: a dedicated thread spins on the CQ. On an idle machine this
+//               is the best case; in a multi-tenant machine the poller
+//               contends with every other tenant for its core.
+//
+// The latency difference between this class and HyperLoopClient under
+// background load IS the paper's headline result.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group_api.hpp"
+#include "hyperloop/group_types.hpp"
+#include "rnic/nic.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::core {
+
+struct NaiveParams {
+  enum class Mode : std::uint8_t { kEvent, kPolling };
+  Mode mode = Mode::kEvent;
+
+  /// Pin each replica's handler/poller thread to core 0 of its node (the
+  /// paper's microbenchmark gives the baseline a pinned core).
+  bool pin_thread = true;
+
+  std::uint32_t slots = 256;           // pre-posted receives per replica
+  std::uint32_t max_outstanding = 64;  // client-side cap
+
+  // CPU cost model for the replica handler (measured classes of work).
+  Duration wakeup_cpu = 2'000;         // completion-channel wakeup + read CQE
+  Duration parse_cpu = 500;            // parse the op header
+  Duration post_cpu = 1'200;           // build + post forward WRs, repost RECV
+  Duration poll_quantum = 1'000;       // poller busy-check slice
+  double memcpy_bytes_per_ns = 8.0;    // CPU copy rate for gMEMCPY
+  double flush_bytes_per_ns = 8.0;     // CPU persist (clflush+fence) rate
+
+  Duration op_timeout = 50'000'000;    // client-side deadline
+  std::uint64_t tenant = 1;
+};
+
+class NaiveGroup;
+
+/// The wire header of one group operation; travels as the SEND payload,
+/// followed by one result word per replica.
+struct NaiveHeader {
+  std::uint32_t op_id = 0;
+  std::uint32_t prim = 0;  // Primitive
+  std::uint64_t offset = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint32_t size = 0;
+  std::uint32_t flush = 0;
+  std::uint64_t compare = 0;
+  std::uint64_t swap = 0;
+  std::uint32_t execute_map = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(NaiveHeader) == 56);
+
+/// A replica process of the naive datapath: CPU-driven receive/apply/forward.
+class NaiveReplica {
+ public:
+  NaiveReplica(Node& node, NaiveGroup& group, std::size_t index, bool is_tail);
+
+  void start();
+
+  [[nodiscard]] Node& node() { return node_; }
+
+  /// CPU consumed by this replica's datapath thread (handler or poller).
+  [[nodiscard]] Duration cpu_time() const;
+
+ private:
+  friend class NaiveGroup;
+
+  void arm_event_channel();
+  void poll_loop();
+  void handle_completions();              // drain CQ, schedule per-op work
+  void apply_and_forward(std::uint64_t msg_slot);
+  void post_recv_slot(std::uint32_t k);
+
+  Node& node_;
+  NaiveGroup& group_;
+  std::size_t index_;
+  bool is_tail_;
+  rnic::QueuePair* prev_ = nullptr;
+  rnic::QueuePair* next_ = nullptr;
+  rnic::CompletionQueue* recv_cq_ = nullptr;
+  rnic::CompletionQueue* send_cq_ = nullptr;
+  std::uint64_t msg_buf_addr_ = 0;  // slots * msg_bytes receive buffers
+  std::uint32_t msg_buf_lkey_ = 0;
+  cpu::ThreadId thread_ = cpu::kInvalidThread;
+  Lifetime alive_;
+  std::uint64_t recv_seq_ = 0;  // consumed message counter (slot = seq%slots)
+  bool running_ = false;
+};
+
+/// Client + factory of the naive datapath. Mirrors HyperLoopGroup's shape.
+class NaiveGroup : public GroupInterface {
+ public:
+  NaiveGroup(Cluster& cluster, std::size_t client_node,
+             std::vector<std::size_t> replica_nodes, std::uint64_t region_size,
+             NaiveParams params = {});
+
+  [[nodiscard]] std::size_t num_replicas() const override {
+    return replicas_.size();
+  }
+  [[nodiscard]] std::uint64_t region_size() const override {
+    return region_size_;
+  }
+
+  void region_write(std::uint64_t offset, const void* data,
+                    std::uint64_t len) override;
+  void region_read(std::uint64_t offset, void* dst,
+                   std::uint64_t len) const override;
+  void replica_read(std::size_t replica, std::uint64_t offset, void* dst,
+                    std::uint64_t len) const override;
+
+  void gwrite(std::uint64_t offset, std::uint32_t size, bool flush,
+              OpCallback cb) override;
+  void gcas(std::uint64_t offset, std::uint64_t expected,
+            std::uint64_t desired, ExecuteMap execute, bool flush,
+            OpCallback cb) override;
+  void gmemcpy(std::uint64_t src_offset, std::uint64_t dst_offset,
+               std::uint32_t size, bool flush, OpCallback cb) override;
+  void gflush(OpCallback cb) override;
+
+  [[nodiscard]] const NaiveParams& params() const { return params_; }
+  [[nodiscard]] NaiveReplica& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
+
+  /// Stop replica pollers (for tearing down polling-mode benchmarks).
+  void stop();
+
+ private:
+  friend class NaiveReplica;
+
+  struct MemberInfo {
+    std::uint64_t region_addr = 0;
+    std::uint32_t region_lkey = 0;
+    std::uint32_t region_rkey = 0;
+    std::uint64_t msg_addr = 0;   // message staging (send side)
+    std::uint32_t msg_lkey = 0;
+  };
+
+  struct PendingOp {
+    std::uint32_t op_id = 0;
+    OpCallback cb;
+    sim::EventId timeout;
+  };
+
+  [[nodiscard]] std::uint64_t msg_bytes() const {
+    return sizeof(NaiveHeader) + 8ull * replicas_.size();
+  }
+
+  void post_op(const NaiveHeader& header, OpCallback cb);
+  void pump_backlog();
+  void on_ack(const rnic::Completion& c);
+  void fail_all(Status status);
+
+  Cluster& cluster_;
+  NaiveParams params_;
+  std::uint64_t region_size_;
+  Node* client_node_;
+  std::vector<Node*> replica_nodes_;
+  std::vector<MemberInfo> members_;  // replicas, chain order
+  MemberInfo client_info_;
+  std::vector<std::unique_ptr<NaiveReplica>> replicas_;
+
+  // Client-side state.
+  rnic::QueuePair* down_ = nullptr;
+  rnic::QueuePair* ack_ = nullptr;
+  rnic::CompletionQueue* ack_cq_ = nullptr;
+  rnic::CompletionQueue* send_cq_ = nullptr;
+  std::uint64_t send_buf_addr_ = 0;  // slots * msg_bytes
+  std::uint32_t send_buf_lkey_ = 0;
+  std::uint64_t ack_buf_addr_ = 0;
+  std::uint32_t ack_buf_lkey_ = 0;
+  Lifetime alive_;
+  std::uint32_t next_op_id_ = 1;
+  std::deque<PendingOp> inflight_;
+  std::deque<std::pair<NaiveHeader, OpCallback>> backlog_;
+};
+
+}  // namespace hyperloop::core

@@ -1,0 +1,86 @@
+#include "kvstore/minicache.hpp"
+
+namespace hyperloop::kvstore {
+
+MiniCache::MiniCache(core::GroupInterface& group, sim::Simulator& sim,
+                     MiniCacheOptions options)
+    : group_(group),
+      sim_(sim),
+      options_(options),
+      slots_(group.region_size(), options.slot_bytes) {
+  if (options_.flush_interval > 0) {
+    sim_.schedule(options_.flush_interval,
+                  alive_.guard([this] { flush_tick(); }));
+  }
+}
+
+void MiniCache::flush_tick() {
+  group_.gflush([](Status, const auto&) {});
+  sim_.schedule(options_.flush_interval,
+                alive_.guard([this] { flush_tick(); }));
+}
+
+void MiniCache::set(std::string key, std::string value, DoneCallback done) {
+  std::uint32_t slot = 0;
+  const Status st = slots_.assign(key, value.size(), &slot);
+  if (!st.is_ok()) {
+    if (done) done(st);
+    return;
+  }
+  const auto bytes = slots_.encode(key, value);
+  group_.region_write(slots_.slot_offset(slot), bytes.data(), bytes.size());
+  ++sets_;
+  local_[std::move(key)] = std::move(value);
+  // No flush: the ack means in-memory on every replica, nothing more.
+  group_.gwrite(slots_.slot_offset(slot),
+                static_cast<std::uint32_t>(bytes.size()), /*flush=*/false,
+                [done = std::move(done)](Status s, const auto&) {
+                  if (done) done(s);
+                });
+}
+
+void MiniCache::del(const std::string& key, DoneCallback done) {
+  const auto slot = slots_.find(key);
+  if (!slot) {
+    if (done) done(Status(StatusCode::kNotFound, "no such key"));
+    return;
+  }
+  local_.erase(key);
+  slots_.erase(key);
+  const auto tomb = slots_.encode_tombstone();
+  group_.region_write(slots_.slot_offset(*slot), tomb.data(), tomb.size());
+  group_.gwrite(slots_.slot_offset(*slot),
+                static_cast<std::uint32_t>(tomb.size()), /*flush=*/false,
+                [done = std::move(done)](Status s, const auto&) {
+                  if (done) done(s);
+                });
+}
+
+std::optional<std::string> MiniCache::get(std::string_view key) const {
+  auto it = local_.find(std::string(key));
+  if (it == local_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status MiniCache::get_durable(std::size_t replica, std::string_view key,
+                              std::string* out) const {
+  const auto slot = slots_.find(key);
+  if (!slot) return {StatusCode::kNotFound, "no such key"};
+  std::vector<std::byte> buf(options_.slot_bytes);
+  group_.replica_read(replica, slots_.slot_offset(*slot), buf.data(),
+                      buf.size());
+  auto rec = storage::SlotTable::decode(buf.data(), options_.slot_bytes);
+  if (!rec || rec->key != key) {
+    return {StatusCode::kNotFound, "not (yet) durable on this replica"};
+  }
+  *out = std::move(rec->value);
+  return Status::ok();
+}
+
+void MiniCache::flush(DoneCallback done) {
+  group_.gflush([done = std::move(done)](Status s, const auto&) {
+    if (done) done(s);
+  });
+}
+
+}  // namespace hyperloop::kvstore

@@ -1,0 +1,78 @@
+// MiniCache: replicated cache semantics over the group primitives — the
+// paper's §7 weaker-consistency spectrum, made concrete:
+//
+//   "by ignoring the durability primitive, systems can get acceleration for
+//    RAMCloud like semantics ... by not using the log processing and
+//    durability in the critical path, systems can get replicated Memcache
+//    or Redis like semantics."
+//
+// Writes go straight to the database slots with unflushed gWRITEs — no WAL,
+// no locks, no durability barrier — so the ack means "replicated in memory",
+// like Memcache with replication or Redis with async persistence disabled.
+// A periodic (or explicit) gFLUSH upgrades the contents to durable, giving
+// RAMCloud-style buffered logging at a user-chosen cadence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "hyperloop/group_api.hpp"
+#include "sim/simulator.hpp"
+#include "storage/slot_table.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::kvstore {
+
+struct MiniCacheOptions {
+  std::uint32_t slot_bytes = 1280;
+  /// Periodic durability upgrade (0 disables). A power failure can lose at
+  /// most one period of writes — the RAMCloud-style buffering window.
+  Duration flush_interval = 10'000'000;  // 10ms
+};
+
+class MiniCache {
+ public:
+  using DoneCallback = std::function<void(Status)>;
+
+  /// Uses the whole replicated region as a slot table (no WAL area).
+  MiniCache(core::GroupInterface& group, sim::Simulator& sim,
+            MiniCacheOptions options = {});
+
+  /// Replicate a value; the callback fires when every replica holds it in
+  /// memory (NOT durably — that is the point of the semantics).
+  void set(std::string key, std::string value, DoneCallback done);
+
+  /// Drop a key (tombstone replicated like a set).
+  void del(const std::string& key, DoneCallback done);
+
+  /// Client-local lookup (the coordinator's authoritative copy).
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Lookup against a replica's memory-or-NVM view: parses the slot from
+  /// the replica's durable bytes. Visible only after a flush window, which
+  /// tests use to demonstrate the durability gap.
+  Status get_durable(std::size_t replica, std::string_view key,
+                     std::string* out) const;
+
+  /// Upgrade everything replicated so far to durable.
+  void flush(DoneCallback done);
+
+  [[nodiscard]] std::size_t size() const { return local_.size(); }
+  [[nodiscard]] std::uint64_t sets() const { return sets_; }
+
+ private:
+  void flush_tick();
+
+  core::GroupInterface& group_;
+  sim::Simulator& sim_;
+  MiniCacheOptions options_;
+  storage::SlotTable slots_;
+  std::unordered_map<std::string, std::string> local_;
+  Lifetime alive_;
+  std::uint64_t sets_ = 0;
+};
+
+}  // namespace hyperloop::kvstore

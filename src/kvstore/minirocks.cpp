@@ -1,0 +1,193 @@
+#include "kvstore/minirocks.hpp"
+
+namespace hyperloop::kvstore {
+
+MiniRocks::MiniRocks(core::GroupInterface& group,
+                     storage::TransactionCoordinator& txc,
+                     MiniRocksOptions options, Node* client_node)
+    : group_(group),
+      txc_(txc),
+      options_(options),
+      client_node_(client_node),
+      slots_(txc.layout().db_size, options.slot_bytes) {
+  if (client_node_ != nullptr) {
+    client_thread_ = client_node_->sched().create_thread("minirocks-app");
+  }
+}
+
+void MiniRocks::with_cpu(std::function<void()> work) {
+  if (client_node_ == nullptr) {
+    work();
+    return;
+  }
+  client_node_->sched().submit(client_thread_, options_.client_cpu,
+                               std::move(work));
+}
+
+storage::TxnOptions MiniRocks::make_txn_options(const MiniRocksOptions& o) {
+  storage::TxnOptions t;
+  t.mode = o.strong_consistency
+               ? storage::TxnOptions::ExecuteMode::kImmediate
+               : storage::TxnOptions::ExecuteMode::kDeferred;
+  t.use_locking = o.strong_consistency;
+  return t;
+}
+
+void MiniRocks::commit_entries(
+    const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>&
+        writes,
+    DoneCallback done) {
+  auto txn = txc_.begin();
+  for (const auto& [offset, bytes] : writes) {
+    txn.put(offset, bytes.data(), bytes.size());
+  }
+  ++uncheckpointed_;
+  const bool checkpoint = !options_.strong_consistency &&
+                          uncheckpointed_ >= options_.auto_execute_batch;
+  txc_.commit(std::move(txn),
+              [this, checkpoint, done = std::move(done)](Status s) {
+                if (!s.is_ok()) {
+                  if (done) done(s);
+                  return;
+                }
+                if (checkpoint && !flush_in_progress_) {
+                  // Periodic batch execution: replicas catch up and the WAL
+                  // ring truncates (RocksDB's dump + log truncation). This
+                  // runs *off the critical path* — the committing write does
+                  // not wait for it (paper §5.1: replicas "wake up
+                  // periodically off the critical path").
+                  uncheckpointed_ = 0;
+                  flush_in_progress_ = true;
+                  txc_.flush_deferred([this](Status) {
+                    flush_in_progress_ = false;
+                  });
+                }
+                if (done) done(Status::ok());
+              });
+}
+
+void MiniRocks::put(std::string key, std::string value, DoneCallback done) {
+  with_cpu([this, key = std::move(key), value = std::move(value),
+            done = std::move(done)]() mutable {
+    std::uint32_t slot = 0;
+    const Status st = slots_.assign(key, value.size(), &slot);
+    if (!st.is_ok()) {
+      if (done) done(st);
+      return;
+    }
+    auto encoded = slots_.encode(key, value);
+    ++puts_;
+    memtable_[std::move(key)] = std::move(value);
+    commit_entries({{slots_.slot_offset(slot), std::move(encoded)}},
+                   std::move(done));
+  });
+}
+
+void MiniRocks::erase(std::string key, DoneCallback done) {
+  const auto slot = slots_.find(key);
+  if (!slot) {
+    if (done) done(Status(StatusCode::kNotFound, "no such key"));
+    return;
+  }
+  memtable_.erase(key);
+  slots_.erase(key);
+  ++deletes_;
+  commit_entries({{slots_.slot_offset(*slot), slots_.encode_tombstone()}},
+                 std::move(done));
+}
+
+void MiniRocks::write_batch(
+    std::vector<std::pair<std::string, std::string>> puts, DoneCallback done) {
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> writes;
+  for (auto& [key, value] : puts) {
+    std::uint32_t slot = 0;
+    const Status st = slots_.assign(key, value.size(), &slot);
+    if (!st.is_ok()) {
+      if (done) done(st);
+      return;
+    }
+    writes.emplace_back(slots_.slot_offset(slot), slots_.encode(key, value));
+    ++puts_;
+    memtable_[std::move(key)] = std::move(value);
+  }
+  commit_entries(writes, std::move(done));
+}
+
+std::optional<std::string> MiniRocks::get(std::string_view key) const {
+  auto it = memtable_.find(key);
+  if (it == memtable_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status MiniRocks::get_from_replica(std::size_t replica, std::string_view key,
+                                   std::string* out) const {
+  const auto slot = slots_.find(key);
+  if (!slot) return {StatusCode::kNotFound, "no such key"};
+  std::vector<std::byte> buf(options_.slot_bytes);
+  group_.replica_read(replica,
+                      txc_.layout().db_offset() + slots_.slot_offset(*slot),
+                      buf.data(), buf.size());
+  auto rec = storage::SlotTable::decode(buf.data(), options_.slot_bytes);
+  if (!rec || rec->key != key) {
+    // The slot has not caught up on this replica yet (deferred mode).
+    return {StatusCode::kNotFound, "not yet visible on this replica"};
+  }
+  *out = std::move(rec->value);
+  return Status::ok();
+}
+
+std::vector<std::pair<std::string, std::string>> MiniRocks::scan(
+    std::string_view start_key, std::size_t count) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = memtable_.lower_bound(start_key);
+       it != memtable_.end() && out.size() < count; ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+void MiniRocks::flush_wal(DoneCallback done) {
+  uncheckpointed_ = 0;
+  txc_.flush_deferred(std::move(done));
+}
+
+std::size_t MiniRocks::recover_from_replica(const storage::ReplicatedLog& log,
+                                            std::size_t replica) {
+  // 1. The executed state: decode every occupied database slot.
+  slots_.rebuild(group_, txc_.layout().db_offset(), /*from_replica=*/true,
+                 replica);
+  memtable_.clear();
+  std::vector<std::byte> buf(options_.slot_bytes);
+  for (std::uint32_t s = 0; s < slots_.num_slots(); ++s) {
+    group_.replica_read(replica,
+                        txc_.layout().db_offset() + slots_.slot_offset(s),
+                        buf.data(), buf.size());
+    if (auto rec = storage::SlotTable::decode(buf.data(),
+                                              options_.slot_bytes)) {
+      memtable_[std::move(rec->key)] = std::move(rec->value);
+    }
+  }
+
+  // 2. The committed-but-unexecuted tail: replay intact WAL records in LSN
+  //    order. Each entry is a whole-slot image, so replay is idempotent.
+  const auto records = log.recover_from_replica(replica);
+  for (const auto& record : records) {
+    for (const auto& entry : record.entries) {
+      const auto slot = static_cast<std::uint32_t>(
+          entry.db_offset / options_.slot_bytes);
+      // Whoever owned this slot before the replayed write loses it.
+      if (auto prev = slots_.key_at(slot)) memtable_.erase(*prev);
+      if (auto rec = storage::SlotTable::decode(entry.data.data(),
+                                                options_.slot_bytes)) {
+        HL_CHECK(entry.data.size() == options_.slot_bytes);
+        slots_.claim(rec->key, slot);  // the entry names the exact slot
+        memtable_[std::move(rec->key)] = std::move(rec->value);
+      } else if (auto prev = slots_.key_at(slot)) {
+        slots_.erase(*prev);  // tombstone image
+      }
+    }
+  }
+  return records.size();
+}
+
+}  // namespace hyperloop::kvstore

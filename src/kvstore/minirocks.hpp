@@ -1,0 +1,115 @@
+// MiniRocks: a RocksDB-style embedded key-value store over the replicated
+// storage substrate (paper §5.1).
+//
+// Like the paper's modified RocksDB, the store serves everything from an
+// in-memory structure (the memtable) and uses the replicated durable
+// write-ahead log for persistence: Append replaces the native unreplicated
+// WAL append, and replicas' database copies are brought in sync off the
+// critical path (ExecuteAndAdvance), so reads from backup replicas are
+// *eventually consistent* — the consistency model the paper describes for
+// this case study. Strong mode (execute inside commit, under group locks)
+// is available through the options.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/scheduler.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group_api.hpp"
+#include "storage/log.hpp"
+#include "storage/slot_table.hpp"
+#include "storage/transaction.hpp"
+
+namespace hyperloop::kvstore {
+
+struct MiniRocksOptions {
+  /// Fixed database slot size; records (key+value+8B header) must fit.
+  std::uint32_t slot_bytes = 1280;
+  /// Execute replicated log records inside commit (strong) or defer them
+  /// to flush_wal()/background batches (RocksDB-like, eventual replicas).
+  bool strong_consistency = false;
+  /// Deferred mode: auto-execute the backlog whenever it reaches this many
+  /// committed records (a checkpoint-like batch).
+  std::uint32_t auto_execute_batch = 32;
+  /// CPU the embedding application burns per operation (serialization,
+  /// memtable bookkeeping). Only charged when a client node is supplied.
+  Duration client_cpu = 3'000;
+};
+
+class MiniRocks {
+ public:
+  using DoneCallback = storage::DoneCallback;
+  using GetCallback = std::function<void(Status, std::string value)>;
+
+  /// The coordinator-side store. `txc` must be configured with the matching
+  /// execute mode (see make_txn_options()). When `client_node` is given,
+  /// each operation charges options.client_cpu on that node's scheduler —
+  /// the embedding application's share of the work.
+  MiniRocks(core::GroupInterface& group, storage::TransactionCoordinator& txc,
+            MiniRocksOptions options = {}, Node* client_node = nullptr);
+
+  /// TxnOptions consistent with these store options.
+  static storage::TxnOptions make_txn_options(const MiniRocksOptions& o);
+
+  // --- Write path (replicated + durable before the callback) ---
+  void put(std::string key, std::string value, DoneCallback done);
+  void erase(std::string key, DoneCallback done);
+
+  /// Atomic multi-key write batch (RocksDB WriteBatch).
+  void write_batch(std::vector<std::pair<std::string, std::string>> puts,
+                   DoneCallback done);
+
+  // --- Read path ---
+  /// Serve from the memtable (the primary's authoritative state).
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Serve from a backup replica's durable copy (eventually consistent in
+  /// deferred mode). kNotFound when absent on that replica.
+  Status get_from_replica(std::size_t replica, std::string_view key,
+                          std::string* out) const;
+
+  /// Ordered range scan from the memtable.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> scan(
+      std::string_view start_key, std::size_t count) const;
+
+  /// Execute the deferred WAL backlog (bring replicas in sync + truncate).
+  void flush_wal(DoneCallback done);
+
+  /// Coordinator recovery: rebuild the memtable and slot index from a
+  /// replica's durable state — its database slots plus any intact,
+  /// unexecuted WAL records (which a new coordinator must replay). Returns
+  /// the number of records replayed from the WAL.
+  std::size_t recover_from_replica(const storage::ReplicatedLog& log,
+                                   std::size_t replica);
+
+  [[nodiscard]] std::size_t size() const { return memtable_.size(); }
+  [[nodiscard]] std::uint64_t puts() const { return puts_; }
+  [[nodiscard]] std::uint64_t deletes() const { return deletes_; }
+
+ private:
+  void commit_entries(
+      const std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>&
+          writes,
+      DoneCallback done);
+
+  void with_cpu(std::function<void()> work);
+
+  core::GroupInterface& group_;
+  storage::TransactionCoordinator& txc_;
+  MiniRocksOptions options_;
+  Node* client_node_ = nullptr;
+  cpu::ThreadId client_thread_ = cpu::kInvalidThread;
+  storage::SlotTable slots_;
+  std::map<std::string, std::string, std::less<>> memtable_;
+  std::uint32_t uncheckpointed_ = 0;
+  bool flush_in_progress_ = false;
+  std::uint64_t puts_ = 0;
+  std::uint64_t deletes_ = 0;
+};
+
+}  // namespace hyperloop::kvstore

@@ -1,0 +1,122 @@
+#include "mem/host_memory.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::mem {
+
+HostMemory::HostMemory(std::uint64_t size_bytes) : data_(size_bytes) {}
+
+std::uint64_t HostMemory::alloc(std::uint64_t size, std::uint64_t align) {
+  HL_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+  const std::uint64_t start = (bump_ + align - 1) & ~(align - 1);
+  HL_CHECK_MSG(start + size <= data_.size(), "host memory exhausted");
+  bump_ = start + size;
+  return start;
+}
+
+void HostMemory::write(std::uint64_t addr, const void* src,
+                       std::uint64_t len) {
+  HL_CHECK_MSG(in_bounds(addr, len), "raw write out of bounds");
+  std::memcpy(data_.data() + addr, src, len);
+}
+
+void HostMemory::read(std::uint64_t addr, void* dst, std::uint64_t len) const {
+  HL_CHECK_MSG(in_bounds(addr, len), "raw read out of bounds");
+  std::memcpy(dst, data_.data() + addr, len);
+}
+
+std::uint64_t HostMemory::read_u64(std::uint64_t addr) const {
+  std::uint64_t v = 0;
+  read(addr, &v, sizeof(v));
+  return v;
+}
+
+void HostMemory::write_u64(std::uint64_t addr, std::uint64_t value) {
+  write(addr, &value, sizeof(value));
+}
+
+std::span<std::byte> HostMemory::span(std::uint64_t addr, std::uint64_t len) {
+  HL_CHECK_MSG(in_bounds(addr, len), "span out of bounds");
+  return {data_.data() + addr, static_cast<std::size_t>(len)};
+}
+
+std::span<const std::byte> HostMemory::span(std::uint64_t addr,
+                                            std::uint64_t len) const {
+  HL_CHECK_MSG(in_bounds(addr, len), "span out of bounds");
+  return {data_.data() + addr, static_cast<std::size_t>(len)};
+}
+
+MemoryRegion HostMemory::register_region(std::uint64_t addr,
+                                         std::uint64_t size,
+                                         std::uint32_t access,
+                                         TenantToken tenant) {
+  HL_CHECK_MSG(in_bounds(addr, size), "registration out of bounds");
+  MemoryRegion mr;
+  mr.addr = addr;
+  mr.size = size;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.access = access;
+  mr.tenant = tenant;
+  regions_.push_back(mr);
+  return mr;
+}
+
+Status HostMemory::deregister(std::uint32_t lkey) {
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [&](const MemoryRegion& r) { return r.lkey == lkey; });
+  if (it == regions_.end()) {
+    return {StatusCode::kNotFound, "no region with that lkey"};
+  }
+  regions_.erase(it);
+  return Status::ok();
+}
+
+const MemoryRegion* HostMemory::find_by_rkey(std::uint32_t rkey) const {
+  for (const auto& r : regions_) {
+    if (r.rkey == rkey) return &r;
+  }
+  return nullptr;
+}
+
+const MemoryRegion* HostMemory::find_by_lkey(std::uint32_t lkey) const {
+  for (const auto& r : regions_) {
+    if (r.lkey == lkey) return &r;
+  }
+  return nullptr;
+}
+
+Status HostMemory::check_local(std::uint64_t addr, std::uint64_t len,
+                               std::uint32_t lkey,
+                               std::uint32_t required_access) const {
+  const MemoryRegion* r = find_by_lkey(lkey);
+  if (r == nullptr) return {StatusCode::kPermissionDenied, "unknown lkey"};
+  if ((r->access & required_access) != required_access) {
+    return {StatusCode::kPermissionDenied, "missing local access flag"};
+  }
+  if (addr < r->addr || addr + len > r->addr + r->size) {
+    return {StatusCode::kOutOfRange, "local access outside region"};
+  }
+  return Status::ok();
+}
+
+Status HostMemory::check_remote(std::uint64_t addr, std::uint64_t len,
+                                std::uint32_t rkey,
+                                std::uint32_t required_access,
+                                TenantToken caller_tenant) const {
+  const MemoryRegion* r = find_by_rkey(rkey);
+  if (r == nullptr) return {StatusCode::kPermissionDenied, "unknown rkey"};
+  if (r->tenant != caller_tenant) {
+    return {StatusCode::kPermissionDenied, "tenant token mismatch"};
+  }
+  if ((r->access & required_access) != required_access) {
+    return {StatusCode::kPermissionDenied, "missing remote access flag"};
+  }
+  if (addr < r->addr || addr + len > r->addr + r->size) {
+    return {StatusCode::kOutOfRange, "remote access outside region"};
+  }
+  return Status::ok();
+}
+
+}  // namespace hyperloop::mem

@@ -1,0 +1,107 @@
+// Per-node host memory backed by (simulated) non-volatile main memory, plus
+// verbs-style memory registration.
+//
+// The storage medium in the paper is battery-backed DRAM: once bytes reach
+// the host memory hierarchy they are durable. What is *not* durable is data
+// still sitting in the NIC's volatile cache — that distinction lives in the
+// NIC model (rnic/nic_cache.hpp); this class holds the durable bytes and the
+// registration/permission machinery that gates every remote access.
+//
+// Registration mirrors the security story in the paper (§7): each region
+// carries access flags and a tenant token, and remote operations must present
+// a matching rkey *and* token, so one tenant's client cannot touch another
+// tenant's queues or data.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace hyperloop::mem {
+
+enum AccessFlags : std::uint32_t {
+  kLocalRead = 1u << 0,
+  kLocalWrite = 1u << 1,
+  kRemoteRead = 1u << 2,
+  kRemoteWrite = 1u << 3,
+  kRemoteAtomic = 1u << 4,
+};
+
+/// Token identifying the tenant a region belongs to. 0 is reserved for
+/// infrastructure regions (WQE rings, metadata) owned by the local driver.
+using TenantToken = std::uint64_t;
+
+struct MemoryRegion {
+  std::uint64_t addr = 0;   // offset within the node's host memory
+  std::uint64_t size = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t access = 0;
+  TenantToken tenant = 0;
+};
+
+class HostMemory {
+ public:
+  explicit HostMemory(std::uint64_t size_bytes);
+
+  [[nodiscard]] std::uint64_t size() const { return data_.size(); }
+
+  /// Bump-allocate an unregistered range (for laying out logs, databases,
+  /// rings). Returns the start address. Throws SetupError when exhausted.
+  std::uint64_t alloc(std::uint64_t size, std::uint64_t align = 8);
+
+  // --- Raw access (used by the CPU side and by the NIC after checks) ---
+
+  void write(std::uint64_t addr, const void* src, std::uint64_t len);
+  void read(std::uint64_t addr, void* dst, std::uint64_t len) const;
+
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t addr) const;
+  void write_u64(std::uint64_t addr, std::uint64_t value);
+
+  /// Mutable view; bounds-checked. For hot paths (NIC DMA, WQE parsing).
+  [[nodiscard]] std::span<std::byte> span(std::uint64_t addr,
+                                          std::uint64_t len);
+  [[nodiscard]] std::span<const std::byte> span(std::uint64_t addr,
+                                                std::uint64_t len) const;
+
+  // --- Registration ---
+
+  /// Register [addr, addr+size) with the given access flags and tenant.
+  /// Returns the region descriptor (unique lkey/rkey).
+  MemoryRegion register_region(std::uint64_t addr, std::uint64_t size,
+                               std::uint32_t access, TenantToken tenant);
+
+  /// Invalidate a registration. Outstanding operations using its keys fail.
+  Status deregister(std::uint32_t lkey);
+
+  /// Validate a local-key access of [addr, addr+len).
+  [[nodiscard]] Status check_local(std::uint64_t addr, std::uint64_t len,
+                                   std::uint32_t lkey,
+                                   std::uint32_t required_access) const;
+
+  /// Validate a remote-key access: bounds, access flags, and tenant match.
+  [[nodiscard]] Status check_remote(std::uint64_t addr, std::uint64_t len,
+                                    std::uint32_t rkey,
+                                    std::uint32_t required_access,
+                                    TenantToken caller_tenant) const;
+
+  [[nodiscard]] const MemoryRegion* find_by_rkey(std::uint32_t rkey) const;
+  [[nodiscard]] const MemoryRegion* find_by_lkey(std::uint32_t lkey) const;
+
+  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
+
+ private:
+  [[nodiscard]] bool in_bounds(std::uint64_t addr, std::uint64_t len) const {
+    return addr <= data_.size() && len <= data_.size() - addr;
+  }
+
+  std::vector<std::byte> data_;
+  std::uint64_t bump_ = 0;
+  std::vector<MemoryRegion> regions_;
+  std::uint32_t next_key_ = 0x1000;  // lkey == rkey-1 pairs from a counter
+};
+
+}  // namespace hyperloop::mem

@@ -1,0 +1,232 @@
+#include "replication/chain.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::replication {
+
+namespace {
+/// Tenant token for monitoring infrastructure regions.
+constexpr mem::TenantToken kMonitorTenant = 0xBEA7;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HeartbeatMonitor
+// ---------------------------------------------------------------------------
+
+HeartbeatMonitor::HeartbeatMonitor(
+    Cluster& cluster, std::size_t client_node,
+    const std::vector<std::size_t>& replica_nodes, HeartbeatParams params)
+    : cluster_(cluster),
+      params_(params),
+      client_(&cluster.node(client_node)),
+      misses_(replica_nodes.size(), 0) {
+  rnic::Nic& cnic = client_->nic();
+  for (std::size_t i = 0; i < replica_nodes.size(); ++i) {
+    Node& replica = cluster_.node(replica_nodes[i]);
+    Probe probe;
+    probe.cq = cnic.create_cq();
+    probe.qp = cnic.create_qp(probe.cq, probe.cq, 8, kMonitorTenant);
+
+    mem::HostMemory& cmem = client_->memory();
+    probe.scratch_addr = cmem.alloc(8, 8);
+    const mem::MemoryRegion smr = cmem.register_region(
+        probe.scratch_addr, 8, mem::kLocalRead | mem::kLocalWrite,
+        kMonitorTenant);
+    probe.scratch_lkey = smr.lkey;
+
+    mem::HostMemory& rmem = replica.memory();
+    probe.target_addr = rmem.alloc(8, 8);
+    const mem::MemoryRegion tmr = rmem.register_region(
+        probe.target_addr, 8, mem::kRemoteRead, kMonitorTenant);
+    probe.target_rkey = tmr.rkey;
+
+    // Remote side of the probe QP: a passive QP on the replica NIC that
+    // merely answers one-sided READs (no replica CPU ever runs).
+    rnic::Nic& rnic = replica.nic();
+    rnic::CompletionQueue* rcq = rnic.create_cq();
+    rnic::QueuePair* rqp = rnic.create_qp(rcq, rcq, 1, kMonitorTenant);
+    cnic.connect(probe.qp, replica.id(), rqp->id());
+    rnic.connect(rqp, client_->id(), probe.qp->id());
+
+    probes_.push_back(probe);
+  }
+}
+
+void HeartbeatMonitor::start(FailureCallback on_failure) {
+  on_failure_ = std::move(on_failure);
+  running_ = true;
+  tick();
+}
+
+void HeartbeatMonitor::tick() {
+  if (!running_) return;
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    Probe& probe = probes_[i];
+    if (misses_[i] >= params_.misses_for_failure) continue;  // declared dead
+    // Drop any stale completions from the previous round.
+    while (probe.cq->poll()) {
+    }
+    rnic::SendWr read;
+    read.opcode = rnic::Opcode::kRead;
+    read.flags = rnic::kSignaled;
+    read.local_addr = probe.scratch_addr;
+    read.local_len = 8;
+    read.lkey = probe.scratch_lkey;
+    read.remote_addr = probe.target_addr;
+    read.rkey = probe.target_rkey;
+    const bool posted = probe.qp->post_send(read).is_ok();
+    if (posted) ++probes_sent_;
+
+    cluster_.sim().schedule(params_.probe_timeout,
+                            alive_.guard([this, i, posted] {
+      if (!running_) return;
+      Probe& p = probes_[i];
+      bool ok = false;
+      while (auto wc = p.cq->poll()) {
+        ok = posted && wc->status == StatusCode::kOk;
+      }
+      if (ok) {
+        misses_[i] = 0;
+        return;
+      }
+      if (++misses_[i] == params_.misses_for_failure && on_failure_) {
+        on_failure_(i);
+      }
+    }));
+  }
+  cluster_.sim().schedule(params_.interval, alive_.guard([this] { tick(); }));
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedStore
+// ---------------------------------------------------------------------------
+
+ReplicatedStore::ReplicatedStore(Cluster& cluster, std::size_t client_node,
+                                 std::vector<std::size_t> replica_nodes,
+                                 StoreParams params)
+    : cluster_(cluster),
+      client_node_(client_node),
+      replica_nodes_(std::move(replica_nodes)),
+      params_(params) {
+  build_stack();
+}
+
+ReplicatedStore::~ReplicatedStore() {
+  if (monitor_) monitor_->stop();
+}
+
+void ReplicatedStore::build_stack() {
+  group_ = std::make_unique<core::HyperLoopGroup>(
+      cluster_, client_node_, replica_nodes_, params_.layout.region_size(),
+      params_.group);
+  log_ = std::make_unique<storage::ReplicatedLog>(group_->client(),
+                                                  params_.layout);
+  locks_ = std::make_unique<storage::GroupLockManager>(
+      group_->client(), cluster_.sim(), params_.layout, params_.owner_id);
+  txc_ = std::make_unique<storage::TransactionCoordinator>(
+      group_->client(), *log_, *locks_, params_.txn);
+}
+
+void ReplicatedStore::initialize_blocking() {
+  bool done = false;
+  log_->initialize([&](Status s) {
+    HL_CHECK_MSG(s.is_ok(), "log initialization failed");
+    done = true;
+  });
+  while (!done) {
+    cluster_.sim().run_until(cluster_.sim().now() + 100'000);
+  }
+}
+
+void ReplicatedStore::start_monitoring(
+    std::function<void(std::size_t)> on_failure) {
+  on_failure_ = std::move(on_failure);
+  monitor_ = std::make_unique<HeartbeatMonitor>(
+      cluster_, client_node_, replica_nodes_, params_.heartbeat);
+  monitor_->start([this](std::size_t replica) {
+    // Degraded: stop accepting writes until the chain is rebuilt.
+    paused_ = true;
+    if (on_failure_) on_failure_(replica);
+  });
+}
+
+void ReplicatedStore::commit(storage::Transaction txn,
+                             storage::DoneCallback done) {
+  if (paused_) {
+    if (done) {
+      done(Status(StatusCode::kUnavailable, "chain degraded; recovering"));
+    }
+    return;
+  }
+  txc_->commit(std::move(txn), std::move(done));
+}
+
+void ReplicatedStore::replace_replica(std::size_t failed_replica,
+                                      std::size_t replacement,
+                                      storage::DoneCallback done) {
+  paused_ = true;
+  if (monitor_) monitor_->stop();
+
+  // Snapshot the coordinator's authoritative region. Lock words are cleared:
+  // any in-flight transaction already failed, and this coordinator is the
+  // only lock owner.
+  const std::uint64_t region = params_.layout.region_size();
+  std::vector<std::byte> snapshot(region);
+  group_->client().region_read(0, snapshot.data(), region);
+  const std::uint64_t lock_base = params_.layout.lock_offset(0);
+  std::fill(snapshot.begin() + static_cast<std::ptrdiff_t>(lock_base),
+            snapshot.begin() +
+                static_cast<std::ptrdiff_t>(lock_base +
+                                            8ull * params_.layout.num_locks),
+            std::byte{0});
+
+  // New chain: replacement takes the failed member's position.
+  replica_nodes_[failed_replica] = replacement;
+  build_stack();
+  group_->client().region_write(0, snapshot.data(), snapshot.size());
+  log_->restore_from_client_region();
+
+  // Bulk catch-up: stream the snapshot to every member in chunks, flushing
+  // the final chunk so completion implies group-wide durability.
+  catch_up(0, [this, done = std::move(done)](Status s) {
+    if (!s.is_ok()) {
+      if (done) done(s);
+      return;
+    }
+    ++recoveries_;
+    paused_ = false;
+    if (on_failure_) {
+      monitor_ = std::make_unique<HeartbeatMonitor>(
+          cluster_, client_node_, replica_nodes_, params_.heartbeat);
+      monitor_->start([this](std::size_t replica) {
+        paused_ = true;
+        if (on_failure_) on_failure_(replica);
+      });
+    }
+    if (done) done(Status::ok());
+  });
+}
+
+void ReplicatedStore::catch_up(std::uint64_t offset,
+                               storage::DoneCallback done) {
+  const std::uint64_t region = params_.layout.region_size();
+  if (offset >= region) {
+    if (done) done(Status::ok());
+    return;
+  }
+  const auto chunk = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(params_.recovery_chunk, region - offset));
+  const bool last = offset + chunk >= region;
+  group_->client().gwrite(
+      offset, chunk, /*flush=*/last,
+      [this, offset, chunk, done = std::move(done)](Status s,
+                                                    const auto&) mutable {
+        if (!s.is_ok()) {
+          if (done) done(s);
+          return;
+        }
+        catch_up(offset + chunk, std::move(done));
+      });
+}
+
+}  // namespace hyperloop::replication

@@ -1,0 +1,148 @@
+// Chain-replication control plane: membership, heartbeat-based failure
+// detection, and pause-and-catch-up recovery (paper §5, "RocksDB Recovery" /
+// "MongoDB Recovery").
+//
+// HyperLoop deliberately accelerates only the data path; the control path
+// stays conventional. This module supplies that conventional part:
+//
+//  * HeartbeatMonitor — per-replica RDMA-level liveness probes (0-byte-class
+//    READs, no replica CPU); a configurable number of consecutive misses
+//    declares a data-path failure, after which the storage layer pauses
+//    writes and runs recovery [Aguilera et al., timeout-based detection].
+//  * ReplicatedStore — owns the group datapath and the storage stack on top
+//    of it, and can rebuild the chain with a replacement node: construct a
+//    fresh group over the new membership, bulk-copy the authoritative state
+//    (the coordinator's region) to every member, and resume writes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "storage/transaction.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::replication {
+
+struct HeartbeatParams {
+  Duration interval = 2'000'000;      // 2ms between probes
+  Duration probe_timeout = 1'500'000; // per-probe deadline
+  int misses_for_failure = 3;         // paper: configurable consecutive misses
+};
+
+/// Probes every replica of a HyperLoop group over dedicated QPs. Purely
+/// one-sided: a live NIC answers without CPU, matching the paper's statement
+/// that failures are detected at the data-path level.
+class HeartbeatMonitor {
+ public:
+  using FailureCallback = std::function<void(std::size_t replica)>;
+
+  HeartbeatMonitor(Cluster& cluster, std::size_t client_node,
+                   const std::vector<std::size_t>& replica_nodes,
+                   HeartbeatParams params = {});
+
+  void start(FailureCallback on_failure);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] int misses(std::size_t replica) const {
+    return misses_[replica];
+  }
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  struct Probe {
+    rnic::QueuePair* qp = nullptr;         // client side
+    rnic::CompletionQueue* cq = nullptr;
+    std::uint64_t scratch_addr = 0;        // READ deposit target
+    std::uint32_t scratch_lkey = 0;
+    std::uint64_t target_addr = 0;         // remote probe word
+    std::uint32_t target_rkey = 0;
+  };
+
+  void tick();
+
+  Cluster& cluster_;
+  HeartbeatParams params_;
+  Lifetime alive_;
+  Node* client_;
+  std::vector<Probe> probes_;
+  std::vector<int> misses_;
+  FailureCallback on_failure_;
+  bool running_ = false;
+  std::uint64_t probes_sent_ = 0;
+};
+
+struct StoreParams {
+  storage::RegionLayout layout;
+  core::GroupParams group;
+  storage::TxnOptions txn;
+  HeartbeatParams heartbeat;
+  std::uint64_t owner_id = 1;
+  /// Bulk catch-up copy chunk (one gwrite per chunk during recovery).
+  std::uint32_t recovery_chunk = 64 * 1024;
+};
+
+/// A replicated transactional store with a self-healing chain. This is the
+/// top-level object applications embed: transactions in, availability out.
+class ReplicatedStore {
+ public:
+  ReplicatedStore(Cluster& cluster, std::size_t client_node,
+                  std::vector<std::size_t> replica_nodes,
+                  StoreParams params = {});
+  ~ReplicatedStore();
+
+  /// Finish asynchronous initialization (log init). Runs the simulator.
+  void initialize_blocking();
+
+  [[nodiscard]] storage::TransactionCoordinator& txc() { return *txc_; }
+  [[nodiscard]] storage::ReplicatedLog& log() { return *log_; }
+  [[nodiscard]] storage::GroupLockManager& locks() { return *locks_; }
+  [[nodiscard]] core::GroupInterface& group() { return group_->client(); }
+  [[nodiscard]] core::HyperLoopGroup& raw_group() { return *group_; }
+  [[nodiscard]] const std::vector<std::size_t>& members() const {
+    return replica_nodes_;
+  }
+
+  /// Writes refuse with kUnavailable while the chain is degraded.
+  [[nodiscard]] bool write_available() const { return !paused_; }
+
+  /// Begin monitoring; on failure the store pauses writes and invokes the
+  /// handler, which should call replace_replica() (or repair the node and
+  /// call resume()).
+  void start_monitoring(std::function<void(std::size_t replica)> on_failure);
+
+  /// Rebuild the chain with `replacement` standing in for `failed_replica`
+  /// (chain position preserved), bulk-copy the coordinator's authoritative
+  /// region state to all members of the new chain, and resume writes.
+  /// Asynchronous; `done` fires when the chain is healthy again.
+  void replace_replica(std::size_t failed_replica, std::size_t replacement,
+                       storage::DoneCallback done);
+
+  /// Commit through the store; respects the paused flag.
+  void commit(storage::Transaction txn, storage::DoneCallback done);
+
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  void build_stack();
+  void catch_up(std::uint64_t offset, storage::DoneCallback done);
+
+  Cluster& cluster_;
+  std::size_t client_node_;
+  std::vector<std::size_t> replica_nodes_;
+  StoreParams params_;
+  std::unique_ptr<core::HyperLoopGroup> group_;
+  std::unique_ptr<storage::ReplicatedLog> log_;
+  std::unique_ptr<storage::GroupLockManager> locks_;
+  std::unique_ptr<storage::TransactionCoordinator> txc_;
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  std::function<void(std::size_t)> on_failure_;
+  bool paused_ = false;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace hyperloop::replication

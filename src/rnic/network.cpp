@@ -1,0 +1,58 @@
+#include "rnic/network.hpp"
+
+#include <algorithm>
+
+#include "rnic/nic.hpp"
+
+namespace hyperloop::rnic {
+
+Network::Network(sim::Simulator& sim, LinkParams params)
+    : sim_(sim), params_(params) {}
+
+void Network::attach(Nic* nic) {
+  HL_CHECK_MSG(nics_.find(nic->id()) == nics_.end(), "duplicate NIC id");
+  nics_[nic->id()] = nic;
+}
+
+bool Network::is_down(NicId id) const {
+  auto it = down_.find(id);
+  return it != down_.end() && it->second;
+}
+
+void Network::set_node_down(NicId id, bool down) { down_[id] = down; }
+
+void Network::send(Message msg) {
+  if (is_down(msg.src) || is_down(msg.dst)) return;  // timeouts notice
+  auto it = nics_.find(msg.dst);
+  HL_CHECK_MSG(it != nics_.end(), "message to unknown NIC");
+  Nic* dst = it->second;
+
+  const std::uint64_t wire_bytes = params_.header_bytes + msg.payload.size();
+  ++messages_sent_;
+  bytes_sent_ += wire_bytes;
+
+  Time arrival;
+  if (msg.src == msg.dst) {
+    // Loopback QPs never touch the wire; cost is a PCIe round through the
+    // NIC at roughly double link rate.
+    arrival = sim_.now() + params_.loopback +
+              static_cast<Duration>(static_cast<double>(wire_bytes) /
+                                    (2.0 * params_.bytes_per_ns));
+  } else {
+    // One TX port per NIC: every outgoing message serializes at link rate
+    // regardless of destination. FIFO per source implies FIFO per (src,
+    // dst), which RC ordering relies on.
+    const Duration serialize = static_cast<Duration>(
+        static_cast<double>(wire_bytes) / params_.bytes_per_ns);
+    Time depart = std::max(sim_.now(), tx_port_free_at_[msg.src]);
+    tx_port_free_at_[msg.src] = depart + serialize;
+    arrival = depart + serialize + params_.propagation;
+  }
+
+  sim_.schedule_at(arrival, [dst, m = std::move(msg), this]() mutable {
+    if (is_down(m.dst)) return;  // went down while in flight
+    dst->deliver(std::move(m));
+  });
+}
+
+}  // namespace hyperloop::rnic

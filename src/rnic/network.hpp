@@ -1,0 +1,94 @@
+// Point-to-point reliable fabric connecting the simulated NICs.
+//
+// Models the paper's single-switch RDMA network: each NIC has one TX port,
+// so all of a node's outgoing messages serialize at link rate (this is what
+// bottlenecks a fan-out primary), plus a fixed propagation delay per hop.
+// Delivery between a (src, dst) pair is FIFO — the property RC transport
+// ordering relies on. Nodes can be marked down to exercise failure paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+#include "rnic/verbs.hpp"
+
+namespace hyperloop::rnic {
+
+class Nic;
+
+enum class MsgType : std::uint8_t {
+  // Requests
+  kSend,       // two-sided; consumes a RECV at the target
+  kWrite,      // one-sided write (payload)
+  kWriteImm,   // write + RECV consumption + immediate
+  kReadReq,    // read request; len==0 requests a cache flush (gFLUSH)
+  kCasReq,     // 8-byte compare-and-swap
+  // Responses
+  kAck,        // success ack for kSend/kWrite/kWriteImm
+  kNak,        // failure (carries status)
+  kRnrNak,     // receiver not ready (no RECV posted)
+  kReadResp,   // carries read payload
+  kCasResp,    // carries the pre-swap value
+};
+
+[[nodiscard]] constexpr bool is_response(MsgType t) {
+  return t >= MsgType::kAck;
+}
+
+struct Message {
+  MsgType type = MsgType::kAck;
+  NicId src = 0;
+  NicId dst = 0;
+  QpId src_qp = 0;
+  QpId dst_qp = 0;
+  std::uint64_t seq = 0;  // sender WQE sequence, echoed in the response
+  std::vector<std::byte> payload;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  bool flush = false;  // interleaved gFLUSH: drain target cache before ack
+  std::uint64_t compare = 0;
+  std::uint64_t swap = 0;
+  mem::TenantToken tenant = 0;
+  StatusCode status = StatusCode::kOk;   // responses
+  std::uint64_t atomic_old = 0;          // kCasResp
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, LinkParams params);
+
+  /// Register a NIC; its id must be unique.
+  void attach(Nic* nic);
+
+  /// Transmit a message. Applies serialization + propagation delay, then
+  /// invokes the destination NIC's receive path. Messages to/from down nodes
+  /// are silently dropped (the sender's timeout machinery notices).
+  void send(Message msg);
+
+  /// Mark a node unreachable (crash / partition) or reachable again.
+  void set_node_down(NicId id, bool down);
+  [[nodiscard]] bool is_down(NicId id) const;
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Total messages and payload bytes moved (for bench reports).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  LinkParams params_;
+  std::map<NicId, Nic*> nics_;
+  std::map<NicId, bool> down_;
+  std::map<NicId, Time> tx_port_free_at_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace hyperloop::rnic

@@ -1,0 +1,717 @@
+#include "rnic/nic.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::rnic {
+
+// ---------------------------------------------------------------------------
+// CompletionQueue
+// ---------------------------------------------------------------------------
+
+std::optional<Completion> CompletionQueue::poll() {
+  if (queue_.empty()) return std::nullopt;
+  Completion c = queue_.front();
+  queue_.pop_front();
+  return c;
+}
+
+void CompletionQueue::set_event_handler(std::function<void()> handler) {
+  handler_ = std::move(handler);
+}
+
+bool CompletionQueue::try_consume_wait_credits(std::uint32_t n) {
+  if (wait_credits_ < n) return false;
+  wait_credits_ -= n;
+  return true;
+}
+
+void CompletionQueue::add_wait_listener(std::function<void()> kick) {
+  wait_listeners_.push_back(std::move(kick));
+}
+
+void CompletionQueue::push(const Completion& c) {
+  queue_.push_back(c);
+  ++produced_;
+  ++wait_credits_;
+  if (armed_ && handler_) {
+    armed_ = false;  // one-shot, like ibv_req_notify_cq
+    handler_();
+  }
+  for (auto& kick : wait_listeners_) kick();
+}
+
+// ---------------------------------------------------------------------------
+// QueuePair
+// ---------------------------------------------------------------------------
+
+QueuePair::QueuePair(Nic& nic, QpId id, CompletionQueue* send_cq,
+                     CompletionQueue* recv_cq, std::uint32_t ring_slots,
+                     std::uint64_t ring_addr, mem::TenantToken tenant)
+    : nic_(nic),
+      id_(id),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq),
+      ring_slots_(ring_slots),
+      ring_addr_(ring_addr),
+      tenant_(tenant) {}
+
+std::uint64_t QueuePair::ring_slot_addr(std::uint32_t idx) const {
+  HL_CHECK(idx < ring_slots_);
+  return ring_addr_ + static_cast<std::uint64_t>(idx) * kWqeSlotBytes;
+}
+
+Status QueuePair::post_send(const SendWr& wr) {
+  if (state_ != State::kConnected) {
+    return {StatusCode::kFailedPrecondition, "QP not connected"};
+  }
+  if (posted_depth() >= ring_slots_) {
+    return {StatusCode::kResourceExhausted, "send ring full"};
+  }
+
+  WqeData wqe;
+  wqe.valid = 1;
+  wqe.owned_by_nic = wr.deferred_ownership ? 0 : 1;
+  wqe.opcode = static_cast<std::uint32_t>(wr.opcode);
+  wqe.flags = wr.flags;
+  wqe.wr_id = wr.wr_id;
+  wqe.local_addr = wr.local_addr;
+  wqe.local_len = wr.local_len;
+  wqe.lkey = wr.lkey;
+  wqe.remote_addr = wr.remote_addr;
+  wqe.rkey = wr.rkey;
+  wqe.imm = wr.imm;
+  wqe.compare = wr.compare;
+  wqe.swap = wr.swap;
+  wqe.wait_cq = wr.wait_cq;
+  wqe.wait_count = wr.wait_count;
+  wqe.enable_count = wr.enable_count;
+
+  const std::uint64_t slot_addr = ring_slot_addr(sq_tail_ % ring_slots_);
+  // A retired slot may still have stale patch bytes sitting in the NIC
+  // cache; drain them so the new descriptor is authoritative.
+  nic_.cache().flush_range(slot_addr, kWqeSlotBytes);
+  store_wqe(nic_.memory(), slot_addr, wqe);
+
+  if (!wr.deferred_ownership) {
+    // Immediate-ownership posts move the enable cursor past themselves so a
+    // later grant_ownership() targets only the deferred ones that follow.
+    if (sq_enable_ == sq_tail_) sq_enable_ = sq_tail_ + 1;
+  }
+  ++sq_tail_;
+  nic_.kick(*this);  // doorbell
+  return Status::ok();
+}
+
+Status QueuePair::post_recv(RecvWr wr) {
+  if (state_ == State::kError) {
+    return {StatusCode::kFailedPrecondition, "QP in error state"};
+  }
+  rq_.push_back(std::move(wr));
+  return Status::ok();
+}
+
+void QueuePair::grant_ownership(std::uint32_t count) {
+  // Skip slots that already carry ownership, then flip `count` bits.
+  while (sq_enable_ < sq_tail_) {
+    const std::uint64_t addr = ring_slot_addr(sq_enable_ % ring_slots_);
+    nic_.cache().flush_range(addr, kWqeSlotBytes);
+    WqeData wqe = load_wqe(nic_.memory(), addr);
+    if (!wqe.valid || !wqe.owned_by_nic) break;
+    ++sq_enable_;
+  }
+  for (std::uint32_t i = 0; i < count && sq_enable_ < sq_tail_; ++i) {
+    const std::uint64_t addr = ring_slot_addr(sq_enable_ % ring_slots_);
+    nic_.cache().flush_range(addr, kWqeSlotBytes);
+    WqeData wqe = load_wqe(nic_.memory(), addr);
+    wqe.owned_by_nic = 1;
+    store_wqe(nic_.memory(), addr, wqe);
+    ++sq_enable_;
+  }
+  nic_.kick(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Nic
+// ---------------------------------------------------------------------------
+
+Nic::Nic(sim::Simulator& sim, Network& network, NicId id,
+         mem::HostMemory& memory, NicParams params)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      memory_(memory),
+      params_(params),
+      cache_(sim, memory, params.cache_drain_delay, params.cache_capacity),
+      jitter_rng_(params.jitter_seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))) {
+  network_.attach(this);
+}
+
+CompletionQueue* Nic::create_cq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(
+      static_cast<CqId>(cqs_.size())));
+  return cqs_.back().get();
+}
+
+CompletionQueue* Nic::cq(CqId id) {
+  return id < cqs_.size() ? cqs_[id].get() : nullptr;
+}
+
+QueuePair* Nic::create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                          std::uint32_t ring_slots, mem::TenantToken tenant) {
+  HL_CHECK_MSG(send_cq != nullptr && recv_cq != nullptr,
+               "QP needs completion queues");
+  HL_CHECK_MSG(ring_slots >= 1, "ring needs at least one slot");
+  const std::uint64_t ring_addr =
+      memory_.alloc(static_cast<std::uint64_t>(ring_slots) * kWqeSlotBytes,
+                    /*align=*/64);
+  auto qp = std::unique_ptr<QueuePair>(
+      new QueuePair(*this, static_cast<QpId>(qps_.size()), send_cq, recv_cq,
+                    ring_slots, ring_addr, tenant));
+  qps_.push_back(std::move(qp));
+  return qps_.back().get();
+}
+
+QueuePair* Nic::qp(QpId id) {
+  return id < qps_.size() ? qps_[id].get() : nullptr;
+}
+
+void Nic::connect(QueuePair* qp, NicId remote_nic, QpId remote_qp) {
+  HL_CHECK(qp != nullptr);
+  HL_CHECK_MSG(qp->state_ == QueuePair::State::kInit, "QP already connected");
+  qp->remote_nic_ = remote_nic;
+  qp->remote_qp_ = remote_qp;
+  qp->state_ = QueuePair::State::kConnected;
+}
+
+Duration Nic::dma_time(std::uint64_t bytes) const {
+  return params_.dma_setup +
+         static_cast<Duration>(static_cast<double>(bytes) /
+                               params_.dma_bytes_per_ns);
+}
+
+Duration Nic::jitter(Duration d) {
+  if (params_.jitter_frac <= 0.0) return d;
+  const double f =
+      1.0 + params_.jitter_frac * (2.0 * jitter_rng_.next_double() - 1.0);
+  return static_cast<Duration>(static_cast<double>(d) * f);
+}
+
+void Nic::kick(QueuePair& qp) {
+  if (qp.engine_busy_) return;
+  qp.engine_busy_ = true;
+  sim_.schedule(jitter(params_.wqe_fetch), [this, &qp] { engine_step(qp); });
+}
+
+void Nic::engine_step(QueuePair& qp) {
+  qp.engine_busy_ = false;
+  if (qp.state_ != QueuePair::State::kConnected) return;
+  if (qp.sq_head_ == qp.sq_tail_) return;
+  if (qp.send_inflight_) return;  // SEND fences the pipeline (RNR safety)
+  if (qp.pending_.size() >= params_.max_inflight) return;
+
+  const std::uint32_t slot = qp.sq_head_ % qp.ring_slots_;
+  const std::uint64_t slot_addr = qp.ring_slot_addr(slot);
+  // Descriptor fields may have been patched by a remote NIC moments ago and
+  // still sit in the cache, so the fetch must read through it.
+  WqeData wqe;
+  cache_.read_through(slot_addr, &wqe, sizeof(wqe));
+  if (!wqe.valid || !wqe.owned_by_nic) return;  // deferred: wait for enable
+
+  const auto opcode = static_cast<Opcode>(wqe.opcode);
+
+  if (opcode == Opcode::kWait) {
+    CompletionQueue* wcq = cq(wqe.wait_cq);
+    if (wcq == nullptr) {
+      fail_qp(qp, StatusCode::kInvalidArgument, "WAIT on unknown CQ");
+      return;
+    }
+    const bool threshold_mode = (wqe.flags & kWaitThreshold) != 0;
+    const bool triggered =
+        threshold_mode ? wcq->produced() >= wqe.wait_count
+                       : wcq->try_consume_wait_credits(wqe.wait_count);
+    if (!triggered) {
+      // A queue may block on several different CQs over its lifetime (the
+      // fan-out ACK chain gates on one CQ per backup); each needs its own
+      // kick registration, exactly once.
+      if (std::find(qp.wait_listener_cqs_.begin(), qp.wait_listener_cqs_.end(),
+                    wqe.wait_cq) == qp.wait_listener_cqs_.end()) {
+        qp.wait_listener_cqs_.push_back(wqe.wait_cq);
+        wcq->add_wait_listener([this, &qp] { kick(qp); });
+      }
+      return;  // blocked until the CQ accrues completions
+    }
+    // Triggered: grant NIC ownership of the following enable_count WQEs.
+    for (std::uint32_t i = 1; i <= wqe.enable_count; ++i) {
+      const std::uint32_t tgt = (qp.sq_head_ + i) % qp.ring_slots_;
+      const std::uint64_t addr = qp.ring_slot_addr(tgt);
+      cache_.flush_range(addr, kWqeSlotBytes);
+      WqeData w = load_wqe(memory_, addr);
+      w.owned_by_nic = 1;
+      store_wqe(memory_, addr, w);
+    }
+    if (qp.sq_enable_ < qp.sq_head_ + 1 + wqe.enable_count) {
+      qp.sq_enable_ = qp.sq_head_ + 1 + wqe.enable_count;
+    }
+  }
+
+  ++wqes_executed_;
+  QueuePair::Pending p;
+  p.seq = qp.next_seq_++;
+  p.slot = slot;
+  p.wqe = wqe;
+  p.rnr_retries_left = params_.rnr_retry_limit;
+  p.timeout_retries_left = params_.timeout_retry_limit;
+  ++qp.sq_head_;
+
+  if (opcode == Opcode::kWait || opcode == Opcode::kNop) {
+    p.done = true;
+    p.response.status = StatusCode::kOk;
+    qp.pending_.push_back(std::move(p));
+    retire_ready(qp);
+  } else {
+    if (opcode == Opcode::kSend) qp.send_inflight_ = true;
+    qp.pending_.push_back(std::move(p));
+    transmit(qp, qp.pending_.back());
+  }
+  kick(qp);  // engine pipelines the next descriptor
+}
+
+void Nic::transmit(QueuePair& qp, QueuePair::Pending& p) {
+  const WqeData& wqe = p.wqe;
+  const auto opcode = static_cast<Opcode>(wqe.opcode);
+
+  Message msg;
+  msg.src = id_;
+  msg.dst = qp.remote_nic_;
+  msg.src_qp = qp.id_;
+  msg.dst_qp = qp.remote_qp_;
+  msg.seq = p.seq;
+  msg.remote_addr = wqe.remote_addr;
+  msg.rkey = wqe.rkey;
+  msg.len = wqe.local_len;
+  msg.tenant = qp.tenant_;
+  msg.flush = (wqe.flags & kFlush) != 0;
+  msg.compare = wqe.compare;
+  msg.swap = wqe.swap;
+
+  Duration prep = 0;
+  switch (opcode) {
+    case Opcode::kSend:
+    case Opcode::kWrite:
+    case Opcode::kWriteWithImm: {
+      if (wqe.local_len > 0) {
+        const Status st = memory_.check_local(wqe.local_addr, wqe.local_len,
+                                              wqe.lkey, mem::kLocalRead);
+        if (!st.is_ok()) {
+          ++protection_errors_;
+          p.done = true;
+          p.response.status = st.code();
+          retire_ready(qp);
+          return;
+        }
+        msg.payload.resize(wqe.local_len);
+        // Gather reads through the cache: NIC-side coherence.
+        cache_.read_through(wqe.local_addr, msg.payload.data(), wqe.local_len);
+        prep = dma_time(wqe.local_len);
+      }
+      msg.type = opcode == Opcode::kSend ? MsgType::kSend
+                 : opcode == Opcode::kWrite ? MsgType::kWrite
+                                            : MsgType::kWriteImm;
+      if (opcode == Opcode::kWriteWithImm) {
+        msg.imm = wqe.imm;
+        msg.has_imm = true;
+      }
+      break;
+    }
+    case Opcode::kRead:
+      msg.type = MsgType::kReadReq;
+      break;
+    case Opcode::kCompareSwap:
+      msg.type = MsgType::kCasReq;
+      msg.len = 8;
+      break;
+    case Opcode::kNop:
+    case Opcode::kWait:
+      HL_CHECK_MSG(false, "non-wire opcode reached transmit");
+  }
+
+  arm_timeout(qp, p.seq);
+  // The QP's gather/DMA engine is serial: a small SEND posted right after a
+  // large WRITE must not overtake it onto the wire, or downstream WAIT
+  // chains would forward data that has not arrived yet.
+  const Time start = std::max(sim_.now(), qp.tx_busy_until_);
+  const Time wire_at = start + prep;
+  qp.tx_busy_until_ = wire_at;
+  sim_.schedule_at(wire_at, [this, m = std::move(msg)]() mutable {
+    network_.send(std::move(m));
+  });
+}
+
+void Nic::arm_timeout(QueuePair& qp, std::uint64_t seq) {
+  auto it = std::find_if(qp.pending_.begin(), qp.pending_.end(),
+                         [&](const auto& e) { return e.seq == seq; });
+  HL_CHECK(it != qp.pending_.end());
+  it->timeout_event =
+      sim_.schedule(params_.response_timeout, [this, &qp, seq] {
+        auto p = std::find_if(qp.pending_.begin(), qp.pending_.end(),
+                              [&](const auto& e) { return e.seq == seq; });
+        if (p == qp.pending_.end() || p->done) return;
+        if (p->timeout_retries_left-- > 0) {
+          transmit(qp, *p);
+          return;
+        }
+        fail_qp(qp, StatusCode::kUnavailable, "response timeout");
+      });
+}
+
+void Nic::fail_qp(QueuePair& qp, StatusCode code, const std::string&) {
+  qp.state_ = QueuePair::State::kError;
+  // Error-complete everything outstanding, in order (verbs "flush" errors).
+  for (auto& p : qp.pending_) {
+    if (!p.done) {
+      sim_.cancel(p.timeout_event);
+      p.done = true;
+      p.response.status = code;
+    }
+  }
+  retire_ready(qp);
+  while (qp.sq_head_ != qp.sq_tail_) {
+    const std::uint64_t addr = qp.ring_slot_addr(qp.sq_head_ % qp.ring_slots_);
+    WqeData wqe;
+    cache_.read_through(addr, &wqe, sizeof(wqe));
+    Completion c;
+    c.wr_id = wqe.wr_id;
+    c.status = code;
+    c.qp = qp.id_;
+    c.opcode = WcOpcode::kSend;
+    qp.send_cq_->push(c);
+    ++qp.sq_head_;
+    ++qp.sq_completed_;
+  }
+  // Posted receives flush with errors too.
+  while (!qp.rq_.empty()) {
+    Completion c;
+    c.wr_id = qp.rq_.front().wr_id;
+    c.status = code;
+    c.qp = qp.id_;
+    c.opcode = WcOpcode::kRecv;
+    qp.recv_cq_->push(c);
+    qp.rq_.pop_front();
+  }
+}
+
+void Nic::deliver(Message msg) {
+  if (is_response(msg.type)) {
+    sim_.schedule(jitter(params_.ack_process),
+                  [this, m = std::move(msg)] { handle_response(m); });
+    return;
+  }
+  QueuePair* qp = this->qp(msg.dst_qp);
+  if (qp == nullptr || qp->state_ != QueuePair::State::kConnected) {
+    Message nak;
+    nak.type = MsgType::kNak;
+    nak.status = StatusCode::kFailedPrecondition;
+    respond(msg, std::move(nak), 0);
+    return;
+  }
+  // Per-QP FIFO processing preserves RC ordering even when a large write is
+  // followed closely by a flush read.
+  qp->rx_queue_.push_back(std::move(msg));
+  if (!qp->rx_busy_) {
+    qp->rx_busy_ = true;
+    sim_.schedule(jitter(params_.rx_process), [this, qp] {
+      Message m = std::move(qp->rx_queue_.front());
+      qp->rx_queue_.pop_front();
+      handle_request(m);
+    });
+  }
+}
+
+void Nic::respond(const Message& req, Message resp, Duration extra_delay) {
+  resp.src = id_;
+  resp.dst = req.src;
+  resp.src_qp = req.dst_qp;
+  resp.dst_qp = req.src_qp;
+  resp.seq = req.seq;
+  sim_.schedule(extra_delay, [this, r = std::move(resp)]() mutable {
+    network_.send(std::move(r));
+  });
+}
+
+void Nic::handle_request(const Message& msg) {
+  QueuePair* qp = this->qp(msg.dst_qp);
+  HL_CHECK(qp != nullptr);
+
+  Duration busy = 0;  // additional per-message work beyond rx_process
+
+  switch (msg.type) {
+    case MsgType::kWrite:
+    case MsgType::kWriteImm: {
+      // WriteImm needs a RECV before any effect (RNR precedes execution).
+      if (msg.type == MsgType::kWriteImm && qp->rq_.empty()) {
+        Message rnr;
+        rnr.type = MsgType::kRnrNak;
+        respond(msg, std::move(rnr), 0);
+        break;
+      }
+      const Status st =
+          memory_.check_remote(msg.remote_addr, msg.payload.size(), msg.rkey,
+                               mem::kRemoteWrite, msg.tenant);
+      if (!st.is_ok()) {
+        ++protection_errors_;
+        Message nak;
+        nak.type = MsgType::kNak;
+        nak.status = st.code();
+        respond(msg, std::move(nak), 0);
+        break;
+      }
+      if (!msg.payload.empty()) {
+        cache_.put(msg.remote_addr, msg.payload.data(), msg.payload.size());
+        busy += dma_time(msg.payload.size());
+      }
+      if (msg.flush) {
+        // Interleaved gFLUSH: the ack is sent only after the dirty cache
+        // has drained to NVM, so ack == durable.
+        busy += dma_time(cache_.dirty_bytes());
+        cache_.flush();
+      }
+      if (msg.type == MsgType::kWriteImm) {
+        RecvWr rwr = std::move(qp->rq_.front());
+        qp->rq_.pop_front();
+        Completion c;
+        c.wr_id = rwr.wr_id;
+        c.opcode = WcOpcode::kRecvWithImm;
+        c.qp = qp->id();
+        c.byte_len = static_cast<std::uint32_t>(msg.payload.size());
+        c.imm = msg.imm;
+        c.has_imm = true;
+        qp->recv_cq_->push(c);
+      }
+      Message ack;
+      ack.type = MsgType::kAck;
+      respond(msg, std::move(ack), busy);
+      break;
+    }
+
+    case MsgType::kSend: {
+      if (qp->rq_.empty()) {
+        Message rnr;
+        rnr.type = MsgType::kRnrNak;
+        respond(msg, std::move(rnr), 0);
+        break;
+      }
+      RecvWr rwr = std::move(qp->rq_.front());
+      qp->rq_.pop_front();
+
+      // Scatter the payload across the SGE list. This is the mechanism that
+      // patches pre-posted WQE descriptors: SGEs may point into the ring.
+      std::uint64_t off = 0;
+      Status st = Status::ok();
+      for (const Sge& sge : rwr.sges) {
+        if (off >= msg.payload.size()) break;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(sge.len, msg.payload.size() - off);
+        st = memory_.check_local(sge.addr, n, sge.lkey, mem::kLocalWrite);
+        if (!st.is_ok()) break;
+        cache_.put(sge.addr, msg.payload.data() + off, n);
+        off += n;
+      }
+      if (st.is_ok() && off < msg.payload.size()) {
+        st = {StatusCode::kOutOfRange, "receive buffer too small"};
+      }
+
+      Completion c;
+      c.wr_id = rwr.wr_id;
+      c.opcode = WcOpcode::kRecv;
+      c.qp = qp->id();
+      c.byte_len = static_cast<std::uint32_t>(off);
+      c.status = st.code();
+      busy += dma_time(off);
+
+      if (!st.is_ok()) {
+        ++protection_errors_;
+        qp->recv_cq_->push(c);
+        Message nak;
+        nak.type = MsgType::kNak;
+        nak.status = st.code();
+        respond(msg, std::move(nak), busy);
+        break;
+      }
+      // The scatter (descriptor patch) must be visible before the recv
+      // completion triggers any WAIT — push the completion after the DMA.
+      Message ack;
+      ack.type = MsgType::kAck;
+      sim_.schedule(busy, [qp, c] { qp->recv_cq_->push(c); });
+      respond(msg, std::move(ack), busy);
+      break;
+    }
+
+    case MsgType::kReadReq: {
+      Message resp;
+      resp.type = MsgType::kReadResp;
+      if (msg.len == 0) {
+        // gFLUSH: drain the volatile cache, then answer. The requester's
+        // completion therefore certifies durability.
+        busy += dma_time(cache_.dirty_bytes());
+        cache_.flush();
+      } else {
+        const Status st = memory_.check_remote(
+            msg.remote_addr, msg.len, msg.rkey, mem::kRemoteRead, msg.tenant);
+        if (!st.is_ok()) {
+          ++protection_errors_;
+          resp.type = MsgType::kNak;
+          resp.status = st.code();
+          respond(msg, std::move(resp), 0);
+          break;
+        }
+        resp.payload.resize(msg.len);
+        cache_.read_through(msg.remote_addr, resp.payload.data(), msg.len);
+        busy += dma_time(msg.len);
+      }
+      respond(msg, std::move(resp), busy);
+      break;
+    }
+
+    case MsgType::kCasReq: {
+      Message resp;
+      const Status st = memory_.check_remote(msg.remote_addr, 8, msg.rkey,
+                                             mem::kRemoteAtomic, msg.tenant);
+      if (!st.is_ok()) {
+        ++protection_errors_;
+        resp.type = MsgType::kNak;
+        resp.status = st.code();
+        respond(msg, std::move(resp), 0);
+        break;
+      }
+      // Atomics act on real memory: drain any cached write to the word.
+      cache_.flush_range(msg.remote_addr, 8);
+      const std::uint64_t old = memory_.read_u64(msg.remote_addr);
+      if (old == msg.compare) {
+        memory_.write_u64(msg.remote_addr, msg.swap);
+      }
+      resp.type = MsgType::kCasResp;
+      resp.atomic_old = old;
+      busy += params_.atomic_op;
+      respond(msg, std::move(resp), busy);
+      break;
+    }
+
+    default:
+      HL_CHECK_MSG(false, "response type in request path");
+  }
+
+  // FIFO rx pipeline: start the next queued request after this one's work.
+  sim_.schedule(busy, [this, qp] {
+    if (qp->rx_queue_.empty()) {
+      qp->rx_busy_ = false;
+      return;
+    }
+    sim_.schedule(jitter(params_.rx_process), [this, qp] {
+      Message m = std::move(qp->rx_queue_.front());
+      qp->rx_queue_.pop_front();
+      handle_request(m);
+    });
+  });
+}
+
+void Nic::handle_response(const Message& msg) {
+  QueuePair* qp = this->qp(msg.dst_qp);
+  if (qp == nullptr) return;
+  auto it = std::find_if(qp->pending_.begin(), qp->pending_.end(),
+                         [&](const auto& e) { return e.seq == msg.seq; });
+  if (it == qp->pending_.end() || it->done) return;  // late duplicate
+
+  if (msg.type == MsgType::kRnrNak) {
+    sim_.cancel(it->timeout_event);
+    // rnr_retry_limit == 7 is the InfiniBand "infinite retry" encoding.
+    if (params_.rnr_retry_limit == 7 || it->rnr_retries_left-- > 0) {
+      const std::uint64_t seq = it->seq;
+      sim_.schedule(params_.rnr_retry_delay, [this, qp, seq] {
+        auto p = std::find_if(qp->pending_.begin(), qp->pending_.end(),
+                              [&](const auto& e) { return e.seq == seq; });
+        if (p == qp->pending_.end() || p->done) return;
+        transmit(*qp, *p);
+      });
+      return;
+    }
+    fail_qp(*qp, StatusCode::kRetryLater, "RNR retries exhausted");
+    return;
+  }
+
+  sim_.cancel(it->timeout_event);
+  it->done = true;
+  it->response = msg;
+  retire_ready(*qp);
+  kick(*qp);  // a pipeline slot freed
+}
+
+void Nic::retire_ready(QueuePair& qp) {
+  while (!qp.pending_.empty() && qp.pending_.front().done) {
+    QueuePair::Pending p = std::move(qp.pending_.front());
+    qp.pending_.pop_front();
+    complete(qp, p, p.response);
+  }
+}
+
+void Nic::complete(QueuePair& qp, const QueuePair::Pending& p,
+                   const Message& resp) {
+  const auto opcode = static_cast<Opcode>(p.wqe.opcode);
+  if (opcode == Opcode::kSend) qp.send_inflight_ = false;
+
+  StatusCode status = resp.status;
+  if (status == StatusCode::kOk) {
+    if (resp.type == MsgType::kReadResp && !resp.payload.empty()) {
+      // Deposit READ data where the CPU will look for it.
+      const Status st = memory_.check_local(p.wqe.local_addr,
+                                            resp.payload.size(), p.wqe.lkey,
+                                            mem::kLocalWrite);
+      if (st.is_ok()) {
+        // Drain any cached write overlapping the target first, or the stale
+        // cache entry would mask this newer value from NIC-side readers.
+        cache_.flush_range(p.wqe.local_addr, resp.payload.size());
+        memory_.write(p.wqe.local_addr, resp.payload.data(),
+                      resp.payload.size());
+      } else {
+        ++protection_errors_;
+        status = st.code();
+      }
+    } else if (resp.type == MsgType::kCasResp && p.wqe.local_len >= 8) {
+      // Same coherence rule for the atomic's old-value deposit (HyperLoop
+      // aims it at a blob word the RECV scatter just cached).
+      cache_.flush_range(p.wqe.local_addr, 8);
+      memory_.write_u64(p.wqe.local_addr, resp.atomic_old);
+    }
+  }
+
+  // Retire the ring slot (FIFO order guarantees sq_completed_ tracks the
+  // oldest live slot).
+  const std::uint64_t slot_addr = qp.ring_slot_addr(p.slot);
+  cache_.flush_range(slot_addr, kWqeSlotBytes);
+  WqeData dead = load_wqe(memory_, slot_addr);
+  dead.valid = 0;
+  dead.owned_by_nic = 0;
+  store_wqe(memory_, slot_addr, dead);
+  ++qp.sq_completed_;
+
+  const bool signaled = (p.wqe.flags & kSignaled) != 0;
+  if (signaled || status != StatusCode::kOk) {
+    Completion c;
+    c.wr_id = p.wqe.wr_id;
+    c.status = status;
+    c.qp = qp.id_;
+    c.byte_len = p.wqe.local_len;
+    c.atomic_old_value = resp.atomic_old;
+    switch (opcode) {
+      case Opcode::kSend: c.opcode = WcOpcode::kSend; break;
+      case Opcode::kWrite:
+      case Opcode::kWriteWithImm: c.opcode = WcOpcode::kWrite; break;
+      case Opcode::kRead: c.opcode = WcOpcode::kRead; break;
+      case Opcode::kCompareSwap: c.opcode = WcOpcode::kCompareSwap; break;
+      case Opcode::kNop: c.opcode = WcOpcode::kNop; break;
+      case Opcode::kWait: c.opcode = WcOpcode::kWait; break;
+    }
+    qp.send_cq_->push(c);
+  }
+}
+
+}  // namespace hyperloop::rnic

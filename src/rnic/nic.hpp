@@ -1,0 +1,249 @@
+// The simulated RDMA NIC: completion queues, queue pairs, and the execution
+// engine that turns posted work requests into fabric messages without any
+// CPU involvement.
+//
+// Faithfulness notes (each maps to a mechanism the paper depends on):
+//
+//  * Send rings live in host memory (mem::HostMemory) as WqeData PODs and the
+//    engine re-reads each descriptor at execution time — so descriptors
+//    patched by an upstream NIC (remote work request manipulation) take
+//    effect, and the patch lands before the WAIT that activates the WQE.
+//  * WQEs carry an ownership bit. Normal post_send() grants the NIC
+//    ownership immediately (stock libmlx4); posting with deferred_ownership
+//    models the paper's modified driver, leaving the WQE inert until a WAIT
+//    enables it, a remote patch flips the bit, or grant_ownership() is
+//    called locally.
+//  * kWait implements CORE-Direct: the send queue blocks until the named CQ
+//    accrues wait_count completions (consuming semantics), then the NIC
+//    grants ownership of the next enable_count WQEs. No CPU runs.
+//  * Inbound WRITE payloads land in the volatile NicCache and are durable
+//    only after a drain; a 0-byte READ (or the kFlush WQE flag) forces the
+//    drain before the ACK — the gFLUSH primitive.
+//  * SENDs scatter across the posted RECV's SGE list with per-element lkey
+//    checks, which is what lets HyperLoop aim metadata bytes directly at
+//    pre-posted WQE descriptor fields.
+//  * RC ordering: per-QP WQEs execute and complete in order. WRITE/READ/CAS
+//    pipeline up to max_inflight; a SEND is only issued once the pipeline is
+//    empty and blocks it until acked, so RNR retries can never reorder
+//    operations behind them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/host_memory.hpp"
+#include "rnic/network.hpp"
+#include "rnic/nic_cache.hpp"
+#include "rnic/verbs.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hyperloop::rnic {
+
+class Nic;
+
+class CompletionQueue {
+ public:
+  CompletionQueue(CqId id) : id_(id) {}
+
+  [[nodiscard]] CqId id() const { return id_; }
+
+  /// Pop the oldest completion, if any.
+  std::optional<Completion> poll();
+
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+
+  /// Completions ever produced (monotonic).
+  [[nodiscard]] std::uint64_t produced() const { return produced_; }
+
+  /// One-shot event channel: after arm(), the next push invokes the handler
+  /// (then disarms). Mirrors ibv_req_notify_cq + completion channels; the
+  /// baseline datapaths use it to wake CPU threads.
+  void set_event_handler(std::function<void()> handler);
+  void arm() { armed_ = true; }
+
+  /// CORE-Direct wait support: completions accrue credits that kWait WQEs
+  /// consume. Listeners (QPs blocked in a WAIT) are kicked on every push.
+  [[nodiscard]] std::uint64_t wait_credits() const { return wait_credits_; }
+  bool try_consume_wait_credits(std::uint32_t n);
+  void add_wait_listener(std::function<void()> kick);
+
+  void push(const Completion& c);
+
+ private:
+  CqId id_;
+  std::deque<Completion> queue_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t wait_credits_ = 0;
+  bool armed_ = false;
+  std::function<void()> handler_;
+  std::vector<std::function<void()>> wait_listeners_;
+};
+
+class QueuePair {
+ public:
+  enum class State : std::uint8_t { kInit, kConnected, kError };
+
+  [[nodiscard]] QpId id() const { return id_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] mem::TenantToken tenant() const { return tenant_; }
+  [[nodiscard]] CompletionQueue& send_cq() { return *send_cq_; }
+  [[nodiscard]] CompletionQueue& recv_cq() { return *recv_cq_; }
+
+  /// Post a work request to the send queue (writes a WqeData into the ring
+  /// in host memory and rings the doorbell). Fails with kResourceExhausted
+  /// when the ring is full, kFailedPrecondition unless connected.
+  Status post_send(const SendWr& wr);
+
+  /// Post a receive. The SGE list is where an inbound SEND scatters.
+  Status post_recv(RecvWr wr);
+
+  /// Grant NIC ownership of the next `count` deferred WQEs (the modified-
+  /// driver doorbell the client uses after patching descriptors locally).
+  void grant_ownership(std::uint32_t count);
+
+  /// Host-memory address of ring slot `idx` (for building RECV SGEs that
+  /// patch specific descriptor fields of pre-posted WQEs).
+  [[nodiscard]] std::uint64_t ring_slot_addr(std::uint32_t idx) const;
+  [[nodiscard]] std::uint32_t ring_slots() const { return ring_slots_; }
+  /// Slot index the next post_send() will use.
+  [[nodiscard]] std::uint32_t next_post_slot() const {
+    return sq_tail_ % ring_slots_;
+  }
+
+  [[nodiscard]] std::size_t recv_queue_depth() const { return rq_.size(); }
+  /// Send-ring slots currently free (posted WQEs occupy a slot until they
+  /// retire). Drivers use this to defer reposting until space exists.
+  [[nodiscard]] std::uint32_t free_send_slots() const {
+    return ring_slots_ - posted_depth();
+  }
+  [[nodiscard]] NicId remote_nic() const { return remote_nic_; }
+  [[nodiscard]] QpId remote_qp() const { return remote_qp_; }
+
+ private:
+  friend class Nic;
+
+  struct Pending {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    WqeData wqe;
+    bool done = false;
+    Message response;  // valid when done
+    int rnr_retries_left;
+    int timeout_retries_left;
+    sim::EventId timeout_event;
+  };
+
+  QueuePair(Nic& nic, QpId id, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq, std::uint32_t ring_slots,
+            std::uint64_t ring_addr, mem::TenantToken tenant);
+
+  [[nodiscard]] std::uint32_t posted_depth() const {
+    return sq_tail_ - sq_completed_;
+  }
+
+  Nic& nic_;
+  QpId id_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  std::uint32_t ring_slots_;
+  std::uint64_t ring_addr_;
+  mem::TenantToken tenant_;
+  State state_ = State::kInit;
+  NicId remote_nic_ = 0;
+  QpId remote_qp_ = 0;
+
+  // Send-queue cursors are free-running; modulo ring_slots_ gives the slot.
+  std::uint32_t sq_tail_ = 0;       // next slot to post into
+  std::uint32_t sq_head_ = 0;       // next slot the engine will execute
+  std::uint32_t sq_enable_ = 0;     // next slot grant_ownership() enables
+  std::uint32_t sq_completed_ = 0;  // slots fully retired
+
+  std::deque<RecvWr> rq_;
+  std::deque<Message> rx_queue_;    // inbound requests, FIFO-processed
+  bool rx_busy_ = false;
+  std::deque<Pending> pending_;     // issued, awaiting response (FIFO)
+  Time tx_busy_until_ = 0;          // per-QP DMA/gather engine is serial
+  std::uint64_t next_seq_ = 1;
+  bool engine_busy_ = false;        // an engine step is scheduled/running
+  bool send_inflight_ = false;      // an unacked kSend blocks the pipeline
+  std::vector<CqId> wait_listener_cqs_;  // CQs whose pushes already kick us
+};
+
+class Nic {
+ public:
+  Nic(sim::Simulator& sim, Network& network, NicId id,
+      mem::HostMemory& memory, NicParams params = {});
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] NicId id() const { return id_; }
+  [[nodiscard]] mem::HostMemory& memory() { return memory_; }
+  [[nodiscard]] NicCache& cache() { return cache_; }
+  [[nodiscard]] const NicParams& params() const { return params_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  CompletionQueue* create_cq();
+  [[nodiscard]] CompletionQueue* cq(CqId id);
+
+  /// Create a QP whose send ring (ring_slots WqeData slots) is allocated in
+  /// host memory. The ring address is registered infrastructure memory; the
+  /// HyperLoop layer separately registers it for remote patching.
+  QueuePair* create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                       std::uint32_t ring_slots, mem::TenantToken tenant);
+  [[nodiscard]] QueuePair* qp(QpId id);
+
+  /// Connect a local QP to a remote one (RC). Call on both sides. A QP may
+  /// connect to a QP on the same NIC (loopback) — used for the local DMA of
+  /// gMEMCPY/gCAS.
+  void connect(QueuePair* qp, NicId remote_nic, QpId remote_qp);
+
+  /// Lose all volatile NIC state (the cache). Durable memory survives.
+  void power_fail() { cache_.power_fail(); }
+
+  // --- Fabric entry points (called by Network) ---
+  void deliver(Message msg);
+
+  // --- Counters ---
+  [[nodiscard]] std::uint64_t wqes_executed() const { return wqes_executed_; }
+  [[nodiscard]] std::uint64_t protection_errors() const {
+    return protection_errors_;
+  }
+
+ private:
+  friend class QueuePair;
+
+  void kick(QueuePair& qp);
+  void engine_step(QueuePair& qp);
+  void issue(QueuePair& qp, std::uint32_t slot, const WqeData& wqe);
+  void transmit(QueuePair& qp, QueuePair::Pending& p);
+  void arm_timeout(QueuePair& qp, std::uint64_t seq);
+  void handle_request(const Message& msg);
+  void handle_response(const Message& msg);
+  void retire_ready(QueuePair& qp);
+  void complete(QueuePair& qp, const QueuePair::Pending& p, const Message& resp);
+  void respond(const Message& req, Message resp, Duration extra_delay);
+  void fail_qp(QueuePair& qp, StatusCode code, const std::string& why);
+
+  [[nodiscard]] Duration dma_time(std::uint64_t bytes) const;
+  [[nodiscard]] Duration jitter(Duration d);
+
+  sim::Simulator& sim_;
+  Network& network_;
+  NicId id_;
+  mem::HostMemory& memory_;
+  NicParams params_;
+  NicCache cache_;
+  Rng jitter_rng_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::uint64_t wqes_executed_ = 0;
+  std::uint64_t protection_errors_ = 0;
+};
+
+}  // namespace hyperloop::rnic

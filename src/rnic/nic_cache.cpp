@@ -1,0 +1,94 @@
+#include "rnic/nic_cache.hpp"
+
+#include <cstring>
+
+namespace hyperloop::rnic {
+
+NicCache::NicCache(sim::Simulator& sim, mem::HostMemory& memory,
+                   Duration drain_delay, std::uint64_t capacity_bytes)
+    : sim_(sim),
+      memory_(memory),
+      drain_delay_(drain_delay),
+      capacity_(capacity_bytes) {}
+
+bool NicCache::overlaps(const Entry& e, std::uint64_t addr,
+                        std::uint64_t len) {
+  return addr < e.addr + e.data.size() && e.addr < addr + len;
+}
+
+void NicCache::drain_entry(EntryList::iterator it) {
+  memory_.write(it->addr, it->data.data(), it->data.size());
+  dirty_bytes_ -= it->data.size();
+  sim_.cancel(it->drain_event);
+  entries_.erase(it);
+}
+
+void NicCache::put(std::uint64_t addr, const void* data, std::uint64_t len) {
+  if (len == 0) return;
+
+  // Never hold two entries for the same byte: drain older overlapping
+  // entries first so read_through composition stays trivially correct.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (overlaps(*it, addr, len)) drain_entry(it);
+    it = next;
+  }
+
+  // Capacity pressure evicts the oldest dirty data to host memory.
+  while (dirty_bytes_ + len > capacity_ && !entries_.empty()) {
+    drain_entry(entries_.begin());
+  }
+
+  entries_.push_back(Entry{addr,
+                           {static_cast<const std::byte*>(data),
+                            static_cast<const std::byte*>(data) + len},
+                           {}});
+  dirty_bytes_ += len;
+
+  auto it = std::prev(entries_.end());
+  // Lazy writeback: models the NIC's background DMA of buffered payloads.
+  it->drain_event = sim_.schedule(drain_delay_, [this, addr] {
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e->addr == addr) {
+        ++total_lazy_drains_;
+        // Avoid double-cancel of the event currently firing.
+        e->drain_event = sim::EventId{};
+        drain_entry(e);
+        return;
+      }
+    }
+  });
+}
+
+void NicCache::read_through(std::uint64_t addr, void* dst,
+                            std::uint64_t len) const {
+  memory_.read(addr, dst, len);
+  for (const Entry& e : entries_) {
+    if (!overlaps(e, addr, len)) continue;
+    const std::uint64_t from = std::max(addr, e.addr);
+    const std::uint64_t to = std::min(addr + len, e.addr + e.data.size());
+    std::memcpy(static_cast<std::byte*>(dst) + (from - addr),
+                e.data.data() + (from - e.addr), to - from);
+  }
+}
+
+void NicCache::flush() {
+  ++total_flushes_;
+  while (!entries_.empty()) drain_entry(entries_.begin());
+}
+
+void NicCache::flush_range(std::uint64_t addr, std::uint64_t len) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (overlaps(*it, addr, len)) drain_entry(it);
+    it = next;
+  }
+}
+
+void NicCache::power_fail() {
+  for (auto& e : entries_) sim_.cancel(e.drain_event);
+  entries_.clear();
+  dirty_bytes_ = 0;
+}
+
+}  // namespace hyperloop::rnic

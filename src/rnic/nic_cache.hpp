@@ -1,0 +1,83 @@
+// The NIC's volatile write cache.
+//
+// A real RNIC acknowledges an RDMA WRITE as soon as the payload reaches its
+// on-board buffers — *before* the DMA to host memory completes. With NVM as
+// the storage medium this gap is a durability hole: an acknowledged write can
+// be lost on power failure. The paper's gFLUSH closes the hole by issuing a
+// 0-byte RDMA READ, which the NIC firmware services only after draining the
+// dirty cache to (non-volatile) host memory.
+//
+// This model makes the hole observable: inbound WRITE payloads land here and
+// drain to HostMemory lazily; power_fail() discards undrained bytes; flush()
+// models the firmware drain the 0-byte READ triggers. NIC-initiated reads
+// (DMA gather, READ responses, atomics) see the cache contents, matching the
+// NIC-side coherence of real hardware, while CPU reads see only drained data.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "mem/host_memory.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop::rnic {
+
+class NicCache {
+ public:
+  NicCache(sim::Simulator& sim, mem::HostMemory& memory,
+           Duration drain_delay, std::uint64_t capacity_bytes);
+
+  /// Buffer a write. The bytes become visible to NIC reads immediately and
+  /// to host memory after the drain delay (or an explicit flush). Entries
+  /// overlapping an existing entry force the older entry to drain first so
+  /// cache contents never alias.
+  void put(std::uint64_t addr, const void* data, std::uint64_t len);
+
+  /// Read through the cache: host memory overlaid with dirty entries.
+  void read_through(std::uint64_t addr, void* dst, std::uint64_t len) const;
+
+  /// Drain everything to host memory now (the gFLUSH firmware behaviour).
+  void flush();
+
+  /// Drain only entries overlapping [addr, addr+len) — used before atomics
+  /// so CAS operates on real memory contents.
+  void flush_range(std::uint64_t addr, std::uint64_t len);
+
+  /// Power failure: all undrained bytes are lost.
+  void power_fail();
+
+  [[nodiscard]] std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  [[nodiscard]] std::size_t dirty_entries() const { return entries_.size(); }
+
+  /// Lifetime counters for tests and the ablation benches.
+  [[nodiscard]] std::uint64_t total_flushes() const { return total_flushes_; }
+  [[nodiscard]] std::uint64_t total_lazy_drains() const {
+    return total_lazy_drains_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t addr;
+    std::vector<std::byte> data;
+    sim::EventId drain_event;
+  };
+
+  using EntryList = std::list<Entry>;
+
+  void drain_entry(EntryList::iterator it);
+  [[nodiscard]] static bool overlaps(const Entry& e, std::uint64_t addr,
+                                     std::uint64_t len);
+
+  sim::Simulator& sim_;
+  mem::HostMemory& memory_;
+  Duration drain_delay_;
+  std::uint64_t capacity_;
+  EntryList entries_;  // oldest first
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t total_flushes_ = 0;
+  std::uint64_t total_lazy_drains_ = 0;
+};
+
+}  // namespace hyperloop::rnic

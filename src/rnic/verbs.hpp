@@ -1,0 +1,193 @@
+// Verbs-style types for the simulated RDMA NIC.
+//
+// The work-queue-entry layout is a fixed-size POD that is serialized into the
+// owning node's host memory (the QP's send ring is a registered memory
+// region). That is deliberate and load-bearing: HyperLoop's "remote work
+// request manipulation" patches the descriptors of pre-posted WQEs with
+// ordinary RDMA WRITE/SEND scatters, so the descriptors must be reachable as
+// plain bytes through the normal registration/permission machinery — exactly
+// how the paper's modified libmlx4 exposes them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/host_memory.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop::rnic {
+
+using NicId = std::uint32_t;
+using QpId = std::uint32_t;
+using CqId = std::uint32_t;
+
+enum class Opcode : std::uint32_t {
+  kNop = 0,         // placeholder; completes immediately (paper: disabled gCAS)
+  kSend,            // two-sided: consumes a RECV at the target
+  kWrite,           // one-sided RDMA WRITE
+  kWriteWithImm,    // WRITE + consumes a RECV and delivers imm at the target
+  kRead,            // one-sided RDMA READ; len==0 is the gFLUSH cache drain
+  kCompareSwap,     // 8-byte remote atomic
+  kWait,            // CORE-Direct: block SQ until a CQ accrues completions,
+                    // then grant NIC ownership of the following WQEs
+};
+
+enum WqeFlags : std::uint32_t {
+  kSignaled = 1u << 0,   // produce a send completion
+  kFlush = 1u << 1,      // interleaved gFLUSH: issue a 0-byte READ after this
+                         // op and complete only when the target cache drained
+  kWaitThreshold = 1u << 2,  // kWait only: trigger when the CQ's lifetime
+                             // completion count reaches wait_count (absolute,
+                             // non-consuming). Lets several pre-posted WAITs
+                             // fire off one completion — the fan-out pattern.
+};
+
+/// Fixed-size on-ring work queue entry. All fields little-endian native; the
+/// simulation runs in a single process so no byte-swapping is needed.
+struct WqeData {
+  std::uint32_t valid = 0;        // slot holds a posted WQE
+  std::uint32_t owned_by_nic = 0; // NIC may execute it (the driver-mod hook)
+  std::uint32_t opcode = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t wr_id = 0;
+  std::uint64_t local_addr = 0;   // single gather element
+  std::uint32_t local_len = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm = 0;
+  std::uint64_t compare = 0;      // kCompareSwap
+  std::uint64_t swap = 0;         // kCompareSwap
+  // kWait fields: wait for wait_count completions on wait_cq (consuming
+  // semantics), then set owned_by_nic on the next enable_count WQEs.
+  std::uint32_t wait_cq = 0;
+  std::uint32_t wait_count = 0;
+  std::uint32_t enable_count = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(WqeData) == 88, "WqeData must be a stable POD layout");
+
+/// Byte size of one send-ring slot in host memory.
+inline constexpr std::uint64_t kWqeSlotBytes = 96;
+
+/// Offsets of remotely patchable WqeData fields within a ring slot. The
+/// HyperLoop layer aims RECV scatter elements at these (metadata patching).
+namespace wqe_offset {
+inline constexpr std::uint64_t kValid = offsetof(WqeData, valid);
+inline constexpr std::uint64_t kOwnedByNic = offsetof(WqeData, owned_by_nic);
+inline constexpr std::uint64_t kOpcode = offsetof(WqeData, opcode);
+inline constexpr std::uint64_t kLocalAddr = offsetof(WqeData, local_addr);
+inline constexpr std::uint64_t kLocalLen = offsetof(WqeData, local_len);
+inline constexpr std::uint64_t kRemoteAddr = offsetof(WqeData, remote_addr);
+inline constexpr std::uint64_t kCompare = offsetof(WqeData, compare);
+inline constexpr std::uint64_t kSwap = offsetof(WqeData, swap);
+}  // namespace wqe_offset
+
+/// Scatter element for receives.
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+  std::uint32_t lkey = 0;
+};
+
+/// Posting descriptor for the send queue (converted to WqeData on the ring).
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  std::uint32_t flags = kSignaled;
+  std::uint64_t local_addr = 0;
+  std::uint32_t local_len = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm = 0;
+  std::uint64_t compare = 0;
+  std::uint64_t swap = 0;
+  CqId wait_cq = 0;
+  std::uint32_t wait_count = 0;
+  std::uint32_t enable_count = 0;
+  /// When true the WQE is posted without NIC ownership (deferred); it will
+  /// not execute until ownership is granted by a WAIT enable, a remote
+  /// patch, or QueuePair::grant_ownership().
+  bool deferred_ownership = false;
+};
+
+/// Posting descriptor for the receive queue.
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::vector<Sge> sges;
+};
+
+enum class WcOpcode : std::uint8_t {
+  kSend,
+  kWrite,
+  kRead,
+  kCompareSwap,
+  kRecv,
+  kRecvWithImm,
+  kNop,
+  kWait,
+};
+
+/// Work completion, mirroring ibv_wc.
+struct Completion {
+  std::uint64_t wr_id = 0;
+  StatusCode status = StatusCode::kOk;
+  WcOpcode opcode = WcOpcode::kSend;
+  QpId qp = 0;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  /// kCompareSwap: the value read from the remote location before the swap.
+  std::uint64_t atomic_old_value = 0;
+};
+
+/// Serialize/deserialize a WqeData to/from a ring slot in host memory.
+inline void store_wqe(mem::HostMemory& memory, std::uint64_t slot_addr,
+                      const WqeData& wqe) {
+  memory.write(slot_addr, &wqe, sizeof(WqeData));
+}
+inline WqeData load_wqe(const mem::HostMemory& memory,
+                        std::uint64_t slot_addr) {
+  WqeData wqe;
+  memory.read(slot_addr, &wqe, sizeof(WqeData));
+  return wqe;
+}
+
+/// Timing and sizing parameters of the simulated NIC + fabric. Defaults are
+/// calibrated to the paper's testbed class (ConnectX-3 56 Gbps, one switch).
+struct NicParams {
+  Duration wqe_fetch = 250;            // SQ doorbell -> WQE parsed
+  Duration dma_setup = 150;            // per DMA transaction overhead
+  double dma_bytes_per_ns = 16.0;      // PCIe gen3 x8-ish payload rate
+  Duration rx_process = 300;           // per inbound message processing
+  Duration ack_process = 100;          // per inbound ACK/response
+  Duration atomic_op = 200;            // CAS execution at target
+  Duration cache_drain_delay = 10'000; // lazy NIC-cache writeback (10us)
+  std::uint64_t cache_capacity = 256 * 1024;
+  std::uint32_t max_inflight = 16;     // pipelined WQEs per QP
+  Duration rnr_retry_delay = 100'000;  // receiver-not-ready backoff (100us)
+  /// IB semantics: 7 means retry forever (the peer is alive, just slow to
+  /// repost receives); smaller values bound the retries.
+  int rnr_retry_limit = 7;
+  Duration response_timeout = 1'000'000;  // peer-dead detection (1ms)
+  int timeout_retry_limit = 3;
+  /// Uniform jitter fraction applied to per-message NIC processing delays
+  /// (PCIe arbitration, on-NIC queueing). Gives latency distributions their
+  /// realistic non-zero spread without breaking per-QP ordering.
+  double jitter_frac = 0.15;
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+struct LinkParams {
+  Duration propagation = 1'000;       // one switch hop each way (1us)
+  double bytes_per_ns = 7.0;          // 56 Gbps
+  Duration loopback = 300;            // local loopback QP latency
+  std::uint32_t header_bytes = 60;    // per-message wire overhead
+};
+
+}  // namespace hyperloop::rnic

@@ -1,0 +1,74 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  HL_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  HL_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{when, seq, std::move(fn)});
+  return EventId(seq);
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  if (!cancelled_.insert(id.seq_).second) return false;  // double cancel
+  ++cancelled_in_heap_;
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.seq) > 0) {
+      --cancelled_in_heap_;
+      continue;
+    }
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek for the deadline without executing past it.
+    bool fired = false;
+    while (!heap_.empty()) {
+      const Event& top = heap_.top();
+      if (cancelled_.erase(top.seq) > 0) {
+        --cancelled_in_heap_;
+        heap_.pop();
+        continue;
+      }
+      if (top.when > deadline) {
+        now_ = deadline;
+        return;
+      }
+      fired = step();
+      break;
+    }
+    if (!fired) {
+      if (now_ < deadline) now_ = deadline;
+      return;
+    }
+  }
+}
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,48 @@
+// Layout of the replicated region used by the storage substrate.
+//
+// The paper's Initialize() carves each replica's NVM into a write-ahead log
+// and a database (§5); we add an explicit control block (log head/tail) and
+// a lock table since gCAS needs well-known word addresses. The layout is
+// identical on every member, so one set of offsets works group-wide.
+//
+//   [0,             64)                     control block
+//   [64,            64 + 8*num_locks)      lock table
+//   [wal_offset,    wal_offset + wal_cap)  write-ahead log ring
+//   [db_offset,     db_offset + db_size)   database
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace hyperloop::storage {
+
+struct RegionLayout {
+  std::uint32_t num_locks = 64;
+  std::uint64_t wal_capacity = 1 << 20;  // 1 MiB ring
+  std::uint64_t db_size = 4 << 20;       // 4 MiB database
+
+  // Control-block word offsets.
+  static constexpr std::uint64_t kLogHead = 0;   // oldest unexecuted byte
+  static constexpr std::uint64_t kLogTail = 8;   // next append position
+  static constexpr std::uint64_t kNextLsn = 16;  // next LSN to assign
+  static constexpr std::uint64_t kEpoch = 24;    // membership epoch
+  static constexpr std::uint64_t kControlBytes = 64;
+
+  [[nodiscard]] std::uint64_t lock_offset(std::uint32_t lock_id) const {
+    HL_CHECK_MSG(lock_id < num_locks, "lock id out of range");
+    return kControlBytes + 8ull * lock_id;
+  }
+  [[nodiscard]] std::uint64_t wal_offset() const {
+    return kControlBytes + 8ull * num_locks;
+  }
+  [[nodiscard]] std::uint64_t db_offset() const {
+    return wal_offset() + wal_capacity;
+  }
+  /// Total replicated-region bytes this layout needs.
+  [[nodiscard]] std::uint64_t region_size() const {
+    return db_offset() + db_size;
+  }
+};
+
+}  // namespace hyperloop::storage

@@ -1,0 +1,168 @@
+#include "storage/lock.hpp"
+
+#include <algorithm>
+
+namespace hyperloop::storage {
+
+GroupLockManager::GroupLockManager(core::GroupInterface& group,
+                                   sim::Simulator& sim, RegionLayout layout,
+                                   std::uint64_t owner_id, LockParams params)
+    : group_(group),
+      sim_(sim),
+      layout_(layout),
+      owner_id_(owner_id),
+      params_(params) {
+  HL_CHECK_MSG(owner_id != 0 && (owner_id & kWriterBit) == 0,
+               "owner id must be nonzero and below the writer bit");
+}
+
+void GroupLockManager::wr_lock(std::uint32_t lock_id, LockCallback done) {
+  wr_lock_attempt(lock_id, 0, params_.initial_backoff, std::move(done));
+}
+
+void GroupLockManager::wr_lock_attempt(std::uint32_t lock_id, int attempt,
+                                       Duration backoff, LockCallback done) {
+  try_wr_lock(lock_id, [this, lock_id, attempt, backoff,
+                        done = std::move(done)](Status s) {
+    if (s.is_ok() || s.code() != StatusCode::kAborted) {
+      if (done) done(s);
+      return;
+    }
+    if (attempt + 1 >= params_.max_attempts) {
+      if (done) {
+        done(Status(StatusCode::kAborted, "write lock attempts exhausted"));
+      }
+      return;
+    }
+    sim_.schedule(backoff,
+                  alive_.guard([this, lock_id, attempt, backoff, done] {
+                    wr_lock_attempt(lock_id, attempt + 1,
+                                    std::min(backoff * 2, params_.max_backoff),
+                                    done);
+                  }));
+  });
+}
+
+void GroupLockManager::try_wr_lock(std::uint32_t lock_id, LockCallback done) {
+  const std::uint64_t offset = layout_.lock_offset(lock_id);
+  const std::uint64_t mine = kWriterBit | owner_id_;
+  group_.gcas(
+      offset, 0, mine, core::kAllReplicas, /*flush=*/false,
+      [this, offset, mine, done = std::move(done)](Status s,
+                                                   const auto& results) {
+        if (!s.is_ok()) {
+          if (done) done(s);
+          return;
+        }
+        core::ExecuteMap succeeded = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (results[i] == 0) succeeded |= (1u << i);
+        }
+        const auto all =
+            static_cast<core::ExecuteMap>((1ull << results.size()) - 1);
+        if (succeeded == all) {
+          ++acquisitions_;
+          if (done) done(Status::ok());
+          return;
+        }
+        ++contentions_;
+        if (succeeded == 0) {
+          if (done) done(Status(StatusCode::kAborted, "lock contended"));
+          return;
+        }
+        // Partial acquire: undo on exactly the members that took it
+        // (the paper's execute-map rollback).
+        ++undos_;
+        group_.gcas(offset, mine, 0, succeeded, /*flush=*/false,
+                    [done](Status us, const auto&) {
+                      if (!us.is_ok()) {
+                        if (done) done(us);
+                        return;
+                      }
+                      if (done) {
+                        done(Status(StatusCode::kAborted,
+                                    "lock contended (rolled back)"));
+                      }
+                    });
+      });
+}
+
+void GroupLockManager::wr_unlock(std::uint32_t lock_id, LockCallback done) {
+  const std::uint64_t offset = layout_.lock_offset(lock_id);
+  const std::uint64_t mine = kWriterBit | owner_id_;
+  group_.gcas(offset, mine, 0, core::kAllReplicas, /*flush=*/false,
+              [mine, done = std::move(done)](Status s, const auto& results) {
+                if (!s.is_ok()) {
+                  if (done) done(s);
+                  return;
+                }
+                for (std::uint64_t observed : results) {
+                  if (observed != mine) {
+                    if (done) {
+                      done(Status(StatusCode::kFailedPrecondition,
+                                  "unlocking a write lock we do not hold"));
+                    }
+                    return;
+                  }
+                }
+                if (done) done(Status::ok());
+              });
+}
+
+void GroupLockManager::rd_lock(std::uint32_t lock_id, std::size_t replica,
+                               LockCallback done) {
+  rd_cas_loop(lock_id, replica, 0, /*acquire=*/true, 0,
+              params_.initial_backoff, std::move(done));
+}
+
+void GroupLockManager::rd_unlock(std::uint32_t lock_id, std::size_t replica,
+                                 LockCallback done) {
+  rd_cas_loop(lock_id, replica, 1, /*acquire=*/false, 0,
+              params_.initial_backoff, std::move(done));
+}
+
+void GroupLockManager::rd_cas_loop(std::uint32_t lock_id, std::size_t replica,
+                                   std::uint64_t guess, bool acquire,
+                                   int attempt, Duration backoff,
+                                   LockCallback done) {
+  if (attempt >= params_.max_attempts) {
+    if (done) done(Status(StatusCode::kAborted, "read lock attempts exhausted"));
+    return;
+  }
+  const std::uint64_t offset = layout_.lock_offset(lock_id);
+  const std::uint64_t desired = acquire ? guess + 1 : guess - 1;
+  const auto execute = static_cast<core::ExecuteMap>(1u << replica);
+  group_.gcas(
+      offset, guess, desired, execute, /*flush=*/false,
+      [this, lock_id, replica, guess, acquire, attempt, backoff,
+       done = std::move(done)](Status s, const auto& results) {
+        if (!s.is_ok()) {
+          if (done) done(s);
+          return;
+        }
+        const std::uint64_t observed = results[replica];
+        if (observed == guess) {
+          if (acquire) ++acquisitions_;
+          if (done) done(Status::ok());
+          return;
+        }
+        if ((observed & kWriterBit) != 0) {
+          // Writer holds the lock: back off, then retry from free.
+          ++contentions_;
+          sim_.schedule(
+              backoff, alive_.guard([this, lock_id, replica, acquire, attempt,
+                                     backoff, done] {
+                rd_cas_loop(lock_id, replica, acquire ? 0 : 1, acquire,
+                            attempt + 1,
+                            std::min(backoff * 2, params_.max_backoff), done);
+              }));
+          return;
+        }
+        // Reader count moved under us: retry immediately with the observed
+        // value as the new expectation.
+        rd_cas_loop(lock_id, replica, observed, acquire, attempt + 1, backoff,
+                    done);
+      });
+}
+
+}  // namespace hyperloop::storage

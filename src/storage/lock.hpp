@@ -1,0 +1,85 @@
+// Group locking (paper §5: wrLock/wrUnlock/rdLock/rdUnlock).
+//
+// Write locks are group-wide: one gCAS acquires the same logical lock word
+// on every replica without any replica CPU. A partially successful acquire
+// (another writer raced us on some members) is rolled back with the paper's
+// undo pattern — a second gCAS whose execute map selects exactly the members
+// where the first succeeded.
+//
+// Read locks are per-replica ("only the replica being read from needs to
+// participate"): a reader increments a shared count on one member via a
+// single-member gCAS, enabling every replica to serve consistent reads
+// concurrently with group write locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hyperloop/group_api.hpp"
+#include "sim/simulator.hpp"
+#include "storage/layout.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::storage {
+
+/// Lock-word encoding: 0 = free; writer = kWriterBit | owner;
+/// readers = count in [1, kWriterBit).
+inline constexpr std::uint64_t kWriterBit = 1ull << 63;
+
+struct LockParams {
+  int max_attempts = 200;
+  Duration initial_backoff = 20'000;   // 20us
+  Duration max_backoff = 2'000'000;    // 2ms
+};
+
+class GroupLockManager {
+ public:
+  using LockCallback = std::function<void(Status)>;
+
+  /// `owner_id` identifies this coordinator in writer lock words; it must
+  /// be nonzero and unique among concurrent clients of the group.
+  GroupLockManager(core::GroupInterface& group, sim::Simulator& sim,
+                   RegionLayout layout, std::uint64_t owner_id,
+                   LockParams params = {});
+
+  /// Acquire the exclusive write lock on all replicas. Retries with
+  /// exponential backoff; kAborted after max_attempts.
+  void wr_lock(std::uint32_t lock_id, LockCallback done);
+
+  /// Release a write lock this owner holds.
+  void wr_unlock(std::uint32_t lock_id, LockCallback done);
+
+  /// One-shot attempt, no retry. `done(status)`: kOk acquired, kAborted
+  /// contended (already rolled back).
+  void try_wr_lock(std::uint32_t lock_id, LockCallback done);
+
+  /// Acquire/release a shared read lock on one replica only.
+  void rd_lock(std::uint32_t lock_id, std::size_t replica,
+               LockCallback done);
+  void rd_unlock(std::uint32_t lock_id, std::size_t replica,
+                 LockCallback done);
+
+  // --- Counters (benchmarks + tests) ---
+  [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
+  [[nodiscard]] std::uint64_t contentions() const { return contentions_; }
+  [[nodiscard]] std::uint64_t undos() const { return undos_; }
+
+ private:
+  void wr_lock_attempt(std::uint32_t lock_id, int attempt, Duration backoff,
+                       LockCallback done);
+  void rd_cas_loop(std::uint32_t lock_id, std::size_t replica,
+                   std::uint64_t guess, bool acquire, int attempt,
+                   Duration backoff, LockCallback done);
+
+  core::GroupInterface& group_;
+  sim::Simulator& sim_;
+  Lifetime alive_;
+  RegionLayout layout_;
+  std::uint64_t owner_id_;
+  LockParams params_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contentions_ = 0;
+  std::uint64_t undos_ = 0;
+};
+
+}  // namespace hyperloop::storage

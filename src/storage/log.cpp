@@ -1,0 +1,311 @@
+#include "storage/log.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "util/rng.hpp"  // fnv1a_64
+
+namespace hyperloop::storage {
+
+namespace {
+constexpr std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~7ull; }
+}  // namespace
+
+std::uint64_t LogRecord::serialized_size() const {
+  std::uint64_t size = sizeof(wire::RecordHeader);
+  for (const LogEntry& e : entries) {
+    size += sizeof(wire::EntryHeader) + align8(e.data.size());
+  }
+  return size;
+}
+
+namespace wire {
+
+std::vector<std::byte> serialize(const LogRecord& record) {
+  const std::uint64_t total = record.serialized_size();
+  std::vector<std::byte> buf(total);
+
+  std::uint64_t off = sizeof(RecordHeader);
+  for (const LogEntry& e : record.entries) {
+    EntryHeader eh;
+    eh.db_offset = e.db_offset;
+    eh.len = static_cast<std::uint32_t>(e.data.size());
+    std::memcpy(buf.data() + off, &eh, sizeof(eh));
+    off += sizeof(eh);
+    std::memcpy(buf.data() + off, e.data.data(), e.data.size());
+    off += align8(e.data.size());
+  }
+
+  RecordHeader rh;
+  rh.num_entries = static_cast<std::uint32_t>(record.entries.size());
+  rh.lsn = record.lsn;
+  rh.total_bytes = total;
+  rh.checksum = fnv1a_64(buf.data() + sizeof(RecordHeader),
+                         total - sizeof(RecordHeader));
+  std::memcpy(buf.data(), &rh, sizeof(rh));
+  return buf;
+}
+
+Status deserialize(const std::byte* data, std::uint64_t len,
+                   LogRecord* out_record, std::uint64_t* out_bytes) {
+  if (len < sizeof(RecordHeader)) {
+    return {StatusCode::kDataLoss, "truncated record header"};
+  }
+  RecordHeader rh;
+  std::memcpy(&rh, data, sizeof(rh));
+  if (rh.magic != kRecordMagic) {
+    return {StatusCode::kDataLoss, "bad record magic"};
+  }
+  if (rh.total_bytes > len) {
+    return {StatusCode::kDataLoss, "record extends past available bytes"};
+  }
+  if (fnv1a_64(data + sizeof(RecordHeader),
+               rh.total_bytes - sizeof(RecordHeader)) != rh.checksum) {
+    return {StatusCode::kDataLoss, "record checksum mismatch (torn write?)"};
+  }
+
+  LogRecord record;
+  record.lsn = rh.lsn;
+  std::uint64_t off = sizeof(RecordHeader);
+  for (std::uint32_t i = 0; i < rh.num_entries; ++i) {
+    if (off + sizeof(EntryHeader) > rh.total_bytes) {
+      return {StatusCode::kDataLoss, "truncated entry header"};
+    }
+    EntryHeader eh;
+    std::memcpy(&eh, data + off, sizeof(eh));
+    off += sizeof(eh);
+    if (off + eh.len > rh.total_bytes) {
+      return {StatusCode::kDataLoss, "truncated entry payload"};
+    }
+    LogEntry entry;
+    entry.db_offset = eh.db_offset;
+    entry.data.assign(data + off, data + off + eh.len);
+    record.entries.push_back(std::move(entry));
+    off += align8(eh.len);
+  }
+  *out_record = std::move(record);
+  *out_bytes = rh.total_bytes;
+  return Status::ok();
+}
+
+}  // namespace wire
+
+ReplicatedLog::ReplicatedLog(core::GroupInterface& group, RegionLayout layout)
+    : group_(group), layout_(layout) {
+  HL_CHECK_MSG(group.region_size() >= layout.region_size(),
+               "replicated region smaller than the layout needs");
+}
+
+void ReplicatedLog::initialize(DoneCallback done) {
+  // Zero the control block + lock table on the client copy, then push it.
+  const std::uint64_t init_bytes = layout_.wal_offset();
+  std::vector<std::byte> zeros(init_bytes, std::byte{0});
+  group_.region_write(0, zeros.data(), zeros.size());
+  group_.gwrite(0, static_cast<std::uint32_t>(init_bytes), /*flush=*/true,
+                [done = std::move(done)](Status s, const auto&) {
+                  if (done) done(s);
+                });
+}
+
+void ReplicatedLog::append(
+    LogRecord record, std::function<void(Status, std::uint64_t)> done) {
+  record.lsn = next_lsn_;
+  const std::vector<std::byte> bytes = wire::serialize(record);
+  HL_CHECK_MSG(bytes.size() <= layout_.wal_capacity / 2,
+               "record larger than half the WAL ring");
+
+  // A record never wraps the ring (gMEMCPY needs contiguous sources); pad
+  // to the ring start when the remainder is too small.
+  std::uint64_t pad = 0;
+  const std::uint64_t tail_pos = ring_pos(tail_);
+  if (tail_pos + bytes.size() > layout_.wal_capacity) {
+    pad = layout_.wal_capacity - tail_pos;
+  }
+  if (free_bytes() < pad + bytes.size()) {
+    if (done) {
+      done(Status(StatusCode::kResourceExhausted,
+                  "WAL full; execute_and_advance to reclaim"),
+           0);
+    }
+    return;
+  }
+
+  if (pad > 0) {
+    wire::RecordHeader pad_header;
+    pad_header.magic = wire::kPadMagic;
+    pad_header.total_bytes = pad;
+    group_.region_write(layout_.wal_offset() + tail_pos, &pad_header,
+                        std::min<std::uint64_t>(sizeof(pad_header), pad));
+    // The pad header is metadata for recovery scans; replicate it with the
+    // same durability as the record.
+    group_.gwrite(layout_.wal_offset() + tail_pos,
+                  static_cast<std::uint32_t>(
+                      std::min<std::uint64_t>(sizeof(pad_header), pad)),
+                  /*flush=*/false, nullptr);
+    tail_ += pad;
+  }
+
+  const std::uint64_t pos = ring_pos(tail_);
+  group_.region_write(layout_.wal_offset() + pos, bytes.data(), bytes.size());
+  ++next_lsn_;
+  tail_ += bytes.size();
+  const std::uint64_t lsn = record.lsn;
+
+  // Record bytes, then the tail pointer: both on the gWRITE channel, so
+  // chain FIFO guarantees a durable tail never points past missing bytes.
+  group_.gwrite(layout_.wal_offset() + pos,
+                static_cast<std::uint32_t>(bytes.size()), /*flush=*/true,
+                nullptr);
+  replicate_tail([done = std::move(done), lsn](Status s) {
+    if (done) done(s, lsn);
+  });
+}
+
+void ReplicatedLog::replicate_tail(DoneCallback done) {
+  // Tail and next-LSN are adjacent control words: one durable gwrite.
+  group_.region_write(RegionLayout::kLogTail, &tail_, 8);
+  group_.region_write(RegionLayout::kNextLsn, &next_lsn_, 8);
+  group_.gwrite(RegionLayout::kLogTail, 16, /*flush=*/true,
+                [done = std::move(done)](Status s, const auto&) {
+                  if (done) done(s);
+                });
+}
+
+void ReplicatedLog::restore_from_client_region() {
+  group_.region_read(RegionLayout::kLogHead, &head_, 8);
+  group_.region_read(RegionLayout::kLogTail, &tail_, 8);
+  group_.region_read(RegionLayout::kNextLsn, &next_lsn_, 8);
+  if (next_lsn_ == 0) next_lsn_ = 1;
+  HL_CHECK_MSG(head_ <= tail_, "corrupt control block");
+}
+
+void ReplicatedLog::execute_and_advance(DoneCallback done) {
+  // Skip pads transparently. A sliver at the ring end too small for a full
+  // header is an implicit pad.
+  while (head_ < tail_) {
+    const std::uint64_t pos = ring_pos(head_);
+    if (pos + sizeof(wire::RecordHeader) > layout_.wal_capacity) {
+      head_ += layout_.wal_capacity - pos;
+      continue;
+    }
+    wire::RecordHeader rh;
+    group_.region_read(layout_.wal_offset() + pos, &rh, sizeof(rh));
+    if (rh.magic == wire::kPadMagic) {
+      head_ += rh.total_bytes;
+      continue;
+    }
+    break;
+  }
+  if (head_ >= tail_) {
+    if (done) done(Status(StatusCode::kNotFound, "log fully executed"));
+    return;
+  }
+
+  const std::uint64_t pos = ring_pos(head_);
+  wire::RecordHeader rh;
+  group_.region_read(layout_.wal_offset() + pos, &rh, sizeof(rh));
+  HL_CHECK_MSG(rh.magic == wire::kRecordMagic, "corrupt client-side log");
+
+  // Issue one gMEMCPY per entry (log area -> database area). They ride the
+  // same channel in order; completion of the last one gates the head bump.
+  struct ExecState {
+    std::size_t remaining = 0;
+    Status first_error = Status::ok();
+  };
+  auto state = std::make_shared<ExecState>();
+  std::uint64_t off = pos + sizeof(wire::RecordHeader);
+  std::vector<std::pair<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>>>
+      copies;  // (src_region_offset, (db_offset, len))
+  for (std::uint32_t i = 0; i < rh.num_entries; ++i) {
+    wire::EntryHeader eh;
+    group_.region_read(layout_.wal_offset() + off, &eh, sizeof(eh));
+    copies.push_back({layout_.wal_offset() + off + sizeof(eh),
+                      {layout_.db_offset() + eh.db_offset, eh.len}});
+    off += sizeof(eh) + align8(eh.len);
+  }
+  state->remaining = copies.size();
+
+  const std::uint64_t new_head = head_ + rh.total_bytes;
+  auto advance = [this, new_head, done](Status s) {
+    if (!s.is_ok()) {
+      if (done) done(s);
+      return;
+    }
+    head_ = new_head;
+    group_.region_write(RegionLayout::kLogHead, &head_, 8);
+    group_.gwrite(RegionLayout::kLogHead, 8, /*flush=*/true,
+                  [done](Status hs, const auto&) {
+                    if (done) done(hs);
+                  });
+  };
+
+  if (copies.empty()) {
+    advance(Status::ok());
+    return;
+  }
+  for (const auto& [src, dst] : copies) {
+    group_.gmemcpy(src, dst.first, dst.second, /*flush=*/true,
+                   [state, advance](Status s, const auto&) {
+                     if (!s.is_ok() && state->first_error.is_ok()) {
+                       state->first_error = s;
+                     }
+                     if (--state->remaining == 0) {
+                       advance(state->first_error);
+                     }
+                   });
+  }
+}
+
+void ReplicatedLog::drain(DoneCallback done) {
+  execute_and_advance([this, done](Status s) {
+    if (s.code() == StatusCode::kNotFound) {
+      if (done) done(Status::ok());
+      return;
+    }
+    if (!s.is_ok()) {
+      if (done) done(s);
+      return;
+    }
+    drain(done);
+  });
+}
+
+std::vector<LogRecord> ReplicatedLog::recover_from_replica(
+    std::size_t replica) const {
+  std::uint64_t r_head = 0, r_tail = 0;
+  group_.replica_read(replica, RegionLayout::kLogHead, &r_head, 8);
+  group_.replica_read(replica, RegionLayout::kLogTail, &r_tail, 8);
+
+  std::vector<LogRecord> records;
+  std::uint64_t cursor = r_head;
+  while (cursor < r_tail) {
+    const std::uint64_t pos = cursor % layout_.wal_capacity;
+    wire::RecordHeader rh;
+    if (pos + sizeof(rh) > layout_.wal_capacity) {
+      cursor += layout_.wal_capacity - pos;
+      continue;
+    }
+    group_.replica_read(replica, layout_.wal_offset() + pos, &rh, sizeof(rh));
+    if (rh.magic == wire::kPadMagic) {
+      cursor += rh.total_bytes;
+      continue;
+    }
+    if (rh.magic != wire::kRecordMagic ||
+        pos + rh.total_bytes > layout_.wal_capacity) {
+      break;  // torn or missing — recovery stops at the first gap
+    }
+    std::vector<std::byte> buf(rh.total_bytes);
+    group_.replica_read(replica, layout_.wal_offset() + pos, buf.data(),
+                        buf.size());
+    LogRecord record;
+    std::uint64_t used = 0;
+    if (!wire::deserialize(buf.data(), buf.size(), &record, &used).is_ok()) {
+      break;
+    }
+    records.push_back(std::move(record));
+    cursor += used;
+  }
+  return records;
+}
+
+}  // namespace hyperloop::storage

@@ -1,0 +1,126 @@
+// Replicated write-ahead log (paper §5: Append / ExecuteAndAdvance / log
+// truncation), built purely on the group primitives so it runs unchanged
+// over the HyperLoop and Naïve-RDMA datapaths.
+//
+// A log record is a redo record: a list of (db_offset, len, data) mutations
+// (the paper's 3-tuples, after ARIES). Append serializes the record into the
+// ring on the client's copy and replicates it with gWRITE(+flush); commit
+// executes each entry on all replicas with gMEMCPY(+flush) from the log area
+// into the database area, then advances the durable head pointer — all
+// without replica CPUs when running over HyperLoop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hyperloop/group_api.hpp"
+#include "storage/layout.hpp"
+
+namespace hyperloop::storage {
+
+/// One mutation of the database region.
+struct LogEntry {
+  std::uint64_t db_offset = 0;
+  std::vector<std::byte> data;
+};
+
+/// A redo record: the atomic unit of replication and execution.
+struct LogRecord {
+  std::uint64_t lsn = 0;  // assigned by the log at append
+  std::vector<LogEntry> entries;
+
+  [[nodiscard]] std::uint64_t serialized_size() const;
+};
+
+/// Serialization (fixed little-endian POD headers, 8-byte-aligned payloads).
+/// Exposed for tests and for crash-recovery scans.
+namespace wire {
+inline constexpr std::uint32_t kRecordMagic = 0x484C4F47;  // "HLOG"
+inline constexpr std::uint32_t kPadMagic = 0x484C5041;     // "HLPA"
+
+struct RecordHeader {
+  std::uint32_t magic = kRecordMagic;
+  std::uint32_t num_entries = 0;
+  std::uint64_t lsn = 0;
+  std::uint64_t total_bytes = 0;  // header + entries, aligned
+  std::uint64_t checksum = 0;     // fnv1a over the serialized entries
+};
+static_assert(sizeof(RecordHeader) == 32);
+
+struct EntryHeader {
+  std::uint64_t db_offset = 0;
+  std::uint32_t len = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(EntryHeader) == 16);
+
+std::vector<std::byte> serialize(const LogRecord& record);
+/// Parse a serialized record; returns kDataLoss on magic/checksum mismatch.
+Status deserialize(const std::byte* data, std::uint64_t len,
+                   LogRecord* out_record, std::uint64_t* out_bytes);
+}  // namespace wire
+
+using DoneCallback = std::function<void(Status)>;
+
+/// The replicated WAL. One instance lives on the client (transaction
+/// coordinator); replicas hold only bytes.
+class ReplicatedLog {
+ public:
+  ReplicatedLog(core::GroupInterface& group, RegionLayout layout);
+
+  /// Persist the layout's initial control state to all replicas. Must
+  /// complete before the first append. (The paper's Initialize.)
+  void initialize(DoneCallback done);
+
+  /// Append a record: assign an LSN, serialize into the ring, replicate the
+  /// bytes and the new tail pointer durably. Fails with kResourceExhausted
+  /// when the ring cannot fit the record until execute/truncate frees space.
+  void append(LogRecord record, std::function<void(Status, std::uint64_t lsn)> done);
+
+  /// Execute the oldest unexecuted record on every replica (gMEMCPY each
+  /// entry into the database + gFLUSH), then advance the durable head —
+  /// which is also the truncation point. The paper's ExecuteAndAdvance.
+  /// Fails with kNotFound when the log is fully executed.
+  void execute_and_advance(DoneCallback done);
+
+  /// Convenience: run execute_and_advance until the log drains.
+  void drain(DoneCallback done);
+
+  // --- Introspection (client-side state) ---
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+  [[nodiscard]] std::uint64_t tail() const { return tail_; }
+  [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
+  [[nodiscard]] std::uint64_t bytes_in_log() const { return tail_ - head_; }
+  [[nodiscard]] std::uint64_t capacity() const { return layout_.wal_capacity; }
+  [[nodiscard]] const RegionLayout& layout() const { return layout_; }
+
+  /// Rebuild head/tail/next-LSN from the control block in the client's
+  /// region copy — the failover path after the coordinator re-seeds a new
+  /// chain from a snapshot.
+  void restore_from_client_region();
+
+  /// Scan a replica's durable log between its persisted head and tail,
+  /// validating checksums — the recovery path a rejoining member runs.
+  /// Returns records that are intact; stops at the first corrupt/missing
+  /// record (torn write after a crash).
+  std::vector<LogRecord> recover_from_replica(std::size_t replica) const;
+
+ private:
+  [[nodiscard]] std::uint64_t ring_pos(std::uint64_t logical) const {
+    return logical % layout_.wal_capacity;
+  }
+  [[nodiscard]] std::uint64_t free_bytes() const {
+    return layout_.wal_capacity - (tail_ - head_);
+  }
+  void replicate_tail(DoneCallback done);
+
+  core::GroupInterface& group_;
+  RegionLayout layout_;
+  std::uint64_t head_ = 0;      // logical byte offsets (monotonic)
+  std::uint64_t tail_ = 0;
+  std::uint64_t next_lsn_ = 1;
+};
+
+}  // namespace hyperloop::storage

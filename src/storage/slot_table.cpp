@@ -1,0 +1,123 @@
+#include "storage/slot_table.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"  // fnv1a_64
+
+namespace hyperloop::storage {
+
+namespace {
+constexpr std::uint32_t kSlotHeaderBytes = 8;  // klen + vlen
+}  // namespace
+
+SlotTable::SlotTable(std::uint64_t db_size, std::uint32_t slot_bytes)
+    : num_slots_(static_cast<std::uint32_t>(db_size / slot_bytes)),
+      slot_bytes_(slot_bytes),
+      occupied_(num_slots_, false) {
+  HL_CHECK_MSG(slot_bytes > kSlotHeaderBytes, "slot too small for a header");
+  HL_CHECK_MSG(num_slots_ > 0, "database smaller than one slot");
+}
+
+std::optional<std::uint32_t> SlotTable::find(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status SlotTable::assign(std::string_view key, std::size_t value_len,
+                         std::uint32_t* out_slot) {
+  if (kSlotHeaderBytes + key.size() + value_len > slot_bytes_) {
+    return {StatusCode::kInvalidArgument, "record larger than a slot"};
+  }
+  if (auto existing = find(key)) {
+    *out_slot = *existing;
+    return Status::ok();
+  }
+  const auto start = static_cast<std::uint32_t>(
+      fnv1a_64(key.data(), key.size()) % num_slots_);
+  for (std::uint32_t probe = 0; probe < num_slots_; ++probe) {
+    const std::uint32_t slot = (start + probe) % num_slots_;
+    if (!occupied_[slot]) {
+      occupied_[slot] = true;
+      index_.emplace(std::string(key), slot);
+      *out_slot = slot;
+      return Status::ok();
+    }
+  }
+  return {StatusCode::kResourceExhausted, "slot table full"};
+}
+
+void SlotTable::erase(std::string_view key) {
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) return;
+  occupied_[it->second] = false;
+  index_.erase(it);
+}
+
+std::optional<std::string> SlotTable::key_at(std::uint32_t slot) const {
+  for (const auto& [key, s] : index_) {
+    if (s == slot) return key;
+  }
+  return std::nullopt;
+}
+
+void SlotTable::claim(std::string_view key, std::uint32_t slot) {
+  HL_CHECK(slot < num_slots_);
+  if (auto prev = key_at(slot)) index_.erase(*prev);
+  if (auto existing = find(key)) occupied_[*existing] = false;
+  occupied_[slot] = true;
+  index_[std::string(key)] = slot;
+}
+
+std::vector<std::byte> SlotTable::encode(std::string_view key,
+                                         std::string_view value) const {
+  HL_CHECK(kSlotHeaderBytes + key.size() + value.size() <= slot_bytes_);
+  std::vector<std::byte> buf(slot_bytes_, std::byte{0});
+  const auto klen = static_cast<std::uint32_t>(key.size());
+  const auto vlen = static_cast<std::uint32_t>(value.size());
+  std::memcpy(buf.data(), &klen, 4);
+  std::memcpy(buf.data() + 4, &vlen, 4);
+  std::memcpy(buf.data() + 8, key.data(), key.size());
+  std::memcpy(buf.data() + 8 + key.size(), value.data(), value.size());
+  return buf;
+}
+
+std::vector<std::byte> SlotTable::encode_tombstone() const {
+  return std::vector<std::byte>(slot_bytes_, std::byte{0});
+}
+
+std::optional<SlotRecord> SlotTable::decode(const std::byte* data,
+                                            std::uint32_t slot_bytes) {
+  std::uint32_t klen = 0, vlen = 0;
+  std::memcpy(&klen, data, 4);
+  std::memcpy(&vlen, data + 4, 4);
+  if (klen == 0) return std::nullopt;
+  if (kSlotHeaderBytes + klen + vlen > slot_bytes) return std::nullopt;
+  SlotRecord rec;
+  rec.key.assign(reinterpret_cast<const char*>(data + 8), klen);
+  rec.value.assign(reinterpret_cast<const char*>(data + 8 + klen), vlen);
+  return rec;
+}
+
+void SlotTable::rebuild(const core::GroupInterface& group,
+                        std::uint64_t db_offset, bool from_replica,
+                        std::size_t replica) {
+  index_.clear();
+  occupied_.assign(num_slots_, false);
+  std::vector<std::byte> buf(slot_bytes_);
+  for (std::uint32_t slot = 0; slot < num_slots_; ++slot) {
+    if (from_replica) {
+      group.replica_read(replica, db_offset + slot_offset(slot), buf.data(),
+                         slot_bytes_);
+    } else {
+      group.region_read(db_offset + slot_offset(slot), buf.data(),
+                        slot_bytes_);
+    }
+    if (auto rec = decode(buf.data(), slot_bytes_)) {
+      occupied_[slot] = true;
+      index_.emplace(std::move(rec->key), slot);
+    }
+  }
+}
+
+}  // namespace hyperloop::storage

@@ -1,0 +1,83 @@
+// Fixed-slot record layout for the database area, shared by MiniRocks and
+// MiniMongo.
+//
+// The database region is divided into fixed-size slots. A record serializes
+// as [klen u32][vlen u32][key][value]; klen==0 marks a free/tombstoned slot.
+// Slot assignment (hash + linear probing) is performed by the coordinator,
+// whose in-memory index is authoritative; the on-region encoding is fully
+// self-describing so replicas can serve reads and a recovering coordinator
+// can rebuild the index by scanning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hyperloop/group_api.hpp"
+#include "util/status.hpp"
+
+namespace hyperloop::storage {
+
+struct SlotRecord {
+  std::string key;
+  std::string value;
+};
+
+class SlotTable {
+ public:
+  /// `db_size` bytes divided into `slot_bytes`-sized slots.
+  SlotTable(std::uint64_t db_size, std::uint32_t slot_bytes);
+
+  [[nodiscard]] std::uint32_t num_slots() const { return num_slots_; }
+  [[nodiscard]] std::uint32_t slot_bytes() const { return slot_bytes_; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  /// Byte offset of a slot within the database area.
+  [[nodiscard]] std::uint64_t slot_offset(std::uint32_t slot) const {
+    return static_cast<std::uint64_t>(slot) * slot_bytes_;
+  }
+
+  /// Slot currently holding `key`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view key) const;
+
+  /// Slot to write `key` into: its current slot, or a newly claimed free
+  /// slot (hash + linear probing). kResourceExhausted when the table is
+  /// full; kInvalidArgument when the record cannot fit a slot.
+  Status assign(std::string_view key, std::size_t value_len,
+                std::uint32_t* out_slot);
+
+  /// Release `key`'s slot (caller writes the tombstone to the region).
+  void erase(std::string_view key);
+
+  /// Force-claim a specific slot for `key` (recovery replay: the WAL entry
+  /// names the exact slot). Evicts any previous owner of that slot.
+  void claim(std::string_view key, std::uint32_t slot);
+
+  /// Key currently owning a slot, if any (reverse lookup; recovery only).
+  [[nodiscard]] std::optional<std::string> key_at(std::uint32_t slot) const;
+
+  /// Serialize a record into a slot-sized buffer (zero-padded).
+  [[nodiscard]] std::vector<std::byte> encode(std::string_view key,
+                                              std::string_view value) const;
+  /// A slot-sized tombstone buffer.
+  [[nodiscard]] std::vector<std::byte> encode_tombstone() const;
+
+  /// Parse a slot buffer; nullopt when free/tombstoned or malformed.
+  static std::optional<SlotRecord> decode(const std::byte* data,
+                                          std::uint32_t slot_bytes);
+
+  /// Rebuild the index by scanning a region copy (recovery path).
+  void rebuild(const core::GroupInterface& group, std::uint64_t db_offset,
+               bool from_replica, std::size_t replica = 0);
+
+ private:
+  std::uint32_t num_slots_;
+  std::uint32_t slot_bytes_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<bool> occupied_;
+};
+
+}  // namespace hyperloop::storage

@@ -1,0 +1,186 @@
+#include "storage/transaction.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hyperloop::storage {
+
+void Transaction::put(std::uint64_t db_offset, const void* data,
+                      std::uint64_t len) {
+  LogEntry entry;
+  entry.db_offset = db_offset;
+  entry.data.assign(static_cast<const std::byte*>(data),
+                    static_cast<const std::byte*>(data) + len);
+  record_.entries.push_back(std::move(entry));
+}
+
+std::uint64_t Transaction::bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& e : record_.entries) n += e.data.size();
+  return n;
+}
+
+TransactionCoordinator::TransactionCoordinator(core::GroupInterface& group,
+                                               ReplicatedLog& log,
+                                               GroupLockManager& locks,
+                                               TxnOptions options)
+    : group_(group), log_(log), locks_(locks), options_(options) {}
+
+std::vector<std::uint32_t> TransactionCoordinator::lock_set(
+    const Transaction& txn) const {
+  std::set<std::uint32_t> ids;
+  for (const auto& e : txn.record_.entries) {
+    const std::uint64_t first_page = e.db_offset / options_.lock_page_bytes;
+    const std::uint64_t last_page =
+        (e.db_offset + std::max<std::uint64_t>(e.data.size(), 1) - 1) /
+        options_.lock_page_bytes;
+    for (std::uint64_t p = first_page; p <= last_page; ++p) {
+      ids.insert(
+          static_cast<std::uint32_t>(p % log_.layout().num_locks));
+    }
+  }
+  // Sorted order (std::set) -> deadlock-free acquisition across clients.
+  return {ids.begin(), ids.end()};
+}
+
+void TransactionCoordinator::acquire_locks(std::vector<std::uint32_t> locks,
+                                           std::size_t idx,
+                                           std::function<void(Status)> done) {
+  if (idx == locks.size()) {
+    done(Status::ok());
+    return;
+  }
+  // Read the id before the capture initializer moves the vector.
+  const std::uint32_t id = locks[idx];
+  locks_.wr_lock(id, [this, locks = std::move(locks), idx,
+                      done = std::move(done)](Status s) mutable {
+    if (!s.is_ok()) {
+      // Roll back the ones we already hold.
+      release_locks(std::move(locks), idx,
+                    [s, done = std::move(done)](Status) { done(s); });
+      return;
+    }
+    acquire_locks(std::move(locks), idx + 1, std::move(done));
+  });
+}
+
+void TransactionCoordinator::release_locks(std::vector<std::uint32_t> locks,
+                                           std::size_t idx,
+                                           std::function<void(Status)> done) {
+  if (idx == 0) {
+    done(Status::ok());
+    return;
+  }
+  const std::uint32_t id = locks[idx - 1];
+  locks_.wr_unlock(id,
+                   [this, locks = std::move(locks), idx,
+                    done = std::move(done)](Status s) mutable {
+                     if (!s.is_ok()) {
+                       done(s);
+                       return;
+                     }
+                     release_locks(std::move(locks), idx - 1, std::move(done));
+                   });
+}
+
+void TransactionCoordinator::commit(Transaction txn, DoneCallback done) {
+  if (txn.empty()) {
+    if (done) done(Status::ok());
+    return;
+  }
+  // Compute the lock set before the record is moved into the log.
+  std::vector<std::uint32_t> locks =
+      options_.use_locking ? lock_set(txn) : std::vector<std::uint32_t>{};
+
+  // Entries address the database area; the log stores db-relative offsets
+  // and execute_and_advance adds the database base.
+  log_.append(
+      std::move(txn.record_),
+      [this, locks = std::move(locks), done = std::move(done)](
+          Status s, std::uint64_t) mutable {
+        if (!s.is_ok()) {
+          ++aborted_;
+          if (done) done(s);
+          return;
+        }
+        if (options_.mode == TxnOptions::ExecuteMode::kDeferred) {
+          ++deferred_records_;
+          ++committed_;
+          if (done) done(Status::ok());
+          return;
+        }
+        acquire_locks(locks, 0, [this, locks,
+                                 done = std::move(done)](Status ls) mutable {
+          if (!ls.is_ok()) {
+            ++aborted_;
+            if (done) done(ls);
+            return;
+          }
+          // Drain rather than execute-one: guarantees this record (and any
+          // deferred backlog before it) is applied when the callback fires.
+          log_.drain([this, locks = std::move(locks),
+                      done = std::move(done)](Status es) mutable {
+            const std::size_t held = locks.size();
+            release_locks(std::move(locks), held,
+                          [this, es, done = std::move(done)](Status us) {
+                            const Status final_status = !es.is_ok() ? es : us;
+                            if (final_status.is_ok()) {
+                              ++committed_;
+                            } else {
+                              ++aborted_;
+                            }
+                            if (done) done(final_status);
+                          });
+          });
+        });
+      });
+}
+
+void TransactionCoordinator::flush_deferred(DoneCallback done) {
+  // Only one drain may walk the log at a time — two interleaved drains
+  // would double-advance the head. Late callers wait for the active one.
+  if (flushing_) {
+    flush_waiters_.push_back(std::move(done));
+    return;
+  }
+  if (deferred_records_ == 0) {
+    if (done) done(Status::ok());
+    return;
+  }
+  flushing_ = true;
+  flush_loop(std::move(done));
+}
+
+void TransactionCoordinator::flush_loop(DoneCallback done) {
+  log_.execute_and_advance([this, done = std::move(done)](Status s) {
+    if (s.is_ok()) {
+      if (deferred_records_ > 0) --deferred_records_;
+      flush_loop(std::move(done));
+      return;
+    }
+    const Status final_status =
+        s.code() == StatusCode::kNotFound ? Status::ok() : s;
+    if (final_status.is_ok()) deferred_records_ = 0;
+    flushing_ = false;
+    std::vector<DoneCallback> waiters;
+    waiters.swap(flush_waiters_);
+    if (done) done(final_status);
+    // Waiters observe the drained log (or retry picks up new records).
+    for (auto& w : waiters) flush_deferred(std::move(w));
+  });
+}
+
+void TransactionCoordinator::db_read(std::uint64_t db_offset, void* dst,
+                                     std::uint64_t len) const {
+  group_.region_read(log_.layout().db_offset() + db_offset, dst, len);
+}
+
+void TransactionCoordinator::db_read_replica(std::size_t replica,
+                                             std::uint64_t db_offset,
+                                             void* dst,
+                                             std::uint64_t len) const {
+  group_.replica_read(replica, log_.layout().db_offset() + db_offset, dst,
+                      len);
+}
+
+}  // namespace hyperloop::storage

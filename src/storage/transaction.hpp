@@ -1,0 +1,99 @@
+// Replicated ACID transactions over the group primitives (paper §3.1's
+// five-step recipe): replicate the redo record to all members, take the
+// group lock, execute the record (gMEMCPY log->database), flush, unlock.
+//
+// Two execution modes mirror the paper's consistency spectrum (§7):
+//  * kImmediate — execute inside commit under the write lock: strongly
+//    consistent reads from any replica.
+//  * kDeferred — commit returns once the record is durable on all replicas;
+//    execution happens later in batches (RocksDB-style eventually
+//    consistent replicas, higher throughput).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "hyperloop/group_api.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+
+namespace hyperloop::storage {
+
+/// Client-side transaction buffer: a set of database mutations that commit
+/// atomically.
+class Transaction {
+ public:
+  /// Buffer `len` bytes to be written at `db_offset` (relative to the
+  /// database area) when the transaction commits.
+  void put(std::uint64_t db_offset, const void* data, std::uint64_t len);
+
+  [[nodiscard]] bool empty() const { return record_.entries.empty(); }
+  [[nodiscard]] std::size_t num_writes() const {
+    return record_.entries.size();
+  }
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  friend class TransactionCoordinator;
+  LogRecord record_;
+};
+
+struct TxnOptions {
+  enum class ExecuteMode : std::uint8_t { kImmediate, kDeferred };
+  ExecuteMode mode = ExecuteMode::kImmediate;
+  /// Lock granularity: database offsets are mapped to lock words by page.
+  std::uint64_t lock_page_bytes = 4096;
+  bool use_locking = true;
+};
+
+class TransactionCoordinator {
+ public:
+  TransactionCoordinator(core::GroupInterface& group, ReplicatedLog& log,
+                         GroupLockManager& locks, TxnOptions options = {});
+
+  Transaction begin() { return {}; }
+
+  /// Commit: append the redo record durably to every replica, then (in
+  /// kImmediate mode) lock, execute, unlock. The callback fires when the
+  /// transaction is durable per the selected mode.
+  void commit(Transaction txn, DoneCallback done);
+
+  /// Execute deferred records accumulated by kDeferred commits (and any
+  /// backlog), under locks. Call periodically off the critical path.
+  void flush_deferred(DoneCallback done);
+
+  /// Read from the client's (authoritative) database copy.
+  void db_read(std::uint64_t db_offset, void* dst, std::uint64_t len) const;
+
+  /// Read from one replica's durable database copy (what a reader hitting
+  /// that replica would see).
+  void db_read_replica(std::size_t replica, std::uint64_t db_offset,
+                       void* dst, std::uint64_t len) const;
+
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  [[nodiscard]] std::uint64_t aborted() const { return aborted_; }
+  [[nodiscard]] const RegionLayout& layout() const { return log_.layout(); }
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> lock_set(
+      const Transaction& txn) const;
+  void acquire_locks(std::vector<std::uint32_t> locks, std::size_t idx,
+                     std::function<void(Status)> done);
+  void release_locks(std::vector<std::uint32_t> locks, std::size_t idx,
+                     std::function<void(Status)> done);
+  void flush_loop(DoneCallback done);
+
+  core::GroupInterface& group_;
+  ReplicatedLog& log_;
+  GroupLockManager& locks_;
+  TxnOptions options_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t deferred_records_ = 0;
+  bool flushing_ = false;
+  std::vector<DoneCallback> flush_waiters_;
+};
+
+}  // namespace hyperloop::storage

@@ -1,0 +1,137 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace hyperloop {
+
+LatencyHistogram::LatencyHistogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(1ULL << sub_bucket_bits) {
+  HL_CHECK_MSG(sub_bucket_bits >= 1 && sub_bucket_bits <= 16,
+               "sub_bucket_bits out of range");
+  // 64 power-of-two ranges cover the full Duration domain.
+  buckets_.assign(static_cast<std::size_t>(64 - sub_bucket_bits_ + 1) *
+                      sub_bucket_count_,
+                  0);
+}
+
+std::size_t LatencyHistogram::bucket_index(Duration value) const {
+  // Values below sub_bucket_count_ map linearly; above, each power-of-two
+  // range reuses sub_bucket_count_ slots at progressively coarser width.
+  if (value < sub_bucket_count_) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int range = msb - sub_bucket_bits_ + 1;  // >= 1 here
+  const std::uint64_t sub =
+      (value >> range) & (sub_bucket_count_ - 1);  // top bits below the msb
+  return static_cast<std::size_t>(range) * sub_bucket_count_ + sub;
+}
+
+Duration LatencyHistogram::bucket_upper_bound(std::size_t index) const {
+  const std::uint64_t range = index / sub_bucket_count_;
+  const std::uint64_t sub = index % sub_bucket_count_;
+  if (range == 0) return sub;
+  // bucket_index stores the top sub_bucket_bits_ bits *including* the
+  // leading one in `sub`, so the highest value mapping here is
+  // (sub << range) plus a full low-bit run.
+  return (sub << range) + ((1ULL << range) - 1);
+}
+
+void LatencyHistogram::record(Duration value_ns) { record_n(value_ns, 1); }
+
+void LatencyHistogram::record_n(Duration value_ns, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(value_ns)] += count;
+  count_ += count;
+  if (value_ns < min_) min_ = value_ns;
+  if (value_ns > max_) max_ = value_ns;
+  const double v = static_cast<double>(value_ns);
+  sum_ += v * static_cast<double>(count);
+  sum_sq_ += v * v * static_cast<double>(count);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  HL_CHECK_MSG(other.sub_bucket_bits_ == sub_bucket_bits_,
+               "cannot merge histograms with different resolution");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~Duration{0};
+  max_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+Duration LatencyHistogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+Duration LatencyHistogram::p(double quantile) const {
+  if (count_ == 0) return 0;
+  if (quantile <= 0.0) return min();
+  if (quantile >= 1.0) return max_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(quantile * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp to observed extremes so tiny histograms stay exact.
+      Duration v = bucket_upper_bound(i);
+      if (v > max_) v = max_;
+      if (v < min_) v = min_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu avg=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                format_duration(static_cast<Duration>(mean())).c_str(),
+                format_duration(p50()).c_str(), format_duration(p95()).c_str(),
+                format_duration(p99()).c_str(), format_duration(max()).c_str());
+  return buf;
+}
+
+std::string format_duration(Duration ns) {
+  char buf[48];
+  const double v = static_cast<double>(ns);
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", v / 1e3);
+  } else if (ns < 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace hyperloop

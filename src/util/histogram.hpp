@@ -1,0 +1,67 @@
+// HDR-style log-bucketed latency histogram.
+//
+// Every benchmark and test in the repository reports latency through this
+// type. It keeps a fixed number of buckets whose width grows geometrically,
+// giving ~1% relative error across a ns..minutes range with a few KB of
+// memory and O(1) record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace hyperloop {
+
+class LatencyHistogram {
+ public:
+  /// sub_bucket_bits controls resolution: each power-of-two range is split
+  /// into 2^sub_bucket_bits linear sub-buckets (default 64 => <1.6% error).
+  explicit LatencyHistogram(int sub_bucket_bits = 6);
+
+  void record(Duration value_ns);
+  void record_n(Duration value_ns, std::uint64_t count);
+
+  /// Merge another histogram into this one (e.g. per-thread partials).
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Duration min() const;
+  [[nodiscard]] Duration max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Value at a quantile in [0, 1]; e.g. p(0.99) is the 99th percentile.
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] Duration p(double quantile) const;
+
+  [[nodiscard]] Duration p50() const { return p(0.50); }
+  [[nodiscard]] Duration p95() const { return p(0.95); }
+  [[nodiscard]] Duration p99() const { return p(0.99); }
+  [[nodiscard]] Duration p999() const { return p(0.999); }
+
+  /// One-line summary such as "n=10000 avg=12.3us p95=14.1us p99=15.0us".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(Duration value) const;
+  [[nodiscard]] Duration bucket_upper_bound(std::size_t index) const;
+
+  int sub_bucket_bits_;
+  std::uint64_t sub_bucket_count_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  Duration min_ = ~Duration{0};
+  Duration max_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Format a nanosecond duration with an adaptive unit ("873ns", "12.4us",
+/// "3.1ms", "2.0s"). Used by summary() and the bench report writers.
+std::string format_duration(Duration ns);
+
+}  // namespace hyperloop

@@ -1,0 +1,38 @@
+// Lifetime guard for callback-driven components.
+//
+// Components schedule simulator events, CPU work, and CQ handlers that
+// capture `this`. When a component is torn down (e.g., a group is rebuilt
+// during chain recovery) those callbacks may still be queued. A Lifetime
+// member makes that safe: wrap self-referencing callbacks in guard(), and
+// they become no-ops once the owner is destroyed.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace hyperloop {
+
+class Lifetime {
+ public:
+  Lifetime() : token_(std::make_shared<char>(0)) {}
+
+  // Non-copyable: the token must die exactly when the owner dies.
+  Lifetime(const Lifetime&) = delete;
+  Lifetime& operator=(const Lifetime&) = delete;
+
+  /// Wrap a callback so it runs only while the owner is alive.
+  template <typename Fn>
+  auto guard(Fn&& fn) const {
+    return [weak = std::weak_ptr<char>(token_),
+            fn = std::forward<Fn>(fn)](auto&&... args) mutable {
+      if (weak.lock()) {
+        fn(std::forward<decltype(args)>(args)...);
+      }
+    };
+  }
+
+ private:
+  std::shared_ptr<char> token_;
+};
+
+}  // namespace hyperloop

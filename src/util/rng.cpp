@@ -1,0 +1,138 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace hyperloop {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // A state of all zeros is invalid for xoshiro; splitmix64 seeding
+  // guarantees this cannot happen for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  HL_CHECK_MSG(bound > 0, "next_below bound must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  HL_CHECK_MSG(lo <= hi, "next_in requires lo <= hi");
+  if (lo == 0 && hi == ~0ULL) return next_u64();
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  HL_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+  // -mean * ln(U), with U in (0, 1].
+  double u = 1.0 - next_double();
+  return -mean * std::log(u);
+}
+
+double Rng::next_pareto(double min_value, double max_value, double alpha) {
+  HL_CHECK_MSG(min_value > 0.0 && max_value > min_value && alpha > 0.0,
+               "invalid bounded-pareto parameters");
+  const double l_a = std::pow(min_value, alpha);
+  const double h_a = std::pow(max_value, alpha);
+  const double u = next_double();
+  return std::pow((h_a * l_a) / (h_a - u * (h_a - l_a)), 1.0 / alpha);
+}
+
+Rng Rng::fork() {
+  return Rng(next_u64() ^ 0xd2b74407b1ce6e93ULL);
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  HL_CHECK_MSG(n >= 1, "zipfian requires n >= 1");
+  HL_CHECK_MSG(theta > 0.0 && theta < 1.0, "zipfian theta must be in (0,1)");
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  if (n_ == 1) return 0;
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::uint64_t ZipfianGenerator::next_scrambled(Rng& rng) {
+  return fnv1a_64(next(rng)) % n_;
+}
+
+std::uint64_t fnv1a_64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_64(std::uint64_t value) {
+  return fnv1a_64(&value, sizeof(value));
+}
+
+}  // namespace hyperloop

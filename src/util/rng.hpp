@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation and the distributions the
+// simulation and workload generators need.
+//
+// Everything random in the simulation flows from an explicitly seeded Rng so
+// every experiment is reproducible bit-for-bit. The core generator is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna): fast, high
+// quality, and trivially portable, unlike std::mt19937_64 whose distributions
+// are not guaranteed identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace hyperloop {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Bounded Pareto sample in [min_value, max_value] with tail index alpha.
+  /// Heavy-tailed: used for background-task burst lengths so CPU contention
+  /// produces realistic latency tails.
+  double next_pareto(double min_value, double max_value, double alpha);
+
+  /// Fork a child generator whose stream is independent of the parent's
+  /// future output. Use one child per component for modular determinism.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// YCSB-style zipfian key chooser over [0, n). Implements the Gray et al.
+/// rejection-inversion-free method used by the YCSB reference generator,
+/// including the scrambled variant for spreading hot keys across the space.
+class ZipfianGenerator {
+ public:
+  /// theta is the skew (YCSB default 0.99). n must be >= 1.
+  ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  /// Next zipfian-distributed value in [0, n); rank 0 is the hottest.
+  std::uint64_t next(Rng& rng);
+
+  /// Hottest-ranks-scattered variant (YCSB "scrambled zipfian").
+  std::uint64_t next_scrambled(Rng& rng);
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// FNV-1a 64-bit hash; used to scramble zipfian ranks and to fingerprint
+/// buffers in tests.
+std::uint64_t fnv1a_64(const void* data, std::size_t len);
+std::uint64_t fnv1a_64(std::uint64_t value);
+
+}  // namespace hyperloop

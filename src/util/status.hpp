@@ -1,0 +1,92 @@
+// Lightweight status / result types used across the library.
+//
+// The datapath is asynchronous and callback-driven, so errors are values, not
+// exceptions: a verbs-style completion carries a status code exactly like a
+// hardware CQE does. Exceptions are reserved for programming errors detected
+// at setup time (see HL_CHECK).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hyperloop {
+
+/// Error categories. The rnic-layer values mirror real verbs work-completion
+/// statuses so the HyperLoop layer can translate them one-to-one.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // bad parameter at an API boundary
+  kOutOfRange,          // address/length outside a registered region
+  kPermissionDenied,    // rkey/lkey/access-flag/tenant-token check failed
+  kResourceExhausted,   // queue full, no pre-posted slot, no credits
+  kNotFound,            // missing key/document/group
+  kAlreadyExists,       // duplicate key/id
+  kFailedPrecondition,  // op illegal in current state (e.g. QP not connected)
+  kAborted,             // lost a race (e.g. CAS mismatch, lock not acquired)
+  kUnavailable,         // peer unreachable / chain degraded / recovering
+  kDataLoss,            // durability violated (detected after power failure)
+  kRetryLater,          // transient; caller should back off and retry
+  kInternal,            // invariant breach inside the library
+};
+
+/// Human-readable name for a StatusCode (stable, for logs and tests).
+std::string_view status_code_name(StatusCode code);
+
+/// A status with an optional detail message. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Thrown only for setup-time programming errors (misuse of the API in a way
+/// that can never succeed), never on the simulated datapath.
+class SetupError : public std::logic_error {
+ public:
+  explicit SetupError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// Invariant check that survives in release builds. Use for conditions that
+/// indicate a bug in the library itself, not for validating user input.
+#define HL_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::hyperloop::detail::check_failed(#expr, __FILE__, __LINE__, {});  \
+    }                                                                    \
+  } while (false)
+
+#define HL_CHECK_MSG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::hyperloop::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+}  // namespace hyperloop

@@ -1,0 +1,35 @@
+// Simulated-time representation shared by every module.
+//
+// All simulation timestamps and durations are nanoseconds held in a 64-bit
+// unsigned integer. 2^64 ns is ~584 years of simulated time, so overflow is
+// not a practical concern; using a plain integer keeps event-queue ordering
+// and arithmetic trivially cheap and deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperloop {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::uint64_t;
+
+namespace time_literals {
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) { return v * 1'000; }
+constexpr Duration operator""_ms(unsigned long long v) { return v * 1'000'000; }
+constexpr Duration operator""_s(unsigned long long v) { return v * 1'000'000'000; }
+}  // namespace time_literals
+
+/// Convert a simulated duration to floating-point microseconds (for reports).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Convert a simulated duration to floating-point milliseconds (for reports).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Convert a simulated duration to floating-point seconds (for reports).
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace hyperloop

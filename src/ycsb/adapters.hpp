@@ -1,0 +1,94 @@
+// StoreAdapter bindings that let the YCSB driver run against MiniRocks and
+// MiniMongo (either datapath underneath).
+#pragma once
+
+#include <string>
+
+#include "docstore/minimongo.hpp"
+#include "kvstore/minirocks.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop::ycsb {
+
+class MiniRocksAdapter : public StoreAdapter {
+ public:
+  explicit MiniRocksAdapter(kvstore::MiniRocks& db) : db_(db) {}
+
+  void do_insert(const std::string& key, const std::string& value,
+                 Done done) override {
+    db_.put(key, value, std::move(done));
+  }
+  void do_read(const std::string& key, Done done) override {
+    // Memtable read on the primary: synchronous, report outcome.
+    done(db_.get(key) ? Status::ok()
+                      : Status(StatusCode::kNotFound, "missing"));
+  }
+  void do_update(const std::string& key, const std::string& value,
+                 Done done) override {
+    db_.put(key, value, std::move(done));
+  }
+  void do_rmw(const std::string& key, const std::string& value,
+              Done done) override {
+    auto current = db_.get(key);
+    if (!current) {
+      done(Status(StatusCode::kNotFound, "missing"));
+      return;
+    }
+    db_.put(key, value, std::move(done));
+  }
+  void do_scan(const std::string& start_key, std::size_t count,
+               Done done) override {
+    (void)db_.scan(start_key, count);
+    done(Status::ok());
+  }
+
+ private:
+  kvstore::MiniRocks& db_;
+};
+
+class MiniMongoAdapter : public StoreAdapter {
+ public:
+  /// Documents live in one collection; the YCSB value becomes one field.
+  MiniMongoAdapter(docstore::MiniMongo& db, std::string collection = "usertable")
+      : db_(db), collection_(std::move(collection)) {}
+
+  void do_insert(const std::string& key, const std::string& value,
+                 Done done) override {
+    db_.insert(collection_, key, {{"field0", value}}, std::move(done));
+  }
+  void do_read(const std::string& key, Done done) override {
+    db_.find(collection_, key,
+             [done = std::move(done)](Status s, const docstore::Document&) {
+               done(s);
+             });
+  }
+  void do_update(const std::string& key, const std::string& value,
+                 Done done) override {
+    db_.update(collection_, key, {{"field0", value}}, std::move(done));
+  }
+  void do_rmw(const std::string& key, const std::string& value,
+              Done done) override {
+    // Read, then write back a modified field (YCSB's modify).
+    db_.find(collection_, key,
+             [this, key, value, done = std::move(done)](
+                 Status s, const docstore::Document&) mutable {
+               if (!s.is_ok()) {
+                 done(s);
+                 return;
+               }
+               db_.update(collection_, key, {{"field0", value}},
+                          std::move(done));
+             });
+  }
+  void do_scan(const std::string& start_key, std::size_t count,
+               Done done) override {
+    db_.scan(collection_, start_key, count,
+             [done = std::move(done)](Status s, const auto&) { done(s); });
+  }
+
+ private:
+  docstore::MiniMongo& db_;
+  std::string collection_;
+};
+
+}  // namespace hyperloop::ycsb

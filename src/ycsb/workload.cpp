@@ -1,0 +1,214 @@
+#include "ycsb/workload.hpp"
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+namespace hyperloop::ycsb {
+
+std::string_view op_name(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kUpdate: return "update";
+    case OpType::kInsert: return "insert";
+    case OpType::kRmw: return "rmw";
+    case OpType::kScan: return "scan";
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec s;
+  s.read = 0.5;
+  s.update = 0.5;
+  return s;
+}
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec s;
+  s.read = 0.95;
+  s.update = 0.05;
+  return s;
+}
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec s;
+  s.read = 1.0;
+  return s;
+}
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec s;
+  s.read = 0.95;
+  s.insert = 0.05;
+  s.request_dist = Dist::kLatest;
+  return s;
+}
+WorkloadSpec WorkloadSpec::E() {
+  WorkloadSpec s;
+  s.scan = 0.95;
+  s.insert = 0.05;
+  return s;
+}
+WorkloadSpec WorkloadSpec::F() {
+  WorkloadSpec s;
+  s.read = 0.5;
+  s.rmw = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::by_name(char name) {
+  switch (name) {
+    case 'A': return A();
+    case 'B': return B();
+    case 'C': return C();
+    case 'D': return D();
+    case 'E': return E();
+    case 'F': return F();
+    default: HL_CHECK_MSG(false, "unknown YCSB workload"); return A();
+  }
+}
+
+YcsbDriver::YcsbDriver(sim::Simulator& sim, StoreAdapter& store,
+                       WorkloadSpec spec, DriverParams params)
+    : sim_(sim),
+      store_(store),
+      spec_(spec),
+      params_(params),
+      rng_(params.seed) {
+  HL_CHECK_MSG(params_.record_count >= 1, "need at least one record");
+}
+
+std::string YcsbDriver::key_name(std::uint64_t index) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "user%028llu",
+                static_cast<unsigned long long>(index));
+  return buf;  // 32-byte keys, like the paper's microbenchmark setup
+}
+
+OpType YcsbDriver::pick_op() {
+  const double u = rng_.next_double();
+  double acc = spec_.read;
+  if (u < acc) return OpType::kRead;
+  acc += spec_.update;
+  if (u < acc) return OpType::kUpdate;
+  acc += spec_.insert;
+  if (u < acc) return OpType::kInsert;
+  acc += spec_.rmw;
+  if (u < acc) return OpType::kRmw;
+  return OpType::kScan;
+}
+
+std::string YcsbDriver::pick_key() {
+  HL_CHECK(inserted_ > 0);
+  switch (spec_.request_dist) {
+    case WorkloadSpec::Dist::kUniform:
+      return key_name(rng_.next_below(inserted_));
+    case WorkloadSpec::Dist::kLatest: {
+      // Bias toward recent inserts: newest key gets zipfian rank 0.
+      if (!zipf_ || zipf_->n() != inserted_) {
+        zipf_ = std::make_unique<ZipfianGenerator>(inserted_);
+      }
+      const std::uint64_t rank = zipf_->next(rng_);
+      return key_name(inserted_ - 1 - rank);
+    }
+    case WorkloadSpec::Dist::kZipfian: {
+      if (!zipf_) {
+        // Standard YCSB keeps the zipfian domain at the initial record
+        // count and scrambles ranks across the keyspace.
+        zipf_ = std::make_unique<ZipfianGenerator>(params_.record_count);
+      }
+      return key_name(zipf_->next_scrambled(rng_) %
+                      std::max<std::uint64_t>(inserted_, 1));
+    }
+  }
+  return key_name(0);
+}
+
+std::string YcsbDriver::make_value() {
+  std::string v(params_.value_bytes, '\0');
+  for (auto& ch : v) {
+    ch = static_cast<char>('a' + rng_.next_below(26));
+  }
+  return v;
+}
+
+void YcsbDriver::load(std::function<void(Status)> done) {
+  if (inserted_ == params_.record_count) {
+    done(Status::ok());
+    return;
+  }
+  const std::string key = key_name(inserted_);
+  store_.do_insert(key, make_value(),
+                   [this, done = std::move(done)](Status s) mutable {
+                     if (!s.is_ok()) {
+                       done(s);
+                       return;
+                     }
+                     ++inserted_;
+                     // Bounce through the event loop (see next_op).
+                     sim_.schedule(0, [this, done = std::move(done)]() mutable {
+                       load(std::move(done));
+                     });
+                   });
+}
+
+void YcsbDriver::run(std::function<void(Status)> done) {
+  HL_CHECK_MSG(inserted_ >= params_.record_count, "run() before load()");
+  const std::uint32_t streams = std::max<std::uint32_t>(params_.concurrency, 1);
+  auto remaining = std::make_shared<std::uint32_t>(streams);
+  auto shared_done = [remaining, done = std::move(done)](Status s) {
+    if (--*remaining == 0) done(s);
+  };
+  const std::uint64_t per_stream = params_.operation_count / streams;
+  for (std::uint32_t i = 0; i < streams; ++i) {
+    const std::uint64_t ops =
+        i == 0 ? params_.operation_count - per_stream * (streams - 1)
+               : per_stream;
+    next_op(ops, shared_done);
+  }
+}
+
+void YcsbDriver::next_op(std::uint64_t remaining,
+                         std::function<void(Status)> done) {
+  if (remaining == 0) {
+    done(Status::ok());
+    return;
+  }
+  const OpType op = pick_op();
+  const Time start = sim_.now();
+  auto finish = [this, op, start, remaining,
+                 done = std::move(done)](Status s) mutable {
+    const Duration lat = sim_.now() - start;
+    hists_[static_cast<std::size_t>(op)].record(lat);
+    overall_.record(lat);
+    if (!s.is_ok()) ++errors_;
+    // Always bounce through the event loop: a store that completes
+    // synchronously (e.g. memtable reads) must not recurse op_count deep.
+    sim_.schedule(params_.think_time,
+                  [this, remaining, done = std::move(done)]() mutable {
+                    next_op(remaining - 1, std::move(done));
+                  });
+  };
+
+  switch (op) {
+    case OpType::kRead:
+      store_.do_read(pick_key(), std::move(finish));
+      break;
+    case OpType::kUpdate:
+      store_.do_update(pick_key(), make_value(), std::move(finish));
+      break;
+    case OpType::kInsert: {
+      const std::string key = key_name(inserted_++);
+      store_.do_insert(key, make_value(), std::move(finish));
+      break;
+    }
+    case OpType::kRmw:
+      store_.do_rmw(pick_key(), make_value(), std::move(finish));
+      break;
+    case OpType::kScan: {
+      const std::size_t len = 1 + rng_.next_below(spec_.max_scan_len);
+      store_.do_scan(pick_key(), len, std::move(finish));
+      break;
+    }
+  }
+}
+
+}  // namespace hyperloop::ycsb

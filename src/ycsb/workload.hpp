@@ -1,0 +1,124 @@
+// YCSB workload generation (Cooper et al., SoCC'10) — the paper's
+// application benchmark. Table 3 defines the mixes the evaluation uses:
+//
+//   workload   read  update  insert  modify(rmw)  scan   distribution
+//   A          50      50       -        -          -     zipfian
+//   B          95       5       -        -          -     zipfian
+//   D          95       -       5        -          -     latest
+//   E           -       -       5        -         95     zipfian
+//   F          50       -       -       50          -     zipfian
+//
+// (C — 100% read, zipfian — is included for completeness.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace hyperloop::ycsb {
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kRmw, kScan };
+inline constexpr int kNumOpTypes = 5;
+
+[[nodiscard]] std::string_view op_name(OpType t);
+
+struct WorkloadSpec {
+  enum class Dist : std::uint8_t { kZipfian, kUniform, kLatest };
+
+  // Proportions; must sum to 1.
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double rmw = 0;  // YCSB "read-modify-write"
+  double scan = 0;
+  Dist request_dist = Dist::kZipfian;
+  std::size_t max_scan_len = 100;
+
+  static WorkloadSpec A();
+  static WorkloadSpec B();
+  static WorkloadSpec C();
+  static WorkloadSpec D();
+  static WorkloadSpec E();
+  static WorkloadSpec F();
+  /// Lookup by letter ('A'..'F').
+  static WorkloadSpec by_name(char name);
+};
+
+/// What a store must provide to be driven by YCSB. All operations are
+/// asynchronous; the callback's Status reports success.
+class StoreAdapter {
+ public:
+  using Done = std::function<void(Status)>;
+  virtual ~StoreAdapter() = default;
+
+  virtual void do_insert(const std::string& key, const std::string& value,
+                         Done done) = 0;
+  virtual void do_read(const std::string& key, Done done) = 0;
+  virtual void do_update(const std::string& key, const std::string& value,
+                         Done done) = 0;
+  virtual void do_rmw(const std::string& key, const std::string& value,
+                      Done done) = 0;
+  virtual void do_scan(const std::string& start_key, std::size_t count,
+                       Done done) = 0;
+};
+
+struct DriverParams {
+  std::uint64_t record_count = 1'000;     // preloaded records
+  std::uint64_t operation_count = 10'000;
+  std::uint32_t value_bytes = 1'024;      // paper: 1024-byte values
+  Duration think_time = 0;                // closed-loop delay between ops
+  /// Concurrent closed-loop streams (the paper's client "issues them into
+  /// the chain concurrently"). operation_count is split across streams.
+  std::uint32_t concurrency = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Closed-loop YCSB client: preloads record_count records, then issues
+/// operation_count operations per the spec, recording per-type latency.
+class YcsbDriver {
+ public:
+  YcsbDriver(sim::Simulator& sim, StoreAdapter& store, WorkloadSpec spec,
+             DriverParams params);
+
+  /// "user" + zero-padded index, 32-byte keys like the paper's setup.
+  static std::string key_name(std::uint64_t index);
+
+  /// Preload phase. Must finish (callback) before run().
+  void load(std::function<void(Status)> done);
+
+  /// Issue the operation mix; the callback fires after the last completion.
+  void run(std::function<void(Status)> done);
+
+  [[nodiscard]] const LatencyHistogram& latency(OpType t) const {
+    return hists_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] const LatencyHistogram& overall() const { return overall_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+
+ private:
+  [[nodiscard]] OpType pick_op();
+  [[nodiscard]] std::string pick_key();
+  [[nodiscard]] std::string make_value();
+  void next_op(std::uint64_t remaining, std::function<void(Status)> done);
+
+  sim::Simulator& sim_;
+  StoreAdapter& store_;
+  WorkloadSpec spec_;
+  DriverParams params_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::uint64_t inserted_ = 0;  // keys 0..inserted_-1 exist
+  std::array<LatencyHistogram, kNumOpTypes> hists_;
+  LatencyHistogram overall_;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace hyperloop::ycsb

@@ -1,0 +1,509 @@
+// Tests of the application layer: MiniRocks (KV), MiniMongo (documents),
+// the slot table, document serialization, and the YCSB driver — over both
+// datapaths where meaningful.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "docstore/minimongo.hpp"
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "kvstore/minirocks.hpp"
+#include "storage/slot_table.hpp"
+#include "ycsb/adapters.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+using storage::RegionLayout;
+
+// --- SlotTable ----------------------------------------------------------------
+
+TEST(SlotTable, AssignFindEraseRoundTrip) {
+  storage::SlotTable table(64 * 1024, 1024);
+  EXPECT_EQ(table.num_slots(), 64u);
+
+  std::uint32_t s1 = 0, s2 = 0;
+  ASSERT_TRUE(table.assign("alpha", 100, &s1).is_ok());
+  ASSERT_TRUE(table.assign("beta", 100, &s2).is_ok());
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(table.find("alpha"), s1);
+  // Re-assigning an existing key keeps its slot.
+  std::uint32_t s1b = 99;
+  ASSERT_TRUE(table.assign("alpha", 200, &s1b).is_ok());
+  EXPECT_EQ(s1b, s1);
+
+  table.erase("alpha");
+  EXPECT_FALSE(table.find("alpha").has_value());
+}
+
+TEST(SlotTable, RejectsOversizedAndFillsUp) {
+  storage::SlotTable table(4 * 1024, 1024);  // 4 slots
+  std::uint32_t s = 0;
+  EXPECT_EQ(table.assign("k", 2000, &s).code(), StatusCode::kInvalidArgument);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table.assign("key" + std::to_string(i), 100, &s).is_ok());
+  }
+  EXPECT_EQ(table.assign("overflow", 100, &s).code(),
+            StatusCode::kResourceExhausted);
+  // Freeing one slot makes room again (probing finds it).
+  table.erase("key2");
+  EXPECT_TRUE(table.assign("overflow", 100, &s).is_ok());
+}
+
+TEST(SlotTable, EncodeDecodeRoundTrip) {
+  storage::SlotTable table(8 * 1024, 1024);
+  const auto buf = table.encode("mykey", "myvalue");
+  ASSERT_EQ(buf.size(), 1024u);
+  auto rec = storage::SlotTable::decode(buf.data(), 1024);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->key, "mykey");
+  EXPECT_EQ(rec->value, "myvalue");
+  const auto tomb = table.encode_tombstone();
+  EXPECT_FALSE(storage::SlotTable::decode(tomb.data(), 1024).has_value());
+}
+
+// --- Document serialization ----------------------------------------------------
+
+TEST(DocumentWire, RoundTrip) {
+  docstore::Document doc{{"name", "ada"}, {"age", "36"}, {"role", "eng"}};
+  const std::string bytes = docstore::serialize_document(doc);
+  auto back = docstore::parse_document(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(DocumentWire, RejectsGarbage) {
+  EXPECT_FALSE(docstore::parse_document("xy").has_value());
+  std::string bad(32, '\xFF');
+  EXPECT_FALSE(docstore::parse_document(bad).has_value());
+}
+
+// --- Shared fixture over both datapaths ---------------------------------------
+
+enum class Datapath { kHyperLoop, kNaive };
+
+class AppStack {
+ public:
+  AppStack(Datapath dp, std::size_t replicas, RegionLayout layout) {
+    layout_ = layout;
+    cluster_ = std::make_unique<Cluster>();
+    for (std::size_t i = 0; i < replicas + 1; ++i) cluster_->add_node();
+    std::vector<std::size_t> chain;
+    for (std::size_t i = 1; i <= replicas; ++i) chain.push_back(i);
+    if (dp == Datapath::kHyperLoop) {
+      hl_ = std::make_unique<core::HyperLoopGroup>(*cluster_, 0, chain,
+                                                   layout.region_size());
+      group_ = &hl_->client();
+    } else {
+      nv_ = std::make_unique<core::NaiveGroup>(*cluster_, 0, chain,
+                                               layout.region_size());
+      group_ = nv_.get();
+    }
+    log_ = std::make_unique<storage::ReplicatedLog>(*group_, layout_);
+    locks_ = std::make_unique<storage::GroupLockManager>(
+        *group_, cluster_->sim(), layout_, 11);
+    cluster_->sim().run_until(cluster_->sim().now() + 1_ms);
+    bool ok = false;
+    log_->initialize([&](Status s) { ok = s.is_ok(); });
+    run_until([&] { return ok; });
+  }
+
+  bool run_until(const std::function<bool()>& pred, Duration budget = 2'000_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (!pred() && cluster_->sim().now() < deadline) {
+      cluster_->sim().run_until(cluster_->sim().now() + 20_us);
+    }
+    return pred();
+  }
+
+  RegionLayout layout_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<core::HyperLoopGroup> hl_;
+  std::unique_ptr<core::NaiveGroup> nv_;
+  core::GroupInterface* group_ = nullptr;
+  std::unique_ptr<storage::ReplicatedLog> log_;
+  std::unique_ptr<storage::GroupLockManager> locks_;
+};
+
+class MiniRocksTest : public ::testing::TestWithParam<Datapath> {};
+
+TEST_P(MiniRocksTest, PutGetDeleteAndReplicaVisibility) {
+  RegionLayout layout;
+  AppStack s(GetParam(), 2, layout);
+  kvstore::MiniRocksOptions opts;
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_,
+                                      kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*s.group_, txc, opts);
+
+  bool done = false;
+  db.put("k1", "v1", [&](Status st) {
+    ASSERT_TRUE(st.is_ok()) << st;
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  EXPECT_EQ(db.get("k1"), "v1");
+
+  // Deferred mode: the record is in the replicated WAL but not yet in the
+  // replica database region.
+  std::string v;
+  EXPECT_EQ(db.get_from_replica(0, "k1", &v).code(), StatusCode::kNotFound);
+
+  done = false;
+  db.flush_wal([&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  for (std::size_t r = 0; r < 2; ++r) {
+    ASSERT_TRUE(db.get_from_replica(r, "k1", &v).is_ok()) << "replica " << r;
+    EXPECT_EQ(v, "v1");
+  }
+
+  done = false;
+  db.erase("k1", [&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  EXPECT_FALSE(db.get("k1").has_value());
+}
+
+TEST_P(MiniRocksTest, WriteBatchIsAtomicAndScanOrdered) {
+  RegionLayout layout;
+  AppStack s(GetParam(), 2, layout);
+  kvstore::MiniRocksOptions opts;
+  opts.strong_consistency = true;
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_,
+                                      kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*s.group_, txc, opts);
+
+  bool done = false;
+  db.write_batch({{"b", "2"}, {"a", "1"}, {"c", "3"}}, [&](Status st) {
+    ASSERT_TRUE(st.is_ok()) << st;
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+
+  const auto rows = db.scan("a", 10);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[2].first, "c");
+
+  // Strong mode: data visible on replicas immediately after commit.
+  std::string v;
+  for (std::size_t r = 0; r < 2; ++r) {
+    ASSERT_TRUE(db.get_from_replica(r, "b", &v).is_ok());
+    EXPECT_EQ(v, "2");
+  }
+}
+
+TEST_P(MiniRocksTest, ManyKeysConvergeAfterFlush) {
+  RegionLayout layout;
+  AppStack s(GetParam(), 3, layout);
+  kvstore::MiniRocksOptions opts;
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_,
+                                      kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*s.group_, txc, opts);
+
+  int committed = 0;
+  for (int i = 0; i < 100; ++i) {
+    db.put("key" + std::to_string(i), "value" + std::to_string(i),
+           [&](Status st) {
+             ASSERT_TRUE(st.is_ok()) << st;
+             ++committed;
+           });
+    ASSERT_TRUE(s.run_until([&] { return committed == i + 1; }));
+  }
+  bool flushed = false;
+  db.flush_wal([&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    flushed = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return flushed; }));
+
+  std::string v;
+  for (int i = 0; i < 100; i += 7) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      ASSERT_TRUE(
+          db.get_from_replica(r, "key" + std::to_string(i), &v).is_ok())
+          << "key" << i << " replica " << r;
+      EXPECT_EQ(v, "value" + std::to_string(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datapaths, MiniRocksTest,
+                         ::testing::Values(Datapath::kHyperLoop,
+                                           Datapath::kNaive),
+                         [](const auto& info) {
+                           return info.param == Datapath::kHyperLoop
+                                      ? "HyperLoop"
+                                      : "Naive";
+                         });
+
+class MiniMongoTest : public ::testing::TestWithParam<Datapath> {};
+
+TEST_P(MiniMongoTest, CrudAndConsistentReplicaReads) {
+  RegionLayout layout;
+  AppStack s(GetParam(), 2, layout);
+  storage::TxnOptions topts;  // immediate + locking: strong consistency
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_, topts);
+  docstore::MiniMongo db(s.cluster_->node(0), *s.group_, txc, *s.locks_);
+
+  bool done = false;
+  db.insert("users", "u1", {{"name", "ada"}, {"city", "london"}},
+            [&](Status st) {
+              ASSERT_TRUE(st.is_ok()) << st;
+              done = true;
+            });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+
+  // Duplicate insert rejected.
+  done = false;
+  Status dup;
+  db.insert("users", "u1", {{"name", "x"}}, [&](Status st) {
+    dup = st;
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+
+  // Update merges fields.
+  done = false;
+  db.update("users", "u1", {{"city", "paris"}}, [&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+
+  done = false;
+  docstore::Document got;
+  db.find("users", "u1", [&](Status st, docstore::Document d) {
+    ASSERT_TRUE(st.is_ok());
+    got = std::move(d);
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  EXPECT_EQ(got.at("name"), "ada");
+  EXPECT_EQ(got.at("city"), "paris");
+
+  // Strongly consistent replica reads (under read locks) see the update.
+  for (std::size_t r = 0; r < 2; ++r) {
+    done = false;
+    db.find_on_replica(r, "users", "u1", [&](Status st, docstore::Document d) {
+      ASSERT_TRUE(st.is_ok()) << "replica " << r << ": " << st;
+      EXPECT_EQ(d.at("city"), "paris");
+      done = true;
+    });
+    ASSERT_TRUE(s.run_until([&] { return done; }));
+  }
+
+  // Remove.
+  done = false;
+  db.remove("users", "u1", [&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  done = false;
+  Status miss;
+  db.find("users", "u1", [&](Status st, const docstore::Document&) {
+    miss = st;
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+}
+
+TEST_P(MiniMongoTest, ScanIsOrderedAndCollectionScoped) {
+  RegionLayout layout;
+  AppStack s(GetParam(), 2, layout);
+  storage::TxnOptions topts;
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_, topts);
+  docstore::MiniMongo db(s.cluster_->node(0), *s.group_, txc, *s.locks_);
+
+  int inserted = 0;
+  for (const auto& [coll, id] : std::vector<std::pair<std::string, std::string>>{
+           {"users", "a"}, {"users", "b"}, {"users", "c"}, {"orders", "a"}}) {
+    db.insert(coll, id, {{"v", id}}, [&](Status st) {
+      ASSERT_TRUE(st.is_ok());
+      ++inserted;
+    });
+  }
+  ASSERT_TRUE(s.run_until([&] { return inserted == 4; }));
+
+  bool done = false;
+  std::vector<std::pair<std::string, docstore::Document>> rows;
+  db.scan("users", "a", 10, [&](Status st, auto r) {
+    ASSERT_TRUE(st.is_ok());
+    rows = std::move(r);
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }));
+  ASSERT_EQ(rows.size(), 3u) << "orders must not leak into the users scan";
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[2].first, "c");
+}
+
+INSTANTIATE_TEST_SUITE_P(Datapaths, MiniMongoTest,
+                         ::testing::Values(Datapath::kHyperLoop,
+                                           Datapath::kNaive),
+                         [](const auto& info) {
+                           return info.param == Datapath::kHyperLoop
+                                      ? "HyperLoop"
+                                      : "Naive";
+                         });
+
+// --- YCSB ----------------------------------------------------------------------
+
+TEST(Ycsb, WorkloadMixesMatchTable3) {
+  // Statistical check: generated op mix ~ Table 3 proportions.
+  struct FakeStore : ycsb::StoreAdapter {
+    std::array<int, ycsb::kNumOpTypes> counts{};
+    void do_insert(const std::string&, const std::string&, Done d) override {
+      ++counts[2];
+      d(Status::ok());
+    }
+    void do_read(const std::string&, Done d) override {
+      ++counts[0];
+      d(Status::ok());
+    }
+    void do_update(const std::string&, const std::string&, Done d) override {
+      ++counts[1];
+      d(Status::ok());
+    }
+    void do_rmw(const std::string&, const std::string&, Done d) override {
+      ++counts[3];
+      d(Status::ok());
+    }
+    void do_scan(const std::string&, std::size_t, Done d) override {
+      ++counts[4];
+      d(Status::ok());
+    }
+  };
+
+  const struct {
+    char name;
+    std::array<double, 5> expect;  // read, update, insert, rmw, scan
+  } cases[] = {
+      {'A', {0.5, 0.5, 0, 0, 0}},
+      {'B', {0.95, 0.05, 0, 0, 0}},
+      {'D', {0.95, 0, 0.05, 0, 0}},
+      {'E', {0, 0, 0.05, 0, 0.95}},
+      {'F', {0.5, 0, 0, 0.5, 0}},
+  };
+  for (const auto& c : cases) {
+    sim::Simulator sim;
+    FakeStore store;
+    ycsb::DriverParams params;
+    params.record_count = 100;
+    params.operation_count = 20'000;
+    params.value_bytes = 16;
+    ycsb::YcsbDriver driver(sim, store, ycsb::WorkloadSpec::by_name(c.name),
+                            params);
+    bool loaded = false, done = false;
+    driver.load([&](Status) { loaded = true; });
+    sim.run();
+    ASSERT_TRUE(loaded);
+    driver.run([&](Status) { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+    for (int t = 0; t < ycsb::kNumOpTypes; ++t) {
+      int observed = store.counts[static_cast<std::size_t>(t)];
+      if (t == 2) observed -= 100;  // preload inserts
+      EXPECT_NEAR(static_cast<double>(observed) / 20'000.0,
+                  c.expect[static_cast<std::size_t>(t)], 0.02)
+          << "workload " << c.name << " op " << t;
+    }
+  }
+}
+
+TEST(Ycsb, ZipfianRequestsAreSkewed) {
+  struct CountingStore : ycsb::StoreAdapter {
+    std::map<std::string, int> reads;
+    void do_insert(const std::string&, const std::string&, Done d) override {
+      d(Status::ok());
+    }
+    void do_read(const std::string& k, Done d) override {
+      ++reads[k];
+      d(Status::ok());
+    }
+    void do_update(const std::string&, const std::string&, Done d) override {
+      d(Status::ok());
+    }
+    void do_rmw(const std::string&, const std::string&, Done d) override {
+      d(Status::ok());
+    }
+    void do_scan(const std::string&, std::size_t, Done d) override {
+      d(Status::ok());
+    }
+  };
+  sim::Simulator sim;
+  CountingStore store;
+  ycsb::DriverParams params;
+  params.record_count = 1'000;
+  params.operation_count = 30'000;
+  params.value_bytes = 16;
+  ycsb::YcsbDriver driver(sim, store, ycsb::WorkloadSpec::C(), params);
+  bool loaded = false;
+  driver.load([&](Status) { loaded = true; });
+  sim.run();
+  ASSERT_TRUE(loaded);
+  bool done = false;
+  driver.run([&](Status) { done = true; });
+  sim.run();
+  ASSERT_TRUE(done);
+
+  int max_count = 0;
+  for (const auto& [k, n] : store.reads) max_count = std::max(max_count, n);
+  // Zipf(0.99) over 1000 keys: the hottest key draws far more than uniform
+  // (30 requests/key on average).
+  EXPECT_GT(max_count, 300);
+}
+
+TEST(Ycsb, EndToEndAgainstMiniRocksOverHyperLoop) {
+  RegionLayout layout;
+  AppStack s(Datapath::kHyperLoop, 2, layout);
+  kvstore::MiniRocksOptions opts;
+  storage::TransactionCoordinator txc(*s.group_, *s.log_, *s.locks_,
+                                      kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*s.group_, txc, opts);
+  ycsb::MiniRocksAdapter adapter(db);
+
+  ycsb::DriverParams params;
+  params.record_count = 50;
+  params.operation_count = 300;
+  params.value_bytes = 256;
+  ycsb::YcsbDriver driver(s.cluster_->sim(), adapter,
+                          ycsb::WorkloadSpec::A(), params);
+
+  bool loaded = false;
+  driver.load([&](Status st) {
+    ASSERT_TRUE(st.is_ok()) << st;
+    loaded = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return loaded; }, 10'000_ms));
+  bool done = false;
+  driver.run([&](Status st) {
+    ASSERT_TRUE(st.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(s.run_until([&] { return done; }, 10'000_ms));
+
+  EXPECT_EQ(driver.errors(), 0u);
+  EXPECT_EQ(driver.overall().count(), 300u);
+  EXPECT_GT(driver.latency(ycsb::OpType::kUpdate).count(), 0u);
+  // Reads are memtable hits: far faster than replicated updates.
+  EXPECT_LT(driver.latency(ycsb::OpType::kRead).mean(),
+            driver.latency(ycsb::OpType::kUpdate).mean());
+}
+
+}  // namespace
+}  // namespace hyperloop

@@ -1,0 +1,231 @@
+// Tests of the fan-out datapath (paper §7): all four primitives over a
+// primary-coordinated star, durability, result maps, passive backups, and
+// the primary-CPU-off-the-critical-path property.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/fanout_group.hpp"
+
+namespace hyperloop::core {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+class FanoutTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kRegion = 1 << 20;
+
+  void build(std::size_t members) {  // primary + (members-1) backups
+    cluster_ = std::make_unique<Cluster>();
+    for (std::size_t i = 0; i <= members; ++i) cluster_->add_node();
+    std::vector<std::size_t> nodes;
+    for (std::size_t i = 1; i <= members; ++i) nodes.push_back(i);
+    group_ = std::make_unique<FanoutGroup>(*cluster_, 0, nodes, kRegion);
+    cluster_->sim().run_until(cluster_->sim().now() + 1_ms);
+  }
+
+  bool run_until(const std::function<bool()>& pred, Duration budget = 500_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (!pred() && cluster_->sim().now() < deadline) {
+      cluster_->sim().run_until(cluster_->sim().now() + 5_us);
+    }
+    return pred();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FanoutGroup> group_;
+};
+
+TEST_F(FanoutTest, GWriteReachesPrimaryAndAllBackups) {
+  build(3);  // primary + 2 backups
+  const std::string data = "fanout write";
+  group_->region_write(256, data.data(), data.size());
+  bool done = false;
+  group_->gwrite(256, static_cast<std::uint32_t>(data.size()), true,
+                 [&](Status s, const auto&) {
+                   ASSERT_TRUE(s.is_ok()) << s;
+                   done = true;
+                 });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 256, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, FlushedWriteSurvivesPowerFailureEverywhere) {
+  build(3);
+  const std::string data = "durable via fanout";
+  group_->region_write(0, data.data(), data.size());
+  bool done = false;
+  group_->gwrite(0, static_cast<std::uint32_t>(data.size()), true,
+                 [&](Status, const auto&) {
+                   done = true;
+                   for (int n = 1; n <= 3; ++n) {
+                     cluster_->node(n).nic().power_fail();
+                   }
+                 });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 0, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, GCasSwapsEverywhereWithResultMap) {
+  build(3);
+  std::uint64_t seed = 5;
+  group_->region_write(64, &seed, 8);
+  bool wrote = false;
+  group_->gwrite(64, 8, true, [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until([&] { return wrote; }));
+
+  bool done = false;
+  std::vector<std::uint64_t> results;
+  group_->gcas(64, 5, 15, kAllReplicas, false, [&](Status s, const auto& r) {
+    ASSERT_TRUE(s.is_ok());
+    results = r;
+    done = true;
+  });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  ASSERT_EQ(results.size(), 3u);
+  for (auto v : results) EXPECT_EQ(v, 5u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::uint64_t got = 0;
+    group_->replica_read(m, 64, &got, 8);
+    EXPECT_EQ(got, 15u) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, GCasExecuteMapAndMismatch) {
+  build(3);
+  std::uint64_t seed = 9;
+  group_->region_write(128, &seed, 8);
+  bool wrote = false;
+  group_->gwrite(128, 8, true, [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until([&] { return wrote; }));
+
+  // Skip the primary (bit 0); mismatched expectation leaves values alone.
+  bool done = false;
+  std::vector<std::uint64_t> results;
+  group_->gcas(128, 7, 77, (1u << 1) | (1u << 2), false,
+               [&](Status s, const auto& r) {
+                 ASSERT_TRUE(s.is_ok());
+                 results = r;
+                 done = true;
+               });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  EXPECT_EQ(results[1], 9u) << "observed mismatching value";
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::uint64_t got = 0;
+    group_->replica_read(m, 128, &got, 8);
+    EXPECT_EQ(got, 9u) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, GMemcpyCopiesOnPrimaryThenPropagates) {
+  build(4);  // primary + 3 backups
+  const std::string data = "memcpy through the star";
+  group_->region_write(512, data.data(), data.size());
+  bool wrote = false;
+  group_->gwrite(512, static_cast<std::uint32_t>(data.size()), true,
+                 [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until([&] { return wrote; }));
+
+  bool copied = false;
+  group_->gmemcpy(512, 8192, static_cast<std::uint32_t>(data.size()), true,
+                  [&](Status s, const auto&) {
+                    ASSERT_TRUE(s.is_ok());
+                    copied = true;
+                  });
+  ASSERT_TRUE(run_until([&] { return copied; }));
+  for (std::size_t m = 0; m < 4; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 8192, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, GFlushDrainsEveryMember) {
+  build(3);
+  const std::string data = "flush the star";
+  group_->region_write(0, data.data(), data.size());
+  bool wrote = false;
+  group_->gwrite(0, static_cast<std::uint32_t>(data.size()), false,
+                 [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until([&] { return wrote; }));
+
+  bool flushed = false;
+  group_->gflush([&](Status s, const auto&) {
+    ASSERT_TRUE(s.is_ok());
+    flushed = true;
+    for (int n = 1; n <= 3; ++n) cluster_->node(n).nic().power_fail();
+  });
+  ASSERT_TRUE(run_until([&] { return flushed; }));
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 0, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_F(FanoutTest, SequentialOpsConvergeAndCpuStaysIdle) {
+  build(3);
+  const int kOps = 400;  // exercises slot replenishment
+  int completed = 0;
+  bool done = false;
+  std::function<void(int)> next = [&](int i) {
+    if (i == kOps) {
+      done = true;
+      return;
+    }
+    const std::uint64_t off = (i % 32) * 64;
+    std::uint64_t v = 0xF00D0000u + static_cast<std::uint64_t>(i);
+    group_->region_write(off, &v, 8);
+    group_->gwrite(off, 8, true, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok()) << "op " << i;
+      ++completed;
+      next(i + 1);
+    });
+  };
+  next(0);
+  ASSERT_TRUE(run_until([&] { return done; }, 4'000_ms));
+  EXPECT_EQ(completed, kOps);
+
+  for (int slot = 0; slot < 32; ++slot) {
+    std::uint64_t expect = 0;
+    group_->region_read(slot * 64, &expect, 8);
+    for (std::size_t m = 0; m < 3; ++m) {
+      std::uint64_t got = 0;
+      group_->replica_read(m, slot * 64, &got, 8);
+      EXPECT_EQ(got, expect) << "slot " << slot << " member " << m;
+    }
+  }
+  // Only the primary's replenish thread ran, and barely.
+  const double cpu_frac =
+      static_cast<double>(group_->primary_cpu_time()) /
+      (static_cast<double>(cluster_->sim().now()) * 16.0);
+  EXPECT_LT(cpu_frac, 0.01);
+}
+
+TEST_F(FanoutTest, BackupsAreCompletelyPassive) {
+  build(3);
+  std::uint64_t v = 1;
+  group_->region_write(0, &v, 8);
+  bool done = false;
+  group_->gwrite(0, 8, true, [&](Status, const auto&) { done = true; });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  // Backup NICs executed no send WQEs at all: they are one-sided targets.
+  EXPECT_EQ(cluster_->node(2).nic().wqes_executed(), 0u);
+  EXPECT_EQ(cluster_->node(3).nic().wqes_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperloop::core

@@ -1,0 +1,447 @@
+// End-to-end tests of the HyperLoop group datapath: all four primitives,
+// durability semantics, result maps, execute maps, scaling, and pipelining.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+
+namespace hyperloop::core {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+class GroupTest : public ::testing::Test {
+ protected:
+  void build(std::size_t replicas, GroupParams params = {}) {
+    cluster_ = std::make_unique<Cluster>();
+    for (std::size_t i = 0; i < replicas + 1; ++i) cluster_->add_node();
+    std::vector<std::size_t> chain;
+    for (std::size_t i = 1; i <= replicas; ++i) chain.push_back(i);
+    group_ = std::make_unique<HyperLoopGroup>(*cluster_, 0, chain,
+                                              kRegionSize, params);
+    // Let setup-time engine events settle.
+    cluster_->sim().run_until(cluster_->sim().now() + 1_ms);
+  }
+
+  /// Run the simulation until `done` turns true or the deadline passes.
+  /// Advances in small steps so simulated time stops close to the event the
+  /// test observes (several tests reason about what is or is not durable
+  /// *right after* an ack).
+  bool run_until_done(bool& done, Duration budget = 100_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (!done && cluster_->sim().now() < deadline) {
+      cluster_->sim().run_until(cluster_->sim().now() + 2_us);
+      if (cluster_->sim().pending_events() == 0 &&
+          cluster_->sim().now() >= deadline) {
+        break;
+      }
+    }
+    return done;
+  }
+
+  static constexpr std::uint64_t kRegionSize = 1 << 20;
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<HyperLoopGroup> group_;
+};
+
+TEST_F(GroupTest, GWriteReplicatesToAllReplicas) {
+  build(2);
+  auto& client = group_->client();
+  const std::string payload = "hyperloop gwrite payload";
+  client.region_write(4096, payload.data(), payload.size());
+
+  bool done = false;
+  Status status;
+  client.gwrite(4096, static_cast<std::uint32_t>(payload.size()),
+                /*flush=*/true, [&](Status s, const auto&) {
+                  status = s;
+                  done = true;
+                });
+  ASSERT_TRUE(run_until_done(done));
+  EXPECT_TRUE(status.is_ok()) << status;
+
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::string got(payload.size(), '\0');
+    client.replica_read(r, 4096, got.data(), got.size());
+    EXPECT_EQ(got, payload) << "replica " << r;
+  }
+}
+
+TEST_F(GroupTest, GWriteWithoutFlushIsNotImmediatelyDurable) {
+  build(2);
+  auto& client = group_->client();
+  const std::string payload = "volatile until flushed";
+  client.region_write(0, payload.data(), payload.size());
+
+  bool done = false;
+  client.gwrite(0, static_cast<std::uint32_t>(payload.size()),
+                /*flush=*/false, [&](Status, const auto&) { done = true; });
+  ASSERT_TRUE(run_until_done(done));
+
+  // The ack raced ahead of the lazy cache drain: a power failure now loses
+  // the data on at least the tail (its cache was written last).
+  group_->cluster().node(2).nic().power_fail();
+  std::string got(payload.size(), '\0');
+  client.replica_read(1, 0, got.data(), got.size());
+  EXPECT_NE(got, payload)
+      << "unflushed write survived a power failure — durability hole closed?";
+}
+
+TEST_F(GroupTest, GWriteWithFlushSurvivesPowerFailure) {
+  build(2);
+  auto& client = group_->client();
+  const std::string payload = "durable data";
+  client.region_write(128, payload.data(), payload.size());
+
+  bool done = false;
+  client.gwrite(128, static_cast<std::uint32_t>(payload.size()),
+                /*flush=*/true, [&](Status, const auto&) { done = true; });
+  ASSERT_TRUE(run_until_done(done));
+
+  for (std::size_t r = 0; r < 2; ++r) {
+    group_->cluster().node(r + 1).nic().power_fail();
+    std::string got(payload.size(), '\0');
+    client.replica_read(r, 128, got.data(), got.size());
+    EXPECT_EQ(got, payload) << "replica " << r;
+  }
+}
+
+TEST_F(GroupTest, GCasSwapsOnAllReplicasAndReturnsOldValues) {
+  build(3);
+  auto& client = group_->client();
+  const std::uint64_t lock_off = 512;
+
+  // Seed the lock word everywhere.
+  std::uint64_t zero = 0;
+  client.region_write(lock_off, &zero, 8);
+  bool seeded = false;
+  client.gwrite(lock_off, 8, true, [&](Status, const auto&) { seeded = true; });
+  ASSERT_TRUE(run_until_done(seeded));
+
+  bool done = false;
+  std::vector<std::uint64_t> results;
+  client.gcas(lock_off, 0, 77, kAllReplicas, /*flush=*/false,
+              [&](Status s, const auto& r) {
+                ASSERT_TRUE(s.is_ok()) << s;
+                results = r;
+                done = true;
+              });
+  ASSERT_TRUE(run_until_done(done));
+
+  ASSERT_EQ(results.size(), 3u);
+  for (std::uint64_t v : results) EXPECT_EQ(v, 0u) << "pre-swap value";
+  for (std::size_t r = 0; r < 3; ++r) {
+    std::uint64_t got = 0;
+    client.replica_read(r, lock_off, &got, 8);
+    EXPECT_EQ(got, 77u) << "replica " << r;
+  }
+}
+
+TEST_F(GroupTest, GCasMismatchLeavesValueAndReportsIt) {
+  build(2);
+  auto& client = group_->client();
+  const std::uint64_t off = 1024;
+  std::uint64_t seed = 42;
+  client.region_write(off, &seed, 8);
+  bool seeded = false;
+  client.gwrite(off, 8, true, [&](Status, const auto&) { seeded = true; });
+  ASSERT_TRUE(run_until_done(seeded));
+
+  bool done = false;
+  std::vector<std::uint64_t> results;
+  client.gcas(off, /*expected=*/0, /*desired=*/99, kAllReplicas, false,
+              [&](Status s, const auto& r) {
+                ASSERT_TRUE(s.is_ok());
+                results = r;
+                done = true;
+              });
+  ASSERT_TRUE(run_until_done(done));
+
+  ASSERT_EQ(results.size(), 2u);
+  for (std::uint64_t v : results) EXPECT_EQ(v, 42u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::uint64_t got = 0;
+    client.replica_read(r, off, &got, 8);
+    EXPECT_EQ(got, 42u) << "value must be unchanged on mismatch";
+  }
+}
+
+TEST_F(GroupTest, GCasExecuteMapSkipsUnselectedReplicas) {
+  build(3);
+  auto& client = group_->client();
+  const std::uint64_t off = 2048;
+  std::uint64_t seed = 5;
+  client.region_write(off, &seed, 8);
+  bool seeded = false;
+  client.gwrite(off, 8, true, [&](Status, const auto&) { seeded = true; });
+  ASSERT_TRUE(run_until_done(seeded));
+
+  // Only replicas 0 and 2 execute; replica 1's CAS becomes a NOP.
+  bool done = false;
+  client.gcas(off, 5, 6, (1u << 0) | (1u << 2), false,
+              [&](Status s, const auto&) {
+                ASSERT_TRUE(s.is_ok());
+                done = true;
+              });
+  ASSERT_TRUE(run_until_done(done));
+
+  std::uint64_t v0 = 0, v1 = 0, v2 = 0;
+  client.replica_read(0, off, &v0, 8);
+  client.replica_read(1, off, &v1, 8);
+  client.replica_read(2, off, &v2, 8);
+  EXPECT_EQ(v0, 6u);
+  EXPECT_EQ(v1, 5u) << "skipped replica must keep its value";
+  EXPECT_EQ(v2, 6u);
+}
+
+TEST_F(GroupTest, GCasUndoPattern) {
+  // The paper's undo: when a gCAS succeeds on a subset, the client reverses
+  // it by swapping back on exactly the replicas whose result matched.
+  build(3);
+  auto& client = group_->client();
+  const std::uint64_t off = 64;
+
+  // Make replica 1 disagree: set its word to 9 directly via a targeted CAS.
+  std::uint64_t zero = 0;
+  client.region_write(off, &zero, 8);
+  bool prep = false;
+  client.gwrite(off, 8, true, [&](Status, const auto&) { prep = true; });
+  ASSERT_TRUE(run_until_done(prep));
+  bool diverge = false;
+  client.gcas(off, 0, 9, (1u << 1), false,
+              [&](Status, const auto&) { diverge = true; });
+  ASSERT_TRUE(run_until_done(diverge));
+
+  // Attempt to take the lock everywhere; replica 1 will fail (value 9).
+  bool attempt = false;
+  std::vector<std::uint64_t> results;
+  client.gcas(off, 0, 1, kAllReplicas, false, [&](Status s, const auto& r) {
+    ASSERT_TRUE(s.is_ok());
+    results = r;
+    attempt = true;
+  });
+  ASSERT_TRUE(run_until_done(attempt));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], 0u);
+  EXPECT_EQ(results[1], 9u);  // mismatch reported
+  EXPECT_EQ(results[2], 0u);
+
+  // Undo on the replicas where it succeeded (results[i] == expected).
+  ExecuteMap undo = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i] == 0) undo |= (1u << i);
+  }
+  EXPECT_EQ(undo, (1u << 0) | (1u << 2));
+  bool undone = false;
+  client.gcas(off, 1, 0, undo, false,
+              [&](Status, const auto&) { undone = true; });
+  ASSERT_TRUE(run_until_done(undone));
+
+  std::uint64_t v0 = 0, v1 = 0, v2 = 0;
+  client.replica_read(0, off, &v0, 8);
+  client.replica_read(1, off, &v1, 8);
+  client.replica_read(2, off, &v2, 8);
+  EXPECT_EQ(v0, 0u);
+  EXPECT_EQ(v1, 9u);
+  EXPECT_EQ(v2, 0u);
+}
+
+TEST_F(GroupTest, GMemcpyCopiesWithinEveryReplica) {
+  build(2);
+  auto& client = group_->client();
+  const std::string data = "log record to execute";
+  client.region_write(100, data.data(), data.size());
+
+  bool wrote = false;
+  client.gwrite(100, static_cast<std::uint32_t>(data.size()), true,
+                [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until_done(wrote));
+
+  bool copied = false;
+  client.gmemcpy(100, 9000, static_cast<std::uint32_t>(data.size()),
+                 /*flush=*/true, [&](Status s, const auto&) {
+                   ASSERT_TRUE(s.is_ok());
+                   copied = true;
+                 });
+  ASSERT_TRUE(run_until_done(copied));
+
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::string got(data.size(), '\0');
+    client.replica_read(r, 9000, got.data(), got.size());
+    EXPECT_EQ(got, data) << "replica " << r;
+  }
+  // The client's local copy followed suit.
+  std::string local(data.size(), '\0');
+  client.region_read(9000, local.data(), local.size());
+  EXPECT_EQ(local, data);
+}
+
+TEST_F(GroupTest, GFlushDrainsAllReplicaCaches) {
+  build(3);
+  auto& client = group_->client();
+  const std::string payload = "needs an explicit barrier";
+  client.region_write(300, payload.data(), payload.size());
+
+  bool wrote = false;
+  client.gwrite(300, static_cast<std::uint32_t>(payload.size()),
+                /*flush=*/false, [&](Status, const auto&) { wrote = true; });
+  ASSERT_TRUE(run_until_done(wrote));
+
+  bool flushed = false;
+  client.gflush([&](Status s, const auto&) {
+    ASSERT_TRUE(s.is_ok());
+    flushed = true;
+  });
+  ASSERT_TRUE(run_until_done(flushed));
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    group_->cluster().node(r + 1).nic().power_fail();
+    std::string got(payload.size(), '\0');
+    client.replica_read(r, 300, got.data(), got.size());
+    EXPECT_EQ(got, payload) << "replica " << r;
+  }
+}
+
+TEST_F(GroupTest, ManySequentialOpsStayConsistent) {
+  build(3);
+  auto& client = group_->client();
+  const int kOps = 600;  // > slots, exercises replenishment
+  int completed = 0;
+  bool done = false;
+
+  std::function<void(int)> next = [&](int i) {
+    if (i == kOps) {
+      done = true;
+      return;
+    }
+    const std::uint64_t off = (i % 64) * 128;
+    const std::uint64_t val = 0xABCD0000u + static_cast<std::uint64_t>(i);
+    client.region_write(off, &val, 8);
+    client.gwrite(off, 8, true, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok()) << "op " << i << ": " << s;
+      ++completed;
+      next(i + 1);
+    });
+  };
+  next(0);
+  ASSERT_TRUE(run_until_done(done, 2'000_ms));
+  EXPECT_EQ(completed, kOps);
+
+  // Every replica converged to the client's copy on all touched offsets.
+  for (int slot = 0; slot < 64; ++slot) {
+    std::uint64_t expect = 0;
+    client.region_read(slot * 128, &expect, 8);
+    for (std::size_t r = 0; r < 3; ++r) {
+      std::uint64_t got = 0;
+      client.replica_read(r, slot * 128, &got, 8);
+      EXPECT_EQ(got, expect) << "slot " << slot << " replica " << r;
+    }
+  }
+}
+
+TEST_F(GroupTest, PipelinedOpsCompleteInOrder) {
+  build(2);
+  auto& client = group_->client();
+  const int kOps = 40;
+  std::vector<int> completions;
+  bool done = false;
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * 64;
+    std::uint64_t val = static_cast<std::uint64_t>(i);
+    client.region_write(off, &val, 8);
+    client.gwrite(off, 8, false, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok());
+      completions.push_back(i);
+      if (static_cast<int>(completions.size()) == kOps) done = true;
+    });
+  }
+  ASSERT_TRUE(run_until_done(done));
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(completions[i], i);
+}
+
+TEST_F(GroupTest, LargerGroupsStillWork) {
+  for (std::size_t replicas : {1u, 5u, 7u}) {
+    build(replicas);
+    auto& client = group_->client();
+    const std::string payload = "size sweep " + std::to_string(replicas);
+    client.region_write(0, payload.data(), payload.size());
+    bool done = false;
+    client.gwrite(0, static_cast<std::uint32_t>(payload.size()), true,
+                  [&](Status s, const auto&) {
+                    ASSERT_TRUE(s.is_ok());
+                    done = true;
+                  });
+    ASSERT_TRUE(run_until_done(done)) << replicas << " replicas";
+    for (std::size_t r = 0; r < replicas; ++r) {
+      std::string got(payload.size(), '\0');
+      client.replica_read(r, 0, got.data(), got.size());
+      EXPECT_EQ(got, payload) << "group " << replicas << " replica " << r;
+    }
+  }
+}
+
+TEST_F(GroupTest, ReplicaCpuStaysIdleOnTheDataPath) {
+  build(3);
+  auto& client = group_->client();
+  // Drive a burst of operations…
+  const int kOps = 200;
+  int completed = 0;
+  bool done = false;
+  std::function<void(int)> next = [&](int i) {
+    if (i == kOps) {
+      done = true;
+      return;
+    }
+    std::uint64_t v = static_cast<std::uint64_t>(i);
+    client.region_write(0, &v, 8);
+    client.gwrite(0, 8, true, [&, i](Status, const auto&) {
+      ++completed;
+      next(i + 1);
+    });
+  };
+  next(0);
+  ASSERT_TRUE(run_until_done(done, 1'000_ms));
+
+  // …and verify replica CPUs did (almost) nothing: only replenishment.
+  // Like the paper's Figure 9, the metric is machine CPU utilization.
+  const Duration elapsed = cluster_->sim().now();
+  for (std::size_t r = 0; r < 3; ++r) {
+    const Duration cpu = group_->replica(r).cpu_time();
+    const double cores =
+        static_cast<double>(group_->replica(r).node().sched().num_cores());
+    EXPECT_LT(static_cast<double>(cpu) / (cores * static_cast<double>(elapsed)),
+              0.01)
+        << "replica " << r << " burned CPU on the critical path";
+  }
+}
+
+TEST_F(GroupTest, OpsFailCleanlyWhenChainIsDown) {
+  GroupParams params;
+  params.op_timeout = 5'000'000;  // 5ms, keep the test fast
+  build(2, params);
+  auto& client = group_->client();
+
+  cluster_->network().set_node_down(2, true);  // kill the tail
+
+  bool done = false;
+  Status status;
+  std::uint64_t v = 1;
+  client.region_write(0, &v, 8);
+  client.gwrite(0, 8, true, [&](Status s, const auto&) {
+    status = s;
+    done = true;
+  });
+  ASSERT_TRUE(run_until_done(done, 200_ms));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status;
+}
+
+}  // namespace
+}  // namespace hyperloop::core

@@ -1,0 +1,229 @@
+// Cross-module integration tests: multi-group co-location and tenant
+// isolation (the paper's §7 security posture), chain/fan-out equivalence,
+// and YCSB end-to-end over the fan-out datapath.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/fanout_group.hpp"
+#include "hyperloop/group.hpp"
+#include "kvstore/minirocks.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "ycsb/adapters.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+bool pump(Cluster& cluster, const std::function<bool()>& pred,
+          Duration budget = 2'000_ms) {
+  const Time deadline = cluster.sim().now() + budget;
+  while (!pred() && cluster.sim().now() < deadline) {
+    cluster.sim().run_until(cluster.sim().now() + 10_us);
+  }
+  return pred();
+}
+
+TEST(Integration, CoLocatedGroupsOfDifferentTenantsAreIsolated) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+
+  core::GroupParams pa;
+  pa.tenant = 111;
+  core::GroupParams pb;
+  pb.tenant = 222;
+  core::HyperLoopGroup ga(cluster, 0, {1, 2, 3}, 1 << 18, pa);
+  core::HyperLoopGroup gb(cluster, 0, {1, 2, 3}, 1 << 18, pb);
+  cluster.sim().run_until(1_ms);
+
+  // Both datapaths work independently on the same NICs and memory.
+  const std::string da = "tenant A data", db = "tenant B data";
+  ga.client().region_write(0, da.data(), da.size());
+  gb.client().region_write(0, db.data(), db.size());
+  int done = 0;
+  ga.client().gwrite(0, static_cast<std::uint32_t>(da.size()), true,
+                     [&](Status s, const auto&) {
+                       ASSERT_TRUE(s.is_ok());
+                       ++done;
+                     });
+  gb.client().gwrite(0, static_cast<std::uint32_t>(db.size()), true,
+                     [&](Status s, const auto&) {
+                       ASSERT_TRUE(s.is_ok());
+                       ++done;
+                     });
+  ASSERT_TRUE(pump(cluster, [&] { return done == 2; }));
+
+  std::string got(da.size(), '\0');
+  ga.client().replica_read(0, 0, got.data(), got.size());
+  EXPECT_EQ(got, da);
+  got.resize(db.size());
+  gb.client().replica_read(0, 0, got.data(), got.size());
+  EXPECT_EQ(got, db);
+
+  // A QP running as tenant A cannot touch tenant B's region even with the
+  // correct rkey — the token check rejects it (paper §7: per-tenant
+  // registration).
+  rnic::Nic& cnic = cluster.node(0).nic();
+  rnic::CompletionQueue* cq = cnic.create_cq();
+  rnic::QueuePair* rogue = cnic.create_qp(cq, cq, 4, /*tenant=*/111);
+  rnic::Nic& r0 = cluster.node(1).nic();
+  rnic::CompletionQueue* rcq = r0.create_cq();
+  rnic::QueuePair* peer = r0.create_qp(rcq, rcq, 1, 111);
+  cnic.connect(rogue, 1, peer->id());
+  r0.connect(peer, 0, rogue->id());
+
+  const std::uint64_t scratch = cluster.node(0).memory().alloc(64, 8);
+  const auto smr = cluster.node(0).memory().register_region(
+      scratch, 64, mem::kLocalRead, 111);
+  rnic::SendWr attack;
+  attack.opcode = rnic::Opcode::kWrite;
+  attack.local_addr = scratch;
+  attack.local_len = 16;
+  attack.lkey = smr.lkey;
+  attack.remote_addr = gb.member(0).region_addr;  // tenant B's bytes
+  attack.rkey = gb.member(0).region_rkey;         // a leaked rkey
+  ASSERT_TRUE(rogue->post_send(attack).is_ok());
+  bool denied = false;
+  pump(cluster, [&] {
+    if (auto wc = cq->poll()) {
+      denied = wc->status == StatusCode::kPermissionDenied;
+      return true;
+    }
+    return false;
+  });
+  EXPECT_TRUE(denied) << "cross-tenant write must be rejected";
+  got.resize(db.size());
+  gb.client().replica_read(0, 0, got.data(), got.size());
+  EXPECT_EQ(got, db) << "tenant B's bytes must be untouched";
+}
+
+TEST(Integration, ChainAndFanoutConvergeToIdenticalState) {
+  // The same deterministic op sequence over both topologies must produce
+  // byte-identical replicated regions.
+  constexpr std::uint64_t kRegion = 128 * 1024;
+  auto run_ops = [&](core::GroupInterface& g, Cluster& cluster) {
+    Rng rng(2024);
+    int completed = 0;
+    bool failed = false;
+    std::function<void(int)> next = [&](int i) {
+      if (i == 60) return;
+      auto done = [&, i](Status s, const auto&) {
+        if (!s.is_ok()) failed = true;
+        ++completed;
+        next(i + 1);
+      };
+      const std::uint64_t kind = rng.next_below(3);
+      if (kind == 0) {
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(16 + rng.next_below(512));
+        const std::uint64_t off = rng.next_below(kRegion - size) & ~7ull;
+        std::vector<std::byte> data(size);
+        for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+        g.region_write(off, data.data(), size);
+        g.gwrite(off, size, true, done);
+      } else if (kind == 1) {
+        const std::uint64_t off = 8 * rng.next_below(8);
+        std::uint64_t cur = 0;
+        g.region_read(off, &cur, 8);
+        g.gcas(off, cur, rng.next_u64(), core::kAllReplicas, false, done);
+      } else {
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(16 + rng.next_below(256));
+        const std::uint64_t src = rng.next_below(kRegion - size) & ~7ull;
+        const std::uint64_t dst = rng.next_below(kRegion - size) & ~7ull;
+        g.gmemcpy(src, dst, size, true, done);
+      }
+    };
+    next(0);
+    EXPECT_TRUE(pump(cluster, [&] { return completed == 60; }, 10'000_ms));
+    EXPECT_FALSE(failed);
+    bool flushed = false;
+    g.gflush([&](Status, const auto&) { flushed = true; });
+    EXPECT_TRUE(pump(cluster, [&] { return flushed; }));
+    std::vector<std::byte> out(kRegion);
+    g.replica_read(g.num_replicas() - 1, 0, out.data(), kRegion);
+    return fnv1a_64(out.data(), kRegion);
+  };
+
+  std::uint64_t chain_hash = 0, fanout_hash = 0;
+  {
+    Cluster cluster;
+    for (int i = 0; i < 4; ++i) cluster.add_node();
+    core::HyperLoopGroup g(cluster, 0, {1, 2, 3}, kRegion);
+    cluster.sim().run_until(1_ms);
+    chain_hash = run_ops(g.client(), cluster);
+  }
+  {
+    Cluster cluster;
+    for (int i = 0; i < 4; ++i) cluster.add_node();
+    core::FanoutGroup g(cluster, 0, {1, 2, 3}, kRegion);
+    cluster.sim().run_until(1_ms);
+    fanout_hash = run_ops(g, cluster);
+  }
+  EXPECT_EQ(chain_hash, fanout_hash)
+      << "chain and fan-out must be observationally equivalent";
+}
+
+TEST(Integration, YcsbOverMiniRocksOverFanout) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+  storage::RegionLayout layout;
+  layout.wal_capacity = 1 << 18;
+  layout.db_size = 1 << 20;
+  core::FanoutGroup group(cluster, 0, {1, 2, 3}, layout.region_size());
+  cluster.sim().run_until(1_ms);
+
+  storage::ReplicatedLog log(group, layout);
+  storage::GroupLockManager locks(group, cluster.sim(), layout, 5);
+  kvstore::MiniRocksOptions opts;
+  storage::TransactionCoordinator txc(
+      group, log, locks, kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(group, txc, opts);
+  ycsb::MiniRocksAdapter adapter(db);
+
+  bool ready = false;
+  log.initialize([&](Status s) { ready = s.is_ok(); });
+  ASSERT_TRUE(pump(cluster, [&] { return ready; }));
+
+  ycsb::DriverParams params;
+  params.record_count = 40;
+  params.operation_count = 250;
+  params.value_bytes = 200;
+  ycsb::YcsbDriver driver(cluster.sim(), adapter, ycsb::WorkloadSpec::A(),
+                          params);
+  bool loaded = false;
+  driver.load([&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    loaded = true;
+  });
+  ASSERT_TRUE(pump(cluster, [&] { return loaded; }, 20'000_ms));
+  bool done = false;
+  driver.run([&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(pump(cluster, [&] { return done; }, 20'000_ms));
+  EXPECT_EQ(driver.errors(), 0u);
+  EXPECT_EQ(driver.overall().count(), 250u);
+
+  // After draining the WAL, all members serve the data.
+  bool flushed = false;
+  db.flush_wal([&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    flushed = true;
+  });
+  ASSERT_TRUE(pump(cluster, [&] { return flushed; }, 20'000_ms));
+  std::string v;
+  ASSERT_TRUE(
+      db.get_from_replica(2, ycsb::YcsbDriver::key_name(0), &v).is_ok());
+}
+
+}  // namespace
+}  // namespace hyperloop

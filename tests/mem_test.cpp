@@ -1,0 +1,177 @@
+// Unit tests for host memory: raw access bounds, the bump allocator,
+// registration/permission machinery (lkey/rkey/access/tenant), and the NIC
+// volatile cache (drain, flush, overlap, capacity, power failure).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hyperloop/cluster.hpp"
+#include "mem/host_memory.hpp"
+#include "rnic/nic_cache.hpp"
+
+namespace hyperloop {
+namespace {
+
+TEST(HostMemory, ReadWriteRoundTrip) {
+  mem::HostMemory memory(4096);
+  const std::string data = "bytes";
+  memory.write(100, data.data(), data.size());
+  std::string got(data.size(), '\0');
+  memory.read(100, got.data(), got.size());
+  EXPECT_EQ(got, data);
+  memory.write_u64(200, 0xDEADBEEF);
+  EXPECT_EQ(memory.read_u64(200), 0xDEADBEEFu);
+}
+
+TEST(HostMemory, OutOfBoundsRawAccessThrows) {
+  mem::HostMemory memory(128);
+  char buf[64];
+  EXPECT_THROW(memory.read(100, buf, 64), SetupError);
+  EXPECT_THROW(memory.write(128, buf, 1), SetupError);
+  EXPECT_NO_THROW(memory.read(64, buf, 64));
+}
+
+TEST(HostMemory, BumpAllocatorAlignsAndExhausts) {
+  mem::HostMemory memory(1024);
+  const std::uint64_t a = memory.alloc(100, 64);
+  const std::uint64_t b = memory.alloc(100, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_THROW(memory.alloc(1024, 8), SetupError);
+}
+
+TEST(HostMemory, RegistrationAndLocalChecks) {
+  mem::HostMemory memory(4096);
+  const auto mr =
+      memory.register_region(512, 1024, mem::kLocalRead, /*tenant=*/9);
+  EXPECT_NE(mr.lkey, mr.rkey);
+
+  EXPECT_TRUE(memory.check_local(512, 1024, mr.lkey, mem::kLocalRead).is_ok());
+  EXPECT_EQ(memory.check_local(512, 8, mr.lkey, mem::kLocalWrite).code(),
+            StatusCode::kPermissionDenied)
+      << "missing access flag";
+  EXPECT_EQ(memory.check_local(0, 8, mr.lkey, mem::kLocalRead).code(),
+            StatusCode::kOutOfRange)
+      << "below the region";
+  EXPECT_EQ(memory.check_local(512, 2048, mr.lkey, mem::kLocalRead).code(),
+            StatusCode::kOutOfRange)
+      << "spills past the region";
+  EXPECT_EQ(memory.check_local(512, 8, 0xBAD, mem::kLocalRead).code(),
+            StatusCode::kPermissionDenied)
+      << "unknown lkey";
+}
+
+TEST(HostMemory, RemoteChecksEnforceTenant) {
+  mem::HostMemory memory(4096);
+  const auto mr =
+      memory.register_region(0, 4096, mem::kRemoteWrite, /*tenant=*/7);
+  EXPECT_TRUE(memory.check_remote(0, 64, mr.rkey, mem::kRemoteWrite, 7).is_ok());
+  EXPECT_EQ(memory.check_remote(0, 64, mr.rkey, mem::kRemoteWrite, 8).code(),
+            StatusCode::kPermissionDenied)
+      << "wrong tenant token";
+  EXPECT_EQ(memory.check_remote(0, 64, mr.rkey, mem::kRemoteRead, 7).code(),
+            StatusCode::kPermissionDenied)
+      << "region not readable";
+}
+
+TEST(HostMemory, DeregisterInvalidatesKeys) {
+  mem::HostMemory memory(4096);
+  const auto mr = memory.register_region(0, 128, mem::kLocalRead, 1);
+  EXPECT_EQ(memory.num_regions(), 1u);
+  EXPECT_TRUE(memory.deregister(mr.lkey).is_ok());
+  EXPECT_EQ(memory.num_regions(), 0u);
+  EXPECT_EQ(memory.check_local(0, 8, mr.lkey, mem::kLocalRead).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(memory.deregister(mr.lkey).code(), StatusCode::kNotFound);
+}
+
+// --- NicCache ---------------------------------------------------------------
+
+class NicCacheTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  mem::HostMemory memory_{64 * 1024};
+  rnic::NicCache cache_{sim_, memory_, /*drain_delay=*/10'000,
+                        /*capacity=*/1024};
+};
+
+TEST_F(NicCacheTest, ReadThroughSeesUndrainedData) {
+  const std::string data = "cached";
+  cache_.put(100, data.data(), data.size());
+  EXPECT_EQ(cache_.dirty_bytes(), data.size());
+
+  std::string nic_view(data.size(), '\0');
+  cache_.read_through(100, nic_view.data(), nic_view.size());
+  EXPECT_EQ(nic_view, data);
+
+  // Host memory does not see it until the drain.
+  std::string host(data.size(), '\0');
+  memory_.read(100, host.data(), host.size());
+  EXPECT_NE(host, data);
+  sim_.run_until(20'000);
+  memory_.read(100, host.data(), host.size());
+  EXPECT_EQ(host, data);
+  EXPECT_EQ(cache_.dirty_bytes(), 0u);
+  EXPECT_EQ(cache_.total_lazy_drains(), 1u);
+}
+
+TEST_F(NicCacheTest, FlushDrainsImmediately) {
+  const std::string data = "flush";
+  cache_.put(0, data.data(), data.size());
+  cache_.flush();
+  EXPECT_EQ(cache_.dirty_bytes(), 0u);
+  std::string host(data.size(), '\0');
+  memory_.read(0, host.data(), host.size());
+  EXPECT_EQ(host, data);
+  sim_.run();  // the cancelled drain event must not fire/crash
+}
+
+TEST_F(NicCacheTest, PowerFailureLosesUndrainedBytes) {
+  const std::string data = "volatile";
+  cache_.put(50, data.data(), data.size());
+  cache_.power_fail();
+  EXPECT_EQ(cache_.dirty_bytes(), 0u);
+  std::string host(data.size(), '\0');
+  memory_.read(50, host.data(), host.size());
+  EXPECT_NE(host, data);
+}
+
+TEST_F(NicCacheTest, OverlappingWritesStayCoherent) {
+  const std::string first = "AAAAAAAA";
+  const std::string second = "BBBB";
+  cache_.put(0, first.data(), first.size());
+  cache_.put(2, second.data(), second.size());  // overlaps the middle
+  std::string view(8, '\0');
+  cache_.read_through(0, view.data(), 8);
+  EXPECT_EQ(view, "AABBBBAA");
+  cache_.flush();
+  memory_.read(0, view.data(), 8);
+  EXPECT_EQ(view, "AABBBBAA");
+}
+
+TEST_F(NicCacheTest, FlushRangeIsSelective) {
+  const std::string a = "aaaa", b = "bbbb";
+  cache_.put(0, a.data(), a.size());
+  cache_.put(512, b.data(), b.size());
+  cache_.flush_range(0, 4);
+  EXPECT_EQ(cache_.dirty_bytes(), 4u) << "only the overlapping entry drained";
+  std::string host(4, '\0');
+  memory_.read(0, host.data(), 4);
+  EXPECT_EQ(host, "aaaa");
+  memory_.read(512, host.data(), 4);
+  EXPECT_NE(host, "bbbb");
+}
+
+TEST_F(NicCacheTest, CapacityPressureDrainsOldest) {
+  std::vector<char> big(600, 'x');
+  cache_.put(0, big.data(), big.size());
+  cache_.put(2048, big.data(), big.size());  // 1200 > 1024: first must drain
+  EXPECT_LE(cache_.dirty_bytes(), 1024u);
+  char c = 0;
+  memory_.read(0, &c, 1);
+  EXPECT_EQ(c, 'x') << "evicted entry reached memory, not the void";
+}
+
+}  // namespace
+}  // namespace hyperloop

@@ -1,0 +1,164 @@
+// Unit tests of the fabric model: serialization at link rate, per-direction
+// FIFO, propagation delay, loopback, down-node drops, and YCSB driver
+// concurrency (which rides on these timing properties).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "rnic/nic.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+class NetworkTimingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    a_ = &cluster_->add_node();
+    b_ = &cluster_->add_node();
+    cq_ = a_->nic().create_cq();
+    qp_ = a_->nic().create_qp(cq_, cq_, 64, 1);
+    rnic::CompletionQueue* rcq = b_->nic().create_cq();
+    rnic::QueuePair* rqp = b_->nic().create_qp(rcq, rcq, 1, 1);
+    a_->nic().connect(qp_, b_->id(), rqp->id());
+    b_->nic().connect(rqp, a_->id(), qp_->id());
+
+    buf_ = a_->memory().alloc(1 << 20, 64);
+    mr_ = a_->memory().register_region(buf_, 1 << 20,
+                                       mem::kLocalRead | mem::kLocalWrite, 1);
+    rbuf_ = b_->memory().alloc(1 << 20, 64);
+    rmr_ = b_->memory().register_region(
+        rbuf_, 1 << 20, mem::kRemoteWrite | mem::kRemoteRead, 1);
+  }
+
+  Duration timed_write(std::uint32_t size) {
+    rnic::SendWr wr;
+    wr.opcode = rnic::Opcode::kWrite;
+    wr.local_addr = buf_;
+    wr.local_len = size;
+    wr.lkey = mr_.lkey;
+    wr.remote_addr = rbuf_;
+    wr.rkey = rmr_.rkey;
+    const Time start = cluster_->sim().now();
+    HL_CHECK(qp_->post_send(wr).is_ok());
+    while (true) {
+      if (auto wc = cq_->poll()) {
+        HL_CHECK(wc->status == StatusCode::kOk);
+        return cluster_->sim().now() - start;
+      }
+      cluster_->sim().run_until(cluster_->sim().now() + 100);
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Node* a_ = nullptr;
+  Node* b_ = nullptr;
+  rnic::CompletionQueue* cq_ = nullptr;
+  rnic::QueuePair* qp_ = nullptr;
+  std::uint64_t buf_ = 0, rbuf_ = 0;
+  mem::MemoryRegion mr_, rmr_;
+};
+
+TEST_F(NetworkTimingTest, LatencyGrowsWithSerialization) {
+  // One-way time includes size/bandwidth: a 64KB write takes visibly longer
+  // than a 64B one, by roughly bytes / 7 B-per-ns.
+  const Duration small = timed_write(64);
+  const Duration large = timed_write(64 * 1024);
+  const double extra_ns = static_cast<double>(large - small);
+  const double expected_ns = (64.0 * 1024) / 7.0       // wire serialization
+                             + (64.0 * 1024) / 16.0 * 2;  // dma each side
+  EXPECT_NEAR(extra_ns, expected_ns, expected_ns * 0.5)
+      << "small=" << small << " large=" << large;
+}
+
+TEST_F(NetworkTimingTest, RttIsMicrosecondScale) {
+  const Duration rtt = timed_write(8);
+  // prop 1us each way + NIC processing; must land in the small-us range.
+  EXPECT_GT(rtt, 2_us);
+  EXPECT_LT(rtt, 10_us);
+}
+
+TEST_F(NetworkTimingTest, MessagesDropWhenNodeDown) {
+  cluster_->network().set_node_down(b_->id(), true);
+  EXPECT_EQ(cluster_->network().messages_sent(), 0u);
+  rnic::SendWr wr;
+  wr.opcode = rnic::Opcode::kWrite;
+  wr.local_addr = buf_;
+  wr.local_len = 8;
+  wr.lkey = mr_.lkey;
+  wr.remote_addr = rbuf_;
+  wr.rkey = rmr_.rkey;
+  HL_CHECK(qp_->post_send(wr).is_ok());
+  cluster_->sim().run_until(cluster_->sim().now() + 100_us);
+  EXPECT_EQ(cluster_->network().messages_sent(), 0u)
+      << "messages to a down node never enter the fabric";
+}
+
+TEST_F(NetworkTimingTest, ByteCountersTrackPayloads) {
+  timed_write(1000);
+  // request payload (1000 + header) + ack (header only)
+  EXPECT_GE(cluster_->network().bytes_sent(), 1000u);
+  EXPECT_EQ(cluster_->network().messages_sent(), 2u);
+}
+
+TEST(YcsbConcurrency, StreamsSplitTheOperationCount) {
+  struct CountingStore : ycsb::StoreAdapter {
+    sim::Simulator* sim = nullptr;
+    int outstanding = 0;
+    int max_outstanding = 0;
+    int total = 0;
+    void finish(Done d) {
+      ++outstanding;
+      max_outstanding = std::max(max_outstanding, outstanding);
+      ++total;
+      sim->schedule(1'000, [this, d = std::move(d)] {
+        --outstanding;
+        d(Status::ok());
+      });
+    }
+    void do_insert(const std::string&, const std::string&, Done d) override {
+      finish(std::move(d));
+    }
+    void do_read(const std::string&, Done d) override { finish(std::move(d)); }
+    void do_update(const std::string&, const std::string&, Done d) override {
+      finish(std::move(d));
+    }
+    void do_rmw(const std::string&, const std::string&, Done d) override {
+      finish(std::move(d));
+    }
+    void do_scan(const std::string&, std::size_t, Done d) override {
+      finish(std::move(d));
+    }
+  };
+
+  sim::Simulator sim;
+  CountingStore store;
+  store.sim = &sim;
+  ycsb::DriverParams params;
+  params.record_count = 10;
+  params.operation_count = 1'000;
+  params.value_bytes = 8;
+  params.concurrency = 8;
+  ycsb::YcsbDriver driver(sim, store, ycsb::WorkloadSpec::A(), params);
+  bool loaded = false;
+  driver.load([&](Status) { loaded = true; });
+  sim.run();
+  ASSERT_TRUE(loaded);
+  store.total = 0;
+  bool done = false;
+  driver.run([&](Status) { done = true; });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(store.total, 1'000);
+  EXPECT_GE(store.max_outstanding, 8) << "streams must overlap";
+  EXPECT_EQ(driver.overall().count(), 1'000u);
+}
+
+}  // namespace
+}  // namespace hyperloop

@@ -1,0 +1,296 @@
+// Property-based tests: random operation sequences against reference
+// models, across both datapaths and several seeds.
+//
+//  * Group primitives vs a byte-array model: after any interleaving of
+//    gwrite/gcas/gmemcpy/gflush, every replica's durable region equals the
+//    model (after a final flush barrier).
+//  * Transactions vs a shadow map: atomicity and durability of random
+//    multi-entry commits, including through power failures.
+//  * MiniRocks vs std::map under a random put/delete/get workload.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/fanout_group.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "kvstore/minirocks.hpp"
+#include "storage/lock.hpp"
+#include "storage/log.hpp"
+#include "storage/transaction.hpp"
+#include "util/rng.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+enum class Dp { kChain, kNaive, kFanout };
+
+struct Param {
+  Dp dp;
+  std::uint64_t seed;
+};
+
+class PropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr std::uint64_t kRegion = 256 * 1024;
+
+  void build(std::size_t replicas) {
+    cluster_ = std::make_unique<Cluster>();
+    for (std::size_t i = 0; i <= replicas; ++i) cluster_->add_node();
+    std::vector<std::size_t> chain;
+    for (std::size_t i = 1; i <= replicas; ++i) chain.push_back(i);
+    switch (GetParam().dp) {
+      case Dp::kChain:
+        hl_ = std::make_unique<core::HyperLoopGroup>(*cluster_, 0, chain,
+                                                     kRegion);
+        group_ = &hl_->client();
+        break;
+      case Dp::kFanout:
+        fo_ = std::make_unique<core::FanoutGroup>(*cluster_, 0, chain,
+                                                  kRegion);
+        group_ = fo_.get();
+        break;
+      case Dp::kNaive:
+        nv_ = std::make_unique<core::NaiveGroup>(*cluster_, 0, chain,
+                                                 kRegion);
+        group_ = nv_.get();
+        break;
+    }
+    cluster_->sim().run_until(1_ms);
+  }
+
+  bool run_until(const std::function<bool()>& pred,
+                 Duration budget = 5'000_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (!pred() && cluster_->sim().now() < deadline) {
+      cluster_->sim().run_until(cluster_->sim().now() + 20_us);
+    }
+    return pred();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<core::HyperLoopGroup> hl_;
+  std::unique_ptr<core::NaiveGroup> nv_;
+  std::unique_ptr<core::FanoutGroup> fo_;
+  core::GroupInterface* group_ = nullptr;
+};
+
+TEST_P(PropertyTest, RandomPrimitiveSequenceMatchesModel) {
+  constexpr std::size_t kReplicas = 3;
+  build(kReplicas);
+  Rng rng(GetParam().seed);
+
+  std::vector<std::byte> model(kRegion, std::byte{0});
+  constexpr int kOps = 120;
+  int completed = 0;
+  bool failed = false;
+
+  std::function<void(int)> issue = [&](int i) {
+    if (i == kOps) return;
+    auto done = [&, i](Status s, const auto&) {
+      if (!s.is_ok()) failed = true;
+      ++completed;
+      issue(i + 1);
+    };
+    const std::uint64_t op = rng.next_below(10);
+    if (op < 5) {  // gwrite of random bytes at a random aligned offset
+      const std::uint32_t size =
+          static_cast<std::uint32_t>(8 + rng.next_below(2048));
+      const std::uint64_t off = rng.next_below(kRegion - size) & ~7ull;
+      std::vector<std::byte> data(size);
+      for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+      std::memcpy(model.data() + off, data.data(), size);
+      group_->region_write(off, data.data(), size);
+      group_->gwrite(off, size, rng.next_bool(0.5), done);
+    } else if (op < 7) {  // gcas on one of 4 lock words
+      const std::uint64_t off = 8 * rng.next_below(4);
+      std::uint64_t expect = 0;
+      std::memcpy(&expect, model.data() + off, 8);
+      const std::uint64_t desired = rng.next_u64();
+      if (rng.next_bool(0.8)) {  // matching CAS: apply to the model
+        std::memcpy(model.data() + off, &desired, 8);
+        group_->gcas(off, expect, desired, core::kAllReplicas, false, done);
+      } else {  // deliberately mismatched: model unchanged
+        group_->gcas(off, expect + 1, desired, core::kAllReplicas, false,
+                     done);
+      }
+    } else if (op < 9) {  // gmemcpy between random aligned ranges
+      const std::uint32_t size =
+          static_cast<std::uint32_t>(8 + rng.next_below(1024));
+      const std::uint64_t src = rng.next_below(kRegion - size) & ~7ull;
+      const std::uint64_t dst = rng.next_below(kRegion - size) & ~7ull;
+      std::memmove(model.data() + dst, model.data() + src, size);
+      group_->gmemcpy(src, dst, size, rng.next_bool(0.5), done);
+    } else {  // explicit barrier
+      group_->gflush(done);
+    }
+  };
+  issue(0);
+  ASSERT_TRUE(run_until([&] { return completed == kOps; }, 30'000_ms));
+  ASSERT_FALSE(failed);
+
+  // Final durability barrier, then every replica must match the model.
+  bool flushed = false;
+  group_->gflush([&](Status s, const auto&) {
+    ASSERT_TRUE(s.is_ok());
+    flushed = true;
+  });
+  ASSERT_TRUE(run_until([&] { return flushed; }));
+
+  // Client's own copy matches the model too.
+  std::vector<std::byte> copy(kRegion);
+  group_->region_read(0, copy.data(), kRegion);
+  EXPECT_EQ(fnv1a_64(copy.data(), kRegion), fnv1a_64(model.data(), kRegion))
+      << "client copy diverged from the model";
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    group_->replica_read(r, 0, copy.data(), kRegion);
+    EXPECT_EQ(fnv1a_64(copy.data(), kRegion), fnv1a_64(model.data(), kRegion))
+        << "replica " << r << " diverged (seed " << GetParam().seed << ")";
+  }
+}
+
+TEST_P(PropertyTest, RandomTransactionsAtomicAndDurableThroughPowerFailure) {
+  constexpr std::size_t kReplicas = 2;
+  storage::RegionLayout layout;
+  layout.wal_capacity = 64 * 1024;
+  layout.db_size = 128 * 1024;
+  ASSERT_LE(layout.region_size(), kRegion);
+  build(kReplicas);
+  Rng rng(GetParam().seed ^ 0xABCD);
+
+  storage::ReplicatedLog log(*group_, layout);
+  storage::GroupLockManager locks(*group_, cluster_->sim(), layout, 3);
+  storage::TransactionCoordinator txc(*group_, log, locks);
+  bool ready = false;
+  log.initialize([&](Status s) { ready = s.is_ok(); });
+  ASSERT_TRUE(run_until([&] { return ready; }));
+
+  // Shadow: 64 cells x 128 bytes.
+  std::vector<std::vector<std::byte>> shadow(64);
+  constexpr int kTxns = 40;
+  for (int t = 0; t < kTxns; ++t) {
+    auto txn = txc.begin();
+    const int writes = 1 + static_cast<int>(rng.next_below(4));
+    for (int w = 0; w < writes; ++w) {
+      const std::uint64_t cell = rng.next_below(64);
+      std::vector<std::byte> val(16 + rng.next_below(100));
+      for (auto& b : val) b = static_cast<std::byte>(rng.next_below(256));
+      shadow[cell] = val;
+      txn.put(cell * 128, val.data(), val.size());
+    }
+    bool done = false;
+    Status status;
+    txc.commit(std::move(txn), [&](Status s) {
+      status = s;
+      done = true;
+    });
+    ASSERT_TRUE(run_until([&] { return done; }));
+    ASSERT_TRUE(status.is_ok()) << "txn " << t << ": " << status;
+
+    // Occasionally power-fail a random replica right after commit.
+    if (rng.next_bool(0.2)) {
+      cluster_->node(1 + rng.next_below(kReplicas)).nic().power_fail();
+    }
+  }
+
+  for (std::size_t cell = 0; cell < 64; ++cell) {
+    if (shadow[cell].empty()) continue;
+    std::vector<std::byte> got(shadow[cell].size());
+    for (std::size_t r = 0; r < kReplicas; ++r) {
+      txc.db_read_replica(r, cell * 128, got.data(), got.size());
+      EXPECT_EQ(got, shadow[cell])
+          << "cell " << cell << " replica " << r << " seed "
+          << GetParam().seed;
+    }
+  }
+}
+
+TEST_P(PropertyTest, MiniRocksMatchesStdMap) {
+  build(2);
+  storage::RegionLayout layout;
+  layout.wal_capacity = 64 * 1024;
+  layout.db_size = 128 * 1024;
+  storage::ReplicatedLog log(*group_, layout);
+  storage::GroupLockManager locks(*group_, cluster_->sim(), layout, 4);
+  kvstore::MiniRocksOptions opts;
+  opts.slot_bytes = 512;
+  storage::TransactionCoordinator txc(
+      *group_, log, locks, kvstore::MiniRocks::make_txn_options(opts));
+  kvstore::MiniRocks db(*group_, txc, opts);
+  bool ready = false;
+  log.initialize([&](Status s) { ready = s.is_ok(); });
+  ASSERT_TRUE(run_until([&] { return ready; }));
+
+  Rng rng(GetParam().seed ^ 0x5EED);
+  std::map<std::string, std::string> model;
+  constexpr int kOps = 150;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(40));
+    bool done = false;
+    if (rng.next_bool(0.7) || model.find(key) == model.end()) {
+      std::string value = "v" + std::to_string(rng.next_u64() % 100000);
+      model[key] = value;
+      db.put(key, value, [&](Status s) {
+        ASSERT_TRUE(s.is_ok());
+        done = true;
+      });
+    } else {
+      model.erase(key);
+      db.erase(key, [&](Status s) {
+        ASSERT_TRUE(s.is_ok());
+        done = true;
+      });
+    }
+    ASSERT_TRUE(run_until([&] { return done; }));
+  }
+
+  // Memtable == model (and scans agree).
+  EXPECT_EQ(db.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(db.get(k).has_value()) << k;
+    EXPECT_EQ(*db.get(k), v);
+  }
+  const auto scanned = db.scan("", model.size() + 10);
+  ASSERT_EQ(scanned.size(), model.size());
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), model.begin(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }));
+
+  // After a full flush, every replica serves exactly the model.
+  bool flushed = false;
+  db.flush_wal([&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    flushed = true;
+  });
+  ASSERT_TRUE(run_until([&] { return flushed; }));
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_TRUE(db.get_from_replica(1, k, &got).is_ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, PropertyTest,
+    ::testing::Values(Param{Dp::kChain, 1}, Param{Dp::kChain, 2},
+                      Param{Dp::kChain, 3}, Param{Dp::kNaive, 1},
+                      Param{Dp::kNaive, 2}, Param{Dp::kFanout, 1},
+                      Param{Dp::kFanout, 2}),
+    [](const auto& info) {
+      const char* name = info.param.dp == Dp::kChain    ? "Chain"
+                         : info.param.dp == Dp::kNaive ? "Naive"
+                                                        : "Fanout";
+      return std::string(name) + "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace hyperloop

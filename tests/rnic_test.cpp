@@ -1,0 +1,567 @@
+// Unit tests of the verbs-layer substrate: queue pairs, completion
+// semantics, permission checks, tenant isolation, RNR handling, the WAIT
+// (CORE-Direct) trigger, the volatile cache + flush semantics, atomics, and
+// wire-ordering guarantees.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "rnic/nic.hpp"
+
+namespace hyperloop::rnic {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+class RnicTest : public ::testing::Test {
+ protected:
+  static constexpr mem::TenantToken kTenant = 5;
+
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    a_ = &cluster_->add_node();
+    b_ = &cluster_->add_node();
+  }
+
+  struct Endpoint {
+    QueuePair* qp;
+    CompletionQueue* send_cq;
+    CompletionQueue* recv_cq;
+    std::uint64_t buf_addr;
+    mem::MemoryRegion mr;
+  };
+
+  /// Create a connected QP pair with a registered 64KB buffer on each side.
+  std::pair<Endpoint, Endpoint> make_pair(
+      std::uint32_t access = mem::kLocalRead | mem::kLocalWrite |
+                             mem::kRemoteRead | mem::kRemoteWrite |
+                             mem::kRemoteAtomic,
+      mem::TenantToken tenant_b = kTenant) {
+    auto make = [&](Node& node, std::uint32_t acc, mem::TenantToken tenant) {
+      Endpoint e;
+      e.send_cq = node.nic().create_cq();
+      e.recv_cq = node.nic().create_cq();
+      e.qp = node.nic().create_qp(e.send_cq, e.recv_cq, 64, kTenant);
+      e.buf_addr = node.memory().alloc(64 * 1024, 64);
+      e.mr = node.memory().register_region(e.buf_addr, 64 * 1024, acc, tenant);
+      return e;
+    };
+    Endpoint ea = make(*a_, access, kTenant);
+    Endpoint eb = make(*b_, access, tenant_b);
+    a_->nic().connect(ea.qp, b_->id(), eb.qp->id());
+    b_->nic().connect(eb.qp, a_->id(), ea.qp->id());
+    return {ea, eb};
+  }
+
+  void run(Duration d) { cluster_->sim().run_until(cluster_->sim().now() + d); }
+
+  /// Run until a completion shows up on `cq` (or the budget expires).
+  std::optional<Completion> await(CompletionQueue& cq, Duration budget = 50_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (cluster_->sim().now() < deadline) {
+      if (auto wc = cq.poll()) return wc;
+      cluster_->sim().run_until(cluster_->sim().now() + 1_us);
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  Node* a_ = nullptr;
+  Node* b_ = nullptr;
+};
+
+TEST_F(RnicTest, WriteDeliversAndAcks) {
+  auto [ea, eb] = make_pair();
+  const std::string data = "rdma write payload";
+  a_->memory().write(ea.buf_addr, data.data(), data.size());
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOk);
+  EXPECT_EQ(wc->opcode, WcOpcode::kWrite);
+
+  // The ack raced the lazy drain: data is visible to the NIC immediately...
+  std::string nic_view(data.size(), '\0');
+  b_->nic().cache().read_through(eb.buf_addr, nic_view.data(), data.size());
+  EXPECT_EQ(nic_view, data);
+  // ...and reaches NVM after the drain delay.
+  run(50_us);
+  std::string got(data.size(), '\0');
+  b_->memory().read(eb.buf_addr, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, WriteAckIsNotDurableButFlushFlagIs) {
+  auto [ea, eb] = make_pair();
+  const std::string data = "must survive power loss";
+  a_->memory().write(ea.buf_addr, data.data(), data.size());
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+
+  b_->nic().power_fail();  // immediately after the ack
+  std::string got(data.size(), '\0');
+  b_->memory().read(eb.buf_addr, got.data(), got.size());
+  EXPECT_NE(got, data) << "plain WRITE ack must not imply durability";
+
+  // With the flush flag the ack means durable.
+  wr.flags = kSignaled | kFlush;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+  b_->nic().power_fail();
+  b_->memory().read(eb.buf_addr, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, ZeroByteReadFlushesTargetCache) {
+  auto [ea, eb] = make_pair();
+  const std::string data = "flush me";
+  a_->memory().write(ea.buf_addr, data.data(), data.size());
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.flags = 0;  // unsignaled
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  SendWr flush;  // gFLUSH: 0-byte READ
+  flush.opcode = Opcode::kRead;
+  flush.local_len = 0;
+  ASSERT_TRUE(ea.qp->post_send(flush).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->opcode, WcOpcode::kRead);
+
+  EXPECT_EQ(b_->nic().cache().dirty_bytes(), 0u);
+  b_->nic().power_fail();
+  std::string got(data.size(), '\0');
+  b_->memory().read(eb.buf_addr, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, ReadReturnsRemoteData) {
+  auto [ea, eb] = make_pair();
+  const std::string data = "read me back";
+  b_->memory().write(eb.buf_addr, data.data(), data.size());
+
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.local_addr = ea.buf_addr + 1024;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+
+  std::string got(data.size(), '\0');
+  a_->memory().read(ea.buf_addr + 1024, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, SendScattersAcrossSgeList) {
+  auto [ea, eb] = make_pair();
+  const std::string payload = "0123456789ABCDEF";
+  a_->memory().write(ea.buf_addr, payload.data(), payload.size());
+
+  RecvWr recv;
+  recv.wr_id = 77;
+  recv.sges.push_back({eb.buf_addr + 0, 4, eb.mr.lkey});
+  recv.sges.push_back({eb.buf_addr + 100, 4, eb.mr.lkey});
+  recv.sges.push_back({eb.buf_addr + 200, 8, eb.mr.lkey});
+  ASSERT_TRUE(eb.qp->post_recv(std::move(recv)).is_ok());
+
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(payload.size());
+  wr.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  auto rwc = await(*eb.recv_cq);
+  ASSERT_TRUE(rwc.has_value());
+  EXPECT_EQ(rwc->wr_id, 77u);
+  EXPECT_EQ(rwc->byte_len, payload.size());
+
+  char buf[8];
+  b_->nic().cache().read_through(eb.buf_addr, buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "0123");
+  b_->nic().cache().read_through(eb.buf_addr + 100, buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "4567");
+  b_->nic().cache().read_through(eb.buf_addr + 200, buf, 8);
+  EXPECT_EQ(std::string(buf, 8), "89ABCDEF");
+}
+
+TEST_F(RnicTest, SendWithoutRecvRetriesThenSucceeds) {
+  auto [ea, eb] = make_pair();
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  run(50_us);  // RNR NAK received, retry pending
+  EXPECT_EQ(ea.send_cq->depth(), 0u);
+
+  RecvWr recv;
+  recv.sges.push_back({eb.buf_addr, 8, eb.mr.lkey});
+  ASSERT_TRUE(eb.qp->post_recv(std::move(recv)).is_ok());
+  auto wc = await(*ea.send_cq, 2_ms);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOk);
+}
+
+TEST_F(RnicTest, SendFailsAfterRnrRetriesExhaust) {
+  // Default rnr_retry_limit==7 retries forever (IB encoding); rebuild the
+  // nodes with a bounded limit to exercise the failure path.
+  cluster_ = std::make_unique<Cluster>();
+  NodeConfig cfg;
+  cfg.nic.rnr_retry_limit = 3;
+  a_ = &cluster_->add_node(cfg);
+  b_ = &cluster_->add_node(cfg);
+  auto [ea, eb] = make_pair();
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  auto wc = await(*ea.send_cq, 2'000_ms);  // 3 retries x 100us + slack
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kRetryLater);
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError);
+}
+
+TEST_F(RnicTest, BadRkeyNaksAndCountsProtectionError) {
+  auto [ea, eb] = make_pair();
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = 0xDEAD;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kPermissionDenied);
+  EXPECT_EQ(b_->nic().protection_errors(), 1u);
+}
+
+TEST_F(RnicTest, TenantTokenMismatchIsDenied) {
+  // Register B's buffer under a different tenant than the QPs run as.
+  auto [ea, eb] = make_pair(mem::kRemoteWrite | mem::kLocalRead,
+                            /*tenant_b=*/kTenant + 1);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;  // valid key, wrong tenant
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kPermissionDenied);
+}
+
+TEST_F(RnicTest, OutOfBoundsRemoteAccessDenied) {
+  auto [ea, eb] = make_pair();
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 4096;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr + 64 * 1024 - 100;  // spills past the region
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOutOfRange);
+}
+
+TEST_F(RnicTest, CompareSwapAtomicity) {
+  auto [ea, eb] = make_pair();
+  b_->memory().write_u64(eb.buf_addr, 10);
+
+  SendWr cas;
+  cas.opcode = Opcode::kCompareSwap;
+  cas.local_addr = ea.buf_addr;  // old-value deposit
+  cas.local_len = 8;
+  cas.lkey = ea.mr.lkey;
+  cas.remote_addr = eb.buf_addr;
+  cas.rkey = eb.mr.rkey;
+  cas.compare = 10;
+  cas.swap = 20;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->atomic_old_value, 10u);
+  EXPECT_EQ(b_->memory().read_u64(eb.buf_addr), 20u);
+  EXPECT_EQ(a_->memory().read_u64(ea.buf_addr), 10u) << "old value deposited";
+
+  // Mismatch leaves the word alone and reports the observed value.
+  cas.compare = 999;
+  cas.swap = 30;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+  wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->atomic_old_value, 20u);
+  EXPECT_EQ(b_->memory().read_u64(eb.buf_addr), 20u);
+}
+
+TEST_F(RnicTest, CasSeesCachedWrites) {
+  // A CAS right after a WRITE to the same word must observe the write even
+  // though it still sits in the volatile cache.
+  auto [ea, eb] = make_pair();
+  a_->memory().write_u64(ea.buf_addr, 42);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.flags = 0;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  SendWr cas;
+  cas.opcode = Opcode::kCompareSwap;
+  cas.local_addr = ea.buf_addr + 8;
+  cas.local_len = 8;
+  cas.lkey = ea.mr.lkey;
+  cas.remote_addr = eb.buf_addr;
+  cas.rkey = eb.mr.rkey;
+  cas.compare = 42;
+  cas.swap = 43;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->atomic_old_value, 42u);
+  EXPECT_EQ(b_->memory().read_u64(eb.buf_addr), 43u);
+}
+
+TEST_F(RnicTest, WaitTriggersPrepostedDeferredWqes) {
+  // The CORE-Direct pattern: QP1 posts RECV; QP2 pre-posts WAIT + deferred
+  // WRITE. When QP1's recv completes, the WRITE fires with no CPU call.
+  auto [ea, eb] = make_pair();
+
+  RecvWr recv;
+  recv.sges.push_back({eb.buf_addr + 512, 16, eb.mr.lkey});
+  ASSERT_TRUE(eb.qp->post_recv(std::move(recv)).is_ok());
+
+  // Pre-post on B's QP: WAIT on its recv CQ, then a deferred WRITE back to A.
+  const std::string response = "triggered";
+  b_->memory().write(eb.buf_addr + 1024, response.data(), response.size());
+  SendWr wait;
+  wait.opcode = Opcode::kWait;
+  wait.flags = 0;
+  wait.wait_cq = eb.recv_cq->id();
+  wait.wait_count = 1;
+  wait.enable_count = 1;
+  ASSERT_TRUE(eb.qp->post_send(wait).is_ok());
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.deferred_ownership = true;
+  wr.local_addr = eb.buf_addr + 1024;
+  wr.local_len = static_cast<std::uint32_t>(response.size());
+  wr.lkey = eb.mr.lkey;
+  wr.remote_addr = ea.buf_addr + 2048;
+  wr.rkey = ea.mr.rkey;
+  ASSERT_TRUE(eb.qp->post_send(wr).is_ok());
+
+  run(20_us);
+  // Nothing happened yet: the WRITE is deferred behind the WAIT.
+  char probe[10] = {};
+  a_->memory().read(ea.buf_addr + 2048, probe, 9);
+  EXPECT_NE(std::string(probe, 9), response);
+
+  // Client sends -> recv completes -> WAIT fires -> WRITE executes.
+  SendWr send;
+  send.opcode = Opcode::kSend;
+  send.local_addr = ea.buf_addr;
+  send.local_len = 16;
+  send.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(send).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+
+  run(100_us);
+  a_->memory().read(ea.buf_addr + 2048, probe, 9);
+  EXPECT_EQ(std::string(probe, 9), response);
+}
+
+TEST_F(RnicTest, SmallSendCannotOvertakeLargeWrite) {
+  // Regression: a 64KB WRITE followed by a small SEND on the same QP must
+  // arrive in order, or HyperLoop chains would forward stale data.
+  auto [ea, eb] = make_pair();
+  std::vector<char> big(48 * 1024, 'Z');
+  a_->memory().write(ea.buf_addr, big.data(), big.size());
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.flags = 0;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(big.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  RecvWr recv;
+  recv.sges.push_back({eb.buf_addr + 60'000, 8, eb.mr.lkey});
+  ASSERT_TRUE(eb.qp->post_recv(std::move(recv)).is_ok());
+  SendWr send;
+  send.opcode = Opcode::kSend;
+  send.local_addr = ea.buf_addr;
+  send.local_len = 8;
+  send.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(send).is_ok());
+
+  auto rwc = await(*eb.recv_cq);
+  ASSERT_TRUE(rwc.has_value());
+  // At recv-completion time the big write must already be NIC-visible.
+  char last = 0;
+  b_->nic().cache().read_through(eb.buf_addr + big.size() - 1, &last, 1);
+  EXPECT_EQ(last, 'Z');
+}
+
+TEST_F(RnicTest, PipelinedWritesCompleteInOrder) {
+  auto [ea, eb] = make_pair();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = ea.buf_addr;
+    wr.local_len = 64;
+    wr.lkey = ea.mr.lkey;
+    wr.remote_addr = eb.buf_addr + i * 64;
+    wr.rkey = eb.mr.rkey;
+    ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto wc = await(*ea.send_cq);
+    ASSERT_TRUE(wc.has_value());
+    EXPECT_EQ(wc->wr_id, i) << "completion order must match post order";
+  }
+}
+
+TEST_F(RnicTest, PostToFullRingFails) {
+  auto [ea, eb] = make_pair();
+  // Ring is 64 deep; responses can't drain because B is unreachable.
+  cluster_->network().set_node_down(b_->id(), true);
+  int ok = 0;
+  for (int i = 0; i < 80; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = ea.buf_addr;
+    wr.local_len = 8;
+    wr.lkey = ea.mr.lkey;
+    wr.remote_addr = eb.buf_addr;
+    wr.rkey = eb.mr.rkey;
+    if (ea.qp->post_send(wr).is_ok()) {
+      ++ok;
+    } else {
+      break;
+    }
+  }
+  EXPECT_EQ(ok, 64);
+}
+
+TEST_F(RnicTest, DeadPeerTimesOutAndErrorsQp) {
+  auto [ea, eb] = make_pair();
+  cluster_->network().set_node_down(b_->id(), true);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  auto wc = await(*ea.send_cq, 20_ms);  // 1ms timeout x 3 retries
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kUnavailable);
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError);
+}
+
+TEST_F(RnicTest, LoopbackQpDoesLocalCopies) {
+  Endpoint e;
+  e.send_cq = a_->nic().create_cq();
+  e.recv_cq = a_->nic().create_cq();
+  e.qp = a_->nic().create_qp(e.send_cq, e.recv_cq, 8, kTenant);
+  e.buf_addr = a_->memory().alloc(4096, 64);
+  e.mr = a_->memory().register_region(
+      e.buf_addr, 4096,
+      mem::kLocalRead | mem::kLocalWrite | mem::kRemoteWrite, kTenant);
+  a_->nic().connect(e.qp, a_->id(), e.qp->id());
+
+  const std::string data = "local dma";
+  a_->memory().write(e.buf_addr, data.data(), data.size());
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = e.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = e.mr.lkey;
+  wr.remote_addr = e.buf_addr + 1000;
+  wr.rkey = e.mr.rkey;
+  ASSERT_TRUE(e.qp->post_send(wr).is_ok());
+  auto wc = await(*e.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOk);
+  std::string got(data.size(), '\0');
+  a_->nic().cache().read_through(e.buf_addr + 1000, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, CacheCapacityEvictsOldestToMemory) {
+  auto [ea, eb] = make_pair();
+  // Default capacity 256KB; write 5 x 64KB: the first drains under pressure.
+  std::vector<char> chunk(64 * 1024, 'C');
+  a_->memory().write(ea.buf_addr, chunk.data(), chunk.size());
+  for (int i = 0; i < 5; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.flags = 0;
+    wr.local_addr = ea.buf_addr;
+    wr.local_len = static_cast<std::uint32_t>(chunk.size());
+    wr.lkey = ea.mr.lkey;
+    wr.remote_addr = eb.buf_addr;
+    wr.rkey = eb.mr.rkey;
+    ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  }
+  run(5_ms);
+  EXPECT_LE(b_->nic().cache().dirty_bytes(), 256u * 1024);
+  char c = 0;
+  b_->memory().read(eb.buf_addr, &c, 1);
+  EXPECT_EQ(c, 'C');
+}
+
+}  // namespace
+}  // namespace hyperloop::rnic

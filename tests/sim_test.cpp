@@ -1,0 +1,134 @@
+// Unit tests for the discrete-event engine: ordering, FIFO ties,
+// cancellation, run_until boundaries, nested scheduling, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hyperloop::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  Time inner_fired = 0;
+  sim.schedule(5, [&] {
+    sim.schedule(7, [&] { inner_fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fired, 12u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id)) << "double cancel reports false";
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelDefaultHandleIsNoop) {
+  Simulator sim;
+  EventId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<Time> fired;
+  for (Time t = 10; t <= 100; t += 10) {
+    sim.schedule(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(50);
+  EXPECT_EQ(fired.size(), 5u) << "events at exactly the deadline still fire";
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(1'000);
+  EXPECT_EQ(sim.now(), 1'000u);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(static_cast<Duration>(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  sim.run();  // resumes with the rest
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, SchedulingInPastIsRejected) {
+  Simulator sim;
+  sim.schedule(100, [&] {
+    EXPECT_THROW(sim.schedule_at(50, [] {}), SetupError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, PendingEventsTracksCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, HeavyInterleavingIsDeterministic) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<std::uint64_t> trace;
+    std::function<void(int)> chain = [&](int depth) {
+      trace.push_back(sim.now());
+      if (depth == 0) return;
+      sim.schedule(static_cast<Duration>(depth * 3), [&, depth] {
+        chain(depth - 1);
+      });
+      sim.schedule(static_cast<Duration>(depth), [&, depth] {
+        trace.push_back(sim.now() + 1'000'000ull * static_cast<unsigned>(depth));
+      });
+    };
+    chain(20);
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hyperloop::sim

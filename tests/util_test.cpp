@@ -1,0 +1,227 @@
+// Unit + property tests for the utility layer: RNG determinism and
+// distribution moments, zipfian skew, histogram percentile accuracy, and
+// formatting helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace hyperloop {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NextInCoversBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.next_in(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(100.0);
+  EXPECT_NEAR(sum / kN, 100.0, 2.0);
+}
+
+TEST(Rng, BoundedParetoStaysBoundedAndSkewed) {
+  Rng rng(13);
+  double min_seen = 1e18, max_seen = 0, sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_pareto(10.0, 10'000.0, 1.3);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+    sum += v;
+  }
+  EXPECT_GE(min_seen, 10.0);
+  EXPECT_LE(max_seen, 10'000.0);
+  const double mean = sum / kN;
+  EXPECT_GT(mean, 20.0);   // heavier than uniform near the floor
+  EXPECT_LT(mean, 200.0);  // but far below the cap
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Zipfian, RankZeroIsHottest) {
+  Rng rng(23);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.next(rng)];
+  // Rank 0 must dominate and frequency must decay with rank.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[200]);
+  // YCSB theta=0.99 over 1000 keys: the hottest key draws several percent.
+  EXPECT_GT(counts[0], 2'000);
+}
+
+TEST(Zipfian, ScrambledSpreadsHotKeys) {
+  Rng rng(29);
+  ZipfianGenerator zipf(1'000'000, 0.99);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    max_seen = std::max(max_seen, zipf.next_scrambled(rng));
+  }
+  // Scrambling must reach far into the keyspace, not cluster near 0.
+  EXPECT_GT(max_seen, 500'000u);
+}
+
+TEST(Zipfian, SingleElementDomain) {
+  Rng rng(31);
+  ZipfianGenerator zipf(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (Duration v = 1; v <= 50; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 50u);
+  EXPECT_NEAR(h.mean(), 25.5, 1e-9);
+  EXPECT_EQ(h.p(0.5), 25u);
+  EXPECT_EQ(h.p(1.0), 50u);
+}
+
+TEST(Histogram, PercentileAccuracyAcrossDecades) {
+  // Property: for a uniform sweep over a wide range, every reported
+  // percentile must be within the bucket relative error (~2^-5 here).
+  LatencyHistogram h;
+  std::vector<Duration> values;
+  Rng rng(37);
+  for (int i = 0; i < 200'000; ++i) {
+    // log-uniform over [100ns, 100ms]
+    const double lg = 2.0 + 6.0 * rng.next_double();
+    values.push_back(static_cast<Duration>(std::pow(10.0, lg)));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const Duration exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const Duration approx = h.p(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "quantile " << q;
+  }
+}
+
+TEST(Histogram, MeanBelowMedianImpossible) {
+  // Regression for the bucket-reconstruction bug: with heavy mass at one
+  // value, p50 must sit near that value, not at twice it.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(60'000);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 60'000.0, 2'000.0);
+  EXPECT_NEAR(h.mean(), 60'000.0, 1.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+  EXPECT_EQ(a.p(0.25), 10u);
+  EXPECT_NEAR(static_cast<double>(a.p(0.9)), 1e6, 5e4);
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(500);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+TEST(FormatDuration, PicksAdaptiveUnits) {
+  EXPECT_EQ(format_duration(873), "873ns");
+  EXPECT_EQ(format_duration(12'400), "12.4us");
+  EXPECT_EQ(format_duration(3'100'000), "3.10ms");
+  EXPECT_EQ(format_duration(2'000'000'000ull), "2.00s");
+}
+
+TEST(Status, CodesAndMessages) {
+  const Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  const Status err(StatusCode::kPermissionDenied, "bad rkey");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.to_string(), "PERMISSION_DENIED: bad rkey");
+  EXPECT_EQ(status_code_name(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(Status, CheckThrowsSetupError) {
+  EXPECT_THROW(HL_CHECK_MSG(false, "boom"), SetupError);
+}
+
+TEST(Fnv1a, StableAndSensitive) {
+  EXPECT_EQ(fnv1a_64(std::uint64_t{1}), fnv1a_64(std::uint64_t{1}));
+  EXPECT_NE(fnv1a_64(std::uint64_t{1}), fnv1a_64(std::uint64_t{2}));
+  const char a[] = "abc", b[] = "abd";
+  EXPECT_NE(fnv1a_64(a, 3), fnv1a_64(b, 3));
+}
+
+}  // namespace
+}  // namespace hyperloop
