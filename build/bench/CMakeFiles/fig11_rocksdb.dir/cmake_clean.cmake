@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rocksdb.dir/fig11_rocksdb.cpp.o"
+  "CMakeFiles/fig11_rocksdb.dir/fig11_rocksdb.cpp.o.d"
+  "fig11_rocksdb"
+  "fig11_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mongodb_ycsb.dir/fig12_mongodb_ycsb.cpp.o"
+  "CMakeFiles/fig12_mongodb_ycsb.dir/fig12_mongodb_ycsb.cpp.o.d"
+  "fig12_mongodb_ycsb"
+  "fig12_mongodb_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mongodb_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

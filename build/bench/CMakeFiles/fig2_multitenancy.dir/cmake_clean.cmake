@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_multitenancy.dir/fig2_multitenancy.cpp.o"
+  "CMakeFiles/fig2_multitenancy.dir/fig2_multitenancy.cpp.o.d"
+  "fig2_multitenancy"
+  "fig2_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_cpu.dir/fig9_throughput_cpu.cpp.o"
+  "CMakeFiles/fig9_throughput_cpu.dir/fig9_throughput_cpu.cpp.o.d"
+  "fig9_throughput_cpu"
+  "fig9_throughput_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_substrate.dir/microbench_substrate.cpp.o"
+  "CMakeFiles/microbench_substrate.dir/microbench_substrate.cpp.o.d"
+  "microbench_substrate"
+  "microbench_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

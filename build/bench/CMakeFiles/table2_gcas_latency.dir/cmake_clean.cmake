@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gcas_latency.dir/table2_gcas_latency.cpp.o"
+  "CMakeFiles/table2_gcas_latency.dir/table2_gcas_latency.cpp.o.d"
+  "table2_gcas_latency"
+  "table2_gcas_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gcas_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

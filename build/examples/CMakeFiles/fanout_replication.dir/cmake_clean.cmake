@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_replication.dir/fanout_replication.cpp.o"
+  "CMakeFiles/fanout_replication.dir/fanout_replication.cpp.o.d"
+  "fanout_replication"
+  "fanout_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

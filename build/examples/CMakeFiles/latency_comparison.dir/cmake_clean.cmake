@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_comparison.dir/latency_comparison.cpp.o"
+  "CMakeFiles/latency_comparison.dir/latency_comparison.cpp.o.d"
+  "latency_comparison"
+  "latency_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

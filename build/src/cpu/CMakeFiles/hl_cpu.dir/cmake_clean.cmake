@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_cpu.dir/scheduler.cpp.o"
+  "CMakeFiles/hl_cpu.dir/scheduler.cpp.o.d"
+  "libhl_cpu.a"
+  "libhl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

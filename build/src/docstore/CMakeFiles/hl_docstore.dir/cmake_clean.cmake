@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_docstore.dir/minimongo.cpp.o"
+  "CMakeFiles/hl_docstore.dir/minimongo.cpp.o.d"
+  "libhl_docstore.a"
+  "libhl_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_core.dir/fanout_group.cpp.o"
+  "CMakeFiles/hl_core.dir/fanout_group.cpp.o.d"
+  "CMakeFiles/hl_core.dir/group.cpp.o"
+  "CMakeFiles/hl_core.dir/group.cpp.o.d"
+  "CMakeFiles/hl_core.dir/naive_group.cpp.o"
+  "CMakeFiles/hl_core.dir/naive_group.cpp.o.d"
+  "libhl_core.a"
+  "libhl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/minicache.cpp" "src/kvstore/CMakeFiles/hl_kvstore.dir/minicache.cpp.o" "gcc" "src/kvstore/CMakeFiles/hl_kvstore.dir/minicache.cpp.o.d"
+  "/root/repo/src/kvstore/minirocks.cpp" "src/kvstore/CMakeFiles/hl_kvstore.dir/minirocks.cpp.o" "gcc" "src/kvstore/CMakeFiles/hl_kvstore.dir/minirocks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/hl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperloop/CMakeFiles/hl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/hl_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_kvstore.dir/minicache.cpp.o"
+  "CMakeFiles/hl_kvstore.dir/minicache.cpp.o.d"
+  "CMakeFiles/hl_kvstore.dir/minirocks.cpp.o"
+  "CMakeFiles/hl_kvstore.dir/minirocks.cpp.o.d"
+  "libhl_kvstore.a"
+  "libhl_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_mem.dir/host_memory.cpp.o"
+  "CMakeFiles/hl_mem.dir/host_memory.cpp.o.d"
+  "libhl_mem.a"
+  "libhl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

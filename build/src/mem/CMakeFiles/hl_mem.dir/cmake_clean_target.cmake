@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhl_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_replication.dir/chain.cpp.o"
+  "CMakeFiles/hl_replication.dir/chain.cpp.o.d"
+  "libhl_replication.a"
+  "libhl_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_rnic.dir/network.cpp.o"
+  "CMakeFiles/hl_rnic.dir/network.cpp.o.d"
+  "CMakeFiles/hl_rnic.dir/nic.cpp.o"
+  "CMakeFiles/hl_rnic.dir/nic.cpp.o.d"
+  "CMakeFiles/hl_rnic.dir/nic_cache.cpp.o"
+  "CMakeFiles/hl_rnic.dir/nic_cache.cpp.o.d"
+  "libhl_rnic.a"
+  "libhl_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

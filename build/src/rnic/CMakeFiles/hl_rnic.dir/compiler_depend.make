@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hl_rnic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_storage.dir/lock.cpp.o"
+  "CMakeFiles/hl_storage.dir/lock.cpp.o.d"
+  "CMakeFiles/hl_storage.dir/log.cpp.o"
+  "CMakeFiles/hl_storage.dir/log.cpp.o.d"
+  "CMakeFiles/hl_storage.dir/slot_table.cpp.o"
+  "CMakeFiles/hl_storage.dir/slot_table.cpp.o.d"
+  "CMakeFiles/hl_storage.dir/transaction.cpp.o"
+  "CMakeFiles/hl_storage.dir/transaction.cpp.o.d"
+  "libhl_storage.a"
+  "libhl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_util.dir/histogram.cpp.o"
+  "CMakeFiles/hl_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hl_util.dir/rng.cpp.o"
+  "CMakeFiles/hl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hl_util.dir/status.cpp.o"
+  "CMakeFiles/hl_util.dir/status.cpp.o.d"
+  "libhl_util.a"
+  "libhl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

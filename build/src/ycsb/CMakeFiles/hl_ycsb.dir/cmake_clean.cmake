@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_ycsb.dir/workload.cpp.o"
+  "CMakeFiles/hl_ycsb.dir/workload.cpp.o.d"
+  "libhl_ycsb.a"
+  "libhl_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_recovery_test.dir/doc_recovery_test.cpp.o"
+  "CMakeFiles/doc_recovery_test.dir/doc_recovery_test.cpp.o.d"
+  "doc_recovery_test"
+  "doc_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_recovery_test.dir/kv_recovery_test.cpp.o"
+  "CMakeFiles/kv_recovery_test.dir/kv_recovery_test.cpp.o.d"
+  "kv_recovery_test"
+  "kv_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicache_test.dir/minicache_test.cpp.o"
+  "CMakeFiles/minicache_test.dir/minicache_test.cpp.o.d"
+  "minicache_test"
+  "minicache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

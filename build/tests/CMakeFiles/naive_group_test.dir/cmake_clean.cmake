@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_group_test.dir/naive_group_test.cpp.o"
+  "CMakeFiles/naive_group_test.dir/naive_group_test.cpp.o.d"
+  "naive_group_test"
+  "naive_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
