@@ -141,24 +141,52 @@ inline LatencyHistogram drive_closed_loop(
     Testbed& tb, int ops,
     const std::function<void(int, std::function<void()>)>& issue,
     Duration budget_per_op = 200_ms) {
-  LatencyHistogram hist;
-  bool finished = false;
-  std::function<void(int)> next = [&](int i) {
-    if (i == ops) {
-      finished = true;
-      return;
+  // Iterative trampoline: completion flips `inflight` and the pump loop
+  // issues the next op, so a chain of synchronous completions costs O(1)
+  // stack instead of one nested frame per op (the old recursive driver
+  // overflowed around ~100k ops). The next op is still issued inside the
+  // completion event — same simulated time, same causal order — so latency
+  // traces are unchanged. One reusable done-callback (a single captured
+  // pointer, so copying it into issue() stays within std::function's small
+  // buffer) replaces the per-op closure allocation.
+  struct Driver {
+    Driver(Testbed& t,
+           const std::function<void(int, std::function<void()>)>& fn, int n)
+        : tb(t), issue(fn), ops(n) {}
+    Testbed& tb;
+    const std::function<void(int, std::function<void()>)>& issue;
+    const int ops;
+    LatencyHistogram hist;
+    std::function<void()> done;
+    int next_op = 0;
+    Time start = 0;
+    bool inflight = false;
+    bool pumping = false;
+    bool finished = false;
+
+    void pump() {
+      pumping = true;
+      while (!inflight && next_op < ops) {
+        inflight = true;
+        start = tb.sim().now();
+        issue(next_op++, done);
+      }
+      pumping = false;
+      finished = !inflight && next_op == ops;
     }
-    const Time start = tb.sim().now();
-    issue(i, [&, start, i] {
+    void complete() {
       hist.record(tb.sim().now() - start);
-      next(i + 1);
-    });
+      inflight = false;
+      if (!pumping) pump();  // else the loop above issues the next op
+    }
   };
-  next(0);
-  tb.run_until([&] { return finished; },
+  Driver d{tb, issue, ops};
+  d.done = [&d] { d.complete(); };
+  d.pump();
+  tb.run_until([&] { return d.finished; },
                static_cast<Duration>(ops) * budget_per_op);
-  HL_CHECK_MSG(finished, "benchmark drive did not finish in budget");
-  return hist;
+  HL_CHECK_MSG(d.finished, "benchmark drive did not finish in budget");
+  return d.hist;
 }
 
 // --- Report formatting -------------------------------------------------------

@@ -9,23 +9,34 @@ namespace hyperloop::rnic {
 Network::Network(sim::Simulator& sim, LinkParams params)
     : sim_(sim), params_(params) {}
 
+void Network::ensure_capacity(NicId id) {
+  if (id >= nics_.size()) {
+    nics_.resize(id + 1, nullptr);
+    down_.resize(id + 1, 0);
+    tx_port_free_at_.resize(id + 1, 0);
+  }
+}
+
 void Network::attach(Nic* nic) {
-  HL_CHECK_MSG(nics_.find(nic->id()) == nics_.end(), "duplicate NIC id");
+  ensure_capacity(nic->id());
+  HL_CHECK_MSG(nics_[nic->id()] == nullptr, "duplicate NIC id");
   nics_[nic->id()] = nic;
 }
 
 bool Network::is_down(NicId id) const {
-  auto it = down_.find(id);
-  return it != down_.end() && it->second;
+  return id < down_.size() && down_[id] != 0;
 }
 
-void Network::set_node_down(NicId id, bool down) { down_[id] = down; }
+void Network::set_node_down(NicId id, bool down) {
+  ensure_capacity(id);
+  down_[id] = down ? 1 : 0;
+}
 
 void Network::send(Message msg) {
   if (is_down(msg.src) || is_down(msg.dst)) return;  // timeouts notice
-  auto it = nics_.find(msg.dst);
-  HL_CHECK_MSG(it != nics_.end(), "message to unknown NIC");
-  Nic* dst = it->second;
+  HL_CHECK_MSG(msg.dst < nics_.size() && nics_[msg.dst] != nullptr,
+               "message to unknown NIC");
+  Nic* dst = nics_[msg.dst];
 
   const std::uint64_t wire_bytes = params_.header_bytes + msg.payload.size();
   ++messages_sent_;

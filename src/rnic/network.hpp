@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/status.hpp"
+#include "rnic/payload_buffer.hpp"
 #include "rnic/verbs.hpp"
 
 namespace hyperloop::rnic {
@@ -45,7 +45,9 @@ struct Message {
   QpId src_qp = 0;
   QpId dst_qp = 0;
   std::uint64_t seq = 0;  // sender WQE sequence, echoed in the response
-  std::vector<std::byte> payload;
+  // Pooled + ref-counted: copying a Message (e.g. stashing a response in a
+  // Pending entry) shares the payload instead of duplicating the bytes.
+  PayloadBuffer payload;
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
   std::uint32_t len = 0;
@@ -82,11 +84,16 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
+  void ensure_capacity(NicId id);
+
   sim::Simulator& sim_;
   LinkParams params_;
-  std::map<NicId, Nic*> nics_;
-  std::map<NicId, bool> down_;
-  std::map<NicId, Time> tx_port_free_at_;
+  // Dense, NicId-indexed: the fabric is on every message's path and node ids
+  // are small and contiguous (Cluster hands them out sequentially), so these
+  // are flat vectors rather than tree maps.
+  std::vector<Nic*> nics_;              // nullptr = id not attached
+  std::vector<std::uint8_t> down_;
+  std::vector<Time> tx_port_free_at_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };

@@ -4,6 +4,15 @@
 
 namespace hyperloop::rnic {
 
+// The hottest events in the whole simulation are the fabric-delivery and
+// transmit lambdas below, which capture `this` plus a Message by value. They
+// must stay within the scheduler's inline-callback buffer or every message
+// hop pays a heap allocation again.
+static_assert(sizeof(Message) + 2 * sizeof(void*) <=
+                  sim::InlineTask::kInlineCapacity,
+              "Message outgrew the scheduler's inline-callback buffer; bump "
+              "sim::InlineTask::kInlineCapacity to match");
+
 // ---------------------------------------------------------------------------
 // CompletionQueue
 // ---------------------------------------------------------------------------

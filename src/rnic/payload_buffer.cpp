@@ -1,0 +1,86 @@
+#include "rnic/payload_buffer.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <new>
+
+namespace hyperloop::rnic {
+namespace {
+
+// Size classes are powers of two from 64 B (smaller requests round up — a
+// block header already costs ~32 B) to 1 MiB. Larger payloads don't occur on
+// the simulated fabric (the biggest producers are 8 KiB figure sweeps and
+// WAL records); if one does, it is allocated exactly and returned to the
+// system on release instead of parking a huge block on a free list.
+constexpr std::uint64_t kMinBlock = 64;
+constexpr int kNumClasses = 15;  // 64 B .. 1 MiB
+
+struct Pool {
+  PayloadBuffer::PoolStats stats;
+  void* free_heads[kNumClasses] = {};
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+int class_for(std::uint64_t n) {
+  const std::uint64_t rounded = std::bit_ceil(n < kMinBlock ? kMinBlock : n);
+  const int cls = std::countr_zero(rounded) - std::countr_zero(kMinBlock);
+  return cls < kNumClasses ? cls : -1;
+}
+
+std::uint64_t class_capacity(int cls) { return kMinBlock << cls; }
+
+}  // namespace
+
+PayloadBuffer::Block* PayloadBuffer::acquire(std::uint64_t n) {
+  Pool& p = pool();
+  const int cls = class_for(n);
+  if (cls >= 0 && p.free_heads[cls] != nullptr) {
+    Block* b = static_cast<Block*>(p.free_heads[cls]);
+    p.free_heads[cls] = b->next_free;
+    b->refs = 1;
+    b->size = n;
+    ++p.stats.reuses;
+    return b;
+  }
+  const std::uint64_t capacity = cls >= 0 ? class_capacity(cls) : n;
+  void* raw = ::operator new(sizeof(Block) + capacity);
+  Block* b = static_cast<Block*>(raw);
+  b->refs = 1;
+  b->size_class = cls;
+  b->capacity = capacity;
+  b->size = n;
+  b->next_free = nullptr;
+  ++p.stats.allocations;
+  return b;
+}
+
+void PayloadBuffer::recycle(Block* b) {
+  if (b->size_class < 0) {
+    ::operator delete(b);
+    return;
+  }
+  Pool& p = pool();
+  b->next_free = static_cast<Block*>(p.free_heads[b->size_class]);
+  p.free_heads[b->size_class] = b;
+}
+
+void PayloadBuffer::resize(std::uint64_t n) {
+  if (n == 0) {
+    release();
+    return;
+  }
+  if (block_ != nullptr && block_->refs == 1 && block_->capacity >= n) {
+    block_->size = n;
+    return;
+  }
+  release();
+  block_ = acquire(n);
+}
+
+PayloadBuffer::PoolStats PayloadBuffer::pool_stats() { return pool().stats; }
+
+}  // namespace hyperloop::rnic

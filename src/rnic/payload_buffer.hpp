@@ -1,0 +1,97 @@
+// Pooled, reference-counted payload storage for fabric messages.
+//
+// A Message used to carry its payload in a fresh std::vector<std::byte>,
+// which meant one allocation per message hop and a full byte copy every time
+// a Message was copied (responses are stored in the sender's Pending entry,
+// so that happened on every acked op). PayloadBuffer fixes both:
+//  * blocks come from a per-process free list keyed by power-of-two size
+//    class, so steady-state traffic allocates nothing;
+//  * copies share the block via a reference count (the simulation is
+//    single-process and single-threaded, so the count is a plain integer).
+//
+// resize() is destructive: it guarantees capacity and sets the size but does
+// not preserve contents (every producer fills the buffer immediately after
+// sizing it). A shared buffer is detached, never resized in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperloop::rnic {
+
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+  ~PayloadBuffer() { release(); }
+
+  PayloadBuffer(const PayloadBuffer& other) : block_(other.block_) {
+    if (block_ != nullptr) ++block_->refs;
+  }
+  PayloadBuffer& operator=(const PayloadBuffer& other) {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      if (block_ != nullptr) ++block_->refs;
+    }
+    return *this;
+  }
+  PayloadBuffer(PayloadBuffer&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Ensure a uniquely-owned block of at least `n` bytes and set size to `n`.
+  /// Contents are NOT preserved. resize(0) drops the block.
+  void resize(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t size() const {
+    return block_ != nullptr ? block_->size : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::byte* data() {
+    return block_ != nullptr ? block_data(block_) : nullptr;
+  }
+  [[nodiscard]] const std::byte* data() const {
+    return block_ != nullptr ? block_data(block_) : nullptr;
+  }
+
+  /// Free-list statistics (for bench reports and pool tests).
+  struct PoolStats {
+    std::uint64_t allocations = 0;  // blocks taken from the system allocator
+    std::uint64_t reuses = 0;       // blocks served from a free list
+  };
+  static PoolStats pool_stats();
+
+ private:
+  struct Block {
+    std::uint32_t refs;
+    std::int32_t size_class;  // free-list index; -1 = unpooled (exact size)
+    std::uint64_t capacity;
+    std::uint64_t size;
+    Block* next_free;
+    // payload bytes follow the header
+  };
+
+  static std::byte* block_data(Block* b) {
+    return reinterpret_cast<std::byte*>(b + 1);
+  }
+  static Block* acquire(std::uint64_t n);
+  static void recycle(Block* b);
+
+  void release() {
+    if (block_ != nullptr && --block_->refs == 0) recycle(block_);
+    block_ = nullptr;
+  }
+
+  Block* block_ = nullptr;
+};
+
+}  // namespace hyperloop::rnic

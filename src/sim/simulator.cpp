@@ -1,42 +1,175 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hyperloop::sim {
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+// --- Slab -------------------------------------------------------------------
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != EventId::kInvalidSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slab_.size());
+  HL_CHECK_MSG(slot != EventId::kInvalidSlot, "event slab exhausted");
+  slab_.emplace_back();
+  return slot;
 }
 
-EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
-  HL_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  HL_CHECK_MSG(static_cast<bool>(fn), "cannot schedule an empty callback");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{when, seq, std::move(fn)});
-  return EventId(seq);
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slab_[slot];
+  s.fn.reset();
+  ++s.gen;  // kills outstanding EventIds and queued entries, O(1)
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
+
+// --- Ladder queue -----------------------------------------------------------
+
+void Simulator::enqueue(const QueueEntry& e) {
+  if (e.when >= sorted_ceiling_) {
+    if (rung_active_ && e.when < rung_end_) {
+      rung_[static_cast<std::size_t>((e.when - rung_base_) / rung_width_)]
+          .push_back(e);
+    } else {
+      staging_.push_back(e);
+    }
+    return;
+  }
+  if (sorted_.empty() && !rung_active_) {
+    // Quiescent engine with a stale ceiling (everything ahead lives in
+    // staging). Tighten the ceiling instead of seeding sorted_, so a burst
+    // of schedules takes the O(1) staging path rather than O(n)
+    // sorted-inserts. Safe: sorted_ is empty and all staged keys are >= the
+    // old ceiling >= e.when.
+    sorted_ceiling_ = e.when;
+    staging_.push_back(e);
+    return;
+  }
+  // Near future: keep sorted_ descending. Short delays land near the back,
+  // so the memmove tail is the handful of events firing sooner than this
+  // one; worst case is bounded by the bucket size, not the queue size.
+  const auto pos = std::lower_bound(
+      sorted_.begin(), sorted_.end(), e,
+      [](const QueueEntry& a, const QueueEntry& b) { return earlier(b, a); });
+  sorted_.insert(pos, e);
+}
+
+/// Spread staging_ across a fresh rung of equal-width time buckets sized so a
+/// bucket batch-sorts ~kTargetBucketEntries entries. Runs once per rung
+/// lifetime; each event is moved exactly once here.
+void Simulator::partition_staging() {
+  Time lo = staging_.front().when;
+  Time hi = lo;
+  for (const QueueEntry& e : staging_) {
+    lo = std::min(lo, e.when);
+    hi = std::max(hi, e.when);
+  }
+  const std::size_t target = std::clamp<std::size_t>(
+      staging_.size() / kTargetBucketEntries, 1, kMaxBuckets);
+  rung_width_ = (hi - lo) / target + 1;
+  rung_base_ = lo;
+  rung_count_ = static_cast<std::size_t>((hi - lo) / rung_width_) + 1;
+  rung_end_ = rung_base_ + static_cast<Time>(rung_count_) * rung_width_;
+  if (rung_.size() < rung_count_) rung_.resize(rung_count_);
+  // Buckets were cleared as they drained, so they keep their capacity
+  // across rung generations.
+  for (const QueueEntry& e : staging_) {
+    rung_[static_cast<std::size_t>((e.when - rung_base_) / rung_width_)]
+        .push_back(e);
+  }
+  staging_.clear();
+  rung_next_ = 0;
+  rung_active_ = true;
+}
+
+/// Make sorted_ non-empty by batch-sorting the next populated rung bucket,
+/// re-partitioning staging_ into a new rung when the current one is spent.
+/// Returns false only when the whole queue is empty.
+bool Simulator::refill_sorted() {
+  while (sorted_.empty()) {
+    if (rung_active_) {
+      while (rung_next_ < rung_count_ && rung_[rung_next_].empty()) {
+        ++rung_next_;
+      }
+      if (rung_next_ == rung_count_) {
+        rung_active_ = false;
+        continue;
+      }
+      std::vector<QueueEntry>& bucket = rung_[rung_next_];
+      ++rung_next_;
+      sorted_ceiling_ =
+          rung_base_ + static_cast<Time>(rung_next_) * rung_width_;
+      sorted_.assign(bucket.begin(), bucket.end());
+      bucket.clear();
+      std::sort(sorted_.begin(), sorted_.end(),
+                [](const QueueEntry& a, const QueueEntry& b) {
+                  return earlier(b, a);
+                });
+      return true;
+    }
+    if (staging_.empty()) return false;
+    partition_staging();
+  }
+  return true;
+}
+
+/// Drop dead (cancelled / slot-recycled) entries off the front of the pop
+/// order. This is the single place cancellation bookkeeping exists; step()
+/// and run_until() both funnel through it.
+bool Simulator::top_live() {
+  for (;;) {
+    if (sorted_.empty() && !refill_sorted()) return false;
+    if (entry_live(sorted_.back())) return true;
+    sorted_.pop_back();
+    --dead_;
+  }
+}
+
+/// Sweep cancelled entries out of every tier. Called only when dead entries
+/// outnumber live ones, so the O(n) sweep amortizes to O(1) per cancel.
+void Simulator::purge_dead() {
+  const auto scrub = [this](std::vector<QueueEntry>& v) {
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [this](const QueueEntry& e) {
+                             return !entry_live(e);
+                           }),
+            v.end());  // remove_if is stable: descending order survives
+  };
+  scrub(sorted_);
+  for (std::size_t i = rung_next_; i < rung_count_; ++i) scrub(rung_[i]);
+  scrub(staging_);
+  dead_ = 0;
+}
+
+// --- Execution ---------------------------------------------------------------
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid()) return false;
-  if (!cancelled_.insert(id.seq_).second) return false;  // double cancel
-  ++cancelled_in_heap_;
+  if (!id.valid() || id.slot_ >= slab_.size()) return false;
+  if (slab_[id.slot_].gen != id.gen_) return false;  // fired or double cancel
+  release_slot(id.slot_);
+  --live_;
+  ++dead_;
+  if (dead_ > 1024 && dead_ > live_) purge_dead();
   return true;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (cancelled_.erase(ev.seq) > 0) {
-      --cancelled_in_heap_;
-      continue;
-    }
-    now_ = ev.when;
-    ++events_executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (!top_live()) return false;
+  const QueueEntry top = sorted_.back();
+  sorted_.pop_back();
+  // Move the callback out and recycle the slot *before* running it, so the
+  // callback can schedule new events (possibly into the same slot) freely.
+  InlineTask fn = std::move(slab_[top.slot].fn);
+  release_slot(top.slot);
+  --live_;
+  now_ = top.when;
+  ++events_executed_;
+  fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -48,26 +181,15 @@ void Simulator::run() {
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
   while (!stopped_) {
-    // Peek for the deadline without executing past it.
-    bool fired = false;
-    while (!heap_.empty()) {
-      const Event& top = heap_.top();
-      if (cancelled_.erase(top.seq) > 0) {
-        --cancelled_in_heap_;
-        heap_.pop();
-        continue;
-      }
-      if (top.when > deadline) {
-        now_ = deadline;
-        return;
-      }
-      fired = step();
-      break;
-    }
-    if (!fired) {
+    if (!top_live()) {
       if (now_ < deadline) now_ = deadline;
       return;
     }
+    if (sorted_.back().when > deadline) {
+      now_ = deadline;
+      return;
+    }
+    step();
   }
 }
 
