@@ -1,0 +1,239 @@
+// Closed-loop throughput of the HyperLoop datapath at batch sizes 1/4/16.
+//
+// Batch 1 drives the plain per-op path (one WRITE+SEND doorbell pair per
+// chain hop per op); batches >1 bracket K gWRITEs in begin_batch()/
+// flush_batch() so each chain hop moves one K-entry metadata blob behind a
+// single doorbell. Closed-loop sim-ops/sec is the paper-facing number (how
+// much replicated work one client round-trip amortizes); host ops/sec rides
+// along so successive PRs can track wall-clock cost per simulated op.
+// Results go to stdout and BENCH_datapath.json.
+//
+// Usage: perf_datapath [--quick] [--out <path>]
+//   --quick   ~10x smaller op counts (CI smoke); sets "quick": true in JSON
+//   --out     output path (default: BENCH_datapath.json in the CWD)
+//
+// Exit status is non-zero if the emitted JSON fails a structural self-check,
+// so the ctest entry running `perf_datapath --quick` guards the report
+// format.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Result {
+  int batch = 1;
+  std::uint64_t ops = 0;
+  std::uint64_t batches_posted = 0;
+  std::uint64_t events = 0;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  [[nodiscard]] double sim_ops_per_sec() const {
+    return sim_seconds > 0 ? static_cast<double>(ops) / sim_seconds : 0;
+  }
+  [[nodiscard]] double host_ops_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(ops) / wall_seconds : 0;
+  }
+};
+
+/// Drive `ops` flushed gWRITEs in closed-loop rounds of `batch`: each round
+/// issues its ops inside one begin_batch()/flush_batch() bracket (plain
+/// per-op posts when batch == 1) and the next round starts when the last
+/// completion of the previous one lands. Same iterative-pump shape as
+/// drive_closed_loop, but with batch-granular rounds.
+Result bench_batch(int batch, int ops) {
+  Result r;
+  r.batch = batch;
+  TestbedParams params;
+  params.replicas = 3;
+  Testbed tb = make_testbed(Datapath::kHyperLoop, params);
+  auto& client = tb.hl->client();
+  const std::uint32_t size = 512;
+  std::vector<char> data(size, 'x');
+  client.region_write(0, data.data(), data.size());
+
+  struct Driver {
+    core::HyperLoopClient& client;
+    const int batch;
+    const int ops;
+    std::uint32_t size;
+    int next = 0;
+    int inflight = 0;
+    bool pumping = false;
+    bool finished = false;
+
+    void pump() {
+      pumping = true;
+      while (inflight == 0 && next < ops) {
+        const int k = std::min(batch, ops - next);
+        if (k > 1) client.begin_batch();
+        for (int j = 0; j < k; ++j) {
+          ++inflight;
+          ++next;
+          client.gwrite(0, size, /*flush=*/true,
+                        [this](Status s, const auto&) {
+                          HL_CHECK(s.is_ok());
+                          if (--inflight == 0 && !pumping) pump();
+                        });
+        }
+        if (k > 1) client.flush_batch();
+      }
+      pumping = false;
+      finished = inflight == 0 && next == ops;
+    }
+  };
+  Driver d{client, batch, ops, size};
+
+  const std::uint64_t events_before = tb.sim().events_executed();
+  const Time sim_t0 = tb.sim().now();
+  const auto t0 = std::chrono::steady_clock::now();
+  d.pump();
+  tb.run_until([&] { return d.finished; },
+               static_cast<Duration>(ops) * 200_ms);
+  HL_CHECK_MSG(d.finished, "benchmark drive did not finish in budget");
+  r.wall_seconds = wall_seconds_since(t0);
+  r.sim_seconds = static_cast<double>(tb.sim().now() - sim_t0) / 1e9;
+  r.events = tb.sim().events_executed() - events_before;
+  r.ops = static_cast<std::uint64_t>(ops);
+  r.batches_posted = client.batches_posted();
+  return r;
+}
+
+void append_result_json(std::ostringstream& os, const Result& r, bool last) {
+  os << "    {\"batch\": " << r.batch << ", "
+     << "\"ops\": " << r.ops << ", "
+     << "\"batches_posted\": " << r.batches_posted << ", "
+     << "\"events\": " << r.events << ", "
+     << "\"sim_seconds\": " << r.sim_seconds << ", "
+     << "\"wall_seconds\": " << r.wall_seconds << ", "
+     << "\"sim_ops_per_sec\": " << r.sim_ops_per_sec() << ", "
+     << "\"host_ops_per_sec\": " << r.host_ops_per_sec() << "}"
+     << (last ? "" : ",") << "\n";
+}
+
+/// Structural self-check of the emitted report (same contract as
+/// perf_engine): balanced braces/brackets plus the fields downstream tooling
+/// keys on.
+bool validate_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_datapath: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  if (braces != 0 || brackets != 0 || in_string) {
+    std::fprintf(stderr, "perf_datapath: unbalanced JSON in %s\n",
+                 path.c_str());
+    return false;
+  }
+  for (const char* key :
+       {"\"batches\"", "\"sim_ops_per_sec\"", "\"host_ops_per_sec\"",
+        "\"speedup_16_vs_1\"", "\"wall_seconds\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "perf_datapath: %s missing key %s\n", path.c_str(),
+                   key);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_datapath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int ops = quick ? 256 : 2'048;
+
+  print_header("Datapath batching: closed-loop ops/sec at batch 1/4/16",
+               "doorbell batching over the sec 4 chain; see "
+               "BENCH_datapath.json");
+
+  std::vector<Result> results;
+  for (const int batch : {1, 4, 16}) {
+    results.push_back(bench_batch(batch, ops));
+  }
+
+  print_row_header(
+      {"batch", "ops", "sim-s", "sim-ops/s", "wall-s", "host-ops/s"});
+  for (const auto& r : results) {
+    std::printf("%-16d%-16llu%-16.4f%-16.0f%-16.3f%-16.0f\n", r.batch,
+                static_cast<unsigned long long>(r.ops), r.sim_seconds,
+                r.sim_ops_per_sec(), r.wall_seconds, r.host_ops_per_sec());
+  }
+  const double speedup =
+      results.front().sim_ops_per_sec() > 0
+          ? results.back().sim_ops_per_sec() / results.front().sim_ops_per_sec()
+          : 0;
+  std::printf("batch-16 vs batch-1 closed-loop speedup: %.2fx\n", speedup);
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"perf_datapath\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"batches\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_result_json(os, results[i], i + 1 == results.size());
+  }
+  os << "  ],\n  \"speedup_16_vs_1\": " << speedup << "\n}\n";
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "perf_datapath: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << os.str();
+  }
+  if (!validate_json(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main(int argc, char** argv) { return hyperloop::bench::run(argc, argv); }

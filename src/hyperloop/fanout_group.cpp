@@ -194,9 +194,11 @@ std::uint32_t FanoutGroup::fan_ops(Primitive p) const {
 void FanoutGroup::post_slot(Primitive p, std::uint64_t logical_slot) {
   Channel& ch = channels_[static_cast<std::size_t>(p)];
   const std::size_t backups = members_.size() - 1;
-  const std::uint64_t blob = blob_bytes(members_.size());
+  const std::size_t total = members_.size();
+  const std::uint64_t blob = blob_bytes(total);
   const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
-  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+  const std::uint64_t staging_slot =
+      ch.staging_addr + blob_slot_offset(total, k);
   const auto recv_threshold = static_cast<std::uint32_t>(logical_slot + 1);
 
   const bool has_loop_op = p != Primitive::kGWrite;
@@ -281,7 +283,7 @@ void FanoutGroup::post_slot(Primitive p, std::uint64_t logical_slot) {
   ack.local_addr = staging_slot;
   ack.local_len = static_cast<std::uint32_t>(blob);
   ack.lkey = ch.staging_lkey;
-  ack.remote_addr = client_[pi].ack_addr + k * blob;
+  ack.remote_addr = client_[pi].ack_addr + blob_slot_offset(total, k);
   ack.rkey = client_[pi].ack_rkey;
   ack.imm = static_cast<std::uint32_t>(logical_slot);
   HL_CHECK(ch.ack->post_send(ack).is_ok());
@@ -293,7 +295,8 @@ void FanoutGroup::post_recv_for_slot(Primitive p,
   const std::size_t total = members_.size();
   const std::uint64_t blob = blob_bytes(total);
   const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
-  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+  const std::uint64_t staging_slot =
+      ch.staging_addr + blob_slot_offset(total, k);
 
   rnic::RecvWr recv;
   recv.wr_id = logical_slot;
@@ -307,7 +310,7 @@ void FanoutGroup::post_recv_for_slot(Primitive p,
   // Entry i patches the op WQE that targets member i: the loop WQE for the
   // primary (entry 0, gCAS/gMEMCPY only), the per-backup WQE otherwise.
   for (std::size_t i = 0; i < total; ++i) {
-    const std::uint64_t entry = staging_slot + i * kBlobEntryBytes;
+    const std::uint64_t entry = ch.staging_addr + blob_entry_offset(total, k, i);
     std::uint64_t ring_addr = 0;
     std::uint32_t ring_lkey = 0;
     if (i == 0) {
@@ -384,7 +387,7 @@ void FanoutGroup::replica_read(std::size_t replica, std::uint64_t offset,
 
 WqePatch FanoutGroup::build_patch(const OpSpec& spec, std::size_t member,
                                   std::uint64_t slot) const {
-  const std::uint64_t blob = blob_bytes(members_.size());
+  const std::size_t total = members_.size();
   const auto k = static_cast<std::uint32_t>(slot % params_.slots);
   const Member& primary = members_[0];
   const Member& target = members_[member];
@@ -408,8 +411,8 @@ WqePatch FanoutGroup::build_patch(const OpSpec& spec, std::size_t member,
       if ((spec.execute >> member) & 1u) {
         patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kCompareSwap);
         patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
-        patch.local_addr = ch.staging_addr + k * blob +
-                           member * kBlobEntryBytes + sizeof(WqePatch);
+        patch.local_addr =
+            ch.staging_addr + blob_result_offset(total, k, member);
         patch.local_len = 8;
         patch.lkey = ch.staging_lkey;
         patch.remote_addr = target.region_addr + spec.offset;
@@ -466,8 +469,8 @@ void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
   for (std::size_t i = 0; i < total; ++i) {
     entries[i].patch = build_patch(spec, i, s);
   }
-  client_node_->memory().write(cc.staging_addr + k * blob, entries.data(),
-                               blob);
+  client_node_->memory().write(cc.staging_addr + blob_slot_offset(total, k),
+                               entries.data(), blob);
 
   // Mirror the op on the client's local copy (same contract as the chain).
   if (spec.prim == Primitive::kGMemcpy) {
@@ -497,7 +500,7 @@ void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
   rnic::SendWr send;
   send.opcode = rnic::Opcode::kSend;
   send.flags = 0;
-  send.local_addr = cc.staging_addr + k * blob;
+  send.local_addr = cc.staging_addr + blob_slot_offset(total, k);
   send.local_len = static_cast<std::uint32_t>(blob);
   send.lkey = cc.staging_lkey;
   HL_CHECK(cc.up->post_send(send).is_ok());
@@ -516,13 +519,11 @@ void FanoutGroup::on_ack(Primitive p, const rnic::Completion& c) {
   HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(slot),
                "fan-out ack/op mismatch");
   const std::size_t total = members_.size();
-  const std::uint64_t blob = blob_bytes(total);
   const auto k = static_cast<std::uint32_t>(slot % params_.slots);
   std::vector<std::uint64_t> results(total, 0);
   for (std::size_t i = 0; i < total; ++i) {
     client_node_->nic().cache().read_through(
-        cc.ack_addr + k * blob + i * kBlobEntryBytes + sizeof(WqePatch),
-        &results[i], 8);
+        cc.ack_addr + blob_result_offset(total, k, i), &results[i], 8);
   }
   if (cb) cb(Status::ok(), results);
 }

@@ -11,11 +11,6 @@ constexpr std::uint32_t kAllAccess =
     mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
     mem::kRemoteWrite | mem::kRemoteAtomic;
 
-/// WQEs per slot on the next-hop QP / loop QP for a channel.
-constexpr std::uint32_t next_wqes_per_slot(Primitive p) {
-  return p == Primitive::kGWrite ? 3 : 2;  // WAIT+WRITE+SEND vs WAIT+SEND
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -102,6 +97,55 @@ HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
   for (auto& r : replicas_) r->start();
 }
 
+void HyperLoopGroup::enable_batching() {
+  if (batching_enabled_) return;
+  batching_enabled_ = true;
+  const std::size_t R = replicas_.size();
+
+  for (auto& r : replicas_) r->create_batch_channels();
+  client_->create_batch_qps();
+
+  // Collect the replica-side batch staging areas: the client aims gCAS
+  // result deposits at them when building batched blobs.
+  batch_members_.resize(R);
+  for (std::size_t i = 0; i < R; ++i) {
+    for (int p = 0; p < kNumPrimitives; ++p) {
+      const auto prim = static_cast<Primitive>(p);
+      batch_members_[i].staging_addr[p] =
+          replicas_[i]->batch_channel(prim).staging_addr;
+      batch_members_[i].staging_lkey[p] =
+          replicas_[i]->batch_channel(prim).staging_lkey;
+    }
+  }
+
+  // Wire the batch chain exactly like the per-op chain in the ctor.
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    auto& cb = *client_->batch_[static_cast<std::size_t>(p)];
+    auto& first = replicas_[0]->batch_channel(prim);
+    client_node_->nic().connect(cb.down, replica_nodes_[0]->id(),
+                                first.prev->id());
+    replica_nodes_[0]->nic().connect(first.prev, client_node_->id(),
+                                     cb.down->id());
+    for (std::size_t i = 0; i + 1 < R; ++i) {
+      auto& a = replicas_[i]->batch_channel(prim);
+      auto& b = replicas_[i + 1]->batch_channel(prim);
+      replica_nodes_[i]->nic().connect(a.next, replica_nodes_[i + 1]->id(),
+                                       b.prev->id());
+      replica_nodes_[i + 1]->nic().connect(b.prev, replica_nodes_[i]->id(),
+                                           a.next->id());
+    }
+    auto& tail = replicas_[R - 1]->batch_channel(prim);
+    replica_nodes_[R - 1]->nic().connect(tail.next, client_node_->id(),
+                                         cb.ack->id());
+    client_node_->nic().connect(cb.ack, replica_nodes_[R - 1]->id(),
+                                tail.next->id());
+  }
+
+  for (auto& r : replicas_) r->start_batching();
+  client_->finish_batching();
+}
+
 // ---------------------------------------------------------------------------
 // ReplicaEngine
 // ---------------------------------------------------------------------------
@@ -109,152 +153,213 @@ HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
 ReplicaEngine::ReplicaEngine(Node& node, HyperLoopGroup& group,
                              std::size_t index, bool is_tail)
     : node_(node), group_(group), index_(index), is_tail_(is_tail) {
-  rnic::Nic& nic = node_.nic();
-  mem::HostMemory& mem = node_.memory();
-  const GroupParams& gp = group_.params();
-  const MemberInfo& me = group_.member(index_);
-
   repost_thread_ = node_.sched().create_thread(
       "hl-replenish-" + std::to_string(index_));
 
   for (int p = 0; p < kNumPrimitives; ++p) {
-    const auto prim = static_cast<Primitive>(p);
-    Channel& ch = channels_[static_cast<std::size_t>(p)];
-    ch.recv_cq = nic.create_cq();
-    ch.send_cq = nic.create_cq();
-    ch.staging_addr = me.staging_addr[p];
-    ch.staging_lkey = me.staging_lkey[p];
+    init_channel(static_cast<Primitive>(p),
+                 channels_[static_cast<std::size_t>(p)], /*batched=*/false);
+  }
+}
 
-    // prev: inbound only; minimal send ring.
-    ch.prev = nic.create_qp(ch.send_cq, ch.recv_cq, 1, gp.tenant);
+std::uint32_t ReplicaEngine::next_wqes(const Channel& ch) const {
+  const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
+  if (ch.prim == Primitive::kGWrite) {
+    // WAIT + ops WRITEs + SEND; the tail chain is WAIT + WRITE_WITH_IMM.
+    return is_tail_ ? 2 : ops + 2;
+  }
+  return 2;  // WAIT + forward
+}
 
-    // The gWRITE tail chain is WAIT + WRITE_WITH_IMM (2 WQEs per slot).
-    const std::uint32_t chain_wqes =
-        (prim == Primitive::kGWrite && is_tail_) ? 2
-                                                 : next_wqes_per_slot(prim);
-    const std::uint32_t next_ring = chain_wqes * gp.slots;
-    // next's recv side is unused; recv completions would go to send_cq.
-    ch.next = nic.create_qp(ch.send_cq, ch.send_cq, next_ring, gp.tenant);
-    const mem::MemoryRegion next_mr = mem.register_region(
-        ch.next->ring_slot_addr(0),
-        static_cast<std::uint64_t>(next_ring) * rnic::kWqeSlotBytes,
+std::uint32_t ReplicaEngine::loop_wqes(const Channel& ch) const {
+  if (ch.prim == Primitive::kGWrite) return 0;
+  const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
+  return ops + 1;  // WAIT + ops local ops
+}
+
+void ReplicaEngine::init_channel(Primitive p, Channel& ch, bool batched) {
+  rnic::Nic& nic = node_.nic();
+  mem::HostMemory& mem = node_.memory();
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const auto pi = static_cast<std::size_t>(p);
+
+  ch.prim = p;
+  ch.batched = batched;
+  ch.nslots = batched ? gp.batch_slots : gp.slots;
+  ch.blob = batched ? batch_blob_bytes(R, gp.max_batch) : blob_bytes(R);
+  ch.recv_cq = nic.create_cq();
+  ch.send_cq = nic.create_cq();
+  if (batched) {
+    const std::uint64_t staging = mem.alloc(ch.nslots * ch.blob, 64);
+    const mem::MemoryRegion smr =
+        mem.register_region(staging, ch.nslots * ch.blob,
+                            mem::kLocalRead | mem::kLocalWrite, gp.tenant);
+    ch.staging_addr = staging;
+    ch.staging_lkey = smr.lkey;
+  } else {
+    const MemberInfo& me = group_.member(index_);
+    ch.staging_addr = me.staging_addr[pi];
+    ch.staging_lkey = me.staging_lkey[pi];
+  }
+
+  // prev: inbound only; minimal send ring.
+  ch.prev = nic.create_qp(ch.send_cq, ch.recv_cq, 1, gp.tenant);
+
+  const std::uint32_t next_ring = next_wqes(ch) * ch.nslots;
+  // next's recv side is unused; recv completions would go to send_cq.
+  ch.next = nic.create_qp(ch.send_cq, ch.send_cq, next_ring, gp.tenant);
+  const mem::MemoryRegion next_mr = mem.register_region(
+      ch.next->ring_slot_addr(0),
+      static_cast<std::uint64_t>(next_ring) * rnic::kWqeSlotBytes,
+      mem::kLocalWrite, gp.tenant);
+  ch.ring_lkey = next_mr.lkey;
+
+  if (p != Primitive::kGWrite) {
+    ch.loop_cq = nic.create_cq();
+    const std::uint32_t loop_ring = loop_wqes(ch) * ch.nslots;
+    ch.loop = nic.create_qp(ch.loop_cq, ch.send_cq, loop_ring, gp.tenant);
+    const mem::MemoryRegion loop_mr = mem.register_region(
+        ch.loop->ring_slot_addr(0),
+        static_cast<std::uint64_t>(loop_ring) * rnic::kWqeSlotBytes,
         mem::kLocalWrite, gp.tenant);
-    ch.ring_lkey = next_mr.lkey;
+    ch.loop_ring_lkey = loop_mr.lkey;
+    nic.connect(ch.loop, nic.id(), ch.loop->id());  // loopback
+  }
+}
 
-    if (prim != Primitive::kGWrite) {
-      ch.loop_cq = nic.create_cq();
-      const std::uint32_t loop_ring = 2 * gp.slots;
-      ch.loop = nic.create_qp(ch.loop_cq, ch.send_cq, loop_ring, gp.tenant);
-      const mem::MemoryRegion loop_mr = mem.register_region(
-          ch.loop->ring_slot_addr(0),
-          static_cast<std::uint64_t>(loop_ring) * rnic::kWqeSlotBytes,
-          mem::kLocalWrite, gp.tenant);
-      ch.loop_ring_lkey = loop_mr.lkey;
-      nic.connect(ch.loop, nic.id(), ch.loop->id());  // loopback
-    }
+void ReplicaEngine::create_batch_channels() {
+  if (batching_enabled_) return;
+  batching_enabled_ = true;
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    init_channel(static_cast<Primitive>(p),
+                 batch_channels_[static_cast<std::size_t>(p)],
+                 /*batched=*/true);
   }
 }
 
 void ReplicaEngine::start() {
-  const GroupParams& gp = group_.params();
-  for (int p = 0; p < kNumPrimitives; ++p) {
-    const auto prim = static_cast<Primitive>(p);
-    Channel& ch = channels_[static_cast<std::size_t>(p)];
-    for (std::uint32_t s = 0; s < gp.slots; ++s) {
-      post_recv_for_slot(prim, s);
-      post_slot(prim, s);
-      ++ch.posted_slots;
-    }
-    ch.recv_cq->set_event_handler(
-        alive_.guard([this, prim] { on_recv_event(prim); }));
-    ch.recv_cq->arm();
-  }
+  for (auto& ch : channels_) prime_channel(ch);
   periodic_sweep();
 }
 
+void ReplicaEngine::start_batching() {
+  for (auto& ch : batch_channels_) prime_channel(ch);
+}
+
+void ReplicaEngine::prime_channel(Channel& ch) {
+  std::vector<rnic::SendWr> next_wrs;
+  std::vector<rnic::SendWr> loop_wrs;
+  for (std::uint32_t s = 0; s < ch.nslots; ++s) {
+    post_recv_for_slot(ch, s);
+    HL_CHECK(post_slot(ch, s, next_wrs, loop_wrs));
+    ++ch.posted_slots;
+  }
+  if (!loop_wrs.empty()) {
+    HL_CHECK(ch.loop->post_send_chain(loop_wrs.data(), loop_wrs.size())
+                 .is_ok());
+  }
+  HL_CHECK(ch.next->post_send_chain(next_wrs.data(), next_wrs.size()).is_ok());
+  ch.recv_cq->set_event_handler(
+      alive_.guard([this, &ch] { on_recv_event(ch); }));
+  ch.recv_cq->arm();
+}
+
 void ReplicaEngine::periodic_sweep() {
-  for (int p = 0; p < kNumPrimitives; ++p) {
-    Channel& ch = channels_[static_cast<std::size_t>(p)];
+  for (int p = 0; p < 2 * kNumPrimitives; ++p) {
+    if (p >= kNumPrimitives && !batching_enabled_) break;
+    Channel& ch = p < kNumPrimitives
+                      ? channels_[static_cast<std::size_t>(p)]
+                      : batch_channels_[static_cast<std::size_t>(
+                            p - kNumPrimitives)];
     if (!ch.repost_scheduled && ch.recv_cq->depth() > 0) {
       ch.repost_scheduled = true;
-      const auto prim = static_cast<Primitive>(p);
       node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
-                           alive_.guard([this, prim] { replenish(prim); }));
+                           alive_.guard([this, &ch] { replenish(ch); }));
     }
   }
   group_.sim().schedule(group_.params().sweep_interval,
                         alive_.guard([this] { periodic_sweep(); }));
 }
 
-bool ReplicaEngine::post_slot(Primitive p, std::uint64_t logical_slot) {
-  Channel& ch = channel(p);
-  const GroupParams& gp = group_.params();
-  const std::size_t R = group_.num_replicas();
-  const std::uint64_t blob = blob_bytes(R);
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(logical_slot % gp.slots);
-  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+bool ReplicaEngine::post_slot(Channel& ch, std::uint64_t logical_slot,
+                              std::vector<rnic::SendWr>& next_wrs,
+                              std::vector<rnic::SendWr>& loop_wrs) {
+  const auto pi = static_cast<std::size_t>(ch.prim);
+  const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
+  const std::uint64_t k = logical_slot % ch.nslots;
+  const std::uint64_t staging_slot = ch.staging_addr + k * ch.blob;
+  const std::uint64_t ack_addr =
+      ch.batched ? group_.client_->batch_[pi]->ack_addr
+                 : group_.client_->channels_[pi].ack_addr;
+  const std::uint32_t ack_rkey =
+      ch.batched ? group_.client_->batch_[pi]->ack_rkey
+                 : group_.client_->channels_[pi].ack_rkey;
 
-  // Ring alignment invariant: slot chains always occupy the same ring
-  // positions across reposts, so the client-side patch targets stay valid.
-  // The gWRITE tail chain is WAIT + WRITE_WITH_IMM (2 WQEs), every other
-  // shape is covered by next_wqes_per_slot().
-  const std::uint32_t wqes_per_slot =
-      (p == Primitive::kGWrite && is_tail_) ? 2 : next_wqes_per_slot(p);
   if (ch.next->state() == rnic::QueuePair::State::kError ||
       (ch.loop != nullptr &&
        ch.loop->state() == rnic::QueuePair::State::kError)) {
     return false;  // chain failed; recovery replaces these QPs
   }
-  HL_CHECK(ch.next->next_post_slot() == k * wqes_per_slot);
+  // Ring alignment invariant: slot chains always occupy the same ring
+  // positions across reposts, so the client-side patch targets stay valid.
+  // Chains accumulated but not yet posted count toward the cursor.
+  HL_CHECK((ch.next->next_post_slot() + next_wrs.size()) %
+               ch.next->ring_slots() ==
+           k * next_wqes(ch));
 
-  if (p == Primitive::kGWrite) {
+  if (ch.prim == Primitive::kGWrite) {
     rnic::SendWr wait;
     wait.wr_id = logical_slot;
     wait.opcode = rnic::Opcode::kWait;
     wait.flags = 0;
     wait.wait_cq = ch.recv_cq->id();
     wait.wait_count = 1;
-    wait.enable_count = is_tail_ ? 1 : 2;
-    HL_CHECK(ch.next->post_send(wait).is_ok());
+    wait.enable_count = is_tail_ ? 1 : ops + 1;
+    next_wrs.push_back(wait);
 
     if (!is_tail_) {
-      // Forward-WRITE: descriptor garbage until the RECV scatter patches it.
-      rnic::SendWr write;
-      write.wr_id = logical_slot;
-      write.opcode = rnic::Opcode::kWrite;
-      write.flags = 0;
-      write.deferred_ownership = true;
-      HL_CHECK(ch.next->post_send(write).is_ok());
+      // Forward-WRITEs: descriptors garbage until the RECV scatter patches
+      // them (one per batched op; padding patches turn spares into NOPs).
+      for (std::uint32_t j = 0; j < ops; ++j) {
+        rnic::SendWr write;
+        write.wr_id = logical_slot;
+        write.opcode = rnic::Opcode::kWrite;
+        write.flags = 0;
+        write.deferred_ownership = true;
+        next_wrs.push_back(write);
+      }
 
       rnic::SendWr send;
       send.wr_id = logical_slot;
       send.opcode = rnic::Opcode::kSend;
       send.flags = 0;
       send.local_addr = staging_slot;
-      send.local_len = static_cast<std::uint32_t>(blob);
+      send.local_len = static_cast<std::uint32_t>(ch.blob);
       send.lkey = ch.staging_lkey;
       send.deferred_ownership = true;
-      HL_CHECK(ch.next->post_send(send).is_ok());
+      next_wrs.push_back(send);
     } else {
       rnic::SendWr ack;
       ack.wr_id = logical_slot;
       ack.opcode = rnic::Opcode::kWriteWithImm;
       ack.flags = 0;
       ack.local_addr = staging_slot;
-      ack.local_len = static_cast<std::uint32_t>(blob);
+      ack.local_len = static_cast<std::uint32_t>(ch.blob);
       ack.lkey = ch.staging_lkey;
-      ack.remote_addr = group_.client_->channels_[0].ack_addr + k * blob;
-      ack.rkey = group_.client_->channels_[0].ack_rkey;
+      ack.remote_addr = ack_addr + k * ch.blob;
+      ack.rkey = ack_rkey;
       ack.imm = static_cast<std::uint32_t>(logical_slot);
       ack.deferred_ownership = true;
-      HL_CHECK(ch.next->post_send(ack).is_ok());
+      next_wrs.push_back(ack);
     }
     return true;
   }
 
-  // gCAS / gMEMCPY / gFLUSH: local op on the loopback QP, then forward.
-  HL_CHECK(ch.loop->next_post_slot() == k * 2);
+  // gCAS / gMEMCPY / gFLUSH: local ops on the loopback QP, then forward.
+  HL_CHECK((ch.loop->next_post_slot() + loop_wrs.size()) %
+               ch.loop->ring_slots() ==
+           k * loop_wqes(ch));
 
   rnic::SendWr lwait;
   lwait.wr_id = logical_slot;
@@ -262,131 +367,132 @@ bool ReplicaEngine::post_slot(Primitive p, std::uint64_t logical_slot) {
   lwait.flags = 0;
   lwait.wait_cq = ch.recv_cq->id();
   lwait.wait_count = 1;
-  lwait.enable_count = 1;
-  HL_CHECK(ch.loop->post_send(lwait).is_ok());
+  lwait.enable_count = ops;
+  loop_wrs.push_back(lwait);
 
-  rnic::SendWr op;
-  op.wr_id = logical_slot;
-  op.deferred_ownership = true;
-  if (p == Primitive::kGFlush) {
-    // Fixed descriptor: a 0-byte loopback READ drains this NIC's cache.
-    op.opcode = rnic::Opcode::kRead;
-    op.flags = rnic::kSignaled;
-    op.local_len = 0;
-  } else {
-    // Placeholder — the client patches opcode, flags, and descriptors.
-    op.opcode = rnic::Opcode::kNop;
-    op.flags = rnic::kSignaled;
+  for (std::uint32_t j = 0; j < ops; ++j) {
+    rnic::SendWr op;
+    op.wr_id = logical_slot;
+    op.deferred_ownership = true;
+    if (ch.prim == Primitive::kGFlush) {
+      // Fixed descriptor: a 0-byte loopback READ drains this NIC's cache.
+      op.opcode = rnic::Opcode::kRead;
+      op.flags = rnic::kSignaled;
+      op.local_len = 0;
+    } else {
+      // Placeholder — the client patches opcode, flags, and descriptors.
+      op.opcode = rnic::Opcode::kNop;
+      op.flags = rnic::kSignaled;
+    }
+    loop_wrs.push_back(op);
   }
-  HL_CHECK(ch.loop->post_send(op).is_ok());
 
   rnic::SendWr fwait;
   fwait.wr_id = logical_slot;
   fwait.opcode = rnic::Opcode::kWait;
   fwait.flags = 0;
   fwait.wait_cq = ch.loop_cq->id();
-  fwait.wait_count = 1;
+  fwait.wait_count = ops;  // every batched local op completes first
   fwait.enable_count = 1;
-  HL_CHECK(ch.next->post_send(fwait).is_ok());
+  next_wrs.push_back(fwait);
 
   rnic::SendWr fwd;
   fwd.wr_id = logical_slot;
   fwd.deferred_ownership = true;
   fwd.local_addr = staging_slot;
-  fwd.local_len = static_cast<std::uint32_t>(blob);
+  fwd.local_len = static_cast<std::uint32_t>(ch.blob);
   fwd.lkey = ch.staging_lkey;
   fwd.flags = 0;
   if (!is_tail_) {
     fwd.opcode = rnic::Opcode::kSend;
   } else {
-    const auto pi = static_cast<std::size_t>(p);
     fwd.opcode = rnic::Opcode::kWriteWithImm;
-    fwd.remote_addr = group_.client_->channels_[pi].ack_addr + k * blob;
-    fwd.rkey = group_.client_->channels_[pi].ack_rkey;
+    fwd.remote_addr = ack_addr + k * ch.blob;
+    fwd.rkey = ack_rkey;
     fwd.imm = static_cast<std::uint32_t>(logical_slot);
   }
-  HL_CHECK(ch.next->post_send(fwd).is_ok());
+  next_wrs.push_back(fwd);
   return true;
 }
 
-void ReplicaEngine::post_recv_for_slot(Primitive p,
+void ReplicaEngine::post_recv_for_slot(Channel& ch,
                                        std::uint64_t logical_slot) {
-  Channel& ch = channel(p);
-  const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
-  const std::uint64_t blob = blob_bytes(R);
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(logical_slot % gp.slots);
-  const std::uint64_t staging_slot = ch.staging_addr + k * blob;
+  const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
+  const std::uint64_t k = logical_slot % ch.nslots;
+  const std::uint64_t staging_slot = ch.staging_addr + k * ch.blob;
 
   rnic::RecvWr recv;
   recv.wr_id = logical_slot;
 
-  const bool no_patch =
-      p == Primitive::kGFlush || (p == Primitive::kGWrite && is_tail_);
+  const bool no_patch = ch.prim == Primitive::kGFlush ||
+                        (ch.prim == Primitive::kGWrite && is_tail_);
   if (no_patch) {
-    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(blob),
+    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(ch.blob),
                          ch.staging_lkey});
     HL_CHECK(ch.prev->post_recv(std::move(recv)).is_ok());
     return;
   }
 
-  // Aim the scatter so that this replica's blob entry lands directly on the
-  // descriptor fields of its pre-posted op WQE. Entries of other replicas
-  // pass through into the staging blob for forwarding.
-  std::uint64_t op_wqe;
-  std::uint32_t ring_lkey;
-  if (p == Primitive::kGWrite) {
-    op_wqe = ch.next->ring_slot_addr(k * 3 + 1);
-    ring_lkey = ch.ring_lkey;
-  } else {
-    op_wqe = ch.loop->ring_slot_addr(k * 2 + 1);
-    ring_lkey = ch.loop_ring_lkey;
-  }
-
-  const std::uint64_t pre = index_ * kBlobEntryBytes;
-  if (pre > 0) {
-    recv.sges.push_back({staging_slot, static_cast<std::uint32_t>(pre),
-                         ch.staging_lkey});
-  }
-  recv.sges.push_back({op_wqe + kPatchPart1WqeOffset,
-                       static_cast<std::uint32_t>(kPatchPart1Bytes),
-                       ring_lkey});
-  recv.sges.push_back({op_wqe + kPatchPart2WqeOffset,
-                       static_cast<std::uint32_t>(kPatchPart2Bytes),
-                       ring_lkey});
-  recv.sges.push_back({staging_slot + pre + sizeof(WqePatch), 8,
-                       ch.staging_lkey});  // result word stays in the blob
+  // Aim the scatter so that this replica's blob entry of each op group
+  // lands directly on the descriptor fields of the matching pre-posted op
+  // WQE. Entries of other replicas pass through into the staging blob for
+  // forwarding.
+  const std::uint64_t pre = blob_entry_offset(R, 0, index_);
   const std::uint64_t post = (R - 1 - index_) * kBlobEntryBytes;
-  if (post > 0) {
-    recv.sges.push_back({staging_slot + pre + kBlobEntryBytes,
-                         static_cast<std::uint32_t>(post), ch.staging_lkey});
+  for (std::uint32_t j = 0; j < ops; ++j) {
+    const std::uint64_t group_base = staging_slot + blob_slot_offset(R, j);
+    std::uint64_t op_wqe;
+    std::uint32_t ring_lkey;
+    if (ch.prim == Primitive::kGWrite) {
+      op_wqe = ch.next->ring_slot_addr(
+          static_cast<std::uint32_t>(k * next_wqes(ch) + 1 + j));
+      ring_lkey = ch.ring_lkey;
+    } else {
+      op_wqe = ch.loop->ring_slot_addr(
+          static_cast<std::uint32_t>(k * loop_wqes(ch) + 1 + j));
+      ring_lkey = ch.loop_ring_lkey;
+    }
+
+    if (pre > 0) {
+      recv.sges.push_back({group_base, static_cast<std::uint32_t>(pre),
+                           ch.staging_lkey});
+    }
+    recv.sges.push_back({op_wqe + kPatchPart1WqeOffset,
+                         static_cast<std::uint32_t>(kPatchPart1Bytes),
+                         ring_lkey});
+    recv.sges.push_back({op_wqe + kPatchPart2WqeOffset,
+                         static_cast<std::uint32_t>(kPatchPart2Bytes),
+                         ring_lkey});
+    recv.sges.push_back({group_base + blob_result_offset(R, 0, index_), 8,
+                         ch.staging_lkey});  // result word stays in the blob
+    if (post > 0) {
+      recv.sges.push_back({group_base + blob_entry_offset(R, 0, index_ + 1),
+                           static_cast<std::uint32_t>(post),
+                           ch.staging_lkey});
+    }
   }
   HL_CHECK(ch.prev->post_recv(std::move(recv)).is_ok());
 }
 
-void ReplicaEngine::on_recv_event(Primitive p) {
-  Channel& ch = channel(p);
+void ReplicaEngine::on_recv_event(Channel& ch) {
   ch.recv_cq->arm();  // keep counting consumptions while we wait
   // Batch: waking the CPU per completion would put scheduling back near the
   // critical path (and burn cycles); repost in bulk instead. A periodic
   // sweep catches stragglers at the end of a burst.
   const std::uint64_t pending_cqes = ch.recv_cq->depth();
-  if (pending_cqes < group_.params().slots / 4) return;
+  if (pending_cqes < ch.nslots / 4) return;
   if (ch.repost_scheduled) return;
   ch.repost_scheduled = true;
   // Interrupt context ends here; the actual CQ drain + repost is CPU work
   // that must be scheduled like any other thread — off the critical path.
   node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
-                       alive_.guard([this, p] { replenish(p); }));
+                       alive_.guard([this, &ch] { replenish(ch); }));
 }
 
-void ReplicaEngine::replenish(Primitive p) {
-  Channel& ch = channel(p);
-  std::uint64_t drained = 0;
+void ReplicaEngine::replenish(Channel& ch) {
   while (ch.recv_cq->poll()) {
     ++ch.consumed_slots;
-    ++drained;
   }
   // Housekeeping: discard op/forward completions (errors would surface in
   // client timeouts; a production build would log them).
@@ -397,17 +503,42 @@ void ReplicaEngine::replenish(Primitive p) {
   while (ch.send_cq->poll()) {
   }
 
+  // Drain every consumed slot in one wakeup and repost the lot as a single
+  // chained post per QP (one doorbell), instead of one slot at a time.
+  std::vector<rnic::SendWr> next_wrs;
+  std::vector<rnic::SendWr> loop_wrs;
+  const std::uint32_t need_next = next_wqes(ch);
+  const std::uint32_t need_loop = loop_wqes(ch);
+  // The gWRITE tail chain is one WQE shorter than the head/middle shape, but
+  // the space gate still demands the full 3-WQE headroom: the spare slot
+  // paces tail reposts one wakeup behind the rest of the chain, keeping slot
+  // reuse strictly behind the upstream hops' reposts.
+  const std::uint32_t gate_next =
+      (!ch.batched && ch.prim == Primitive::kGWrite && is_tail_)
+          ? need_next + 1
+          : need_next;
   std::uint64_t reposted = 0;
-  while (ch.posted_slots < ch.consumed_slots + group_.params().slots) {
+  while (ch.posted_slots < ch.consumed_slots + ch.nslots) {
     // A consumed slot's chain may not have fully retired from the ring yet
     // (the forward SEND completes only when the downstream ack returns);
     // defer until space exists rather than failing the post.
-    if (ch.next->free_send_slots() < next_wqes_per_slot(p)) break;
-    if (ch.loop != nullptr && ch.loop->free_send_slots() < 2) break;
-    if (!post_slot(p, ch.posted_slots)) break;  // QP in error: recovery owns it
-    post_recv_for_slot(p, ch.posted_slots);
+    if (ch.next->free_send_slots() < next_wrs.size() + gate_next) break;
+    if (ch.loop != nullptr &&
+        ch.loop->free_send_slots() < loop_wrs.size() + need_loop) {
+      break;
+    }
+    if (!post_slot(ch, ch.posted_slots, next_wrs, loop_wrs)) break;
+    post_recv_for_slot(ch, ch.posted_slots);
     ++ch.posted_slots;
     ++reposted;
+  }
+  if (!loop_wrs.empty()) {
+    HL_CHECK(ch.loop->post_send_chain(loop_wrs.data(), loop_wrs.size())
+                 .is_ok());
+  }
+  if (!next_wrs.empty()) {
+    HL_CHECK(ch.next->post_send_chain(next_wrs.data(), next_wrs.size())
+                 .is_ok());
   }
   ch.repost_scheduled = false;
   if (reposted > 0) {
@@ -416,9 +547,9 @@ void ReplicaEngine::replenish(Primitive p) {
                          group_.params().repost_cpu_per_slot * reposted,
                          [] {});
   }
-  if (ch.posted_slots < ch.consumed_slots + group_.params().slots) {
+  if (ch.posted_slots < ch.consumed_slots + ch.nslots) {
     group_.sim().schedule(20'000,
-                          alive_.guard([this, p] { on_recv_event(p); }));
+                          alive_.guard([this, &ch] { on_recv_event(ch); }));
   }
 }
 
@@ -446,6 +577,7 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
     ch.ack = nic.create_qp(ch.send_cq, ch.ack_cq, 1, gp.tenant);
     ch.staging_addr = group_.client_info().staging_addr[p];
     ch.staging_lkey = group_.client_info().staging_lkey[p];
+    ch.tmpl = build_templates(static_cast<Primitive>(p), /*batched=*/false);
 
     const std::uint64_t ack_region = mem.alloc(gp.slots * blob, 64);
     const mem::MemoryRegion amr = mem.register_region(
@@ -485,6 +617,88 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
   }
 }
 
+void HyperLoopClient::create_batch_qps() {
+  rnic::Nic& nic = node_.nic();
+  mem::HostMemory& mem = node_.memory();
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t bblob = batch_blob_bytes(R, gp.max_batch);
+
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    auto b = std::make_unique<BatchState>();
+    b->send_cq = nic.create_cq();
+    b->ack_cq = nic.create_cq();
+    // Up to max_batch WRITEs + one SEND per batched post.
+    b->down = nic.create_qp(b->send_cq, b->send_cq,
+                            (gp.max_batch + 1) * gp.batch_slots, gp.tenant);
+    b->ack = nic.create_qp(b->send_cq, b->ack_cq, 1, gp.tenant);
+
+    const std::uint64_t staging = mem.alloc(gp.batch_slots * bblob, 64);
+    const mem::MemoryRegion smr = mem.register_region(
+        staging, gp.batch_slots * bblob,
+        mem::kLocalRead | mem::kLocalWrite, gp.tenant);
+    b->staging_addr = staging;
+    b->staging_lkey = smr.lkey;
+
+    const std::uint64_t ack_region = mem.alloc(gp.batch_slots * bblob, 64);
+    const mem::MemoryRegion amr = mem.register_region(
+        ack_region, gp.batch_slots * bblob,
+        mem::kRemoteWrite | mem::kLocalRead, gp.tenant);
+    b->ack_addr = ack_region;
+    b->ack_rkey = amr.rkey;
+
+    b->last_count.assign(gp.batch_slots, 0);
+    batch_[static_cast<std::size_t>(p)] = std::move(b);
+  }
+}
+
+void HyperLoopClient::finish_batching() {
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    BatchState& b = *batch_[static_cast<std::size_t>(p)];
+    b.tmpl = build_templates(prim, /*batched=*/true);
+
+    // Seed every staging slot with padding patches so the spare op WQEs of
+    // the first (possibly short) batch in each slot go inert.
+    for (std::uint32_t kb = 0; kb < gp.batch_slots; ++kb) {
+      for (std::uint32_t j = 0; j < gp.max_batch; ++j) {
+        write_padding_group(prim, batch_group_offset(R, gp.max_batch, kb, j));
+      }
+    }
+
+    for (std::uint32_t s = 0; s < gp.batch_slots; ++s) {
+      rnic::RecvWr recv;
+      recv.wr_id = s;
+      HL_CHECK(b.ack->post_recv(std::move(recv)).is_ok());
+    }
+    b.ack_cq->set_event_handler(alive_.guard([this, prim] {
+      BatchState& bb = *batch_[static_cast<std::size_t>(prim)];
+      while (auto wc = bb.ack_cq->poll()) {
+        on_batch_ack(prim, *wc);
+      }
+      bb.ack_cq->arm();
+    }));
+    b.ack_cq->arm();
+    b.send_cq->set_event_handler(alive_.guard([this, prim] {
+      BatchState& bb = *batch_[static_cast<std::size_t>(prim)];
+      bool failed = false;
+      Status st = Status::ok();
+      while (auto wc = bb.send_cq->poll()) {
+        if (wc->status != StatusCode::kOk) {
+          failed = true;
+          st = Status(wc->status, "client send failed");
+        }
+      }
+      bb.send_cq->arm();
+      if (failed) fail_op(prim, st);
+    }));
+    b.send_cq->arm();
+  }
+}
+
 std::size_t HyperLoopClient::num_replicas() const {
   return group_.num_replicas();
 }
@@ -518,7 +732,22 @@ void HyperLoopClient::replica_read(std::size_t replica, std::uint64_t offset,
 std::size_t HyperLoopClient::outstanding() const {
   std::size_t n = 0;
   for (const auto& ch : channels_) n += ch.inflight.size();
+  for (const auto& b : batch_) {
+    if (!b) continue;
+    for (const auto& pb : b->inflight) n += pb.cbs.size();
+  }
+  for (const auto& acc : accum_) n += acc.size();
   return n;
+}
+
+std::uint32_t HyperLoopClient::effective_cap(bool batched) const {
+  const GroupParams& gp = group_.params();
+  // Logical slot s reuses staging slot s % ring; the op that used it last
+  // must have completed (its SEND fully gathered and acked) before we
+  // overwrite, or an RNR retransmit would re-gather corrupted bytes. Capping
+  // outstanding at half the ring keeps the rewrite strictly behind it.
+  const std::uint32_t ring = batched ? gp.batch_slots : gp.slots;
+  return std::max(1u, std::min(gp.max_outstanding, ring / 2));
 }
 
 void HyperLoopClient::gwrite(std::uint64_t offset, std::uint32_t size,
@@ -566,105 +795,195 @@ void HyperLoopClient::gflush(OpCallback cb) {
   issue(spec, std::move(cb));
 }
 
+void HyperLoopClient::begin_batch() { batch_mode_ = true; }
+
+void HyperLoopClient::flush_batch() {
+  batch_mode_ = false;
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    flush_channel(static_cast<Primitive>(p));
+  }
+}
+
 void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
-  ChannelState& ch = channels_[static_cast<std::size_t>(spec.prim)];
-  if (ch.inflight.size() >= group_.params().max_outstanding ||
-      !ch.backlog.empty()) {
+  const GroupParams& gp = group_.params();
+  const auto pi = static_cast<std::size_t>(spec.prim);
+  if (batch_mode_ || gp.auto_batch_window > 0) {
+    accum_[pi].emplace_back(spec, std::move(cb));
+    if (accum_[pi].size() >= gp.max_batch) {
+      flush_channel(spec.prim);
+    } else if (!batch_mode_ && !auto_flush_scheduled_[pi]) {
+      // Auto-batch: hold the op briefly so neighbours can join the batch.
+      auto_flush_scheduled_[pi] = true;
+      const Primitive prim = spec.prim;
+      group_.sim().schedule(gp.auto_batch_window, alive_.guard([this, prim] {
+        auto_flush_scheduled_[static_cast<std::size_t>(prim)] = false;
+        flush_channel(prim);
+      }));
+    }
+    return;
+  }
+  ChannelState& ch = channels_[pi];
+  if (ch.inflight.size() >= effective_cap(false) || !ch.backlog.empty()) {
     ch.backlog.emplace_back(spec, std::move(cb));
     return;
   }
   post_now(spec, std::move(cb));
 }
 
+void HyperLoopClient::flush_channel(Primitive p) {
+  const auto pi = static_cast<std::size_t>(p);
+  auto& pend = accum_[pi];
+  const std::uint32_t max_batch = group_.params().max_batch;
+  while (pend.size() >= 2) {
+    const std::size_t take = std::min<std::size_t>(max_batch, pend.size());
+    std::vector<std::pair<OpSpec, OpCallback>> group;
+    group.reserve(take);
+    for (std::size_t j = 0; j < take; ++j) {
+      group.push_back(std::move(pend.front()));
+      pend.pop_front();
+    }
+    post_batch_group(p, std::move(group));
+  }
+  if (!pend.empty()) {
+    // A batch of one gains nothing from the batched chain; keep it on the
+    // plain per-op path (also avoids creating batch channels for it).
+    auto [spec, cb] = std::move(pend.front());
+    pend.pop_front();
+    ChannelState& ch = channels_[pi];
+    if (ch.inflight.size() >= effective_cap(false) || !ch.backlog.empty()) {
+      ch.backlog.emplace_back(spec, std::move(cb));
+    } else {
+      post_now(spec, std::move(cb));
+    }
+  }
+}
+
 void HyperLoopClient::pump_backlog(ChannelState& ch) {
-  while (!ch.backlog.empty() &&
-         ch.inflight.size() < group_.params().max_outstanding) {
+  while (!ch.backlog.empty() && ch.inflight.size() < effective_cap(false)) {
     auto [spec, cb] = std::move(ch.backlog.front());
     ch.backlog.pop_front();
     post_now(spec, std::move(cb));
   }
 }
 
-WqePatch HyperLoopClient::build_patch(const OpSpec& spec, std::size_t replica,
-                                      std::uint64_t logical_slot) const {
-  const GroupParams& gp = group_.params();
+std::vector<WqePatch> HyperLoopClient::build_templates(Primitive p,
+                                                       bool batched) const {
   const std::size_t R = group_.num_replicas();
-  const std::uint64_t blob = blob_bytes(R);
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(logical_slot % gp.slots);
-  const MemberInfo& me = group_.member(replica);
-  const auto pi = static_cast<std::size_t>(spec.prim);
-
-  WqePatch patch;
-  switch (spec.prim) {
-    case Primitive::kGWrite: {
-      if (replica + 1 == R) break;  // tail forwards no data
-      const MemberInfo& next = group_.member(replica + 1);
-      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
-      patch.flags = spec.flush ? rnic::kFlush : 0u;
-      patch.local_addr = me.region_addr + spec.offset;
-      patch.local_len = spec.size;
-      patch.lkey = me.region_lkey;
-      patch.remote_addr = next.region_addr + spec.offset;
-      patch.rkey = next.region_rkey;
-      break;
-    }
-    case Primitive::kGCas: {
-      if ((spec.execute >> replica) & 1u) {
-        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kCompareSwap);
-        patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
-        // The observed value is deposited straight into this replica's
-        // result word inside the staging blob, so it rides down the chain.
-        patch.local_addr = me.staging_addr[pi] + k * blob +
-                           replica * kBlobEntryBytes + sizeof(WqePatch);
-        patch.local_len = 8;
-        patch.lkey = me.staging_lkey[pi];
-        patch.remote_addr = me.region_addr + spec.offset;
-        patch.rkey = me.region_rkey;
-        patch.compare = spec.compare;
-        patch.swap = spec.swap;
-      } else {
-        // Execute map bit clear: the paper turns the CAS into a NOP when
-        // granting ownership; the patch does exactly that.
-        patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
-        patch.flags = rnic::kSignaled;
+  const auto pi = static_cast<std::size_t>(p);
+  std::vector<WqePatch> tmpl(R);
+  for (std::size_t i = 0; i < R; ++i) {
+    WqePatch& t = tmpl[i];
+    const MemberInfo& me = group_.member(i);
+    switch (p) {
+      case Primitive::kGWrite: {
+        if (i + 1 == R) break;  // tail forwards no data; stays a zero patch
+        t.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+        t.lkey = me.region_lkey;
+        t.rkey = group_.member(i + 1).region_rkey;
+        break;
       }
-      break;
+      case Primitive::kGCas: {
+        t.opcode = static_cast<std::uint32_t>(rnic::Opcode::kCompareSwap);
+        t.flags = rnic::kSignaled;
+        t.local_len = 8;
+        t.lkey = batched ? group_.batch_member(i).staging_lkey[pi]
+                         : me.staging_lkey[pi];
+        t.rkey = me.region_rkey;
+        break;
+      }
+      case Primitive::kGMemcpy: {
+        t.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
+        t.flags = rnic::kSignaled;
+        t.lkey = me.region_lkey;
+        t.rkey = me.region_rkey;
+        break;
+      }
+      case Primitive::kGFlush:
+        break;  // fixed descriptor, nothing to patch
     }
-    case Primitive::kGMemcpy: {
-      patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
-      patch.flags = rnic::kSignaled | (spec.flush ? rnic::kFlush : 0u);
-      patch.local_addr = me.region_addr + spec.offset;
-      patch.local_len = spec.size;
-      patch.lkey = me.region_lkey;
-      patch.remote_addr = me.region_addr + spec.dst_offset;
-      patch.rkey = me.region_rkey;
-      break;
-    }
-    case Primitive::kGFlush:
-      break;  // fixed descriptor, nothing to patch
   }
-  return patch;
+  return tmpl;
 }
 
-void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
-  const GroupParams& gp = group_.params();
+void HyperLoopClient::write_group(const OpSpec& spec, bool batched,
+                                  std::uint64_t group_off) {
+  if (spec.prim == Primitive::kGFlush) return;  // fixed descriptors
   const std::size_t R = group_.num_replicas();
-  const std::uint64_t blob = blob_bytes(R);
   const auto pi = static_cast<std::size_t>(spec.prim);
-  ChannelState& ch = channels_[pi];
+  const std::uint64_t dst_base =
+      (batched ? batch_[pi]->staging_addr : channels_[pi].staging_addr) +
+      group_off;
+  const auto& tmpl = batched ? batch_[pi]->tmpl : channels_[pi].tmpl;
 
-  const std::uint64_t s = ch.next_slot++;
-  const std::uint32_t k = static_cast<std::uint32_t>(s % gp.slots);
-
-  // Build the metadata blob in the client staging slot.
-  std::vector<BlobEntry> entries(R);
   for (std::size_t i = 0; i < R; ++i) {
-    entries[i].patch = build_patch(spec, i, s);
-    entries[i].result = 0;
+    if (spec.prim == Primitive::kGWrite && i + 1 == R) {
+      continue;  // tail entry is static (zero patch) — never rewritten
+    }
+    WqePatch patch = tmpl[i];
+    switch (spec.prim) {
+      case Primitive::kGWrite: {
+        patch.flags = spec.flush ? rnic::kFlush : 0u;
+        patch.local_addr = group_.member(i).region_addr + spec.offset;
+        patch.local_len = spec.size;
+        patch.remote_addr = group_.member(i + 1).region_addr + spec.offset;
+        break;
+      }
+      case Primitive::kGCas: {
+        if ((spec.execute >> i) & 1u) {
+          patch.flags |= spec.flush ? rnic::kFlush : 0u;
+          // The observed value is deposited straight into this replica's
+          // result word inside the staging blob, so it rides down the chain.
+          patch.local_addr = (batched
+                                  ? group_.batch_member(i).staging_addr[pi]
+                                  : group_.member(i).staging_addr[pi]) +
+                             group_off + blob_result_offset(R, 0, i);
+          patch.remote_addr = group_.member(i).region_addr + spec.offset;
+          patch.compare = spec.compare;
+          patch.swap = spec.swap;
+        } else {
+          // Execute map bit clear: the paper turns the CAS into a NOP when
+          // granting ownership; the patch does exactly that.
+          patch = WqePatch{};
+          patch.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
+          patch.flags = rnic::kSignaled;
+        }
+        break;
+      }
+      case Primitive::kGMemcpy: {
+        patch.flags |= spec.flush ? rnic::kFlush : 0u;
+        patch.local_addr = group_.member(i).region_addr + spec.offset;
+        patch.local_len = spec.size;
+        patch.remote_addr = group_.member(i).region_addr + spec.dst_offset;
+        break;
+      }
+      case Primitive::kGFlush:
+        break;
+    }
+    node_.memory().write(dst_base + i * kBlobEntryBytes, &patch,
+                         sizeof(patch));
   }
-  node_.memory().write(ch.staging_addr + k * blob, entries.data(), blob);
+}
 
+void HyperLoopClient::write_padding_group(Primitive p,
+                                          std::uint64_t group_off) {
+  if (p == Primitive::kGFlush) return;  // fixed READs fire harmlessly
+  const std::size_t R = group_.num_replicas();
+  const auto pi = static_cast<std::size_t>(p);
+  WqePatch pad;
+  pad.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
+  // Loop-channel padding must still complete (signaled) so the forward
+  // WAIT's wait_count = max_batch arithmetic holds; gWRITE padding has no
+  // completion to contribute, so it stays silent.
+  pad.flags = p == Primitive::kGWrite ? 0u : rnic::kSignaled;
+  for (std::size_t i = 0; i < R; ++i) {
+    if (p == Primitive::kGWrite && i + 1 == R) continue;
+    node_.memory().write(
+        batch_[pi]->staging_addr + group_off + i * kBlobEntryBytes, &pad,
+        sizeof(pad));
+  }
+}
+
+void HyperLoopClient::apply_local_mirror(const OpSpec& spec) {
   // Keep the client's local copy in step with what the group will apply
   // (assuming uniform replicas; divergent members surface in result maps).
   if (spec.prim == Primitive::kGMemcpy) {
@@ -679,9 +998,27 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
       node_.memory().write_u64(addr, spec.swap);
     }
   }
+}
 
+void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint64_t blob = blob_bytes(R);
+  const auto pi = static_cast<std::size_t>(spec.prim);
+  ChannelState& ch = channels_[pi];
+
+  const std::uint64_t s = ch.next_slot++;
+  const std::uint64_t k = s % gp.slots;
+
+  // Patch only the dynamic descriptor words over the cached templates (the
+  // static fields and zero result words never change after setup).
+  write_group(spec, /*batched=*/false, blob_slot_offset(R, k));
+  apply_local_mirror(spec);
+
+  rnic::SendWr wrs[2];
+  std::size_t n = 0;
   if (spec.prim == Primitive::kGWrite) {
-    rnic::SendWr write;
+    rnic::SendWr& write = wrs[n++];
     write.opcode = rnic::Opcode::kWrite;
     write.flags = spec.flush ? rnic::kFlush : 0u;
     write.local_addr = group_.client_info().region_addr + spec.offset;
@@ -689,16 +1026,15 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
     write.lkey = group_.client_info().region_lkey;
     write.remote_addr = group_.member(0).region_addr + spec.offset;
     write.rkey = group_.member(0).region_rkey;
-    HL_CHECK(ch.down->post_send(write).is_ok());
   }
 
-  rnic::SendWr send;
+  rnic::SendWr& send = wrs[n++];
   send.opcode = rnic::Opcode::kSend;
   send.flags = 0;
-  send.local_addr = ch.staging_addr + k * blob;
+  send.local_addr = ch.staging_addr + blob_slot_offset(R, k);
   send.local_len = static_cast<std::uint32_t>(blob);
   send.lkey = ch.staging_lkey;
-  HL_CHECK(ch.down->post_send(send).is_ok());
+  HL_CHECK(ch.down->post_send_chain(wrs, n).is_ok());
 
   PendingOp op;
   op.logical_slot = s;
@@ -709,6 +1045,83 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
         fail_op(prim, Status(StatusCode::kUnavailable, "group op timed out"));
       }));
   ch.inflight.push_back(std::move(op));
+}
+
+void HyperLoopClient::post_batch_group(
+    Primitive p, std::vector<std::pair<OpSpec, OpCallback>> group) {
+  group_.enable_batching();  // lazy: first batched post builds the channels
+  const auto pi = static_cast<std::size_t>(p);
+  BatchState& b = *batch_[pi];
+  if (b.inflight.size() >= effective_cap(true) || !b.backlog.empty()) {
+    b.backlog.push_back(std::move(group));
+    return;
+  }
+  post_batch_now(p, std::move(group));
+}
+
+void HyperLoopClient::post_batch_now(
+    Primitive p, std::vector<std::pair<OpSpec, OpCallback>> group) {
+  const GroupParams& gp = group_.params();
+  const std::size_t R = group_.num_replicas();
+  const std::uint32_t max_batch = gp.max_batch;
+  const auto pi = static_cast<std::size_t>(p);
+  BatchState& b = *batch_[pi];
+
+  const std::uint64_t s = b.next_slot++;
+  const std::uint64_t kb = s % gp.batch_slots;
+  const auto count = static_cast<std::uint32_t>(group.size());
+  HL_CHECK(count >= 1 && count <= max_batch);
+
+  for (std::uint32_t j = 0; j < count; ++j) {
+    write_group(group[j].first, /*batched=*/true,
+                batch_group_offset(R, max_batch, kb, j));
+    apply_local_mirror(group[j].first);
+  }
+  // Groups beyond this batch may still carry patches from a previous,
+  // longer batch in this ring slot; re-pad them so their op WQEs go inert.
+  // (The blob SEND always carries the full padded size — the RECV scatter
+  // is positional, so every pre-posted op WQE must be overwritten.)
+  for (std::uint32_t j = count; j < b.last_count[kb]; ++j) {
+    write_padding_group(p, batch_group_offset(R, max_batch, kb, j));
+  }
+  b.last_count[kb] = count;
+
+  std::vector<rnic::SendWr> wrs;
+  wrs.reserve(count + 1);
+  if (p == Primitive::kGWrite) {
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const OpSpec& spec = group[j].first;
+      rnic::SendWr write;
+      write.opcode = rnic::Opcode::kWrite;
+      write.flags = spec.flush ? rnic::kFlush : 0u;
+      write.local_addr = group_.client_info().region_addr + spec.offset;
+      write.local_len = spec.size;
+      write.lkey = group_.client_info().region_lkey;
+      write.remote_addr = group_.member(0).region_addr + spec.offset;
+      write.rkey = group_.member(0).region_rkey;
+      wrs.push_back(write);
+    }
+  }
+  rnic::SendWr send;
+  send.opcode = rnic::Opcode::kSend;
+  send.flags = 0;
+  send.local_addr = b.staging_addr + kb * batch_blob_bytes(R, max_batch);
+  send.local_len =
+      static_cast<std::uint32_t>(batch_blob_bytes(R, max_batch));
+  send.lkey = b.staging_lkey;
+  wrs.push_back(send);
+  HL_CHECK(b.down->post_send_chain(wrs.data(), wrs.size()).is_ok());
+
+  PendingBatch pb;
+  pb.slot = s;
+  pb.cbs.reserve(count);
+  for (auto& [spec, cb] : group) pb.cbs.push_back(std::move(cb));
+  pb.timeout = group_.sim().schedule(
+      gp.op_timeout, alive_.guard([this, p] {
+        fail_op(p, Status(StatusCode::kUnavailable, "group op timed out"));
+      }));
+  b.inflight.push_back(std::move(pb));
+  ++batches_posted_;
 }
 
 void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
@@ -728,23 +1141,62 @@ void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
                "ack/operation mismatch");
 
   const std::size_t R = group_.num_replicas();
-  const std::uint64_t blob = blob_bytes(R);
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(op.logical_slot % group_.params().slots);
+  const std::uint64_t k = op.logical_slot % group_.params().slots;
   std::vector<std::uint64_t> results(R, 0);
   for (std::size_t i = 0; i < R; ++i) {
     // The tail's WRITE_WITH_IMM payload may still sit in this NIC's volatile
     // cache; read through it like the driver's CQE path would.
     node_.nic().cache().read_through(
-        ch.ack_addr + k * blob + i * kBlobEntryBytes + sizeof(WqePatch),
-        &results[i], 8);
+        ch.ack_addr + blob_result_offset(R, k, i), &results[i], 8);
   }
   if (op.cb) op.cb(Status::ok(), results);
   pump_backlog(ch);
 }
 
+void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
+  const auto pi = static_cast<std::size_t>(p);
+  BatchState& b = *batch_[pi];
+
+  rnic::RecvWr recv;
+  HL_CHECK(b.ack->post_recv(std::move(recv)).is_ok());
+
+  if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
+  if (b.inflight.empty()) return;           // stale ack after a timeout
+
+  PendingBatch pb = std::move(b.inflight.front());
+  b.inflight.pop_front();
+  group_.sim().cancel(pb.timeout);
+  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(pb.slot),
+               "ack/batch mismatch");
+
+  const std::size_t R = group_.num_replicas();
+  const std::uint32_t max_batch = group_.params().max_batch;
+  const std::uint64_t kb = pb.slot % group_.params().batch_slots;
+  for (std::size_t j = 0; j < pb.cbs.size(); ++j) {
+    const std::uint64_t goff = batch_group_offset(
+        R, max_batch, kb, static_cast<std::uint32_t>(j));
+    std::vector<std::uint64_t> results(R, 0);
+    for (std::size_t i = 0; i < R; ++i) {
+      node_.nic().cache().read_through(
+          b.ack_addr + goff + blob_result_offset(R, 0, i), &results[i], 8);
+    }
+    if (pb.cbs[j]) pb.cbs[j](Status::ok(), results);
+  }
+  pump_batch_backlog(p);
+}
+
+void HyperLoopClient::pump_batch_backlog(Primitive p) {
+  BatchState& b = *batch_[static_cast<std::size_t>(p)];
+  while (!b.backlog.empty() && b.inflight.size() < effective_cap(true)) {
+    auto group = std::move(b.backlog.front());
+    b.backlog.pop_front();
+    post_batch_now(p, std::move(group));
+  }
+}
+
 void HyperLoopClient::fail_op(Primitive p, Status status) {
-  ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+  const auto pi = static_cast<std::size_t>(p);
+  ChannelState& ch = channels_[pi];
   std::deque<PendingOp> failed;
   failed.swap(ch.inflight);
   for (auto& op : failed) {
@@ -755,6 +1207,30 @@ void HyperLoopClient::fail_op(Primitive p, Status status) {
   decltype(ch.backlog) dropped;
   dropped.swap(ch.backlog);
   for (auto& [spec, cb] : dropped) {
+    if (cb) cb(status, {});
+  }
+  if (batch_[pi]) {
+    BatchState& b = *batch_[pi];
+    std::deque<PendingBatch> fb;
+    fb.swap(b.inflight);
+    for (auto& pb : fb) {
+      group_.sim().cancel(pb.timeout);
+      for (auto& cb : pb.cbs) {
+        if (cb) cb(status, {});
+      }
+    }
+    decltype(b.backlog) bdropped;
+    bdropped.swap(b.backlog);
+    for (auto& g : bdropped) {
+      for (auto& [spec, cb] : g) {
+        if (cb) cb(status, {});
+      }
+    }
+  }
+  // Unflushed accumulated ops share the channel's fate.
+  std::deque<std::pair<OpSpec, OpCallback>> acc;
+  acc.swap(accum_[pi]);
+  for (auto& [spec, cb] : acc) {
     if (cb) cb(status, {});
   }
 }

@@ -43,13 +43,17 @@ class HyperLoopGroup;
 class ReplicaEngine {
  public:
   struct Channel {
+    Primitive prim = Primitive::kGWrite;
+    bool batched = false;              // batched twin (max_batch ops / slot)
+    std::uint32_t nslots = 0;          // pre-posted chain slots on the ring
+    std::uint64_t blob = 0;            // metadata bytes per slot
     rnic::QueuePair* prev = nullptr;   // from upstream (client or replica)
     rnic::QueuePair* next = nullptr;   // to downstream replica / client ack
     rnic::QueuePair* loop = nullptr;   // loopback QP (gCAS/gMEMCPY/gFLUSH)
     rnic::CompletionQueue* recv_cq = nullptr;  // prev's recv completions
     rnic::CompletionQueue* loop_cq = nullptr;  // loopback op completions
     rnic::CompletionQueue* send_cq = nullptr;  // next/loop send errors
-    std::uint64_t staging_addr = 0;    // slots * blob_bytes staging blobs
+    std::uint64_t staging_addr = 0;    // nslots * blob staging blobs
     std::uint32_t staging_lkey = 0;
     std::uint32_t ring_lkey = 0;       // next QP's ring (patch scatter)
     std::uint32_t loop_ring_lkey = 0;  // loop QP's ring (patch scatter)
@@ -69,6 +73,9 @@ class ReplicaEngine {
   [[nodiscard]] Channel& channel(Primitive p) {
     return channels_[static_cast<std::size_t>(p)];
   }
+  [[nodiscard]] Channel& batch_channel(Primitive p) {
+    return batch_channels_[static_cast<std::size_t>(p)];
+  }
 
   /// Total CPU time this replica spent on HyperLoop work (replenishment
   /// only — the datapath never runs here). Reported by the Fig. 9 bench.
@@ -77,18 +84,32 @@ class ReplicaEngine {
  private:
   friend class HyperLoopGroup;
 
-  bool post_slot(Primitive p, std::uint64_t logical_slot);
+  void init_channel(Primitive p, Channel& ch, bool batched);
+  /// Create the batched twin channels (QPs + staging); no posting yet —
+  /// the group wires the chain first, then calls start_batching().
+  void create_batch_channels();
+  void start_batching();
+  /// Post the initial nslots chains of one channel and arm its CQ handler.
+  void prime_channel(Channel& ch);
+  /// WQEs one slot chain occupies on the next-hop / loopback ring.
+  [[nodiscard]] std::uint32_t next_wqes(const Channel& ch) const;
+  [[nodiscard]] std::uint32_t loop_wqes(const Channel& ch) const;
+  bool post_slot(Channel& ch, std::uint64_t logical_slot,
+                 std::vector<rnic::SendWr>& next_wrs,
+                 std::vector<rnic::SendWr>& loop_wrs);
   void periodic_sweep();
-  void post_recv_for_slot(Primitive p, std::uint64_t logical_slot);
-  void on_recv_event(Primitive p);
-  void replenish(Primitive p);
+  void post_recv_for_slot(Channel& ch, std::uint64_t logical_slot);
+  void on_recv_event(Channel& ch);
+  void replenish(Channel& ch);
 
   Node& node_;
   HyperLoopGroup& group_;
   Lifetime alive_;
   std::size_t index_;  // position in the chain, 0-based
   bool is_tail_ = false;
+  bool batching_enabled_ = false;
   std::array<Channel, kNumPrimitives> channels_;
+  std::array<Channel, kNumPrimitives> batch_channels_;
   cpu::ThreadId repost_thread_ = cpu::kInvalidThread;
 };
 
@@ -117,8 +138,21 @@ class HyperLoopClient : public GroupInterface {
                std::uint32_t size, bool flush, OpCallback cb) override;
   void gflush(OpCallback cb) override;
 
+  /// Batch bracket: ops issued in between accumulate per primitive and are
+  /// posted by flush_batch() as coalesced chains over the lazily-created
+  /// batch channels (one doorbell per hop drives the whole batch). A batch
+  /// of one falls back to the plain per-op path.
+  void begin_batch() override;
+  void flush_batch() override;
+
   /// Outstanding operations across all channels (diagnostics).
   [[nodiscard]] std::size_t outstanding() const;
+
+  /// Batched chains ever posted (diagnostics; lets tests assert an op
+  /// actually took the batched path).
+  [[nodiscard]] std::uint64_t batches_posted() const {
+    return batches_posted_;
+  }
 
  private:
   friend class HyperLoopGroup;
@@ -150,22 +184,77 @@ class HyperLoopClient : public GroupInterface {
     std::uint64_t ack_addr = 0;       // tail deposits blobs here
     std::uint32_t ack_rkey = 0;
     std::uint64_t next_slot = 0;      // logical op counter
+    std::vector<WqePatch> tmpl;       // cached per-replica patch templates
     std::deque<PendingOp> inflight;   // FIFO: acks arrive in order
     std::deque<std::pair<OpSpec, OpCallback>> backlog;  // over the cap
+  };
+  struct PendingBatch {
+    std::uint64_t slot = 0;
+    std::vector<OpCallback> cbs;      // one per sub-op, issue order
+    sim::EventId timeout;
+  };
+  /// Client half of a batch channel (lazily created with the replica
+  /// twins). Layout mirrors ChannelState but every slot holds max_batch
+  /// back-to-back op blobs.
+  struct BatchState {
+    rnic::QueuePair* down = nullptr;
+    rnic::QueuePair* ack = nullptr;
+    rnic::CompletionQueue* ack_cq = nullptr;
+    rnic::CompletionQueue* send_cq = nullptr;
+    std::uint64_t staging_addr = 0;
+    std::uint32_t staging_lkey = 0;
+    std::uint64_t ack_addr = 0;
+    std::uint32_t ack_rkey = 0;
+    std::uint64_t next_slot = 0;
+    std::vector<WqePatch> tmpl;
+    std::vector<std::uint32_t> last_count;  // ops written per ring slot
+    std::deque<PendingBatch> inflight;
+    std::deque<std::vector<std::pair<OpSpec, OpCallback>>> backlog;
   };
 
   void issue(const OpSpec& spec, OpCallback cb);
   void post_now(const OpSpec& spec, OpCallback cb);
-  WqePatch build_patch(const OpSpec& spec, std::size_t replica,
-                       std::uint64_t logical_slot) const;
+  /// Static per-replica patch fields for one primitive; the per-op path
+  /// copies these and fills in only the dynamic descriptor words.
+  [[nodiscard]] std::vector<WqePatch> build_templates(Primitive p,
+                                                      bool batched) const;
+  /// Patch one op's R-entry blob group at `group_off` within the channel's
+  /// staging area (dynamic words over the cached templates).
+  void write_group(const OpSpec& spec, bool batched, std::uint64_t group_off);
+  /// Overwrite a stale batch group with NOP padding patches.
+  void write_padding_group(Primitive p, std::uint64_t group_off);
+  /// Apply the op's effect to the client's local region copy.
+  void apply_local_mirror(const OpSpec& spec);
+  /// Outstanding-op cap: min(max_outstanding, ring/2) so staging-slot reuse
+  /// stays strictly behind completion (RNR retransmits re-gather staging).
+  [[nodiscard]] std::uint32_t effective_cap(bool batched) const;
   void on_ack(Primitive p, const rnic::Completion& c);
   void fail_op(Primitive p, Status status);
   void pump_backlog(ChannelState& ch);
+
+  // Batched path.
+  void flush_channel(Primitive p);
+  void post_batch_group(Primitive p,
+                        std::vector<std::pair<OpSpec, OpCallback>> group);
+  void post_batch_now(Primitive p,
+                      std::vector<std::pair<OpSpec, OpCallback>> group);
+  void on_batch_ack(Primitive p, const rnic::Completion& c);
+  void pump_batch_backlog(Primitive p);
+  void create_batch_qps();   // QPs + regions (before the group wires them)
+  void finish_batching();    // templates, padding, RECVs, CQ handlers
 
   Node& node_;
   HyperLoopGroup& group_;
   Lifetime alive_;
   std::array<ChannelState, kNumPrimitives> channels_;
+  std::array<std::unique_ptr<BatchState>, kNumPrimitives> batch_;
+  // Ops accumulated inside a begin_batch()/flush_batch() bracket or an
+  // auto-batch window, per primitive.
+  std::array<std::deque<std::pair<OpSpec, OpCallback>>, kNumPrimitives>
+      accum_;
+  std::array<bool, kNumPrimitives> auto_flush_scheduled_{};
+  bool batch_mode_ = false;
+  std::uint64_t batches_posted_ = 0;
 };
 
 /// Builds a HyperLoop group over nodes[0..R] of a cluster: node `client`
@@ -179,7 +268,11 @@ class HyperLoopGroup {
 
   [[nodiscard]] HyperLoopClient& client() { return *client_; }
   [[nodiscard]] ReplicaEngine& replica(std::size_t i) { return *replicas_[i]; }
-  [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
+  // Based on the node list, not the engine vector: replica engines call this
+  // from their constructors, before the engine vector is fully built.
+  [[nodiscard]] std::size_t num_replicas() const {
+    return replica_nodes_.size();
+  }
   [[nodiscard]] const GroupParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t region_size() const { return region_size_; }
   [[nodiscard]] Cluster& cluster() { return cluster_; }
@@ -188,6 +281,21 @@ class HyperLoopGroup {
   }
   [[nodiscard]] const MemberInfo& client_info() const { return client_info_; }
   [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
+
+  /// Replica staging areas of the batch channels (client blob building).
+  struct BatchStaging {
+    std::uint64_t staging_addr[kNumPrimitives] = {};
+    std::uint32_t staging_lkey[kNumPrimitives] = {};
+  };
+  [[nodiscard]] const BatchStaging& batch_member(std::size_t i) const {
+    return batch_members_[i];
+  }
+
+  /// Create, wire, and start the batched twin channels on every member.
+  /// Called lazily by the client on its first batched post, so groups that
+  /// never batch allocate nothing and see an unchanged event stream.
+  void enable_batching();
+  [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
  private:
   friend class ReplicaEngine;
@@ -200,6 +308,8 @@ class HyperLoopGroup {
   std::vector<Node*> replica_nodes_;
   std::vector<MemberInfo> members_;   // one per replica, chain order
   MemberInfo client_info_;            // the client's own region
+  std::vector<BatchStaging> batch_members_;
+  bool batching_enabled_ = false;
   std::vector<std::unique_ptr<ReplicaEngine>> replicas_;
   std::unique_ptr<HyperLoopClient> client_;
 };

@@ -61,6 +61,18 @@ class GroupInterface {
 
   /// Standalone durability barrier: drain every replica's NIC cache.
   virtual void gflush(OpCallback cb) = 0;
+
+  // --- Op batching (optional) ---------------------------------------------
+
+  /// Open a batch bracket: ops issued until flush_batch() accumulate and are
+  /// posted as coalesced multi-op chains (one doorbell per hop drives the
+  /// whole batch). Each op still completes through its own callback, in
+  /// issue order per primitive. Datapaths without batching treat every op as
+  /// a batch of one — the defaults make this a no-op.
+  virtual void begin_batch() {}
+
+  /// Close the batch bracket and post everything accumulated.
+  virtual void flush_batch() {}
 };
 
 }  // namespace hyperloop::core

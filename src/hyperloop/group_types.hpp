@@ -63,6 +63,47 @@ constexpr std::uint64_t blob_bytes(std::size_t replicas) {
   return kBlobEntryBytes * replicas;
 }
 
+/// Staging/ack areas are laid out as one blob per logical slot. These three
+/// helpers are the single home of the slot/entry offset arithmetic that the
+/// chain and fan-out datapaths share (`slot` already reduced modulo the slot
+/// count).
+constexpr std::uint64_t blob_slot_offset(std::size_t replicas,
+                                         std::uint64_t slot) {
+  return slot * blob_bytes(replicas);
+}
+
+/// Offset of replica `replica`'s BlobEntry within slot `slot`'s blob.
+constexpr std::uint64_t blob_entry_offset(std::size_t replicas,
+                                          std::uint64_t slot,
+                                          std::size_t replica) {
+  return blob_slot_offset(replicas, slot) + replica * kBlobEntryBytes;
+}
+
+/// Offset of replica `replica`'s result word within slot `slot`'s blob.
+constexpr std::uint64_t blob_result_offset(std::size_t replicas,
+                                           std::uint64_t slot,
+                                           std::size_t replica) {
+  return blob_entry_offset(replicas, slot, replica) + sizeof(WqePatch);
+}
+
+/// Bytes of one batched metadata blob: `max_batch` op groups back to back,
+/// each a full R-entry blob. Batched chain slots always carry this full
+/// size; short batches pad the tail groups with NOP patches.
+constexpr std::uint64_t batch_blob_bytes(std::size_t replicas,
+                                         std::uint32_t max_batch) {
+  return blob_bytes(replicas) * max_batch;
+}
+
+/// Offset of op-group `group`'s R-entry blob within batched slot `slot`'s
+/// batch blob (`slot` already reduced modulo the batch slot count).
+constexpr std::uint64_t batch_group_offset(std::size_t replicas,
+                                           std::uint32_t max_batch,
+                                           std::uint64_t slot,
+                                           std::uint32_t group) {
+  return slot * batch_blob_bytes(replicas, max_batch) +
+         blob_slot_offset(replicas, group);
+}
+
 /// Byte ranges within WqeData that RECV scatters patch.
 inline constexpr std::uint64_t kPatchPart1WqeOffset = 8;   // opcode+flags
 inline constexpr std::uint64_t kPatchPart1Bytes = 8;
@@ -104,6 +145,20 @@ struct GroupParams {
   Duration op_timeout = 50'000'000;  // 50ms
   /// Tenant token guarding every region the group registers.
   std::uint64_t tenant = 1;
+
+  // --- Datapath op batching (doorbell batching; DESIGN.md "Op batching") --
+  /// Max sub-ops coalesced into one batched chain slot (K). Batched chains
+  /// are pre-posted with exactly this many op WQEs; shorter batches pad the
+  /// tail with NOP patches.
+  std::uint32_t max_batch = 16;
+  /// Pre-posted batched chain slots per channel. Batch channels are created
+  /// lazily on the first batched post, so groups that never batch allocate
+  /// nothing and draw no NIC events.
+  std::uint32_t batch_slots = 64;
+  /// When nonzero, ops issued outside an explicit begin_batch()/flush_batch()
+  /// bracket accumulate for up to this long (or until max_batch ops) before
+  /// being flushed as one batch. 0 = explicit batching only.
+  Duration auto_batch_window = 0;
 };
 
 /// Bit i set => replica i executes the CAS (paper's execute map). Replicas

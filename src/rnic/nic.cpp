@@ -76,7 +76,25 @@ Status QueuePair::post_send(const SendWr& wr) {
   if (posted_depth() >= ring_slots_) {
     return {StatusCode::kResourceExhausted, "send ring full"};
   }
+  write_wqe(wr);
+  nic_.kick(*this);  // doorbell
+  return Status::ok();
+}
 
+Status QueuePair::post_send_chain(const SendWr* wrs, std::size_t n) {
+  if (n == 0) return Status::ok();
+  if (state_ != State::kConnected) {
+    return {StatusCode::kFailedPrecondition, "QP not connected"};
+  }
+  if (posted_depth() + n > ring_slots_) {
+    return {StatusCode::kResourceExhausted, "send ring full"};
+  }
+  for (std::size_t i = 0; i < n; ++i) write_wqe(wrs[i]);
+  nic_.kick(*this);  // single doorbell for the whole chain
+  return Status::ok();
+}
+
+void QueuePair::write_wqe(const SendWr& wr) {
   WqeData wqe;
   wqe.valid = 1;
   wqe.owned_by_nic = wr.deferred_ownership ? 0 : 1;
@@ -107,8 +125,6 @@ Status QueuePair::post_send(const SendWr& wr) {
     if (sq_enable_ == sq_tail_) sq_enable_ = sq_tail_ + 1;
   }
   ++sq_tail_;
-  nic_.kick(*this);  // doorbell
-  return Status::ok();
 }
 
 Status QueuePair::post_recv(RecvWr wr) {

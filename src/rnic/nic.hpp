@@ -99,6 +99,14 @@ class QueuePair {
   /// when the ring is full, kFailedPrecondition unless connected.
   Status post_send(const SendWr& wr);
 
+  /// Post `n` work requests as one chain with a single doorbell: every WQE
+  /// is written into the ring, then the engine is kicked once. Equivalent to
+  /// posting each wr in order from the NIC's point of view, but models the
+  /// driver-side doorbell batching real RNICs rely on for bulk reposts.
+  /// Fails atomically (posts nothing) with kResourceExhausted when the ring
+  /// lacks space for the whole chain.
+  Status post_send_chain(const SendWr* wrs, std::size_t n);
+
   /// Post a receive. The SGE list is where an inbound SEND scatters.
   Status post_recv(RecvWr wr);
 
@@ -141,6 +149,10 @@ class QueuePair {
   QueuePair(Nic& nic, QpId id, CompletionQueue* send_cq,
             CompletionQueue* recv_cq, std::uint32_t ring_slots,
             std::uint64_t ring_addr, mem::TenantToken tenant);
+
+  /// Write one WQE into the next ring slot and advance the post cursor
+  /// (no doorbell). Shared by post_send and post_send_chain.
+  void write_wqe(const SendWr& wr);
 
   [[nodiscard]] std::uint32_t posted_depth() const {
     return sq_tail_ - sq_completed_;

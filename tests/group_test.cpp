@@ -367,6 +367,86 @@ TEST_F(GroupTest, PipelinedOpsCompleteInOrder) {
   for (int i = 0; i < kOps; ++i) EXPECT_EQ(completions[i], i);
 }
 
+TEST_F(GroupTest, BackpressureQueuesInsteadOfClobberingSlots) {
+  // Regression: with few slots, a burst larger than the outstanding cap used
+  // to overwrite in-flight staging slots. Ops past the cap must queue and
+  // drain in order instead.
+  GroupParams params;
+  params.slots = 8;  // outstanding cap becomes slots/2 = 4
+  build(2, params);
+  auto& client = group_->client();
+  const int kOps = 40;  // 10x the cap, posted in one burst
+  std::vector<int> completions;
+  bool done = false;
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * 64;
+    const std::uint64_t val = 0xB00B00ull + static_cast<std::uint64_t>(i);
+    client.region_write(off, &val, 8);
+    client.gwrite(off, 8, true, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok()) << "op " << i << ": " << s;
+      completions.push_back(i);
+      if (static_cast<int>(completions.size()) == kOps) done = true;
+    });
+  }
+  ASSERT_TRUE(run_until_done(done, 500_ms));
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(completions[i], i);
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t expect = 0xB00B00ull + static_cast<std::uint64_t>(i);
+    for (std::size_t r = 0; r < 2; ++r) {
+      std::uint64_t got = 0;
+      client.replica_read(r, static_cast<std::uint64_t>(i) * 64, &got, 8);
+      EXPECT_EQ(got, expect) << "op " << i << " replica " << r;
+    }
+  }
+}
+
+TEST_F(GroupTest, SlotWraparoundSustainedLoad) {
+  // Cycle every logical slot at least 3 times on a tiny ring, mixing
+  // primitives, then prove the final flushed state is durable. ACK/slot
+  // matching is asserted inside the client on every completion.
+  GroupParams params;
+  params.slots = 4;
+  build(3, params);
+  auto& client = group_->client();
+  const int kOps = 4 * 3 + 4;  // > 3 full wraparounds of the slot ring
+  int completed = 0;
+  bool done = false;
+
+  std::function<void(int)> next = [&](int i) {
+    if (i == kOps) {
+      done = true;
+      return;
+    }
+    const std::uint64_t off = static_cast<std::uint64_t>(i % 4) * 256;
+    const std::uint64_t val = 0xFEED0000ull + static_cast<std::uint64_t>(i);
+    client.region_write(off, &val, 8);
+    client.gwrite(off, 8, /*flush=*/true, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok()) << "op " << i << ": " << s;
+      ++completed;
+      next(i + 1);
+    });
+  };
+  next(0);
+  ASSERT_TRUE(run_until_done(done, 1'000_ms));
+  EXPECT_EQ(completed, kOps);
+
+  // Every op was flushed; the final values must survive a power failure.
+  for (std::size_t r = 0; r < 3; ++r) {
+    group_->cluster().node(r + 1).nic().power_fail();
+  }
+  for (int slot = 0; slot < 4; ++slot) {
+    std::uint64_t expect = 0;
+    client.region_read(static_cast<std::uint64_t>(slot) * 256, &expect, 8);
+    for (std::size_t r = 0; r < 3; ++r) {
+      std::uint64_t got = 0;
+      client.replica_read(r, static_cast<std::uint64_t>(slot) * 256, &got, 8);
+      EXPECT_EQ(got, expect) << "slot " << slot << " replica " << r;
+    }
+  }
+}
+
 TEST_F(GroupTest, LargerGroupsStillWork) {
   for (std::size_t replicas : {1u, 5u, 7u}) {
     build(replicas);
