@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Replay one chaos seed locally: reruns every chaos invariant sweep with the
+# fault schedule and workload that seed produces (bit-for-bit, see
+# DESIGN.md "Fault model").
+#
+#   scripts/replay_seed.sh <seed> [gtest-filter]
+#
+# e.g.  scripts/replay_seed.sh 12648430
+#       scripts/replay_seed.sh 12648430 'Chaos.DropPolicy*'
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <seed> [gtest-filter]" >&2
+  exit 2
+fi
+seed="$1"
+filter="${2:-Chaos.*}"
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${repo_root}/build/tests/chaos_test"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "building chaos_test..." >&2
+  cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null
+  cmake --build "${repo_root}/build" --target chaos_test -j >/dev/null
+fi
+
+exec "${bin}" "--seed=${seed}" "--gtest_filter=${filter}"

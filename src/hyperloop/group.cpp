@@ -1034,16 +1034,26 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
   send.local_addr = ch.staging_addr + blob_slot_offset(R, k);
   send.local_len = static_cast<std::uint32_t>(blob);
   send.lkey = ch.staging_lkey;
-  HL_CHECK(ch.down->post_send_chain(wrs, n).is_ok());
+  const Status posted = ch.down->post_send_chain(wrs, n);
+  if (!posted.is_ok()) {
+    // The channel QP died between ops (chain failure discovered while this
+    // op was queued). Fail just this op — deferred, to keep the callback
+    // outside the caller's stack — and leave the inflight set to its own
+    // timeouts.
+    group_.sim().schedule(
+        0, alive_.guard([cb = std::move(cb), posted]() mutable {
+          if (cb) cb(posted, {});
+        }));
+    return;
+  }
 
   PendingOp op;
   op.logical_slot = s;
   op.cb = std::move(cb);
   const auto prim = spec.prim;
   op.timeout = group_.sim().schedule(
-      gp.op_timeout, alive_.guard([this, prim] {
-        fail_op(prim, Status(StatusCode::kUnavailable, "group op timed out"));
-      }));
+      gp.op_timeout,
+      alive_.guard([this, prim, s] { on_op_timeout(prim, s); }));
   ch.inflight.push_back(std::move(op));
 }
 
@@ -1110,16 +1120,24 @@ void HyperLoopClient::post_batch_now(
       static_cast<std::uint32_t>(batch_blob_bytes(R, max_batch));
   send.lkey = b.staging_lkey;
   wrs.push_back(send);
-  HL_CHECK(b.down->post_send_chain(wrs.data(), wrs.size()).is_ok());
+  const Status posted = b.down->post_send_chain(wrs.data(), wrs.size());
+  if (!posted.is_ok()) {
+    group_.sim().schedule(
+        0, alive_.guard([cbs = std::move(group), posted]() mutable {
+          for (auto& [spec, cb] : cbs) {
+            if (cb) cb(posted, {});
+          }
+        }));
+    return;
+  }
 
   PendingBatch pb;
   pb.slot = s;
   pb.cbs.reserve(count);
   for (auto& [spec, cb] : group) pb.cbs.push_back(std::move(cb));
   pb.timeout = group_.sim().schedule(
-      gp.op_timeout, alive_.guard([this, p] {
-        fail_op(p, Status(StatusCode::kUnavailable, "group op timed out"));
-      }));
+      gp.op_timeout,
+      alive_.guard([this, p, s] { on_batch_timeout(p, s); }));
   b.inflight.push_back(std::move(pb));
   ++batches_posted_;
 }
@@ -1127,18 +1145,25 @@ void HyperLoopClient::post_batch_now(
 void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
   ChannelState& ch = channels_[static_cast<std::size_t>(p)];
 
-  // Replenish the consumed ack RECV immediately (client-side, cheap).
+  // Replenish the consumed ack RECV immediately (client-side, cheap). The
+  // post can fail if the QP errored between the completion and this handler;
+  // the error CQE that follows will tear the channel down.
   rnic::RecvWr recv;
-  HL_CHECK(ch.ack->post_recv(std::move(recv)).is_ok());
+  (void)ch.ack->post_recv(std::move(recv));
 
   if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
   if (ch.inflight.empty()) return;          // stale ack after a timeout
 
+  // Acks arrive in issue order on a healthy chain. A mismatch means this ack
+  // belongs to an op the client already failed on timeout (the chain healed
+  // and delivered late); drop it rather than mis-crediting the front op.
+  if (c.imm != static_cast<std::uint32_t>(ch.inflight.front().logical_slot)) {
+    ++stale_acks_;
+    return;
+  }
   PendingOp op = std::move(ch.inflight.front());
   ch.inflight.pop_front();
   group_.sim().cancel(op.timeout);
-  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(op.logical_slot),
-               "ack/operation mismatch");
 
   const std::size_t R = group_.num_replicas();
   const std::uint64_t k = op.logical_slot % group_.params().slots;
@@ -1158,16 +1183,18 @@ void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
   BatchState& b = *batch_[pi];
 
   rnic::RecvWr recv;
-  HL_CHECK(b.ack->post_recv(std::move(recv)).is_ok());
+  (void)b.ack->post_recv(std::move(recv));
 
   if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
   if (b.inflight.empty()) return;           // stale ack after a timeout
 
+  if (c.imm != static_cast<std::uint32_t>(b.inflight.front().slot)) {
+    ++stale_acks_;  // late ack for a batch already failed on timeout
+    return;
+  }
   PendingBatch pb = std::move(b.inflight.front());
   b.inflight.pop_front();
   group_.sim().cancel(pb.timeout);
-  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(pb.slot),
-               "ack/batch mismatch");
 
   const std::size_t R = group_.num_replicas();
   const std::uint32_t max_batch = group_.params().max_batch;
@@ -1192,6 +1219,47 @@ void HyperLoopClient::pump_batch_backlog(Primitive p) {
     b.backlog.pop_front();
     post_batch_now(p, std::move(group));
   }
+}
+
+void HyperLoopClient::on_op_timeout(Primitive p, std::uint64_t logical_slot) {
+  const GroupParams& gp = group_.params();
+  ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+  auto it = std::find_if(
+      ch.inflight.begin(), ch.inflight.end(),
+      [&](const PendingOp& op) { return op.logical_slot == logical_slot; });
+  if (it == ch.inflight.end()) return;  // already acked or failed
+  // While both channel QPs are still connected the NIC retransmit machinery
+  // is working the loss; extend the deadline instead of failing the chain.
+  if (it->extensions < gp.op_retry_limit &&
+      ch.down->state() == rnic::QueuePair::State::kConnected &&
+      ch.ack->state() == rnic::QueuePair::State::kConnected) {
+    ++it->extensions;
+    it->timeout = group_.sim().schedule(
+        gp.op_timeout,
+        alive_.guard([this, p, logical_slot] { on_op_timeout(p, logical_slot); }));
+    return;
+  }
+  fail_op(p, Status(StatusCode::kUnavailable, "group op timed out"));
+}
+
+void HyperLoopClient::on_batch_timeout(Primitive p, std::uint64_t slot) {
+  const GroupParams& gp = group_.params();
+  const auto pi = static_cast<std::size_t>(p);
+  if (!batch_[pi]) return;
+  BatchState& b = *batch_[pi];
+  auto it = std::find_if(
+      b.inflight.begin(), b.inflight.end(),
+      [&](const PendingBatch& pb) { return pb.slot == slot; });
+  if (it == b.inflight.end()) return;  // already acked or failed
+  if (it->extensions < gp.op_retry_limit &&
+      b.down->state() == rnic::QueuePair::State::kConnected &&
+      b.ack->state() == rnic::QueuePair::State::kConnected) {
+    ++it->extensions;
+    it->timeout = group_.sim().schedule(
+        gp.op_timeout, alive_.guard([this, p, slot] { on_batch_timeout(p, slot); }));
+    return;
+  }
+  fail_op(p, Status(StatusCode::kUnavailable, "group batch timed out"));
 }
 
 void HyperLoopClient::fail_op(Primitive p, Status status) {

@@ -154,6 +154,11 @@ class HyperLoopClient : public GroupInterface {
     return batches_posted_;
   }
 
+  /// Tail ACKs discarded because they did not match the oldest inflight op
+  /// — late arrivals for ops already failed by a timeout. Dropping (instead
+  /// of crashing on the FIFO mismatch) keeps a healed channel usable.
+  [[nodiscard]] std::uint64_t stale_acks() const { return stale_acks_; }
+
  private:
   friend class HyperLoopGroup;
 
@@ -163,6 +168,7 @@ class HyperLoopClient : public GroupInterface {
     std::uint64_t logical_slot = 0;
     OpCallback cb;
     sim::EventId timeout;
+    std::uint32_t extensions = 0;  // deadline extensions consumed
   };
   struct OpSpec {
     Primitive prim;
@@ -192,6 +198,7 @@ class HyperLoopClient : public GroupInterface {
     std::uint64_t slot = 0;
     std::vector<OpCallback> cbs;      // one per sub-op, issue order
     sim::EventId timeout;
+    std::uint32_t extensions = 0;  // deadline extensions consumed
   };
   /// Client half of a batch channel (lazily created with the replica
   /// twins). Layout mirrors ChannelState but every slot holds max_batch
@@ -231,6 +238,11 @@ class HyperLoopClient : public GroupInterface {
   void on_ack(Primitive p, const rnic::Completion& c);
   void fail_op(Primitive p, Status status);
   void pump_backlog(ChannelState& ch);
+  /// Op deadline fired: extend it while the channel is still connected (the
+  /// NIC retransmit machinery is working the fault) and budget remains,
+  /// otherwise fail the channel.
+  void on_op_timeout(Primitive p, std::uint64_t logical_slot);
+  void on_batch_timeout(Primitive p, std::uint64_t slot);
 
   // Batched path.
   void flush_channel(Primitive p);
@@ -255,6 +267,7 @@ class HyperLoopClient : public GroupInterface {
   std::array<bool, kNumPrimitives> auto_flush_scheduled_{};
   bool batch_mode_ = false;
   std::uint64_t batches_posted_ = 0;
+  std::uint64_t stale_acks_ = 0;
 };
 
 /// Builds a HyperLoop group over nodes[0..R] of a cluster: node `client`

@@ -143,6 +143,12 @@ struct GroupParams {
   Duration sweep_interval = 500'000;  // 500us
   /// Client-side deadline for an operation (covers chain failures).
   Duration op_timeout = 50'000'000;  // 50ms
+  /// Deadline extensions granted to an inflight op while the channel's QPs
+  /// are still connected — the NIC-level retransmit machinery underneath is
+  /// still working on it (transient loss), so failing the whole channel
+  /// would turn a recoverable fault into a visible outage. Once the budget
+  /// is spent (or a QP errored) the op fails with kUnavailable.
+  std::uint32_t op_retry_limit = 2;
   /// Tenant token guarding every region the group registers.
   std::uint64_t tenant = 1;
 

@@ -19,13 +19,13 @@ HeartbeatMonitor::HeartbeatMonitor(
     : cluster_(cluster),
       params_(params),
       client_(&cluster.node(client_node)),
+      replica_nodes_(replica_nodes),
       misses_(replica_nodes.size(), 0) {
   rnic::Nic& cnic = client_->nic();
   for (std::size_t i = 0; i < replica_nodes.size(); ++i) {
     Node& replica = cluster_.node(replica_nodes[i]);
     Probe probe;
     probe.cq = cnic.create_cq();
-    probe.qp = cnic.create_qp(probe.cq, probe.cq, 8, kMonitorTenant);
 
     mem::HostMemory& cmem = client_->memory();
     probe.scratch_addr = cmem.alloc(8, 8);
@@ -40,29 +40,64 @@ HeartbeatMonitor::HeartbeatMonitor(
         probe.target_addr, 8, mem::kRemoteRead, kMonitorTenant);
     probe.target_rkey = tmr.rkey;
 
-    // Remote side of the probe QP: a passive QP on the replica NIC that
-    // merely answers one-sided READs (no replica CPU ever runs).
-    rnic::Nic& rnic = replica.nic();
-    rnic::CompletionQueue* rcq = rnic.create_cq();
-    rnic::QueuePair* rqp = rnic.create_qp(rcq, rcq, 1, kMonitorTenant);
-    cnic.connect(probe.qp, replica.id(), rqp->id());
-    rnic.connect(rqp, client_->id(), probe.qp->id());
-
     probes_.push_back(probe);
+    rebuild_probe(i);
+    qp_rebuilds_ = 0;  // initial setup is not a rebuild
   }
 }
 
-void HeartbeatMonitor::start(FailureCallback on_failure) {
+/// (Re)creates the probe QP pair for replica `i`. The remote side is a
+/// passive QP on the replica NIC that merely answers one-sided READs (no
+/// replica CPU ever runs). MRs and the client CQ are reused; a previously
+/// errored QP pair is simply abandoned to its NIC.
+void HeartbeatMonitor::rebuild_probe(std::size_t i) {
+  Probe& probe = probes_[i];
+  Node& replica = cluster_.node(replica_nodes_[i]);
+  rnic::Nic& cnic = client_->nic();
+  rnic::Nic& rnic = replica.nic();
+  probe.qp = cnic.create_qp(probe.cq, probe.cq, 8, kMonitorTenant);
+  rnic::CompletionQueue* rcq = rnic.create_cq();
+  rnic::QueuePair* rqp = rnic.create_qp(rcq, rcq, 1, kMonitorTenant);
+  cnic.connect(probe.qp, replica.id(), rqp->id());
+  rnic.connect(rqp, client_->id(), probe.qp->id());
+  ++qp_rebuilds_;
+}
+
+void HeartbeatMonitor::start(FailureCallback on_failure,
+                             RecoveryCallback on_recovery) {
   on_failure_ = std::move(on_failure);
+  on_recovery_ = std::move(on_recovery);
   running_ = true;
   tick();
 }
 
+void HeartbeatMonitor::stop() {
+  running_ = false;
+  cluster_.sim().cancel(tick_event_);
+  for (Probe& probe : probes_) {
+    cluster_.sim().cancel(probe.check_event);
+    probe.check_event = {};
+  }
+  tick_event_ = {};
+}
+
 void HeartbeatMonitor::tick() {
   if (!running_) return;
+  const Time now = cluster_.sim().now();
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     Probe& probe = probes_[i];
-    if (misses_[i] >= params_.misses_for_failure) continue;  // declared dead
+    // An errored probe QP (the NIC retransmit budget ran out against a dead
+    // peer) can never answer again; rebuild it with exponential backoff so a
+    // healed replica is re-detected without unbounded QP churn. Between
+    // rebuild attempts the post below fails and counts as a miss.
+    if (probe.qp->state() != rnic::QueuePair::State::kConnected &&
+        now >= probe.next_rebuild_at) {
+      rebuild_probe(i);
+      probe.rebuild_backoff = std::min(
+          std::max<Duration>(probe.rebuild_backoff * 2, params_.interval),
+          params_.rebuild_backoff_cap);
+      probe.next_rebuild_at = now + probe.rebuild_backoff;
+    }
     // Drop any stale completions from the previous round.
     while (probe.cq->poll()) {
     }
@@ -77,24 +112,32 @@ void HeartbeatMonitor::tick() {
     const bool posted = probe.qp->post_send(read).is_ok();
     if (posted) ++probes_sent_;
 
-    cluster_.sim().schedule(params_.probe_timeout,
-                            alive_.guard([this, i, posted] {
+    probe.check_event = cluster_.sim().schedule(
+        params_.probe_timeout, alive_.guard([this, i, posted] {
       if (!running_) return;
       Probe& p = probes_[i];
+      p.check_event = {};
       bool ok = false;
       while (auto wc = p.cq->poll()) {
         ok = posted && wc->status == StatusCode::kOk;
       }
       if (ok) {
+        const bool was_dead = misses_[i] >= params_.misses_for_failure;
         misses_[i] = 0;
+        p.rebuild_backoff = 0;
+        p.next_rebuild_at = 0;
+        if (was_dead && on_recovery_) on_recovery_(i);
         return;
       }
+      // Count misses past the threshold too (they gate recovery detection),
+      // but report the failure only at the crossing.
       if (++misses_[i] == params_.misses_for_failure && on_failure_) {
         on_failure_(i);
       }
     }));
   }
-  cluster_.sim().schedule(params_.interval, alive_.guard([this] { tick(); }));
+  tick_event_ =
+      cluster_.sim().schedule(params_.interval, alive_.guard([this] { tick(); }));
 }
 
 // ---------------------------------------------------------------------------
@@ -143,10 +186,27 @@ void ReplicatedStore::start_monitoring(
   on_failure_ = std::move(on_failure);
   monitor_ = std::make_unique<HeartbeatMonitor>(
       cluster_, client_node_, replica_nodes_, params_.heartbeat);
-  monitor_->start([this](std::size_t replica) {
-    // Degraded: stop accepting writes until the chain is rebuilt.
-    paused_ = true;
-    if (on_failure_) on_failure_(replica);
+  monitor_->start(
+      [this](std::size_t replica) {
+        // Degraded: stop accepting writes until the chain is rebuilt.
+        paused_ = true;
+        if (on_failure_) on_failure_(replica);
+      },
+      [this](std::size_t replica) { on_replica_recovered(replica); });
+}
+
+/// A replica declared dead answered a probe again before anyone replaced it
+/// (a flap: transient partition or NIC reset). If the group datapath is still
+/// usable, re-push the coordinator's authoritative region (pause-and-catch-up
+/// — in-flight ops at failure time may have stopped partway down the chain)
+/// and resume writes; otherwise stay paused and leave the decision to the
+/// failure handler, which will replace_replica().
+void ReplicatedStore::on_replica_recovered(std::size_t /*replica*/) {
+  if (!paused_) return;
+  catch_up(0, params_.recovery_retry_limit, [this](Status s) {
+    if (!s.is_ok()) return;  // datapath QPs are gone; needs replacement
+    ++recoveries_;
+    paused_ = false;
   });
 }
 
@@ -188,7 +248,8 @@ void ReplicatedStore::replace_replica(std::size_t failed_replica,
 
   // Bulk catch-up: stream the snapshot to every member in chunks, flushing
   // the final chunk so completion implies group-wide durability.
-  catch_up(0, [this, done = std::move(done)](Status s) {
+  catch_up(0, params_.recovery_retry_limit,
+           [this, done = std::move(done)](Status s) {
     if (!s.is_ok()) {
       if (done) done(s);
       return;
@@ -198,16 +259,18 @@ void ReplicatedStore::replace_replica(std::size_t failed_replica,
     if (on_failure_) {
       monitor_ = std::make_unique<HeartbeatMonitor>(
           cluster_, client_node_, replica_nodes_, params_.heartbeat);
-      monitor_->start([this](std::size_t replica) {
-        paused_ = true;
-        if (on_failure_) on_failure_(replica);
-      });
+      monitor_->start(
+          [this](std::size_t replica) {
+            paused_ = true;
+            if (on_failure_) on_failure_(replica);
+          },
+          [this](std::size_t replica) { on_replica_recovered(replica); });
     }
     if (done) done(Status::ok());
   });
 }
 
-void ReplicatedStore::catch_up(std::uint64_t offset,
+void ReplicatedStore::catch_up(std::uint64_t offset, int retries_left,
                                storage::DoneCallback done) {
   const std::uint64_t region = params_.layout.region_size();
   if (offset >= region) {
@@ -219,13 +282,20 @@ void ReplicatedStore::catch_up(std::uint64_t offset,
   const bool last = offset + chunk >= region;
   group_->client().gwrite(
       offset, chunk, /*flush=*/last,
-      [this, offset, chunk, done = std::move(done)](Status s,
-                                                    const auto&) mutable {
+      [this, offset, chunk, retries_left,
+       done = std::move(done)](Status s, const auto&) mutable {
         if (!s.is_ok()) {
+          // The chunk write is idempotent (same bytes, same offset): retry
+          // in place on transient faults before aborting recovery.
+          if (is_transient(s.code()) && retries_left > 0) {
+            catch_up(offset, retries_left - 1, std::move(done));
+            return;
+          }
           if (done) done(s);
           return;
         }
-        catch_up(offset + chunk, std::move(done));
+        catch_up(offset + chunk, params_.recovery_retry_limit,
+                 std::move(done));
       });
 }
 

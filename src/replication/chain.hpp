@@ -32,26 +32,43 @@ struct HeartbeatParams {
   Duration interval = 2'000'000;      // 2ms between probes
   Duration probe_timeout = 1'500'000; // per-probe deadline
   int misses_for_failure = 3;         // paper: configurable consecutive misses
+  /// Cap of the exponential backoff between probe-QP rebuild attempts while
+  /// a replica stays unreachable (bounds QP churn; a healed replica is still
+  /// re-detected within ~this bound).
+  Duration rebuild_backoff_cap = 1'000'000'000;  // 1s
 };
 
 /// Probes every replica of a HyperLoop group over dedicated QPs. Purely
 /// one-sided: a live NIC answers without CPU, matching the paper's statement
 /// that failures are detected at the data-path level.
+///
+/// Replicas declared dead keep being probed: if the node was merely flapping
+/// (transient partition, NIC reset) a later successful probe resets the miss
+/// counter and fires the recovery callback, so a temporary outage never
+/// permanently writes a replica off. Probe QPs that errored (the NIC-level
+/// retransmit budget ran out) are rebuilt with exponential backoff.
 class HeartbeatMonitor {
  public:
   using FailureCallback = std::function<void(std::size_t replica)>;
+  using RecoveryCallback = std::function<void(std::size_t replica)>;
 
   HeartbeatMonitor(Cluster& cluster, std::size_t client_node,
                    const std::vector<std::size_t>& replica_nodes,
                    HeartbeatParams params = {});
 
-  void start(FailureCallback on_failure);
-  void stop() { running_ = false; }
+  /// `on_recovery` (optional) fires when a replica previously declared dead
+  /// (misses reached the failure threshold) answers a probe again.
+  void start(FailureCallback on_failure, RecoveryCallback on_recovery = {});
+
+  /// Stops probing and cancels every scheduled tick and in-flight probe
+  /// check, so no callback ever fires after stop() returns.
+  void stop();
 
   [[nodiscard]] int misses(std::size_t replica) const {
     return misses_[replica];
   }
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t qp_rebuilds() const { return qp_rebuilds_; }
 
  private:
   struct Probe {
@@ -61,19 +78,27 @@ class HeartbeatMonitor {
     std::uint32_t scratch_lkey = 0;
     std::uint64_t target_addr = 0;         // remote probe word
     std::uint32_t target_rkey = 0;
+    sim::EventId check_event;              // pending probe-deadline check
+    Time next_rebuild_at = 0;              // QP rebuild backoff gate
+    Duration rebuild_backoff = 0;
   };
 
   void tick();
+  void rebuild_probe(std::size_t i);
 
   Cluster& cluster_;
   HeartbeatParams params_;
   Lifetime alive_;
   Node* client_;
+  std::vector<std::size_t> replica_nodes_;
   std::vector<Probe> probes_;
   std::vector<int> misses_;
   FailureCallback on_failure_;
+  RecoveryCallback on_recovery_;
+  sim::EventId tick_event_;
   bool running_ = false;
   std::uint64_t probes_sent_ = 0;
+  std::uint64_t qp_rebuilds_ = 0;
 };
 
 struct StoreParams {
@@ -84,6 +109,9 @@ struct StoreParams {
   std::uint64_t owner_id = 1;
   /// Bulk catch-up copy chunk (one gwrite per chunk during recovery).
   std::uint32_t recovery_chunk = 64 * 1024;
+  /// Re-issues of one catch-up chunk on a transient failure (the chunk write
+  /// is idempotent — same bytes to the same offset) before recovery aborts.
+  int recovery_retry_limit = 3;
 };
 
 /// A replicated transactional store with a self-healing chain. This is the
@@ -129,7 +157,9 @@ class ReplicatedStore {
 
  private:
   void build_stack();
-  void catch_up(std::uint64_t offset, storage::DoneCallback done);
+  void catch_up(std::uint64_t offset, int retries_left,
+                storage::DoneCallback done);
+  void on_replica_recovered(std::size_t replica);
 
   Cluster& cluster_;
   std::size_t client_node_;

@@ -1,0 +1,95 @@
+#include "rnic/fault.hpp"
+
+#include <algorithm>
+
+#include "rnic/network.hpp"
+#include "rnic/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyperloop::rnic {
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : seed_(seed), rng_(seed), harness_rng_(rng_.fork()) {}
+
+void FaultInjector::clear() {
+  default_policy_ = FaultPolicy{};
+  link_policies_.clear();
+  partitions_.clear();
+}
+
+void FaultInjector::partition_nodes(NicId a, NicId b, Time heal_at) {
+  partitions_.push_back(Partition{a, b, /*whole_node=*/false, heal_at});
+}
+
+void FaultInjector::isolate_node(NicId node, Time heal_at) {
+  partitions_.push_back(Partition{node, 0, /*whole_node=*/true, heal_at});
+}
+
+bool FaultInjector::is_partitioned(NicId a, NicId b, Time now) const {
+  for (const Partition& p : partitions_) {
+    if (p.heal_at <= now) continue;  // healed
+    if (p.whole_node) {
+      if (p.a == a || p.a == b) return true;
+    } else if ((p.a == a && p.b == b) || (p.a == b && p.b == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultPolicy& FaultInjector::policy_for(NicId src, NicId dst) const {
+  const auto it = link_policies_.find(link_key(src, dst));
+  return it != link_policies_.end() ? it->second : default_policy_;
+}
+
+FaultInjector::Verdict FaultInjector::decide(const Message& msg, Time now) {
+  Verdict v;
+  if (msg.src == msg.dst) return v;  // loopback never touches the fabric
+
+  if (!partitions_.empty()) {
+    // Lazily prune healed entries so long flapping runs stay O(active).
+    partitions_.erase(
+        std::remove_if(partitions_.begin(), partitions_.end(),
+                       [now](const Partition& p) { return p.heal_at <= now; }),
+        partitions_.end());
+    if (is_partitioned(msg.src, msg.dst, now)) {
+      ++partition_drops_;
+      v.drop = true;
+      return v;
+    }
+  }
+
+  const FaultPolicy& policy = policy_for(msg.src, msg.dst);
+  if (!policy.active()) return v;
+
+  if (policy.drop > 0.0 && rng_.next_bool(policy.drop)) {
+    ++drops_;
+    v.drop = true;
+    return v;
+  }
+  if (policy.duplicate > 0.0 && rng_.next_bool(policy.duplicate)) {
+    ++duplicates_;
+    v.duplicate = true;
+    v.duplicate_delay = policy.duplicate_delay;
+  }
+  if (policy.corrupt > 0.0 && rng_.next_bool(policy.corrupt)) {
+    ++corruptions_;
+    v.corrupt = true;
+  }
+  if (policy.delay > 0.0 && rng_.next_bool(policy.delay)) {
+    ++delays_;
+    v.extra_delay = static_cast<Duration>(
+        rng_.next_double() * static_cast<double>(policy.delay_max));
+  }
+  return v;
+}
+
+void FaultInjector::schedule_power_fail(sim::Simulator& sim, Nic& nic,
+                                        Duration delay) {
+  sim.schedule(delay, [this, &nic] {
+    ++power_fails_;
+    nic.power_fail();
+  });
+}
+
+}  // namespace hyperloop::rnic

@@ -1,0 +1,144 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// The Network consults an (optional) FaultInjector on every send(); the
+// injector rolls seeded dice against the policy of the (src, dst) link and
+// hands back a verdict: drop the message, deliver a delayed duplicate,
+// flag the payload corrupted (the receiving NIC surfaces it as a checksum
+// NAK), or add delay jitter. Transient partitions drop every message on a
+// link until a scheduled heal time. Scheduled NIC-cache power failures model
+// mid-transaction loss of volatile NIC state.
+//
+// Determinism contract: all randomness flows from the single constructor
+// seed through one xoshiro stream, and decisions are made in send() order —
+// which the discrete-event engine makes bit-for-bit reproducible. One seed
+// therefore reproduces one fault schedule exactly; a failing chaos seed
+// replays locally with `scripts/replay_seed.sh <seed>`.
+//
+// When no injector is attached (the default) the Network pays one null
+// pointer test per send and nothing else; with an injector attached but an
+// all-zero policy, decide() returns an empty verdict without consuming any
+// randomness for the probability draws that are disabled.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rnic/verbs.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop {
+namespace sim {
+class Simulator;
+}  // namespace sim
+
+namespace rnic {
+
+class Nic;
+struct Message;
+
+/// Per-link fault probabilities. All default to zero (no faults).
+struct FaultPolicy {
+  double drop = 0.0;       // message vanishes on the wire
+  double duplicate = 0.0;  // a second copy arrives duplicate_delay later
+  double corrupt = 0.0;    // payload flagged corrupted (checksum NAK)
+  double delay = 0.0;      // extra in-flight delay, uniform in [0, delay_max]
+  Duration delay_max = 50'000;        // 50us worst-case added latency
+  Duration duplicate_delay = 20'000;  // lag of the duplicate copy (20us)
+
+  [[nodiscard]] bool active() const {
+    return drop > 0.0 || duplicate > 0.0 || corrupt > 0.0 || delay > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Policy applied to links without a specific override.
+  void set_default_policy(const FaultPolicy& policy) {
+    default_policy_ = policy;
+  }
+  /// Directional per-link override (src -> dst).
+  void set_link_policy(NicId src, NicId dst, const FaultPolicy& policy) {
+    link_policies_[link_key(src, dst)] = policy;
+  }
+  /// Drop all probabilistic policies and active partitions. Counters and the
+  /// random stream keep their state so a cleared injector stays replayable.
+  void clear();
+
+  /// Sever both directions between `a` and `b` until `heal_at` (absolute sim
+  /// time); messages on the link are dropped and counted as partition drops.
+  void partition_nodes(NicId a, NicId b, Time heal_at);
+  /// Sever every link touching `node` until `heal_at`.
+  void isolate_node(NicId node, Time heal_at);
+  [[nodiscard]] bool is_partitioned(NicId a, NicId b, Time now) const;
+
+  /// What the fabric should do with one message. `drop` excludes the others.
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    Duration extra_delay = 0;
+    Duration duplicate_delay = 0;
+  };
+  /// Roll the dice for one message at time `now`. Loopback traffic
+  /// (src == dst) is never faulted: it models the PCIe path through the
+  /// local NIC, not the fabric.
+  Verdict decide(const Message& msg, Time now);
+
+  /// Wipe the volatile cache of `nic` after `delay`, modeling a power
+  /// failure mid-transaction. Durable host memory survives.
+  void schedule_power_fail(sim::Simulator& sim, Nic& nic, Duration delay);
+
+  /// Seed-derived stream for harness-side randomness (workload choice, fault
+  /// window placement) so one seed drives the whole chaos schedule.
+  [[nodiscard]] Rng& rng() { return harness_rng_; }
+
+  // --- Per-fault-type counters ---
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t corruptions() const { return corruptions_; }
+  [[nodiscard]] std::uint64_t delays() const { return delays_; }
+  [[nodiscard]] std::uint64_t partition_drops() const {
+    return partition_drops_;
+  }
+  [[nodiscard]] std::uint64_t power_fails() const { return power_fails_; }
+  [[nodiscard]] std::uint64_t injected_total() const {
+    return drops_ + duplicates_ + corruptions_ + delays_ + partition_drops_ +
+           power_fails_;
+  }
+
+ private:
+  static std::uint64_t link_key(NicId src, NicId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  [[nodiscard]] const FaultPolicy& policy_for(NicId src, NicId dst) const;
+
+  struct Partition {
+    NicId a = 0;
+    NicId b = 0;
+    bool whole_node = false;  // match any link touching `a`
+    Time heal_at = 0;
+  };
+
+  std::uint64_t seed_;
+  Rng rng_;          // fabric decisions
+  Rng harness_rng_;  // forked once for harness use; independent stream
+  FaultPolicy default_policy_;
+  std::unordered_map<std::uint64_t, FaultPolicy> link_policies_;
+  std::vector<Partition> partitions_;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t delays_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t power_fails_ = 0;
+};
+
+}  // namespace rnic
+}  // namespace hyperloop

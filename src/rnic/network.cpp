@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rnic/fault.hpp"
 #include "rnic/nic.hpp"
 
 namespace hyperloop::rnic {
@@ -33,10 +34,23 @@ void Network::set_node_down(NicId id, bool down) {
 }
 
 void Network::send(Message msg) {
-  if (is_down(msg.src) || is_down(msg.dst)) return;  // timeouts notice
+  if (is_down(msg.src) || is_down(msg.dst)) {
+    ++messages_dropped_;  // timeouts notice
+    return;
+  }
   HL_CHECK_MSG(msg.dst < nics_.size() && nics_[msg.dst] != nullptr,
                "message to unknown NIC");
   Nic* dst = nics_[msg.dst];
+
+  FaultInjector::Verdict fault;
+  if (fault_ != nullptr) {
+    fault = fault_->decide(msg, sim_.now());
+    if (fault.drop) {
+      ++messages_dropped_;
+      return;
+    }
+    msg.corrupted = fault.corrupt;
+  }
 
   const std::uint64_t wire_bytes = params_.header_bytes + msg.payload.size();
   ++messages_sent_;
@@ -59,9 +73,27 @@ void Network::send(Message msg) {
     tx_port_free_at_[msg.src] = depart + serialize;
     arrival = depart + serialize + params_.propagation;
   }
+  arrival += fault.extra_delay;
+
+  if (fault.duplicate) {
+    // The duplicate shares the original's TX-port slot (switch-side copy,
+    // not a second serialization) and trails it by duplicate_delay.
+    Message dup = msg;
+    sim_.schedule_at(arrival + fault.duplicate_delay,
+                     [dst, m = std::move(dup), this]() mutable {
+                       if (is_down(m.dst)) {
+                         ++messages_dropped_;
+                         return;
+                       }
+                       dst->deliver(std::move(m));
+                     });
+  }
 
   sim_.schedule_at(arrival, [dst, m = std::move(msg), this]() mutable {
-    if (is_down(m.dst)) return;  // went down while in flight
+    if (is_down(m.dst)) {
+      ++messages_dropped_;  // went down while in flight
+      return;
+    }
     dst->deliver(std::move(m));
   });
 }

@@ -17,6 +17,7 @@
 
 namespace hyperloop::rnic {
 
+class FaultInjector;
 class Nic;
 
 enum class MsgType : std::uint8_t {
@@ -54,6 +55,10 @@ struct Message {
   std::uint32_t imm = 0;
   bool has_imm = false;
   bool flush = false;  // interleaved gFLUSH: drain target cache before ack
+  /// Set by fault injection: the payload failed its (modeled) ICRC check.
+  /// Receivers NAK corrupted requests and discard corrupted responses; the
+  /// sender's retry machinery retransmits either way.
+  bool corrupted = false;
   std::uint64_t compare = 0;
   std::uint64_t swap = 0;
   mem::TenantToken tenant = 0;
@@ -77,11 +82,22 @@ class Network {
   void set_node_down(NicId id, bool down);
   [[nodiscard]] bool is_down(NicId id) const;
 
+  /// Attach (or detach, with nullptr) a fault injector consulted on every
+  /// send(). Detached is the default and costs one branch per message.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
+
   [[nodiscard]] const LinkParams& params() const { return params_; }
 
   /// Total messages and payload bytes moved (for bench reports).
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Messages that never reached their destination NIC: sent to/from a down
+  /// node, lost in flight when the destination went down, or eaten by fault
+  /// injection (drops and partition drops).
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
 
  private:
   void ensure_capacity(NicId id);
@@ -94,8 +110,10 @@ class Network {
   std::vector<Nic*> nics_;              // nullptr = id not attached
   std::vector<std::uint8_t> down_;
   std::vector<Time> tx_port_free_at_;
+  FaultInjector* fault_ = nullptr;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace hyperloop::rnic

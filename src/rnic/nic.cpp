@@ -281,11 +281,18 @@ void Nic::engine_step(QueuePair& qp) {
 
   ++wqes_executed_;
   QueuePair::Pending p;
-  p.seq = qp.next_seq_++;
+  // Only wire requests take a sequence number, so the stream a receiver
+  // observes per QP is dense — the property its in-order/dedup checks key
+  // on. WAIT/NOP entries never transmit and are never matched by seq.
+  p.seq = (opcode == Opcode::kWait || opcode == Opcode::kNop)
+              ? 0
+              : qp.next_seq_++;
   p.slot = slot;
   p.wqe = wqe;
   p.rnr_retries_left = params_.rnr_retry_limit;
   p.timeout_retries_left = params_.timeout_retry_limit;
+  p.cur_timeout = params_.response_timeout;
+  p.cur_rnr_delay = params_.rnr_retry_delay;
   ++qp.sq_head_;
 
   if (opcode == Opcode::kWait || opcode == Opcode::kNop) {
@@ -372,21 +379,32 @@ void Nic::transmit(QueuePair& qp, QueuePair::Pending& p) {
   });
 }
 
+Duration Nic::backoff_next(Duration cur) {
+  if (params_.retry_backoff <= 1.0) return cur;
+  double next = static_cast<double>(cur) * params_.retry_backoff;
+  const double cap = static_cast<double>(params_.retry_backoff_cap);
+  if (next > cap) next = cap;
+  if (params_.retry_jitter > 0.0) {
+    next *= 1.0 + params_.retry_jitter * jitter_rng_.next_double();
+  }
+  return static_cast<Duration>(next);
+}
+
 void Nic::arm_timeout(QueuePair& qp, std::uint64_t seq) {
   auto it = std::find_if(qp.pending_.begin(), qp.pending_.end(),
                          [&](const auto& e) { return e.seq == seq; });
   HL_CHECK(it != qp.pending_.end());
-  it->timeout_event =
-      sim_.schedule(params_.response_timeout, [this, &qp, seq] {
-        auto p = std::find_if(qp.pending_.begin(), qp.pending_.end(),
-                              [&](const auto& e) { return e.seq == seq; });
-        if (p == qp.pending_.end() || p->done) return;
-        if (p->timeout_retries_left-- > 0) {
-          transmit(qp, *p);
-          return;
-        }
-        fail_qp(qp, StatusCode::kUnavailable, "response timeout");
-      });
+  it->timeout_event = sim_.schedule(it->cur_timeout, [this, &qp, seq] {
+    auto p = std::find_if(qp.pending_.begin(), qp.pending_.end(),
+                          [&](const auto& e) { return e.seq == seq; });
+    if (p == qp.pending_.end() || p->done) return;
+    if (p->timeout_retries_left-- > 0) {
+      p->cur_timeout = backoff_next(p->cur_timeout);
+      transmit(qp, *p);
+      return;
+    }
+    fail_qp(qp, StatusCode::kUnavailable, "response timeout");
+  });
 }
 
 void Nic::fail_qp(QueuePair& qp, StatusCode code, const std::string&) {
@@ -427,6 +445,9 @@ void Nic::fail_qp(QueuePair& qp, StatusCode code, const std::string&) {
 
 void Nic::deliver(Message msg) {
   if (is_response(msg.type)) {
+    // A corrupted response fails its ICRC and is discarded at the port; the
+    // requester's timeout machinery retransmits the request.
+    if (msg.corrupted) return;
     sim_.schedule(jitter(params_.ack_process),
                   [this, m = std::move(msg)] { handle_response(m); });
     return;
@@ -458,6 +479,16 @@ void Nic::respond(const Message& req, Message resp, Duration extra_delay) {
   resp.src_qp = req.dst_qp;
   resp.dst_qp = req.src_qp;
   resp.seq = req.seq;
+  // Record the outcome for duplicate suppression. RNR NAKs are not cached
+  // (the request did not execute and must run for real on retry), nor are
+  // checksum NAKs for corrupted requests.
+  if (params_.dedup_window > 0 && resp.type != MsgType::kRnrNak &&
+      !req.corrupted) {
+    QueuePair* q = qp(req.dst_qp);
+    if (q != nullptr && q->state_ == QueuePair::State::kConnected) {
+      q->cache_response(resp, params_.dedup_window);
+    }
+  }
   sim_.schedule(extra_delay, [this, r = std::move(resp)]() mutable {
     network_.send(std::move(r));
   });
@@ -466,8 +497,59 @@ void Nic::respond(const Message& req, Message resp, Duration extra_delay) {
 void Nic::handle_request(const Message& msg) {
   QueuePair* qp = this->qp(msg.dst_qp);
   HL_CHECK(qp != nullptr);
+  const Duration busy = process_request(qp, msg);
 
+  // FIFO rx pipeline: start the next queued request after this one's work.
+  sim_.schedule(busy, [this, qp] {
+    if (qp->rx_queue_.empty()) {
+      qp->rx_busy_ = false;
+      return;
+    }
+    sim_.schedule(jitter(params_.rx_process), [this, qp] {
+      Message m = std::move(qp->rx_queue_.front());
+      qp->rx_queue_.pop_front();
+      handle_request(m);
+    });
+  });
+}
+
+Duration Nic::process_request(QueuePair* qp, const Message& msg) {
   Duration busy = 0;  // additional per-message work beyond rx_process
+
+  if (msg.corrupted) {
+    // Modeled ICRC failure: the request must not execute and is not recorded
+    // as seen; the checksum NAK tells the sender to retransmit (bounded by
+    // its timeout-retry budget).
+    Message nak;
+    nak.type = MsgType::kNak;
+    nak.status = StatusCode::kDataLoss;
+    respond(msg, std::move(nak), 0);
+    return busy;
+  }
+
+  const std::uint32_t window = params_.dedup_window;
+  if (window > 0) {
+    if (msg.seq < qp->expected_req_seq_) {
+      // Already executed: a duplicated delivery or a retransmit that crossed
+      // its own response. Re-ack from the cached-response ring; re-executing
+      // would break at-most-once (a duplicated CAS must not swap twice).
+      if (const Message* cached = qp->cached_response(msg.seq, window)) {
+        ++duplicates_suppressed_;
+        respond(msg, *cached, 0);
+      }
+      // Sequences older than the ring has no record of are ignored; the
+      // sender gave up on them long ago.
+      return busy;
+    }
+    if (msg.seq > qp->expected_req_seq_) {
+      // Gap: an earlier request was dropped or delayed in flight. RC
+      // executes strictly in order — drop this one and let the sender's
+      // timeout retransmit the stream from the missing sequence on.
+      ++out_of_order_drops_;
+      return busy;
+    }
+  }
+  bool executed = true;
 
   switch (msg.type) {
     case MsgType::kWrite:
@@ -477,6 +559,7 @@ void Nic::handle_request(const Message& msg) {
         Message rnr;
         rnr.type = MsgType::kRnrNak;
         respond(msg, std::move(rnr), 0);
+        executed = false;
         break;
       }
       const Status st =
@@ -523,6 +606,7 @@ void Nic::handle_request(const Message& msg) {
         Message rnr;
         rnr.type = MsgType::kRnrNak;
         respond(msg, std::move(rnr), 0);
+        executed = false;
         break;
       }
       RecvWr rwr = std::move(qp->rq_.front());
@@ -625,18 +709,10 @@ void Nic::handle_request(const Message& msg) {
       HL_CHECK_MSG(false, "response type in request path");
   }
 
-  // FIFO rx pipeline: start the next queued request after this one's work.
-  sim_.schedule(busy, [this, qp] {
-    if (qp->rx_queue_.empty()) {
-      qp->rx_busy_ = false;
-      return;
-    }
-    sim_.schedule(jitter(params_.rx_process), [this, qp] {
-      Message m = std::move(qp->rx_queue_.front());
-      qp->rx_queue_.pop_front();
-      handle_request(m);
-    });
-  });
+  // RNR'd requests did not execute and keep their place in the stream: the
+  // sender retries the same sequence once a RECV is posted.
+  if (window > 0 && executed) ++qp->expected_req_seq_;
+  return busy;
 }
 
 void Nic::handle_response(const Message& msg) {
@@ -651,7 +727,9 @@ void Nic::handle_response(const Message& msg) {
     // rnr_retry_limit == 7 is the InfiniBand "infinite retry" encoding.
     if (params_.rnr_retry_limit == 7 || it->rnr_retries_left-- > 0) {
       const std::uint64_t seq = it->seq;
-      sim_.schedule(params_.rnr_retry_delay, [this, qp, seq] {
+      const Duration delay = it->cur_rnr_delay;
+      it->cur_rnr_delay = backoff_next(it->cur_rnr_delay);
+      sim_.schedule(delay, [this, qp, seq] {
         auto p = std::find_if(qp->pending_.begin(), qp->pending_.end(),
                               [&](const auto& e) { return e.seq == seq; });
         if (p == qp->pending_.end() || p->done) return;
@@ -660,6 +738,19 @@ void Nic::handle_response(const Message& msg) {
       return;
     }
     fail_qp(*qp, StatusCode::kRetryLater, "RNR retries exhausted");
+    return;
+  }
+
+  if (msg.type == MsgType::kNak && msg.status == StatusCode::kDataLoss) {
+    // Checksum NAK: the request arrived corrupted and was not executed.
+    // Retransmit on the same bounded budget the timeout path uses.
+    sim_.cancel(it->timeout_event);
+    if (it->timeout_retries_left-- > 0) {
+      it->cur_timeout = backoff_next(it->cur_timeout);
+      transmit(*qp, *it);
+      return;
+    }
+    fail_qp(*qp, StatusCode::kDataLoss, "checksum retries exhausted");
     return;
   }
 
@@ -718,7 +809,12 @@ void Nic::complete(QueuePair& qp, const QueuePair::Pending& p,
   store_wqe(memory_, slot_addr, dead);
   ++qp.sq_completed_;
 
-  const bool signaled = (p.wqe.flags & kSignaled) != 0;
+  // NOPs always complete. Chain placeholders degrade to a NOP when their
+  // remote patch is lost (power failure wiping the cache between scatter
+  // and execution); swallowing that completion would starve the downstream
+  // WAIT of a credit forever, wedging the channel on otherwise-healthy QPs.
+  const bool signaled =
+      (p.wqe.flags & kSignaled) != 0 || opcode == Opcode::kNop;
   if (signaled || status != StatusCode::kOk) {
     Completion c;
     c.wr_id = p.wqe.wr_id;

@@ -143,8 +143,33 @@ class QueuePair {
     Message response;  // valid when done
     int rnr_retries_left;
     int timeout_retries_left;
+    // Current retry delays; grown by retry_backoff after each retransmit
+    // (exponential backoff with jitter). Start at the base NicParams values
+    // so a first retry is indistinguishable from a backoff-free NIC.
+    Duration cur_timeout = 0;
+    Duration cur_rnr_delay = 0;
     sim::EventId timeout_event;
   };
+
+  /// Cached response of an executed request, re-sent verbatim when the same
+  /// sequence number is delivered again (duplicate or retransmit overlap).
+  struct CachedResponse {
+    std::uint64_t seq = 0;  // 0 = empty (wire sequences start at 1)
+    Message resp;
+  };
+
+  [[nodiscard]] const Message* cached_response(std::uint64_t seq,
+                                               std::uint32_t window) const {
+    if (resp_cache_.empty()) return nullptr;
+    const CachedResponse& e = resp_cache_[seq % window];
+    return e.seq == seq ? &e.resp : nullptr;
+  }
+  void cache_response(const Message& resp, std::uint32_t window) {
+    if (resp_cache_.size() != window) resp_cache_.assign(window, {});
+    CachedResponse& e = resp_cache_[resp.seq % window];
+    e.seq = resp.seq;
+    e.resp = resp;
+  }
 
   QueuePair(Nic& nic, QpId id, CompletionQueue* send_cq,
             CompletionQueue* recv_cq, std::uint32_t ring_slots,
@@ -180,7 +205,12 @@ class QueuePair {
   bool rx_busy_ = false;
   std::deque<Pending> pending_;     // issued, awaiting response (FIFO)
   Time tx_busy_until_ = 0;          // per-QP DMA/gather engine is serial
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_seq_ = 1;      // wire requests only: dense per QP
+  // Receiver-side at-most-once state (NicParams::dedup_window > 0): requests
+  // execute strictly in sequence order; executed sequences answer from the
+  // cached-response ring instead of re-executing.
+  std::uint64_t expected_req_seq_ = 1;
+  std::vector<CachedResponse> resp_cache_;  // ring, lazily sized to window
   bool engine_busy_ = false;        // an engine step is scheduled/running
   bool send_inflight_ = false;      // an unacked kSend blocks the pipeline
   std::vector<CqId> wait_listener_cqs_;  // CQs whose pushes already kick us
@@ -226,6 +256,16 @@ class Nic {
   [[nodiscard]] std::uint64_t protection_errors() const {
     return protection_errors_;
   }
+  /// Duplicate request deliveries answered from the cached-response ring
+  /// without re-executing (at-most-once enforcement).
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  /// Requests dropped because an earlier sequence number had not executed
+  /// yet (the sender retransmits the gap, restoring order).
+  [[nodiscard]] std::uint64_t out_of_order_drops() const {
+    return out_of_order_drops_;
+  }
 
  private:
   friend class QueuePair;
@@ -236,6 +276,7 @@ class Nic {
   void transmit(QueuePair& qp, QueuePair::Pending& p);
   void arm_timeout(QueuePair& qp, std::uint64_t seq);
   void handle_request(const Message& msg);
+  Duration process_request(QueuePair* qp, const Message& msg);
   void handle_response(const Message& msg);
   void retire_ready(QueuePair& qp);
   void complete(QueuePair& qp, const QueuePair::Pending& p, const Message& resp);
@@ -244,6 +285,9 @@ class Nic {
 
   [[nodiscard]] Duration dma_time(std::uint64_t bytes) const;
   [[nodiscard]] Duration jitter(Duration d);
+  /// Next retry delay: exponential growth capped at retry_backoff_cap, plus
+  /// uniform jitter to de-synchronize retry storms.
+  [[nodiscard]] Duration backoff_next(Duration cur);
 
   sim::Simulator& sim_;
   Network& network_;
@@ -256,6 +300,8 @@ class Nic {
   std::vector<std::unique_ptr<QueuePair>> qps_;
   std::uint64_t wqes_executed_ = 0;
   std::uint64_t protection_errors_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t out_of_order_drops_ = 0;
 };
 
 }  // namespace hyperloop::rnic

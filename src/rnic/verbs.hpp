@@ -176,6 +176,21 @@ struct NicParams {
   int rnr_retry_limit = 7;
   Duration response_timeout = 1'000'000;  // peer-dead detection (1ms)
   int timeout_retry_limit = 3;
+  /// Growth factor applied to the timeout (and RNR delay) after each retry,
+  /// capped at retry_backoff_cap. The first retry always uses the base
+  /// response_timeout / rnr_retry_delay, so runs that never retry twice on
+  /// the same WQE are byte-identical to a backoff-free NIC.
+  double retry_backoff = 2.0;
+  Duration retry_backoff_cap = 16'000'000;  // 16ms
+  /// Uniform jitter fraction added on top of the backed-off delay (second
+  /// retry onward) to de-synchronize retry storms across QPs.
+  double retry_jitter = 0.2;
+  /// Receiver-side at-most-once window, in messages per QP. Requests must
+  /// arrive in sequence order (gaps are dropped and retransmitted by the
+  /// sender); already-executed sequences are re-acked from a cached response
+  /// ring instead of re-executing — critical for CAS under duplication.
+  /// 0 disables both checks (pre-dedup behavior: duplicates re-execute).
+  std::uint32_t dedup_window = 64;
   /// Uniform jitter fraction applied to per-message NIC processing delays
   /// (PCIe arbitration, on-NIC queueing). Gives latency distributions their
   /// realistic non-zero spread without breaking per-QP ordering.

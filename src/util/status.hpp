@@ -35,6 +35,16 @@ enum class StatusCode : std::uint8_t {
 /// Human-readable name for a StatusCode (stable, for logs and tests).
 std::string_view status_code_name(StatusCode code);
 
+/// True for failures that may clear on retry — the peer is slow, a queue is
+/// full, or the chain is degraded but recovering — as opposed to permanent
+/// protection/layout/state errors. Retry layers (ReplicatedStore catch-up,
+/// application commit loops) use this to decide between retrying an
+/// idempotent operation and escalating to recovery.
+[[nodiscard]] constexpr bool is_transient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kRetryLater ||
+         code == StatusCode::kResourceExhausted;
+}
+
 /// A status with an optional detail message. Cheap to copy when OK.
 class Status {
  public:

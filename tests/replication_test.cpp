@@ -158,6 +158,65 @@ TEST_F(ReplicationTest, LsnsContinueAcrossFailover) {
   EXPECT_EQ(store_->log().next_lsn(), lsn_before + 1);
 }
 
+TEST_F(ReplicationTest, StopCancelsPendingProbeChecks) {
+  build();
+  std::size_t failures = 0;
+  HeartbeatMonitor mon(*cluster_, 3, {1, 2});
+  mon.start([&](std::size_t) { ++failures; });
+  run_for(5_ms);
+  cluster_->network().set_node_down(1, true);
+  run_for(3_ms);  // misses accumulating, but still below the threshold
+  mon.stop();
+  run_for(50_ms);
+  EXPECT_EQ(failures, 0u)
+      << "stop() must cancel in-flight probe checks; no late callbacks";
+}
+
+TEST_F(ReplicationTest, MissCountersResetWhenReplicaRecovers) {
+  build();
+  std::size_t failed = 99;
+  std::size_t recovered = 99;
+  HeartbeatMonitor mon(*cluster_, 3, {1, 2});
+  mon.start([&](std::size_t r) { failed = r; },
+            [&](std::size_t r) { recovered = r; });
+  run_for(5_ms);
+  cluster_->network().set_node_down(2, true);  // replica index 1
+  ASSERT_TRUE(wait_for([&] { return failed != 99; }, 100_ms));
+  EXPECT_EQ(failed, 1u);
+  EXPECT_GE(mon.misses(1), 3);
+
+  cluster_->network().set_node_down(2, false);
+  // Budget covers the probe-QP rebuild backoff (capped at 1s).
+  ASSERT_TRUE(wait_for([&] { return recovered != 99; }, 2'000_ms))
+      << "a healed replica must be re-detected via probe-QP rebuild";
+  EXPECT_EQ(recovered, 1u);
+  EXPECT_EQ(mon.misses(1), 0) << "a successful probe resets the miss count";
+  mon.stop();
+}
+
+TEST_F(ReplicationTest, StoreResumesAfterReplicaFlap) {
+  build();
+  std::size_t failed = 99;
+  store_->start_monitoring([&](std::size_t r) { failed = r; });
+  run_for(5_ms);
+  ASSERT_TRUE(commit_value(0, "steady"));
+
+  cluster_->network().set_node_down(2, true);  // transient: comes back below
+  ASSERT_TRUE(wait_for([&] { return failed != 99; }, 100_ms));
+  EXPECT_FALSE(store_->write_available());
+
+  cluster_->network().set_node_down(2, false);
+  ASSERT_TRUE(wait_for([&] { return store_->write_available(); }, 5'000_ms))
+      << "flap: the store must resume once the replica answers probes again";
+  EXPECT_GE(store_->recoveries(), 1u);
+
+  ASSERT_TRUE(commit_value(64, "after flap"));
+  std::string got(10, '\0');
+  const std::uint64_t db = store_->txc().layout().db_offset();
+  store_->group().replica_read(1, db + 64, got.data(), 10);
+  EXPECT_EQ(got, "after flap");
+}
+
 TEST_F(ReplicationTest, MonitorKeepsQuietCadence) {
   build();
   store_->start_monitoring([](std::size_t) {});

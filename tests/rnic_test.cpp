@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hyperloop/cluster.hpp"
+#include "rnic/fault.hpp"
 #include "rnic/nic.hpp"
 
 namespace hyperloop::rnic {
@@ -538,6 +539,259 @@ TEST_F(RnicTest, LoopbackQpDoesLocalCopies) {
   std::string got(data.size(), '\0');
   a_->nic().cache().read_through(e.buf_addr + 1000, got.data(), got.size());
   EXPECT_EQ(got, data);
+}
+
+TEST_F(RnicTest, TimeoutExhaustionFlushesErrorCqesInOrder) {
+  // Five pipelined writes to a dead peer: the retry budget expires on the
+  // first, the QP moves to error, and ALL five complete with error CQEs in
+  // post order (verbs flush semantics) — nothing is silently swallowed.
+  auto [ea, eb] = make_pair();
+  cluster_->network().set_node_down(b_->id(), true);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = ea.buf_addr;
+    wr.local_len = 8;
+    wr.lkey = ea.mr.lkey;
+    wr.remote_addr = eb.buf_addr;
+    wr.rkey = eb.mr.rkey;
+    ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  }
+  // 1ms base timeout x 3 retries with 2x backoff + 20% jitter: < 25ms.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto wc = await(*ea.send_cq, 30_ms);
+    ASSERT_TRUE(wc.has_value()) << "missing flushed CQE " << i;
+    EXPECT_EQ(wc->wr_id, i) << "error CQEs must flush in post order";
+    EXPECT_EQ(wc->status, StatusCode::kUnavailable)
+        << "timeout exhaustion is transient (kUnavailable), not permanent";
+  }
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError);
+  SendWr again;
+  again.opcode = Opcode::kWrite;
+  again.local_addr = ea.buf_addr;
+  again.local_len = 8;
+  again.lkey = ea.mr.lkey;
+  again.remote_addr = eb.buf_addr;
+  again.rkey = eb.mr.rkey;
+  EXPECT_FALSE(ea.qp->post_send(again).is_ok())
+      << "posts to an errored QP must be refused";
+}
+
+TEST_F(RnicTest, RnrRetryDoesNotReorderLaterWqes) {
+  // A SEND stuck in RNR retry (no RECV posted) must fence the WQEs behind
+  // it: the later WRITE completes after the SEND, never before.
+  auto [ea, eb] = make_pair();
+  a_->memory().write_u64(ea.buf_addr, 0xABCD);
+
+  SendWr send;
+  send.wr_id = 1;
+  send.opcode = Opcode::kSend;
+  send.local_addr = ea.buf_addr;
+  send.local_len = 8;
+  send.lkey = ea.mr.lkey;
+  ASSERT_TRUE(ea.qp->post_send(send).is_ok());
+
+  SendWr wr;
+  wr.wr_id = 2;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr + 128;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  run(500_us);  // several RNR retry rounds
+  EXPECT_EQ(ea.send_cq->depth(), 0u)
+      << "the write must not complete while the send is RNR-blocked";
+
+  RecvWr recv;
+  recv.sges.push_back({eb.buf_addr, 8, eb.mr.lkey});
+  ASSERT_TRUE(eb.qp->post_recv(std::move(recv)).is_ok());
+  auto first = await(*ea.send_cq, 5_ms);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->wr_id, 1u) << "send completes first";
+  auto second = await(*ea.send_cq, 5_ms);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->wr_id, 2u) << "write completes after, not before";
+  EXPECT_EQ(second->status, StatusCode::kOk);
+}
+
+TEST_F(RnicTest, DuplicatedCasExecutesAtMostOnce) {
+  // Fabric duplicates the CAS request; the receiver's sequence dedup must
+  // answer the replay from the response cache instead of re-executing it.
+  auto [ea, eb] = make_pair();
+  FaultInjector inj(42);
+  FaultPolicy p;
+  p.duplicate = 1.0;
+  p.duplicate_delay = 50'000;  // replay arrives 50us behind the original
+  inj.set_link_policy(a_->id(), b_->id(), p);
+  cluster_->network().set_fault_injector(&inj);
+
+  b_->memory().write_u64(eb.buf_addr, 10);
+  SendWr cas;
+  cas.opcode = Opcode::kCompareSwap;
+  cas.local_addr = ea.buf_addr;
+  cas.local_len = 8;
+  cas.lkey = ea.mr.lkey;
+  cas.remote_addr = eb.buf_addr;
+  cas.rkey = eb.mr.rkey;
+  cas.compare = 10;
+  cas.swap = 20;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->atomic_old_value, 10u);
+  ASSERT_GT(inj.duplicates(), 0u);
+
+  // Reset the word via a (non-duplicated) write, then let the replayed CAS
+  // arrive: with dedup it must NOT re-execute and flip the word back to 20.
+  cluster_->network().set_fault_injector(nullptr);
+  a_->memory().write_u64(ea.buf_addr + 256, 10);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr + 256;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+
+  run(200_us);  // duplicate delivery window passes
+  std::uint64_t word = 0;
+  b_->nic().cache().read_through(eb.buf_addr, &word, 8);
+  EXPECT_EQ(word, 10u) << "replayed CAS must not execute a second time";
+  EXPECT_GE(b_->nic().duplicates_suppressed(), 1u);
+}
+
+TEST_F(RnicTest, DuplicatedCasDoubleExecutesWithoutDedup) {
+  // The counterpart of DuplicatedCasExecutesAtMostOnce with dedup disabled:
+  // documents the failure mode the dedup window exists to prevent (and
+  // proves the test pair is not vacuous).
+  cluster_ = std::make_unique<Cluster>();
+  NodeConfig cfg;
+  cfg.nic.dedup_window = 0;  // pre-dedup NIC behavior
+  a_ = &cluster_->add_node(cfg);
+  b_ = &cluster_->add_node(cfg);
+  auto [ea, eb] = make_pair();
+  FaultInjector inj(42);
+  FaultPolicy p;
+  p.duplicate = 1.0;
+  p.duplicate_delay = 50'000;
+  inj.set_link_policy(a_->id(), b_->id(), p);
+  cluster_->network().set_fault_injector(&inj);
+
+  b_->memory().write_u64(eb.buf_addr, 10);
+  SendWr cas;
+  cas.opcode = Opcode::kCompareSwap;
+  cas.local_addr = ea.buf_addr;
+  cas.local_len = 8;
+  cas.lkey = ea.mr.lkey;
+  cas.remote_addr = eb.buf_addr;
+  cas.rkey = eb.mr.rkey;
+  cas.compare = 10;
+  cas.swap = 20;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+
+  cluster_->network().set_fault_injector(nullptr);
+  a_->memory().write_u64(ea.buf_addr + 256, 10);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr + 256;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  ASSERT_TRUE(await(*ea.send_cq).has_value());
+
+  run(200_us);
+  std::uint64_t word = 0;
+  b_->nic().cache().read_through(eb.buf_addr, &word, 8);
+  EXPECT_EQ(word, 20u)
+      << "without dedup the replayed CAS re-executes — the at-most-once "
+         "guarantee really does come from the dedup window";
+  EXPECT_EQ(b_->nic().duplicates_suppressed(), 0u);
+}
+
+TEST_F(RnicTest, CorruptedRequestNaksAndRetransmits) {
+  // A corrupted request is NAK'd (checksum), never executed, and the sender
+  // retransmits it on its bounded retry budget until it lands clean.
+  auto [ea, eb] = make_pair();
+  FaultInjector inj(7);
+  FaultPolicy p;
+  p.corrupt = 1.0;
+  inj.set_link_policy(a_->id(), b_->id(), p);
+  cluster_->network().set_fault_injector(&inj);
+
+  const std::string data = "retransmit me";
+  a_->memory().write(ea.buf_addr, data.data(), data.size());
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = static_cast<std::uint32_t>(data.size());
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+
+  // Let exactly the first transmission get corrupted, then heal the link so
+  // the retransmission goes through before the retry budget empties.
+  while (inj.corruptions() == 0) {
+    cluster_->sim().run_until(cluster_->sim().now() + 500);
+  }
+  cluster_->network().set_fault_injector(nullptr);
+
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOk);
+  std::string got(data.size(), '\0');
+  b_->nic().cache().read_through(eb.buf_addr, got.data(), got.size());
+  EXPECT_EQ(got, data);
+  EXPECT_GE(inj.corruptions(), 1u);
+}
+
+TEST_F(RnicTest, CorruptedResponseIsDroppedAndRequestRetried) {
+  // Corruption on the RETURN path: the response fails its ICRC and is
+  // discarded; the sender times out and retransmits; the receiver's dedup
+  // answers the replay from its response cache without executing twice.
+  auto [ea, eb] = make_pair();
+  FaultInjector inj(11);
+  FaultPolicy p;
+  p.corrupt = 1.0;
+  inj.set_link_policy(b_->id(), a_->id(), p);  // responses only
+  cluster_->network().set_fault_injector(&inj);
+
+  b_->memory().write_u64(eb.buf_addr, 5);
+  SendWr cas;  // CAS: double execution would be visible in the word
+  cas.opcode = Opcode::kCompareSwap;
+  cas.local_addr = ea.buf_addr;
+  cas.local_len = 8;
+  cas.lkey = ea.mr.lkey;
+  cas.remote_addr = eb.buf_addr;
+  cas.rkey = eb.mr.rkey;
+  cas.compare = 5;
+  cas.swap = 6;
+  ASSERT_TRUE(ea.qp->post_send(cas).is_ok());
+
+  while (inj.corruptions() == 0) {
+    cluster_->sim().run_until(cluster_->sim().now() + 500);
+  }
+  cluster_->network().set_fault_injector(nullptr);
+
+  auto wc = await(*ea.send_cq);  // timeout retransmit -> cached response
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kOk);
+  EXPECT_EQ(wc->atomic_old_value, 5u)
+      << "the cached response carries the original pre-swap value";
+  std::uint64_t word = 0;
+  b_->nic().cache().read_through(eb.buf_addr, &word, 8);
+  EXPECT_EQ(word, 6u) << "the CAS executed exactly once";
+  EXPECT_GE(b_->nic().duplicates_suppressed(), 1u)
+      << "the retransmitted request must be answered from the cache";
 }
 
 TEST_F(RnicTest, CacheCapacityEvictsOldestToMemory) {
