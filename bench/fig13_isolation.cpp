@@ -1,0 +1,294 @@
+// Figure 13 analog: HyperLoop-side multi-tenant isolation. A GroupManager
+// co-locates 12 tenant groups on 3 replica nodes (a HyperLoop victim chain,
+// a naive victim chain, and 10 CPU-driven co-tenant groups under per-tenant
+// quotas), then sweeps the co-tenants' CPU pressure from idle to
+// near-saturation. At every level both victims run the same closed-loop
+// flushed-gWRITE workload:
+//
+//   - the naive victim's p99 inflates with co-tenant load (its replica CPUs
+//     queue behind the other tenants' threads);
+//   - the offloaded chain's p99 stays flat — its datapath never touches a
+//     replica CPU, which is the paper's isolation claim (Figs. 12-13).
+//
+// Results go to stdout and BENCH_multitenant.json.
+//
+// Usage: fig13_isolation [--quick] [--out <path>]
+//   --quick   smaller op counts (CI smoke); sets "quick": true in JSON
+//   --out     output path (default: BENCH_multitenant.json in the CWD)
+//
+// Exit status is non-zero if the emitted JSON fails the structural
+// self-check (same contract as perf_engine / perf_datapath).
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "hyperloop/group_manager.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+constexpr int kCoresPerNode = 4;
+constexpr std::uint64_t kRegion = 1 << 18;
+constexpr std::size_t kCoTenantGroups = 10;  // + 2 victims = 12 groups
+
+struct Row {
+  double load = 0;
+  LatencyHistogram hl;
+  LatencyHistogram naive;
+};
+
+/// One load level: fresh cluster, 12 managed groups, both victims driven.
+Row run_level(double load, int ops) {
+  Row row;
+  row.load = load;
+
+  Cluster cluster;
+  NodeConfig node;
+  node.cores = kCoresPerNode;
+  for (int i = 0; i < 4; ++i) cluster.add_node(node);  // 0: victim client
+
+  core::GroupManager mgr(cluster);
+  auto admit = [&](core::GroupSpec spec) -> core::GroupInterface* {
+    core::TenantQuota quota;
+    quota.max_qps = core::GroupManager::qp_cost(spec);
+    quota.max_slots = core::GroupManager::slot_cost(spec);
+    mgr.set_quota(spec.tenant(), quota);
+    Status why;
+    core::GroupInterface* g = mgr.create_group(spec, &why);
+    HL_CHECK_MSG(g != nullptr, why.message());
+    return g;
+  };
+
+  // Victims: same chain (client node 0, replicas 1-3), one per datapath.
+  core::GroupSpec hl_spec;
+  hl_spec.datapath = core::GroupSpec::Datapath::kHyperLoop;
+  hl_spec.client_node = 0;
+  hl_spec.member_nodes = {1, 2, 3};
+  hl_spec.region_size = kRegion;
+  hl_spec.params.tenant = 1;
+  core::GroupInterface* hl_victim = admit(hl_spec);
+
+  core::GroupSpec nv_spec;
+  nv_spec.datapath = core::GroupSpec::Datapath::kNaive;
+  nv_spec.client_node = 0;
+  nv_spec.member_nodes = {1, 2, 3};
+  nv_spec.region_size = kRegion;
+  nv_spec.naive.tenant = 2;
+  nv_spec.naive.mode = core::NaiveParams::Mode::kEvent;
+  nv_spec.naive.pin_thread = false;
+  core::GroupInterface* nv_victim = admit(nv_spec);
+
+  // Co-tenants: CPU-driven groups piled onto the three replica nodes, the
+  // fig2-style MongoDB-class per-message CPU costs.
+  for (std::size_t t = 0; t < kCoTenantGroups; ++t) {
+    core::GroupSpec spec;
+    spec.datapath = core::GroupSpec::Datapath::kNaive;
+    spec.client_node = 1 + (t % 3);
+    spec.member_nodes = {1 + ((t + 1) % 3), 1 + ((t + 2) % 3)};
+    spec.region_size = kRegion;
+    spec.naive.tenant = 100 + t;
+    spec.naive.mode = core::NaiveParams::Mode::kEvent;
+    spec.naive.pin_thread = false;
+    spec.naive.wakeup_cpu = 4'000;
+    spec.naive.parse_cpu = 8'000;
+    spec.naive.post_cpu = 6'000;
+    admit(spec);
+  }
+  HL_CHECK(mgr.num_groups() == kCoTenantGroups + 2);
+
+  // Co-tenant CPU pressure on the replica nodes: bursty tenant threads at
+  // the target offered load plus the co-tenant groups' own traffic, pumped
+  // through the manager's round-robin doorbell arbiter.
+  std::vector<std::unique_ptr<cpu::BackgroundLoad>> loads;
+  if (load > 0) {
+    auto lp = cpu::BackgroundLoad::Params::for_utilization(
+        8 * kCoresPerNode, kCoresPerNode, load);
+    lp.num_threads = 8 * kCoresPerNode;
+    for (int n = 1; n <= 3; ++n) {
+      loads.push_back(std::make_unique<cpu::BackgroundLoad>(
+          cluster.sim(), cluster.node(n).sched(), lp,
+          Rng(77 * static_cast<std::uint64_t>(n) + 1)));
+      loads.back()->start();
+    }
+  }
+  cluster.sim().run_until(cluster.sim().now() + 5_ms);
+
+  bool stop_traffic = false;
+  std::function<void(std::size_t)> tenant_pump = [&](std::size_t g) {
+    if (stop_traffic) return;
+    core::GroupInterface* grp = &mgr.group(g);
+    mgr.submit(grp, [grp, g, &tenant_pump](/*arbiter slot*/) {
+      grp->gwrite(0, 64, false, [g, &tenant_pump](Status, const auto&) {
+        tenant_pump(g);
+      });
+    });
+  };
+  for (std::size_t g = 2; g < mgr.num_groups(); ++g) {
+    const std::uint64_t v = g;
+    mgr.group(g).region_write(0, &v, 8);
+    tenant_pump(g);
+  }
+
+  // Closed-loop victim workloads, one datapath at a time.
+  auto drive = [&](core::GroupInterface* victim) {
+    const std::uint32_t size = 512;
+    std::vector<char> data(size, 'x');
+    victim->region_write(0, data.data(), data.size());
+    LatencyHistogram hist;
+    int done = 0;
+    Time start = 0;
+    std::function<void()> next = [&] {
+      start = cluster.sim().now();
+      victim->gwrite(0, size, /*flush=*/true, [&](Status s, const auto&) {
+        HL_CHECK_MSG(s.is_ok(), s.message());
+        hist.record(cluster.sim().now() - start);
+        if (++done < ops) next();
+      });
+    };
+    next();
+    const Time deadline =
+        cluster.sim().now() + static_cast<Duration>(ops) * 100_ms;
+    while (done < ops && cluster.sim().now() < deadline) {
+      cluster.sim().run_until(cluster.sim().now() + 50_us);
+    }
+    HL_CHECK_MSG(done == ops, "victim drive did not finish in budget");
+    return hist;
+  };
+  row.hl = drive(hl_victim);
+  row.naive = drive(nv_victim);
+
+  stop_traffic = true;
+  cluster.sim().run_until(cluster.sim().now() + 2_ms);
+  return row;
+}
+
+void append_row_json(std::ostringstream& os, const Row& r, bool last) {
+  os << "    {\"load\": " << r.load << ", "
+     << "\"ops\": " << r.hl.count() << ", "
+     << "\"hl_p50\": " << r.hl.p50() << ", "
+     << "\"hl_p99\": " << r.hl.p99() << ", "
+     << "\"naive_p50\": " << r.naive.p50() << ", "
+     << "\"naive_p99\": " << r.naive.p99() << "}" << (last ? "" : ",")
+     << "\n";
+}
+
+bool validate_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fig13: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  if (braces != 0 || brackets != 0 || in_string) {
+    std::fprintf(stderr, "fig13: unbalanced JSON in %s\n", path.c_str());
+    return false;
+  }
+  for (const char* key : {"\"rows\"", "\"hl_p99\"", "\"naive_p99\"",
+                          "\"hl_p99_ratio\"", "\"groups\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "fig13: %s missing key %s\n", path.c_str(), key);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_multitenant.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int ops = quick ? 200 : 1'500;
+
+  print_header(
+      "Figure 13 analog: tail latency vs co-tenant CPU load (12 groups / 3 "
+      "nodes)",
+      "\"HyperLoop's transaction latency is not affected by the number of "
+      "co-located tenants\" (Figs. 12-13)");
+
+  std::vector<Row> rows;
+  print_row_header(
+      {"co-load", "hl-p50", "hl-p99", "naive-p50", "naive-p99", "ops"});
+  for (const double load : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    rows.push_back(run_level(load, ops));
+    const Row& r = rows.back();
+    std::printf("%-16.2f%-16s%-16s%-16s%-16s%llu\n", r.load,
+                fmt(r.hl.p50()).c_str(), fmt(r.hl.p99()).c_str(),
+                fmt(r.naive.p50()).c_str(), fmt(r.naive.p99()).c_str(),
+                static_cast<unsigned long long>(r.hl.count()));
+  }
+
+  const double hl_ratio =
+      rows.front().hl.p99() > 0
+          ? static_cast<double>(rows.back().hl.p99()) /
+                static_cast<double>(rows.front().hl.p99())
+          : 0;
+  const double naive_ratio =
+      rows.front().naive.p99() > 0
+          ? static_cast<double>(rows.back().naive.p99()) /
+                static_cast<double>(rows.front().naive.p99())
+          : 0;
+  std::printf("p99 inflation idle -> 95%% co-load:  HyperLoop %.2fx, "
+              "naive %.2fx\n",
+              hl_ratio, naive_ratio);
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"fig13_isolation\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"groups\": "
+     << (kCoTenantGroups + 2) << ",\n  \"nodes\": 3,\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_row_json(os, rows[i], i + 1 == rows.size());
+  }
+  os << "  ],\n  \"hl_p99_ratio\": " << hl_ratio
+     << ",\n  \"naive_p99_ratio\": " << naive_ratio << "\n}\n";
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "fig13: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << os.str();
+  }
+  if (!validate_json(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main(int argc, char** argv) { return hyperloop::bench::run(argc, argv); }

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 
-namespace hyperloop::core {
+#include "hyperloop/transport/channel_pool.hpp"
+#include "hyperloop/transport/completion_router.hpp"
 
-namespace {
-constexpr std::uint32_t kAllAccess =
-    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
-    mem::kRemoteWrite | mem::kRemoteAtomic;
-}  // namespace
+namespace hyperloop::core {
 
 FanoutGroup::FanoutGroup(Cluster& cluster, std::size_t client_node,
                          std::vector<std::size_t> replica_nodes,
@@ -23,130 +20,121 @@ FanoutGroup::FanoutGroup(Cluster& cluster, std::size_t client_node,
   const std::size_t backups = total - 1;
   const std::uint64_t blob = blob_bytes(total);
 
-  // --- Regions on every member (same layout as the chain datapath). -------
+  // --- Regions on every member (same layout as the chain datapath). The
+  // region tenant may differ per member; staging stays on the group tenant.
   for (std::size_t i = 0; i < total; ++i) {
     Member m;
     m.node = &cluster.node(replica_nodes[i]);
-    mem::HostMemory& mem = m.node->memory();
-    m.region_addr = mem.alloc(region_size_, 64);
-    const mem::MemoryRegion mr = mem.register_region(
-        m.region_addr, region_size_, kAllAccess, params_.tenant);
-    m.region_lkey = mr.lkey;
-    m.region_rkey = mr.rkey;
+    transport::ChannelPool mpool(m.node->nic(), m.node->memory());
+    const transport::RegisteredBuffer region = mpool.buffer(
+        region_size_, transport::kAllAccess, params_.region_tenant(i));
+    m.region_addr = region.addr;
+    m.region_lkey = region.lkey;
+    m.region_rkey = region.rkey;
     members_.push_back(m);
   }
+  transport::ChannelPool cpool(client_node_->nic(), client_node_->memory());
   {
-    mem::HostMemory& cmem = client_node_->memory();
-    client_region_addr_ = cmem.alloc(region_size_, 64);
-    const mem::MemoryRegion mr = cmem.register_region(
-        client_region_addr_, region_size_, kAllAccess, params_.tenant);
-    client_region_lkey_ = mr.lkey;
+    const transport::RegisteredBuffer region = cpool.buffer(
+        region_size_, transport::kAllAccess, params_.tenant);
+    client_region_addr_ = region.addr;
+    client_region_lkey_ = region.lkey;
   }
 
   Node& primary = *members_[0].node;
-  rnic::Nic& pnic = primary.nic();
+  transport::ChannelPool ppool(primary.nic(), primary.memory());
   repost_thread_ = primary.sched().create_thread("fanout-replenish");
 
   for (int p = 0; p < kNumPrimitives; ++p) {
     const auto prim = static_cast<Primitive>(p);
     Channel& ch = channels_[static_cast<std::size_t>(p)];
-    ch.recv_cq = pnic.create_cq();
-    ch.loop_cq = pnic.create_cq();
-    ch.misc_cq = pnic.create_cq();
+    ch.ring.reset(params_.slots);
+    ch.recv_cq = ppool.cq();
+    ch.loop_cq = ppool.cq();
+    ch.misc_cq = ppool.cq();
 
-    mem::HostMemory& pmem = primary.memory();
-    ch.staging_addr = pmem.alloc(params_.slots * blob, 64);
-    const mem::MemoryRegion smr = pmem.register_region(
-        ch.staging_addr, params_.slots * blob,
-        mem::kLocalRead | mem::kLocalWrite, params_.tenant);
-    ch.staging_lkey = smr.lkey;
+    const transport::RegisteredBuffer staging = ppool.buffer(
+        params_.slots * blob, mem::kLocalRead | mem::kLocalWrite,
+        params_.tenant);
+    ch.staging_addr = staging.addr;
+    ch.staging_lkey = staging.lkey;
 
-    ch.from_client = pnic.create_qp(ch.misc_cq, ch.recv_cq, 1, params_.tenant);
+    ch.from_client = ppool.qp(ch.misc_cq, ch.recv_cq, 1, params_.tenant);
 
     for (std::size_t k = 0; k < backups; ++k) {
-      rnic::CompletionQueue* fan_cq = pnic.create_cq();
-      rnic::QueuePair* qp =
-          pnic.create_qp(fan_cq, ch.misc_cq, 2 * params_.slots, params_.tenant);
-      const mem::MemoryRegion ring = pmem.register_region(
-          qp->ring_slot_addr(0),
-          2ull * params_.slots * rnic::kWqeSlotBytes, mem::kLocalWrite,
-          params_.tenant);
-      ch.to_backup.push_back(qp);
-      ch.ring_lkeys.push_back(ring.lkey);
+      rnic::CompletionQueue* fan_cq = ppool.cq();
+      const transport::PatchableQp fan = ppool.patchable_qp(
+          fan_cq, ch.misc_cq, 2 * params_.slots, params_.tenant);
+      ch.to_backup.push_back(fan.qp);
+      ch.ring_lkeys.push_back(fan.ring_lkey);
       // Wire primary <-> backup (a passive QP on the backup NIC).
       Node& backup = *members_[k + 1].node;
-      rnic::CompletionQueue* bcq = backup.nic().create_cq();
-      rnic::QueuePair* bqp =
-          backup.nic().create_qp(bcq, bcq, 1, params_.tenant);
-      pnic.connect(qp, backup.id(), bqp->id());
-      backup.nic().connect(bqp, primary.id(), qp->id());
+      transport::ChannelPool bpool(backup.nic(), backup.memory());
+      rnic::CompletionQueue* bcq = bpool.cq();
+      rnic::QueuePair* bqp = bpool.qp(bcq, bcq, 1, params_.tenant);
+      transport::wire(primary.nic(), fan.qp, backup.nic(), bqp);
     }
 
-    ch.loop = pnic.create_qp(ch.loop_cq, ch.misc_cq, 2 * params_.slots,
-                             params_.tenant);
-    const mem::MemoryRegion loop_ring = pmem.register_region(
-        ch.loop->ring_slot_addr(0),
-        2ull * params_.slots * rnic::kWqeSlotBytes, mem::kLocalWrite,
-        params_.tenant);
-    ch.loop_ring_lkey = loop_ring.lkey;
-    pnic.connect(ch.loop, primary.id(), ch.loop->id());
+    const transport::PatchableQp loop = ppool.patchable_qp(
+        ch.loop_cq, ch.misc_cq, 2 * params_.slots, params_.tenant);
+    ch.loop = loop.qp;
+    ch.loop_ring_lkey = loop.ring_lkey;
+    ppool.wire_loopback(ch.loop);
 
-    ch.ack = pnic.create_qp(
+    ch.ack = ppool.qp(
         ch.misc_cq, ch.misc_cq,
         static_cast<std::uint32_t>((backups + 2) * params_.slots),
         params_.tenant);
 
     // --- Client side of this channel. -------------------------------------
     ClientChannel& cc = client_[static_cast<std::size_t>(p)];
-    rnic::Nic& cnic = client_node_->nic();
-    cc.send_cq = cnic.create_cq();
-    cc.ack_cq = cnic.create_cq();
-    cc.up = cnic.create_qp(cc.send_cq, cc.send_cq, 3 * params_.slots,
-                           params_.tenant);
-    cc.ack = cnic.create_qp(cc.send_cq, cc.ack_cq, 1, params_.tenant);
-    mem::HostMemory& cmem = client_node_->memory();
-    cc.staging_addr = cmem.alloc(params_.slots * blob, 64);
-    const mem::MemoryRegion csmr = cmem.register_region(
-        cc.staging_addr, params_.slots * blob, mem::kLocalRead,
+    cc.send_cq = cpool.cq();
+    cc.ack_cq = cpool.cq();
+    cc.up = cpool.qp(cc.send_cq, cc.send_cq, 3 * params_.slots,
+                     params_.tenant);
+    cc.ack = cpool.qp(cc.send_cq, cc.ack_cq, 1, params_.tenant);
+    cc.ring.reset(params_.slots);
+    cc.table.bind(cluster_.sim(), {params_.op_timeout, params_.op_retry_limit});
+    const transport::RegisteredBuffer cstaging = cpool.buffer(
+        params_.slots * blob, mem::kLocalRead, params_.tenant);
+    cc.blob = transport::BlobBuilder(client_node_->memory(), cstaging.addr,
+                                     total);
+    cc.staging_lkey = cstaging.lkey;
+    const transport::RegisteredBuffer ack = cpool.buffer(
+        params_.slots * blob, mem::kRemoteWrite | mem::kLocalRead,
         params_.tenant);
-    cc.staging_lkey = csmr.lkey;
-    cc.ack_addr = cmem.alloc(params_.slots * blob, 64);
-    const mem::MemoryRegion amr = cmem.register_region(
-        cc.ack_addr, params_.slots * blob,
-        mem::kRemoteWrite | mem::kLocalRead, params_.tenant);
-    cc.ack_rkey = amr.rkey;
+    cc.ack_addr = ack.addr;
+    cc.ack_rkey = ack.rkey;
 
-    cnic.connect(cc.up, primary.id(), ch.from_client->id());
-    pnic.connect(ch.from_client, client_node_->id(), cc.up->id());
-    pnic.connect(ch.ack, client_node_->id(), cc.ack->id());
-    cnic.connect(cc.ack, primary.id(), ch.ack->id());
+    transport::wire(client_node_->nic(), cc.up, primary.nic(),
+                    ch.from_client);
+    transport::wire(primary.nic(), ch.ack, client_node_->nic(), cc.ack);
 
     for (std::uint32_t s = 0; s < params_.slots; ++s) {
       rnic::RecvWr recv;
       recv.wr_id = s;
       HL_CHECK(cc.ack->post_recv(std::move(recv)).is_ok());
     }
-    cc.ack_cq->set_event_handler(alive_.guard([this, prim] {
-      ClientChannel& c = client_[static_cast<std::size_t>(prim)];
-      while (auto wc = c.ack_cq->poll()) on_ack(prim, *wc);
-      c.ack_cq->arm();
-    }));
-    cc.ack_cq->arm();
+    transport::route_each(
+        cc.ack_cq, alive_,
+        [this, prim](const rnic::Completion& wc) { on_ack(prim, wc); });
+    // Client-side send errors (e.g. the head WRITE denied by the primary's
+    // region registration) fail the channel with the original error code.
+    transport::route_errors(
+        cc.send_cq, alive_, "fan-out send failed",
+        [this, prim](Status st) { fail_all(prim, std::move(st)); });
 
     // --- Prime the slots + replenishment. ----------------------------------
     for (std::uint32_t s = 0; s < params_.slots; ++s) {
       post_recv_for_slot(prim, s);
       post_slot(prim, s);
-      ++ch.posted_slots;
+      ch.ring.note_posted();
     }
     ch.recv_cq->set_event_handler(alive_.guard([this, prim] {
       Channel& c = channels_[static_cast<std::size_t>(prim)];
       c.recv_cq->arm();
-      if (c.repost_scheduled ||
-          c.recv_cq->depth() < params_.slots / 4) {
-        return;
-      }
-      c.repost_scheduled = true;
+      if (c.recv_cq->depth() < params_.slots / 4) return;
+      if (!c.ring.claim_replenish()) return;
       members_[0].node->sched().submit(
           repost_thread_, params_.repost_cpu_fixed,
           alive_.guard([this, prim] { replenish(prim); }));
@@ -158,8 +146,7 @@ FanoutGroup::FanoutGroup(Cluster& cluster, std::size_t client_node,
   std::function<void()> sweep = alive_.guard([this] {
     for (int p = 0; p < kNumPrimitives; ++p) {
       Channel& ch = channels_[static_cast<std::size_t>(p)];
-      if (!ch.repost_scheduled && ch.recv_cq->depth() > 0) {
-        ch.repost_scheduled = true;
+      if (ch.recv_cq->depth() > 0 && ch.ring.claim_replenish()) {
         const auto prim = static_cast<Primitive>(p);
         members_[0].node->sched().submit(
             repost_thread_, params_.repost_cpu_fixed,
@@ -180,23 +167,12 @@ FanoutGroup::FanoutGroup(Cluster& cluster, std::size_t client_node,
   SweepLoop::arm(this, sweep);
 }
 
-std::uint32_t FanoutGroup::fan_ops(Primitive p) const {
-  const auto backups = static_cast<std::uint32_t>(members_.size() - 1);
-  switch (p) {
-    case Primitive::kGWrite: return backups;
-    case Primitive::kGMemcpy: return backups;
-    case Primitive::kGCas: return backups;     // + loop op on loop_cq
-    case Primitive::kGFlush: return backups;   // + loop flush on loop_cq
-  }
-  return backups;
-}
-
 void FanoutGroup::post_slot(Primitive p, std::uint64_t logical_slot) {
   Channel& ch = channels_[static_cast<std::size_t>(p)];
   const std::size_t backups = members_.size() - 1;
   const std::size_t total = members_.size();
   const std::uint64_t blob = blob_bytes(total);
-  const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
+  const auto k = static_cast<std::uint32_t>(ch.ring.position(logical_slot));
   const std::uint64_t staging_slot =
       ch.staging_addr + blob_slot_offset(total, k);
   const auto recv_threshold = static_cast<std::uint32_t>(logical_slot + 1);
@@ -205,75 +181,40 @@ void FanoutGroup::post_slot(Primitive p, std::uint64_t logical_slot) {
 
   if (has_loop_op) {
     HL_CHECK(ch.loop->next_post_slot() == k * 2);
-    rnic::SendWr wait;
-    wait.opcode = rnic::Opcode::kWait;
-    wait.flags = rnic::kWaitThreshold;
-    wait.wait_cq = ch.recv_cq->id();
-    wait.wait_count = recv_threshold;
-    wait.enable_count = 1;
-    HL_CHECK(ch.loop->post_send(wait).is_ok());
-
-    rnic::SendWr op;
-    op.wr_id = logical_slot;
-    op.deferred_ownership = true;
-    if (p == Primitive::kGFlush) {
-      op.opcode = rnic::Opcode::kRead;  // loopback 0-byte READ: self-flush
-      op.flags = rnic::kSignaled;
-      op.local_len = 0;
-    } else {
-      op.opcode = rnic::Opcode::kNop;  // patched by the client
-      op.flags = rnic::kSignaled;
-    }
-    HL_CHECK(ch.loop->post_send(op).is_ok());
+    HL_CHECK(ch.loop
+                 ->post_send(make_wait(ch.recv_cq->id(), recv_threshold, 1,
+                                       rnic::kWaitThreshold))
+                 .is_ok());
+    HL_CHECK(ch.loop->post_send(make_slot_op(p, logical_slot)).is_ok());
   }
 
   for (std::size_t b = 0; b < backups; ++b) {
     rnic::QueuePair* qp = ch.to_backup[b];
     HL_CHECK(qp->next_post_slot() == k * 2);
-    rnic::SendWr wait;
-    wait.opcode = rnic::Opcode::kWait;
-    wait.flags = rnic::kWaitThreshold;
     // gMEMCPY backups must run after the local copy; others gate on the
     // inbound metadata directly.
-    wait.wait_cq = p == Primitive::kGMemcpy ? ch.loop_cq->id()
-                                            : ch.recv_cq->id();
-    wait.wait_count = recv_threshold;
-    wait.enable_count = 1;
-    HL_CHECK(qp->post_send(wait).is_ok());
-
-    rnic::SendWr op;
-    op.wr_id = logical_slot;
-    op.deferred_ownership = true;
-    if (p == Primitive::kGFlush) {
-      op.opcode = rnic::Opcode::kRead;  // 0-byte READ: flush the backup
-      op.flags = rnic::kSignaled;
-      op.local_len = 0;
-    } else {
-      op.opcode = rnic::Opcode::kNop;  // patched by the client
-      op.flags = rnic::kSignaled;
-    }
-    HL_CHECK(qp->post_send(op).is_ok());
+    const rnic::CqId gate =
+        p == Primitive::kGMemcpy ? ch.loop_cq->id() : ch.recv_cq->id();
+    HL_CHECK(qp->post_send(make_wait(gate, recv_threshold, 1,
+                                     rnic::kWaitThreshold))
+                 .is_ok());
+    HL_CHECK(qp->post_send(make_slot_op(p, logical_slot)).is_ok());
   }
 
   // ACK chain: one threshold WAIT per gating CQ, then WRITE_WITH_IMM.
   const bool ack_waits_loop = p == Primitive::kGCas || p == Primitive::kGFlush;
   if (ack_waits_loop) {
-    rnic::SendWr lwait;
-    lwait.opcode = rnic::Opcode::kWait;
-    lwait.flags = rnic::kWaitThreshold;
-    lwait.wait_cq = ch.loop_cq->id();
-    lwait.wait_count = recv_threshold;
-    lwait.enable_count = 0;
-    HL_CHECK(ch.ack->post_send(lwait).is_ok());
+    HL_CHECK(ch.ack
+                 ->post_send(make_wait(ch.loop_cq->id(), recv_threshold, 0,
+                                       rnic::kWaitThreshold))
+                 .is_ok());
   }
   for (std::size_t b = 0; b < backups; ++b) {
-    rnic::SendWr bwait;
-    bwait.opcode = rnic::Opcode::kWait;
-    bwait.flags = rnic::kWaitThreshold;
-    bwait.wait_cq = ch.to_backup[b]->send_cq().id();
-    bwait.wait_count = recv_threshold;
-    bwait.enable_count = 0;
-    HL_CHECK(ch.ack->post_send(bwait).is_ok());
+    HL_CHECK(ch.ack
+                 ->post_send(make_wait(ch.to_backup[b]->send_cq().id(),
+                                       recv_threshold, 0,
+                                       rnic::kWaitThreshold))
+                 .is_ok());
   }
   const auto pi = static_cast<std::size_t>(p);
   rnic::SendWr ack;
@@ -294,7 +235,7 @@ void FanoutGroup::post_recv_for_slot(Primitive p,
   Channel& ch = channels_[static_cast<std::size_t>(p)];
   const std::size_t total = members_.size();
   const std::uint64_t blob = blob_bytes(total);
-  const auto k = static_cast<std::uint32_t>(logical_slot % params_.slots);
+  const auto k = static_cast<std::uint32_t>(ch.ring.position(logical_slot));
   const std::uint64_t staging_slot =
       ch.staging_addr + blob_slot_offset(total, k);
 
@@ -338,29 +279,45 @@ void FanoutGroup::post_recv_for_slot(Primitive p,
 
 void FanoutGroup::replenish(Primitive p) {
   Channel& ch = channels_[static_cast<std::size_t>(p)];
-  while (ch.recv_cq->poll()) ++ch.consumed_slots;
-  while (ch.loop_cq->poll()) {
-  }
-  while (ch.misc_cq->poll()) {
+  while (ch.recv_cq->poll()) ch.ring.note_consumed();
+  // Housekeeping: drain op/forward completions. A transient error surfaces
+  // through client deadlines, but an access-class error (cross-tenant CAS or
+  // flush denied at a member) is permanent — report it to the client.
+  Status access = transport::drain_collect_access_error(ch.loop_cq);
+  {
+    const Status st = transport::drain_collect_access_error(ch.misc_cq);
+    if (access.is_ok()) access = st;
   }
   for (auto* qp : ch.to_backup) {
-    while (qp->send_cq().poll()) {
-    }
+    const Status st = transport::drain_collect_access_error(&qp->send_cq());
+    if (access.is_ok()) access = st;
   }
+  if (!access.is_ok()) fail_channel_async(p, access);
+
   std::uint64_t reposted = 0;
   const std::size_t backups = members_.size() - 1;
-  while (ch.posted_slots < ch.consumed_slots + params_.slots) {
+  // Repost only while every chain QP is still alive — a failed QP (access
+  // error above, or retry exhaustion) rejects posts, and the pre-posted
+  // state it held is gone with it.
+  bool postable =
+      ch.ack->state() == rnic::QueuePair::State::kConnected &&
+      ch.loop->state() == rnic::QueuePair::State::kConnected &&
+      ch.from_client->state() == rnic::QueuePair::State::kConnected;
+  for (auto* qp : ch.to_backup) {
+    postable = postable && qp->state() == rnic::QueuePair::State::kConnected;
+  }
+  while (postable && ch.ring.has_capacity()) {
     bool room = ch.ack->free_send_slots() >=
                 static_cast<std::uint32_t>(backups + 2);
     for (auto* qp : ch.to_backup) room = room && qp->free_send_slots() >= 2;
     room = room && ch.loop->free_send_slots() >= 2;
     if (!room) break;
-    post_recv_for_slot(p, ch.posted_slots);
-    post_slot(p, ch.posted_slots);
-    ++ch.posted_slots;
+    post_recv_for_slot(p, ch.ring.posted());
+    post_slot(p, ch.ring.posted());
+    ch.ring.note_posted();
     ++reposted;
   }
-  ch.repost_scheduled = false;
+  ch.ring.finish_replenish();
   ch.recv_cq->arm();
   if (reposted > 0) {
     members_[0].node->sched().submit(
@@ -454,23 +411,30 @@ WqePatch FanoutGroup::build_patch(const OpSpec& spec, std::size_t member,
 void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
   const auto pi = static_cast<std::size_t>(spec.prim);
   ClientChannel& cc = client_[pi];
-  if (cc.inflight.size() >= params_.max_outstanding) {
+  if (!cc.dead.is_ok()) {
+    // Permanently down for this tenant (a member denied an op); fail fast
+    // with the original code, deferred off the caller's stack.
+    cluster_.sim().schedule(
+        0, alive_.guard([cb = std::move(cb), st = cc.dead]() mutable {
+          if (cb) cb(st, {});
+        }));
+    return;
+  }
+  if (cc.table.size() >= params_.max_outstanding) {
     if (cb) {
       cb(Status(StatusCode::kRetryLater, "fan-out channel saturated"), {});
     }
     return;
   }
-  const std::uint64_t s = cc.next_slot++;
-  const auto k = static_cast<std::uint32_t>(s % params_.slots);
+  const std::uint64_t s = cc.ring.acquire();
+  const auto k = static_cast<std::uint32_t>(cc.ring.position(s));
   const std::size_t total = members_.size();
-  const std::uint64_t blob = blob_bytes(total);
 
   std::vector<BlobEntry> entries(total);
   for (std::size_t i = 0; i < total; ++i) {
     entries[i].patch = build_patch(spec, i, s);
   }
-  client_node_->memory().write(cc.staging_addr + blob_slot_offset(total, k),
-                               entries.data(), blob);
+  cc.blob.write_blob(blob_slot_offset(total, k), entries.data(), total);
 
   // Mirror the op on the client's local copy (same contract as the chain).
   if (spec.prim == Primitive::kGMemcpy) {
@@ -486,6 +450,14 @@ void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
     }
   }
 
+  // A failed post means the channel QP already died (failure discovered
+  // between ops); fail just this op, deferred, instead of crashing.
+  auto fail_post = [&](Status posted, OpCallback failed_cb) {
+    cluster_.sim().schedule(
+        0, alive_.guard([cb = std::move(failed_cb), posted]() mutable {
+          if (cb) cb(posted, {});
+        }));
+  };
   if (spec.prim == Primitive::kGWrite) {
     rnic::SendWr write;
     write.opcode = rnic::Opcode::kWrite;
@@ -495,37 +467,93 @@ void FanoutGroup::issue(const OpSpec& spec, OpCallback cb) {
     write.lkey = client_region_lkey_;
     write.remote_addr = members_[0].region_addr + spec.offset;
     write.rkey = members_[0].region_rkey;
-    HL_CHECK(cc.up->post_send(write).is_ok());
+    const Status posted = cc.up->post_send(write);
+    if (!posted.is_ok()) {
+      fail_post(posted, std::move(cb));
+      return;
+    }
   }
   rnic::SendWr send;
   send.opcode = rnic::Opcode::kSend;
   send.flags = 0;
-  send.local_addr = cc.staging_addr + blob_slot_offset(total, k);
-  send.local_len = static_cast<std::uint32_t>(blob);
+  send.local_addr = cc.blob.staging_addr() + blob_slot_offset(total, k);
+  send.local_len = static_cast<std::uint32_t>(blob_bytes(total));
   send.lkey = cc.staging_lkey;
-  HL_CHECK(cc.up->post_send(send).is_ok());
+  const Status posted = cc.up->post_send(send);
+  if (!posted.is_ok()) {
+    fail_post(posted, std::move(cb));
+    return;
+  }
 
-  cc.inflight.emplace_back(s, std::move(cb));
+  const Primitive prim = spec.prim;
+  cc.table.track(s, std::move(cb),
+                 alive_.guard([this, prim, s] { on_op_timeout(prim, s); }));
 }
 
 void FanoutGroup::on_ack(Primitive p, const rnic::Completion& c) {
   ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+  // Replenish the consumed ack RECV immediately; the post can fail if the
+  // QP errored between the completion and this handler.
   rnic::RecvWr recv;
-  HL_CHECK(cc.ack->post_recv(std::move(recv)).is_ok());
-  if (c.status != StatusCode::kOk || cc.inflight.empty()) return;
+  (void)cc.ack->post_recv(std::move(recv));
+  if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
 
-  auto [slot, cb] = std::move(cc.inflight.front());
-  cc.inflight.pop_front();
-  HL_CHECK_MSG(c.imm == static_cast<std::uint32_t>(slot),
-               "fan-out ack/op mismatch");
+  // Empty table: stale ack after a failure drained everything. Key
+  // mismatch: a late ack for an op already failed on its deadline — counted
+  // as a drop and discarded rather than mis-credited to the front op.
+  auto op = cc.table.complete_front(c.imm);
+  if (!op) return;
+
   const std::size_t total = members_.size();
-  const auto k = static_cast<std::uint32_t>(slot % params_.slots);
+  const auto k = static_cast<std::uint32_t>(op->key % params_.slots);
   std::vector<std::uint64_t> results(total, 0);
   for (std::size_t i = 0; i < total; ++i) {
     client_node_->nic().cache().read_through(
         cc.ack_addr + blob_result_offset(total, k, i), &results[i], 8);
   }
-  if (cb) cb(Status::ok(), results);
+  if (op->payload) op->payload(Status::ok(), results);
+}
+
+void FanoutGroup::on_op_timeout(Primitive p, std::uint64_t slot) {
+  ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+  // While both client QPs are still connected the NIC retransmit machinery
+  // is working the loss; extend the deadline instead of failing the channel.
+  const bool healthy =
+      cc.up->state() == rnic::QueuePair::State::kConnected &&
+      cc.ack->state() == rnic::QueuePair::State::kConnected;
+  using Table = transport::PendingOpTable<OpCallback>;
+  switch (cc.table.on_deadline(slot, healthy, alive_.guard([this, p, slot] {
+                                 on_op_timeout(p, slot);
+                               }))) {
+    case Table::DeadlineOutcome::kGone:
+    case Table::DeadlineOutcome::kExtended:
+      return;
+    case Table::DeadlineOutcome::kExpired:
+      fail_all(p, Status(StatusCode::kUnavailable, "fan-out op timed out"));
+      return;
+  }
+}
+
+void FanoutGroup::fail_all(Primitive p, Status status) {
+  ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+  auto drained = cc.table.drain();
+  for (auto& e : drained.inflight) {
+    if (e.payload) e.payload(status, {});
+  }
+}
+
+void FanoutGroup::fail_channel_async(Primitive p, Status status) {
+  cluster_.sim().schedule(0, alive_.guard([this, p, status] {
+    ClientChannel& cc = client_[static_cast<std::size_t>(p)];
+    if (cc.dead.is_ok()) cc.dead = status;
+    fail_all(p, status);
+  }));
+}
+
+GroupStats FanoutGroup::stats() const {
+  transport::OpCounters agg;
+  for (const auto& cc : client_) agg.merge(cc.table.counters());
+  return transport::to_group_stats(agg);
 }
 
 void FanoutGroup::gwrite(std::uint64_t offset, std::uint32_t size, bool flush,

@@ -26,17 +26,21 @@
 //
 // Starred WQEs are deferred and patched by the client's metadata blob
 // (entry k patches the primary's per-backup WQE), exactly the remote work
-// request manipulation machinery of the chain datapath.
+// request manipulation machinery of the chain datapath. The generic slot /
+// pending-op / blob machinery comes from the transport substrate
+// (src/hyperloop/transport/); this file holds the fan-out protocol only.
 #pragma once
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "hyperloop/cluster.hpp"
 #include "hyperloop/group_api.hpp"
 #include "hyperloop/group_types.hpp"
+#include "hyperloop/transport/blob_builder.hpp"
+#include "hyperloop/transport/pending_ops.hpp"
+#include "hyperloop/transport/slot_ring.hpp"
 #include "rnic/nic.hpp"
 #include "util/lifetime.hpp"
 
@@ -72,6 +76,9 @@ class FanoutGroup : public GroupInterface {
                std::uint32_t size, bool flush, OpCallback cb) override;
   void gflush(OpCallback cb) override;
 
+  /// Aggregated transport counters across all channels.
+  [[nodiscard]] GroupStats stats() const override;
+
   /// Primary CPU spent on the datapath (slot replenishment only).
   [[nodiscard]] Duration primary_cpu_time() const;
 
@@ -96,9 +103,8 @@ class FanoutGroup : public GroupInterface {
     std::uint32_t staging_lkey = 0;
     std::vector<std::uint32_t> ring_lkeys;      // per backup QP ring
     std::uint32_t loop_ring_lkey = 0;
-    std::uint64_t posted_slots = 0;
-    std::uint64_t consumed_slots = 0;
-    bool repost_scheduled = false;
+    /// Slot indexing + replenishment accounting.
+    transport::SlotRing ring;
   };
 
   struct ClientChannel {
@@ -106,12 +112,15 @@ class FanoutGroup : public GroupInterface {
     rnic::QueuePair* ack = nullptr;  // from the primary
     rnic::CompletionQueue* ack_cq = nullptr;
     rnic::CompletionQueue* send_cq = nullptr;
-    std::uint64_t staging_addr = 0;
     std::uint32_t staging_lkey = 0;
     std::uint64_t ack_addr = 0;
     std::uint32_t ack_rkey = 0;
-    std::uint64_t next_slot = 0;
-    std::deque<std::pair<std::uint64_t, OpCallback>> inflight;  // slot, cb
+    transport::SlotRing ring;             // logical op counter
+    transport::BlobBuilder blob;          // client staging area
+    transport::PendingOpTable<OpCallback> table;  // FIFO inflight + deadlines
+    /// Set when a member denied an op (access-class error): permanently
+    /// down for this tenant; subsequent ops fail fast with the code.
+    Status dead = Status::ok();
   };
 
   struct OpSpec {
@@ -125,8 +134,6 @@ class FanoutGroup : public GroupInterface {
     ExecuteMap execute = kAllReplicas;
   };
 
-  /// Ops-per-ack completions on fan_cq for one slot of a primitive.
-  [[nodiscard]] std::uint32_t fan_ops(Primitive p) const;
   void post_slot(Primitive p, std::uint64_t logical_slot);
   void post_recv_for_slot(Primitive p, std::uint64_t logical_slot);
   void replenish(Primitive p);
@@ -134,6 +141,15 @@ class FanoutGroup : public GroupInterface {
   WqePatch build_patch(const OpSpec& spec, std::size_t member,
                        std::uint64_t slot) const;
   void on_ack(Primitive p, const rnic::Completion& c);
+  /// Op deadline fired: extend while the client QPs are still connected and
+  /// budget remains, otherwise fail the channel.
+  void on_op_timeout(Primitive p, std::uint64_t slot);
+  /// Fail everything outstanding on one channel.
+  void fail_all(Primitive p, Status status);
+  /// The primary observed an access-class error (cross-tenant deny at a
+  /// member). Marks the channel dead and fails outstanding ops — deferred to
+  /// the control path, never inside the primary's replenish pass.
+  void fail_channel_async(Primitive p, Status status);
 
   Cluster& cluster_;
   GroupParams params_;

@@ -3,15 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "hyperloop/transport/completion_router.hpp"
+
 namespace hyperloop::core {
-
-namespace {
-
-constexpr std::uint32_t kAllAccess =
-    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
-    mem::kRemoteWrite | mem::kRemoteAtomic;
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // HyperLoopGroup: setup / wiring (the control path; runs once)
@@ -34,33 +28,34 @@ HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
   const std::uint64_t blob = blob_bytes(R);
 
   // --- Regions -------------------------------------------------------------
-  auto setup_member = [&](Node& node, bool is_client) {
+  // The region's tenant token may differ per member (cross-tenant deny
+  // scenarios); staging areas always belong to the group's own tenant.
+  auto setup_member = [&](Node& node, bool is_client,
+                          std::uint64_t region_tenant) {
     MemberInfo info;
     info.nic = node.id();
-    mem::HostMemory& mem = node.memory();
-    const std::uint64_t region = mem.alloc(region_size_, 64);
-    const mem::MemoryRegion mr =
-        mem.register_region(region, region_size_, kAllAccess, params_.tenant);
-    info.region_addr = region;
+    transport::ChannelPool pool(node.nic(), node.memory());
+    const transport::RegisteredBuffer region = pool.buffer(
+        region_size_, transport::kAllAccess, region_tenant);
+    info.region_addr = region.addr;
     info.region_size = region_size_;
-    info.region_lkey = mr.lkey;
-    info.region_rkey = mr.rkey;
+    info.region_lkey = region.lkey;
+    info.region_rkey = region.rkey;
     for (int p = 0; p < kNumPrimitives; ++p) {
-      const std::uint64_t staging =
-          mem.alloc(params_.slots * blob, 64);
-      const mem::MemoryRegion smr = mem.register_region(
-          staging, params_.slots * blob,
+      const transport::RegisteredBuffer staging = pool.buffer(
+          params_.slots * blob,
           mem::kLocalRead | mem::kLocalWrite |
               (is_client ? mem::kRemoteWrite : 0u),
           params_.tenant);
-      info.staging_addr[p] = staging;
-      info.staging_lkey[p] = smr.lkey;
+      info.staging_addr[p] = staging.addr;
+      info.staging_lkey[p] = staging.lkey;
     }
     return info;
   };
-  client_info_ = setup_member(*client_node_, true);
-  for (Node* n : replica_nodes_) {
-    members_.push_back(setup_member(*n, false));
+  client_info_ = setup_member(*client_node_, true, params_.tenant);
+  for (std::size_t i = 0; i < R; ++i) {
+    members_.push_back(
+        setup_member(*replica_nodes_[i], false, params_.region_tenant(i)));
   }
 
   // --- Replica engines (QPs created inside) --------------------------------
@@ -70,31 +65,34 @@ HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
   }
   client_ = std::make_unique<HyperLoopClient>(*client_node_, *this);
 
-  // --- Wire the chain: client -> r0 -> r1 -> ... -> tail -> client ---------
-  for (int p = 0; p < kNumPrimitives; ++p) {
-    const auto prim = static_cast<Primitive>(p);
-    auto& cch = client_->channels_[static_cast<std::size_t>(p)];
-    auto& first = replicas_[0]->channel(prim);
-    client_node_->nic().connect(cch.down, replica_nodes_[0]->id(),
-                                first.prev->id());
-    replica_nodes_[0]->nic().connect(first.prev, client_node_->id(),
-                                     cch.down->id());
-    for (std::size_t i = 0; i + 1 < R; ++i) {
-      auto& a = replicas_[i]->channel(prim);
-      auto& b = replicas_[i + 1]->channel(prim);
-      replica_nodes_[i]->nic().connect(a.next, replica_nodes_[i + 1]->id(),
-                                       b.prev->id());
-      replica_nodes_[i + 1]->nic().connect(b.prev, replica_nodes_[i]->id(),
-                                           a.next->id());
-    }
-    auto& tail = replicas_[R - 1]->channel(prim);
-    replica_nodes_[R - 1]->nic().connect(tail.next, client_node_->id(),
-                                         cch.ack->id());
-    client_node_->nic().connect(cch.ack, replica_nodes_[R - 1]->id(),
-                                tail.next->id());
-  }
+  wire_chain(/*batched=*/false);
 
   for (auto& r : replicas_) r->start();
+}
+
+void HyperLoopGroup::wire_chain(bool batched) {
+  const std::size_t R = replicas_.size();
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto prim = static_cast<Primitive>(p);
+    const auto pi = static_cast<std::size_t>(p);
+    rnic::QueuePair* down =
+        batched ? client_->batch_[pi]->down : client_->channels_[pi].down;
+    rnic::QueuePair* ack =
+        batched ? client_->batch_[pi]->ack : client_->channels_[pi].ack;
+    auto chan = [&](std::size_t i) -> ReplicaEngine::Channel& {
+      return batched ? replicas_[i]->batch_channel(prim)
+                     : replicas_[i]->channel(prim);
+    };
+    // client -> r0 -> r1 -> ... -> tail -> client
+    transport::wire(client_node_->nic(), down, replica_nodes_[0]->nic(),
+                    chan(0).prev);
+    for (std::size_t i = 0; i + 1 < R; ++i) {
+      transport::wire(replica_nodes_[i]->nic(), chan(i).next,
+                      replica_nodes_[i + 1]->nic(), chan(i + 1).prev);
+    }
+    transport::wire(replica_nodes_[R - 1]->nic(), chan(R - 1).next,
+                    client_node_->nic(), ack);
+  }
 }
 
 void HyperLoopGroup::enable_batching() {
@@ -119,28 +117,7 @@ void HyperLoopGroup::enable_batching() {
   }
 
   // Wire the batch chain exactly like the per-op chain in the ctor.
-  for (int p = 0; p < kNumPrimitives; ++p) {
-    const auto prim = static_cast<Primitive>(p);
-    auto& cb = *client_->batch_[static_cast<std::size_t>(p)];
-    auto& first = replicas_[0]->batch_channel(prim);
-    client_node_->nic().connect(cb.down, replica_nodes_[0]->id(),
-                                first.prev->id());
-    replica_nodes_[0]->nic().connect(first.prev, client_node_->id(),
-                                     cb.down->id());
-    for (std::size_t i = 0; i + 1 < R; ++i) {
-      auto& a = replicas_[i]->batch_channel(prim);
-      auto& b = replicas_[i + 1]->batch_channel(prim);
-      replica_nodes_[i]->nic().connect(a.next, replica_nodes_[i + 1]->id(),
-                                       b.prev->id());
-      replica_nodes_[i + 1]->nic().connect(b.prev, replica_nodes_[i]->id(),
-                                           a.next->id());
-    }
-    auto& tail = replicas_[R - 1]->batch_channel(prim);
-    replica_nodes_[R - 1]->nic().connect(tail.next, client_node_->id(),
-                                         cb.ack->id());
-    client_node_->nic().connect(cb.ack, replica_nodes_[R - 1]->id(),
-                                tail.next->id());
-  }
+  wire_chain(/*batched=*/true);
 
   for (auto& r : replicas_) r->start_batching();
   client_->finish_batching();
@@ -178,25 +155,23 @@ std::uint32_t ReplicaEngine::loop_wqes(const Channel& ch) const {
 }
 
 void ReplicaEngine::init_channel(Primitive p, Channel& ch, bool batched) {
-  rnic::Nic& nic = node_.nic();
-  mem::HostMemory& mem = node_.memory();
+  transport::ChannelPool pool(node_.nic(), node_.memory());
   const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
   const auto pi = static_cast<std::size_t>(p);
 
   ch.prim = p;
   ch.batched = batched;
-  ch.nslots = batched ? gp.batch_slots : gp.slots;
+  ch.ring.reset(batched ? gp.batch_slots : gp.slots);
   ch.blob = batched ? batch_blob_bytes(R, gp.max_batch) : blob_bytes(R);
-  ch.recv_cq = nic.create_cq();
-  ch.send_cq = nic.create_cq();
+  ch.recv_cq = pool.cq();
+  ch.send_cq = pool.cq();
   if (batched) {
-    const std::uint64_t staging = mem.alloc(ch.nslots * ch.blob, 64);
-    const mem::MemoryRegion smr =
-        mem.register_region(staging, ch.nslots * ch.blob,
-                            mem::kLocalRead | mem::kLocalWrite, gp.tenant);
-    ch.staging_addr = staging;
-    ch.staging_lkey = smr.lkey;
+    const transport::RegisteredBuffer staging =
+        pool.buffer(ch.ring.size() * ch.blob,
+                    mem::kLocalRead | mem::kLocalWrite, gp.tenant);
+    ch.staging_addr = staging.addr;
+    ch.staging_lkey = staging.lkey;
   } else {
     const MemberInfo& me = group_.member(index_);
     ch.staging_addr = me.staging_addr[pi];
@@ -204,27 +179,24 @@ void ReplicaEngine::init_channel(Primitive p, Channel& ch, bool batched) {
   }
 
   // prev: inbound only; minimal send ring.
-  ch.prev = nic.create_qp(ch.send_cq, ch.recv_cq, 1, gp.tenant);
+  ch.prev = pool.qp(ch.send_cq, ch.recv_cq, 1, gp.tenant);
 
-  const std::uint32_t next_ring = next_wqes(ch) * ch.nslots;
-  // next's recv side is unused; recv completions would go to send_cq.
-  ch.next = nic.create_qp(ch.send_cq, ch.send_cq, next_ring, gp.tenant);
-  const mem::MemoryRegion next_mr = mem.register_region(
-      ch.next->ring_slot_addr(0),
-      static_cast<std::uint64_t>(next_ring) * rnic::kWqeSlotBytes,
-      mem::kLocalWrite, gp.tenant);
-  ch.ring_lkey = next_mr.lkey;
+  // next's recv side is unused; recv completions would go to send_cq. Its
+  // WQE ring is registered so inbound RECV scatters can patch descriptors.
+  const std::uint32_t next_ring = next_wqes(ch) * ch.ring.size();
+  const transport::PatchableQp next =
+      pool.patchable_qp(ch.send_cq, ch.send_cq, next_ring, gp.tenant);
+  ch.next = next.qp;
+  ch.ring_lkey = next.ring_lkey;
 
   if (p != Primitive::kGWrite) {
-    ch.loop_cq = nic.create_cq();
-    const std::uint32_t loop_ring = loop_wqes(ch) * ch.nslots;
-    ch.loop = nic.create_qp(ch.loop_cq, ch.send_cq, loop_ring, gp.tenant);
-    const mem::MemoryRegion loop_mr = mem.register_region(
-        ch.loop->ring_slot_addr(0),
-        static_cast<std::uint64_t>(loop_ring) * rnic::kWqeSlotBytes,
-        mem::kLocalWrite, gp.tenant);
-    ch.loop_ring_lkey = loop_mr.lkey;
-    nic.connect(ch.loop, nic.id(), ch.loop->id());  // loopback
+    ch.loop_cq = pool.cq();
+    const std::uint32_t loop_ring = loop_wqes(ch) * ch.ring.size();
+    const transport::PatchableQp loop =
+        pool.patchable_qp(ch.loop_cq, ch.send_cq, loop_ring, gp.tenant);
+    ch.loop = loop.qp;
+    ch.loop_ring_lkey = loop.ring_lkey;
+    pool.wire_loopback(ch.loop);
   }
 }
 
@@ -250,10 +222,10 @@ void ReplicaEngine::start_batching() {
 void ReplicaEngine::prime_channel(Channel& ch) {
   std::vector<rnic::SendWr> next_wrs;
   std::vector<rnic::SendWr> loop_wrs;
-  for (std::uint32_t s = 0; s < ch.nslots; ++s) {
+  for (std::uint32_t s = 0; s < ch.ring.size(); ++s) {
     post_recv_for_slot(ch, s);
     HL_CHECK(post_slot(ch, s, next_wrs, loop_wrs));
-    ++ch.posted_slots;
+    ch.ring.note_posted();
   }
   if (!loop_wrs.empty()) {
     HL_CHECK(ch.loop->post_send_chain(loop_wrs.data(), loop_wrs.size())
@@ -272,8 +244,7 @@ void ReplicaEngine::periodic_sweep() {
                       ? channels_[static_cast<std::size_t>(p)]
                       : batch_channels_[static_cast<std::size_t>(
                             p - kNumPrimitives)];
-    if (!ch.repost_scheduled && ch.recv_cq->depth() > 0) {
-      ch.repost_scheduled = true;
+    if (ch.recv_cq->depth() > 0 && ch.ring.claim_replenish()) {
       node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
                            alive_.guard([this, &ch] { replenish(ch); }));
     }
@@ -287,7 +258,7 @@ bool ReplicaEngine::post_slot(Channel& ch, std::uint64_t logical_slot,
                               std::vector<rnic::SendWr>& loop_wrs) {
   const auto pi = static_cast<std::size_t>(ch.prim);
   const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
-  const std::uint64_t k = logical_slot % ch.nslots;
+  const std::uint64_t k = ch.ring.position(logical_slot);
   const std::uint64_t staging_slot = ch.staging_addr + k * ch.blob;
   const std::uint64_t ack_addr =
       ch.batched ? group_.client_->batch_[pi]->ack_addr
@@ -309,14 +280,8 @@ bool ReplicaEngine::post_slot(Channel& ch, std::uint64_t logical_slot,
            k * next_wqes(ch));
 
   if (ch.prim == Primitive::kGWrite) {
-    rnic::SendWr wait;
-    wait.wr_id = logical_slot;
-    wait.opcode = rnic::Opcode::kWait;
-    wait.flags = 0;
-    wait.wait_cq = ch.recv_cq->id();
-    wait.wait_count = 1;
-    wait.enable_count = is_tail_ ? 1 : ops + 1;
-    next_wrs.push_back(wait);
+    next_wrs.push_back(make_wait(ch.recv_cq->id(), 1,
+                                 is_tail_ ? 1 : ops + 1, 0, logical_slot));
 
     if (!is_tail_) {
       // Forward-WRITEs: descriptors garbage until the RECV scatter patches
@@ -361,40 +326,14 @@ bool ReplicaEngine::post_slot(Channel& ch, std::uint64_t logical_slot,
                ch.loop->ring_slots() ==
            k * loop_wqes(ch));
 
-  rnic::SendWr lwait;
-  lwait.wr_id = logical_slot;
-  lwait.opcode = rnic::Opcode::kWait;
-  lwait.flags = 0;
-  lwait.wait_cq = ch.recv_cq->id();
-  lwait.wait_count = 1;
-  lwait.enable_count = ops;
-  loop_wrs.push_back(lwait);
+  loop_wrs.push_back(make_wait(ch.recv_cq->id(), 1, ops, 0, logical_slot));
 
   for (std::uint32_t j = 0; j < ops; ++j) {
-    rnic::SendWr op;
-    op.wr_id = logical_slot;
-    op.deferred_ownership = true;
-    if (ch.prim == Primitive::kGFlush) {
-      // Fixed descriptor: a 0-byte loopback READ drains this NIC's cache.
-      op.opcode = rnic::Opcode::kRead;
-      op.flags = rnic::kSignaled;
-      op.local_len = 0;
-    } else {
-      // Placeholder — the client patches opcode, flags, and descriptors.
-      op.opcode = rnic::Opcode::kNop;
-      op.flags = rnic::kSignaled;
-    }
-    loop_wrs.push_back(op);
+    loop_wrs.push_back(make_slot_op(ch.prim, logical_slot));
   }
 
-  rnic::SendWr fwait;
-  fwait.wr_id = logical_slot;
-  fwait.opcode = rnic::Opcode::kWait;
-  fwait.flags = 0;
-  fwait.wait_cq = ch.loop_cq->id();
-  fwait.wait_count = ops;  // every batched local op completes first
-  fwait.enable_count = 1;
-  next_wrs.push_back(fwait);
+  // Every batched local op completes before the forward enables.
+  next_wrs.push_back(make_wait(ch.loop_cq->id(), ops, 1, 0, logical_slot));
 
   rnic::SendWr fwd;
   fwd.wr_id = logical_slot;
@@ -419,7 +358,7 @@ void ReplicaEngine::post_recv_for_slot(Channel& ch,
                                        std::uint64_t logical_slot) {
   const std::size_t R = group_.num_replicas();
   const std::uint32_t ops = ch.batched ? group_.params().max_batch : 1;
-  const std::uint64_t k = logical_slot % ch.nslots;
+  const std::uint64_t k = ch.ring.position(logical_slot);
   const std::uint64_t staging_slot = ch.staging_addr + k * ch.blob;
 
   rnic::RecvWr recv;
@@ -481,9 +420,8 @@ void ReplicaEngine::on_recv_event(Channel& ch) {
   // critical path (and burn cycles); repost in bulk instead. A periodic
   // sweep catches stragglers at the end of a burst.
   const std::uint64_t pending_cqes = ch.recv_cq->depth();
-  if (pending_cqes < ch.nslots / 4) return;
-  if (ch.repost_scheduled) return;
-  ch.repost_scheduled = true;
+  if (pending_cqes < ch.ring.size() / 4) return;
+  if (!ch.ring.claim_replenish()) return;
   // Interrupt context ends here; the actual CQ drain + repost is CPU work
   // that must be scheduled like any other thread — off the critical path.
   node_.sched().submit(repost_thread_, group_.params().repost_cpu_fixed,
@@ -492,15 +430,20 @@ void ReplicaEngine::on_recv_event(Channel& ch) {
 
 void ReplicaEngine::replenish(Channel& ch) {
   while (ch.recv_cq->poll()) {
-    ++ch.consumed_slots;
+    ch.ring.note_consumed();
   }
-  // Housekeeping: discard op/forward completions (errors would surface in
-  // client timeouts; a production build would log them).
+  // Housekeeping: drain op/forward completions. Transient errors stay
+  // invisible (they surface in client deadlines), but an access-class error
+  // — a cross-tenant CAS or flush denied at this member — is permanent:
+  // report it to the client instead of letting the op rot to a timeout.
+  Status access = Status::ok();
   if (ch.loop_cq != nullptr) {
-    while (ch.loop_cq->poll()) {
-    }
+    access = transport::drain_collect_access_error(ch.loop_cq);
   }
-  while (ch.send_cq->poll()) {
+  const Status send_err = transport::drain_collect_access_error(ch.send_cq);
+  if (access.is_ok()) access = send_err;
+  if (!access.is_ok()) {
+    group_.client_->fail_channel_async(ch.prim, access);
   }
 
   // Drain every consumed slot in one wakeup and repost the lot as a single
@@ -518,7 +461,14 @@ void ReplicaEngine::replenish(Channel& ch) {
           ? need_next + 1
           : need_next;
   std::uint64_t reposted = 0;
-  while (ch.posted_slots < ch.consumed_slots + ch.nslots) {
+  // Repost only while this member's chain QPs are alive — a failed QP
+  // (access error above, or retry exhaustion) rejects posts.
+  const bool postable =
+      ch.prev->state() == rnic::QueuePair::State::kConnected &&
+      ch.next->state() == rnic::QueuePair::State::kConnected &&
+      (ch.loop == nullptr ||
+       ch.loop->state() == rnic::QueuePair::State::kConnected);
+  while (postable && ch.ring.has_capacity()) {
     // A consumed slot's chain may not have fully retired from the ring yet
     // (the forward SEND completes only when the downstream ack returns);
     // defer until space exists rather than failing the post.
@@ -527,9 +477,9 @@ void ReplicaEngine::replenish(Channel& ch) {
         ch.loop->free_send_slots() < loop_wrs.size() + need_loop) {
       break;
     }
-    if (!post_slot(ch, ch.posted_slots, next_wrs, loop_wrs)) break;
-    post_recv_for_slot(ch, ch.posted_slots);
-    ++ch.posted_slots;
+    if (!post_slot(ch, ch.ring.posted(), next_wrs, loop_wrs)) break;
+    post_recv_for_slot(ch, ch.ring.posted());
+    ch.ring.note_posted();
     ++reposted;
   }
   if (!loop_wrs.empty()) {
@@ -540,14 +490,14 @@ void ReplicaEngine::replenish(Channel& ch) {
     HL_CHECK(ch.next->post_send_chain(next_wrs.data(), next_wrs.size())
                  .is_ok());
   }
-  ch.repost_scheduled = false;
+  ch.ring.finish_replenish();
   if (reposted > 0) {
     // Retroactively charge the per-slot CPU cost for the work just done.
     node_.sched().submit(repost_thread_,
                          group_.params().repost_cpu_per_slot * reposted,
                          [] {});
   }
-  if (ch.posted_slots < ch.consumed_slots + ch.nslots) {
+  if (ch.ring.has_capacity()) {
     group_.sim().schedule(20'000,
                           alive_.guard([this, &ch] { on_recv_event(ch); }));
   }
@@ -563,28 +513,29 @@ Duration ReplicaEngine::cpu_time() const {
 
 HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
     : node_(node), group_(group) {
-  rnic::Nic& nic = node_.nic();
-  mem::HostMemory& mem = node_.memory();
+  transport::ChannelPool pool(node_.nic(), node_.memory());
   const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
   const std::uint64_t blob = blob_bytes(R);
 
   for (int p = 0; p < kNumPrimitives; ++p) {
     ChannelState& ch = channels_[static_cast<std::size_t>(p)];
-    ch.send_cq = nic.create_cq();
-    ch.ack_cq = nic.create_cq();
-    ch.down = nic.create_qp(ch.send_cq, ch.send_cq, 3 * gp.slots, gp.tenant);
-    ch.ack = nic.create_qp(ch.send_cq, ch.ack_cq, 1, gp.tenant);
-    ch.staging_addr = group_.client_info().staging_addr[p];
+    ch.send_cq = pool.cq();
+    ch.ack_cq = pool.cq();
+    ch.down = pool.qp(ch.send_cq, ch.send_cq, 3 * gp.slots, gp.tenant);
+    ch.ack = pool.qp(ch.send_cq, ch.ack_cq, 1, gp.tenant);
+    ch.ring.reset(gp.slots);
+    ch.blob = transport::BlobBuilder(
+        node_.memory(), group_.client_info().staging_addr[p], R);
     ch.staging_lkey = group_.client_info().staging_lkey[p];
-    ch.tmpl = build_templates(static_cast<Primitive>(p), /*batched=*/false);
+    ch.blob.set_templates(
+        build_templates(static_cast<Primitive>(p), /*batched=*/false));
+    ch.table.bind(group_.sim(), {gp.op_timeout, gp.op_retry_limit});
 
-    const std::uint64_t ack_region = mem.alloc(gp.slots * blob, 64);
-    const mem::MemoryRegion amr = mem.register_region(
-        ack_region, gp.slots * blob, mem::kRemoteWrite | mem::kLocalRead,
-        gp.tenant);
-    ch.ack_addr = ack_region;
-    ch.ack_rkey = amr.rkey;
+    const transport::RegisteredBuffer ack = pool.buffer(
+        gp.slots * blob, mem::kRemoteWrite | mem::kLocalRead, gp.tenant);
+    ch.ack_addr = ack.addr;
+    ch.ack_rkey = ack.rkey;
 
     for (std::uint32_t s = 0; s < gp.slots; ++s) {
       rnic::RecvWr recv;
@@ -592,60 +543,43 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
       HL_CHECK(ch.ack->post_recv(std::move(recv)).is_ok());
     }
     const auto prim = static_cast<Primitive>(p);
-    ch.ack_cq->set_event_handler(alive_.guard([this, prim] {
-      ChannelState& c = channels_[static_cast<std::size_t>(prim)];
-      while (auto wc = c.ack_cq->poll()) {
-        on_ack(prim, *wc);
-      }
-      c.ack_cq->arm();
-    }));
-    ch.ack_cq->arm();
-    ch.send_cq->set_event_handler(alive_.guard([this, prim] {
-      ChannelState& c = channels_[static_cast<std::size_t>(prim)];
-      bool failed = false;
-      Status st = Status::ok();
-      while (auto wc = c.send_cq->poll()) {
-        if (wc->status != StatusCode::kOk) {
-          failed = true;
-          st = Status(wc->status, "client send failed");
-        }
-      }
-      c.send_cq->arm();
-      if (failed) fail_op(prim, st);
-    }));
-    ch.send_cq->arm();
+    transport::route_each(
+        ch.ack_cq, alive_,
+        [this, prim](const rnic::Completion& wc) { on_ack(prim, wc); });
+    transport::route_errors(
+        ch.send_cq, alive_, "client send failed",
+        [this, prim](Status st) { fail_op(prim, std::move(st)); });
   }
 }
 
 void HyperLoopClient::create_batch_qps() {
-  rnic::Nic& nic = node_.nic();
-  mem::HostMemory& mem = node_.memory();
+  transport::ChannelPool pool(node_.nic(), node_.memory());
   const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
   const std::uint64_t bblob = batch_blob_bytes(R, gp.max_batch);
 
   for (int p = 0; p < kNumPrimitives; ++p) {
     auto b = std::make_unique<BatchState>();
-    b->send_cq = nic.create_cq();
-    b->ack_cq = nic.create_cq();
+    b->send_cq = pool.cq();
+    b->ack_cq = pool.cq();
     // Up to max_batch WRITEs + one SEND per batched post.
-    b->down = nic.create_qp(b->send_cq, b->send_cq,
-                            (gp.max_batch + 1) * gp.batch_slots, gp.tenant);
-    b->ack = nic.create_qp(b->send_cq, b->ack_cq, 1, gp.tenant);
+    b->down = pool.qp(b->send_cq, b->send_cq,
+                      (gp.max_batch + 1) * gp.batch_slots, gp.tenant);
+    b->ack = pool.qp(b->send_cq, b->ack_cq, 1, gp.tenant);
+    b->ring.reset(gp.batch_slots);
+    b->table.bind(group_.sim(), {gp.op_timeout, gp.op_retry_limit});
 
-    const std::uint64_t staging = mem.alloc(gp.batch_slots * bblob, 64);
-    const mem::MemoryRegion smr = mem.register_region(
-        staging, gp.batch_slots * bblob,
-        mem::kLocalRead | mem::kLocalWrite, gp.tenant);
-    b->staging_addr = staging;
-    b->staging_lkey = smr.lkey;
+    const transport::RegisteredBuffer staging = pool.buffer(
+        gp.batch_slots * bblob, mem::kLocalRead | mem::kLocalWrite,
+        gp.tenant);
+    b->blob = transport::BlobBuilder(node_.memory(), staging.addr, R);
+    b->staging_lkey = staging.lkey;
 
-    const std::uint64_t ack_region = mem.alloc(gp.batch_slots * bblob, 64);
-    const mem::MemoryRegion amr = mem.register_region(
-        ack_region, gp.batch_slots * bblob,
-        mem::kRemoteWrite | mem::kLocalRead, gp.tenant);
-    b->ack_addr = ack_region;
-    b->ack_rkey = amr.rkey;
+    const transport::RegisteredBuffer ack = pool.buffer(
+        gp.batch_slots * bblob, mem::kRemoteWrite | mem::kLocalRead,
+        gp.tenant);
+    b->ack_addr = ack.addr;
+    b->ack_rkey = ack.rkey;
 
     b->last_count.assign(gp.batch_slots, 0);
     batch_[static_cast<std::size_t>(p)] = std::move(b);
@@ -659,7 +593,7 @@ void HyperLoopClient::finish_batching() {
   for (int p = 0; p < kNumPrimitives; ++p) {
     const auto prim = static_cast<Primitive>(p);
     BatchState& b = *batch_[static_cast<std::size_t>(p)];
-    b.tmpl = build_templates(prim, /*batched=*/true);
+    b.blob.set_templates(build_templates(prim, /*batched=*/true));
 
     // Seed every staging slot with padding patches so the spare op WQEs of
     // the first (possibly short) batch in each slot go inert.
@@ -674,28 +608,12 @@ void HyperLoopClient::finish_batching() {
       recv.wr_id = s;
       HL_CHECK(b.ack->post_recv(std::move(recv)).is_ok());
     }
-    b.ack_cq->set_event_handler(alive_.guard([this, prim] {
-      BatchState& bb = *batch_[static_cast<std::size_t>(prim)];
-      while (auto wc = bb.ack_cq->poll()) {
-        on_batch_ack(prim, *wc);
-      }
-      bb.ack_cq->arm();
-    }));
-    b.ack_cq->arm();
-    b.send_cq->set_event_handler(alive_.guard([this, prim] {
-      BatchState& bb = *batch_[static_cast<std::size_t>(prim)];
-      bool failed = false;
-      Status st = Status::ok();
-      while (auto wc = bb.send_cq->poll()) {
-        if (wc->status != StatusCode::kOk) {
-          failed = true;
-          st = Status(wc->status, "client send failed");
-        }
-      }
-      bb.send_cq->arm();
-      if (failed) fail_op(prim, st);
-    }));
-    b.send_cq->arm();
+    transport::route_each(
+        b.ack_cq, alive_,
+        [this, prim](const rnic::Completion& wc) { on_batch_ack(prim, wc); });
+    transport::route_errors(
+        b.send_cq, alive_, "client send failed",
+        [this, prim](Status st) { fail_op(prim, std::move(st)); });
   }
 }
 
@@ -731,13 +649,31 @@ void HyperLoopClient::replica_read(std::size_t replica, std::uint64_t offset,
 
 std::size_t HyperLoopClient::outstanding() const {
   std::size_t n = 0;
-  for (const auto& ch : channels_) n += ch.inflight.size();
+  for (const auto& ch : channels_) n += ch.table.size();
   for (const auto& b : batch_) {
     if (!b) continue;
-    for (const auto& pb : b->inflight) n += pb.cbs.size();
+    for (const auto& e : b->table.entries()) n += e.payload.size();
   }
   for (const auto& acc : accum_) n += acc.size();
   return n;
+}
+
+std::uint64_t HyperLoopClient::stale_acks() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) n += ch.table.counters().drops;
+  for (const auto& b : batch_) {
+    if (b) n += b->table.counters().drops;
+  }
+  return n;
+}
+
+GroupStats HyperLoopClient::stats() const {
+  transport::OpCounters agg;
+  for (const auto& ch : channels_) agg.merge(ch.table.counters());
+  for (const auto& b : batch_) {
+    if (b) agg.merge(b->table.counters());
+  }
+  return transport::to_group_stats(agg);
 }
 
 std::uint32_t HyperLoopClient::effective_cap(bool batched) const {
@@ -807,6 +743,17 @@ void HyperLoopClient::flush_batch() {
 void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
   const GroupParams& gp = group_.params();
   const auto pi = static_cast<std::size_t>(spec.prim);
+  ChannelState& ch = channels_[pi];
+  if (!ch.dead.is_ok()) {
+    // The channel is permanently down for this tenant (a member denied an
+    // op); fail fast with the original code, deferred off the caller's
+    // stack like every other failure path.
+    group_.sim().schedule(
+        0, alive_.guard([cb = std::move(cb), st = ch.dead]() mutable {
+          if (cb) cb(st, {});
+        }));
+    return;
+  }
   if (batch_mode_ || gp.auto_batch_window > 0) {
     accum_[pi].emplace_back(spec, std::move(cb));
     if (accum_[pi].size() >= gp.max_batch) {
@@ -822,9 +769,8 @@ void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
     }
     return;
   }
-  ChannelState& ch = channels_[pi];
-  if (ch.inflight.size() >= effective_cap(false) || !ch.backlog.empty()) {
-    ch.backlog.emplace_back(spec, std::move(cb));
+  if (ch.table.saturated(effective_cap(false))) {
+    ch.table.enqueue({spec, std::move(cb)});
     return;
   }
   post_now(spec, std::move(cb));
@@ -850,19 +796,18 @@ void HyperLoopClient::flush_channel(Primitive p) {
     auto [spec, cb] = std::move(pend.front());
     pend.pop_front();
     ChannelState& ch = channels_[pi];
-    if (ch.inflight.size() >= effective_cap(false) || !ch.backlog.empty()) {
-      ch.backlog.emplace_back(spec, std::move(cb));
+    if (ch.table.saturated(effective_cap(false))) {
+      ch.table.enqueue({spec, std::move(cb)});
     } else {
       post_now(spec, std::move(cb));
     }
   }
 }
 
-void HyperLoopClient::pump_backlog(ChannelState& ch) {
-  while (!ch.backlog.empty() && ch.inflight.size() < effective_cap(false)) {
-    auto [spec, cb] = std::move(ch.backlog.front());
-    ch.backlog.pop_front();
-    post_now(spec, std::move(cb));
+void HyperLoopClient::pump_backlog(Primitive p) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+  while (auto q = ch.table.dequeue_if_below(effective_cap(false))) {
+    post_now(q->first, std::move(q->second));
   }
 }
 
@@ -910,16 +855,14 @@ void HyperLoopClient::write_group(const OpSpec& spec, bool batched,
   if (spec.prim == Primitive::kGFlush) return;  // fixed descriptors
   const std::size_t R = group_.num_replicas();
   const auto pi = static_cast<std::size_t>(spec.prim);
-  const std::uint64_t dst_base =
-      (batched ? batch_[pi]->staging_addr : channels_[pi].staging_addr) +
-      group_off;
-  const auto& tmpl = batched ? batch_[pi]->tmpl : channels_[pi].tmpl;
+  const transport::BlobBuilder& bb =
+      batched ? batch_[pi]->blob : channels_[pi].blob;
 
   for (std::size_t i = 0; i < R; ++i) {
     if (spec.prim == Primitive::kGWrite && i + 1 == R) {
       continue;  // tail entry is static (zero patch) — never rewritten
     }
-    WqePatch patch = tmpl[i];
+    WqePatch patch = bb.tmpl(i);
     switch (spec.prim) {
       case Primitive::kGWrite: {
         patch.flags = spec.flush ? rnic::kFlush : 0u;
@@ -959,8 +902,7 @@ void HyperLoopClient::write_group(const OpSpec& spec, bool batched,
       case Primitive::kGFlush:
         break;
     }
-    node_.memory().write(dst_base + i * kBlobEntryBytes, &patch,
-                         sizeof(patch));
+    bb.write_patch(group_off, i, patch);
   }
 }
 
@@ -969,17 +911,14 @@ void HyperLoopClient::write_padding_group(Primitive p,
   if (p == Primitive::kGFlush) return;  // fixed READs fire harmlessly
   const std::size_t R = group_.num_replicas();
   const auto pi = static_cast<std::size_t>(p);
-  WqePatch pad;
-  pad.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
   // Loop-channel padding must still complete (signaled) so the forward
   // WAIT's wait_count = max_batch arithmetic holds; gWRITE padding has no
   // completion to contribute, so it stays silent.
-  pad.flags = p == Primitive::kGWrite ? 0u : rnic::kSignaled;
+  const WqePatch pad =
+      transport::BlobBuilder::padding_patch(p == Primitive::kGWrite);
   for (std::size_t i = 0; i < R; ++i) {
     if (p == Primitive::kGWrite && i + 1 == R) continue;
-    node_.memory().write(
-        batch_[pi]->staging_addr + group_off + i * kBlobEntryBytes, &pad,
-        sizeof(pad));
+    batch_[pi]->blob.write_patch(group_off, i, pad);
   }
 }
 
@@ -1001,14 +940,13 @@ void HyperLoopClient::apply_local_mirror(const OpSpec& spec) {
 }
 
 void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
-  const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
   const std::uint64_t blob = blob_bytes(R);
   const auto pi = static_cast<std::size_t>(spec.prim);
   ChannelState& ch = channels_[pi];
 
-  const std::uint64_t s = ch.next_slot++;
-  const std::uint64_t k = s % gp.slots;
+  const std::uint64_t s = ch.ring.acquire();
+  const std::uint64_t k = ch.ring.position(s);
 
   // Patch only the dynamic descriptor words over the cached templates (the
   // static fields and zero result words never change after setup).
@@ -1031,7 +969,7 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
   rnic::SendWr& send = wrs[n++];
   send.opcode = rnic::Opcode::kSend;
   send.flags = 0;
-  send.local_addr = ch.staging_addr + blob_slot_offset(R, k);
+  send.local_addr = ch.blob.staging_addr() + blob_slot_offset(R, k);
   send.local_len = static_cast<std::uint32_t>(blob);
   send.lkey = ch.staging_lkey;
   const Status posted = ch.down->post_send_chain(wrs, n);
@@ -1047,14 +985,9 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
     return;
   }
 
-  PendingOp op;
-  op.logical_slot = s;
-  op.cb = std::move(cb);
   const auto prim = spec.prim;
-  op.timeout = group_.sim().schedule(
-      gp.op_timeout,
-      alive_.guard([this, prim, s] { on_op_timeout(prim, s); }));
-  ch.inflight.push_back(std::move(op));
+  ch.table.track(s, std::move(cb),
+                 alive_.guard([this, prim, s] { on_op_timeout(prim, s); }));
 }
 
 void HyperLoopClient::post_batch_group(
@@ -1062,8 +995,8 @@ void HyperLoopClient::post_batch_group(
   group_.enable_batching();  // lazy: first batched post builds the channels
   const auto pi = static_cast<std::size_t>(p);
   BatchState& b = *batch_[pi];
-  if (b.inflight.size() >= effective_cap(true) || !b.backlog.empty()) {
-    b.backlog.push_back(std::move(group));
+  if (b.table.saturated(effective_cap(true))) {
+    b.table.enqueue(std::move(group));
     return;
   }
   post_batch_now(p, std::move(group));
@@ -1077,8 +1010,8 @@ void HyperLoopClient::post_batch_now(
   const auto pi = static_cast<std::size_t>(p);
   BatchState& b = *batch_[pi];
 
-  const std::uint64_t s = b.next_slot++;
-  const std::uint64_t kb = s % gp.batch_slots;
+  const std::uint64_t s = b.ring.acquire();
+  const std::uint64_t kb = b.ring.position(s);
   const auto count = static_cast<std::uint32_t>(group.size());
   HL_CHECK(count >= 1 && count <= max_batch);
 
@@ -1115,7 +1048,7 @@ void HyperLoopClient::post_batch_now(
   rnic::SendWr send;
   send.opcode = rnic::Opcode::kSend;
   send.flags = 0;
-  send.local_addr = b.staging_addr + kb * batch_blob_bytes(R, max_batch);
+  send.local_addr = b.blob.staging_addr() + kb * batch_blob_bytes(R, max_batch);
   send.local_len =
       static_cast<std::uint32_t>(batch_blob_bytes(R, max_batch));
   send.lkey = b.staging_lkey;
@@ -1131,14 +1064,11 @@ void HyperLoopClient::post_batch_now(
     return;
   }
 
-  PendingBatch pb;
-  pb.slot = s;
-  pb.cbs.reserve(count);
-  for (auto& [spec, cb] : group) pb.cbs.push_back(std::move(cb));
-  pb.timeout = group_.sim().schedule(
-      gp.op_timeout,
-      alive_.guard([this, p, s] { on_batch_timeout(p, s); }));
-  b.inflight.push_back(std::move(pb));
+  std::vector<OpCallback> cbs;
+  cbs.reserve(count);
+  for (auto& [spec, cb] : group) cbs.push_back(std::move(cb));
+  b.table.track(s, std::move(cbs),
+                alive_.guard([this, p, s] { on_batch_timeout(p, s); }));
   ++batches_posted_;
 }
 
@@ -1152,21 +1082,13 @@ void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
   (void)ch.ack->post_recv(std::move(recv));
 
   if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
-  if (ch.inflight.empty()) return;          // stale ack after a timeout
-
-  // Acks arrive in issue order on a healthy chain. A mismatch means this ack
-  // belongs to an op the client already failed on timeout (the chain healed
-  // and delivered late); drop it rather than mis-crediting the front op.
-  if (c.imm != static_cast<std::uint32_t>(ch.inflight.front().logical_slot)) {
-    ++stale_acks_;
-    return;
-  }
-  PendingOp op = std::move(ch.inflight.front());
-  ch.inflight.pop_front();
-  group_.sim().cancel(op.timeout);
+  // Empty table: stale ack after a timeout drained everything. Key mismatch:
+  // a late ack for an op already failed on its deadline — counted as a drop.
+  auto op = ch.table.complete_front(c.imm);
+  if (!op) return;
 
   const std::size_t R = group_.num_replicas();
-  const std::uint64_t k = op.logical_slot % group_.params().slots;
+  const std::uint64_t k = op->key % group_.params().slots;
   std::vector<std::uint64_t> results(R, 0);
   for (std::size_t i = 0; i < R; ++i) {
     // The tail's WRITE_WITH_IMM payload may still sit in this NIC's volatile
@@ -1174,8 +1096,8 @@ void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
     node_.nic().cache().read_through(
         ch.ack_addr + blob_result_offset(R, k, i), &results[i], 8);
   }
-  if (op.cb) op.cb(Status::ok(), results);
-  pump_backlog(ch);
+  if (op->payload) op->payload(Status::ok(), results);
+  pump_backlog(p);
 }
 
 void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
@@ -1186,20 +1108,13 @@ void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
   (void)b.ack->post_recv(std::move(recv));
 
   if (c.status != StatusCode::kOk) return;  // flushed on QP teardown
-  if (b.inflight.empty()) return;           // stale ack after a timeout
-
-  if (c.imm != static_cast<std::uint32_t>(b.inflight.front().slot)) {
-    ++stale_acks_;  // late ack for a batch already failed on timeout
-    return;
-  }
-  PendingBatch pb = std::move(b.inflight.front());
-  b.inflight.pop_front();
-  group_.sim().cancel(pb.timeout);
+  auto pb = b.table.complete_front(c.imm);
+  if (!pb) return;
 
   const std::size_t R = group_.num_replicas();
   const std::uint32_t max_batch = group_.params().max_batch;
-  const std::uint64_t kb = pb.slot % group_.params().batch_slots;
-  for (std::size_t j = 0; j < pb.cbs.size(); ++j) {
+  const std::uint64_t kb = pb->key % group_.params().batch_slots;
+  for (std::size_t j = 0; j < pb->payload.size(); ++j) {
     const std::uint64_t goff = batch_group_offset(
         R, max_batch, kb, static_cast<std::uint32_t>(j));
     std::vector<std::uint64_t> results(R, 0);
@@ -1207,89 +1122,86 @@ void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
       node_.nic().cache().read_through(
           b.ack_addr + goff + blob_result_offset(R, 0, i), &results[i], 8);
     }
-    if (pb.cbs[j]) pb.cbs[j](Status::ok(), results);
+    if (pb->payload[j]) pb->payload[j](Status::ok(), results);
   }
   pump_batch_backlog(p);
 }
 
 void HyperLoopClient::pump_batch_backlog(Primitive p) {
   BatchState& b = *batch_[static_cast<std::size_t>(p)];
-  while (!b.backlog.empty() && b.inflight.size() < effective_cap(true)) {
-    auto group = std::move(b.backlog.front());
-    b.backlog.pop_front();
-    post_batch_now(p, std::move(group));
+  while (auto g = b.table.dequeue_if_below(effective_cap(true))) {
+    post_batch_now(p, std::move(*g));
   }
 }
 
 void HyperLoopClient::on_op_timeout(Primitive p, std::uint64_t logical_slot) {
-  const GroupParams& gp = group_.params();
   ChannelState& ch = channels_[static_cast<std::size_t>(p)];
-  auto it = std::find_if(
-      ch.inflight.begin(), ch.inflight.end(),
-      [&](const PendingOp& op) { return op.logical_slot == logical_slot; });
-  if (it == ch.inflight.end()) return;  // already acked or failed
   // While both channel QPs are still connected the NIC retransmit machinery
   // is working the loss; extend the deadline instead of failing the chain.
-  if (it->extensions < gp.op_retry_limit &&
+  const bool healthy =
       ch.down->state() == rnic::QueuePair::State::kConnected &&
-      ch.ack->state() == rnic::QueuePair::State::kConnected) {
-    ++it->extensions;
-    it->timeout = group_.sim().schedule(
-        gp.op_timeout,
-        alive_.guard([this, p, logical_slot] { on_op_timeout(p, logical_slot); }));
-    return;
+      ch.ack->state() == rnic::QueuePair::State::kConnected;
+  switch (ch.table.on_deadline(
+      logical_slot, healthy, alive_.guard([this, p, logical_slot] {
+        on_op_timeout(p, logical_slot);
+      }))) {
+    case OpTable::DeadlineOutcome::kGone:
+    case OpTable::DeadlineOutcome::kExtended:
+      return;
+    case OpTable::DeadlineOutcome::kExpired:
+      fail_op(p, Status(StatusCode::kUnavailable, "group op timed out"));
+      return;
   }
-  fail_op(p, Status(StatusCode::kUnavailable, "group op timed out"));
 }
 
 void HyperLoopClient::on_batch_timeout(Primitive p, std::uint64_t slot) {
-  const GroupParams& gp = group_.params();
   const auto pi = static_cast<std::size_t>(p);
   if (!batch_[pi]) return;
   BatchState& b = *batch_[pi];
-  auto it = std::find_if(
-      b.inflight.begin(), b.inflight.end(),
-      [&](const PendingBatch& pb) { return pb.slot == slot; });
-  if (it == b.inflight.end()) return;  // already acked or failed
-  if (it->extensions < gp.op_retry_limit &&
+  const bool healthy =
       b.down->state() == rnic::QueuePair::State::kConnected &&
-      b.ack->state() == rnic::QueuePair::State::kConnected) {
-    ++it->extensions;
-    it->timeout = group_.sim().schedule(
-        gp.op_timeout, alive_.guard([this, p, slot] { on_batch_timeout(p, slot); }));
-    return;
+      b.ack->state() == rnic::QueuePair::State::kConnected;
+  switch (b.table.on_deadline(slot, healthy,
+                              alive_.guard([this, p, slot] {
+                                on_batch_timeout(p, slot);
+                              }))) {
+    case BatchTable::DeadlineOutcome::kGone:
+    case BatchTable::DeadlineOutcome::kExtended:
+      return;
+    case BatchTable::DeadlineOutcome::kExpired:
+      fail_op(p, Status(StatusCode::kUnavailable, "group batch timed out"));
+      return;
   }
-  fail_op(p, Status(StatusCode::kUnavailable, "group batch timed out"));
+}
+
+void HyperLoopClient::fail_channel_async(Primitive p, Status status) {
+  group_.sim().schedule(0, alive_.guard([this, p, status] {
+    ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+    if (ch.dead.is_ok()) ch.dead = status;
+    fail_op(p, status);
+  }));
 }
 
 void HyperLoopClient::fail_op(Primitive p, Status status) {
   const auto pi = static_cast<std::size_t>(p);
   ChannelState& ch = channels_[pi];
-  std::deque<PendingOp> failed;
-  failed.swap(ch.inflight);
-  for (auto& op : failed) {
-    group_.sim().cancel(op.timeout);
-    if (op.cb) op.cb(status, {});
+  auto drained = ch.table.drain();
+  for (auto& e : drained.inflight) {
+    if (e.payload) e.payload(status, {});
   }
   // Backlogged ops would hit the same failed chain; fail them too.
-  decltype(ch.backlog) dropped;
-  dropped.swap(ch.backlog);
-  for (auto& [spec, cb] : dropped) {
+  for (auto& [spec, cb] : drained.backlog) {
     if (cb) cb(status, {});
   }
   if (batch_[pi]) {
     BatchState& b = *batch_[pi];
-    std::deque<PendingBatch> fb;
-    fb.swap(b.inflight);
-    for (auto& pb : fb) {
-      group_.sim().cancel(pb.timeout);
-      for (auto& cb : pb.cbs) {
+    auto bd = b.table.drain();
+    for (auto& e : bd.inflight) {
+      for (auto& cb : e.payload) {
         if (cb) cb(status, {});
       }
     }
-    decltype(b.backlog) bdropped;
-    bdropped.swap(b.backlog);
-    for (auto& g : bdropped) {
+    for (auto& g : bd.backlog) {
       for (auto& [spec, cb] : g) {
         if (cb) cb(status, {});
       }

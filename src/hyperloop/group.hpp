@@ -19,17 +19,26 @@
 // the WAIT that fires on that RECV completion then grants NIC ownership.
 // No replica CPU runs anywhere above: replica CPUs only replenish consumed
 // slots off the critical path.
+//
+// Generic machinery — slot rings, channel wiring, pending-op tracking, blob
+// building, CQE routing — lives in the transport substrate
+// (src/hyperloop/transport/); this file holds only the chain protocol.
 #pragma once
 
 #include <array>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "hyperloop/cluster.hpp"
 #include "hyperloop/group_api.hpp"
 #include "hyperloop/group_types.hpp"
+#include "hyperloop/transport/blob_builder.hpp"
+#include "hyperloop/transport/channel_pool.hpp"
+#include "hyperloop/transport/pending_ops.hpp"
+#include "hyperloop/transport/slot_ring.hpp"
 #include "rnic/nic.hpp"
 #include "util/lifetime.hpp"
 
@@ -45,7 +54,6 @@ class ReplicaEngine {
   struct Channel {
     Primitive prim = Primitive::kGWrite;
     bool batched = false;              // batched twin (max_batch ops / slot)
-    std::uint32_t nslots = 0;          // pre-posted chain slots on the ring
     std::uint64_t blob = 0;            // metadata bytes per slot
     rnic::QueuePair* prev = nullptr;   // from upstream (client or replica)
     rnic::QueuePair* next = nullptr;   // to downstream replica / client ack
@@ -53,14 +61,13 @@ class ReplicaEngine {
     rnic::CompletionQueue* recv_cq = nullptr;  // prev's recv completions
     rnic::CompletionQueue* loop_cq = nullptr;  // loopback op completions
     rnic::CompletionQueue* send_cq = nullptr;  // next/loop send errors
-    std::uint64_t staging_addr = 0;    // nslots * blob staging blobs
+    std::uint64_t staging_addr = 0;    // ring.size() * blob staging blobs
     std::uint32_t staging_lkey = 0;
     std::uint32_t ring_lkey = 0;       // next QP's ring (patch scatter)
     std::uint32_t loop_ring_lkey = 0;  // loop QP's ring (patch scatter)
-    // Replenishment bookkeeping.
-    std::uint64_t posted_slots = 0;    // logical slots ever posted
-    std::uint64_t consumed_slots = 0;  // recv completions drained
-    bool repost_scheduled = false;
+    /// Slot indexing + replenishment accounting (posted/consumed counters,
+    /// one-replenish-at-a-time claim).
+    transport::SlotRing ring;
   };
 
   ReplicaEngine(Node& node, HyperLoopGroup& group, std::size_t index,
@@ -145,6 +152,9 @@ class HyperLoopClient : public GroupInterface {
   void begin_batch() override;
   void flush_batch() override;
 
+  /// Aggregated transport counters across all channels.
+  [[nodiscard]] GroupStats stats() const override;
+
   /// Outstanding operations across all channels (diagnostics).
   [[nodiscard]] std::size_t outstanding() const;
 
@@ -157,19 +167,13 @@ class HyperLoopClient : public GroupInterface {
   /// Tail ACKs discarded because they did not match the oldest inflight op
   /// — late arrivals for ops already failed by a timeout. Dropping (instead
   /// of crashing on the FIFO mismatch) keeps a healed channel usable.
-  [[nodiscard]] std::uint64_t stale_acks() const { return stale_acks_; }
+  [[nodiscard]] std::uint64_t stale_acks() const;
 
  private:
   friend class HyperLoopGroup;
 
   friend class ReplicaEngine;
 
-  struct PendingOp {
-    std::uint64_t logical_slot = 0;
-    OpCallback cb;
-    sim::EventId timeout;
-    std::uint32_t extensions = 0;  // deadline extensions consumed
-  };
   struct OpSpec {
     Primitive prim;
     std::uint64_t offset = 0;      // gwrite/gcas offset or gmemcpy src
@@ -180,26 +184,29 @@ class HyperLoopClient : public GroupInterface {
     std::uint64_t swap = 0;
     ExecuteMap execute = kAllReplicas;
   };
+  /// Per-op inflight payload is the callback; the backlog holds whole specs.
+  using OpTable =
+      transport::PendingOpTable<OpCallback, std::pair<OpSpec, OpCallback>>;
   struct ChannelState {
     rnic::QueuePair* down = nullptr;  // to replica 0
     rnic::QueuePair* ack = nullptr;   // from the tail
     rnic::CompletionQueue* ack_cq = nullptr;
     rnic::CompletionQueue* send_cq = nullptr;
-    std::uint64_t staging_addr = 0;   // blob build area, one per slot
     std::uint32_t staging_lkey = 0;
     std::uint64_t ack_addr = 0;       // tail deposits blobs here
     std::uint32_t ack_rkey = 0;
-    std::uint64_t next_slot = 0;      // logical op counter
-    std::vector<WqePatch> tmpl;       // cached per-replica patch templates
-    std::deque<PendingOp> inflight;   // FIFO: acks arrive in order
-    std::deque<std::pair<OpSpec, OpCallback>> backlog;  // over the cap
+    transport::SlotRing ring;         // logical op counter
+    transport::BlobBuilder blob;      // staging area + patch templates
+    OpTable table;                    // FIFO inflight + backlog + deadlines
+    /// Set when a member denied an op (access-class error): the channel is
+    /// permanently down for this tenant and every subsequent op fails fast
+    /// with the original code instead of timing out.
+    Status dead = Status::ok();
   };
-  struct PendingBatch {
-    std::uint64_t slot = 0;
-    std::vector<OpCallback> cbs;      // one per sub-op, issue order
-    sim::EventId timeout;
-    std::uint32_t extensions = 0;  // deadline extensions consumed
-  };
+  /// Batched inflight payload: one callback per sub-op, issue order.
+  using BatchTable =
+      transport::PendingOpTable<std::vector<OpCallback>,
+                                std::vector<std::pair<OpSpec, OpCallback>>>;
   /// Client half of a batch channel (lazily created with the replica
   /// twins). Layout mirrors ChannelState but every slot holds max_batch
   /// back-to-back op blobs.
@@ -208,15 +215,13 @@ class HyperLoopClient : public GroupInterface {
     rnic::QueuePair* ack = nullptr;
     rnic::CompletionQueue* ack_cq = nullptr;
     rnic::CompletionQueue* send_cq = nullptr;
-    std::uint64_t staging_addr = 0;
     std::uint32_t staging_lkey = 0;
     std::uint64_t ack_addr = 0;
     std::uint32_t ack_rkey = 0;
-    std::uint64_t next_slot = 0;
-    std::vector<WqePatch> tmpl;
+    transport::SlotRing ring;
+    transport::BlobBuilder blob;
     std::vector<std::uint32_t> last_count;  // ops written per ring slot
-    std::deque<PendingBatch> inflight;
-    std::deque<std::vector<std::pair<OpSpec, OpCallback>>> backlog;
+    BatchTable table;
   };
 
   void issue(const OpSpec& spec, OpCallback cb);
@@ -237,7 +242,12 @@ class HyperLoopClient : public GroupInterface {
   [[nodiscard]] std::uint32_t effective_cap(bool batched) const;
   void on_ack(Primitive p, const rnic::Completion& c);
   void fail_op(Primitive p, Status status);
-  void pump_backlog(ChannelState& ch);
+  /// A replica engine observed an access-class error on this channel (e.g.
+  /// a cross-tenant CAS denied at a member). Marks the channel dead and
+  /// fails everything outstanding — deferred to the control path so the
+  /// notification never runs inside the replica's replenish pass.
+  void fail_channel_async(Primitive p, Status status);
+  void pump_backlog(Primitive p);
   /// Op deadline fired: extend it while the channel is still connected (the
   /// NIC retransmit machinery is working the fault) and budget remains,
   /// otherwise fail the channel.
@@ -267,7 +277,6 @@ class HyperLoopClient : public GroupInterface {
   std::array<bool, kNumPrimitives> auto_flush_scheduled_{};
   bool batch_mode_ = false;
   std::uint64_t batches_posted_ = 0;
-  std::uint64_t stale_acks_ = 0;
 };
 
 /// Builds a HyperLoop group over nodes[0..R] of a cluster: node `client`
@@ -313,6 +322,10 @@ class HyperLoopGroup {
  private:
   friend class ReplicaEngine;
   friend class HyperLoopClient;
+
+  /// Wire client -> r0 -> ... -> tail -> client for every primitive of one
+  /// channel generation (per-op or batched twin).
+  void wire_chain(bool batched);
 
   Cluster& cluster_;
   GroupParams params_;

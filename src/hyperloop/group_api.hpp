@@ -12,6 +12,18 @@
 
 namespace hyperloop::core {
 
+/// Per-group runtime counters, fed by the transport substrate's op tables
+/// (see transport/pending_ops.hpp). Datapaths aggregate their per-channel
+/// counters into one of these on demand.
+struct GroupStats {
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_failed = 0;
+  std::uint64_t retries = 0;          // op deadline extensions granted
+  std::uint64_t backoff_events = 0;   // extensions that grew the deadline
+  std::uint64_t drops_seen = 0;       // stale/late acks discarded
+  std::uint64_t outstanding_hwm = 0;  // high-water mark of inflight ops
+};
+
 class GroupInterface {
  public:
   virtual ~GroupInterface() = default;
@@ -73,6 +85,11 @@ class GroupInterface {
 
   /// Close the batch bracket and post everything accumulated.
   virtual void flush_batch() {}
+
+  // --- Diagnostics ---------------------------------------------------------
+
+  /// Runtime counters of this group's datapath.
+  [[nodiscard]] virtual GroupStats stats() const { return {}; }
 };
 
 }  // namespace hyperloop::core

@@ -1,0 +1,143 @@
+#include "hyperloop/group_manager.hpp"
+
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace hyperloop::core {
+
+std::uint32_t GroupManager::qp_cost(const GroupSpec& spec) {
+  // Exact per-datapath footprints, verified by tests against the sum of
+  // Nic::num_qps() deltas across the involved nodes:
+  //  - chain: client posts down+ack per primitive (4x2); each replica holds
+  //    prev+next per primitive (4x2) plus a loopback QP for the three
+  //    loopback primitives (gCAS/gMEMCPY/gFLUSH).
+  //  - fanout: the client keeps down+ack per primitive (8) plus one ack
+  //    sink; the primary holds from_client + ack + loopback per primitive
+  //    and a fan/backup QP pair per backup per primitive (2 per backup).
+  //  - naive: one down+ack pair on the client, prev+next per replica.
+  const auto R = static_cast<std::uint32_t>(spec.member_nodes.size());
+  switch (spec.datapath) {
+    case GroupSpec::Datapath::kHyperLoop:
+      return 8 + 11 * R;
+    case GroupSpec::Datapath::kFanout:
+      return 20 + 8 * (R > 0 ? R - 1 : 0);
+    case GroupSpec::Datapath::kNaive:
+      return 2 + 2 * R;
+  }
+  return 0;
+}
+
+std::uint32_t GroupManager::slot_cost(const GroupSpec& spec) {
+  switch (spec.datapath) {
+    case GroupSpec::Datapath::kHyperLoop:
+    case GroupSpec::Datapath::kFanout:
+      // One client-side ring per primitive channel.
+      return 4 * spec.params.slots;
+    case GroupSpec::Datapath::kNaive:
+      return spec.naive.slots;
+  }
+  return 0;
+}
+
+GroupInterface* GroupManager::create_group(const GroupSpec& spec,
+                                           Status* why) {
+  auto refuse = [&](StatusCode code, const char* msg) -> GroupInterface* {
+    if (why) *why = Status(code, msg);
+    return nullptr;
+  };
+  if (spec.member_nodes.empty()) {
+    return refuse(StatusCode::kInvalidArgument,
+                  "group needs at least one member");
+  }
+  const std::uint64_t tenant = spec.tenant();
+  const std::uint32_t qps = qp_cost(spec);
+  const std::uint32_t slots = slot_cost(spec);
+  auto qit = quotas_.find(tenant);
+  if (qit != quotas_.end()) {
+    const TenantUsage used = usage(tenant);
+    if (used.qps + qps > qit->second.max_qps) {
+      return refuse(StatusCode::kResourceExhausted,
+                    "tenant QP quota exceeded");
+    }
+    if (used.slots + slots > qit->second.max_slots) {
+      return refuse(StatusCode::kResourceExhausted,
+                    "tenant slot quota exceeded");
+    }
+  }
+
+  auto e = std::make_unique<Entry>();
+  e->tenant = tenant;
+  switch (spec.datapath) {
+    case GroupSpec::Datapath::kHyperLoop:
+      e->chain = std::make_unique<HyperLoopGroup>(
+          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
+          spec.params);
+      e->iface = &e->chain->client();
+      break;
+    case GroupSpec::Datapath::kFanout:
+      e->fanout = std::make_unique<FanoutGroup>(
+          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
+          spec.params);
+      e->iface = e->fanout.get();
+      break;
+    case GroupSpec::Datapath::kNaive:
+      e->naive = std::make_unique<NaiveGroup>(
+          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
+          spec.naive);
+      e->iface = e->naive.get();
+      break;
+  }
+
+  TenantUsage& u = usage_[tenant];
+  u.qps += qps;
+  u.slots += slots;
+  ++u.groups;
+  entries_.push_back(std::move(e));
+  if (why) *why = Status::ok();
+  return entries_.back()->iface;
+}
+
+void GroupManager::submit(GroupInterface* g, std::function<void()> post) {
+  for (auto& e : entries_) {
+    if (e->iface != g) continue;
+    e->doorbells.push_back(std::move(post));
+    if (!arbiter_armed_) {
+      arbiter_armed_ = true;
+      cluster_.sim().schedule(0, alive_.guard([this] { drain_round(); }));
+    }
+    return;
+  }
+  HL_CHECK_MSG(false, "submit() on a group this manager does not own");
+}
+
+std::size_t GroupManager::queued() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) n += e->doorbells.size();
+  return n;
+}
+
+void GroupManager::drain_round() {
+  // arbiter_armed_ stays true for the whole round so submissions made by
+  // the actions we run land in this round's queues instead of scheduling a
+  // competing drain.
+  const std::size_t n = entries_.size();
+  bool pending = false;
+  for (std::size_t k = 0; k < n; ++k) {
+    Entry& e = *entries_[(cursor_ + k) % n];
+    if (e.doorbells.empty()) continue;
+    auto fn = std::move(e.doorbells.front());
+    e.doorbells.pop_front();
+    fn();
+  }
+  for (const auto& e : entries_) pending = pending || !e->doorbells.empty();
+  cursor_ = n > 0 ? (cursor_ + 1) % n : 0;
+  if (pending) {
+    cluster_.sim().schedule(round_interval_,
+                            alive_.guard([this] { drain_round(); }));
+  } else {
+    arbiter_armed_ = false;
+  }
+}
+
+}  // namespace hyperloop::core

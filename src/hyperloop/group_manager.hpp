@@ -1,0 +1,139 @@
+// Multi-tenant group hosting: one GroupManager per Cluster owns N replica
+// groups (any datapath), admits them against per-tenant QP/slot quotas, and
+// arbitrates doorbells round-robin so no tenant can monopolize the shared
+// NICs' posting path.
+//
+// Quotas are enforced at admission: every datapath has an exact, verified
+// QP cost (see qp_cost(); tests assert it against Nic::num_qps() deltas),
+// so a group that would push its tenant over budget is rejected with
+// kResourceExhausted before any NIC resource is created. The tenant token
+// of the spec flows into every region registration and QP the group makes
+// (the mem/rnic protection machinery), so admission control and datapath
+// enforcement key on the same identity.
+//
+// Doorbell fairness: ops submitted through submit() queue per group; a
+// sim-scheduled arbiter drains one op per group per round in cursor order,
+// rotating the starting group every round. Groups driven directly (not via
+// submit()) bypass the arbiter — fairness is opt-in per posting site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/fanout_group.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/group_api.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "util/lifetime.hpp"
+
+namespace hyperloop::core {
+
+/// Cluster-wide budget of one tenant, spent across every node its groups
+/// touch. Defaults are unlimited so unconfigured tenants keep working.
+struct TenantQuota {
+  std::uint32_t max_qps = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_slots = std::numeric_limits<std::uint32_t>::max();
+};
+
+/// Everything needed to build one group. `params.tenant` (or `naive.tenant`
+/// for the naive datapath) names the owning tenant.
+struct GroupSpec {
+  enum class Datapath : std::uint8_t { kHyperLoop, kFanout, kNaive };
+  Datapath datapath = Datapath::kHyperLoop;
+  std::size_t client_node = 0;
+  std::vector<std::size_t> member_nodes;  // chain order / primary-first
+  std::uint64_t region_size = 1 << 20;
+  GroupParams params;  // chain + fanout knobs
+  NaiveParams naive;   // naive-datapath knobs
+
+  [[nodiscard]] std::uint64_t tenant() const {
+    return datapath == Datapath::kNaive ? naive.tenant : params.tenant;
+  }
+};
+
+class GroupManager {
+ public:
+  explicit GroupManager(Cluster& cluster) : cluster_(cluster) {}
+
+  GroupManager(const GroupManager&) = delete;
+  GroupManager& operator=(const GroupManager&) = delete;
+
+  /// Install (or replace) a tenant's budget. Admission-time only: groups
+  /// already created keep their resources.
+  void set_quota(std::uint64_t tenant, TenantQuota quota) {
+    quotas_[tenant] = quota;
+  }
+
+  /// Exact queue pairs the spec will create across all involved NICs.
+  [[nodiscard]] static std::uint32_t qp_cost(const GroupSpec& spec);
+  /// Ring slots the spec reserves (client-side rings; the quota currency
+  /// for slot budgets).
+  [[nodiscard]] static std::uint32_t slot_cost(const GroupSpec& spec);
+
+  /// Build and start a group, or refuse it. Returns the group's interface,
+  /// owned by the manager; nullptr when the tenant's quota would be
+  /// exceeded (with `why` set to kResourceExhausted) or the spec is
+  /// malformed (kInvalidArgument).
+  GroupInterface* create_group(const GroupSpec& spec,
+                               Status* why = nullptr);
+
+  struct TenantUsage {
+    std::uint32_t qps = 0;
+    std::uint32_t slots = 0;
+    std::uint32_t groups = 0;
+  };
+  [[nodiscard]] TenantUsage usage(std::uint64_t tenant) const {
+    auto it = usage_.find(tenant);
+    return it == usage_.end() ? TenantUsage{} : it->second;
+  }
+
+  [[nodiscard]] std::size_t num_groups() const { return entries_.size(); }
+  [[nodiscard]] GroupInterface& group(std::size_t i) {
+    return *entries_.at(i)->iface;
+  }
+  [[nodiscard]] std::uint64_t group_tenant(std::size_t i) const {
+    return entries_.at(i)->tenant;
+  }
+
+  /// Queue one posting action (typically a lambda that issues a group op)
+  /// behind `g`'s doorbell queue. The arbiter runs one action per group per
+  /// round, round-robin across groups with queued work. `g` must be a group
+  /// this manager created.
+  void submit(GroupInterface* g, std::function<void()> post);
+
+  /// Actions still queued behind doorbell arbitration (all groups).
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Gap between arbiter rounds (doorbell pacing).
+  void set_round_interval(Duration d) { round_interval_ = d; }
+
+ private:
+  struct Entry {
+    // Exactly one of these owns the group; iface aliases it.
+    std::unique_ptr<HyperLoopGroup> chain;
+    std::unique_ptr<FanoutGroup> fanout;
+    std::unique_ptr<NaiveGroup> naive;
+    GroupInterface* iface = nullptr;
+    std::uint64_t tenant = 0;
+    std::deque<std::function<void()>> doorbells;
+  };
+
+  void drain_round();
+
+  Cluster& cluster_;
+  Lifetime alive_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::uint64_t, TenantQuota> quotas_;
+  std::unordered_map<std::uint64_t, TenantUsage> usage_;
+  std::size_t cursor_ = 0;       // rotating round-robin start
+  bool arbiter_armed_ = false;
+  Duration round_interval_ = 1'000;  // 1us between doorbell rounds
+};
+
+}  // namespace hyperloop::core

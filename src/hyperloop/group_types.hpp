@@ -1,12 +1,15 @@
-// Shared types of the HyperLoop group datapath: the primitive set (Table 1),
-// the metadata blob format the client replicates down the chain, and the
-// member descriptors exchanged at group setup.
+// Shared types of the HyperLoop group datapath: the primitive set (Table 1)
+// and the member descriptors exchanged at group setup. The metadata blob
+// format itself (WqePatch, BlobEntry, offset arithmetic) lives in the
+// transport substrate — see transport/blob_builder.hpp — and is re-exported
+// here for the datapaths.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "hyperloop/transport/blob_builder.hpp"
 #include "rnic/verbs.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
@@ -24,91 +27,20 @@ inline constexpr int kNumPrimitives = 4;
 using OpCallback =
     std::function<void(Status, const std::vector<std::uint64_t>& result_map)>;
 
-/// Patch segment the client writes into a replica's pre-posted op WQE via
-/// the RECV scatter (remote work request manipulation). Field order mirrors
-/// WqeData so the patch lands as two contiguous byte ranges:
-///   bytes [0, 8)   -> WqeData bytes [8, 16)   (opcode, flags)
-///   bytes [8, 56)  -> WqeData bytes [24, 72)  (descriptors + CAS operands)
-///
-/// The paper quotes 32 bytes as the largest descriptor (gCAS); our WqeData
-/// layout needs 48 because the CAS operands are not adjacent to the address
-/// fields — an immaterial layout difference, the mechanism is identical.
-struct WqePatch {
-  std::uint32_t opcode = 0;
-  std::uint32_t flags = 0;
-  std::uint64_t local_addr = 0;
-  std::uint32_t local_len = 0;
-  std::uint32_t lkey = 0;
-  std::uint64_t remote_addr = 0;
-  std::uint32_t rkey = 0;
-  std::uint32_t imm = 0;
-  std::uint64_t compare = 0;
-  std::uint64_t swap = 0;
-};
-static_assert(sizeof(WqePatch) == 56);
-
-/// One per-replica entry of the metadata blob. The trailing result word is
-/// where a replica's CAS deposits the observed value; it rides down the
-/// chain inside the blob and reaches the client in the tail's ACK payload.
-struct BlobEntry {
-  WqePatch patch;
-  std::uint64_t result = 0;
-};
-static_assert(sizeof(BlobEntry) == 64);
-
-inline constexpr std::uint64_t kBlobEntryBytes = sizeof(BlobEntry);
-
-/// Blob size for a group with `replicas` members (excluding the client).
-constexpr std::uint64_t blob_bytes(std::size_t replicas) {
-  return kBlobEntryBytes * replicas;
-}
-
-/// Staging/ack areas are laid out as one blob per logical slot. These three
-/// helpers are the single home of the slot/entry offset arithmetic that the
-/// chain and fan-out datapaths share (`slot` already reduced modulo the slot
-/// count).
-constexpr std::uint64_t blob_slot_offset(std::size_t replicas,
-                                         std::uint64_t slot) {
-  return slot * blob_bytes(replicas);
-}
-
-/// Offset of replica `replica`'s BlobEntry within slot `slot`'s blob.
-constexpr std::uint64_t blob_entry_offset(std::size_t replicas,
-                                          std::uint64_t slot,
-                                          std::size_t replica) {
-  return blob_slot_offset(replicas, slot) + replica * kBlobEntryBytes;
-}
-
-/// Offset of replica `replica`'s result word within slot `slot`'s blob.
-constexpr std::uint64_t blob_result_offset(std::size_t replicas,
-                                           std::uint64_t slot,
-                                           std::size_t replica) {
-  return blob_entry_offset(replicas, slot, replica) + sizeof(WqePatch);
-}
-
-/// Bytes of one batched metadata blob: `max_batch` op groups back to back,
-/// each a full R-entry blob. Batched chain slots always carry this full
-/// size; short batches pad the tail groups with NOP patches.
-constexpr std::uint64_t batch_blob_bytes(std::size_t replicas,
-                                         std::uint32_t max_batch) {
-  return blob_bytes(replicas) * max_batch;
-}
-
-/// Offset of op-group `group`'s R-entry blob within batched slot `slot`'s
-/// batch blob (`slot` already reduced modulo the batch slot count).
-constexpr std::uint64_t batch_group_offset(std::size_t replicas,
-                                           std::uint32_t max_batch,
-                                           std::uint64_t slot,
-                                           std::uint32_t group) {
-  return slot * batch_blob_bytes(replicas, max_batch) +
-         blob_slot_offset(replicas, group);
-}
-
-/// Byte ranges within WqeData that RECV scatters patch.
-inline constexpr std::uint64_t kPatchPart1WqeOffset = 8;   // opcode+flags
-inline constexpr std::uint64_t kPatchPart1Bytes = 8;
-inline constexpr std::uint64_t kPatchPart2WqeOffset = 24;  // descriptors
-inline constexpr std::uint64_t kPatchPart2Bytes = 48;
+// Blob machinery (moved to the transport substrate; same names and layout).
+using transport::BlobEntry;
+using transport::WqePatch;
+using transport::batch_blob_bytes;
+using transport::batch_group_offset;
+using transport::blob_bytes;
+using transport::blob_entry_offset;
+using transport::blob_result_offset;
+using transport::blob_slot_offset;
+using transport::kBlobEntryBytes;
+using transport::kPatchPart1Bytes;
+using transport::kPatchPart1WqeOffset;
+using transport::kPatchPart2Bytes;
+using transport::kPatchPart2WqeOffset;
 
 /// Everything the client must know about one replica to build blobs. All of
 /// it is exchanged once at group setup (the control path), never on the
@@ -151,6 +83,13 @@ struct GroupParams {
   std::uint32_t op_retry_limit = 2;
   /// Tenant token guarding every region the group registers.
   std::uint64_t tenant = 1;
+  /// Per-replica override of the tenant token guarding that replica's
+  /// *region* registration (staging and rings stay on `tenant`). Empty =
+  /// every region uses `tenant`. A mismatching entry makes every group op
+  /// that targets that member's region fail the NIC access check with
+  /// kPermissionDenied — the cross-tenant deny path the isolation tests
+  /// exercise.
+  std::vector<std::uint64_t> member_region_tenants;
 
   // --- Datapath op batching (doorbell batching; DESIGN.md "Op batching") --
   /// Max sub-ops coalesced into one batched chain slot (K). Batched chains
@@ -165,11 +104,48 @@ struct GroupParams {
   /// bracket accumulate for up to this long (or until max_batch ops) before
   /// being flushed as one batch. 0 = explicit batching only.
   Duration auto_batch_window = 0;
+
+  /// Tenant token of replica `i`'s region registration.
+  [[nodiscard]] std::uint64_t region_tenant(std::size_t i) const {
+    return i < member_region_tenants.size() ? member_region_tenants[i]
+                                            : tenant;
+  }
 };
 
 /// Bit i set => replica i executes the CAS (paper's execute map). Replicas
 /// with a clear bit get a NOP patched instead of the CAS.
 using ExecuteMap = std::uint32_t;
 inline constexpr ExecuteMap kAllReplicas = ~ExecuteMap{0};
+
+/// WAIT WQE gating on `wait_count` completions of `cq`, enabling
+/// `enable_count` successors — the chain-building verb every pre-posted
+/// slot shape is assembled from.
+inline rnic::SendWr make_wait(rnic::CqId cq, std::uint32_t wait_count,
+                              std::uint32_t enable_count,
+                              std::uint32_t flags = 0,
+                              std::uint64_t wr_id = 0) {
+  rnic::SendWr w;
+  w.wr_id = wr_id;
+  w.opcode = rnic::Opcode::kWait;
+  w.flags = flags;
+  w.wait_cq = cq;
+  w.wait_count = wait_count;
+  w.enable_count = enable_count;
+  return w;
+}
+
+/// Pre-posted per-slot op WQE: gFLUSH slots carry a fixed 0-byte loopback
+/// READ (a self-flush), every other primitive a signaled NOP placeholder
+/// whose descriptors the client's RECV scatter patches later.
+inline rnic::SendWr make_slot_op(Primitive prim, std::uint64_t wr_id) {
+  rnic::SendWr op;
+  op.wr_id = wr_id;
+  op.deferred_ownership = true;
+  op.opcode = prim == Primitive::kGFlush ? rnic::Opcode::kRead
+                                         : rnic::Opcode::kNop;
+  op.flags = rnic::kSignaled;
+  op.local_len = 0;
+  return op;
+}
 
 }  // namespace hyperloop::core

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 
-namespace hyperloop::core {
+#include "hyperloop/transport/channel_pool.hpp"
+#include "hyperloop/transport/completion_router.hpp"
 
-namespace {
-constexpr std::uint32_t kAllAccess =
-    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
-    mem::kRemoteWrite | mem::kRemoteAtomic;
-}  // namespace
+namespace hyperloop::core {
 
 // ---------------------------------------------------------------------------
 // NaiveGroup: setup + client side
@@ -29,20 +26,18 @@ NaiveGroup::NaiveGroup(Cluster& cluster, std::size_t client_node,
 
   auto setup_member = [&](Node& node) {
     MemberInfo info;
-    mem::HostMemory& mem = node.memory();
-    const std::uint64_t region = mem.alloc(region_size_, 64);
-    const mem::MemoryRegion mr =
-        mem.register_region(region, region_size_, kAllAccess, params_.tenant);
-    info.region_addr = region;
-    info.region_lkey = mr.lkey;
-    info.region_rkey = mr.rkey;
+    transport::ChannelPool pool(node.nic(), node.memory());
+    const transport::RegisteredBuffer region =
+        pool.buffer(region_size_, transport::kAllAccess, params_.tenant);
+    info.region_addr = region.addr;
+    info.region_lkey = region.lkey;
+    info.region_rkey = region.rkey;
     const std::uint64_t msg_total =
         params_.slots * (sizeof(NaiveHeader) + 8ull * R);
-    const std::uint64_t msgs = mem.alloc(msg_total, 64);
-    const mem::MemoryRegion mmr = mem.register_region(
-        msgs, msg_total, mem::kLocalRead | mem::kLocalWrite, params_.tenant);
-    info.msg_addr = msgs;
-    info.msg_lkey = mmr.lkey;
+    const transport::RegisteredBuffer msgs = pool.buffer(
+        msg_total, mem::kLocalRead | mem::kLocalWrite, params_.tenant);
+    info.msg_addr = msgs.addr;
+    info.msg_lkey = msgs.lkey;
     return info;
   };
 
@@ -55,21 +50,20 @@ NaiveGroup::NaiveGroup(Cluster& cluster, std::size_t client_node,
   }
 
   // Client QPs.
-  rnic::Nic& nic = client_node_->nic();
-  send_cq_ = nic.create_cq();
-  ack_cq_ = nic.create_cq();
-  down_ = nic.create_qp(send_cq_, send_cq_, 2 * params_.slots, params_.tenant);
-  ack_ = nic.create_qp(send_cq_, ack_cq_, 1, params_.tenant);
+  transport::ChannelPool cpool(client_node_->nic(), client_node_->memory());
+  send_cq_ = cpool.cq();
+  ack_cq_ = cpool.cq();
+  down_ = cpool.qp(send_cq_, send_cq_, 2 * params_.slots, params_.tenant);
+  ack_ = cpool.qp(send_cq_, ack_cq_, 1, params_.tenant);
   send_buf_addr_ = client_info_.msg_addr;
   send_buf_lkey_ = client_info_.msg_lkey;
+  table_.bind(cluster_.sim(), {params_.op_timeout, 0});
 
-  mem::HostMemory& cmem = client_node_->memory();
   const std::uint64_t ack_total = params_.slots * msg_bytes();
-  ack_buf_addr_ = cmem.alloc(ack_total, 64);
-  const mem::MemoryRegion amr = cmem.register_region(
-      ack_buf_addr_, ack_total, mem::kLocalRead | mem::kLocalWrite,
-      params_.tenant);
-  ack_buf_lkey_ = amr.lkey;
+  const transport::RegisteredBuffer ack_buf = cpool.buffer(
+      ack_total, mem::kLocalRead | mem::kLocalWrite, params_.tenant);
+  ack_buf_addr_ = ack_buf.addr;
+  ack_buf_lkey_ = ack_buf.lkey;
   for (std::uint32_t k = 0; k < params_.slots; ++k) {
     rnic::RecvWr recv;
     recv.wr_id = k;
@@ -78,41 +72,24 @@ NaiveGroup::NaiveGroup(Cluster& cluster, std::size_t client_node,
                          ack_buf_lkey_});
     HL_CHECK(ack_->post_recv(std::move(recv)).is_ok());
   }
-  ack_cq_->set_event_handler(alive_.guard([this] {
-    while (auto wc = ack_cq_->poll()) on_ack(*wc);
-    ack_cq_->arm();
-  }));
-  ack_cq_->arm();
-  send_cq_->set_event_handler(alive_.guard([this] {
-    bool failed = false;
-    Status st = Status::ok();
-    while (auto wc = send_cq_->poll()) {
-      if (wc->status != StatusCode::kOk) {
-        failed = true;
-        st = Status(wc->status, "naive client send failed");
-      }
-    }
-    send_cq_->arm();
-    if (failed) fail_all(st);
-  }));
-  send_cq_->arm();
+  transport::route_each(ack_cq_, alive_,
+                        [this](const rnic::Completion& wc) { on_ack(wc); });
+  transport::route_errors(send_cq_, alive_, "naive client send failed",
+                          [this](Status st) { fail_all(std::move(st)); });
 
   // Wire the chain.
   auto& r0 = *replicas_[0];
-  nic.connect(down_, replica_nodes_[0]->id(), r0.prev_->id());
-  replica_nodes_[0]->nic().connect(r0.prev_, client_node_->id(), down_->id());
+  transport::wire(client_node_->nic(), down_, replica_nodes_[0]->nic(),
+                  r0.prev_);
   for (std::size_t i = 0; i + 1 < R; ++i) {
     auto& a = *replicas_[i];
     auto& b = *replicas_[i + 1];
-    replica_nodes_[i]->nic().connect(a.next_, replica_nodes_[i + 1]->id(),
-                                     b.prev_->id());
-    replica_nodes_[i + 1]->nic().connect(b.prev_, replica_nodes_[i]->id(),
-                                         a.next_->id());
+    transport::wire(replica_nodes_[i]->nic(), a.next_,
+                    replica_nodes_[i + 1]->nic(), b.prev_);
   }
   auto& tail = *replicas_[R - 1];
-  replica_nodes_[R - 1]->nic().connect(tail.next_, client_node_->id(),
-                                       ack_->id());
-  nic.connect(ack_, replica_nodes_[R - 1]->id(), tail.next_->id());
+  transport::wire(replica_nodes_[R - 1]->nic(), tail.next_,
+                  client_node_->nic(), ack_);
 
   for (auto& r : replicas_) r->start();
 }
@@ -191,10 +168,14 @@ void NaiveGroup::gflush(OpCallback cb) {
 }
 
 void NaiveGroup::post_op(const NaiveHeader& header, OpCallback cb) {
-  if (inflight_.size() >= params_.max_outstanding || !backlog_.empty()) {
-    backlog_.emplace_back(header, std::move(cb));
+  if (table_.saturated(params_.max_outstanding)) {
+    table_.enqueue({header, std::move(cb)});
     return;
   }
+  post_now(header, std::move(cb));
+}
+
+void NaiveGroup::post_now(const NaiveHeader& header, OpCallback cb) {
   NaiveHeader h = header;
   h.op_id = next_op_id_++;
   const std::uint32_t k = h.op_id % params_.slots;
@@ -225,20 +206,16 @@ void NaiveGroup::post_op(const NaiveHeader& header, OpCallback cb) {
   send.lkey = send_buf_lkey_;
   HL_CHECK(down_->post_send(send).is_ok());
 
-  PendingOp op;
-  op.op_id = h.op_id;
-  op.cb = std::move(cb);
-  op.timeout = sim().schedule(params_.op_timeout, alive_.guard([this] {
+  // No deadline extensions on the baseline: the first expiry fails the
+  // whole channel, exactly the conventional client it models.
+  table_.track(h.op_id, std::move(cb), alive_.guard([this] {
     fail_all(Status(StatusCode::kUnavailable, "naive group op timed out"));
   }));
-  inflight_.push_back(std::move(op));
 }
 
 void NaiveGroup::pump_backlog() {
-  while (!backlog_.empty() && inflight_.size() < params_.max_outstanding) {
-    auto [h, cb] = std::move(backlog_.front());
-    backlog_.pop_front();
-    post_op(h, std::move(cb));
+  while (auto q = table_.dequeue_if_below(params_.max_outstanding)) {
+    post_now(q->first, std::move(q->second));
   }
 }
 
@@ -253,36 +230,35 @@ void NaiveGroup::on_ack(const rnic::Completion& c) {
   HL_CHECK(ack_->post_recv(std::move(recv)).is_ok());
 
   if (c.status != StatusCode::kOk) return;
-  if (inflight_.empty()) return;  // stale ack after timeout
+  if (table_.empty()) return;  // stale ack after timeout
 
   NaiveHeader h;
   client_node_->nic().cache().read_through(ack_buf_addr_ + k * msg_bytes(),
                                            &h, sizeof(h));
-  PendingOp op = std::move(inflight_.front());
-  inflight_.pop_front();
-  sim().cancel(op.timeout);
-  HL_CHECK_MSG(h.op_id == op.op_id, "naive ack/op mismatch");
+  // Late ack for an op that already failed: dropped, not mis-credited.
+  auto op = table_.complete_front(h.op_id);
+  if (!op) return;
 
   std::vector<std::uint64_t> results(num_replicas(), 0);
   client_node_->nic().cache().read_through(
       ack_buf_addr_ + k * msg_bytes() + sizeof(NaiveHeader), results.data(),
       results.size() * 8);
-  if (op.cb) op.cb(Status::ok(), results);
+  if (op->payload) op->payload(Status::ok(), results);
   pump_backlog();
 }
 
 void NaiveGroup::fail_all(Status status) {
-  std::deque<PendingOp> failed;
-  failed.swap(inflight_);
-  for (auto& op : failed) {
-    sim().cancel(op.timeout);
-    if (op.cb) op.cb(status, {});
+  auto drained = table_.drain();
+  for (auto& op : drained.inflight) {
+    if (op.payload) op.payload(status, {});
   }
-  decltype(backlog_) dropped;
-  dropped.swap(backlog_);
-  for (auto& [h, cb] : dropped) {
+  for (auto& [h, cb] : drained.backlog) {
     if (cb) cb(status, {});
   }
+}
+
+GroupStats NaiveGroup::stats() const {
+  return transport::to_group_stats(table_.counters());
 }
 
 // ---------------------------------------------------------------------------
@@ -292,12 +268,13 @@ void NaiveGroup::fail_all(Status status) {
 NaiveReplica::NaiveReplica(Node& node, NaiveGroup& group, std::size_t index,
                            bool is_tail)
     : node_(node), group_(group), index_(index), is_tail_(is_tail) {
-  rnic::Nic& nic = node_.nic();
-  recv_cq_ = nic.create_cq();
-  send_cq_ = nic.create_cq();
+  transport::ChannelPool pool(node_.nic(), node_.memory());
+  recv_cq_ = pool.cq();
+  send_cq_ = pool.cq();
   const std::uint32_t slots = group_.params().slots;
-  prev_ = nic.create_qp(send_cq_, recv_cq_, 1, group_.params().tenant);
-  next_ = nic.create_qp(send_cq_, send_cq_, 2 * slots, group_.params().tenant);
+  ring_.reset(slots);
+  prev_ = pool.qp(send_cq_, recv_cq_, 1, group_.params().tenant);
+  next_ = pool.qp(send_cq_, send_cq_, 2 * slots, group_.params().tenant);
   msg_buf_addr_ = group_.members_[index_].msg_addr;
   msg_buf_lkey_ = group_.members_[index_].msg_lkey;
   thread_ = node_.sched().create_thread("naive-replica-" +
@@ -342,7 +319,7 @@ void NaiveReplica::handle_completions() {
   std::uint64_t drained = 0;
   while (auto wc = recv_cq_->poll()) {
     if (wc->status != StatusCode::kOk) continue;
-    const std::uint64_t seq = recv_seq_++;
+    const std::uint64_t seq = ring_.acquire();
     // Parse + apply + forward, charged as CPU work before the effect.
     node_.sched().submit(thread_, p.parse_cpu,
                          alive_.guard([this, seq] { apply_and_forward(seq); }));
@@ -366,8 +343,7 @@ void NaiveReplica::poll_loop() {
 
 void NaiveReplica::apply_and_forward(std::uint64_t seq) {
   const NaiveParams& p = group_.params();
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(seq % group_.params().slots);
+  const auto k = static_cast<std::uint32_t>(ring_.position(seq));
   const std::uint64_t buf = msg_buf_addr_ + k * group_.msg_bytes();
   rnic::NicCache& cache = node_.nic().cache();
   mem::HostMemory& mem = node_.memory();

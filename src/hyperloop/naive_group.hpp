@@ -24,6 +24,8 @@
 #include "hyperloop/cluster.hpp"
 #include "hyperloop/group_api.hpp"
 #include "hyperloop/group_types.hpp"
+#include "hyperloop/transport/pending_ops.hpp"
+#include "hyperloop/transport/slot_ring.hpp"
 #include "rnic/nic.hpp"
 #include "util/lifetime.hpp"
 
@@ -103,7 +105,7 @@ class NaiveReplica {
   std::uint32_t msg_buf_lkey_ = 0;
   cpu::ThreadId thread_ = cpu::kInvalidThread;
   Lifetime alive_;
-  std::uint64_t recv_seq_ = 0;  // consumed message counter (slot = seq%slots)
+  transport::SlotRing ring_;  // consumed message counter (slot = seq%slots)
   bool running_ = false;
 };
 
@@ -141,6 +143,9 @@ class NaiveGroup : public GroupInterface {
   [[nodiscard]] NaiveReplica& replica(std::size_t i) { return *replicas_[i]; }
   [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
 
+  /// Transport counters of the client-side op table.
+  [[nodiscard]] GroupStats stats() const override;
+
   /// Stop replica pollers (for tearing down polling-mode benchmarks).
   void stop();
 
@@ -155,17 +160,12 @@ class NaiveGroup : public GroupInterface {
     std::uint32_t msg_lkey = 0;
   };
 
-  struct PendingOp {
-    std::uint32_t op_id = 0;
-    OpCallback cb;
-    sim::EventId timeout;
-  };
-
   [[nodiscard]] std::uint64_t msg_bytes() const {
     return sizeof(NaiveHeader) + 8ull * replicas_.size();
   }
 
   void post_op(const NaiveHeader& header, OpCallback cb);
+  void post_now(const NaiveHeader& header, OpCallback cb);
   void pump_backlog();
   void on_ack(const rnic::Completion& c);
   void fail_all(Status status);
@@ -190,8 +190,10 @@ class NaiveGroup : public GroupInterface {
   std::uint32_t ack_buf_lkey_ = 0;
   Lifetime alive_;
   std::uint32_t next_op_id_ = 1;
-  std::deque<PendingOp> inflight_;
-  std::deque<std::pair<NaiveHeader, OpCallback>> backlog_;
+  /// FIFO inflight ops + admission backlog + per-op deadlines, keyed by
+  /// op_id (the substrate's generic outstanding-op machinery).
+  transport::PendingOpTable<OpCallback, std::pair<NaiveHeader, OpCallback>>
+      table_;
 };
 
 }  // namespace hyperloop::core

@@ -1,0 +1,155 @@
+// The K-group metadata blob: format, offset arithmetic, and the builder
+// that patches per-op dynamic words over cached per-replica templates.
+//
+// A client drives a group by replicating a small metadata blob — one
+// WqePatch + result word per replica — to the first member; RECV scatters
+// land each replica's patch directly on that replica's pre-posted op WQE
+// (remote work request manipulation) while the rest of the blob passes
+// through for forwarding. Both the chain and fan-out datapaths build blobs
+// with exactly this machinery; only the patch *contents* differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/host_memory.hpp"
+#include "rnic/verbs.hpp"
+
+namespace hyperloop::core::transport {
+
+/// Patch segment the client writes into a replica's pre-posted op WQE via
+/// the RECV scatter (remote work request manipulation). Field order mirrors
+/// WqeData so the patch lands as two contiguous byte ranges:
+///   bytes [0, 8)   -> WqeData bytes [8, 16)   (opcode, flags)
+///   bytes [8, 56)  -> WqeData bytes [24, 72)  (descriptors + CAS operands)
+///
+/// The paper quotes 32 bytes as the largest descriptor (gCAS); our WqeData
+/// layout needs 48 because the CAS operands are not adjacent to the address
+/// fields — an immaterial layout difference, the mechanism is identical.
+struct WqePatch {
+  std::uint32_t opcode = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t local_addr = 0;
+  std::uint32_t local_len = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm = 0;
+  std::uint64_t compare = 0;
+  std::uint64_t swap = 0;
+};
+static_assert(sizeof(WqePatch) == 56);
+
+/// One per-replica entry of the metadata blob. The trailing result word is
+/// where a replica's CAS deposits the observed value; it rides down the
+/// chain inside the blob and reaches the client in the tail's ACK payload.
+struct BlobEntry {
+  WqePatch patch;
+  std::uint64_t result = 0;
+};
+static_assert(sizeof(BlobEntry) == 64);
+
+inline constexpr std::uint64_t kBlobEntryBytes = sizeof(BlobEntry);
+
+/// Blob size for a group with `replicas` members (excluding the client).
+constexpr std::uint64_t blob_bytes(std::size_t replicas) {
+  return kBlobEntryBytes * replicas;
+}
+
+/// Staging/ack areas are laid out as one blob per logical slot. These three
+/// helpers are the single home of the slot/entry offset arithmetic that the
+/// chain and fan-out datapaths share (`slot` already reduced modulo the slot
+/// count).
+constexpr std::uint64_t blob_slot_offset(std::size_t replicas,
+                                         std::uint64_t slot) {
+  return slot * blob_bytes(replicas);
+}
+
+/// Offset of replica `replica`'s BlobEntry within slot `slot`'s blob.
+constexpr std::uint64_t blob_entry_offset(std::size_t replicas,
+                                          std::uint64_t slot,
+                                          std::size_t replica) {
+  return blob_slot_offset(replicas, slot) + replica * kBlobEntryBytes;
+}
+
+/// Offset of replica `replica`'s result word within slot `slot`'s blob.
+constexpr std::uint64_t blob_result_offset(std::size_t replicas,
+                                           std::uint64_t slot,
+                                           std::size_t replica) {
+  return blob_entry_offset(replicas, slot, replica) + sizeof(WqePatch);
+}
+
+/// Bytes of one batched metadata blob: `max_batch` op groups back to back,
+/// each a full R-entry blob. Batched chain slots always carry this full
+/// size; short batches pad the tail groups with NOP patches.
+constexpr std::uint64_t batch_blob_bytes(std::size_t replicas,
+                                         std::uint32_t max_batch) {
+  return blob_bytes(replicas) * max_batch;
+}
+
+/// Offset of op-group `group`'s R-entry blob within batched slot `slot`'s
+/// batch blob (`slot` already reduced modulo the batch slot count).
+constexpr std::uint64_t batch_group_offset(std::size_t replicas,
+                                           std::uint32_t max_batch,
+                                           std::uint64_t slot,
+                                           std::uint32_t group) {
+  return slot * batch_blob_bytes(replicas, max_batch) +
+         blob_slot_offset(replicas, group);
+}
+
+/// Byte ranges within WqeData that RECV scatters patch.
+inline constexpr std::uint64_t kPatchPart1WqeOffset = 8;   // opcode+flags
+inline constexpr std::uint64_t kPatchPart1Bytes = 8;
+inline constexpr std::uint64_t kPatchPart2WqeOffset = 24;  // descriptors
+inline constexpr std::uint64_t kPatchPart2Bytes = 48;
+
+/// Builds blobs in one channel's staging area: caches the per-replica patch
+/// templates (static fields resolved once at setup) and writes only the
+/// dynamic descriptor words per op.
+class BlobBuilder {
+ public:
+  BlobBuilder() = default;
+  BlobBuilder(mem::HostMemory& mem, std::uint64_t staging_addr,
+              std::size_t replicas)
+      : mem_(&mem), staging_addr_(staging_addr), replicas_(replicas) {}
+
+  void set_templates(std::vector<WqePatch> tmpl) { tmpl_ = std::move(tmpl); }
+  [[nodiscard]] const WqePatch& tmpl(std::size_t i) const { return tmpl_[i]; }
+  [[nodiscard]] std::uint64_t staging_addr() const { return staging_addr_; }
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+
+  /// Write replica `i`'s patch of the op group at `group_off` within the
+  /// staging area.
+  void write_patch(std::uint64_t group_off, std::size_t i,
+                   const WqePatch& p) const {
+    mem_->write(staging_addr_ + group_off + i * kBlobEntryBytes, &p,
+                sizeof(p));
+  }
+
+  /// Write a whole pre-assembled blob (entries for every replica) at the
+  /// slot offset — the fan-out client builds all entries up front.
+  void write_blob(std::uint64_t slot_off, const BlobEntry* entries,
+                  std::size_t count) const {
+    mem_->write(staging_addr_ + slot_off, entries,
+                count * kBlobEntryBytes);
+  }
+
+  /// NOP padding patch for the spare op WQEs of a short batch. `silent`
+  /// suppresses the completion — gWRITE padding contributes none, while
+  /// loop-channel padding must still complete (signaled) so the forward
+  /// WAIT's wait_count arithmetic holds.
+  [[nodiscard]] static WqePatch padding_patch(bool silent) {
+    WqePatch pad;
+    pad.opcode = static_cast<std::uint32_t>(rnic::Opcode::kNop);
+    pad.flags = silent ? 0u : rnic::kSignaled;
+    return pad;
+  }
+
+ private:
+  mem::HostMemory* mem_ = nullptr;
+  std::uint64_t staging_addr_ = 0;
+  std::size_t replicas_ = 0;
+  std::vector<WqePatch> tmpl_;
+};
+
+}  // namespace hyperloop::core::transport

@@ -1,0 +1,99 @@
+// Channel wiring factory shared by every group datapath.
+//
+// Group setup is a long sequence of the same few moves: create a CQ, create
+// a QP, allocate-and-register a buffer, register a QP's WQE ring so RECV
+// scatters can patch pre-posted descriptors, and connect QP pairs in both
+// directions. ChannelPool centralizes those moves over one node's NIC and
+// host memory. It is strictly pass-through — each call maps to exactly one
+// NIC / memory call, in the order written — because resource ids and
+// addresses are handed out sequentially and group construction order is
+// part of the reproducible event stream.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/host_memory.hpp"
+#include "rnic/nic.hpp"
+
+namespace hyperloop::core::transport {
+
+/// Access mask every replicated region is registered with.
+inline constexpr std::uint32_t kAllAccess =
+    mem::kLocalRead | mem::kLocalWrite | mem::kRemoteRead |
+    mem::kRemoteWrite | mem::kRemoteAtomic;
+
+/// One allocated-and-registered buffer.
+struct RegisteredBuffer {
+  std::uint64_t addr = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+};
+
+/// A QP whose WQE ring is itself registered (local-write) so inbound RECV
+/// scatters can patch the descriptors of pre-posted WQEs — the remote work
+/// request manipulation that the whole datapath rests on.
+struct PatchableQp {
+  rnic::QueuePair* qp = nullptr;
+  std::uint32_t ring_lkey = 0;
+};
+
+class ChannelPool {
+ public:
+  ChannelPool(rnic::Nic& nic, mem::HostMemory& mem) : nic_(nic), mem_(mem) {}
+
+  [[nodiscard]] rnic::Nic& nic() { return nic_; }
+  [[nodiscard]] mem::HostMemory& memory() { return mem_; }
+
+  rnic::CompletionQueue* cq() { return nic_.create_cq(); }
+
+  rnic::QueuePair* qp(rnic::CompletionQueue* send_cq,
+                      rnic::CompletionQueue* recv_cq,
+                      std::uint32_t ring_slots, std::uint64_t tenant) {
+    return nic_.create_qp(send_cq, recv_cq, ring_slots, tenant);
+  }
+
+  /// QP plus its registered WQE ring.
+  PatchableQp patchable_qp(rnic::CompletionQueue* send_cq,
+                           rnic::CompletionQueue* recv_cq,
+                           std::uint32_t ring_slots, std::uint64_t tenant) {
+    PatchableQp p;
+    p.qp = nic_.create_qp(send_cq, recv_cq, ring_slots, tenant);
+    const mem::MemoryRegion mr = mem_.register_region(
+        p.qp->ring_slot_addr(0),
+        static_cast<std::uint64_t>(ring_slots) * rnic::kWqeSlotBytes,
+        mem::kLocalWrite, tenant);
+    p.ring_lkey = mr.lkey;
+    return p;
+  }
+
+  /// Allocate and register a buffer in one move.
+  RegisteredBuffer buffer(std::uint64_t bytes, std::uint32_t access,
+                          std::uint64_t tenant, std::uint64_t align = 64) {
+    RegisteredBuffer b;
+    b.addr = mem_.alloc(bytes, align);
+    const mem::MemoryRegion mr =
+        mem_.register_region(b.addr, bytes, access, tenant);
+    b.lkey = mr.lkey;
+    b.rkey = mr.rkey;
+    return b;
+  }
+
+  /// Connect a QP to itself (loopback channels).
+  void wire_loopback(rnic::QueuePair* qp) {
+    nic_.connect(qp, nic_.id(), qp->id());
+  }
+
+ private:
+  rnic::Nic& nic_;
+  mem::HostMemory& mem_;
+};
+
+/// Connect both directions of an a <-> b link, a's side first (the order
+/// every setup path uses).
+inline void wire(rnic::Nic& a_nic, rnic::QueuePair* a, rnic::Nic& b_nic,
+                 rnic::QueuePair* b) {
+  a_nic.connect(a, b_nic.id(), b->id());
+  b_nic.connect(b, a_nic.id(), a->id());
+}
+
+}  // namespace hyperloop::core::transport

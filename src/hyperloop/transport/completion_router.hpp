@@ -1,0 +1,78 @@
+// CQE dispatch idioms shared by every group datapath client.
+//
+// Two handler shapes recur on every client-side CQ:
+//
+//  * ack routing  — drain each completion through a dispatch function, then
+//    re-arm (the one-shot arm contract of the completion channel);
+//  * error collection — drain the whole CQ remembering the last error, re-arm,
+//    and only then report a single failure. Error CQEs are flushed in order
+//    on QP teardown; collecting before failing guarantees the failure
+//    callback observes the channel after the entire flush, not mid-drain.
+#pragma once
+
+#include <utility>
+
+#include "rnic/nic.hpp"
+#include "util/lifetime.hpp"
+#include "util/status.hpp"
+
+namespace hyperloop::core::transport {
+
+/// Arm `cq` with a guarded handler that drains every completion through
+/// `fn(const rnic::Completion&)` and re-arms.
+template <typename Fn>
+void route_each(rnic::CompletionQueue* cq, const Lifetime& alive, Fn fn) {
+  cq->set_event_handler(alive.guard([cq, fn = std::move(fn)] {
+    while (auto wc = cq->poll()) {
+      fn(*wc);
+    }
+    cq->arm();
+  }));
+  cq->arm();
+}
+
+/// Arm `cq` as an error collector: drain everything, keep the last error,
+/// re-arm, then invoke `fail(Status)` once if any completion failed. `what`
+/// becomes the status message.
+template <typename Fn>
+void route_errors(rnic::CompletionQueue* cq, const Lifetime& alive,
+                  const char* what, Fn fail) {
+  cq->set_event_handler(alive.guard([cq, what, fail = std::move(fail)] {
+    bool failed = false;
+    Status st = Status::ok();
+    while (auto wc = cq->poll()) {
+      if (wc->status != StatusCode::kOk) {
+        failed = true;
+        st = Status(wc->status, what);
+      }
+    }
+    cq->arm();
+    if (failed) fail(st);
+  }));
+  cq->arm();
+}
+
+/// True for error classes that mean an access check failed at a member —
+/// wrong tenant token, bad rkey, or an out-of-bounds target. These never
+/// clear on retry; the op (and the channel that carried it) must fail with
+/// the original code instead of timing out as kUnavailable.
+[[nodiscard]] constexpr bool is_access_error(StatusCode code) {
+  return code == StatusCode::kPermissionDenied ||
+         code == StatusCode::kOutOfRange;
+}
+
+/// Drain a housekeeping CQ (loopback ops, forward sends), reporting the
+/// first access-class error seen. Transient errors stay invisible here —
+/// they surface through client deadlines — but a protection error is
+/// permanent and must not be silently discarded.
+inline Status drain_collect_access_error(rnic::CompletionQueue* cq) {
+  Status found = Status::ok();
+  while (auto wc = cq->poll()) {
+    if (found.is_ok() && is_access_error(wc->status)) {
+      found = Status(wc->status, "replica-side access check failed");
+    }
+  }
+  return found;
+}
+
+}  // namespace hyperloop::core::transport

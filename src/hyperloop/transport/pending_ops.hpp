@@ -1,0 +1,219 @@
+// Outstanding-operation tracking shared by every group datapath.
+//
+// Each datapath client keeps a FIFO of inflight operations (acks arrive in
+// issue order on a healthy channel), an overflow backlog for ops over the
+// outstanding cap, and a per-op deadline that may be extended while the
+// channel underneath is still healthy. PendingOpTable owns exactly that
+// machinery — admission, FIFO ack matching with stale-ack drops, deadline
+// scheduling with optional exponential backoff and seeded jitter, and the
+// failure drain — while the datapath keeps only its protocol-specific
+// payloads (callbacks, specs) and the decision of what "healthy" means.
+//
+// The default RetryPolicy (backoff_factor 1, jitter 0) reproduces a fixed
+// deadline with zero RNG draws, so a datapath that migrates onto the table
+// emits a bit-identical event stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "hyperloop/group_api.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop::core::transport {
+
+/// Deadline policy of one op table. `timeout == 0` disables deadlines.
+struct RetryPolicy {
+  Duration timeout = 0;           // base per-op deadline
+  std::uint32_t retry_limit = 0;  // deadline extensions granted per op
+  double backoff_factor = 1.0;    // deadline multiplier per extension
+  double jitter = 0.0;            // +/- fraction of the deadline (seeded)
+};
+
+/// Counters the table maintains; aggregated into GroupStats by the groups.
+struct OpCounters {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;         // deadline extensions granted
+  std::uint64_t backoff_events = 0;  // extensions that grew the deadline
+  std::uint64_t drops = 0;           // stale/late acks discarded
+  std::uint64_t outstanding_hwm = 0;
+
+  void merge(const OpCounters& o) {
+    completed += o.completed;
+    failed += o.failed;
+    retries += o.retries;
+    backoff_events += o.backoff_events;
+    drops += o.drops;
+    outstanding_hwm = std::max(outstanding_hwm, o.outstanding_hwm);
+  }
+};
+
+/// Map (possibly merged) table counters onto the public GroupStats shape.
+inline GroupStats to_group_stats(const OpCounters& c) {
+  GroupStats s;
+  s.ops_completed = c.completed;
+  s.ops_failed = c.failed;
+  s.retries = c.retries;
+  s.backoff_events = c.backoff_events;
+  s.drops_seen = c.drops;
+  s.outstanding_hwm = c.outstanding_hwm;
+  return s;
+}
+
+/// `Payload` is the datapath's per-op state (callback or callback list);
+/// `Queued` is what the backlog holds while an op waits for admission.
+template <typename Payload, typename Queued = char>
+class PendingOpTable {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;  // logical slot / op id; FIFO ack match target
+    Payload payload{};
+    sim::EventId deadline{};
+    std::uint32_t extensions = 0;
+  };
+
+  enum class DeadlineOutcome {
+    kGone,      // op already acked or drained; nothing to do
+    kExtended,  // deadline moved out; keep waiting
+    kExpired,   // extension budget spent or channel down; fail the channel
+  };
+
+  /// Bind the deadline machinery. Must be called before track() when the
+  /// policy carries a nonzero timeout.
+  void bind(sim::Simulator& sim, RetryPolicy policy, std::uint64_t seed = 0) {
+    sim_ = &sim;
+    policy_ = policy;
+    rng_ = Rng(seed);
+  }
+
+  [[nodiscard]] std::size_t size() const { return inflight_.size(); }
+  [[nodiscard]] bool empty() const { return inflight_.empty(); }
+  [[nodiscard]] const std::deque<Entry>& entries() const { return inflight_; }
+
+  /// Admission check: a new op must queue if the cap is reached or older
+  /// ops are already queued (FIFO fairness).
+  [[nodiscard]] bool saturated(std::size_t cap) const {
+    return inflight_.size() >= cap || !backlog_.empty();
+  }
+
+  // --- Backlog -------------------------------------------------------------
+
+  void enqueue(Queued q) { backlog_.push_back(std::move(q)); }
+  [[nodiscard]] std::size_t backlog_size() const { return backlog_.size(); }
+
+  /// Pop the oldest queued op while there is room under `cap`.
+  std::optional<Queued> dequeue_if_below(std::size_t cap) {
+    if (backlog_.empty() || inflight_.size() >= cap) return std::nullopt;
+    Queued q = std::move(backlog_.front());
+    backlog_.pop_front();
+    return q;
+  }
+
+  // --- Inflight tracking ---------------------------------------------------
+
+  /// Track a freshly posted op. Schedules the deadline (if the policy has
+  /// one) before the entry is appended, mirroring the post paths.
+  template <typename DeadlineFn>
+  void track(std::uint64_t key, Payload payload, DeadlineFn&& on_deadline) {
+    Entry e;
+    e.key = key;
+    e.payload = std::move(payload);
+    if (policy_.timeout > 0) {
+      e.deadline = sim_->schedule(deadline_delay(0),
+                                  std::forward<DeadlineFn>(on_deadline));
+    }
+    inflight_.push_back(std::move(e));
+    counters_.outstanding_hwm =
+        std::max<std::uint64_t>(counters_.outstanding_hwm, inflight_.size());
+  }
+
+  /// FIFO-match an ack (32-bit immediate) against the oldest inflight op.
+  /// An empty table means the op was already drained by a failure — ignore.
+  /// A key mismatch means the ack belongs to an op already failed on its
+  /// deadline (the channel healed and delivered late); drop it rather than
+  /// mis-crediting the front op.
+  std::optional<Entry> complete_front(std::uint32_t imm) {
+    if (inflight_.empty()) return std::nullopt;
+    if (static_cast<std::uint32_t>(inflight_.front().key) != imm) {
+      ++counters_.drops;
+      return std::nullopt;
+    }
+    Entry e = std::move(inflight_.front());
+    inflight_.pop_front();
+    if (policy_.timeout > 0) sim_->cancel(e.deadline);
+    ++counters_.completed;
+    return e;
+  }
+
+  /// An op's deadline fired. While `channel_healthy` (the NIC retransmit
+  /// machinery underneath is still working the fault) and budget remains,
+  /// extend the deadline instead of failing the whole channel.
+  template <typename DeadlineFn>
+  DeadlineOutcome on_deadline(std::uint64_t key, bool channel_healthy,
+                              DeadlineFn&& reschedule) {
+    auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                           [&](const Entry& e) { return e.key == key; });
+    if (it == inflight_.end()) return DeadlineOutcome::kGone;
+    if (it->extensions >= policy_.retry_limit || !channel_healthy) {
+      return DeadlineOutcome::kExpired;
+    }
+    ++it->extensions;
+    ++counters_.retries;
+    it->deadline = sim_->schedule(deadline_delay(it->extensions),
+                                  std::forward<DeadlineFn>(reschedule));
+    return DeadlineOutcome::kExtended;
+  }
+
+  /// Take everything — inflight and backlog — cancelling every deadline.
+  /// The caller fans the failure out to the payloads' callbacks.
+  struct Drained {
+    std::deque<Entry> inflight;
+    std::deque<Queued> backlog;
+  };
+  Drained drain() {
+    Drained d;
+    d.inflight.swap(inflight_);
+    d.backlog.swap(backlog_);
+    for (auto& e : d.inflight) {
+      if (policy_.timeout > 0) sim_->cancel(e.deadline);
+      ++counters_.failed;
+    }
+    counters_.failed += d.backlog.size();
+    return d;
+  }
+
+  [[nodiscard]] const OpCounters& counters() const { return counters_; }
+  /// Record a drop observed outside the FIFO match (e.g. an errored ack
+  /// completion flushed on QP teardown).
+  void note_drop() { ++counters_.drops; }
+
+ private:
+  /// Deadline for extension number `ext`. With the default policy this is
+  /// exactly `policy_.timeout` and draws no random numbers.
+  Duration deadline_delay(std::uint32_t ext) {
+    double d = static_cast<double>(policy_.timeout);
+    if (policy_.backoff_factor != 1.0 && ext > 0) {
+      for (std::uint32_t i = 0; i < ext; ++i) d *= policy_.backoff_factor;
+      ++counters_.backoff_events;
+    }
+    if (policy_.jitter > 0.0) {
+      d *= 1.0 + policy_.jitter * (2.0 * rng_.next_double() - 1.0);
+    }
+    return static_cast<Duration>(d);
+  }
+
+  sim::Simulator* sim_ = nullptr;
+  RetryPolicy policy_;
+  Rng rng_{0};
+  std::deque<Entry> inflight_;
+  std::deque<Queued> backlog_;
+  OpCounters counters_;
+};
+
+}  // namespace hyperloop::core::transport

@@ -1,0 +1,75 @@
+// Logical-slot ring accounting shared by every group datapath.
+//
+// All three datapaths (HyperLoop chain, fan-out, naive) manage pre-posted
+// resources the same way: a logical slot index grows without bound, the ring
+// position is the index modulo the ring size, and replenishment is driven by
+// two monotonic counters — slots ever posted and receive completions ever
+// consumed. A slot may be (re)posted only while `posted < consumed + size`,
+// which keeps reuse of ring position k strictly behind the completion of the
+// operation that last occupied it.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperloop::core::transport {
+
+class SlotRing {
+ public:
+  SlotRing() = default;
+  explicit SlotRing(std::uint32_t size) : size_(size) {}
+
+  void reset(std::uint32_t size) {
+    size_ = size;
+    next_ = posted_ = consumed_ = 0;
+    replenish_scheduled_ = false;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+
+  /// Ring position of a logical slot index.
+  [[nodiscard]] std::uint64_t position(std::uint64_t logical) const {
+    return logical % size_;
+  }
+
+  // --- Producer side (client): logical op counter --------------------------
+
+  /// Claim the next logical slot.
+  std::uint64_t acquire() { return next_++; }
+
+  // --- Consumer side (replica engines): replenish accounting ---------------
+
+  [[nodiscard]] std::uint64_t posted() const { return posted_; }
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+  void note_posted() { ++posted_; }
+  void note_consumed() { ++consumed_; }
+
+  /// True while the ring has unposted capacity: every consumed completion
+  /// opens exactly one repost.
+  [[nodiscard]] bool has_capacity() const {
+    return posted_ < consumed_ + size_;
+  }
+
+  /// One replenishment pass at a time; the flag is owned by the ring so the
+  /// interrupt handler, the periodic sweep, and the deferred re-kick all
+  /// coordinate through the same place.
+  [[nodiscard]] bool replenish_scheduled() const {
+    return replenish_scheduled_;
+  }
+  /// Try to claim the replenish slot; false if a pass is already queued.
+  bool claim_replenish() {
+    if (replenish_scheduled_) return false;
+    replenish_scheduled_ = true;
+    return true;
+  }
+  void finish_replenish() { replenish_scheduled_ = false; }
+
+ private:
+  std::uint32_t size_ = 0;
+  std::uint64_t next_ = 0;      // client-side logical op counter
+  std::uint64_t posted_ = 0;    // slots ever posted
+  std::uint64_t consumed_ = 0;  // recv completions drained
+  bool replenish_scheduled_ = false;
+};
+
+}  // namespace hyperloop::core::transport

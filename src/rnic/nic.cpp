@@ -754,6 +754,21 @@ void Nic::handle_response(const Message& msg) {
     return;
   }
 
+  if (msg.type == MsgType::kNak &&
+      (msg.status == StatusCode::kPermissionDenied ||
+       msg.status == StatusCode::kOutOfRange)) {
+    // Remote access/protection NAK: never retryable. The offending WQE
+    // completes with the responder's code and the QP transitions to error,
+    // flushing everything behind it (InfiniBand remote-access-error
+    // semantics). Clients observe the original code on their send CQ rather
+    // than a later generic timeout.
+    sim_.cancel(it->timeout_event);
+    it->done = true;
+    it->response = msg;
+    fail_qp(*qp, msg.status, "remote access error");
+    return;
+  }
+
   sim_.cancel(it->timeout_event);
   it->done = true;
   it->response = msg;

@@ -240,6 +240,9 @@ class Nic {
                        std::uint32_t ring_slots, mem::TenantToken tenant);
   [[nodiscard]] QueuePair* qp(QpId id);
 
+  /// QPs created on this NIC so far (the multi-tenant quota currency).
+  [[nodiscard]] std::size_t num_qps() const { return qps_.size(); }
+
   /// Connect a local QP to a remote one (RC). Call on both sides. A QP may
   /// connect to a QP on the same NIC (loopback) — used for the local DMA of
   /// gMEMCPY/gCAS.

@@ -403,6 +403,75 @@ TEST(Chaos, PartitionFlapReconverges) { sweep(Policy::kPartition, 4); }
 TEST(Chaos, PowerFailKeepsFlushedWrites) { sweep(Policy::kPowerFail, 5); }
 TEST(Chaos, CombinedPolicyPreservesInvariants) { sweep(Policy::kCombined, 6); }
 
+TEST(Chaos, TransportCountersSeeDropsAndRetries) {
+  // A deterministic fault window drives the substrate's counters: the tail
+  // is isolated past the op deadline (extensions, then failure), then heals
+  // so the stale ack limps in while a later op is inflight (a drop).
+  Cluster cluster;
+  const NodeConfig cfg = chaos_node_config();
+  cluster.add_node(cfg);
+  for (std::size_t i = 0; i < 2; ++i) cluster.add_node(cfg);
+
+  rnic::FaultInjector inj(7);
+  cluster.network().set_fault_injector(&inj);
+
+  core::GroupParams gp;
+  gp.slots = 16;
+  gp.max_outstanding = 4;
+  gp.op_timeout = 1'000'000;  // 1ms per deadline extension
+  gp.op_retry_limit = 2;
+  core::HyperLoopGroup group(cluster, 0, {1, 2}, kRegion, gp);
+  core::GroupInterface& g = group.client();
+  cluster.sim().run_until(cluster.sim().now() + 1_ms);
+
+  auto run_for = [&](Duration d) {
+    cluster.sim().run_until(cluster.sim().now() + d);
+  };
+
+  // Isolate the tail for 5ms — past the 1ms + 2 extensions budget, inside
+  // the NIC's retransmit patience, so the channel QPs stay connected.
+  inj.isolate_node(2, cluster.sim().now() + 5'000'000);
+
+  std::uint64_t v = 1;
+  g.region_write(0, &v, 8);
+  Status first;
+  bool first_done = false;
+  g.gwrite(0, 8, false, [&](Status s, const auto&) {
+    first = s;
+    first_done = true;
+  });
+  run_for(4_ms);  // deadline + both extensions expire inside the window
+  ASSERT_TRUE(first_done);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable) << first;
+
+  // Closed-loop pinger: keep exactly one op inflight so whenever the healed
+  // chain's late acks for the failed slot limp in, an op is at the table's
+  // front to mismatch against (a counted drop) — and once the chain catches
+  // up, the pinger's op completes.
+  bool stop = false;
+  std::function<void()> ping = [&] {
+    g.gwrite(0, 8, false, [&](Status, const auto&) {
+      if (!stop) ping();
+    });
+  };
+  ping();
+  const Time deadline = cluster.sim().now() + 100_ms;
+  while (cluster.sim().now() < deadline) {
+    const core::GroupStats st = g.stats();
+    if (st.ops_completed >= 1 && st.drops_seen >= 1) break;
+    run_for(1_ms);
+  }
+  stop = true;
+  run_for(5_ms);  // let the last inflight op resolve
+
+  const core::GroupStats stats = g.stats();
+  EXPECT_GE(stats.retries, 2u);       // both extensions granted
+  EXPECT_GE(stats.ops_failed, 1u);    // the op failed after the budget
+  EXPECT_GE(stats.drops_seen, 1u);    // its late ack was discarded
+  EXPECT_GE(stats.ops_completed, 1u); // a post-heal op completed
+  EXPECT_GE(stats.outstanding_hwm, 1u);
+}
+
 TEST(Chaos, SameSeedReplaysBitForBit) {
   const std::uint64_t seed = g_seed_override.value_or(0xD1CE);
   RunResult a, b;

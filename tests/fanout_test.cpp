@@ -20,12 +20,14 @@ class FanoutTest : public ::testing::Test {
  protected:
   static constexpr std::uint64_t kRegion = 1 << 20;
 
-  void build(std::size_t members) {  // primary + (members-1) backups
+  void build(std::size_t members, GroupParams params = {}) {
+    // primary + (members-1) backups
     cluster_ = std::make_unique<Cluster>();
     for (std::size_t i = 0; i <= members; ++i) cluster_->add_node();
     std::vector<std::size_t> nodes;
     for (std::size_t i = 1; i <= members; ++i) nodes.push_back(i);
-    group_ = std::make_unique<FanoutGroup>(*cluster_, 0, nodes, kRegion);
+    group_ = std::make_unique<FanoutGroup>(*cluster_, 0, nodes, kRegion,
+                                           params);
     cluster_->sim().run_until(cluster_->sim().now() + 1_ms);
   }
 
@@ -225,6 +227,48 @@ TEST_F(FanoutTest, BackupsAreCompletelyPassive) {
   // Backup NICs executed no send WQEs at all: they are one-sided targets.
   EXPECT_EQ(cluster_->node(2).nic().wqes_executed(), 0u);
   EXPECT_EQ(cluster_->node(3).nic().wqes_executed(), 0u);
+}
+
+TEST_F(FanoutTest, GWriteWrongTenantAtPrimarySurfacesPermissionDenied) {
+  // The primary's region belongs to another tenant: the client's head WRITE
+  // is denied and the op callback gets kPermissionDenied, not an assert.
+  GroupParams params;
+  params.member_region_tenants = {params.tenant + 1};
+  build(2, params);
+  std::uint64_t v = 7;
+  group_->region_write(0, &v, 8);
+  bool done = false;
+  Status status;
+  group_->gwrite(0, 8, false, [&](Status s, const auto&) {
+    status = s;
+    done = true;
+  });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied) << status;
+}
+
+TEST_F(FanoutTest, GCasWrongTenantAtBackupKillsChannelWithPermissionDenied) {
+  // The backup denies the fanned-out CAS. The primary observes the
+  // protection error on its fan QP while replenishing and fails the client
+  // channel with the original code.
+  GroupParams params;
+  params.member_region_tenants = {params.tenant, params.tenant + 1};
+  build(2, params);
+  bool first_done = false;
+  group_->gcas(64, 0, 1, kAllReplicas, false,
+               [&](Status, const auto&) { first_done = true; });
+  // Let the primary's sweep observe the error and fail the channel.
+  cluster_->sim().run_until(cluster_->sim().now() + 20_ms);
+  EXPECT_TRUE(first_done);
+
+  bool done = false;
+  Status status;
+  group_->gcas(64, 1, 2, kAllReplicas, false, [&](Status s, const auto&) {
+    status = s;
+    done = true;
+  });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied) << status;
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// Cross-datapath conformance: one parameterized suite runs the same
+// GroupInterface contract against all three implementations (HyperLoop
+// chain, fan-out star, naive CPU-driven baseline), so semantics cannot
+// drift per-implementation as the shared transport substrate evolves.
+//
+// Covered: local region read/write, gwrite/gcas/gflush semantics, result
+// maps, durability-after-flush under NIC power failure, and slot-ring
+// wraparound (>= 3 full cycles on small rings).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/fanout_group.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/naive_group.hpp"
+
+namespace hyperloop::core {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+enum class Dp { kChain, kFanout, kNaive };
+
+std::string dp_name(const ::testing::TestParamInfo<Dp>& info) {
+  switch (info.param) {
+    case Dp::kChain: return "HyperLoop";
+    case Dp::kFanout: return "Fanout";
+    case Dp::kNaive: return "Naive";
+  }
+  return "?";
+}
+
+class ConformanceTest : public ::testing::TestWithParam<Dp> {
+ protected:
+  static constexpr std::uint64_t kRegion = 1 << 20;
+  static constexpr std::uint32_t kSlots = 8;  // small ring: wraps fast
+  static constexpr std::size_t kReplicas = 2;
+
+  void build() {
+    cluster_ = std::make_unique<Cluster>();
+    for (std::size_t i = 0; i <= kReplicas; ++i) cluster_->add_node();
+    std::vector<std::size_t> members;
+    for (std::size_t i = 1; i <= kReplicas; ++i) members.push_back(i);
+    switch (GetParam()) {
+      case Dp::kChain: {
+        GroupParams p;
+        p.slots = kSlots;
+        p.max_outstanding = kSlots / 2;
+        hl_ = std::make_unique<HyperLoopGroup>(*cluster_, 0, members, kRegion,
+                                               p);
+        group_ = &hl_->client();
+        break;
+      }
+      case Dp::kFanout: {
+        GroupParams p;
+        p.slots = kSlots;
+        p.max_outstanding = kSlots / 2;
+        fan_ = std::make_unique<FanoutGroup>(*cluster_, 0, members, kRegion,
+                                             p);
+        group_ = fan_.get();
+        break;
+      }
+      case Dp::kNaive: {
+        NaiveParams p;
+        p.slots = kSlots;
+        p.max_outstanding = kSlots / 2;
+        p.pin_thread = false;
+        naive_ = std::make_unique<NaiveGroup>(*cluster_, 0, members, kRegion,
+                                              p);
+        group_ = naive_.get();
+        break;
+      }
+    }
+    cluster_->sim().run_until(cluster_->sim().now() + 1_ms);
+  }
+
+  bool run_until(const std::function<bool()>& pred, Duration budget = 500_ms) {
+    const Time deadline = cluster_->sim().now() + budget;
+    while (!pred() && cluster_->sim().now() < deadline) {
+      cluster_->sim().run_until(cluster_->sim().now() + 5_us);
+    }
+    return pred();
+  }
+
+  /// Issue a flushed gwrite of `data` at `offset` and wait for the ack.
+  void gwrite_blocking(std::uint64_t offset, const std::string& data,
+                       bool flush = true) {
+    group_->region_write(offset, data.data(), data.size());
+    bool done = false;
+    group_->gwrite(offset, static_cast<std::uint32_t>(data.size()), flush,
+                   [&](Status s, const auto&) {
+                     ASSERT_TRUE(s.is_ok()) << s;
+                     done = true;
+                   });
+    ASSERT_TRUE(run_until([&] { return done; }));
+  }
+
+  void power_fail_replicas() {
+    for (std::size_t n = 1; n <= kReplicas; ++n) {
+      cluster_->node(n).nic().power_fail();
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<HyperLoopGroup> hl_;
+  std::unique_ptr<FanoutGroup> fan_;
+  std::unique_ptr<NaiveGroup> naive_;
+  GroupInterface* group_ = nullptr;
+};
+
+TEST_P(ConformanceTest, RegionReadWriteRoundTrip) {
+  build();
+  EXPECT_EQ(group_->num_replicas(), kReplicas);
+  EXPECT_EQ(group_->region_size(), kRegion);
+  const std::string data = "local staging bytes";
+  group_->region_write(4096, data.data(), data.size());
+  std::string got(data.size(), '\0');
+  group_->region_read(4096, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST_P(ConformanceTest, GWriteReplicatesToEveryMember) {
+  build();
+  const std::string data = "conformance gwrite";
+  group_->region_write(256, data.data(), data.size());
+  bool done = false;
+  std::size_t results = 0;
+  group_->gwrite(256, static_cast<std::uint32_t>(data.size()), /*flush=*/true,
+                 [&](Status s, const auto& r) {
+                   ASSERT_TRUE(s.is_ok()) << s;
+                   results = r.size();
+                   done = true;
+                 });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  EXPECT_EQ(results, kReplicas);
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 256, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_P(ConformanceTest, GCasSwapsAndReportsPriorValues) {
+  build();
+  std::uint64_t seed = 41;
+  group_->region_write(64, &seed, 8);
+  gwrite_blocking(64, std::string(reinterpret_cast<char*>(&seed), 8));
+
+  bool done = false;
+  std::vector<std::uint64_t> results;
+  group_->gcas(64, 41, 99, kAllReplicas, false, [&](Status s, const auto& r) {
+    ASSERT_TRUE(s.is_ok()) << s;
+    results = r;
+    done = true;
+  });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  ASSERT_EQ(results.size(), kReplicas);
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    EXPECT_EQ(results[m], 41u) << "member " << m;
+    std::uint64_t got = 0;
+    group_->replica_read(m, 64, &got, 8);
+    EXPECT_EQ(got, 99u) << "member " << m;
+  }
+
+  // Mismatched expectation: values stay, the observed (non-matching) value
+  // comes back in the result map.
+  done = false;
+  group_->gcas(64, 7, 123, kAllReplicas, false, [&](Status s, const auto& r) {
+    ASSERT_TRUE(s.is_ok()) << s;
+    results = r;
+    done = true;
+  });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    EXPECT_EQ(results[m], 99u) << "member " << m;
+    std::uint64_t got = 0;
+    group_->replica_read(m, 64, &got, 8);
+    EXPECT_EQ(got, 99u) << "member " << m;
+  }
+}
+
+TEST_P(ConformanceTest, GFlushMakesPriorUnflushedWritesDurable) {
+  build();
+  const std::string data = "flush barrier payload";
+  group_->region_write(0, data.data(), data.size());
+  bool wrote = false;
+  group_->gwrite(0, static_cast<std::uint32_t>(data.size()), /*flush=*/false,
+                 [&](Status s, const auto&) {
+                   ASSERT_TRUE(s.is_ok()) << s;
+                   wrote = true;
+                 });
+  ASSERT_TRUE(run_until([&] { return wrote; }));
+
+  bool flushed = false;
+  group_->gflush([&](Status s, const auto&) {
+    ASSERT_TRUE(s.is_ok()) << s;
+    flushed = true;
+    power_fail_replicas();  // inside the callback: nothing races the check
+  });
+  ASSERT_TRUE(run_until([&] { return flushed; }));
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 0, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_P(ConformanceTest, FlushedGWriteSurvivesPowerFailure) {
+  build();
+  const std::string data = "durable on ack";
+  group_->region_write(512, data.data(), data.size());
+  bool done = false;
+  group_->gwrite(512, static_cast<std::uint32_t>(data.size()), /*flush=*/true,
+                 [&](Status s, const auto&) {
+                   ASSERT_TRUE(s.is_ok()) << s;
+                   done = true;
+                   power_fail_replicas();
+                 });
+  ASSERT_TRUE(run_until([&] { return done; }));
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    std::string got(data.size(), '\0');
+    group_->replica_read(m, 512, got.data(), got.size());
+    EXPECT_EQ(got, data) << "member " << m;
+  }
+}
+
+TEST_P(ConformanceTest, SlotRingsWrapAtLeastThreeCycles) {
+  build();
+  // Sequential closed loop over > 3 ring generations on the gWRITE channel.
+  const int kOps = static_cast<int>(3 * kSlots) + 2;
+  int completed = 0;
+  bool done = false;
+  std::function<void(int)> next = [&](int i) {
+    if (i == kOps) {
+      done = true;
+      return;
+    }
+    const std::uint64_t off = (static_cast<std::uint64_t>(i) % kSlots) * 64;
+    std::uint64_t v = 0xC0FFEE00u + static_cast<std::uint64_t>(i);
+    group_->region_write(off, &v, 8);
+    group_->gwrite(off, 8, /*flush=*/true, [&, i](Status s, const auto&) {
+      ASSERT_TRUE(s.is_ok()) << "op " << i;
+      ++completed;
+      next(i + 1);
+    });
+  };
+  next(0);
+  ASSERT_TRUE(run_until([&] { return done; }, 4'000_ms));
+  EXPECT_EQ(completed, kOps);
+  for (std::uint32_t slot = 0; slot < kSlots; ++slot) {
+    std::uint64_t expect = 0;
+    group_->region_read(slot * 64, &expect, 8);
+    for (std::size_t m = 0; m < kReplicas; ++m) {
+      std::uint64_t got = 0;
+      group_->replica_read(m, slot * 64, &got, 8);
+      EXPECT_EQ(got, expect) << "slot " << slot << " member " << m;
+    }
+  }
+
+  // And > 3 generations on the gCAS channel: a CAS-driven counter must land
+  // exactly on the attempt count (each attempt observes its expectation).
+  const std::uint64_t kCasOps = 3 * kSlots + 2;
+  std::uint64_t zero = 0;
+  group_->region_write(8192, &zero, 8);
+  gwrite_blocking(8192, std::string(8, '\0'));
+  done = false;
+  std::function<void(std::uint64_t)> bump = [&](std::uint64_t i) {
+    if (i == kCasOps) {
+      done = true;
+      return;
+    }
+    group_->gcas(8192, i, i + 1, kAllReplicas, false,
+                 [&, i](Status s, const auto& r) {
+                   ASSERT_TRUE(s.is_ok()) << "cas " << i;
+                   for (std::size_t m = 0; m < kReplicas; ++m) {
+                     ASSERT_EQ(r[m], i) << "cas " << i << " member " << m;
+                   }
+                   bump(i + 1);
+                 });
+  };
+  bump(0);
+  ASSERT_TRUE(run_until([&] { return done; }, 4'000_ms));
+  for (std::size_t m = 0; m < kReplicas; ++m) {
+    std::uint64_t got = 0;
+    group_->replica_read(m, 8192, &got, 8);
+    EXPECT_EQ(got, kCasOps) << "member " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatapaths, ConformanceTest,
+                         ::testing::Values(Dp::kChain, Dp::kFanout,
+                                           Dp::kNaive),
+                         dp_name);
+
+}  // namespace
+}  // namespace hyperloop::core

@@ -523,5 +523,53 @@ TEST_F(GroupTest, OpsFailCleanlyWhenChainIsDown) {
   EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status;
 }
 
+TEST_F(GroupTest, GWriteWrongTenantAtHeadSurfacesPermissionDenied) {
+  // The head's region belongs to another tenant: the client's own head
+  // WRITE is denied, and the denial must reach the op callback as
+  // kPermissionDenied — not crash an assert, not decay into a timeout.
+  GroupParams params;
+  params.member_region_tenants = {params.tenant + 1};
+  build(2, params);
+  auto& client = group_->client();
+
+  std::uint64_t v = 42;
+  client.region_write(0, &v, 8);
+  bool done = false;
+  Status status;
+  client.gwrite(0, 8, false, [&](Status s, const auto&) {
+    status = s;
+    done = true;
+  });
+  ASSERT_TRUE(run_until_done(done));
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied) << status;
+}
+
+TEST_F(GroupTest, GCasWrongTenantDownstreamKillsChannelWithPermissionDenied) {
+  // The *tail's* region belongs to another tenant. The denial happens on
+  // the tail's loopback CAS — far from the client — and must still travel
+  // back: the tail engine spots the protection error while replenishing and
+  // marks the client channel dead with the original code.
+  GroupParams params;
+  params.member_region_tenants = {params.tenant, params.tenant + 1};
+  build(2, params);
+  auto& client = group_->client();
+
+  bool first_done = false;
+  client.gcas(64, 0, 1, kAllReplicas, false,
+              [&](Status, const auto&) { first_done = true; });
+  // Let the tail's sweep observe the error and fail the channel.
+  cluster_->sim().run_until(cluster_->sim().now() + 20_ms);
+  EXPECT_TRUE(first_done);
+
+  bool done = false;
+  Status status;
+  client.gcas(64, 1, 2, kAllReplicas, false, [&](Status s, const auto&) {
+    status = s;
+    done = true;
+  });
+  ASSERT_TRUE(run_until_done(done));
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied) << status;
+}
+
 }  // namespace
 }  // namespace hyperloop::core

@@ -291,6 +291,56 @@ TEST_F(RnicTest, TenantTokenMismatchIsDenied) {
   EXPECT_EQ(wc->status, StatusCode::kPermissionDenied);
 }
 
+TEST_F(RnicTest, TenantMismatchCasDeniedAndQpErrors) {
+  // An atomic against a region owned by another tenant must NAK with
+  // kPermissionDenied and kill the QP: remote access errors are not
+  // retryable, so the stream behind the offender flushes too.
+  auto [ea, eb] = make_pair(mem::kRemoteAtomic | mem::kLocalRead |
+                                mem::kLocalWrite,
+                            /*tenant_b=*/kTenant + 1);
+  SendWr wr;
+  wr.opcode = Opcode::kCompareSwap;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  wr.compare = 0;
+  wr.swap = 1;
+  ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+  auto wc = await(*ea.send_cq);
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, StatusCode::kPermissionDenied);
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError);
+  EXPECT_EQ(b_->nic().protection_errors(), 1u);
+}
+
+TEST_F(RnicTest, AccessNakFlushesQueuedWqesWithSameCode) {
+  // A WQE behind the denied one never executes; it flushes with the access
+  // code so clients see one coherent failure, not a partial stream.
+  auto [ea, eb] = make_pair(mem::kRemoteWrite | mem::kLocalRead,
+                            /*tenant_b=*/kTenant + 1);
+  SendWr bad;
+  bad.opcode = Opcode::kWrite;
+  bad.local_addr = ea.buf_addr;
+  bad.local_len = 8;
+  bad.lkey = ea.mr.lkey;
+  bad.remote_addr = eb.buf_addr;
+  bad.rkey = eb.mr.rkey;  // valid key, wrong tenant
+  ASSERT_TRUE(ea.qp->post_send(bad).is_ok());
+  SendWr queued = bad;
+  queued.wr_id = 7;
+  ASSERT_TRUE(ea.qp->post_send(queued).is_ok());
+
+  auto first = await(*ea.send_cq);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, StatusCode::kPermissionDenied);
+  auto second = await(*ea.send_cq);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, StatusCode::kPermissionDenied);
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError);
+}
+
 TEST_F(RnicTest, OutOfBoundsRemoteAccessDenied) {
   auto [ea, eb] = make_pair();
   SendWr wr;
