@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Validates a BENCH_*.json baseline against the schema its bench contracts
+# to emit (see bench/perf_engine.cpp, bench/perf_datapath.cpp,
+# bench/fig13_isolation.cpp). Dispatches on the "bench" field, so callers
+# just pass a path. Exits non-zero with a message on any violation.
+#
+# Usage: scripts/check_bench_schema.sh FILE.json [FILE.json ...]
+set -euo pipefail
+
+if ! command -v jq >/dev/null; then
+  echo "check_bench_schema: jq not found; skipping validation" >&2
+  exit 0
+fi
+
+fail() {
+  echo "check_bench_schema: $1: $2" >&2
+  exit 1
+}
+
+check() {  # check FILE JQ_PREDICATE DESCRIPTION
+  jq -e "$2" "$1" >/dev/null 2>&1 || fail "$1" "$3"
+}
+
+for file in "$@"; do
+  [[ -f "$file" ]] || fail "$file" "missing file"
+  jq -e . "$file" >/dev/null 2>&1 || fail "$file" "not valid JSON"
+  bench=$(jq -r '.bench // empty' "$file")
+  case "$bench" in
+    perf_engine)
+      check "$file" '.threads_available | numbers' 'missing "threads_available"'
+      check "$file" '.substrate | length > 0' 'empty "substrate" section'
+      check "$file" '[.substrate[] | has("name") and has("events") and
+          has("events_per_sec")] | all' 'malformed "substrate" row'
+      check "$file" '.datapaths | length > 0' 'empty "datapaths" section'
+      check "$file" '[.datapaths[] | has("name") and has("ops") and
+          has("sim_ops_per_sec")] | all' 'malformed "datapaths" row'
+      check "$file" '.parallel | length > 0' 'empty "parallel" section'
+      check "$file" '[.parallel[] | has("shards") and has("events") and
+          has("events_per_sec") and has("windows") and has("merged") and
+          has("speedup_vs_serial")] | all' 'malformed "parallel" row'
+      check "$file" '[.parallel[].shards] | index(1) != null' \
+          'parallel sweep must include the shards=1 reference row'
+      ;;
+    perf_datapath)
+      check "$file" '.batches | length > 0' 'empty "batches" section'
+      check "$file" '[.batches[] | has("batch") and has("ops") and
+          has("sim_ops_per_sec") and has("host_ops_per_sec")] | all' \
+          'malformed "batches" row'
+      check "$file" '.speedup_16_vs_1 | numbers' 'missing "speedup_16_vs_1"'
+      ;;
+    fig13_isolation)
+      check "$file" '.groups | numbers' 'missing "groups"'
+      check "$file" '.rows | length > 0' 'empty "rows" section'
+      check "$file" '[.rows[] | has("load") and has("ops") and
+          has("hl_p99") and has("naive_p99")] | all' 'malformed "rows" row'
+      ;;
+    *)
+      fail "$file" "unknown or missing \"bench\" field: '$bench'"
+      ;;
+  esac
+  echo "check_bench_schema: $file ok ($bench)"
+done

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines at the repo root:
+#   BENCH_engine.json       (perf_engine: substrate + datapath + shard sweep)
+#   BENCH_datapath.json     (perf_datapath: batching ops/sec)
+#   BENCH_multitenant.json  (fig13_isolation: tail latency under tenant load)
+# then validates each against its schema. Numbers are host-dependent —
+# compare shapes and ratios across PRs, not absolute events/sec; the JSONs
+# record threads_available for honest cross-host reads.
+#
+# Usage: scripts/run_benches.sh [--quick]
+#   --quick  reduced sweeps (CI smoke); sets "quick": true in the JSONs.
+#            Committed baselines are generated WITHOUT --quick.
+# Env: BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+QUICK=()
+if [[ "${1:-}" == "--quick" ]]; then QUICK=(--quick); fi
+
+if [[ ! -f "$BUILD/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target perf_engine perf_datapath fig13_isolation
+
+"$BUILD/bench/perf_engine" "${QUICK[@]}" --out "$ROOT/BENCH_engine.json"
+"$BUILD/bench/perf_datapath" "${QUICK[@]}" --out "$ROOT/BENCH_datapath.json"
+"$BUILD/bench/fig13_isolation" "${QUICK[@]}" \
+  --out "$ROOT/BENCH_multitenant.json"
+
+"$ROOT/scripts/check_bench_schema.sh" \
+  "$ROOT/BENCH_engine.json" \
+  "$ROOT/BENCH_datapath.json" \
+  "$ROOT/BENCH_multitenant.json"

@@ -67,6 +67,10 @@ struct SchedParams {
 
 class CpuScheduler {
  public:
+  /// Shard pinning: the scheduler is a per-node component, so the sharded
+  /// testbed constructs it against its node's shard engine (the `sim` handed
+  /// in by Node). All of its events and callbacks then run on that shard's
+  /// thread; nothing here is, or needs to be, thread-safe.
   CpuScheduler(sim::Simulator& sim, int num_cores, SchedParams params = {});
 
   CpuScheduler(const CpuScheduler&) = delete;

@@ -1,6 +1,13 @@
 // Simulated testbed: nodes (host memory + RNIC + CPU scheduler) on a shared
 // fabric, mirroring the paper's 20-machine cluster of 2x8-core Xeons with
 // ConnectX-3 NICs and battery-backed DRAM.
+//
+// Two testbeds share the Node type:
+//  * Cluster — one serial Simulator owns everything (the original engine).
+//  * ParallelCluster — a ParallelSimulator shards the node set; every
+//    component of a node (memory, NIC, CPU scheduler) is built against its
+//    shard's engine, so the whole node executes on one thread and the fabric
+//    is the only cross-shard channel.
 #pragma once
 
 #include <memory>
@@ -11,6 +18,7 @@
 #include "mem/host_memory.hpp"
 #include "rnic/network.hpp"
 #include "rnic/nic.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace hyperloop {
@@ -34,6 +42,11 @@ class Node {
   [[nodiscard]] mem::HostMemory& memory() { return memory_; }
   [[nodiscard]] rnic::Nic& nic() { return nic_; }
   [[nodiscard]] cpu::CpuScheduler& sched() { return sched_; }
+  /// The engine this node's events run on: the cluster's only Simulator in
+  /// the serial testbed, the owning shard's in the sharded one. Code acting
+  /// on behalf of a node (scheduling its timers, reading its clock) must use
+  /// this, never another node's.
+  [[nodiscard]] sim::Simulator& sim() { return nic_.simulator(); }
 
  private:
   mem::HostMemory memory_;
@@ -58,6 +71,40 @@ class Cluster {
 
  private:
   sim::Simulator sim_;
+  rnic::Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// Sharded testbed. Nodes are pinned to shards at add_node() time (before
+/// any of their events exist); with the default round-robin placement,
+/// adjacent node ids land on different shards, so replication chains built
+/// from consecutive ids cross shards — the stress case for the conservative
+/// window machinery. The engine's lookahead is derived from the fabric's
+/// minimum wire latency (Network::conservative_lookahead).
+class ParallelCluster {
+ public:
+  explicit ParallelCluster(int shards, rnic::LinkParams link = {})
+      : psim_(shards, rnic::Network::conservative_lookahead(link)),
+        network_(psim_, link) {}
+
+  /// `shard` < 0 picks round-robin (id % shards).
+  Node& add_node(const NodeConfig& config = {}, int shard = -1) {
+    const auto id = static_cast<rnic::NicId>(nodes_.size());
+    const int s =
+        shard >= 0 ? shard : static_cast<int>(id % psim_.num_shards());
+    psim_.pin(id, s);
+    nodes_.push_back(
+        std::make_unique<Node>(psim_.shard(s), network_, id, config));
+    return *nodes_.back();
+  }
+
+  [[nodiscard]] sim::ParallelSimulator& engine() { return psim_; }
+  [[nodiscard]] rnic::Network& network() { return network_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  sim::ParallelSimulator psim_;
   rnic::Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

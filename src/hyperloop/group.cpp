@@ -14,7 +14,7 @@ namespace hyperloop::core {
 HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
                                std::vector<std::size_t> replica_nodes,
                                std::uint64_t region_size, GroupParams params)
-    : cluster_(cluster),
+    : cluster_(&cluster),
       params_(params),
       region_size_(region_size),
       client_node_(&cluster.node(client_node)) {
@@ -24,6 +24,26 @@ HyperLoopGroup::HyperLoopGroup(Cluster& cluster, std::size_t client_node,
   for (std::size_t n : replica_nodes) {
     replica_nodes_.push_back(&cluster.node(n));
   }
+  init();
+}
+
+HyperLoopGroup::HyperLoopGroup(ParallelCluster& cluster,
+                               std::size_t client_node,
+                               std::vector<std::size_t> replica_nodes,
+                               std::uint64_t region_size, GroupParams params)
+    : params_(params),
+      region_size_(region_size),
+      client_node_(&cluster.node(client_node)) {
+  HL_CHECK_MSG(!replica_nodes.empty(), "a group needs at least one replica");
+  HL_CHECK_MSG(replica_nodes.size() <= 32,
+               "execute map limits groups to 32 replicas");
+  for (std::size_t n : replica_nodes) {
+    replica_nodes_.push_back(&cluster.node(n));
+  }
+  init();
+}
+
+void HyperLoopGroup::init() {
   const std::size_t R = replica_nodes_.size();
   const std::uint64_t blob = blob_bytes(R);
 
@@ -249,8 +269,8 @@ void ReplicaEngine::periodic_sweep() {
                            alive_.guard([this, &ch] { replenish(ch); }));
     }
   }
-  group_.sim().schedule(group_.params().sweep_interval,
-                        alive_.guard([this] { periodic_sweep(); }));
+  node_.sim().schedule(group_.params().sweep_interval,
+                       alive_.guard([this] { periodic_sweep(); }));
 }
 
 bool ReplicaEngine::post_slot(Channel& ch, std::uint64_t logical_slot,
@@ -498,8 +518,8 @@ void ReplicaEngine::replenish(Channel& ch) {
                          [] {});
   }
   if (ch.ring.has_capacity()) {
-    group_.sim().schedule(20'000,
-                          alive_.guard([this, &ch] { on_recv_event(ch); }));
+    node_.sim().schedule(20'000,
+                         alive_.guard([this, &ch] { on_recv_event(ch); }));
   }
 }
 
@@ -530,7 +550,7 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
     ch.staging_lkey = group_.client_info().staging_lkey[p];
     ch.blob.set_templates(
         build_templates(static_cast<Primitive>(p), /*batched=*/false));
-    ch.table.bind(group_.sim(), {gp.op_timeout, gp.op_retry_limit});
+    ch.table.bind(node_.sim(), {gp.op_timeout, gp.op_retry_limit});
 
     const transport::RegisteredBuffer ack = pool.buffer(
         gp.slots * blob, mem::kRemoteWrite | mem::kLocalRead, gp.tenant);
@@ -567,7 +587,7 @@ void HyperLoopClient::create_batch_qps() {
                       (gp.max_batch + 1) * gp.batch_slots, gp.tenant);
     b->ack = pool.qp(b->send_cq, b->ack_cq, 1, gp.tenant);
     b->ring.reset(gp.batch_slots);
-    b->table.bind(group_.sim(), {gp.op_timeout, gp.op_retry_limit});
+    b->table.bind(node_.sim(), {gp.op_timeout, gp.op_retry_limit});
 
     const transport::RegisteredBuffer staging = pool.buffer(
         gp.batch_slots * bblob, mem::kLocalRead | mem::kLocalWrite,
@@ -748,7 +768,7 @@ void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
     // The channel is permanently down for this tenant (a member denied an
     // op); fail fast with the original code, deferred off the caller's
     // stack like every other failure path.
-    group_.sim().schedule(
+    node_.sim().schedule(
         0, alive_.guard([cb = std::move(cb), st = ch.dead]() mutable {
           if (cb) cb(st, {});
         }));
@@ -762,7 +782,7 @@ void HyperLoopClient::issue(const OpSpec& spec, OpCallback cb) {
       // Auto-batch: hold the op briefly so neighbours can join the batch.
       auto_flush_scheduled_[pi] = true;
       const Primitive prim = spec.prim;
-      group_.sim().schedule(gp.auto_batch_window, alive_.guard([this, prim] {
+      node_.sim().schedule(gp.auto_batch_window, alive_.guard([this, prim] {
         auto_flush_scheduled_[static_cast<std::size_t>(prim)] = false;
         flush_channel(prim);
       }));
@@ -978,7 +998,7 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
     // op was queued). Fail just this op — deferred, to keep the callback
     // outside the caller's stack — and leave the inflight set to its own
     // timeouts.
-    group_.sim().schedule(
+    node_.sim().schedule(
         0, alive_.guard([cb = std::move(cb), posted]() mutable {
           if (cb) cb(posted, {});
         }));
@@ -1055,7 +1075,7 @@ void HyperLoopClient::post_batch_now(
   wrs.push_back(send);
   const Status posted = b.down->post_send_chain(wrs.data(), wrs.size());
   if (!posted.is_ok()) {
-    group_.sim().schedule(
+    node_.sim().schedule(
         0, alive_.guard([cbs = std::move(group), posted]() mutable {
           for (auto& [spec, cb] : cbs) {
             if (cb) cb(posted, {});
@@ -1175,7 +1195,12 @@ void HyperLoopClient::on_batch_timeout(Primitive p, std::uint64_t slot) {
 }
 
 void HyperLoopClient::fail_channel_async(Primitive p, Status status) {
-  group_.sim().schedule(0, alive_.guard([this, p, status] {
+  // Called from a *replica's* replenish pass, so on the sharded testbed this
+  // schedules on the client's engine from another node's shard. That is only
+  // safe serially; the one trigger (a member denying an op's access class)
+  // is a tenant-isolation scenario the serial testbed owns, like the rest of
+  // the fault machinery.
+  node_.sim().schedule(0, alive_.guard([this, p, status] {
     ChannelState& ch = channels_[static_cast<std::size_t>(p)];
     if (ch.dead.is_ok()) ch.dead = status;
     fail_op(p, status);

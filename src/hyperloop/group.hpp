@@ -288,6 +288,16 @@ class HyperLoopGroup {
                  std::vector<std::size_t> replica_nodes,
                  std::uint64_t region_size, GroupParams params = {});
 
+  /// Sharded testbed: the chain's nodes may live on different shards, so
+  /// every member schedules on its own node's engine and all inter-node
+  /// traffic flows through the (shard-routing) fabric. Group construction
+  /// runs on the driver thread between windows. Serial-only features —
+  /// fault injection, GroupManager arbitration, heartbeat/chain recovery —
+  /// are not available on this testbed.
+  HyperLoopGroup(ParallelCluster& cluster, std::size_t client_node,
+                 std::vector<std::size_t> replica_nodes,
+                 std::uint64_t region_size, GroupParams params = {});
+
   [[nodiscard]] HyperLoopClient& client() { return *client_; }
   [[nodiscard]] ReplicaEngine& replica(std::size_t i) { return *replicas_[i]; }
   // Based on the node list, not the engine vector: replica engines call this
@@ -297,12 +307,21 @@ class HyperLoopGroup {
   }
   [[nodiscard]] const GroupParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t region_size() const { return region_size_; }
-  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  /// The serial testbed this group was built on; only meaningful for groups
+  /// constructed from a Cluster (checked).
+  [[nodiscard]] Cluster& cluster() {
+    HL_CHECK_MSG(cluster_ != nullptr, "group was built on a ParallelCluster");
+    return *cluster_;
+  }
   [[nodiscard]] const MemberInfo& member(std::size_t i) const {
     return members_[i];
   }
   [[nodiscard]] const MemberInfo& client_info() const { return client_info_; }
-  [[nodiscard]] sim::Simulator& sim() { return cluster_.sim(); }
+  /// The *client node's* engine. On the serial testbed this is the cluster's
+  /// single Simulator (unchanged behavior); on the sharded testbed it is the
+  /// client's shard, which is the right clock for client-side code. Replica
+  /// code must use its own node's sim() instead.
+  [[nodiscard]] sim::Simulator& sim() { return client_node_->sim(); }
 
   /// Replica staging areas of the batch channels (client blob building).
   struct BatchStaging {
@@ -327,7 +346,10 @@ class HyperLoopGroup {
   /// channel generation (per-op or batched twin).
   void wire_chain(bool batched);
 
-  Cluster& cluster_;
+  /// Shared tail of both constructors: regions, engines, wiring, start.
+  void init();
+
+  Cluster* cluster_ = nullptr;  // null when built on a ParallelCluster
   GroupParams params_;
   std::uint64_t region_size_;
   Node* client_node_;

@@ -7,15 +7,37 @@
 
 namespace hyperloop::rnic {
 
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 Network::Network(sim::Simulator& sim, LinkParams params)
-    : sim_(sim), params_(params) {}
+    : sim_(&sim), params_(params) {}
+
+Network::Network(sim::ParallelSimulator& psim, LinkParams params)
+    : psim_(&psim), params_(params) {
+  HL_CHECK_MSG(psim.lookahead() <= conservative_lookahead(params),
+               "engine lookahead exceeds the fabric's minimum wire latency");
+}
 
 void Network::ensure_capacity(NicId id) {
   if (id >= nics_.size()) {
     nics_.resize(id + 1, nullptr);
     down_.resize(id + 1, 0);
-    tx_port_free_at_.resize(id + 1, 0);
+    state_.resize(id + 1);
   }
+}
+
+sim::Simulator& Network::sim_of(NicId id) {
+  return psim_ != nullptr ? psim_->shard(psim_->shard_of(id)) : *sim_;
 }
 
 void Network::attach(Nic* nic) {
@@ -29,38 +51,51 @@ bool Network::is_down(NicId id) const {
 }
 
 void Network::set_node_down(NicId id, bool down) {
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "set_node_down mid-window races with shard reads");
   ensure_capacity(id);
   down_[id] = down ? 1 : 0;
 }
 
+void Network::set_fault_injector(FaultInjector* injector) {
+  HL_CHECK_MSG(injector == nullptr || psim_ == nullptr,
+               "fault injection consumes one shared RNG stream in execution "
+               "order and is serial-only; run faults on a serial Cluster");
+  fault_ = injector;
+}
+
 void Network::send(Message msg) {
+  NodeState& st = state_[msg.src];
   if (is_down(msg.src) || is_down(msg.dst)) {
-    ++messages_dropped_;  // timeouts notice
+    ++st.dropped;  // timeouts notice
     return;
   }
   HL_CHECK_MSG(msg.dst < nics_.size() && nics_[msg.dst] != nullptr,
                "message to unknown NIC");
   Nic* dst = nics_[msg.dst];
+  sim::Simulator& src_sim = sim_of(msg.src);
 
   FaultInjector::Verdict fault;
   if (fault_ != nullptr) {
-    fault = fault_->decide(msg, sim_.now());
+    fault = fault_->decide(msg, src_sim.now());
     if (fault.drop) {
-      ++messages_dropped_;
+      ++st.dropped;
       return;
     }
     msg.corrupted = fault.corrupt;
   }
 
   const std::uint64_t wire_bytes = params_.header_bytes + msg.payload.size();
-  ++messages_sent_;
-  bytes_sent_ += wire_bytes;
+  ++st.sent;
+  st.bytes += wire_bytes;
+  const std::uint64_t net_seq = st.msg_seq++;
 
   Time arrival;
-  if (msg.src == msg.dst) {
+  const bool loopback = msg.src == msg.dst;
+  if (loopback) {
     // Loopback QPs never touch the wire; cost is a PCIe round through the
     // NIC at roughly double link rate.
-    arrival = sim_.now() + params_.loopback +
+    arrival = src_sim.now() + params_.loopback +
               static_cast<Duration>(static_cast<double>(wire_bytes) /
                                     (2.0 * params_.bytes_per_ns));
   } else {
@@ -69,33 +104,97 @@ void Network::send(Message msg) {
     // dst), which RC ordering relies on.
     const Duration serialize = static_cast<Duration>(
         static_cast<double>(wire_bytes) / params_.bytes_per_ns);
-    Time depart = std::max(sim_.now(), tx_port_free_at_[msg.src]);
-    tx_port_free_at_[msg.src] = depart + serialize;
+    Time depart = std::max(src_sim.now(), st.tx_free);
+    st.tx_free = depart + serialize;
     arrival = depart + serialize + params_.propagation;
   }
   arrival += fault.extra_delay;
 
+  if (trace_) {
+    std::uint64_t h = st.trace_hash;
+    h = fnv1a(h, arrival);
+    h = fnv1a(h, (static_cast<std::uint64_t>(msg.src) << 32) | msg.dst);
+    h = fnv1a(h, net_seq);
+    h = fnv1a(h, (static_cast<std::uint64_t>(msg.type) << 32) | msg.len);
+    st.trace_hash = h;
+    ++st.trace_count;
+  }
+
   if (fault.duplicate) {
     // The duplicate shares the original's TX-port slot (switch-side copy,
     // not a second serialization) and trails it by duplicate_delay.
+    // Fault injection is serial-only, so this always targets sim_.
     Message dup = msg;
-    sim_.schedule_at(arrival + fault.duplicate_delay,
-                     [dst, m = std::move(dup), this]() mutable {
-                       if (is_down(m.dst)) {
-                         ++messages_dropped_;
-                         return;
-                       }
-                       dst->deliver(std::move(m));
-                     });
+    sim_->schedule_at(arrival + fault.duplicate_delay,
+                      [dst, m = std::move(dup), this]() mutable {
+                        if (is_down(m.dst)) {
+                          ++state_[m.dst].dropped;
+                          return;
+                        }
+                        dst->deliver(std::move(m));
+                      });
   }
 
-  sim_.schedule_at(arrival, [dst, m = std::move(msg), this]() mutable {
+  sim::InlineTask task;
+  task.emplace([dst, m = std::move(msg), this]() mutable {
     if (is_down(m.dst)) {
-      ++messages_dropped_;  // went down while in flight
+      ++state_[m.dst].dropped;  // went down while in flight
       return;
     }
     dst->deliver(std::move(m));
   });
+
+  if (psim_ == nullptr || loopback) {
+    // Serial engine, or a message that never leaves its node (and therefore
+    // its shard): schedule directly on the owner.
+    src_sim.schedule_at(arrival, std::move(task));
+    return;
+  }
+  // Inter-node: the one cross-shard channel. Same-shard destinations take
+  // this path too — the canonical (arrival, src, seq) merge at the barrier,
+  // not mailbox-vs-direct happenstance, must order every wire delivery or
+  // runs would differ across shard counts.
+  psim_->post(psim_->shard_of(msg.dst), arrival, msg.src, net_seq,
+              std::move(task));
+}
+
+std::uint64_t Network::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const NodeState& st : state_) n += st.sent;
+  return n;
+}
+
+std::uint64_t Network::bytes_sent() const {
+  std::uint64_t n = 0;
+  for (const NodeState& st : state_) n += st.bytes;
+  return n;
+}
+
+std::uint64_t Network::messages_dropped() const {
+  std::uint64_t n = 0;
+  for (const NodeState& st : state_) n += st.dropped;
+  return n;
+}
+
+std::uint64_t Network::trace_digest() const {
+  // Fold the per-source stream hashes in NicId order. Each stream hash is
+  // order-sensitive within its source (that order is deterministic sender
+  // code); the fold order is fixed by id, so the digest never depends on
+  // which shard ran when.
+  std::uint64_t h = 14695981039346656037ull;
+  for (NicId i = 0; i < state_.size(); ++i) {
+    if (state_[i].trace_count == 0) continue;
+    h = fnv1a(h, i);
+    h = fnv1a(h, state_[i].trace_hash);
+    h = fnv1a(h, state_[i].trace_count);
+  }
+  return h;
+}
+
+std::uint64_t Network::trace_messages() const {
+  std::uint64_t n = 0;
+  for (const NodeState& st : state_) n += st.trace_count;
+  return n;
 }
 
 }  // namespace hyperloop::rnic

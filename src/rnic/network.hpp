@@ -5,11 +5,30 @@
 // bottlenecks a fan-out primary), plus a fixed propagation delay per hop.
 // Delivery between a (src, dst) pair is FIFO — the property RC transport
 // ordering relies on. Nodes can be marked down to exercise failure paths.
+//
+// The fabric runs in one of two modes, fixed at construction:
+//
+//  * Serial: one Simulator owns every node; send() schedules the delivery
+//    directly. This is the original engine, byte-for-byte.
+//  * Sharded: a ParallelSimulator owns the nodes, each pinned to a shard.
+//    The fabric is then the *only* cross-shard channel in the system, and
+//    its minimum wire latency (conservative_lookahead) is what makes
+//    conservative windows safe. Non-loopback deliveries route through
+//    ParallelSimulator::post() keyed by (arrival, src NIC, per-src message
+//    seq) — the canonical order that keeps runs identical at any shard
+//    count. Loopback messages never cross shards and schedule directly.
+//    All mutable per-message state (TX-port horizon, counters, message
+//    seq, trace hash) lives in a per-node cache-line-padded slot touched
+//    only by the owning shard's thread, so send() needs no locks.
+//
+// Fault injection draws from one shared RNG stream whose consumption order
+// is execution-order-dependent, so it is serial-only (enforced).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/status.hpp"
 #include "rnic/payload_buffer.hpp"
@@ -70,6 +89,19 @@ class Network {
  public:
   Network(sim::Simulator& sim, LinkParams params);
 
+  /// Sharded fabric: NICs must be pinned to shards of `psim` (the owning
+  /// ParallelCluster does this) before traffic flows.
+  Network(sim::ParallelSimulator& psim, LinkParams params);
+
+  /// The lookahead this fabric guarantees: the minimum simulated time any
+  /// message spends between leaving one node and touching another. With one
+  /// switch hop it is the propagation delay — serialization and TX-port
+  /// queueing only add to it. This is the window width a ParallelSimulator
+  /// driving this fabric must use (or anything smaller).
+  [[nodiscard]] static Duration conservative_lookahead(const LinkParams& p) {
+    return p.propagation;
+  }
+
   /// Register a NIC; its id must be unique.
   void attach(Nic* nic);
 
@@ -79,41 +111,67 @@ class Network {
   void send(Message msg);
 
   /// Mark a node unreachable (crash / partition) or reachable again.
+  /// Sharded mode: only from the driver thread between runs — flipping
+  /// reachability mid-window would race with in-flight shard reads.
   void set_node_down(NicId id, bool down);
   [[nodiscard]] bool is_down(NicId id) const;
 
   /// Attach (or detach, with nullptr) a fault injector consulted on every
   /// send(). Detached is the default and costs one branch per message.
-  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  /// Serial-only: the injector consumes one shared RNG stream in execution
+  /// order, which has no canonical equivalent across shards (checked).
+  void set_fault_injector(FaultInjector* injector);
   [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
 
   [[nodiscard]] const LinkParams& params() const { return params_; }
 
+  /// Record a digest of all traffic: per source NIC, an order-sensitive hash
+  /// of every (arrival, src, dst, seq, type, len) it sends. Each source's
+  /// stream is produced by deterministic sender code, so the combined digest
+  /// is identical for the same seed at any shard count — and against the
+  /// serial engine. Enable before traffic; read between runs.
+  void enable_trace() { trace_ = true; }
+  [[nodiscard]] std::uint64_t trace_digest() const;
+  [[nodiscard]] std::uint64_t trace_messages() const;
+
   /// Total messages and payload bytes moved (for bench reports).
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Sharded mode: aggregate per-node counters; read between runs.
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
   /// Messages that never reached their destination NIC: sent to/from a down
   /// node, lost in flight when the destination went down, or eaten by fault
   /// injection (drops and partition drops).
-  [[nodiscard]] std::uint64_t messages_dropped() const {
-    return messages_dropped_;
-  }
+  [[nodiscard]] std::uint64_t messages_dropped() const;
 
  private:
-  void ensure_capacity(NicId id);
+  /// All state send() mutates, split per node and padded to a cache line:
+  /// the slot for node n is written only by code running n's events (its
+  /// shard's thread), so concurrent sends from different shards never share
+  /// a line. Serial mode uses the same slots from one thread.
+  struct alignas(64) NodeState {
+    Time tx_free = 0;            // TX-port serialization horizon
+    std::uint64_t msg_seq = 0;   // per-source message counter (merge key)
+    std::uint64_t sent = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t trace_hash = 14695981039346656037ull;  // FNV-1a offset
+    std::uint64_t trace_count = 0;
+  };
 
-  sim::Simulator& sim_;
+  void ensure_capacity(NicId id);
+  [[nodiscard]] sim::Simulator& sim_of(NicId id);
+
+  sim::Simulator* sim_ = nullptr;          // serial mode
+  sim::ParallelSimulator* psim_ = nullptr; // sharded mode
   LinkParams params_;
   // Dense, NicId-indexed: the fabric is on every message's path and node ids
   // are small and contiguous (Cluster hands them out sequentially), so these
   // are flat vectors rather than tree maps.
   std::vector<Nic*> nics_;              // nullptr = id not attached
   std::vector<std::uint8_t> down_;
-  std::vector<Time> tx_port_free_at_;
+  std::vector<NodeState> state_;
   FaultInjector* fault_ = nullptr;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t messages_dropped_ = 0;
+  bool trace_ = false;
 };
 
 }  // namespace hyperloop::rnic

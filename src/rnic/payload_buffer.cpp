@@ -1,5 +1,6 @@
 #include "rnic/payload_buffer.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstdlib>
 #include <new>
@@ -15,15 +16,23 @@ namespace {
 constexpr std::uint64_t kMinBlock = 64;
 constexpr int kNumClasses = 15;  // 64 B .. 1 MiB
 
+// Stats are global (bench reports want process totals) but only advisory, so
+// relaxed increments are enough.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_reuses{0};
+
+// Free lists are per-thread: a shard thread recycles into its own lists and
+// never contends with its peers. Blocks migrate between threads only by
+// being released on a different thread than they were acquired on, which is
+// exactly what the payload's refcount already makes safe. Lists drain back
+// to the system allocator when their thread exits (worker threads die with
+// their ParallelSimulator).
 struct Pool {
-  PayloadBuffer::PoolStats stats;
   void* free_heads[kNumClasses] = {};
+  ~Pool();
 };
 
-Pool& pool() {
-  static Pool p;
-  return p;
-}
+thread_local Pool t_pool;
 
 int class_for(std::uint64_t n) {
   const std::uint64_t rounded = std::bit_ceil(n < kMinBlock ? kMinBlock : n);
@@ -36,36 +45,48 @@ std::uint64_t class_capacity(int cls) { return kMinBlock << cls; }
 }  // namespace
 
 PayloadBuffer::Block* PayloadBuffer::acquire(std::uint64_t n) {
-  Pool& p = pool();
+  Pool& p = t_pool;
   const int cls = class_for(n);
   if (cls >= 0 && p.free_heads[cls] != nullptr) {
     Block* b = static_cast<Block*>(p.free_heads[cls]);
     p.free_heads[cls] = b->next_free;
-    b->refs = 1;
+    b->refs.store(1, std::memory_order_relaxed);
     b->size = n;
-    ++p.stats.reuses;
+    g_reuses.fetch_add(1, std::memory_order_relaxed);
     return b;
   }
   const std::uint64_t capacity = cls >= 0 ? class_capacity(cls) : n;
   void* raw = ::operator new(sizeof(Block) + capacity);
-  Block* b = static_cast<Block*>(raw);
-  b->refs = 1;
+  Block* b = ::new (raw) Block;
+  b->refs.store(1, std::memory_order_relaxed);
   b->size_class = cls;
   b->capacity = capacity;
   b->size = n;
   b->next_free = nullptr;
-  ++p.stats.allocations;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
   return b;
 }
 
 void PayloadBuffer::recycle(Block* b) {
   if (b->size_class < 0) {
+    b->~Block();
     ::operator delete(b);
     return;
   }
-  Pool& p = pool();
+  Pool& p = t_pool;
   b->next_free = static_cast<Block*>(p.free_heads[b->size_class]);
   p.free_heads[b->size_class] = b;
+}
+
+Pool::~Pool() {
+  for (void*& head : free_heads) {
+    while (head != nullptr) {
+      auto* b = static_cast<detail::PayloadBlock*>(head);
+      head = b->next_free;
+      b->~PayloadBlock();
+      ::operator delete(b);
+    }
+  }
 }
 
 void PayloadBuffer::resize(std::uint64_t n) {
@@ -73,7 +94,11 @@ void PayloadBuffer::resize(std::uint64_t n) {
     release();
     return;
   }
-  if (block_ != nullptr && block_->refs == 1 && block_->capacity >= n) {
+  // acquire pairs with the previous owners' releasing fetch_sub: at refs==1
+  // this thread is the sole owner and sees all their writes.
+  if (block_ != nullptr &&
+      block_->refs.load(std::memory_order_acquire) == 1 &&
+      block_->capacity >= n) {
     block_->size = n;
     return;
   }
@@ -81,6 +106,9 @@ void PayloadBuffer::resize(std::uint64_t n) {
   block_ = acquire(n);
 }
 
-PayloadBuffer::PoolStats PayloadBuffer::pool_stats() { return pool().stats; }
+PayloadBuffer::PoolStats PayloadBuffer::pool_stats() {
+  return PoolStats{g_allocations.load(std::memory_order_relaxed),
+                   g_reuses.load(std::memory_order_relaxed)};
+}
 
 }  // namespace hyperloop::rnic

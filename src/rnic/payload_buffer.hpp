@@ -4,20 +4,42 @@
 // which meant one allocation per message hop and a full byte copy every time
 // a Message was copied (responses are stored in the sender's Pending entry,
 // so that happened on every acked op). PayloadBuffer fixes both:
-//  * blocks come from a per-process free list keyed by power-of-two size
+//  * blocks come from a per-thread free list keyed by power-of-two size
 //    class, so steady-state traffic allocates nothing;
-//  * copies share the block via a reference count (the simulation is
-//    single-process and single-threaded, so the count is a plain integer).
+//  * copies share the block via an atomic reference count.
+//
+// Thread model (the sharded engine sends payloads across shard threads): the
+// refcount is the only cross-thread contention point — incremented relaxed,
+// decremented acq_rel so the freeing thread observes every write the other
+// owners made. Free lists are thread_local (a block released on a shard
+// thread parks on that thread's list; no locks on the hot path), and the
+// cheap allocation/reuse statistics are process-global relaxed atomics.
 //
 // resize() is destructive: it guarantees capacity and sets the size but does
 // not preserve contents (every producer fills the buffer immediately after
 // sizing it). A shared buffer is detached, never resized in place.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace hyperloop::rnic {
+
+namespace detail {
+
+/// Pooled block header; payload bytes follow it in the same allocation.
+/// Namespace-scope (not nested in PayloadBuffer) so the thread-local free
+/// lists in the .cpp can walk blocks when a shard thread exits.
+struct PayloadBlock {
+  std::atomic<std::uint32_t> refs;
+  std::int32_t size_class;  // free-list index; -1 = unpooled (exact size)
+  std::uint64_t capacity;
+  std::uint64_t size;
+  PayloadBlock* next_free;
+};
+
+}  // namespace detail
 
 class PayloadBuffer {
  public:
@@ -25,13 +47,19 @@ class PayloadBuffer {
   ~PayloadBuffer() { release(); }
 
   PayloadBuffer(const PayloadBuffer& other) : block_(other.block_) {
-    if (block_ != nullptr) ++block_->refs;
+    // Relaxed: the copier already owns a reference, so the count can't hit
+    // zero concurrently and no ordering is needed to take another.
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   PayloadBuffer& operator=(const PayloadBuffer& other) {
     if (this != &other) {
       release();
       block_ = other.block_;
-      if (block_ != nullptr) ++block_->refs;
+      if (block_ != nullptr) {
+        block_->refs.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return *this;
   }
@@ -71,14 +99,7 @@ class PayloadBuffer {
   static PoolStats pool_stats();
 
  private:
-  struct Block {
-    std::uint32_t refs;
-    std::int32_t size_class;  // free-list index; -1 = unpooled (exact size)
-    std::uint64_t capacity;
-    std::uint64_t size;
-    Block* next_free;
-    // payload bytes follow the header
-  };
+  using Block = detail::PayloadBlock;
 
   static std::byte* block_data(Block* b) {
     return reinterpret_cast<std::byte*>(b + 1);
@@ -87,7 +108,13 @@ class PayloadBuffer {
   static void recycle(Block* b);
 
   void release() {
-    if (block_ != nullptr && --block_->refs == 0) recycle(block_);
+    // acq_rel: the release half orders this owner's payload writes before
+    // the drop; the acquire half makes them (and every other owner's) visible
+    // to whichever thread recycles the block.
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      recycle(block_);
+    }
     block_ = nullptr;
   }
 

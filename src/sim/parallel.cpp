@@ -1,0 +1,226 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+namespace hyperloop::sim {
+
+thread_local int ParallelSimulator::tls_shard_ = -1;
+
+ParallelSimulator::ParallelSimulator(int num_shards, Duration lookahead)
+    : lookahead_(lookahead), gate_(num_shards) {
+  HL_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  HL_CHECK_MSG(lookahead > 0, "conservative lookahead must be positive");
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  boxes_.resize(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(num_shards));
+  // Spinning at a barrier only helps when every shard has a core to spin on;
+  // oversubscribed, a spinner occupies the core its peer needs to arrive.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_limit_ = (hw >= static_cast<unsigned>(num_shards)) ? 4096 : 0;
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  if (!workers_.empty()) {
+    exit_workers_ = true;
+    gate_.arrive_and_wait(spin_limit_);  // release workers into the exit check
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void ParallelSimulator::pin(std::uint32_t entity, int shard) {
+  HL_CHECK_MSG(shard >= 0 && shard < num_shards(), "shard out of range");
+  if (entity >= shard_of_.size()) shard_of_.resize(entity + 1, -1);
+  HL_CHECK_MSG(shard_of_[entity] == -1, "entity already pinned to a shard");
+  shard_of_[entity] = shard;
+}
+
+int ParallelSimulator::shard_of(std::uint32_t entity) const {
+  HL_CHECK_MSG(entity < shard_of_.size() && shard_of_[entity] != -1,
+               "entity was never pinned to a shard");
+  return shard_of_[entity];
+}
+
+void ParallelSimulator::post(int dst_shard, Time when, std::uint32_t src_entity,
+                             std::uint64_t src_seq, InlineTask task) {
+  HL_CHECK_MSG(dst_shard >= 0 && dst_shard < num_shards(),
+               "posting to an unknown shard");
+  if (!in_window_) {
+    // Driver-thread setup/drain code: single-threaded, schedule directly.
+    shards_[static_cast<std::size_t>(dst_shard)]->schedule_at(when,
+                                                              std::move(task));
+    return;
+  }
+  const int src_shard = tls_shard_;
+  HL_CHECK_MSG(src_shard >= 0, "in-window post from a non-shard thread");
+  HL_CHECK_MSG(when >= window_bound_,
+               "cross-shard delivery inside the current window: the declared "
+               "lookahead overstates the real minimum cross-shard latency");
+  box(src_shard, dst_shard)
+      .events.push_back(RemoteEvent{when, src_entity, src_seq,
+                                    std::move(task)});
+}
+
+void ParallelSimulator::post_cancel(int dst_shard, EventId id) {
+  HL_CHECK_MSG(dst_shard >= 0 && dst_shard < num_shards(),
+               "cancelling on an unknown shard");
+  if (!in_window_) {
+    shards_[static_cast<std::size_t>(dst_shard)]->cancel(id);
+    return;
+  }
+  const int src_shard = tls_shard_;
+  HL_CHECK_MSG(src_shard >= 0, "in-window post_cancel from a non-shard thread");
+  box(src_shard, dst_shard).cancels.push_back(id);
+}
+
+Time ParallelSimulator::min_next_event() {
+  Time n = kTimeNever;
+  for (auto& s : shards_) n = std::min(n, s->next_event_time());
+  return n;
+}
+
+void ParallelSimulator::ensure_workers() {
+  if (!workers_.empty() || num_shards() == 1) return;
+  workers_.reserve(static_cast<std::size_t>(num_shards() - 1));
+  for (int s = 1; s < num_shards(); ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+void ParallelSimulator::worker_loop(int shard) {
+  for (;;) {
+    gate_.arrive_and_wait(spin_limit_);  // window start
+    if (exit_workers_) return;
+    tls_shard_ = shard;
+    shards_[static_cast<std::size_t>(shard)]->run_before(window_bound_);
+    tls_shard_ = -1;
+    gate_.arrive_and_wait(spin_limit_);  // window end
+  }
+}
+
+void ParallelSimulator::run_window() {
+  ++windows_;
+  in_window_ = true;
+  if (num_shards() == 1) {
+    tls_shard_ = 0;
+    shards_[0]->run_before(window_bound_);
+    tls_shard_ = -1;
+  } else {
+    ensure_workers();
+    gate_.arrive_and_wait(spin_limit_);  // release workers into the window
+    tls_shard_ = 0;
+    shards_[0]->run_before(window_bound_);
+    tls_shard_ = -1;
+    gate_.arrive_and_wait(spin_limit_);  // wait for every shard to finish
+  }
+  in_window_ = false;
+  merge_mailboxes();
+}
+
+void ParallelSimulator::merge_mailboxes() {
+  const int k = num_shards();
+  for (int dst = 0; dst < k; ++dst) {
+    merge_scratch_.clear();
+    for (int src = 0; src < k; ++src) {
+      Mailbox& b = box(src, dst);
+      for (RemoteEvent& e : b.events) merge_scratch_.push_back(std::move(e));
+      b.events.clear();
+    }
+    if (!merge_scratch_.empty()) {
+      // Canonical delivery order: (when, source entity, per-source seq).
+      // This — not the real-time order in which shards filled their boxes —
+      // assigns the destination engine's tie-breaking sequence numbers, so
+      // the merged queue is identical for any shard count.
+      std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+                [](const RemoteEvent& a, const RemoteEvent& b) {
+                  return std::tie(a.when, a.src, a.seq) <
+                         std::tie(b.when, b.src, b.seq);
+                });
+      Simulator& engine = *shards_[static_cast<std::size_t>(dst)];
+      for (RemoteEvent& e : merge_scratch_) {
+        engine.schedule_at(e.when, std::move(e.task));
+      }
+      merged_ += merge_scratch_.size();
+      merge_scratch_.clear();
+    }
+    // Cancels apply after deliveries; order among them is outcome-neutral
+    // (one id each, double cancel is a no-op), so no sort.
+    for (int src = 0; src < k; ++src) {
+      Mailbox& b = box(src, dst);
+      for (EventId id : b.cancels) {
+        shards_[static_cast<std::size_t>(dst)]->cancel(id);
+      }
+      b.cancels.clear();
+    }
+  }
+}
+
+void ParallelSimulator::run_windows_until(Time deadline, bool bounded) {
+  for (;;) {
+    const Time n = min_next_event();
+    if (n == kTimeNever) break;
+    if (bounded && n > deadline) break;
+    // run_before is strict (<), so a bound of deadline+1 fires events at
+    // exactly the deadline, matching Simulator::run_until semantics.
+    Time bound = n + lookahead_;
+    if (bounded && deadline + 1 < bound) bound = deadline + 1;
+    window_bound_ = bound;
+    run_window();
+  }
+}
+
+void ParallelSimulator::run() {
+  run_windows_until(0, /*bounded=*/false);
+  Time end = committed_;
+  for (auto& s : shards_) end = std::max(end, s->now());
+  for (auto& s : shards_) s->advance_now(end);
+  committed_ = end;
+}
+
+void ParallelSimulator::run_until(Time deadline) {
+  run_windows_until(deadline, /*bounded=*/true);
+  for (auto& s : shards_) s->advance_now(deadline);
+  committed_ = deadline;
+}
+
+std::uint64_t ParallelSimulator::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->events_executed();
+  return n;
+}
+
+std::size_t ParallelSimulator::pending_events() const {
+  // Mailboxes are always empty between windows (merged at the barrier), so
+  // the shard queues are the whole story.
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->pending_events();
+  return n;
+}
+
+void ParallelSimulator::Gate::arrive_and_wait(int spin_limit) {
+  const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last to arrive: reset the count and publish the next phase. The store
+    // happens under the mutex so a cv waiter can never miss the wakeup.
+    std::lock_guard<std::mutex> lk(mu_);
+    arrived_.store(0, std::memory_order_relaxed);
+    phase_.store(phase + 1, std::memory_order_release);
+    cv_.notify_all();
+    return;
+  }
+  for (int i = 0; i < spin_limit; ++i) {
+    if (phase_.load(std::memory_order_acquire) != phase) return;
+    if ((i & 63) == 63) std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return phase_.load(std::memory_order_acquire) != phase;
+  });
+}
+
+}  // namespace hyperloop::sim

@@ -1,0 +1,205 @@
+// Sharded parallel discrete-event engine with conservative lookahead.
+//
+// The serial Simulator caps every figure at one core's events/sec. This
+// engine shards the simulation by *simulated node*: each shard owns a full
+// serial Simulator (event slab + ladder queue) plus a worker thread, and
+// entities (NICs, CPU schedulers, memories) are pinned to a shard at
+// registration time so all of their events execute on one thread.
+//
+// Synchronization is classic conservative lookahead (CMB-style null-message-
+// free windows): if every cross-shard interaction takes at least `lookahead`
+// of simulated time (in this codebase, the fabric's minimum wire latency —
+// see rnic::Network::conservative_lookahead), then all shards can execute
+// the window [N, N + lookahead) independently, where N is the global minimum
+// pending-event time. A cross-shard effect produced inside the window lands
+// at time >= N + lookahead, i.e. in a later window, so no shard can ever
+// receive a message "from its past".
+//
+// Cross-shard sends go through per-(src shard, dst shard) mailboxes: the
+// sending shard appends during its window (single writer, no locks), and at
+// the window barrier each destination's inbox is merged into its event queue
+// in the canonical order (when, src entity, src seq). That order — not the
+// racy real-time order in which shards happened to run — decides all
+// same-timestamp ties between deliveries, which is what makes a run
+// bit-for-bit identical for a fixed seed regardless of shard count or thread
+// scheduling:
+//
+//   * every entity's own event stream is totally ordered by its shard's
+//     (when, seq) — an entity lives wholly on one shard;
+//   * every cross-shard delivery is ordered by (when, src, seq) where `seq`
+//     is a per-source counter stamped by deterministic sender code;
+//   * window boundaries depend only on the global minimum event time, which
+//     is itself shard-count-invariant.
+//
+// Serial fallback: shards=1 runs the same window/mailbox discipline on the
+// calling thread with no worker threads and no barriers — the degenerate
+// case is just the serial engine with deterministic delivery merging, and
+// its event stream is identical to every other shard count.
+//
+// Cross-shard cancellation contract (see also Simulator::cancel): an EventId
+// belongs to the shard that created it. A callback running on another shard
+// must use post_cancel(), which ships the handle through the same mailboxes
+// and applies it at the next window barrier, after that window's deliveries
+// are merged. Consequences, pinned by engine_test:
+//   * if the target event's timestamp is beyond the current window, the
+//     cancel always wins (applied at the barrier before the event can fire);
+//   * if the target fires inside the same window the cancel was posted in,
+//     the cancel arrives too late and is a no-op — lookahead is the horizon
+//     of cross-shard influence for cancels exactly as for messages;
+//   * application order at a barrier is irrelevant to outcomes (each cancel
+//     targets one id; double cancels are no-ops), so no canonical sort is
+//     needed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/inline_task.hpp"
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace hyperloop::sim {
+
+class ParallelSimulator {
+ public:
+  /// `num_shards` serial engines; `lookahead` is the minimum simulated time
+  /// any cross-shard interaction takes (must be > 0). Worker threads are
+  /// spawned lazily on the first multi-shard run.
+  ParallelSimulator(int num_shards, Duration lookahead);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// The serial engine of one shard. Entities pinned to shard `s` schedule
+  /// their events here.
+  [[nodiscard]] Simulator& shard(int s) { return *shards_[s]; }
+
+  /// Pin an entity (a NIC id, in practice) to a shard. Must happen at
+  /// registration time, before any event for the entity is scheduled;
+  /// re-pinning is not allowed.
+  void pin(std::uint32_t entity, int shard);
+  [[nodiscard]] int shard_of(std::uint32_t entity) const;
+
+  /// Shard whose window is executing on the calling thread, or -1 when the
+  /// caller is not inside a window (driver thread between runs).
+  [[nodiscard]] static int current_shard() { return tls_shard_; }
+
+  /// True while a window is executing on the worker threads. Code running
+  /// then is shard code and must not touch other shards' engines directly.
+  [[nodiscard]] bool in_window() const { return in_window_; }
+
+  /// Deliver `task` to `dst_shard` at absolute time `when`, ordered
+  /// canonically by (when, src_entity, src_seq) against every other
+  /// delivery. From inside a window this appends to the current shard's
+  /// mailbox and is merged at the barrier; `when` must then be at or beyond
+  /// the window horizon (checked — a violation means the declared lookahead
+  /// overstates the real minimum latency). Outside a window it schedules
+  /// directly (the caller is the only thread).
+  void post(int dst_shard, Time when, std::uint32_t src_entity,
+            std::uint64_t src_seq, InlineTask task);
+
+  /// Cancel an event created by `dst_shard` from anywhere. Fire-and-forget:
+  /// applied at the next window barrier (see the contract above); success is
+  /// observable only through the event not firing.
+  void post_cancel(int dst_shard, EventId id);
+
+  /// Run windows until every shard's queue and every mailbox drains.
+  void run();
+
+  /// Run windows until nothing remains at or before `deadline`; all shards'
+  /// clocks then sit exactly at `deadline` (events at `deadline` fire, as
+  /// with Simulator::run_until).
+  void run_until(Time deadline);
+
+  /// Global committed time: every cross-shard effect up to here has been
+  /// merged. Equals the last run_until deadline once it returns.
+  [[nodiscard]] Time now() const { return committed_; }
+
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// Synchronization windows executed so far (perf diagnostics: events per
+  /// window is the parallelism grain).
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
+  /// Cross-shard events merged at barriers so far.
+  [[nodiscard]] std::uint64_t messages_merged() const { return merged_; }
+
+ private:
+  struct RemoteEvent {
+    Time when = 0;
+    std::uint32_t src = 0;
+    std::uint64_t seq = 0;
+    InlineTask task;
+  };
+  struct Mailbox {
+    std::vector<RemoteEvent> events;
+    std::vector<EventId> cancels;
+  };
+
+  /// Two-phase window barrier: arrivals counted with atomics, release
+  /// published under a mutex so waiters can fall back from a bounded spin to
+  /// a condition variable (mandatory when shards oversubscribe the host's
+  /// cores — spinning there would stall the very thread being waited on).
+  class Gate {
+   public:
+    explicit Gate(int parties) : parties_(parties) {}
+    void arrive_and_wait(int spin_limit);
+
+   private:
+    const int parties_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+
+  void ensure_workers();
+  void worker_loop(int shard);
+  void run_window();                 // one window across all shards
+  void merge_mailboxes();            // barrier-side: inboxes -> shard queues
+  [[nodiscard]] Time min_next_event();
+  void run_windows_until(Time deadline, bool bounded);
+
+  Mailbox& box(int src, int dst) {
+    return boxes_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(num_shards()) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  static thread_local int tls_shard_;
+
+  const Duration lookahead_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<int> shard_of_;  // entity id -> shard; -1 = unpinned
+  std::vector<Mailbox> boxes_;
+  std::vector<RemoteEvent> merge_scratch_;
+
+  // Window-loop shared state. Written by the coordinator strictly between
+  // barriers, read by workers strictly after them — the Gate's release/
+  // acquire pair is the only synchronization these need.
+  Time window_bound_ = 0;
+  bool exit_workers_ = false;
+  bool in_window_ = false;
+
+  std::vector<std::thread> workers_;  // shards 1..K-1; shard 0 = caller
+  Gate gate_;
+  int spin_limit_ = 0;
+
+  Time committed_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace hyperloop::sim

@@ -193,4 +193,25 @@ void Simulator::run_until(Time deadline) {
   }
 }
 
+void Simulator::run_before(Time bound) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (!top_live()) return;
+    if (sorted_.back().when >= bound) return;
+    step();
+  }
+}
+
+Time Simulator::next_event_time() {
+  if (!top_live()) return kTimeNever;
+  return sorted_.back().when;
+}
+
+void Simulator::advance_now(Time t) {
+  if (t <= now_) return;
+  HL_CHECK_MSG(next_event_time() >= t,
+               "advance_now would jump past a pending event");
+  now_ = t;
+}
+
 }  // namespace hyperloop::sim

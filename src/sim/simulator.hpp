@@ -39,6 +39,10 @@
 
 namespace hyperloop::sim {
 
+/// Sentinel timestamp meaning "no pending event" (returned by
+/// Simulator::next_event_time() on an empty queue).
+inline constexpr Time kTimeNever = ~Time{0};
+
 /// Handle for cancelling a scheduled event. Default-constructed handles are
 /// inert; cancelling an already-fired event is a harmless no-op.
 class EventId {
@@ -90,7 +94,36 @@ class Simulator {
     return EventId(slot, gen);
   }
 
-  /// Cancel a pending event. Returns true if it had not yet fired.
+  /// Schedule an already-built InlineTask at an absolute time. This is the
+  /// path the sharded engine uses to merge mailbox deliveries: the task was
+  /// constructed on the sending shard and relocates into this engine's slab
+  /// without re-wrapping.
+  EventId schedule_at(Time when, InlineTask task) {
+    HL_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+    HL_CHECK_MSG(static_cast<bool>(task), "cannot schedule an empty callback");
+    const std::uint32_t slot = acquire_slot();
+    slab_[slot].fn = std::move(task);
+    const std::uint32_t gen = slab_[slot].gen;
+    enqueue(QueueEntry{when, next_seq_++, slot, gen});
+    ++live_;
+    return EventId(slot, gen);
+  }
+
+  /// Cancel a pending event. Returns true exactly when the cancellation
+  /// retracted a live event: the event had been scheduled on *this* engine,
+  /// had not yet fired, and had not already been cancelled. Returns false —
+  /// as a harmless no-op — for default-constructed handles, events that
+  /// already fired, and double cancels.
+  ///
+  /// Shard contract: an EventId is only meaningful on the engine (shard)
+  /// that issued it, and cancel() may only be called from code executing on
+  /// that shard — i.e. from its own event callbacks, or from the driver
+  /// thread while no window is running. A callback on a *different* shard of
+  /// a ParallelSimulator must route the cancellation through
+  /// ParallelSimulator::post_cancel(), which applies it at the next window
+  /// barrier; calling cancel() here directly from another shard's callback
+  /// is a data race on this engine's slab. See sim/parallel.hpp for the
+  /// deterministic ordering of barrier-applied cancels.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or stop() is called.
@@ -99,6 +132,24 @@ class Simulator {
   /// Run until the queue drains, stop() is called, or simulated time would
   /// pass `deadline`; events at exactly `deadline` still fire.
   void run_until(Time deadline);
+
+  /// Run every event with `when < bound`, strictly. Unlike run_until(), the
+  /// clock is left at the last fired event (not advanced to `bound`), and
+  /// events at exactly `bound` stay queued. This is the window-execution
+  /// primitive of the sharded engine: a shard drains [now, bound) while its
+  /// peers do the same, and `bound` is the conservative-lookahead horizon no
+  /// cross-shard message can land inside.
+  void run_before(Time bound);
+
+  /// Timestamp of the next live event, or kTimeNever when the queue is
+  /// empty. Mutates internal tiers (dead-entry skipping, rung refill) but
+  /// not observable state.
+  [[nodiscard]] Time next_event_time();
+
+  /// Advance the clock to `t` without running anything. Requires that no
+  /// pending event is earlier than `t` (checked). Used at window barriers to
+  /// line every shard up on the same committed time.
+  void advance_now(Time t);
 
   /// Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }

@@ -13,6 +13,7 @@
 #include "cpu/scheduler.hpp"
 #include "hyperloop/cluster.hpp"
 #include "hyperloop/group.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -182,6 +183,73 @@ TEST(EngineDeterminism, IdenticallySeededRunsMatchExactly) {
       << "identically-seeded runs must produce identical latency traces";
   EXPECT_EQ(a.second, b.second)
       << "identically-seeded runs must execute identical event counts";
+}
+
+// --- Cross-shard cancellation contract (see Simulator::cancel() docs) ------
+//
+// An EventId belongs to the shard that issued it; a callback on another
+// shard cancels through ParallelSimulator::post_cancel(), which applies at
+// the next window barrier. Two deterministic outcomes fall out of the
+// conservative-window model, pinned here at several shard counts:
+//  * a target beyond the canceller's window is always retracted (the barrier
+//    runs before any window that could fire it);
+//  * a target inside the canceller's own window always fires (lookahead is
+//    the horizon of cross-shard influence for cancels, exactly as for
+//    messages — the cancel cannot outrun the window already executing).
+
+TEST(EngineCrossShardCancel, CancelBeyondWindowAlwaysWins) {
+  for (const int shards : {1, 2, 8}) {
+    sim::ParallelSimulator psim(shards, /*lookahead=*/1000);
+    const int victim_shard = shards > 1 ? 1 : 0;
+    bool victim_fired = false;
+    // Victim sits several windows out (t=50'000 >> first bound ~1'100).
+    const sim::EventId victim = psim.shard(victim_shard).schedule_at(
+        50'000, [&] { victim_fired = true; });
+    // A different shard's callback retracts it from inside window one.
+    psim.shard(0).schedule_at(100, [&] {
+      EXPECT_EQ(sim::ParallelSimulator::current_shard(), 0);
+      psim.post_cancel(victim_shard, victim);
+    });
+    psim.run_until(100'000);
+    EXPECT_FALSE(victim_fired)
+        << "a cancel posted windows ahead of its target must win (shards="
+        << shards << ")";
+  }
+}
+
+TEST(EngineCrossShardCancel, CancelInsideSameWindowLosesDeterministically) {
+  for (const int shards : {1, 2, 8}) {
+    sim::ParallelSimulator psim(shards, /*lookahead=*/1000);
+    const int victim_shard = shards > 1 ? 1 : 0;
+    bool victim_fired = false;
+    // Victim at t=800 and canceller at t=100 share window [100, 1100): the
+    // barrier-applied cancel arrives after the victim already fired, at any
+    // shard count — the outcome is deterministic, not racy.
+    const sim::EventId victim = psim.shard(victim_shard).schedule_at(
+        800, [&] { victim_fired = true; });
+    psim.shard(0).schedule_at(
+        100, [&] { psim.post_cancel(victim_shard, victim); });
+    psim.run_until(10'000);
+    EXPECT_TRUE(victim_fired)
+        << "a same-window cancel must lose — lookahead bounds cross-shard "
+           "influence (shards="
+        << shards << ")";
+  }
+}
+
+TEST(EngineCrossShardCancel, OwnShardCancelInsideWindowStillImmediate) {
+  // Same-shard cancels keep the serial contract even under the sharded
+  // engine: retraction is immediate, no barrier involved.
+  sim::ParallelSimulator psim(2, /*lookahead=*/1000);
+  bool victim_fired = false;
+  const sim::EventId victim =
+      psim.shard(0).schedule_at(800, [&] { victim_fired = true; });
+  psim.shard(0).schedule_at(100, [&] {
+    EXPECT_TRUE(psim.shard(0).cancel(victim))
+        << "own-shard cancel of a pending event must succeed synchronously";
+  });
+  psim.run_until(10'000);
+  EXPECT_FALSE(victim_fired);
 }
 
 }  // namespace

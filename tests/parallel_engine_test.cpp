@@ -1,0 +1,283 @@
+// Determinism and scaling regression for the sharded engine.
+//
+// The contract under test (DESIGN.md §11): for one seed, a run is bit-for-bit
+// identical at every shard count — the window sequence depends only on the
+// global minimum event time, and every cross-shard delivery is merged in the
+// canonical (arrival, source, per-source seq) order rather than wall-clock
+// arrival order. Two layers exercise it:
+//
+//  * a raw-substrate actor mesh posting directly through
+//    ParallelSimulator::post(), digesting each actor's received stream;
+//  * full HyperLoop groups on a ParallelCluster, compared against the *serial*
+//    Cluster running the identical workload — latencies, event counts, and
+//    the fabric's trace digest all have to match.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- Raw substrate: an actor mesh over post() ------------------------------
+
+struct MeshResult {
+  std::uint64_t digest = kFnvOffset;
+  std::uint64_t events = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t windows = 0;
+};
+
+/// 16 self-ticking actors; every tick sends one message to an LCG-chosen
+/// peer, arriving >= one lookahead later (the fabric contract). Receivers
+/// hash (arrival clock, sender, sender's message seq) in execution order, so
+/// the digest pins the exact delivery interleaving — including ties.
+MeshResult run_actor_mesh(int shards, std::uint64_t seed) {
+  constexpr int kActors = 16;
+  constexpr Duration kLookahead = 1000;
+  constexpr Time kHorizon = 300'000;
+
+  sim::ParallelSimulator psim(shards, kLookahead);
+  struct Actor {
+    std::uint64_t lcg;
+    std::uint64_t send_seq = 0;
+    std::uint64_t recv_hash = kFnvOffset;
+    std::uint64_t recv_count = 0;
+    std::uint64_t ticks = 0;
+  };
+  std::vector<Actor> actors(kActors);
+  for (std::uint32_t a = 0; a < kActors; ++a) {
+    psim.pin(a, static_cast<int>(a) % shards);
+    actors[a].lcg = seed * 0x9e3779b97f4a7c15ull + a + 1;
+  }
+
+  // Self-contained tick closure per actor; lives on the stack frame of this
+  // function, which outlives the run.
+  std::function<void(std::uint32_t)> tick = [&](std::uint32_t a) {
+    Actor& me = actors[a];
+    sim::Simulator& my_sim = psim.shard(psim.shard_of(a));
+    ++me.ticks;
+    me.lcg = me.lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const auto dst = static_cast<std::uint32_t>((me.lcg >> 33) % kActors);
+    me.lcg = me.lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const Time arrival = my_sim.now() + kLookahead + ((me.lcg >> 33) % 300);
+    const std::uint64_t seq = me.send_seq++;
+    psim.post(psim.shard_of(dst), arrival, a, seq,
+              sim::InlineTask([&actors, &psim, dst, a, seq] {
+                Actor& peer = actors[dst];
+                const Time at = psim.shard(psim.shard_of(dst)).now();
+                std::uint64_t h = peer.recv_hash;
+                h = fnv1a(h, at);
+                h = fnv1a(h, (static_cast<std::uint64_t>(a) << 32) | dst);
+                h = fnv1a(h, seq);
+                peer.recv_hash = h;
+                ++peer.recv_count;
+              }));
+    me.lcg = me.lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const Duration next = 100 + ((me.lcg >> 33) % 400);
+    if (my_sim.now() + next < kHorizon) {
+      my_sim.schedule(next, [&tick, a] { tick(a); });
+    }
+  };
+  for (std::uint32_t a = 0; a < kActors; ++a) {
+    psim.shard(psim.shard_of(a))
+        .schedule_at(100 + a * 7, [&tick, a] { tick(a); });
+  }
+
+  psim.run_until(kHorizon);
+
+  MeshResult r;
+  r.events = psim.events_executed();
+  r.merged = psim.messages_merged();
+  r.windows = psim.windows_executed();
+  std::uint64_t h = kFnvOffset;
+  for (const Actor& a : actors) {
+    h = fnv1a(h, a.ticks);
+    h = fnv1a(h, a.recv_hash);
+    h = fnv1a(h, a.recv_count);
+  }
+  r.digest = h;
+  return r;
+}
+
+TEST(ParallelEngine, ActorMeshDigestInvariantAcrossShardCounts) {
+  const MeshResult one = run_actor_mesh(1, 42);
+  const MeshResult two = run_actor_mesh(2, 42);
+  const MeshResult eight = run_actor_mesh(8, 42);
+  EXPECT_GT(one.events, 10'000u) << "workload too small to mean anything";
+  EXPECT_GT(two.merged, 0u) << "no cross-shard traffic was exercised";
+  EXPECT_EQ(one.digest, two.digest)
+      << "1-shard and 2-shard runs diverged for the same seed";
+  EXPECT_EQ(one.digest, eight.digest)
+      << "1-shard and 8-shard runs diverged for the same seed";
+  EXPECT_EQ(one.events, two.events);
+  EXPECT_EQ(one.events, eight.events);
+}
+
+TEST(ParallelEngine, ActorMeshRepeatRunsAreBitIdentical) {
+  for (const int shards : {2, 8}) {
+    const MeshResult a = run_actor_mesh(shards, 7);
+    const MeshResult b = run_actor_mesh(shards, 7);
+    EXPECT_EQ(a.digest, b.digest) << "shards=" << shards;
+    EXPECT_EQ(a.events, b.events) << "shards=" << shards;
+    EXPECT_EQ(a.windows, b.windows) << "shards=" << shards;
+  }
+}
+
+TEST(ParallelEngine, DistinctSeedsDiverge) {
+  EXPECT_NE(run_actor_mesh(2, 1).digest, run_actor_mesh(2, 2).digest)
+      << "digest is insensitive to the workload — it can't catch anything";
+}
+
+// --- Full datapath: HyperLoop groups, serial vs sharded --------------------
+
+struct GroupResult {
+  std::vector<Duration> latencies;
+  std::uint64_t events = 0;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_messages = 0;
+};
+
+constexpr int kGroupOps = 12;
+
+/// Two 3-replica chains on 8 nodes, driven with interleaved closed-loop
+/// durable gwrites. `run_until` is the only driver primitive used, so the
+/// identical loop drives both testbeds.
+template <typename Testbed, typename RunUntil>
+GroupResult drive_two_groups(Testbed& bed, RunUntil run_until) {
+  NodeConfig node;
+  node.cores = 4;
+  node.memory_bytes = 8ull * 1024 * 1024;
+  for (int i = 0; i < 8; ++i) bed.add_node(node);
+  bed.network().enable_trace();
+
+  core::HyperLoopGroup ga(bed, 0, {1, 2, 3}, 1 << 16);
+  core::HyperLoopGroup gb(bed, 4, {5, 6, 7}, 1 << 16);
+
+  run_until(1_ms);  // prime both chains
+
+  GroupResult r;
+  std::vector<std::uint8_t> payload(256, 0x5a);
+  Time t = 1_ms;
+  for (int op = 0; op < kGroupOps; ++op) {
+    core::HyperLoopGroup& g = (op % 2 == 0) ? ga : gb;
+    payload[0] = static_cast<std::uint8_t>(op);
+    g.client().region_write(0, payload.data(), payload.size());
+    const Time start = g.sim().now();
+    bool done = false;
+    g.client().gwrite(0, 256, /*flush=*/true,
+                      [&](Status st, const std::vector<std::uint64_t>&) {
+                        EXPECT_TRUE(st.is_ok());
+                        r.latencies.push_back(g.sim().now() - start);
+                        done = true;
+                      });
+    while (!done) {
+      t += 50_us;
+      run_until(t);
+    }
+  }
+  r.trace_digest = bed.network().trace_digest();
+  r.trace_messages = bed.network().trace_messages();
+  return r;
+}
+
+GroupResult run_groups_serial() {
+  Cluster cluster;
+  GroupResult r =
+      drive_two_groups(cluster, [&](Time t) { cluster.sim().run_until(t); });
+  r.events = cluster.sim().events_executed();
+  return r;
+}
+
+GroupResult run_groups_sharded(int shards) {
+  ParallelCluster cluster(shards);
+  GroupResult r = drive_two_groups(
+      cluster, [&](Time t) { cluster.engine().run_until(t); });
+  r.events = cluster.engine().events_executed();
+  return r;
+}
+
+TEST(ParallelEngine, GroupWorkloadMatchesSerialEngineExactly) {
+  const GroupResult serial = run_groups_serial();
+  ASSERT_EQ(serial.latencies.size(), static_cast<std::size_t>(kGroupOps));
+  for (const int shards : {1, 2, 8}) {
+    const GroupResult par = run_groups_sharded(shards);
+    EXPECT_EQ(serial.latencies, par.latencies)
+        << "client-observed latencies diverged at shards=" << shards;
+    EXPECT_EQ(serial.trace_digest, par.trace_digest)
+        << "fabric trace digest diverged at shards=" << shards;
+    EXPECT_EQ(serial.trace_messages, par.trace_messages)
+        << "message count diverged at shards=" << shards;
+    EXPECT_EQ(serial.events, par.events)
+        << "event count diverged at shards=" << shards;
+  }
+}
+
+TEST(ParallelEngine, GroupWorkloadRepeatsBitIdentically) {
+  const GroupResult a = run_groups_sharded(2);
+  const GroupResult b = run_groups_sharded(2);
+  EXPECT_EQ(a.latencies, b.latencies);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.events, b.events);
+}
+
+// --- Window machinery edges ------------------------------------------------
+
+TEST(ParallelEngine, RunUntilAdvancesEveryShardClock) {
+  sim::ParallelSimulator psim(4, 1000);
+  int fired = 0;
+  psim.shard(2).schedule_at(500, [&] { ++fired; });
+  psim.run_until(10'000);
+  EXPECT_EQ(fired, 1);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(psim.shard(s).now(), 10'000u) << "shard " << s;
+  }
+  EXPECT_EQ(psim.now(), 10'000u);
+}
+
+TEST(ParallelEngine, EventsAtExactDeadlineFire) {
+  sim::ParallelSimulator psim(2, 1000);
+  // The two callbacks run on different shards in the same window — truly
+  // concurrent, so the (test-side) counter they share must be atomic.
+  std::atomic<int> fired{0};
+  psim.shard(0).schedule_at(5'000, [&] { ++fired; });
+  psim.shard(1).schedule_at(5'000, [&] { ++fired; });
+  psim.run_until(5'000);
+  EXPECT_EQ(fired, 2) << "run_until must fire events at exactly the deadline";
+}
+
+TEST(ParallelEngine, PostOutsideWindowSchedulesDirectly) {
+  sim::ParallelSimulator psim(2, 1000);
+  psim.pin(0, 0);
+  psim.pin(1, 1);
+  bool fired = false;
+  psim.post(1, 250, /*src=*/0, /*seq=*/0,
+            sim::InlineTask([&] { fired = true; }));
+  psim.run_until(1'000);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace hyperloop
