@@ -1,0 +1,387 @@
+// Chaos splice benchmark: online replica replacement under sustained load.
+//
+// A GroupManager admits one 3-replica HyperLoop chain at *exactly* its
+// tenant's quota; four closed-loop writers stream flushed, version-stamped
+// gWRITEs into disjoint 256 B blocks while the fault injector isolates a
+// chain member every few hundred milliseconds. A HeartbeatMonitor detects
+// each failure and the bench heals through the manager's
+// replace_replica() — splice out, background catch-up, atomic splice in —
+// with the killed node returning to the spare pool once its partition heals.
+//
+// Two contracts are enforced (non-zero exit if either fails):
+//   * p99 of *successful* write attempts during the kill storm stays within
+//     2x the steady-state p99 — the surviving prefix keeps acking while the
+//     replacement streams (failed attempts are counted separately: they are
+//     the detection-window blackout, not the datapath's tail);
+//   * the post-run durability scan finds every writer's last acked version
+//     byte-identical on every live replica — no acked write is lost across
+//     any number of splices.
+//
+// Usage: fig_chaos_splice [--quick] [--out <path>]
+//   --quick   3 kills instead of 8 (CI smoke); sets "quick": true in JSON
+//   --out     output path (default: BENCH_reconfig.json in the CWD)
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "hyperloop/group_manager.hpp"
+#include "replication/chain.hpp"
+#include "rnic/fault.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+constexpr std::uint64_t kRegion = 64 * 1024;
+constexpr std::uint64_t kBlock = 256;
+constexpr int kWriters = 4;
+constexpr std::uint64_t kTenant = 3;
+
+struct BenchResult {
+  LatencyHistogram steady;
+  LatencyHistogram chaos;
+  std::uint64_t acked = 0;
+  std::uint64_t attempts_failed = 0;
+  std::uint64_t splices = 0;
+  int kills = 0;
+  int violations = 0;
+};
+
+BenchResult run_bench(int kills_target, Duration kill_interval) {
+  BenchResult res;
+
+  Cluster cluster;
+  NodeConfig cfg;
+  cfg.nic.response_timeout = 200'000;  // fail a dead hop within a few ms
+  cfg.nic.timeout_retry_limit = 4;
+  for (int i = 0; i < 7; ++i) cluster.add_node(cfg);  // 0 client, 1-3, 4-6
+
+  rnic::FaultInjector inj(0xC1A0);
+  cluster.network().set_fault_injector(&inj);
+
+  // Admission at exactly the tenant's budget: every later member swap must
+  // be net zero against the ledger or the heal path would wedge on quota.
+  core::GroupManager mgr(cluster);
+  core::GroupSpec spec;
+  spec.datapath = core::GroupSpec::Datapath::kHyperLoop;
+  spec.client_node = 0;
+  spec.member_nodes = {1, 2, 3};
+  spec.region_size = kRegion;
+  spec.params.tenant = kTenant;
+  spec.params.slots = 32;
+  spec.params.max_outstanding = 8;
+  spec.params.op_timeout = 1'000'000;
+  spec.params.op_retry_limit = 2;
+  const std::uint32_t budget = core::GroupManager::qp_cost(spec);
+  mgr.set_quota(kTenant, core::TenantQuota{budget,
+                                           core::GroupManager::slot_cost(spec)});
+  Status why;
+  core::GroupInterface* g = mgr.create_group(spec, &why);
+  HL_CHECK_MSG(g != nullptr, why.message());
+  cluster.sim().run_until(cluster.sim().now() + 1_ms);
+
+  // --- Closed-loop writers: disjoint version-stamped blocks ----------------
+  bool chaos_started = false;
+  bool stopping = false;
+  struct Writer {
+    std::uint64_t version = 0;  // version currently being written
+    bool acked = false;         // current version confirmed by the chain
+    bool idle = false;          // stopped with current version acked
+  };
+  std::vector<Writer> writers(kWriters);
+
+  auto stamp_block = [&](int w, std::uint64_t version,
+                         std::vector<std::uint8_t>& out) {
+    const std::uint64_t tag =
+        fnv1a_64(version * 131 + static_cast<std::uint64_t>(w));
+    out.assign(kBlock, 0);
+    std::memcpy(out.data(), &version, 8);
+    for (std::size_t i = 8; i < kBlock; ++i) {
+      out[i] = static_cast<std::uint8_t>(tag >> ((i % 8) * 8));
+    }
+  };
+
+  // A failed attempt may still have landed its bytes (op-timeout
+  // uncertainty), so the version only advances once the chain *acks* it and
+  // every retry re-issues the same version: replica bytes can never run
+  // ahead of the writer's acked version, which makes the final scan exact.
+  std::function<void(int)> attempt = [&](int w) {
+    Writer& wr = writers[w];
+    if (wr.acked) {
+      if (stopping) {
+        wr.idle = true;  // current version durable everywhere, nothing queued
+        return;
+      }
+      ++wr.version;
+      wr.acked = false;
+    }
+    std::vector<std::uint8_t> block;
+    stamp_block(w, wr.version, block);
+    g->region_write(static_cast<std::uint64_t>(w) * kBlock, block.data(),
+                    kBlock);
+    const Time start = cluster.sim().now();
+    g->gwrite(static_cast<std::uint64_t>(w) * kBlock,
+              static_cast<std::uint32_t>(kBlock), /*flush=*/true,
+              [&, w, start](Status s, const std::vector<std::uint64_t>&) {
+                Writer& me = writers[w];
+                if (s.is_ok()) {
+                  (chaos_started ? res.chaos : res.steady)
+                      .record(cluster.sim().now() - start);
+                  ++res.acked;
+                  me.acked = true;
+                  cluster.sim().schedule(1_ms, [&, w] { attempt(w); });
+                } else {
+                  ++res.attempts_failed;
+                  cluster.sim().schedule(500'000, [&, w] { attempt(w); });
+                }
+              });
+  };
+  for (int w = 0; w < kWriters; ++w) attempt(w);
+
+  // --- Kill/heal driver -----------------------------------------------------
+  std::vector<std::size_t> members = {1, 2, 3};
+  std::deque<std::size_t> spares = {4, 5, 6};
+  bool replacing = false;
+  bool storm_done = false;
+  std::size_t killed_node = 0;
+  Time heal_at = 0;
+
+  std::unique_ptr<replication::HeartbeatMonitor> monitor;
+  std::function<void()> restart_monitor;
+  std::function<void()> schedule_kill;
+
+  auto on_failure = [&](std::size_t pos) {
+    if (replacing || spares.empty()) return;  // duplicate crossing
+    replacing = true;
+    const std::size_t spare = spares.front();
+    spares.pop_front();
+    const std::size_t old = members[pos];
+    const Status admitted = mgr.replace_replica(
+        g, pos, spare, [&, pos, spare, old](Status s) {
+          HL_CHECK_MSG(s.is_ok(), s.message());
+          ++res.splices;
+          members[pos] = spare;
+          HL_CHECK_MSG(mgr.usage(kTenant).qps == budget,
+                       "member swap drifted the quota ledger");
+          // The killed node returns to the spare pool once its partition
+          // heals (isolate_node un-isolates it at heal_at).
+          const Time back = heal_at + 5'000'000;
+          const Time now = cluster.sim().now();
+          cluster.sim().schedule(back > now ? back - now : Duration{0},
+                                 [&, old] { spares.push_back(old); });
+          replacing = false;
+          restart_monitor();
+          if (res.kills < kills_target) {
+            schedule_kill();
+          } else {
+            storm_done = true;
+          }
+        });
+    HL_CHECK_MSG(admitted.is_ok(), admitted.message());
+  };
+
+  restart_monitor = [&] {
+    if (monitor) monitor->stop();
+    monitor = std::make_unique<replication::HeartbeatMonitor>(
+        cluster, 0, members);
+    monitor->start(on_failure);
+  };
+  restart_monitor();
+
+  schedule_kill = [&] {
+    cluster.sim().schedule(kill_interval, [&] {
+      const std::size_t pos =
+          static_cast<std::size_t>(res.kills) % members.size();
+      chaos_started = true;
+      ++res.kills;
+      killed_node = members[pos];
+      heal_at = cluster.sim().now() + kill_interval;  // heals well after splice
+      inj.isolate_node(static_cast<rnic::NicId>(killed_node), heal_at);
+    });
+  };
+
+  // Steady phase fills the reference histogram, then the storm begins.
+  cluster.sim().run_until(cluster.sim().now() + 200_ms);
+  schedule_kill();
+  const Time storm_deadline =
+      cluster.sim().now() +
+      static_cast<Duration>(kills_target + 2) * (kill_interval + 200_ms);
+  while (!storm_done && cluster.sim().now() < storm_deadline) {
+    cluster.sim().run_until(cluster.sim().now() + 100_us);
+  }
+  HL_CHECK_MSG(storm_done, "kill storm never completed (heal path wedged?)");
+
+  // --- Drain writers and scan durability ------------------------------------
+  stopping = true;
+  const Time drain_deadline = cluster.sim().now() + 2'000_ms;
+  auto all_idle = [&] {
+    for (const Writer& w : writers) {
+      if (!w.idle) return false;
+    }
+    return true;
+  };
+  while (!all_idle() && cluster.sim().now() < drain_deadline) {
+    cluster.sim().run_until(cluster.sim().now() + 100_us);
+  }
+  HL_CHECK_MSG(all_idle(), "writers never drained to an acked version");
+
+  std::vector<std::uint8_t> want, got(kBlock);
+  for (int w = 0; w < kWriters; ++w) {
+    stamp_block(w, writers[w].version, want);  // idle => version is acked
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      g->replica_read(r, static_cast<std::uint64_t>(w) * kBlock, got.data(),
+                      kBlock);
+      if (got != want) {
+        ++res.violations;
+        std::uint64_t found = 0;
+        std::memcpy(&found, got.data(), 8);
+        std::fprintf(stderr,
+                     "chaos_splice: writer %d acked version %llu lost on "
+                     "replica %zu (found version %llu)\n",
+                     w, static_cast<unsigned long long>(writers[w].version),
+                     r, static_cast<unsigned long long>(found));
+      }
+    }
+  }
+  monitor->stop();
+  return res;
+}
+
+bool validate_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos_splice: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int braces = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    if (braces < 0) return false;
+  }
+  if (braces != 0 || in_string) {
+    std::fprintf(stderr, "chaos_splice: unbalanced JSON in %s\n",
+                 path.c_str());
+    return false;
+  }
+  for (const char* key :
+       {"\"bench\"", "\"kills\"", "\"splices\"", "\"steady_p99\"",
+        "\"chaos_p99\"", "\"p99_ratio\"", "\"acked_writes\"",
+        "\"durability_violations\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "chaos_splice: %s missing key %s\n", path.c_str(),
+                   key);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_reconfig.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int kills = quick ? 3 : 8;
+  const Duration interval = quick ? 200_ms : 300_ms;
+
+  print_header(
+      "Chaos splice: online replica replacement under sustained load",
+      "\"HyperLoop recovers from a failed replica by reconfiguring the "
+      "chain ... while the remaining replicas continue serving\" (paper §5)");
+
+  const BenchResult r = run_bench(kills, interval);
+
+  const double ratio =
+      r.steady.p99() > 0 ? static_cast<double>(r.chaos.p99()) /
+                               static_cast<double>(r.steady.p99())
+                         : 0;
+  print_row_header({"phase", "acks", "p50", "p99"});
+  std::printf("%-16s%-16llu%-16s%s\n", "steady",
+              static_cast<unsigned long long>(r.steady.count()),
+              fmt(r.steady.p50()).c_str(), fmt(r.steady.p99()).c_str());
+  std::printf("%-16s%-16llu%-16s%s\n", "chaos",
+              static_cast<unsigned long long>(r.chaos.count()),
+              fmt(r.chaos.p50()).c_str(), fmt(r.chaos.p99()).c_str());
+  std::printf(
+      "kills %d, splices %llu, failed attempts %llu, chaos/steady p99 "
+      "%.2fx, violations %d\n",
+      r.kills, static_cast<unsigned long long>(r.splices),
+      static_cast<unsigned long long>(r.attempts_failed), ratio,
+      r.violations);
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"chaos_splice\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"replicas\": 3,\n  \"kills\": "
+     << r.kills << ",\n  \"splices\": " << r.splices
+     << ",\n  \"steady_p50\": " << r.steady.p50()
+     << ",\n  \"steady_p99\": " << r.steady.p99()
+     << ",\n  \"chaos_p50\": " << r.chaos.p50()
+     << ",\n  \"chaos_p99\": " << r.chaos.p99()
+     << ",\n  \"p99_ratio\": " << ratio
+     << ",\n  \"acked_writes\": " << r.acked
+     << ",\n  \"attempts_failed\": " << r.attempts_failed
+     << ",\n  \"durability_violations\": " << r.violations << "\n}\n";
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "chaos_splice: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << os.str();
+  }
+  if (!validate_json(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The bench's two contracts gate the exit status so CI smoke catches a
+  // regression without parsing the JSON.
+  if (r.violations != 0) {
+    std::fprintf(stderr, "chaos_splice: %d durability violations\n",
+                 r.violations);
+    return 1;
+  }
+  if (r.splices != static_cast<std::uint64_t>(r.kills)) {
+    std::fprintf(stderr, "chaos_splice: %llu splices for %d kills\n",
+                 static_cast<unsigned long long>(r.splices), r.kills);
+    return 1;
+  }
+  if (ratio > 2.0) {
+    std::fprintf(stderr,
+                 "chaos_splice: chaos p99 %.2fx steady (budget 2.0x)\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main(int argc, char** argv) { return hyperloop::bench::run(argc, argv); }

@@ -54,6 +54,17 @@ for file in "$@"; do
       check "$file" '[.rows[] | has("load") and has("ops") and
           has("hl_p99") and has("naive_p99")] | all' 'malformed "rows" row'
       ;;
+    chaos_splice)
+      check "$file" '.kills | numbers' 'missing "kills"'
+      check "$file" '.splices == .kills' '"splices" must equal "kills"'
+      check "$file" '.steady_p99 | numbers' 'missing "steady_p99"'
+      check "$file" '.chaos_p99 | numbers' 'missing "chaos_p99"'
+      check "$file" '.acked_writes > 0' 'no acked writes (vacuous run)'
+      check "$file" '.p99_ratio <= 2' \
+          'chaos p99 exceeds 2x steady-state (reconfiguration SLO)'
+      check "$file" '.durability_violations == 0' \
+          'acked writes lost across a splice'
+      ;;
     *)
       fail "$file" "unknown or missing \"bench\" field: '$bench'"
       ;;

@@ -3,6 +3,7 @@
 #   BENCH_engine.json       (perf_engine: substrate + datapath + shard sweep)
 #   BENCH_datapath.json     (perf_datapath: batching ops/sec)
 #   BENCH_multitenant.json  (fig13_isolation: tail latency under tenant load)
+#   BENCH_reconfig.json     (fig_chaos_splice: online replacement kill storm)
 # then validates each against its schema. Numbers are host-dependent —
 # compare shapes and ratios across PRs, not absolute events/sec; the JSONs
 # record threads_available for honest cross-host reads.
@@ -22,14 +23,17 @@ if [[ ! -f "$BUILD/CMakeCache.txt" ]]; then
   cmake -B "$BUILD" -S "$ROOT"
 fi
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target perf_engine perf_datapath fig13_isolation
+  --target perf_engine perf_datapath fig13_isolation fig_chaos_splice
 
 "$BUILD/bench/perf_engine" "${QUICK[@]}" --out "$ROOT/BENCH_engine.json"
 "$BUILD/bench/perf_datapath" "${QUICK[@]}" --out "$ROOT/BENCH_datapath.json"
 "$BUILD/bench/fig13_isolation" "${QUICK[@]}" \
   --out "$ROOT/BENCH_multitenant.json"
+"$BUILD/bench/fig_chaos_splice" "${QUICK[@]}" \
+  --out "$ROOT/BENCH_reconfig.json"
 
 "$ROOT/scripts/check_bench_schema.sh" \
   "$ROOT/BENCH_engine.json" \
   "$ROOT/BENCH_datapath.json" \
-  "$ROOT/BENCH_multitenant.json"
+  "$ROOT/BENCH_multitenant.json" \
+  "$ROOT/BENCH_reconfig.json"

@@ -43,35 +43,39 @@ HyperLoopGroup::HyperLoopGroup(ParallelCluster& cluster,
   init();
 }
 
+HyperLoopGroup::~HyperLoopGroup() = default;
+
+// The region's tenant token may differ per member (cross-tenant deny
+// scenarios); staging areas always belong to the group's own tenant.
+MemberInfo HyperLoopGroup::setup_member(Node& node, bool is_client,
+                                        std::uint64_t region_tenant) {
+  const std::uint64_t blob = blob_bytes(replica_nodes_.size());
+  MemberInfo info;
+  info.nic = node.id();
+  transport::ChannelPool pool(node.nic(), node.memory());
+  const transport::RegisteredBuffer region =
+      pool.buffer(region_size_, transport::kAllAccess, region_tenant);
+  info.region_addr = region.addr;
+  info.region_size = region_size_;
+  info.region_lkey = region.lkey;
+  info.region_rkey = region.rkey;
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const transport::RegisteredBuffer staging = pool.buffer(
+        params_.slots * blob,
+        mem::kLocalRead | mem::kLocalWrite |
+            (is_client ? mem::kRemoteWrite : 0u),
+        params_.tenant);
+    info.staging_addr[p] = staging.addr;
+    info.staging_lkey[p] = staging.lkey;
+  }
+  return info;
+}
+
 void HyperLoopGroup::init() {
   const std::size_t R = replica_nodes_.size();
-  const std::uint64_t blob = blob_bytes(R);
+  live_.assign(R, 1);
 
   // --- Regions -------------------------------------------------------------
-  // The region's tenant token may differ per member (cross-tenant deny
-  // scenarios); staging areas always belong to the group's own tenant.
-  auto setup_member = [&](Node& node, bool is_client,
-                          std::uint64_t region_tenant) {
-    MemberInfo info;
-    info.nic = node.id();
-    transport::ChannelPool pool(node.nic(), node.memory());
-    const transport::RegisteredBuffer region = pool.buffer(
-        region_size_, transport::kAllAccess, region_tenant);
-    info.region_addr = region.addr;
-    info.region_size = region_size_;
-    info.region_lkey = region.lkey;
-    info.region_rkey = region.rkey;
-    for (int p = 0; p < kNumPrimitives; ++p) {
-      const transport::RegisteredBuffer staging = pool.buffer(
-          params_.slots * blob,
-          mem::kLocalRead | mem::kLocalWrite |
-              (is_client ? mem::kRemoteWrite : 0u),
-          params_.tenant);
-      info.staging_addr[p] = staging.addr;
-      info.staging_lkey[p] = staging.lkey;
-    }
-    return info;
-  };
   client_info_ = setup_member(*client_node_, true, params_.tenant);
   for (std::size_t i = 0; i < R; ++i) {
     members_.push_back(
@@ -90,8 +94,38 @@ void HyperLoopGroup::init() {
   for (auto& r : replicas_) r->start();
 }
 
+std::size_t HyperLoopGroup::num_live() const {
+  std::size_t n = 0;
+  for (std::uint8_t l : live_) n += l;
+  return n;
+}
+
+std::size_t HyperLoopGroup::first_live() const {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i]) return i;
+  }
+  HL_CHECK_MSG(false, "chain has no live member");
+  return 0;
+}
+
+std::optional<std::size_t> HyperLoopGroup::next_live(std::size_t i) const {
+  for (std::size_t j = i + 1; j < live_.size(); ++j) {
+    if (live_[j]) return j;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> HyperLoopGroup::live_members() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i]) out.push_back(i);
+  }
+  return out;
+}
+
 void HyperLoopGroup::wire_chain(bool batched) {
-  const std::size_t R = replicas_.size();
+  const std::vector<std::size_t> live = live_members();
+  HL_CHECK_MSG(!live.empty(), "cannot wire an empty chain");
   for (int p = 0; p < kNumPrimitives; ++p) {
     const auto prim = static_cast<Primitive>(p);
     const auto pi = static_cast<std::size_t>(p);
@@ -103,30 +137,35 @@ void HyperLoopGroup::wire_chain(bool batched) {
       return batched ? replicas_[i]->batch_channel(prim)
                      : replicas_[i]->channel(prim);
     };
-    // client -> r0 -> r1 -> ... -> tail -> client
-    transport::wire(client_node_->nic(), down, replica_nodes_[0]->nic(),
-                    chan(0).prev);
-    for (std::size_t i = 0; i + 1 < R; ++i) {
-      transport::wire(replica_nodes_[i]->nic(), chan(i).next,
-                      replica_nodes_[i + 1]->nic(), chan(i + 1).prev);
+    // client -> [live members in chain order] -> client. Spliced-out
+    // positions simply drop out of the wiring; the blob keeps R-wide entries
+    // and their bytes ride through live members as inert passthrough.
+    transport::wire(client_node_->nic(), down,
+                    replica_nodes_[live.front()]->nic(),
+                    chan(live.front()).prev);
+    for (std::size_t j = 0; j + 1 < live.size(); ++j) {
+      transport::wire(replica_nodes_[live[j]]->nic(), chan(live[j]).next,
+                      replica_nodes_[live[j + 1]]->nic(),
+                      chan(live[j + 1]).prev);
     }
-    transport::wire(replica_nodes_[R - 1]->nic(), chan(R - 1).next,
-                    client_node_->nic(), ack);
+    transport::wire(replica_nodes_[live.back()]->nic(),
+                    chan(live.back()).next, client_node_->nic(), ack);
   }
 }
 
 void HyperLoopGroup::enable_batching() {
   if (batching_enabled_) return;
   batching_enabled_ = true;
-  const std::size_t R = replicas_.size();
+  const std::size_t R = replica_nodes_.size();
+  const std::vector<std::size_t> live = live_members();
 
-  for (auto& r : replicas_) r->create_batch_channels();
+  for (std::size_t i : live) replicas_[i]->create_batch_channels();
   client_->create_batch_qps();
 
   // Collect the replica-side batch staging areas: the client aims gCAS
   // result deposits at them when building batched blobs.
-  batch_members_.resize(R);
-  for (std::size_t i = 0; i < R; ++i) {
+  batch_members_.assign(R, BatchStaging{});
+  for (std::size_t i : live) {
     for (int p = 0; p < kNumPrimitives; ++p) {
       const auto prim = static_cast<Primitive>(p);
       batch_members_[i].staging_addr[p] =
@@ -139,8 +178,237 @@ void HyperLoopGroup::enable_batching() {
   // Wire the batch chain exactly like the per-op chain in the ctor.
   wire_chain(/*batched=*/true);
 
-  for (auto& r : replicas_) r->start_batching();
+  for (std::size_t i : live) replicas_[i]->start_batching();
   client_->finish_batching();
+}
+
+// ---------------------------------------------------------------------------
+// HyperLoopGroup: online reconfiguration (serial testbed only)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Dirty-tracking granularity over the client mirror during catch-up.
+constexpr std::uint64_t kDirtyPage = 4096;
+}  // namespace
+
+bool HyperLoopGroup::evict_replica(std::size_t position) {
+  HL_CHECK_MSG(cluster_ != nullptr,
+               "reconfiguration is a serial-testbed feature");
+  HL_CHECK_MSG(position < live_.size(), "evict_replica: bad position");
+  if (!live_[position]) return false;  // already spliced out
+  if (num_live() == 1) return false;   // would empty the chain
+  live_[position] = 0;
+  rebuild_datapath(
+      Status(StatusCode::kUnavailable, "chain member spliced out"));
+  return true;
+}
+
+void HyperLoopGroup::replace_replica(std::size_t position,
+                                     std::size_t replacement_node,
+                                     ReconfigCallback done,
+                                     ReconfigParams params) {
+  HL_CHECK_MSG(cluster_ != nullptr,
+               "reconfiguration is a serial-testbed feature");
+  HL_CHECK_MSG(position < live_.size(), "replace_replica: bad position");
+  auto refuse = [&](std::string why) {
+    sim().schedule(0, alive_.guard([done = std::move(done),
+                                    st = Status(StatusCode::kFailedPrecondition,
+                                                std::move(why))]() mutable {
+      if (done) done(st);
+    }));
+  };
+  if (reconfiguring()) {
+    refuse("another reconfiguration is in progress");
+    return;
+  }
+  if (live_[position] && !evict_replica(position)) {
+    refuse("cannot evict the last live member");
+    return;
+  }
+
+  Node& node = cluster_->node(replacement_node);
+  PendingReplace pr;
+  pr.position = position;
+  pr.node = &node;
+  pr.info = setup_member(node, false, params_.region_tenant(position));
+  pr.done = std::move(done);
+  pr.params = params;
+  pr.quiesce_left = params.quiesce_attempts;
+  pr.splice_in = true;
+  pending_ = std::move(pr);
+
+  track_dirty_ = true;
+  dirty_.assign((region_size_ + kDirtyPage - 1) / kDirtyPage, 0);
+
+  // The stream's QPs must carry the token the target region is registered
+  // under, or every catch-up write fails the NIC access check — the group
+  // knows that token; callers don't have to.
+  params.sync.tenant = params_.region_tenant(position);
+  sync_ = std::make_unique<MemberSync>(
+      *client_node_, client_info_.region_addr, client_info_.region_lkey, node,
+      pending_->info.region_addr, pending_->info.region_rkey, region_size_,
+      params.sync);
+  // Raw `this` captures are safe: sync_ is owned by (and dies with) the
+  // group. The completion is deferred one event because it arrives inside
+  // MemberSync's own CQ handler and finish_splice destroys the MemberSync.
+  sync_->start([this] { return take_dirty_pages(); }, [this](Status st) {
+    sim().schedule(0, alive_.guard([this, st] {
+      if (!pending_) return;
+      if (!st.is_ok()) {
+        // Catch-up failed (replacement died, retry budget exhausted): the
+        // chain stays degraded-but-live and the caller picks a new target.
+        sync_.reset();
+        track_dirty_ = false;
+        dirty_.clear();
+        auto done = std::move(pending_->done);
+        pending_.reset();
+        if (done) done(st);
+        return;
+      }
+      finish_splice();
+    }));
+  });
+}
+
+void HyperLoopGroup::sync_member(std::size_t position, ReconfigCallback done,
+                                 ReconfigParams params) {
+  HL_CHECK_MSG(cluster_ != nullptr,
+               "reconfiguration is a serial-testbed feature");
+  HL_CHECK_MSG(position < live_.size(), "sync_member: bad position");
+  if (reconfiguring() || !live_[position]) {
+    sim().schedule(
+        0, alive_.guard([done = std::move(done)]() mutable {
+          if (done) {
+            done(Status(StatusCode::kFailedPrecondition,
+                        "member not live or reconfiguration in progress"));
+          }
+        }));
+    return;
+  }
+  PendingReplace pr;
+  pr.position = position;
+  pr.node = replica_nodes_[position];
+  pr.info = members_[position];
+  pr.done = std::move(done);
+  pr.params = params;
+  pr.splice_in = false;
+  pending_ = std::move(pr);
+
+  // One bulk round, no dirty tracking: a live member keeps receiving chain
+  // writes while we stream, so this is repair, not a durability certificate
+  // — callers (chain recovery) follow it with a full chain catch-up, which
+  // orders FIFO with chain writes and certifies with gFLUSH.
+  params.sync.tenant = params_.region_tenant(position);
+  sync_ = std::make_unique<MemberSync>(
+      *client_node_, client_info_.region_addr, client_info_.region_lkey,
+      *replica_nodes_[position], members_[position].region_addr,
+      members_[position].region_rkey, region_size_, params.sync);
+  sync_->start(nullptr, [this](Status st) {
+    sim().schedule(0, alive_.guard([this, st] {
+      if (!pending_) return;
+      sync_.reset();
+      auto done = std::move(pending_->done);
+      pending_.reset();
+      if (done) done(st);
+    }));
+  });
+}
+
+void HyperLoopGroup::finish_splice() {
+  HL_CHECK(pending_.has_value() && pending_->splice_in);
+  // Quiesce: let in-flight ops drain so the rebuild fails as few as
+  // possible. A relentless closed loop may never reach zero; after the
+  // attempt budget the cut-over proceeds and stragglers fail-retry.
+  if (client_->outstanding() > 0 && pending_->quiesce_left > 0) {
+    --pending_->quiesce_left;
+    sim().schedule(pending_->params.quiesce_interval,
+                   alive_.guard([this] { finish_splice(); }));
+    return;
+  }
+
+  // --- Atomic splice: everything below runs inside this one event, so no
+  // op ever observes a half-spliced chain. ---------------------------------
+  sync_.reset();
+  track_dirty_ = false;
+  // Residual dirty spans (mutations since the last converged delta round,
+  // plus anything past the round cap): read from the authoritative mirror
+  // and write the replacement's memory directly — synchronous and durable,
+  // the direct path has no NIC cache to park bytes in.
+  const DirtySpans residue = take_dirty_pages();
+  std::vector<std::byte> tmp;
+  for (const auto& [off, len] : residue) {
+    tmp.resize(len);
+    client_node_->memory().read(client_info_.region_addr + off, tmp.data(),
+                                len);
+    pending_->node->memory().write(pending_->info.region_addr + off,
+                                   tmp.data(), len);
+  }
+  dirty_.clear();
+
+  const std::size_t pos = pending_->position;
+  members_[pos] = pending_->info;
+  replica_nodes_[pos] = pending_->node;
+  live_[pos] = 1;
+  auto done = std::move(pending_->done);
+  pending_.reset();
+  rebuild_datapath(
+      Status(StatusCode::kUnavailable, "chain spliced; op must retry"));
+  ++splices_;
+  if (done) done(Status::ok());
+}
+
+void HyperLoopGroup::rebuild_datapath(const Status& reason) {
+  ++rebuilds_;
+  // Client first: fails every in-flight/backlogged op with `reason` and
+  // orphans the old generation's CQ handlers and timers. Then the engines:
+  // destroying them abandons their QPs to their NICs (exactly like the
+  // heartbeat monitor's probe rebuilds) and their Lifetimes orphan any
+  // queued replenish work.
+  client_->teardown_channels(reason);
+  replicas_.clear();
+  batching_enabled_ = false;
+  batch_members_.clear();
+
+  const std::vector<std::size_t> live = live_members();
+  replicas_.resize(replica_nodes_.size());
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    const std::size_t i = live[j];
+    replicas_[i] = std::make_unique<ReplicaEngine>(
+        *replica_nodes_[i], *this, i, /*is_tail=*/j + 1 == live.size());
+  }
+  client_->init_channels();
+  wire_chain(/*batched=*/false);
+  for (std::size_t i : live) replicas_[i]->start();
+}
+
+void HyperLoopGroup::note_mutation(std::uint64_t offset, std::uint64_t len) {
+  if (!track_dirty_ || len == 0) return;
+  const std::uint64_t first = offset / kDirtyPage;
+  const std::uint64_t last = (offset + len - 1) / kDirtyPage;
+  for (std::uint64_t pg = first; pg <= last && pg < dirty_.size(); ++pg) {
+    dirty_[pg] = 1;
+  }
+}
+
+DirtySpans HyperLoopGroup::take_dirty_pages() {
+  DirtySpans spans;
+  const std::uint64_t n = dirty_.size();
+  for (std::uint64_t pg = 0; pg < n;) {
+    if (!dirty_[pg]) {
+      ++pg;
+      continue;
+    }
+    std::uint64_t end = pg;
+    while (end < n && dirty_[end]) {
+      dirty_[end] = 0;
+      ++end;
+    }
+    const std::uint64_t off = pg * kDirtyPage;
+    spans.emplace_back(off,
+                       std::min(end * kDirtyPage, region_size_) - off);
+    pg = end;
+  }
+  return spans;
 }
 
 // ---------------------------------------------------------------------------
@@ -533,6 +801,10 @@ Duration ReplicaEngine::cpu_time() const {
 
 HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
     : node_(node), group_(group) {
+  init_channels();
+}
+
+void HyperLoopClient::init_channels() {
   transport::ChannelPool pool(node_.nic(), node_.memory());
   const GroupParams& gp = group_.params();
   const std::size_t R = group_.num_replicas();
@@ -540,6 +812,7 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
 
   for (int p = 0; p < kNumPrimitives; ++p) {
     ChannelState& ch = channels_[static_cast<std::size_t>(p)];
+    ch.dead = Status::ok();  // a rebuilt chain starts with a clean slate
     ch.send_cq = pool.cq();
     ch.ack_cq = pool.cq();
     ch.down = pool.qp(ch.send_cq, ch.send_cq, 3 * gp.slots, gp.tenant);
@@ -563,13 +836,38 @@ HyperLoopClient::HyperLoopClient(Node& node, HyperLoopGroup& group)
       HL_CHECK(ch.ack->post_recv(std::move(recv)).is_ok());
     }
     const auto prim = static_cast<Primitive>(p);
+    // route_alive_ (not alive_): these handlers belong to this channel
+    // generation only — a queued firing from a replaced ack CQ must never
+    // complete an op of the rebuilt chain.
     transport::route_each(
-        ch.ack_cq, alive_,
+        ch.ack_cq, route_alive_,
         [this, prim](const rnic::Completion& wc) { on_ack(prim, wc); });
     transport::route_errors(
-        ch.send_cq, alive_, "client send failed",
+        ch.send_cq, route_alive_, "client send failed",
         [this, prim](Status st) { fail_op(prim, std::move(st)); });
   }
+}
+
+void HyperLoopClient::teardown_channels(const Status& reason) {
+  ++epoch_;            // orphans slot-numbered timers and deferred failures
+  route_alive_.reset();  // orphans the old generation's CQ handlers
+  for (int p = 0; p < kNumPrimitives; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    // Fail-fast for ops issued from inside the failure callbacks below —
+    // they would otherwise post onto the half-torn-down chain.
+    channels_[pi].dead = reason;
+    fail_op(static_cast<Primitive>(p), reason);
+    auto_flush_scheduled_[pi] = false;
+  }
+  // The batch states die with this generation (their counters fold into
+  // retired_ for stats continuity); the per-op tables persist and re-bind.
+  for (auto& b : batch_) {
+    if (b) {
+      retired_.merge(b->table.counters());
+      b.reset();
+    }
+  }
+  batch_mode_ = false;
 }
 
 void HyperLoopClient::create_batch_qps() {
@@ -629,10 +927,10 @@ void HyperLoopClient::finish_batching() {
       HL_CHECK(b.ack->post_recv(std::move(recv)).is_ok());
     }
     transport::route_each(
-        b.ack_cq, alive_,
+        b.ack_cq, route_alive_,
         [this, prim](const rnic::Completion& wc) { on_batch_ack(prim, wc); });
     transport::route_errors(
-        b.send_cq, alive_, "client send failed",
+        b.send_cq, route_alive_, "client send failed",
         [this, prim](Status st) { fail_op(prim, std::move(st)); });
   }
 }
@@ -649,6 +947,7 @@ void HyperLoopClient::region_write(std::uint64_t offset, const void* data,
                                    std::uint64_t len) {
   HL_CHECK_MSG(offset + len <= group_.region_size(), "region_write OOB");
   node_.memory().write(group_.client_info().region_addr + offset, data, len);
+  group_.note_mutation(offset, len);
 }
 
 void HyperLoopClient::region_read(std::uint64_t offset, void* dst,
@@ -679,7 +978,7 @@ std::size_t HyperLoopClient::outstanding() const {
 }
 
 std::uint64_t HyperLoopClient::stale_acks() const {
-  std::uint64_t n = 0;
+  std::uint64_t n = retired_.drops;
   for (const auto& ch : channels_) n += ch.table.counters().drops;
   for (const auto& b : batch_) {
     if (b) n += b->table.counters().drops;
@@ -689,6 +988,7 @@ std::uint64_t HyperLoopClient::stale_acks() const {
 
 GroupStats HyperLoopClient::stats() const {
   transport::OpCounters agg;
+  agg.merge(retired_);  // batch tables destroyed by datapath rebuilds
   for (const auto& ch : channels_) agg.merge(ch.table.counters());
   for (const auto& b : batch_) {
     if (b) agg.merge(b->table.counters());
@@ -841,10 +1141,13 @@ std::vector<WqePatch> HyperLoopClient::build_templates(Primitive p,
     const MemberInfo& me = group_.member(i);
     switch (p) {
       case Primitive::kGWrite: {
-        if (i + 1 == R) break;  // tail forwards no data; stays a zero patch
+        // The live tail (and any spliced-out entry) forwards no data; its
+        // patch stays zero. Next hop is the next *live* member downstream.
+        const std::optional<std::size_t> next = group_.next_live(i);
+        if (!group_.is_live(i) || !next) break;
         t.opcode = static_cast<std::uint32_t>(rnic::Opcode::kWrite);
         t.lkey = me.region_lkey;
-        t.rkey = group_.member(i + 1).region_rkey;
+        t.rkey = group_.member(*next).region_rkey;
         break;
       }
       case Primitive::kGCas: {
@@ -879,8 +1182,13 @@ void HyperLoopClient::write_group(const OpSpec& spec, bool batched,
       batched ? batch_[pi]->blob : channels_[pi].blob;
 
   for (std::size_t i = 0; i < R; ++i) {
-    if (spec.prim == Primitive::kGWrite && i + 1 == R) {
-      continue;  // tail entry is static (zero patch) — never rewritten
+    // Spliced-out entries are never scattered anywhere — they ride through
+    // the live members as inert passthrough bytes; skip rewriting them.
+    if (!group_.is_live(i)) continue;
+    std::optional<std::size_t> next;
+    if (spec.prim == Primitive::kGWrite) {
+      next = group_.next_live(i);
+      if (!next) continue;  // tail entry is static (zero patch)
     }
     WqePatch patch = bb.tmpl(i);
     switch (spec.prim) {
@@ -888,7 +1196,7 @@ void HyperLoopClient::write_group(const OpSpec& spec, bool batched,
         patch.flags = spec.flush ? rnic::kFlush : 0u;
         patch.local_addr = group_.member(i).region_addr + spec.offset;
         patch.local_len = spec.size;
-        patch.remote_addr = group_.member(i + 1).region_addr + spec.offset;
+        patch.remote_addr = group_.member(*next).region_addr + spec.offset;
         break;
       }
       case Primitive::kGCas: {
@@ -937,7 +1245,8 @@ void HyperLoopClient::write_padding_group(Primitive p,
   const WqePatch pad =
       transport::BlobBuilder::padding_patch(p == Primitive::kGWrite);
   for (std::size_t i = 0; i < R; ++i) {
-    if (p == Primitive::kGWrite && i + 1 == R) continue;
+    if (!group_.is_live(i)) continue;
+    if (p == Primitive::kGWrite && !group_.next_live(i)) continue;
     batch_[pi]->blob.write_patch(group_off, i, pad);
   }
 }
@@ -950,11 +1259,13 @@ void HyperLoopClient::apply_local_mirror(const OpSpec& spec) {
     std::vector<std::byte> tmp(spec.size);
     node_.memory().read(base + spec.offset, tmp.data(), spec.size);
     node_.memory().write(base + spec.dst_offset, tmp.data(), spec.size);
+    group_.note_mutation(spec.dst_offset, spec.size);
   } else if (spec.prim == Primitive::kGCas) {
     const std::uint64_t addr =
         group_.client_info().region_addr + spec.offset;
     if (node_.memory().read_u64(addr) == spec.compare) {
       node_.memory().write_u64(addr, spec.swap);
+      group_.note_mutation(spec.offset, 8);
     }
   }
 }
@@ -976,14 +1287,15 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
   rnic::SendWr wrs[2];
   std::size_t n = 0;
   if (spec.prim == Primitive::kGWrite) {
+    const MemberInfo& head = group_.member(group_.first_live());
     rnic::SendWr& write = wrs[n++];
     write.opcode = rnic::Opcode::kWrite;
     write.flags = spec.flush ? rnic::kFlush : 0u;
     write.local_addr = group_.client_info().region_addr + spec.offset;
     write.local_len = spec.size;
     write.lkey = group_.client_info().region_lkey;
-    write.remote_addr = group_.member(0).region_addr + spec.offset;
-    write.rkey = group_.member(0).region_rkey;
+    write.remote_addr = head.region_addr + spec.offset;
+    write.rkey = head.region_rkey;
   }
 
   rnic::SendWr& send = wrs[n++];
@@ -1006,8 +1318,13 @@ void HyperLoopClient::post_now(const OpSpec& spec, OpCallback cb) {
   }
 
   const auto prim = spec.prim;
-  ch.table.track(s, std::move(cb),
-                 alive_.guard([this, prim, s] { on_op_timeout(prim, s); }));
+  // The epoch pins the deadline to this channel generation: slot numbering
+  // restarts at a rebuild, so a stale timer could otherwise expire an
+  // unrelated op that reused its slot number.
+  const std::uint64_t ep = epoch_;
+  ch.table.track(s, std::move(cb), alive_.guard([this, prim, s, ep] {
+    if (ep == epoch_) on_op_timeout(prim, s);
+  }));
 }
 
 void HyperLoopClient::post_batch_group(
@@ -1052,6 +1369,7 @@ void HyperLoopClient::post_batch_now(
   std::vector<rnic::SendWr> wrs;
   wrs.reserve(count + 1);
   if (p == Primitive::kGWrite) {
+    const MemberInfo& head = group_.member(group_.first_live());
     for (std::uint32_t j = 0; j < count; ++j) {
       const OpSpec& spec = group[j].first;
       rnic::SendWr write;
@@ -1060,8 +1378,8 @@ void HyperLoopClient::post_batch_now(
       write.local_addr = group_.client_info().region_addr + spec.offset;
       write.local_len = spec.size;
       write.lkey = group_.client_info().region_lkey;
-      write.remote_addr = group_.member(0).region_addr + spec.offset;
-      write.rkey = group_.member(0).region_rkey;
+      write.remote_addr = head.region_addr + spec.offset;
+      write.rkey = head.region_rkey;
       wrs.push_back(write);
     }
   }
@@ -1087,8 +1405,10 @@ void HyperLoopClient::post_batch_now(
   std::vector<OpCallback> cbs;
   cbs.reserve(count);
   for (auto& [spec, cb] : group) cbs.push_back(std::move(cb));
-  b.table.track(s, std::move(cbs),
-                alive_.guard([this, p, s] { on_batch_timeout(p, s); }));
+  const std::uint64_t ep = epoch_;
+  b.table.track(s, std::move(cbs), alive_.guard([this, p, s, ep] {
+    if (ep == epoch_) on_batch_timeout(p, s);
+  }));
   ++batches_posted_;
 }
 
@@ -1111,6 +1431,7 @@ void HyperLoopClient::on_ack(Primitive p, const rnic::Completion& c) {
   const std::uint64_t k = op->key % group_.params().slots;
   std::vector<std::uint64_t> results(R, 0);
   for (std::size_t i = 0; i < R; ++i) {
+    if (!group_.is_live(i)) continue;  // spliced out: result word stays 0
     // The tail's WRITE_WITH_IMM payload may still sit in this NIC's volatile
     // cache; read through it like the driver's CQE path would.
     node_.nic().cache().read_through(
@@ -1139,6 +1460,7 @@ void HyperLoopClient::on_batch_ack(Primitive p, const rnic::Completion& c) {
         R, max_batch, kb, static_cast<std::uint32_t>(j));
     std::vector<std::uint64_t> results(R, 0);
     for (std::size_t i = 0; i < R; ++i) {
+      if (!group_.is_live(i)) continue;
       node_.nic().cache().read_through(
           b.ack_addr + goff + blob_result_offset(R, 0, i), &results[i], 8);
     }
@@ -1161,9 +1483,10 @@ void HyperLoopClient::on_op_timeout(Primitive p, std::uint64_t logical_slot) {
   const bool healthy =
       ch.down->state() == rnic::QueuePair::State::kConnected &&
       ch.ack->state() == rnic::QueuePair::State::kConnected;
+  const std::uint64_t ep = epoch_;
   switch (ch.table.on_deadline(
-      logical_slot, healthy, alive_.guard([this, p, logical_slot] {
-        on_op_timeout(p, logical_slot);
+      logical_slot, healthy, alive_.guard([this, p, logical_slot, ep] {
+        if (ep == epoch_) on_op_timeout(p, logical_slot);
       }))) {
     case OpTable::DeadlineOutcome::kGone:
     case OpTable::DeadlineOutcome::kExtended:
@@ -1181,9 +1504,10 @@ void HyperLoopClient::on_batch_timeout(Primitive p, std::uint64_t slot) {
   const bool healthy =
       b.down->state() == rnic::QueuePair::State::kConnected &&
       b.ack->state() == rnic::QueuePair::State::kConnected;
+  const std::uint64_t ep = epoch_;
   switch (b.table.on_deadline(slot, healthy,
-                              alive_.guard([this, p, slot] {
-                                on_batch_timeout(p, slot);
+                              alive_.guard([this, p, slot, ep] {
+                                if (ep == epoch_) on_batch_timeout(p, slot);
                               }))) {
     case BatchTable::DeadlineOutcome::kGone:
     case BatchTable::DeadlineOutcome::kExtended:
@@ -1200,7 +1524,9 @@ void HyperLoopClient::fail_channel_async(Primitive p, Status status) {
   // safe serially; the one trigger (a member denying an op's access class)
   // is a tenant-isolation scenario the serial testbed owns, like the rest of
   // the fault machinery.
-  node_.sim().schedule(0, alive_.guard([this, p, status] {
+  const std::uint64_t ep = epoch_;
+  node_.sim().schedule(0, alive_.guard([this, p, status, ep] {
+    if (ep != epoch_) return;  // the failed channel died with its generation
     ChannelState& ch = channels_[static_cast<std::size_t>(p)];
     if (ch.dead.is_ok()) ch.dead = status;
     fail_op(p, status);

@@ -35,6 +35,7 @@
 #include "hyperloop/cluster.hpp"
 #include "hyperloop/group_api.hpp"
 #include "hyperloop/group_types.hpp"
+#include "hyperloop/reconfig.hpp"
 #include "hyperloop/transport/blob_builder.hpp"
 #include "hyperloop/transport/channel_pool.hpp"
 #include "hyperloop/transport/pending_ops.hpp"
@@ -265,9 +266,32 @@ class HyperLoopClient : public GroupInterface {
   void create_batch_qps();   // QPs + regions (before the group wires them)
   void finish_batching();    // templates, padding, RECVs, CQ handlers
 
+  // Reconfiguration (live chain splice) support.
+  /// Build (or rebuild) the per-op channels against the group's current live
+  /// membership: fresh QPs/CQs/ack buffers, ring reset to slot 0 (the new
+  /// tail engine also numbers from 0 — the FIFO imm matching depends on the
+  /// two counters stepping together), templates rebuilt over the live chain.
+  void init_channels();
+  /// Fail every outstanding/backlogged op with `reason`, orphan all CQ
+  /// handlers and timers of the current channel generation (route_alive_
+  /// reset + epoch bump), and fold the batch tables' counters into the
+  /// retired accumulator. The channels are unusable until init_channels().
+  void teardown_channels(const Status& reason);
+
   Node& node_;
   HyperLoopGroup& group_;
   Lifetime alive_;
+  /// Guards CQ handlers of the *current* channel generation only; reset at
+  /// teardown so a queued handler of a replaced ack CQ can never complete an
+  /// op of the new generation. (alive_ stays valid across rebuilds — it
+  /// guards deferred failure callbacks that must still run.)
+  Lifetime route_alive_;
+  /// Bumped at every teardown; scheduled lambdas that touch slot numbering
+  /// (op deadlines, deferred channel failure) capture the epoch and no-op if
+  /// the channels were rebuilt underneath them.
+  std::uint64_t epoch_ = 0;
+  /// Counters of batch tables destroyed by rebuilds (stats() continuity).
+  transport::OpCounters retired_;
   std::array<ChannelState, kNumPrimitives> channels_;
   std::array<std::unique_ptr<BatchState>, kNumPrimitives> batch_;
   // Ops accumulated inside a begin_batch()/flush_batch() bracket or an
@@ -277,6 +301,19 @@ class HyperLoopClient : public GroupInterface {
   std::array<bool, kNumPrimitives> auto_flush_scheduled_{};
   bool batch_mode_ = false;
   std::uint64_t batches_posted_ = 0;
+};
+
+/// Knobs of one online reconfiguration (replace_replica / sync_member).
+struct ReconfigParams {
+  MemberSyncParams sync;  // catch-up stream shape (chunk/retries/rounds)
+  /// Splice-in quiesce: after catch-up converges, wait for in-flight ops
+  /// to drain (poll every `quiesce_interval`, at most `quiesce_attempts`
+  /// times) before cutting over. Under a relentless closed loop the drain
+  /// may never hit zero; the cut-over then proceeds anyway — the rebuild
+  /// fails the stragglers with kUnavailable and callers retry, exactly as
+  /// for any transient chain fault.
+  Duration quiesce_interval = 20'000;  // 20us
+  int quiesce_attempts = 50;
 };
 
 /// Builds a HyperLoop group over nodes[0..R] of a cluster: node `client`
@@ -338,16 +375,101 @@ class HyperLoopGroup {
   void enable_batching();
   [[nodiscard]] bool batching_enabled() const { return batching_enabled_; }
 
+  ~HyperLoopGroup();
+
+  // --- Online reconfiguration (serial testbed only) ------------------------
+  // A chain member can be evicted (splice-out) and later replaced
+  // (catch-up + splice-in) while the surviving members keep serving ops.
+  // Both membership transitions are synchronous within one simulator event,
+  // so no op ever observes a half-spliced chain.
+
+  using ReconfigCallback = std::function<void(Status)>;
+
+  /// Splice `position` out of the live chain: the datapath is rebuilt over
+  /// the surviving members inside this call and keeps acking writes through
+  /// them. In-flight ops fail with kUnavailable (callers retry). Refused
+  /// (returns false) when it would empty the chain or the member is already
+  /// out.
+  bool evict_replica(std::size_t position);
+
+  /// Replace the (evicted or dead) member at `position` with
+  /// `replacement_node`: evicts it if still live, allocates + registers the
+  /// replacement's region and staging, streams the client's authoritative
+  /// mirror to it in the background (MemberSync), then atomically splices it
+  /// into the chain — templates, WAIT credits, slot rings and wiring all
+  /// re-point inside one simulator event. `done` fires with ok once the new
+  /// member serves in the chain, or with the stream's error (the chain stays
+  /// degraded-but-live). One reconfiguration at a time (kFailedPrecondition).
+  void replace_replica(std::size_t position, std::size_t replacement_node,
+                       ReconfigCallback done, ReconfigParams params = ReconfigParams());
+
+  /// Re-stream the authoritative mirror to an existing *live* member over a
+  /// fresh side channel (flap repair: the member's region may have missed
+  /// chain writes while it was unreachable). No membership change.
+  void sync_member(std::size_t position, ReconfigCallback done,
+                   ReconfigParams params = ReconfigParams());
+
+  [[nodiscard]] bool is_live(std::size_t i) const { return live_[i] != 0; }
+  [[nodiscard]] std::size_t num_live() const;
+  /// True while any member is spliced out (the chain runs short).
+  [[nodiscard]] bool degraded() const {
+    return num_live() < replica_nodes_.size();
+  }
+  [[nodiscard]] bool reconfiguring() const {
+    return sync_ != nullptr || pending_.has_value();
+  }
+  /// Completed splice-ins / datapath rebuilds (diagnostics).
+  [[nodiscard]] std::uint64_t splices() const { return splices_; }
+  [[nodiscard]] std::uint64_t datapath_rebuilds() const { return rebuilds_; }
+
  private:
   friend class ReplicaEngine;
   friend class HyperLoopClient;
 
-  /// Wire client -> r0 -> ... -> tail -> client for every primitive of one
-  /// channel generation (per-op or batched twin).
+  /// Wire client -> [live members in chain order] -> client for every
+  /// primitive of one channel generation (per-op or batched twin).
   void wire_chain(bool batched);
 
   /// Shared tail of both constructors: regions, engines, wiring, start.
   void init();
+
+  /// Allocate + register one member's region and staging areas.
+  MemberInfo setup_member(Node& node, bool is_client,
+                          std::uint64_t region_tenant);
+
+  // Live-mask helpers. The members_/replica_nodes_ vectors stay R-wide with
+  // absolute chain positions; dead entries simply drop out of the wiring and
+  // the blob's per-member entries ride through them as inert bytes.
+  [[nodiscard]] std::size_t first_live() const;
+  [[nodiscard]] std::optional<std::size_t> next_live(std::size_t i) const;
+  [[nodiscard]] std::vector<std::size_t> live_members() const;
+
+  /// Tear down every replica engine and the client channels, then rebuild
+  /// both over the current live set — synchronously, inside the calling
+  /// event. Ops in flight fail with `reason`.
+  void rebuild_datapath(const Status& reason);
+
+  /// Catch-up converged: quiesce, apply the residual dirty spans directly to
+  /// the replacement's memory (synchronous, durable — no NIC cache on the
+  /// direct path), swap the member in, rebuild the datapath.
+  void finish_splice();
+
+  // Page-granular dirty tracking over the client mirror while a catch-up
+  // stream runs (4 KiB pages). note_mutation is called from the two mirror
+  // mutation funnels (region_write, apply_local_mirror).
+  void note_mutation(std::uint64_t offset, std::uint64_t len);
+  [[nodiscard]] DirtySpans take_dirty_pages();
+
+  /// In-progress replacement (set between replace_replica and its `done`).
+  struct PendingReplace {
+    std::size_t position = 0;
+    Node* node = nullptr;
+    MemberInfo info;
+    ReconfigCallback done;
+    ReconfigParams params;
+    int quiesce_left = 0;
+    bool splice_in = true;  // false for sync_member (no membership change)
+  };
 
   Cluster* cluster_ = nullptr;  // null when built on a ParallelCluster
   GroupParams params_;
@@ -360,6 +482,15 @@ class HyperLoopGroup {
   bool batching_enabled_ = false;
   std::vector<std::unique_ptr<ReplicaEngine>> replicas_;
   std::unique_ptr<HyperLoopClient> client_;
+
+  Lifetime alive_;
+  std::vector<std::uint8_t> live_;    // 1 = serving in the chain
+  std::unique_ptr<MemberSync> sync_;
+  std::optional<PendingReplace> pending_;
+  bool track_dirty_ = false;
+  std::vector<std::uint8_t> dirty_;   // one flag per 4 KiB mirror page
+  std::uint64_t splices_ = 0;
+  std::uint64_t rebuilds_ = 0;
 };
 
 }  // namespace hyperloop::core

@@ -89,6 +89,10 @@ GroupInterface* GroupManager::create_group(const GroupSpec& spec,
       break;
   }
 
+  e->qps_charged = qps;
+  e->slots_charged = slots;
+  if (e->chain) e->member_charged.assign(spec.member_nodes.size(), 1);
+
   TenantUsage& u = usage_[tenant];
   u.qps += qps;
   u.slots += slots;
@@ -96,6 +100,81 @@ GroupInterface* GroupManager::create_group(const GroupSpec& spec,
   entries_.push_back(std::move(e));
   if (why) *why = Status::ok();
   return entries_.back()->iface;
+}
+
+Status GroupManager::destroy_group(GroupInterface* g) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->iface != g) continue;
+    Entry& e = **it;
+    TenantUsage& u = usage_[e.tenant];
+    HL_CHECK_MSG(u.qps >= e.qps_charged && u.slots >= e.slots_charged &&
+                     u.groups > 0,
+                 "quota ledger underflow on destroy");
+    u.qps -= e.qps_charged;
+    u.slots -= e.slots_charged;
+    --u.groups;
+    entries_.erase(it);  // drops queued doorbells with the group
+    if (cursor_ >= entries_.size()) cursor_ = 0;
+    return Status::ok();
+  }
+  return Status(StatusCode::kNotFound,
+                "group is not owned by this manager");
+}
+
+Status GroupManager::replace_replica(GroupInterface* g, std::size_t failed,
+                                     std::size_t replacement_node,
+                                     HyperLoopGroup::ReconfigCallback done) {
+  Entry* entry = nullptr;
+  for (auto& e : entries_) {
+    if (e->iface == g) {
+      entry = e.get();
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "group is not owned by this manager");
+  }
+  if (!entry->chain) {
+    return Status(StatusCode::kInvalidArgument,
+                  "only the chain datapath supports online replacement");
+  }
+  if (failed >= entry->member_charged.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad member position");
+  }
+
+  // Combined release-then-admit check: a refusal must leave the ledger
+  // exactly as it was, so the released share participates in the admission
+  // arithmetic before anything is written back.
+  const std::uint32_t release =
+      entry->member_charged[failed] ? kChainMemberQps : 0;
+  TenantUsage& u = usage_[entry->tenant];
+  auto qit = quotas_.find(entry->tenant);
+  if (qit != quotas_.end() &&
+      u.qps - release + kChainMemberQps > qit->second.max_qps) {
+    return Status(StatusCode::kResourceExhausted,
+                  "tenant QP quota exceeded");
+  }
+  u.qps = u.qps - release + kChainMemberQps;
+  entry->qps_charged = entry->qps_charged - release + kChainMemberQps;
+  entry->member_charged[failed] = 1;
+
+  // Capturing entry/this raw is safe: the chain invokes this callback under
+  // its own Lifetime, and the chain dies with the entry (which dies with
+  // this manager).
+  entry->chain->replace_replica(
+      failed, replacement_node,
+      [this, entry, failed, release, done = std::move(done)](Status st) {
+        if (!st.is_ok()) {
+          // The replacement never joined; restore the pre-call ledger.
+          usage_[entry->tenant].qps += release;
+          usage_[entry->tenant].qps -= kChainMemberQps;
+          entry->qps_charged = entry->qps_charged + release - kChainMemberQps;
+          entry->member_charged[failed] = release ? 1 : 0;
+        }
+        if (done) done(st);
+      });
+  return Status::ok();
 }
 
 void GroupManager::submit(GroupInterface* g, std::function<void()> post) {

@@ -76,12 +76,35 @@ class GroupManager {
   /// for slot budgets).
   [[nodiscard]] static std::uint32_t slot_cost(const GroupSpec& spec);
 
+  /// One chain member's share of qp_cost: prev+next per primitive (4x2)
+  /// plus a loopback QP for the three loopback primitives.
+  static constexpr std::uint32_t kChainMemberQps = 11;
+
   /// Build and start a group, or refuse it. Returns the group's interface,
   /// owned by the manager; nullptr when the tenant's quota would be
   /// exceeded (with `why` set to kResourceExhausted) or the spec is
   /// malformed (kInvalidArgument).
   GroupInterface* create_group(const GroupSpec& spec,
                                Status* why = nullptr);
+
+  /// Destroy a group this manager owns and release its entire quota charge,
+  /// so the tenant can re-admit an equivalent group at full budget. The
+  /// simulated NIC keeps the (now idle) queue-pair objects — quota is the
+  /// admission-control ledger, not a NIC allocator. Indices handed out by
+  /// group(i) shift down past the destroyed entry. kNotFound for foreign
+  /// groups.
+  Status destroy_group(GroupInterface* g);
+
+  /// Online chain-member replacement with quota turn-over: atomically
+  /// releases the failed member's QP share and admits the replacement's
+  /// (net zero for a charged member) — refusing with kResourceExhausted and
+  /// touching nothing if the tenant's budget no longer covers the swap —
+  /// then delegates to HyperLoopGroup::replace_replica. If the splice later
+  /// fails, the replacement's share is returned before `done` runs. Only
+  /// the chain datapath supports this (kInvalidArgument otherwise).
+  Status replace_replica(GroupInterface* g, std::size_t failed,
+                         std::size_t replacement_node,
+                         HyperLoopGroup::ReconfigCallback done);
 
   struct TenantUsage {
     std::uint32_t qps = 0;
@@ -122,6 +145,12 @@ class GroupManager {
     GroupInterface* iface = nullptr;
     std::uint64_t tenant = 0;
     std::deque<std::function<void()>> doorbells;
+    // Quota ledger for this group: what admission charged (kept exact across
+    // member replacements so destroy_group releases precisely what is held).
+    std::uint32_t qps_charged = 0;
+    std::uint32_t slots_charged = 0;
+    // Chain only: 1 while position i's member share is charged.
+    std::vector<std::uint8_t> member_charged;
   };
 
   void drain_round();

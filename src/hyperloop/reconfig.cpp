@@ -1,0 +1,156 @@
+#include "hyperloop/reconfig.hpp"
+
+#include <algorithm>
+
+#include "hyperloop/transport/channel_pool.hpp"
+#include "rnic/nic.hpp"
+
+namespace hyperloop::core {
+
+MemberSync::MemberSync(Node& src, std::uint64_t src_region_addr,
+                       std::uint32_t src_region_lkey, Node& dst,
+                       std::uint64_t dst_region_addr,
+                       std::uint32_t dst_region_rkey,
+                       std::uint64_t region_size, MemberSyncParams params)
+    : src_(src),
+      dst_(dst),
+      src_addr_(src_region_addr),
+      src_lkey_(src_region_lkey),
+      dst_addr_(dst_region_addr),
+      dst_rkey_(dst_region_rkey),
+      region_size_(region_size),
+      params_(params) {
+  HL_CHECK_MSG(region_size_ > 0, "cannot sync an empty region");
+  HL_CHECK_MSG(params_.chunk > 0, "sync chunk must be positive");
+}
+
+void MemberSync::start(DirtySource take_dirty, Done done) {
+  HL_CHECK_MSG(!done_, "MemberSync::start called twice");
+  take_dirty_ = std::move(take_dirty);
+  done_ = std::move(done);
+  retries_left_ = params_.retry_limit;
+  work_ = {{0, region_size_}};  // bulk round: the whole region
+  build_qp();
+  post_chunk();
+}
+
+/// (Re)creates the side-channel QP pair. An errored pair is abandoned to its
+/// NIC (exactly like the heartbeat monitor's probe rebuilds); the generation
+/// counter makes any CQ firing from the old pair a no-op.
+void MemberSync::build_qp() {
+  const std::uint64_t gen = ++generation_;
+  transport::ChannelPool spool(src_.nic(), src_.memory());
+  transport::ChannelPool dpool(dst_.nic(), dst_.memory());
+  cq_ = spool.cq();
+  qp_ = spool.qp(cq_, cq_, 2, params_.tenant);
+  rnic::CompletionQueue* dcq = dpool.cq();
+  rnic::QueuePair* dqp = dpool.qp(dcq, dcq, 1, params_.tenant);
+  transport::wire(src_.nic(), qp_, dst_.nic(), dqp);
+
+  rnic::CompletionQueue* cq = cq_;
+  cq->set_event_handler(alive_.guard([this, gen, cq] {
+    bool ok = false;
+    bool saw = false;
+    Status err = Status::ok();
+    while (auto wc = cq->poll()) {
+      saw = true;
+      if (wc->status == StatusCode::kOk) {
+        ok = true;
+      } else {
+        err = Status(wc->status, "catch-up stream write failed");
+      }
+    }
+    cq->arm();
+    // One WRITE outstanding at a time, so at most one CQE matters; stale
+    // generations (handler queued before a rebuild) are ignored outright.
+    if (gen != generation_ || finished_ || !saw) return;
+    if (ok) {
+      on_chunk_done(std::min<std::uint64_t>(
+          params_.chunk, work_[work_idx_].second - span_done_));
+    } else {
+      chunk_failed(err);
+    }
+  }));
+  cq->arm();
+}
+
+void MemberSync::post_chunk() {
+  if (finished_) return;
+  if (work_idx_ >= work_.size()) {
+    finish_round();
+    return;
+  }
+  const auto [off, len] = work_[work_idx_];
+  const auto chunk = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(params_.chunk, len - span_done_));
+  const bool last_of_round =
+      work_idx_ + 1 == work_.size() && span_done_ + chunk >= len;
+
+  rnic::SendWr write;
+  write.opcode = rnic::Opcode::kWrite;
+  // The final chunk of every round flushes the target NIC cache, so round
+  // completion means everything streamed so far is NVM-durable there.
+  write.flags = rnic::kSignaled | (last_of_round ? rnic::kFlush : 0u);
+  write.local_addr = src_addr_ + off + span_done_;
+  write.local_len = chunk;
+  write.lkey = src_lkey_;
+  write.remote_addr = dst_addr_ + off + span_done_;
+  write.rkey = dst_rkey_;
+  const Status posted = qp_->post_send(write);
+  if (!posted.is_ok()) chunk_failed(posted);
+}
+
+void MemberSync::on_chunk_done(std::uint64_t chunk_len) {
+  bytes_streamed_ += chunk_len;
+  retries_left_ = params_.retry_limit;  // budget is per chunk
+  span_done_ += chunk_len;
+  if (span_done_ >= work_[work_idx_].second) {
+    ++work_idx_;
+    span_done_ = 0;
+  }
+  post_chunk();
+}
+
+void MemberSync::chunk_failed(Status why) {
+  if (finished_) return;
+  if (retries_left_ <= 0) {
+    finish(std::move(why));
+    return;
+  }
+  --retries_left_;
+  ++chunk_retries_;
+  // Idempotent re-issue: same bytes to the same offset over a fresh QP pair.
+  build_qp();
+  post_chunk();
+}
+
+void MemberSync::finish_round() {
+  // Round-cap reached: stop WITHOUT consuming the dirty tracker — the splice
+  // applies the (now small) residue synchronously at cut-over.
+  if (!take_dirty_ || delta_rounds_ >= params_.max_delta_rounds) {
+    finish(Status::ok());
+    return;
+  }
+  DirtySpans dirty = take_dirty_();
+  if (dirty.empty()) {
+    finish(Status::ok());
+    return;
+  }
+  ++delta_rounds_;
+  work_ = std::move(dirty);
+  work_idx_ = 0;
+  span_done_ = 0;
+  retries_left_ = params_.retry_limit;
+  post_chunk();
+}
+
+void MemberSync::finish(Status s) {
+  if (finished_) return;
+  finished_ = true;
+  if (done_) {
+    auto done = std::move(done_);
+    done(std::move(s));  // may destroy this MemberSync; touch nothing after
+  }
+}
+
+}  // namespace hyperloop::core

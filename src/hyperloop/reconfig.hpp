@@ -1,0 +1,110 @@
+// Online group reconfiguration: the background catch-up stream that brings a
+// replacement (or stale) member's region up to date while the degraded chain
+// keeps serving traffic.
+//
+// MemberSync owns a dedicated client->target QP pair — deliberately outside
+// the chain's pre-posted WQE machinery, so a half-synced member never sits on
+// the ack path — and streams the client's authoritative region mirror to the
+// target as chunked signaled WRITEs, one outstanding at a time (the same
+// chunk/retry shape as ReplicatedStore::catch_up). The last chunk of every
+// round carries kFlush so completion certifies the bytes are NVM-durable at
+// the target, not parked in its NIC cache.
+//
+// Rounds: the first round streams the whole region. While it runs the live
+// chain keeps mutating the mirror, so the caller supplies a dirty-span source
+// (HyperLoopGroup's page-granular dirty tracker); each subsequent round
+// re-streams only the spans dirtied during the previous one. Rounds shrink
+// geometrically under any write rate the chain itself can sustain; after
+// `max_delta_rounds` the residue is small enough for the splice event to
+// apply synchronously (see HyperLoopGroup::finish_splice).
+//
+// Failure model: an errored WRITE (target died, link fault, retry budget
+// exhausted at the NIC) rebuilds the QP pair and re-issues the same chunk —
+// idempotent, same bytes to the same offset — up to `retry_limit` times per
+// chunk before the sync fails. A generation counter orphans CQ handler
+// firings from abandoned QP pairs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "util/lifetime.hpp"
+#include "util/status.hpp"
+
+namespace hyperloop::core {
+
+/// Byte spans (offset, length) of the region to re-stream.
+using DirtySpans = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+struct MemberSyncParams {
+  std::uint32_t chunk = 64 * 1024;  // one WRITE per chunk
+  int retry_limit = 3;              // QP rebuilds per chunk before giving up
+  int max_delta_rounds = 4;         // dirty re-stream rounds before cut-over
+  std::uint64_t tenant = 1;         // token for the side-channel QPs/MRs
+};
+
+class MemberSync {
+ public:
+  using DirtySource = std::function<DirtySpans()>;
+  using Done = std::function<void(Status)>;
+
+  /// Streams [src_region_addr, +region_size) on `src` (the client's mirror,
+  /// read at WRITE-execution time, so every chunk carries current bytes) into
+  /// [dst_region_addr, ...) on `dst`.
+  MemberSync(Node& src, std::uint64_t src_region_addr,
+             std::uint32_t src_region_lkey, Node& dst,
+             std::uint64_t dst_region_addr, std::uint32_t dst_region_rkey,
+             std::uint64_t region_size, MemberSyncParams params);
+
+  MemberSync(const MemberSync&) = delete;
+  MemberSync& operator=(const MemberSync&) = delete;
+
+  /// Begin the bulk round. `take_dirty` is polled between rounds (empty =
+  /// converged); `done` fires exactly once. Must not be called twice.
+  void start(DirtySource take_dirty, Done done);
+
+  [[nodiscard]] std::uint64_t bytes_streamed() const {
+    return bytes_streamed_;
+  }
+  [[nodiscard]] int delta_rounds() const { return delta_rounds_; }
+  [[nodiscard]] std::uint64_t chunk_retries() const { return chunk_retries_; }
+
+ private:
+  void build_qp();
+  void post_chunk();
+  void on_chunk_done(std::uint64_t chunk_len);
+  void chunk_failed(Status why);
+  void finish_round();
+  void finish(Status s);
+
+  Node& src_;
+  Node& dst_;
+  std::uint64_t src_addr_;
+  std::uint32_t src_lkey_;
+  std::uint64_t dst_addr_;
+  std::uint32_t dst_rkey_;
+  std::uint64_t region_size_;
+  MemberSyncParams params_;
+  Lifetime alive_;
+
+  rnic::QueuePair* qp_ = nullptr;
+  rnic::CompletionQueue* cq_ = nullptr;
+  std::uint64_t generation_ = 0;  // orphans stale CQ handler firings
+
+  DirtySource take_dirty_;
+  Done done_;
+  DirtySpans work_;          // spans of the current round
+  std::size_t work_idx_ = 0;
+  std::uint64_t span_done_ = 0;  // bytes of work_[work_idx_] streamed
+  int retries_left_ = 0;
+  bool finished_ = false;
+
+  std::uint64_t bytes_streamed_ = 0;
+  int delta_rounds_ = 0;
+  std::uint64_t chunk_retries_ = 0;
+};
+
+}  // namespace hyperloop::core

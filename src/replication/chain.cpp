@@ -117,9 +117,13 @@ void HeartbeatMonitor::tick() {
       if (!running_) return;
       Probe& p = probes_[i];
       p.check_event = {};
+      // Any successful completion in the drain means the replica answered
+      // this round. Keeping only the *last* status would let a stale failed
+      // CQE (e.g. flushed from a previous probe QP after its replacement
+      // already succeeded) flip a live replica back to dead.
       bool ok = false;
       while (auto wc = p.cq->poll()) {
-        ok = posted && wc->status == StatusCode::kOk;
+        ok = ok || (posted && wc->status == StatusCode::kOk);
       }
       if (ok) {
         const bool was_dead = misses_[i] >= params_.misses_for_failure;
@@ -184,6 +188,11 @@ void ReplicatedStore::initialize_blocking() {
 void ReplicatedStore::start_monitoring(
     std::function<void(std::size_t)> on_failure) {
   on_failure_ = std::move(on_failure);
+  restart_monitor();
+}
+
+void ReplicatedStore::restart_monitor() {
+  if (!on_failure_) return;
   monitor_ = std::make_unique<HeartbeatMonitor>(
       cluster_, client_node_, replica_nodes_, params_.heartbeat);
   monitor_->start(
@@ -196,17 +205,35 @@ void ReplicatedStore::start_monitoring(
 }
 
 /// A replica declared dead answered a probe again before anyone replaced it
-/// (a flap: transient partition or NIC reset). If the group datapath is still
-/// usable, re-push the coordinator's authoritative region (pause-and-catch-up
-/// — in-flight ops at failure time may have stopped partway down the chain)
-/// and resume writes; otherwise stay paused and leave the decision to the
-/// failure handler, which will replace_replica().
-void ReplicatedStore::on_replica_recovered(std::size_t /*replica*/) {
+/// (a flap: transient partition or NIC reset). Repair it in place: a direct
+/// re-stream of the coordinator's authoritative region over fresh side
+/// channels (the chain QPs into the member may be dead), then a full chain
+/// catch-up, which both repairs the members downstream of the flapped one
+/// and certifies group-wide durability through the chain itself. Any failure
+/// along the way — in particular chain QPs that exhausted their retransmit
+/// budget during the outage and can never pass the catch-up writes —
+/// escalates to the failure handler, whose job is replace_replica().
+void ReplicatedStore::on_replica_recovered(std::size_t replica) {
   if (!paused_) return;
-  catch_up(0, params_.recovery_retry_limit, [this](Status s) {
-    if (!s.is_ok()) return;  // datapath QPs are gone; needs replacement
-    ++recoveries_;
-    paused_ = false;
+  auto escalate = [this, replica](const Status& why) {
+    if (why.code() == StatusCode::kFailedPrecondition) {
+      return;  // a reconfiguration is already running; it owns recovery
+    }
+    if (on_failure_) on_failure_(replica);
+  };
+  group_->sync_member(replica, [this, escalate](Status s) {
+    if (!s.is_ok()) {
+      escalate(s);
+      return;
+    }
+    catch_up(0, params_.recovery_retry_limit, [this, escalate](Status s2) {
+      if (!s2.is_ok()) {
+        escalate(s2);
+        return;
+      }
+      ++recoveries_;
+      paused_ = false;
+    });
   });
 }
 
@@ -224,50 +251,95 @@ void ReplicatedStore::commit(storage::Transaction txn,
 void ReplicatedStore::replace_replica(std::size_t failed_replica,
                                       std::size_t replacement,
                                       storage::DoneCallback done) {
-  paused_ = true;
   if (monitor_) monitor_->stop();
+  if (reconfiguring_) {
+    // A second member died while a replacement is still streaming: splice
+    // it out right away — the surviving prefix keeps serving — and queue
+    // its replacement behind the in-flight one.
+    group_->evict_replica(failed_replica);
+    queued_.push_back({failed_replica, replacement, std::move(done)});
+    reset_locks([this](Status s) {
+      if (s.is_ok()) paused_ = false;
+    });
+    return;
+  }
+  reconfiguring_ = true;
+  paused_ = true;
 
-  // Snapshot the coordinator's authoritative region. Lock words are cleared:
-  // any in-flight transaction already failed, and this coordinator is the
-  // only lock owner.
-  const std::uint64_t region = params_.layout.region_size();
-  std::vector<std::byte> snapshot(region);
-  group_->client().region_read(0, snapshot.data(), region);
-  const std::uint64_t lock_base = params_.layout.lock_offset(0);
-  std::fill(snapshot.begin() + static_cast<std::ptrdiff_t>(lock_base),
-            snapshot.begin() +
-                static_cast<std::ptrdiff_t>(lock_base +
-                                            8ull * params_.layout.num_locks),
-            std::byte{0});
+  core::ReconfigParams rp;
+  rp.sync.chunk = params_.recovery_chunk;
+  rp.sync.retry_limit = params_.recovery_retry_limit;
+  rp.sync.tenant = params_.group.tenant;
+  // The splice-out inside this call is synchronous: when it returns, the
+  // datapath is already rebuilt over the surviving members while the
+  // replacement catches up in the background. `done` fires at splice-in.
+  group_->replace_replica(
+      failed_replica, replacement,
+      [this, failed_replica, replacement,
+       done = std::move(done)](Status s) mutable {
+        finish_replace(failed_replica, replacement, s, std::move(done));
+      },
+      rp);
 
-  // New chain: replacement takes the failed member's position.
-  replica_nodes_[failed_replica] = replacement;
-  build_stack();
-  group_->client().region_write(0, snapshot.data(), snapshot.size());
-  log_->restore_from_client_region();
+  // Resume writes through the degraded chain as soon as the stale lock
+  // state is gone.
+  reset_locks([this](Status s) {
+    if (s.is_ok()) paused_ = false;
+  });
+}
 
-  // Bulk catch-up: stream the snapshot to every member in chunks, flushing
-  // the final chunk so completion implies group-wide durability.
-  catch_up(0, params_.recovery_retry_limit,
-           [this, done = std::move(done)](Status s) {
-    if (!s.is_ok()) {
-      if (done) done(s);
+void ReplicatedStore::finish_replace(std::size_t failed,
+                                     std::size_t replacement, Status s,
+                                     storage::DoneCallback done) {
+  reconfiguring_ = false;
+  if (!s.is_ok()) {
+    // The replacement never joined (catch-up stream failed); the chain is
+    // still degraded-but-live. The caller picks another node and retries.
+    if (done) done(s);
+    pump_replacements();
+    return;
+  }
+  replica_nodes_[failed] = replacement;
+  // The splice's datapath rebuild failed any op in flight at cut-over; a
+  // transaction aborted that way may have died holding a lock. Reset the
+  // lock state (now through the full chain, including the new member).
+  reset_locks([this, done = std::move(done)](Status s2) mutable {
+    if (!s2.is_ok()) {
+      if (done) done(s2);
+      pump_replacements();
       return;
     }
     ++recoveries_;
-    paused_ = false;
-    if (on_failure_) {
-      monitor_ = std::make_unique<HeartbeatMonitor>(
-          cluster_, client_node_, replica_nodes_, params_.heartbeat);
-      monitor_->start(
-          [this](std::size_t replica) {
-            paused_ = true;
-            if (on_failure_) on_failure_(replica);
-          },
-          [this](std::size_t replica) { on_replica_recovered(replica); });
+    if (queued_.empty()) {
+      paused_ = false;
+      restart_monitor();
     }
     if (done) done(Status::ok());
+    pump_replacements();
   });
+}
+
+void ReplicatedStore::pump_replacements() {
+  if (queued_.empty()) return;
+  PendingReplacement pr = std::move(queued_.front());
+  queued_.pop_front();
+  replace_replica(pr.failed, pr.replacement, std::move(pr.done));
+}
+
+void ReplicatedStore::reset_locks(storage::DoneCallback done) {
+  const std::uint64_t lock_base = params_.layout.lock_offset(0);
+  const std::uint64_t lock_bytes = 8ull * params_.layout.num_locks;
+  std::vector<std::byte> zeros(lock_bytes, std::byte{0});
+  group_->client().region_write(lock_base, zeros.data(), lock_bytes);
+  locks_ = std::make_unique<storage::GroupLockManager>(
+      group_->client(), cluster_.sim(), params_.layout, params_.owner_id);
+  txc_ = std::make_unique<storage::TransactionCoordinator>(
+      group_->client(), *log_, *locks_, params_.txn);
+  group_->client().gwrite(
+      lock_base, static_cast<std::uint32_t>(lock_bytes), /*flush=*/true,
+      [done = std::move(done)](Status s, const auto&) mutable {
+        if (done) done(s);
+      });
 }
 
 void ReplicatedStore::catch_up(std::uint64_t offset, int retries_left,

@@ -15,6 +15,7 @@
 //    (the coordinator's region) to every member, and resume writes.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -71,6 +72,9 @@ class HeartbeatMonitor {
   [[nodiscard]] std::uint64_t qp_rebuilds() const { return qp_rebuilds_; }
 
  private:
+  /// Regression-test seam (stale-CQE injection into a probe's CQ).
+  friend struct HeartbeatMonitorTestAccess;
+
   struct Probe {
     rnic::QueuePair* qp = nullptr;         // client side
     rnic::CompletionQueue* cq = nullptr;
@@ -143,10 +147,16 @@ class ReplicatedStore {
   /// call resume()).
   void start_monitoring(std::function<void(std::size_t replica)> on_failure);
 
-  /// Rebuild the chain with `replacement` standing in for `failed_replica`
-  /// (chain position preserved), bulk-copy the coordinator's authoritative
-  /// region state to all members of the new chain, and resume writes.
-  /// Asynchronous; `done` fires when the chain is healthy again.
+  /// Online replacement: splice `failed_replica` out of the live chain (the
+  /// surviving prefix resumes acking writes almost immediately — only the
+  /// lock-table reset stands between the splice-out and unpausing), stream
+  /// the coordinator's authoritative region to `replacement` in the
+  /// background, and atomically splice it in once caught up. Asynchronous;
+  /// `done` fires when the replacement serves in the chain (or with the
+  /// stream's error — the chain stays degraded-but-live and the caller
+  /// retries with another node). A second failure arriving while a
+  /// replacement streams is spliced out immediately and its replacement
+  /// queued behind the in-flight one.
   void replace_replica(std::size_t failed_replica, std::size_t replacement,
                        storage::DoneCallback done);
 
@@ -156,10 +166,28 @@ class ReplicatedStore {
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
 
  private:
+  struct PendingReplacement {
+    std::size_t failed = 0;
+    std::size_t replacement = 0;
+    storage::DoneCallback done;
+  };
+
   void build_stack();
   void catch_up(std::uint64_t offset, int retries_left,
                 storage::DoneCallback done);
   void on_replica_recovered(std::size_t replica);
+  /// Group splice finished (ok or not): update membership, reset locks,
+  /// unpause, restart the monitor, start the next queued replacement.
+  void finish_replace(std::size_t failed, std::size_t replacement, Status s,
+                      storage::DoneCallback done);
+  void pump_replacements();
+  void restart_monitor();
+  /// Stale held-lock state — in the manager and as nonzero lock words on the
+  /// members — would deadlock every future transaction (gCAS compares
+  /// against each member's own region). Zero the mirror's lock words,
+  /// rebuild the lock/txn stack, and push the zeros through the (possibly
+  /// degraded) chain with a flush.
+  void reset_locks(storage::DoneCallback done);
 
   Cluster& cluster_;
   std::size_t client_node_;
@@ -172,6 +200,8 @@ class ReplicatedStore {
   std::unique_ptr<HeartbeatMonitor> monitor_;
   std::function<void(std::size_t)> on_failure_;
   bool paused_ = false;
+  bool reconfiguring_ = false;
+  std::deque<PendingReplacement> queued_;
   std::uint64_t recoveries_ = 0;
 };
 

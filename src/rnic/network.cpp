@@ -26,6 +26,10 @@ Network::Network(sim::ParallelSimulator& psim, LinkParams params)
     : psim_(&psim), params_(params) {
   HL_CHECK_MSG(psim.lookahead() <= conservative_lookahead(params),
                "engine lookahead exceeds the fabric's minimum wire latency");
+  // Shard workers park Message payload blocks on their thread-local free
+  // lists; hand them back to the allocator when the engine retires a worker
+  // so pooled blocks don't outlive the simulation that produced them.
+  psim.set_worker_teardown([] { PayloadBuffer::drain_thread_pool(); });
 }
 
 void Network::ensure_capacity(NicId id) {

@@ -17,18 +17,37 @@ constexpr std::uint64_t kMinBlock = 64;
 constexpr int kNumClasses = 15;  // 64 B .. 1 MiB
 
 // Stats are global (bench reports want process totals) but only advisory, so
-// relaxed increments are enough.
+// relaxed increments are enough. g_parked is a gauge (incremented on park,
+// decremented on unpark/drain); together with g_frees it closes the block
+// ledger: allocations == frees + parked + live.
 std::atomic<std::uint64_t> g_allocations{0};
 std::atomic<std::uint64_t> g_reuses{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_parked{0};
+
+void free_block(detail::PayloadBlock* b) {
+  b->~PayloadBlock();
+  ::operator delete(b);
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
 
 // Free lists are per-thread: a shard thread recycles into its own lists and
 // never contends with its peers. Blocks migrate between threads only by
 // being released on a different thread than they were acquired on, which is
 // exactly what the payload's refcount already makes safe. Lists drain back
 // to the system allocator when their thread exits (worker threads die with
-// their ParallelSimulator).
+// their ParallelSimulator) or when drain_thread_pool() is called.
+//
+// `alive` guards against recycling *after* the pool's destructor has run:
+// thread_local destruction order is unspecified relative to other
+// thread_local objects, so a buffer released from another static-duration
+// destructor on this thread would otherwise re-park a block onto a drained
+// pool and strand it (the drain already happened — nothing frees it again).
+// With the flag down, recycle() routes straight to the system allocator.
 struct Pool {
   void* free_heads[kNumClasses] = {};
+  bool alive = true;
+  void drain();
   ~Pool();
 };
 
@@ -53,6 +72,7 @@ PayloadBuffer::Block* PayloadBuffer::acquire(std::uint64_t n) {
     b->refs.store(1, std::memory_order_relaxed);
     b->size = n;
     g_reuses.fetch_add(1, std::memory_order_relaxed);
+    g_parked.fetch_sub(1, std::memory_order_relaxed);
     return b;
   }
   const std::uint64_t capacity = cls >= 0 ? class_capacity(cls) : n;
@@ -68,25 +88,32 @@ PayloadBuffer::Block* PayloadBuffer::acquire(std::uint64_t n) {
 }
 
 void PayloadBuffer::recycle(Block* b) {
-  if (b->size_class < 0) {
-    b->~Block();
-    ::operator delete(b);
+  Pool& p = t_pool;
+  if (b->size_class < 0 || !p.alive) {
+    // Unpooled block, or this thread's pool has already been destroyed
+    // (thread_local teardown order): parking would strand the block.
+    free_block(b);
     return;
   }
-  Pool& p = t_pool;
   b->next_free = static_cast<Block*>(p.free_heads[b->size_class]);
   p.free_heads[b->size_class] = b;
+  g_parked.fetch_add(1, std::memory_order_relaxed);
 }
 
-Pool::~Pool() {
+void Pool::drain() {
   for (void*& head : free_heads) {
     while (head != nullptr) {
       auto* b = static_cast<detail::PayloadBlock*>(head);
       head = b->next_free;
-      b->~PayloadBlock();
-      ::operator delete(b);
+      g_parked.fetch_sub(1, std::memory_order_relaxed);
+      free_block(b);
     }
   }
+}
+
+Pool::~Pool() {
+  drain();
+  alive = false;
 }
 
 void PayloadBuffer::resize(std::uint64_t n) {
@@ -108,7 +135,11 @@ void PayloadBuffer::resize(std::uint64_t n) {
 
 PayloadBuffer::PoolStats PayloadBuffer::pool_stats() {
   return PoolStats{g_allocations.load(std::memory_order_relaxed),
-                   g_reuses.load(std::memory_order_relaxed)};
+                   g_reuses.load(std::memory_order_relaxed),
+                   g_frees.load(std::memory_order_relaxed),
+                   g_parked.load(std::memory_order_relaxed)};
 }
+
+void PayloadBuffer::drain_thread_pool() { t_pool.drain(); }
 
 }  // namespace hyperloop::rnic

@@ -91,12 +91,26 @@ class PayloadBuffer {
     return block_ != nullptr ? block_data(block_) : nullptr;
   }
 
-  /// Free-list statistics (for bench reports and pool tests).
+  /// Free-list statistics (for bench reports and pool tests). The counters
+  /// satisfy `allocations == frees + parked + live` at any quiescent point
+  /// (live = blocks currently owned by PayloadBuffer instances), which the
+  /// pool tests assert after draining every thread's free lists.
   struct PoolStats {
     std::uint64_t allocations = 0;  // blocks taken from the system allocator
     std::uint64_t reuses = 0;       // blocks served from a free list
+    std::uint64_t frees = 0;        // blocks returned to the system allocator
+    std::uint64_t parked = 0;       // blocks sitting on thread free lists now
   };
   static PoolStats pool_stats();
+
+  /// Return every block parked on the calling thread's free lists to the
+  /// system allocator. Worker threads that outlive their useful life inside
+  /// a thread pool (ParallelSimulator keeps workers parked between run()
+  /// calls) invoke this from their teardown hook so pooled blocks don't
+  /// linger past the simulation that produced them; it is also how tests
+  /// reconcile the accounting invariant above. Safe to call at any time —
+  /// subsequent acquires simply repopulate the lists.
+  static void drain_thread_pool();
 
  private:
   using Block = detail::PayloadBlock;

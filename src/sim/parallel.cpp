@@ -95,7 +95,13 @@ void ParallelSimulator::ensure_workers() {
 void ParallelSimulator::worker_loop(int shard) {
   for (;;) {
     gate_.arrive_and_wait(spin_limit_);  // window start
-    if (exit_workers_) return;
+    if (exit_workers_) {
+      // exit_workers_ was published before the releasing barrier, and the
+      // teardown hook (if any) was installed before the first window — both
+      // are safely visible here without further synchronization.
+      if (worker_teardown_) worker_teardown_();
+      return;
+    }
     tls_shard_ = shard;
     shards_[static_cast<std::size_t>(shard)]->run_before(window_bound_);
     tls_shard_ = -1;

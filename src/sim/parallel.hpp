@@ -54,6 +54,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -136,6 +137,18 @@ class ParallelSimulator {
   /// Cross-shard events merged at barriers so far.
   [[nodiscard]] std::uint64_t messages_merged() const { return merged_; }
 
+  /// Install a hook each worker thread runs right before it exits (the
+  /// destructor joins workers after signalling exit). Worker threads hold
+  /// thread-local state planted by the entities whose events they executed —
+  /// rnic payload free lists, most prominently — and the hook is where that
+  /// state is handed back (rnic::Network installs a PayloadBuffer pool
+  /// drain). Runs on the worker thread itself. Must be installed before the
+  /// first multi-shard run()/run_until(); last install wins. Never invoked
+  /// on the caller thread (shard 0), which outlives the simulator.
+  void set_worker_teardown(std::function<void()> hook) {
+    worker_teardown_ = std::move(hook);
+  }
+
  private:
   struct RemoteEvent {
     Time when = 0;
@@ -194,6 +207,7 @@ class ParallelSimulator {
   bool in_window_ = false;
 
   std::vector<std::thread> workers_;  // shards 1..K-1; shard 0 = caller
+  std::function<void()> worker_teardown_;
   Gate gate_;
   int spin_limit_ = 0;
 

@@ -31,6 +31,13 @@ class Lifetime {
     };
   }
 
+  /// Invalidate every guard handed out so far without destroying the owner:
+  /// callbacks wrapped before reset() become no-ops, guards created after it
+  /// work normally. Used when a component rebuilds internal state (e.g. a
+  /// datapath channel generation) and must orphan the previous generation's
+  /// queued CQ handlers and timers.
+  void reset() { token_ = std::make_shared<char>(0); }
+
  private:
   std::shared_ptr<char> token_;
 };

@@ -232,5 +232,90 @@ TEST(GroupManagerTest, SubmittedOpsCompleteThroughArbiter) {
   ASSERT_TRUE(run_until(cluster, [&] { return done == 16; }));
 }
 
+TEST(GroupManagerTest, QuotaRoundTripReadmitsAtFullBudget) {
+  // destroy_group must hand the whole charge back: a tenant at exactly its
+  // budget can tear a group down and admit an identical one forever. Before
+  // the release path existed, the second create here was refused.
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+  GroupManager mgr(cluster);
+
+  const GroupSpec spec =
+      spec_for(GroupSpec::Datapath::kHyperLoop, 0, {1, 2, 3}, 7);
+  mgr.set_quota(7, TenantQuota{GroupManager::qp_cost(spec),
+                               GroupManager::slot_cost(spec)});
+
+  for (int round = 0; round < 3; ++round) {
+    Status why;
+    GroupInterface* g = mgr.create_group(spec, &why);
+    ASSERT_NE(g, nullptr) << "round " << round << ": " << why;
+
+    // The tenant sits at exactly its budget: nothing more fits.
+    EXPECT_EQ(mgr.usage(7).qps, GroupManager::qp_cost(spec));
+    EXPECT_EQ(mgr.create_group(spec, &why), nullptr);
+    EXPECT_EQ(why.code(), StatusCode::kResourceExhausted);
+
+    ASSERT_TRUE(mgr.destroy_group(g).is_ok());
+    const GroupManager::TenantUsage u = mgr.usage(7);
+    EXPECT_EQ(u.qps, 0u);
+    EXPECT_EQ(u.slots, 0u);
+    EXPECT_EQ(u.groups, 0u);
+  }
+  // Foreign pointers are refused, not released.
+  Cluster other;
+  for (int i = 0; i < 3; ++i) other.add_node();
+  GroupManager other_mgr(other);
+  GroupInterface* foreign = other_mgr.create_group(
+      spec_for(GroupSpec::Datapath::kHyperLoop, 0, {1, 2}, 7));
+  ASSERT_NE(foreign, nullptr);
+  EXPECT_EQ(mgr.destroy_group(foreign).code(), StatusCode::kNotFound);
+}
+
+TEST(GroupManagerTest, ReplaceReplicaTurnsOverQuotaExactly) {
+  // Online replacement releases the failed member's share and charges the
+  // replacement's in one step: net zero for a charged member, so a tenant at
+  // its exact budget can still heal its chain — and a refusal (budget
+  // lowered since admission) must leave the ledger untouched.
+  Cluster cluster;
+  for (int i = 0; i < 5; ++i) cluster.add_node();
+  GroupManager mgr(cluster);
+
+  const GroupSpec spec =
+      spec_for(GroupSpec::Datapath::kHyperLoop, 0, {1, 2, 3}, 9);
+  const std::uint32_t budget = GroupManager::qp_cost(spec);
+  mgr.set_quota(9, TenantQuota{budget, GroupManager::slot_cost(spec)});
+  GroupInterface* g = mgr.create_group(spec);
+  ASSERT_NE(g, nullptr);
+  cluster.sim().run_until(cluster.sim().now() + 2_ms);
+
+  bool done = false;
+  Status splice;
+  ASSERT_TRUE(mgr.replace_replica(g, 1, 4, [&](Status s) {
+                   splice = s;
+                   done = true;
+                 }).is_ok());
+  // The swap is net zero even while the splice is still streaming.
+  EXPECT_EQ(mgr.usage(9).qps, budget);
+  ASSERT_TRUE(run_until(cluster, [&] { return done; }, 2'000_ms));
+  ASSERT_TRUE(splice.is_ok()) << splice;
+  EXPECT_EQ(mgr.usage(9).qps, budget);
+
+  // Lower the budget below one member share: the next swap is refused and
+  // the ledger keeps its pre-call value.
+  mgr.set_quota(9, TenantQuota{budget - 1, GroupManager::slot_cost(spec)});
+  const Status refused = mgr.replace_replica(g, 2, 4, [](Status) {});
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(mgr.usage(9).qps, budget);
+
+  // Non-chain datapaths and foreign groups are rejected up front.
+  GroupInterface* naive = mgr.create_group(
+      spec_for(GroupSpec::Datapath::kNaive, 0, {1, 2}, 10));
+  ASSERT_NE(naive, nullptr);
+  EXPECT_EQ(mgr.replace_replica(naive, 0, 4, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.replace_replica(g, 99, 4, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace hyperloop::core

@@ -1,0 +1,167 @@
+// PayloadBuffer pool accounting: the process-wide block ledger must close —
+// allocations == frees + parked + live — across thread-local free lists,
+// cross-thread releases, and ParallelSimulator worker retirement (workers
+// drain their pools through the teardown hook rnic::Network installs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "rnic/payload_buffer.hpp"
+#include "sim/parallel.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_ms;
+using time_literals::operator""_us;
+using rnic::PayloadBuffer;
+
+/// Ledger deltas between two stats snapshots.
+struct Delta {
+  std::uint64_t allocations, reuses, frees;
+  std::uint64_t parked_before, parked_after;
+};
+
+Delta delta(const PayloadBuffer::PoolStats& a,
+            const PayloadBuffer::PoolStats& b) {
+  return Delta{b.allocations - a.allocations, b.reuses - a.reuses,
+               b.frees - a.frees, a.parked, b.parked};
+}
+
+TEST(PayloadPool, SingleThreadLedgerClosesAfterDrain) {
+  PayloadBuffer::drain_thread_pool();
+  const auto before = PayloadBuffer::pool_stats();
+
+  {
+    std::vector<PayloadBuffer> bufs(8);
+    for (std::size_t i = 0; i < bufs.size(); ++i) {
+      bufs[i].resize(64u << i);  // several size classes
+      bufs[i].data()[0] = std::byte{1};
+    }
+  }  // all released: every pooled block parks on this thread's lists
+  const auto parked = PayloadBuffer::pool_stats();
+  EXPECT_EQ(parked.parked - before.parked, 8u);
+
+  // Reuse comes off the park gauge, back on at release.
+  {
+    PayloadBuffer again;
+    again.resize(64);
+    EXPECT_EQ(PayloadBuffer::pool_stats().parked, parked.parked - 1);
+    EXPECT_EQ(PayloadBuffer::pool_stats().reuses, parked.reuses + 1);
+  }
+  EXPECT_EQ(PayloadBuffer::pool_stats().parked, parked.parked);
+
+  PayloadBuffer::drain_thread_pool();
+  const auto after = PayloadBuffer::pool_stats();
+  const Delta d = delta(before, after);
+  EXPECT_EQ(d.allocations, d.frees) << "drained ledger must close";
+  EXPECT_EQ(d.parked_after, d.parked_before);
+}
+
+TEST(PayloadPool, OversizedBlocksBypassTheParkGauge) {
+  PayloadBuffer::drain_thread_pool();
+  const auto before = PayloadBuffer::pool_stats();
+  {
+    PayloadBuffer big;
+    big.resize(2u << 20);  // above the largest size class: unpooled
+  }
+  const auto after = PayloadBuffer::pool_stats();
+  EXPECT_EQ(after.allocations - before.allocations, 1u);
+  EXPECT_EQ(after.frees - before.frees, 1u);  // freed, not parked
+  EXPECT_EQ(after.parked, before.parked);
+}
+
+TEST(PayloadPool, CrossThreadReleaseParksOnTheReleasingThread) {
+  PayloadBuffer::drain_thread_pool();
+  const auto before = PayloadBuffer::pool_stats();
+
+  PayloadBuffer buf;
+  std::thread t([&] {
+    buf.resize(1024);       // allocated from the worker's (empty) pool
+    buf.data()[0] = std::byte{7};
+    PayloadBuffer::drain_thread_pool();  // worker's lists hold nothing yet
+  });
+  t.join();
+  buf = PayloadBuffer{};  // released here: parks on *this* thread's list
+
+  const auto mid = PayloadBuffer::pool_stats();
+  EXPECT_EQ(mid.parked - before.parked, 1u);
+  PayloadBuffer::drain_thread_pool();
+  const auto after = PayloadBuffer::pool_stats();
+  const Delta d = delta(before, after);
+  EXPECT_EQ(d.allocations, d.frees);
+  EXPECT_EQ(d.parked_after, d.parked_before);
+}
+
+TEST(ParallelTeardownHook, RunsOncePerRetiredWorker) {
+  std::atomic<int> ran{0};
+  {
+    sim::ParallelSimulator psim(4, 1'000);
+    psim.set_worker_teardown([&] { ran.fetch_add(1); });
+    int fired = 0;
+    psim.shard(3).schedule_at(500, [&] { ++fired; });
+    psim.run_until(10'000);  // first multi-shard run spawns the workers
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(ran.load(), 0) << "hook must not run while workers are parked";
+  }
+  EXPECT_EQ(ran.load(), 3) << "one teardown per worker (shards - 1)";
+
+  // Single-shard engines never spawn workers, so the hook never runs.
+  ran.store(0);
+  {
+    sim::ParallelSimulator psim(1, 1'000);
+    psim.set_worker_teardown([&] { ran.fetch_add(1); });
+    psim.shard(0).schedule_at(500, [] {});
+    psim.run_until(10'000);
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(PayloadPool, ShardedGroupTrafficDrainsWithTheEngine) {
+  // Worker threads recycle payload blocks onto their own free lists while a
+  // chain runs; when the engine retires them, the hook installed by Network
+  // must hand every parked block back — the ledger closes once the caller
+  // thread (shard 0) drains too.
+  PayloadBuffer::drain_thread_pool();
+  const auto before = PayloadBuffer::pool_stats();
+  {
+    NodeConfig node;
+    node.cores = 4;
+    node.memory_bytes = 8ull * 1024 * 1024;
+    ParallelCluster cluster(4);
+    for (int i = 0; i < 4; ++i) cluster.add_node(node);
+    core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, 1 << 16);
+    cluster.engine().run_until(1_ms);
+
+    std::vector<std::uint8_t> payload(256, 0x5a);
+    Time t = 1_ms;
+    for (int op = 0; op < 32; ++op) {
+      payload[0] = static_cast<std::uint8_t>(op);
+      group.client().region_write(0, payload.data(), payload.size());
+      bool done = false;
+      group.client().gwrite(0, 256, /*flush=*/true,
+                            [&](Status st, const std::vector<std::uint64_t>&) {
+                              EXPECT_TRUE(st.is_ok()) << st;
+                              done = true;
+                            });
+      while (!done) {
+        t += 50_us;
+        cluster.engine().run_until(t);
+      }
+    }
+  }  // engine destruction retires workers -> teardown hook drains their pools
+  PayloadBuffer::drain_thread_pool();
+  const auto after = PayloadBuffer::pool_stats();
+  const Delta d = delta(before, after);
+  EXPECT_GT(d.allocations, 0u) << "no payload traffic flowed (vacuous test)";
+  EXPECT_EQ(d.allocations, d.frees)
+      << "blocks parked on retired worker threads were never freed";
+  EXPECT_EQ(d.parked_after, d.parked_before);
+}
+
+}  // namespace
+}  // namespace hyperloop

@@ -1,0 +1,522 @@
+// Online reconfiguration tests: live chain splice (evict / replace while the
+// surviving prefix keeps acking), the failure-path regressions this PR fixed,
+// and seeded chaos sweeps that kill replicas at the nastiest moments —
+// mid-catch-up, the replacement itself, and back-to-back — then scan every
+// acked write on every live replica.
+//
+// Like chaos_test, this binary carries its own main(): replay one seed with
+// `build/tests/reconfig_test --seed=<seed>` (also HL_CHAOS_SEED=<seed>).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "replication/chain.hpp"
+#include "rnic/nic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+/// Set by --seed= / HL_CHAOS_SEED in main(): replay exactly one seed.
+std::optional<std::uint64_t> g_seed_override;
+}  // namespace
+
+namespace hyperloop::replication {
+
+/// Friend seam declared in HeartbeatMonitor: inject a stale failed CQE into
+/// one probe's completion queue, as a flushed CQE from a replaced probe QP
+/// would arrive after the current probe already succeeded.
+struct HeartbeatMonitorTestAccess {
+  static void inject_stale_failed_cqe(HeartbeatMonitor& m, std::size_t i) {
+    rnic::Completion c;
+    c.status = StatusCode::kUnavailable;
+    c.opcode = rnic::WcOpcode::kRead;
+    m.probes_[i].cq->push(c);
+  }
+};
+
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+constexpr std::uint64_t kBlock = 256;
+constexpr std::uint64_t kRegion = 64 * 1024;
+
+/// Short NIC patience so a dead peer errors its QPs within a few ms of
+/// simulated time instead of the production ~100ms.
+NodeConfig fast_fail_config() {
+  NodeConfig cfg;
+  cfg.nic.response_timeout = 200'000;  // 200us
+  cfg.nic.timeout_retry_limit = 4;     // ~6ms of exponential retransmit
+  return cfg;
+}
+
+core::GroupParams fast_group_params() {
+  core::GroupParams gp;
+  gp.slots = 32;
+  gp.max_outstanding = 8;
+  gp.op_timeout = 1'000'000;  // 1ms per deadline extension
+  gp.op_retry_limit = 2;
+  return gp;
+}
+
+bool wait_for(Cluster& cluster, const std::function<bool()>& pred,
+              Duration budget) {
+  const Time deadline = cluster.sim().now() + budget;
+  while (!pred() && cluster.sim().now() < deadline) {
+    cluster.sim().run_until(cluster.sim().now() + 20_us);
+  }
+  return pred();
+}
+
+/// Synchronous gwrite of `pat` at `offset`; the wait loop drives the sim
+/// (and with it any background catch-up stream).
+Status sync_write(Cluster& cluster, core::GroupInterface& g,
+                  std::uint64_t offset,
+                  const std::vector<std::uint8_t>& pat) {
+  g.region_write(offset, pat.data(), pat.size());
+  bool done = false;
+  Status st;
+  g.gwrite(offset, static_cast<std::uint32_t>(pat.size()), false,
+           [&](Status s, const std::vector<std::uint64_t>&) {
+             st = s;
+             done = true;
+           });
+  if (!wait_for(cluster, [&] { return done; }, 2'000_ms)) {
+    return Status(StatusCode::kInternal, "gwrite never completed");
+  }
+  return st;
+}
+
+std::vector<std::uint8_t> pattern(std::uint64_t tag) {
+  std::vector<std::uint8_t> p(kBlock);
+  const std::uint64_t h = fnv1a_64(tag);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    p[i] = static_cast<std::uint8_t>(h >> ((i % 8) * 8));
+  }
+  return p;
+}
+
+// --- Deterministic splice tests --------------------------------------------
+
+TEST(Reconfig, EvictKeepsAckingThroughSurvivors) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_node();
+  core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, kRegion,
+                             fast_group_params());
+  core::GroupInterface& g = group.client();
+  cluster.sim().run_until(cluster.sim().now() + 1_ms);
+
+  const auto a = pattern(1);
+  ASSERT_TRUE(sync_write(cluster, g, 0, a).is_ok());
+  EXPECT_FALSE(group.degraded());
+
+  // Splice the middle member out; the survivors must keep acking.
+  ASSERT_TRUE(group.evict_replica(1));
+  EXPECT_TRUE(group.degraded());
+  EXPECT_EQ(group.num_live(), 2u);
+  EXPECT_FALSE(group.is_live(1));
+
+  const auto b = pattern(2);
+  ASSERT_TRUE(sync_write(cluster, g, kBlock, b).is_ok());
+  std::vector<std::uint8_t> got(kBlock);
+  for (const std::size_t r : {std::size_t{0}, std::size_t{2}}) {
+    g.replica_read(r, kBlock, got.data(), kBlock);
+    EXPECT_EQ(got, b) << "surviving replica " << r << " missed the write";
+    g.replica_read(r, 0, got.data(), kBlock);
+    EXPECT_EQ(got, a) << "surviving replica " << r << " lost old data";
+  }
+
+  // Down to one member the chain still acks; the last member is kept.
+  ASSERT_TRUE(group.evict_replica(2));
+  EXPECT_EQ(group.num_live(), 1u);
+  const auto c = pattern(3);
+  ASSERT_TRUE(sync_write(cluster, g, 2 * kBlock, c).is_ok());
+  g.replica_read(0, 2 * kBlock, got.data(), kBlock);
+  EXPECT_EQ(got, c);
+  EXPECT_FALSE(group.evict_replica(0)) << "must refuse the last live member";
+  EXPECT_FALSE(group.evict_replica(1)) << "must refuse an already-dead slot";
+  EXPECT_EQ(group.datapath_rebuilds(), 2u);
+}
+
+TEST(Reconfig, ReplaceReplicaSplicesAndCatchesUp) {
+  Cluster cluster;
+  for (int i = 0; i < 6; ++i) cluster.add_node();
+  core::HyperLoopGroup group(cluster, 0, {1, 2, 3}, kRegion,
+                             fast_group_params());
+  core::GroupInterface& g = group.client();
+  cluster.sim().run_until(cluster.sim().now() + 1_ms);
+
+  // Seed state the replacement has to catch up on.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> want;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    want[b * kBlock] = pattern(10 + b);
+    ASSERT_TRUE(sync_write(cluster, g, b * kBlock, want[b * kBlock]).is_ok());
+  }
+
+  bool done = false;
+  Status splice;
+  group.replace_replica(1, 4, [&](Status s) {
+    splice = s;
+    done = true;
+  });
+  EXPECT_TRUE(group.reconfiguring());
+  EXPECT_TRUE(group.degraded());
+
+  // A second reconfiguration is refused while one is in flight.
+  bool refused_done = false;
+  Status refused;
+  group.replace_replica(2, 5, [&](Status s) {
+    refused = s;
+    refused_done = true;
+  });
+
+  // Writes issued during catch-up ack through the degraded chain and must
+  // land on the replacement via the dirty-page delta.
+  want[5 * kBlock] = pattern(42);
+  ASSERT_TRUE(sync_write(cluster, g, 5 * kBlock, want[5 * kBlock]).is_ok());
+
+  ASSERT_TRUE(wait_for(cluster, [&] { return done && refused_done; },
+                       2'000_ms));
+  ASSERT_TRUE(splice.is_ok()) << splice;
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition) << refused;
+  EXPECT_TRUE(group.is_live(1));
+  EXPECT_FALSE(group.degraded());
+  EXPECT_FALSE(group.reconfiguring());
+  EXPECT_EQ(group.splices(), 1u);
+
+  // Everything — pre-failure state and mid-catch-up writes — is on the
+  // replacement, and the healed chain replicates to all three members.
+  std::vector<std::uint8_t> got(kBlock);
+  for (const auto& [off, pat] : want) {
+    g.replica_read(1, off, got.data(), kBlock);
+    EXPECT_EQ(got, pat) << "replacement missed offset " << off;
+  }
+  const auto e = pattern(77);
+  ASSERT_TRUE(sync_write(cluster, g, 6 * kBlock, e).is_ok());
+  for (std::size_t r = 0; r < 3; ++r) {
+    g.replica_read(r, 6 * kBlock, got.data(), kBlock);
+    EXPECT_EQ(got, e) << "post-splice write missing on replica " << r;
+  }
+}
+
+// --- Failure-path regressions ----------------------------------------------
+
+TEST(HeartbeatRegression, StaleFailedCqeDoesNotKillLiveReplica) {
+  // A failed CQE flushed from a previous probe QP can land in the CQ after
+  // the current probe already succeeded. The old drain kept only the *last*
+  // completion's status, so the stale failure masked the success and three
+  // such rounds declared a perfectly healthy replica dead.
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.add_node();
+  HeartbeatMonitor mon(cluster, 0, {1, 2});
+
+  int failures = 0;
+  mon.start([&](std::size_t) { ++failures; });
+
+  int injected = 0;
+  bool stop = false;
+  std::function<void()> inject = [&] {
+    if (stop) return;
+    HeartbeatMonitorTestAccess::inject_stale_failed_cqe(mon, 0);
+    ++injected;
+    cluster.sim().schedule(500'000, [&] { inject(); });  // every 500us
+  };
+  cluster.sim().schedule(100'000, [&] { inject(); });
+
+  cluster.sim().run_until(cluster.sim().now() + 50_ms);
+  stop = true;
+  mon.stop();
+
+  EXPECT_GT(mon.probes_sent(), 20u);  // the monitor actually probed
+  EXPECT_GT(injected, 50);            // the stale CQEs actually flowed
+  EXPECT_EQ(failures, 0) << "stale failed CQEs killed a live replica";
+  EXPECT_EQ(mon.misses(0), 0);
+}
+
+TEST(HeartbeatRegression, RecoveredReplicaEscalatesWhenDatapathDead) {
+  // A replica can answer probes (NIC-level READs) while the chain QPs
+  // through it are dead — e.g. the retransmit budget ran out during the
+  // outage. The recovery path's catch-up then fails; the old code dropped
+  // that failure on the floor and the store stayed paused forever. Fixed:
+  // the failure escalates to the failure handler, which replaces the node.
+  Cluster cluster;
+  const NodeConfig cfg = fast_fail_config();
+  for (int i = 0; i < 4; ++i) cluster.add_node(cfg);
+  StoreParams params;
+  params.layout.db_size = 1 << 18;
+  params.layout.wal_capacity = 1 << 16;
+  params.group = fast_group_params();
+  ReplicatedStore store(cluster, 0, {1, 2}, params);
+  store.initialize_blocking();
+
+  std::vector<std::size_t> failures;
+  store.start_monitoring([&](std::size_t r) { failures.push_back(r); });
+  cluster.sim().run_until(cluster.sim().now() + 5_ms);
+
+  cluster.network().set_node_down(2, true);
+  ASSERT_TRUE(wait_for(cluster, [&] { return !failures.empty(); }, 100_ms));
+  EXPECT_EQ(failures.front(), 1u);
+  EXPECT_FALSE(store.write_available());
+
+  // Drive traffic into the dead tail so the chain hop QP exhausts its
+  // retransmit budget and errors (the store is paused; go to the group).
+  std::uint64_t v = 0xDEAD;
+  store.group().region_write(0, &v, 8);
+  bool poke_done = false;
+  store.group().gwrite(0, 8, false, [&](Status, const auto&) {
+    poke_done = true;
+  });
+  ASSERT_TRUE(wait_for(cluster, [&] { return poke_done; }, 100_ms));
+  cluster.sim().run_until(cluster.sim().now() + 10_ms);  // budget runs dry
+
+  // Heal the fabric: probes succeed again, recovery kicks in, catch-up hits
+  // the dead hop QP — and must escalate instead of silently stalling.
+  cluster.network().set_node_down(2, false);
+  ASSERT_TRUE(wait_for(cluster, [&] { return failures.size() >= 2; },
+                       2'000_ms))
+      << "catch-up failure after a flap was swallowed; store stuck paused";
+  EXPECT_FALSE(store.write_available());
+
+  // The handler's remedy — replacement — heals the chain for real.
+  bool replaced = false;
+  store.replace_replica(1, 3, [&](Status s) {
+    ASSERT_TRUE(s.is_ok()) << s;
+    replaced = true;
+  });
+  ASSERT_TRUE(wait_for(cluster, [&] { return replaced; }, 5'000_ms));
+  EXPECT_TRUE(store.write_available());
+  EXPECT_EQ(store.members()[1], 3u);
+}
+
+// --- Seeded reconfiguration chaos ------------------------------------------
+
+enum class Scenario { kKillDuringCatchUp, kKillOfReplacement,
+                      kBackToBackFailures };
+
+constexpr int kSeedsPerScenario = 25;
+constexpr int kMaxCommits = 60;
+
+/// One chaos run: a paced commit workload against a 3-replica store while
+/// the scenario kills replicas, the failure handler splices in spares, and
+/// the post-run scan checks every acked commit on every live replica.
+void run_reconfig_chaos(Scenario sc, std::uint64_t seed) {
+  SCOPED_TRACE("reconfig seed " + std::to_string(seed) +
+               " (replay: build/tests/reconfig_test --seed=" +
+               std::to_string(seed) + ")");
+
+  Cluster cluster;
+  const NodeConfig cfg = fast_fail_config();
+  for (int i = 0; i < 7; ++i) cluster.add_node(cfg);  // 0 client, 1-3, 4-6
+  StoreParams params;
+  params.layout.db_size = 1 << 18;
+  params.layout.wal_capacity = 1 << 16;
+  params.group = fast_group_params();
+  ReplicatedStore store(cluster, 0, {1, 2, 3}, params);
+  store.initialize_blocking();
+  Rng rng(seed);
+
+  std::deque<std::size_t> spares{4, 5, 6};
+  std::size_t streaming_spare = 99;  // spare currently being spliced in
+  int replace_errors = 0;
+  std::function<void(std::size_t)> replace_pos = [&](std::size_t pos) {
+    if (spares.empty()) return;  // scenario budget exhausted
+    const std::size_t sp = spares.front();
+    spares.pop_front();
+    streaming_spare = sp;
+    store.replace_replica(pos, sp, [&, pos](Status s) {
+      if (!s.is_ok()) {
+        ++replace_errors;
+        replace_pos(pos);  // degraded-but-live: retry with the next spare
+      }
+    });
+  };
+  store.start_monitoring(replace_pos);
+
+  // Paced commit workload at distinct version-stamped offsets. Acked
+  // commits are the durability contract; failures are just retried traffic.
+  std::map<std::uint64_t, std::array<std::uint8_t, 32>> durable;
+  int seq = 0;
+  int acked = 0;
+  bool stop = false;
+  std::function<void()> next_commit = [&] {
+    if (stop || seq == kMaxCommits) return;
+    const std::uint64_t off = static_cast<std::uint64_t>(seq) * 64;
+    std::array<std::uint8_t, 32> val{};
+    const std::uint64_t tag = fnv1a_64(seed * 1'000'003 + seq);
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      val[i] = static_cast<std::uint8_t>(tag >> ((i % 8) * 8));
+    }
+    ++seq;
+    auto txn = store.txc().begin();
+    txn.put(off, val.data(), val.size());
+    store.commit(std::move(txn), [&, off, val](Status s) {
+      if (s.is_ok()) {
+        durable[off] = val;
+        ++acked;
+      }
+      cluster.sim().schedule(2'000'000 + rng.next_below(3'000'000),
+                             [&] { next_commit(); });
+    });
+  };
+  cluster.sim().schedule(1'000'000, [&] { next_commit(); });
+
+  auto kill_position = [&](std::size_t pos) {
+    cluster.network().set_node_down(store.members()[pos], true);
+  };
+  auto healthy = [&] {
+    return store.write_available() && !store.raw_group().reconfiguring();
+  };
+
+  // --- Scenario schedules ---------------------------------------------------
+  cluster.sim().run_until(cluster.sim().now() + 10_ms);
+  const std::size_t first = rng.next_below(3);
+  switch (sc) {
+    case Scenario::kKillDuringCatchUp: {
+      // Kill a second live member while the first replacement still streams:
+      // the store must splice it out immediately and queue its replacement.
+      kill_position(first);
+      ASSERT_TRUE(wait_for(cluster,
+                           [&] { return store.raw_group().reconfiguring(); },
+                           500_ms))
+          << "first replacement never started";
+      const std::size_t second = (first + 1 + rng.next_below(2)) % 3;
+      kill_position(second);
+      // The monitor is stopped during reconfiguration; the operator (this
+      // harness) reports the second failure directly.
+      cluster.sim().schedule(2'000'000, [&, second] { replace_pos(second); });
+      ASSERT_TRUE(wait_for(cluster,
+                           [&] {
+                             return healthy() &&
+                                    store.raw_group().splices() >= 2;
+                           },
+                           5'000_ms))
+          << "chain never healed from the double failure";
+      break;
+    }
+    case Scenario::kKillOfReplacement: {
+      // Kill the replacement itself mid-stream: the splice must fail
+      // cleanly (chain degraded-but-live) and the retry with a fresh spare
+      // must heal it.
+      kill_position(first);
+      ASSERT_TRUE(wait_for(cluster,
+                           [&] { return store.raw_group().reconfiguring(); },
+                           500_ms))
+          << "replacement never started";
+      cluster.network().set_node_down(streaming_spare, true);
+      ASSERT_TRUE(wait_for(cluster,
+                           [&] { return replace_errors >= 1; }, 5'000_ms))
+          << "killing the streaming replacement never failed the splice";
+      ASSERT_TRUE(wait_for(cluster,
+                           [&] {
+                             return healthy() &&
+                                    store.raw_group().splices() >= 1;
+                           },
+                           5'000_ms))
+          << "retry with a fresh spare never healed the chain";
+      break;
+    }
+    case Scenario::kBackToBackFailures: {
+      // Three sequential kills, each healed before the next, cycling
+      // through every spare.
+      std::size_t pos = first;
+      for (int round = 0; round < 3; ++round) {
+        kill_position(pos);
+        ASSERT_TRUE(wait_for(cluster,
+                             [&, round] {
+                               return healthy() &&
+                                      store.raw_group().splices() >=
+                                          static_cast<std::uint64_t>(round +
+                                                                     1);
+                             },
+                             5'000_ms))
+            << "chain never healed from kill #" << round;
+        cluster.sim().run_until(cluster.sim().now() + 5_ms);
+        pos = (pos + 1 + rng.next_below(2)) % 3;
+      }
+      break;
+    }
+  }
+
+  // --- Drain the workload and scan durability -------------------------------
+  ASSERT_TRUE(wait_for(cluster, [&] { return seq == kMaxCommits; }, 5'000_ms))
+      << "workload stalled before its commit budget ran out";
+  ASSERT_TRUE(wait_for(cluster, [&] { return healthy(); }, 5'000_ms));
+  stop = true;
+  cluster.sim().run_until(cluster.sim().now() + 50_ms);  // drain in-flight
+
+  EXPECT_GE(acked, 5) << "workload too starved to be meaningful";
+  EXPECT_GE(store.raw_group().splices(), 1u);
+
+  // Every acked commit must be byte-identical on every live replica.
+  const std::uint64_t db = store.txc().layout().db_offset();
+  std::array<std::uint8_t, 32> got{};
+  int violations = 0;
+  for (const auto& [off, val] : durable) {
+    for (std::size_t r = 0; r < store.members().size(); ++r) {
+      if (!store.raw_group().is_live(r)) continue;
+      store.group().replica_read(r, db + off, got.data(), got.size());
+      if (got != val) {
+        ++violations;
+        ADD_FAILURE() << "acked commit at offset " << off
+                      << " lost or corrupt on replica " << r;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+void sweep(Scenario sc, int scenario_index) {
+  std::vector<std::uint64_t> seeds;
+  if (g_seed_override.has_value()) {
+    seeds.push_back(*g_seed_override);
+  } else {
+    for (int i = 0; i < kSeedsPerScenario; ++i) {
+      seeds.push_back(0x5EEDull + 7'000'003ull * scenario_index + 131ull * i);
+    }
+  }
+  for (std::uint64_t seed : seeds) {
+    run_reconfig_chaos(sc, seed);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "seed " << seed << " failed; replay with "
+                    << "build/tests/reconfig_test --seed=" << seed;
+      return;  // first failing seed is the repro; don't drown it
+    }
+  }
+}
+
+TEST(ReconfigChaos, KillDuringCatchUp) {
+  sweep(Scenario::kKillDuringCatchUp, 0);
+}
+TEST(ReconfigChaos, KillOfReplacement) {
+  sweep(Scenario::kKillOfReplacement, 1);
+}
+TEST(ReconfigChaos, BackToBackFailures) {
+  sweep(Scenario::kBackToBackFailures, 2);
+}
+
+}  // namespace
+}  // namespace hyperloop::replication
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed_override = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    }
+  }
+  if (const char* env = std::getenv("HL_CHAOS_SEED")) {
+    g_seed_override = std::strtoull(env, nullptr, 0);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
