@@ -35,9 +35,14 @@ for file in "$@"; do
       check "$file" '[.datapaths[] | has("name") and has("ops") and
           has("sim_ops_per_sec")] | all' 'malformed "datapaths" row'
       check "$file" '.parallel | length > 0' 'empty "parallel" section'
-      check "$file" '[.parallel[] | has("shards") and has("events") and
-          has("events_per_sec") and has("windows") and has("merged") and
-          has("speedup_vs_serial")] | all' 'malformed "parallel" row'
+      check "$file" '[.parallel[] | has("scenario") and has("shards") and
+          has("coalesce") and has("events") and has("events_per_sec") and
+          has("windows") and has("merged") and has("coalesced_windows") and
+          has("events_per_window") and has("speedup_vs_serial")] | all' \
+          'malformed "parallel" row'
+      check "$file" '[.parallel[].events_per_window |
+          (type == "array" and length > 0)] | all' \
+          '"events_per_window" must be a non-empty histogram array'
       check "$file" '[.parallel[].shards] | index(1) != null' \
           'parallel sweep must include the shards=1 reference row'
       ;;

@@ -7,23 +7,32 @@ namespace hyperloop::replication {
 namespace {
 /// Tenant token for monitoring infrastructure regions.
 constexpr mem::TenantToken kMonitorTenant = 0xBEA7;
+
+template <typename Testbed>
+std::vector<Node*> gather_nodes(Testbed& bed,
+                                const std::vector<std::size_t>& ids) {
+  std::vector<Node*> nodes;
+  nodes.reserve(ids.size());
+  for (const std::size_t id : ids) nodes.push_back(&bed.node(id));
+  return nodes;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // HeartbeatMonitor
 // ---------------------------------------------------------------------------
 
-HeartbeatMonitor::HeartbeatMonitor(
-    Cluster& cluster, std::size_t client_node,
-    const std::vector<std::size_t>& replica_nodes, HeartbeatParams params)
-    : cluster_(cluster),
-      params_(params),
-      client_(&cluster.node(client_node)),
-      replica_nodes_(replica_nodes),
-      misses_(replica_nodes.size(), 0) {
+HeartbeatMonitor::HeartbeatMonitor(Node& client, std::vector<Node*> replicas,
+                                   HeartbeatParams params,
+                                   sim::ParallelSimulator* psim)
+    : params_(params),
+      client_(&client),
+      replicas_(std::move(replicas)),
+      psim_(psim),
+      misses_(replicas_.size(), 0) {
   rnic::Nic& cnic = client_->nic();
-  for (std::size_t i = 0; i < replica_nodes.size(); ++i) {
-    Node& replica = cluster_.node(replica_nodes[i]);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    Node& replica = *replicas_[i];
     Probe probe;
     probe.cq = cnic.create_cq();
 
@@ -46,13 +55,26 @@ HeartbeatMonitor::HeartbeatMonitor(
   }
 }
 
+HeartbeatMonitor::HeartbeatMonitor(
+    Cluster& cluster, std::size_t client_node,
+    const std::vector<std::size_t>& replica_nodes, HeartbeatParams params)
+    : HeartbeatMonitor(cluster.node(client_node),
+                       gather_nodes(cluster, replica_nodes), params) {}
+
+HeartbeatMonitor::HeartbeatMonitor(
+    ParallelCluster& cluster, std::size_t client_node,
+    const std::vector<std::size_t>& replica_nodes, HeartbeatParams params)
+    : HeartbeatMonitor(cluster.node(client_node),
+                       gather_nodes(cluster, replica_nodes), params,
+                       &cluster.engine()) {}
+
 /// (Re)creates the probe QP pair for replica `i`. The remote side is a
 /// passive QP on the replica NIC that merely answers one-sided READs (no
 /// replica CPU ever runs). MRs and the client CQ are reused; a previously
 /// errored QP pair is simply abandoned to its NIC.
 void HeartbeatMonitor::rebuild_probe(std::size_t i) {
   Probe& probe = probes_[i];
-  Node& replica = cluster_.node(replica_nodes_[i]);
+  Node& replica = *replicas_[i];
   rnic::Nic& cnic = client_->nic();
   rnic::Nic& rnic = replica.nic();
   probe.qp = cnic.create_qp(probe.cq, probe.cq, 8, kMonitorTenant);
@@ -73,26 +95,49 @@ void HeartbeatMonitor::start(FailureCallback on_failure,
 
 void HeartbeatMonitor::stop() {
   running_ = false;
-  cluster_.sim().cancel(tick_event_);
+  sim().cancel(tick_event_);
   for (Probe& probe : probes_) {
-    cluster_.sim().cancel(probe.check_event);
+    sim().cancel(probe.check_event);
     probe.check_event = {};
   }
   tick_event_ = {};
 }
 
+void HeartbeatMonitor::service_rebuilds() {
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "service_rebuilds is a driver-side call");
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    Probe& probe = probes_[i];
+    if (!probe.rebuild_pending) continue;
+    probe.rebuild_pending = false;
+    // The QP may have been torn down and left errored for several ticks;
+    // only rebuild if it still needs it (a healed QP means a rebuild from a
+    // previous service call already landed).
+    if (probe.qp->state() != rnic::QueuePair::State::kConnected) {
+      rebuild_probe(i);
+    }
+  }
+}
+
 void HeartbeatMonitor::tick() {
   if (!running_) return;
-  const Time now = cluster_.sim().now();
+  const Time now = sim().now();
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     Probe& probe = probes_[i];
     // An errored probe QP (the NIC retransmit budget ran out against a dead
     // peer) can never answer again; rebuild it with exponential backoff so a
     // healed replica is re-detected without unbounded QP churn. Between
-    // rebuild attempts the post below fails and counts as a miss.
+    // rebuild attempts the post below fails and counts as a miss. Rebuilding
+    // creates QPs on the *replica's* NIC — cross-shard state — so inside a
+    // window it is only marked due here (backoff advances exactly as in
+    // serial) and performed by the driver via service_rebuilds().
     if (probe.qp->state() != rnic::QueuePair::State::kConnected &&
         now >= probe.next_rebuild_at) {
-      rebuild_probe(i);
+      if (psim_ != nullptr && psim_->in_window()) {
+        probe.rebuild_pending = true;
+      } else {
+        rebuild_probe(i);
+      }
       probe.rebuild_backoff = std::min(
           std::max<Duration>(probe.rebuild_backoff * 2, params_.interval),
           params_.rebuild_backoff_cap);
@@ -112,7 +157,7 @@ void HeartbeatMonitor::tick() {
     const bool posted = probe.qp->post_send(read).is_ok();
     if (posted) ++probes_sent_;
 
-    probe.check_event = cluster_.sim().schedule(
+    probe.check_event = sim().schedule(
         params_.probe_timeout, alive_.guard([this, i, posted] {
       if (!running_) return;
       Probe& p = probes_[i];
@@ -141,7 +186,7 @@ void HeartbeatMonitor::tick() {
     }));
   }
   tick_event_ =
-      cluster_.sim().schedule(params_.interval, alive_.guard([this] { tick(); }));
+      sim().schedule(params_.interval, alive_.guard([this] { tick(); }));
 }
 
 // ---------------------------------------------------------------------------

@@ -48,12 +48,37 @@ struct HeartbeatParams {
 /// counter and fires the recovery callback, so a temporary outage never
 /// permanently writes a replica off. Probe QPs that errored (the NIC-level
 /// retransmit budget ran out) are rebuilt with exponential backoff.
+///
+/// Runs on either testbed. All of the monitor's timers (the probe tick and
+/// the per-probe deadline checks) live on the *client's* engine, so on a
+/// ParallelCluster the whole detection path — post, completion poll, miss
+/// counting, the failure/recovery callbacks — executes on the client's
+/// shard, and detection timing is identical to the serial testbed for the
+/// same parameters. The one sharded caveat is probe-QP *rebuilds*: they
+/// mutate the remote replica's NIC, which shard code must never do, so in
+/// sharded mode a due rebuild is only marked inside tick() (backoff state
+/// advances exactly as in serial) and performed by service_rebuilds(), which
+/// the driver calls between runs. stop()/start() are likewise client-shard
+/// or driver-side calls; cancellation uses the owning engine directly, which
+/// the deterministic cross-shard cancel contract reduces to when canceller
+/// and target share a shard.
 class HeartbeatMonitor {
  public:
   using FailureCallback = std::function<void(std::size_t replica)>;
   using RecoveryCallback = std::function<void(std::size_t replica)>;
 
+  /// Core constructor: the monitor only ever touches the client node, the
+  /// replica nodes, and (in sharded mode) the engine for the in-window
+  /// check. Both Cluster overloads below delegate here.
+  HeartbeatMonitor(Node& client, std::vector<Node*> replicas,
+                   HeartbeatParams params = {},
+                   sim::ParallelSimulator* psim = nullptr);
+
   HeartbeatMonitor(Cluster& cluster, std::size_t client_node,
+                   const std::vector<std::size_t>& replica_nodes,
+                   HeartbeatParams params = {});
+
+  HeartbeatMonitor(ParallelCluster& cluster, std::size_t client_node,
                    const std::vector<std::size_t>& replica_nodes,
                    HeartbeatParams params = {});
 
@@ -64,6 +89,11 @@ class HeartbeatMonitor {
   /// Stops probing and cancels every scheduled tick and in-flight probe
   /// check, so no callback ever fires after stop() returns.
   void stop();
+
+  /// Sharded driver hook: perform probe-QP rebuilds that fell due inside
+  /// windows (see the class comment). Call between runs; a no-op on the
+  /// serial testbed, where rebuilds happen inline in tick().
+  void service_rebuilds();
 
   [[nodiscard]] int misses(std::size_t replica) const {
     return misses_[replica];
@@ -85,16 +115,18 @@ class HeartbeatMonitor {
     sim::EventId check_event;              // pending probe-deadline check
     Time next_rebuild_at = 0;              // QP rebuild backoff gate
     Duration rebuild_backoff = 0;
+    bool rebuild_pending = false;          // sharded: deferred to the driver
   };
 
   void tick();
   void rebuild_probe(std::size_t i);
+  [[nodiscard]] sim::Simulator& sim() { return client_->sim(); }
 
-  Cluster& cluster_;
   HeartbeatParams params_;
   Lifetime alive_;
   Node* client_;
-  std::vector<std::size_t> replica_nodes_;
+  std::vector<Node*> replicas_;
+  sim::ParallelSimulator* psim_ = nullptr;  // sharded testbed, else nullptr
   std::vector<Probe> probes_;
   std::vector<int> misses_;
   FailureCallback on_failure_;

@@ -95,11 +95,17 @@ class Network {
 
   /// The lookahead this fabric guarantees: the minimum simulated time any
   /// message spends between leaving one node and touching another. With one
-  /// switch hop it is the propagation delay — serialization and TX-port
-  /// queueing only add to it. This is the window width a ParallelSimulator
-  /// driving this fabric must use (or anything smaller).
+  /// switch hop that is the propagation delay plus serializing the smallest
+  /// possible frame (a bare header) at link rate — TX-port queueing and
+  /// payload bytes only add to it. The truncating division must match
+  /// send()'s serialization arithmetic so equality holds for a header-only
+  /// message departing an idle port. This is the window width a
+  /// ParallelSimulator driving this fabric must use (or anything smaller);
+  /// wider lookahead means wider (cheaper) windows, so claim all of it.
   [[nodiscard]] static Duration conservative_lookahead(const LinkParams& p) {
-    return p.propagation;
+    return p.propagation +
+           static_cast<Duration>(static_cast<double>(p.header_bytes) /
+                                 p.bytes_per_ns);
   }
 
   /// Register a NIC; its id must be unique.

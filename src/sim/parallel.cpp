@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <tuple>
 #include <utility>
@@ -19,6 +20,11 @@ ParallelSimulator::ParallelSimulator(int num_shards, Duration lookahead)
   }
   boxes_.resize(static_cast<std::size_t>(num_shards) *
                 static_cast<std::size_t>(num_shards));
+  shard_local_.resize(static_cast<std::size_t>(num_shards));
+  key_scratch_.resize(static_cast<std::size_t>(num_shards));
+  active_src_.reserve(static_cast<std::size_t>(num_shards));
+  merge_heads_.reserve(static_cast<std::size_t>(num_shards));
+  window_bounds_.resize(static_cast<std::size_t>(num_shards), 0);
   // Spinning at a barrier only helps when every shard has a core to spin on;
   // oversubscribed, a spinner occupies the core its peer needs to arrive.
   const unsigned hw = std::thread::hardware_concurrency();
@@ -28,7 +34,8 @@ ParallelSimulator::ParallelSimulator(int num_shards, Duration lookahead)
 ParallelSimulator::~ParallelSimulator() {
   if (!workers_.empty()) {
     exit_workers_ = true;
-    gate_.arrive_and_wait(spin_limit_);  // release workers into the exit check
+    // Release workers into the exit check.
+    gate_.arrive_and_wait(&coord_sense_, spin_limit_);
     for (std::thread& t : workers_) t.join();
   }
 }
@@ -46,42 +53,83 @@ int ParallelSimulator::shard_of(std::uint32_t entity) const {
   return shard_of_[entity];
 }
 
-void ParallelSimulator::post(int dst_shard, Time when, std::uint32_t src_entity,
-                             std::uint64_t src_seq, InlineTask task) {
+void ParallelSimulator::set_coalescing(bool on) {
+  HL_CHECK_MSG(!in_window(), "set_coalescing is a driver-only control");
+  coalesce_ = on;
+}
+
+void ParallelSimulator::post(int dst_shard, Time when,
+                             std::uint32_t src_entity, std::uint64_t src_seq,
+                             InlineTask task) {
   HL_CHECK_MSG(dst_shard >= 0 && dst_shard < num_shards(),
                "posting to an unknown shard");
   if (!in_window_) {
-    // Driver-thread setup/drain code: single-threaded, schedule directly.
-    shards_[static_cast<std::size_t>(dst_shard)]->schedule_at(when,
-                                                              std::move(task));
+    // Driver-thread setup/drain code and shards=1 direct mode: the caller
+    // is the only thread touching the engine, schedule directly — but under
+    // the same canonical rank a barrier merge would assign, so the
+    // destination queue's tie order is mode-independent.
+    shards_[static_cast<std::size_t>(dst_shard)]->schedule_keyed(
+        when, delivery_key(src_entity, src_seq), std::move(task));
     return;
   }
   const int src_shard = tls_shard_;
   HL_CHECK_MSG(src_shard >= 0, "in-window post from a non-shard thread");
-  HL_CHECK_MSG(when >= window_bound_,
-               "cross-shard delivery inside the current window: the declared "
-               "lookahead overstates the real minimum cross-shard latency");
+  Simulator& src_engine = *shards_[static_cast<std::size_t>(src_shard)];
+  HL_CHECK_MSG(when >= src_engine.now() + lookahead_,
+               "cross-shard delivery under the lookahead horizon: the "
+               "declared lookahead overstates the real minimum cross-shard "
+               "latency");
+  if (dst_shard == src_shard) {
+    // The delivery merges at a barrier; stop this shard's window before the
+    // arrival so it cannot execute past its own pending message.
+    src_engine.clamp_run_bound(when);
+  } else {
+    // Activation horizon: a peer woken by this message can make nothing
+    // arrive back (here or anywhere) before when + lookahead. Later rounds
+    // re-derive bounds from the peer's new event horizon, so this clamp is
+    // what keeps a coalesced leap sound beyond one hop.
+    src_engine.clamp_run_bound(horizon_after(when));
+  }
   box(src_shard, dst_shard)
-      .events.push_back(RemoteEvent{when, src_entity, src_seq,
+      .events.push_back(RemoteEvent{when, delivery_key(src_entity, src_seq),
                                     std::move(task)});
 }
 
 void ParallelSimulator::post_cancel(int dst_shard, EventId id) {
   HL_CHECK_MSG(dst_shard >= 0 && dst_shard < num_shards(),
                "cancelling on an unknown shard");
-  if (!in_window_) {
-    shards_[static_cast<std::size_t>(dst_shard)]->cancel(id);
+  Simulator* target = shards_[static_cast<std::size_t>(dst_shard)].get();
+  if (in_window_) {
+    const int src_shard = tls_shard_;
+    HL_CHECK_MSG(src_shard >= 0,
+                 "in-window post_cancel from a non-shard thread");
+    Simulator& src_engine = *shards_[static_cast<std::size_t>(src_shard)];
+    const Time fire_at = horizon_after(src_engine.now());
+    if (dst_shard == src_shard) {
+      // The cancel delivery must merge before this shard's own execution
+      // reaches it, exactly like a same-shard message.
+      src_engine.clamp_run_bound(fire_at);
+    }
+    box(src_shard, dst_shard)
+        .events.push_back(RemoteEvent{
+            fire_at,
+            delivery_key(kCancelSrc, shard_local_[static_cast<std::size_t>(
+                                                      src_shard)]
+                                         .cancel_seq++),
+            InlineTask([target, id] { target->cancel(id); })});
     return;
   }
-  const int src_shard = tls_shard_;
-  HL_CHECK_MSG(src_shard >= 0, "in-window post_cancel from a non-shard thread");
-  box(src_shard, dst_shard).cancels.push_back(id);
-}
-
-Time ParallelSimulator::min_next_event() {
-  Time n = kTimeNever;
-  for (auto& s : shards_) n = std::min(n, s->next_event_time());
-  return n;
+  if (direct_run_) {
+    // shards=1 direct mode: same contract, no mailboxes — the cancel
+    // executes as an ordinary (canonically ranked) event at the caller's
+    // clock + lookahead.
+    target->schedule_keyed(
+        horizon_after(target->now()),
+        delivery_key(kCancelSrc, shard_local_[0].cancel_seq++),
+        InlineTask([target, id] { target->cancel(id); }));
+    return;
+  }
+  target->cancel(id);  // driver thread between runs: immediate
 }
 
 void ParallelSimulator::ensure_workers() {
@@ -93,8 +141,9 @@ void ParallelSimulator::ensure_workers() {
 }
 
 void ParallelSimulator::worker_loop(int shard) {
+  int sense = 0;  // this thread's private barrier sense
   for (;;) {
-    gate_.arrive_and_wait(spin_limit_);  // window start
+    gate_.arrive_and_wait(&sense, spin_limit_);  // window start
     if (exit_workers_) {
       // exit_workers_ was published before the releasing barrier, and the
       // teardown hook (if any) was installed before the first window — both
@@ -103,26 +152,26 @@ void ParallelSimulator::worker_loop(int shard) {
       return;
     }
     tls_shard_ = shard;
-    shards_[static_cast<std::size_t>(shard)]->run_before(window_bound_);
+    shards_[static_cast<std::size_t>(shard)]->run_before(
+        window_bounds_[static_cast<std::size_t>(shard)]);
     tls_shard_ = -1;
-    gate_.arrive_and_wait(spin_limit_);  // window end
+    gate_.arrive_and_wait(&sense, spin_limit_);  // window end
   }
 }
 
 void ParallelSimulator::run_window() {
-  ++windows_;
   in_window_ = true;
   if (num_shards() == 1) {
     tls_shard_ = 0;
-    shards_[0]->run_before(window_bound_);
+    shards_[0]->run_before(window_bounds_[0]);
     tls_shard_ = -1;
   } else {
     ensure_workers();
-    gate_.arrive_and_wait(spin_limit_);  // release workers into the window
+    gate_.arrive_and_wait(&coord_sense_, spin_limit_);  // release the window
     tls_shard_ = 0;
-    shards_[0]->run_before(window_bound_);
+    shards_[0]->run_before(window_bounds_[0]);
     tls_shard_ = -1;
-    gate_.arrive_and_wait(spin_limit_);  // wait for every shard to finish
+    gate_.arrive_and_wait(&coord_sense_, spin_limit_);  // quiesce all shards
   }
   in_window_ = false;
   merge_mailboxes();
@@ -131,52 +180,130 @@ void ParallelSimulator::run_window() {
 void ParallelSimulator::merge_mailboxes() {
   const int k = num_shards();
   for (int dst = 0; dst < k; ++dst) {
-    merge_scratch_.clear();
+    // Key-sort each source's box (single-writer append order is not time
+    // order), without moving the tasks themselves.
+    active_src_.clear();
+    merge_heads_.clear();
+    std::size_t total = 0;
     for (int src = 0; src < k; ++src) {
       Mailbox& b = box(src, dst);
-      for (RemoteEvent& e : b.events) merge_scratch_.push_back(std::move(e));
-      b.events.clear();
-    }
-    if (!merge_scratch_.empty()) {
-      // Canonical delivery order: (when, source entity, per-source seq).
-      // This — not the real-time order in which shards filled their boxes —
-      // assigns the destination engine's tie-breaking sequence numbers, so
-      // the merged queue is identical for any shard count.
-      std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-                [](const RemoteEvent& a, const RemoteEvent& b) {
-                  return std::tie(a.when, a.src, a.seq) <
-                         std::tie(b.when, b.src, b.seq);
+      if (b.events.empty()) continue;
+      std::vector<MergeKey>& keys =
+          key_scratch_[static_cast<std::size_t>(active_src_.size())];
+      keys.clear();
+      keys.reserve(b.events.size());
+      for (std::size_t i = 0; i < b.events.size(); ++i) {
+        const RemoteEvent& e = b.events[i];
+        keys.push_back(MergeKey{e.when, e.key, static_cast<std::uint32_t>(i)});
+      }
+      std::sort(keys.begin(), keys.end(),
+                [](const MergeKey& a, const MergeKey& b2) {
+                  return std::tie(a.when, a.key) < std::tie(b2.when, b2.key);
                 });
-      Simulator& engine = *shards_[static_cast<std::size_t>(dst)];
-      for (RemoteEvent& e : merge_scratch_) {
-        engine.schedule_at(e.when, std::move(e.task));
-      }
-      merged_ += merge_scratch_.size();
-      merge_scratch_.clear();
+      active_src_.push_back(src);
+      merge_heads_.push_back(0);
+      total += b.events.size();
     }
-    // Cancels apply after deliveries; order among them is outcome-neutral
-    // (one id each, double cancel is a no-op), so no sort.
-    for (int src = 0; src < k; ++src) {
-      Mailbox& b = box(src, dst);
-      for (EventId id : b.cancels) {
-        shards_[static_cast<std::size_t>(dst)]->cancel(id);
+    if (total == 0) continue;
+    // K-way merge of the sorted key lanes into one canonical batch ordered
+    // by (when, delivery key) = (when, source entity, per-source seq). The
+    // batch enters the destination slab carrying those keys as its
+    // tie-breaking seqs (schedule_batch bulk-routes the ascending run), so
+    // the merged queue is identical for any shard count — and identical to
+    // what direct mode schedules without a merge at all. Each task
+    // relocates exactly once, box -> batch -> destination slab.
+    merge_batch_.clear();
+    merge_batch_.reserve(total);
+    const std::size_t lanes = active_src_.size();
+    for (std::size_t picked = 0; picked < total; ++picked) {
+      std::size_t best = lanes;
+      const MergeKey* best_key = nullptr;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (merge_heads_[l] >= key_scratch_[l].size()) continue;
+        const MergeKey& cand = key_scratch_[l][merge_heads_[l]];
+        if (best_key == nullptr ||
+            std::tie(cand.when, cand.key) <
+                std::tie(best_key->when, best_key->key)) {
+          best = l;
+          best_key = &cand;
+        }
       }
-      b.cancels.clear();
+      RemoteEvent& e =
+          box(active_src_[best], dst).events[best_key->idx];
+      merge_batch_.push_back(Simulator::TimedTask{
+          best_key->when, best_key->key, std::move(e.task)});
+      ++merge_heads_[best];
     }
+    shards_[static_cast<std::size_t>(dst)]->schedule_batch(merge_batch_);
+    merged_ += total;
+    for (const int src : active_src_) box(src, dst).events.clear();
   }
 }
 
+void ParallelSimulator::record_window(std::uint64_t events, bool extended) {
+  ++windows_;
+  if (extended) ++coalesced_;
+  const int bucket =
+      events == 0
+          ? 0
+          : std::min(kHistBuckets - 1,
+                     static_cast<int>(std::bit_width(events)));
+  window_hist_[static_cast<std::size_t>(bucket)] += 1;
+}
+
 void ParallelSimulator::run_windows_until(Time deadline, bool bounded) {
+  const int k = num_shards();
+  if (k == 1 && coalesce_) {
+    // Direct mode: with one shard and adaptive windows the optimal schedule
+    // is no windows at all — run the serial engine. post() already
+    // schedules directly when no window is executing, so the event stream
+    // (and its seq assignment) is exactly the serial engine's.
+    Simulator& eng = *shards_[0];
+    direct_run_ = true;
+    tls_shard_ = 0;
+    if (bounded) {
+      eng.run_until(deadline);
+    } else {
+      eng.run();
+    }
+    tls_shard_ = -1;
+    direct_run_ = false;
+    return;
+  }
   for (;;) {
-    const Time n = min_next_event();
-    if (n == kTimeNever) break;
-    if (bounded && n > deadline) break;
-    // run_before is strict (<), so a bound of deadline+1 fires events at
-    // exactly the deadline, matching Simulator::run_until semantics.
-    Time bound = n + lookahead_;
-    if (bounded && deadline + 1 < bound) bound = deadline + 1;
-    window_bound_ = bound;
+    // Per-shard horizons: min and second-min of the next-event times give
+    // every shard's  lookahead + min over the *other* shards  in O(k).
+    Time min1 = kTimeNever;
+    Time min2 = kTimeNever;
+    int argmin = 0;
+    for (int s = 0; s < k; ++s) {
+      const Time t = shards_[static_cast<std::size_t>(s)]->next_event_time();
+      if (t < min1) {
+        min2 = min1;
+        min1 = t;
+        argmin = s;
+      } else if (t < min2) {
+        min2 = t;
+      }
+    }
+    if (min1 == kTimeNever) break;
+    if (bounded && min1 > deadline) break;
+    const Time base = horizon_after(min1);  // classic fixed window bound
+    bool extended = false;
+    for (int d = 0; d < k; ++d) {
+      Time b = base;
+      if (coalesce_) {
+        b = horizon_after(d == argmin ? min2 : min1);
+        extended |= b > base;
+      }
+      // run_before is strict (<), so a bound of deadline+1 fires events at
+      // exactly the deadline, matching Simulator::run_until semantics.
+      if (bounded && deadline + 1 < b) b = deadline + 1;
+      window_bounds_[static_cast<std::size_t>(d)] = b;
+    }
+    const std::uint64_t before = events_executed();
     run_window();
+    record_window(events_executed() - before, extended);
   }
 }
 
@@ -208,25 +335,32 @@ std::size_t ParallelSimulator::pending_events() const {
   return n;
 }
 
-void ParallelSimulator::Gate::arrive_and_wait(int spin_limit) {
-  const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+void ParallelSimulator::Gate::arrive_and_wait(int* sense, int spin_limit) {
+  const int target = 1 - *sense;
+  *sense = target;
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
-    // Last to arrive: reset the count and publish the next phase. The store
-    // happens under the mutex so a cv waiter can never miss the wakeup.
-    std::lock_guard<std::mutex> lk(mu_);
+    // Last to arrive: reset the count, flip the release sense. seq_cst on
+    // the flip and the sleeper read keeps this release and a concurrent
+    // sleeper registration globally ordered — one of the two always sees
+    // the other.
     arrived_.store(0, std::memory_order_relaxed);
-    phase_.store(phase + 1, std::memory_order_release);
-    cv_.notify_all();
+    release_sense_.store(target, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      { std::lock_guard<std::mutex> lk(mu_); }
+      cv_.notify_all();
+    }
     return;
   }
   for (int i = 0; i < spin_limit; ++i) {
-    if (phase_.load(std::memory_order_acquire) != phase) return;
+    if (release_sense_.load(std::memory_order_acquire) == target) return;
     if ((i & 63) == 63) std::this_thread::yield();
   }
   std::unique_lock<std::mutex> lk(mu_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
   cv_.wait(lk, [&] {
-    return phase_.load(std::memory_order_acquire) != phase;
+    return release_sense_.load(std::memory_order_seq_cst) == target;
   });
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace hyperloop::sim

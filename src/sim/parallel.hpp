@@ -1,4 +1,5 @@
-// Sharded parallel discrete-event engine with conservative lookahead.
+// Sharded parallel discrete-event engine with conservative lookahead and
+// adaptive window coalescing.
 //
 // The serial Simulator caps every figure at one core's events/sec. This
 // engine shards the simulation by *simulated node*: each shard owns a full
@@ -6,51 +7,82 @@
 // entities (NICs, CPU schedulers, memories) are pinned to a shard at
 // registration time so all of their events execute on one thread.
 //
-// Synchronization is classic conservative lookahead (CMB-style null-message-
-// free windows): if every cross-shard interaction takes at least `lookahead`
-// of simulated time (in this codebase, the fabric's minimum wire latency —
-// see rnic::Network::conservative_lookahead), then all shards can execute
-// the window [N, N + lookahead) independently, where N is the global minimum
-// pending-event time. A cross-shard effect produced inside the window lands
-// at time >= N + lookahead, i.e. in a later window, so no shard can ever
-// receive a message "from its past".
+// Synchronization is conservative lookahead (CMB-style null-message-free
+// windows): if every cross-shard interaction takes at least `lookahead` of
+// simulated time (the fabric's minimum wire latency — see
+// rnic::Network::conservative_lookahead), a shard may execute any event it
+// can prove no unmerged cross-shard message can precede.
+//
+// Window bounds are *per shard* and adaptive. At each round the coordinator
+// reads every shard's next-event time n_s and gives shard d the bound
+//
+//     B_d = lookahead + min_{s' != d} n_{s'}
+//
+// Soundness: any message another shard s' sends this round is sent from an
+// event at time >= n_{s'}, so it arrives at d no earlier than
+// n_{s'} + lookahead >= B_d. When the rest of the fleet is idle or far in
+// the future, B_d leaps whole stretches of simulated time in one barrier
+// crossing — barrier cost scales with cross-shard traffic, not with
+// simulated time. Two dynamic clamps keep a running shard from outrunning
+// consequences of its *own* sends mid-window (Simulator::clamp_run_bound,
+// always applied on the sending shard's thread):
+//   * a same-shard mailbox post at arrival `a` clamps the shard's bound to
+//     `a` — the delivery must merge at a barrier before execution reaches
+//     it;
+//   * a cross-shard post at arrival `a` clamps the sender's bound to
+//     `a + lookahead` — a receiver woken by that message can make nothing
+//     arrive back anywhere before then, and later rounds re-derive bounds
+//     from the receiver's new event horizon.
+// With coalescing off (set_coalescing(false)), every shard gets the classic
+// fixed bound min_s n_s + lookahead; with one shard and coalescing on, the
+// engine runs the serial Simulator directly — no windows, no mailboxes, no
+// merges, which is what makes shards=1 a zero-overhead fallback.
 //
 // Cross-shard sends go through per-(src shard, dst shard) mailboxes: the
-// sending shard appends during its window (single writer, no locks), and at
-// the window barrier each destination's inbox is merged into its event queue
-// in the canonical order (when, src entity, src seq). That order — not the
-// racy real-time order in which shards happened to run — decides all
-// same-timestamp ties between deliveries, which is what makes a run
-// bit-for-bit identical for a fixed seed regardless of shard count or thread
-// scheduling:
+// sending shard appends during its window (single writer, cache-line
+// padded, no locks), and at the window barrier each destination's inboxes
+// are key-sorted per source and k-way merged into its event queue in the
+// canonical order (when, src entity, src seq), then bulk-inserted via
+// Simulator::schedule_batch.
+//
+// Every delivery enters the destination queue under a *canonical rank*, not
+// a chronological one: its tie-breaking seq is delivery_key(src, seq) in
+// the engine's flagged keyed tie-space (Simulator::schedule_keyed). The
+// destination queue's order is therefore a pure function of the delivery
+// set — identical whether a delivery merged at an early barrier, a late
+// coalesced one, or was scheduled directly in shards=1 direct mode — which
+// is what makes a run bit-for-bit identical for a fixed seed regardless of
+// shard count, coalescing mode, or thread scheduling:
 //
 //   * every entity's own event stream is totally ordered by its shard's
 //     (when, seq) — an entity lives wholly on one shard;
-//   * every cross-shard delivery is ordered by (when, src, seq) where `seq`
-//     is a per-source counter stamped by deterministic sender code;
-//   * window boundaries depend only on the global minimum event time, which
-//     is itself shard-count-invariant.
+//   * every cross-shard delivery is ordered by (when, src, seq) via its
+//     canonical rank, where `seq` is a per-source counter stamped by
+//     deterministic sender code;
+//   * at equal timestamps, locally-scheduled events order before
+//     deliveries (the keyed tie-space sits above all chronological seqs),
+//     uniformly in every mode;
+//   * window *placement* is not shard-count-invariant (bounds depend on
+//     the shard layout), but placement only decides when deliveries merge,
+//     and canonical ranks make merge timing unobservable. The digest sweep
+//     tests pin this across coalescing {off,on} x shards {1,2,8} and
+//     against the serial engine.
 //
-// Serial fallback: shards=1 runs the same window/mailbox discipline on the
-// calling thread with no worker threads and no barriers — the degenerate
-// case is just the serial engine with deterministic delivery merging, and
-// its event stream is identical to every other shard count.
-//
-// Cross-shard cancellation contract (see also Simulator::cancel): an EventId
-// belongs to the shard that created it. A callback running on another shard
-// must use post_cancel(), which ships the handle through the same mailboxes
-// and applies it at the next window barrier, after that window's deliveries
-// are merged. Consequences, pinned by engine_test:
-//   * if the target event's timestamp is beyond the current window, the
-//     cancel always wins (applied at the barrier before the event can fire);
-//   * if the target fires inside the same window the cancel was posted in,
-//     the cancel arrives too late and is a no-op — lookahead is the horizon
-//     of cross-shard influence for cancels exactly as for messages;
-//   * application order at a barrier is irrelevant to outcomes (each cancel
-//     targets one id; double cancels are no-ops), so no canonical sort is
-//     needed.
+// Cross-shard cancellation contract (see also Simulator::cancel): an
+// EventId belongs to the shard that created it. A callback running at time
+// t on any shard may use post_cancel(), which ships a cancel *delivery*
+// through the same mailboxes, executing on the owning shard at exactly
+// t + lookahead (merged canonically with src = kCancelSrc, after every real
+// message at the same timestamp). Consequences, pinned by engine_test:
+//   * a target that fires after t + lookahead is always retracted;
+//   * a target that fires at or before t + lookahead fires — lookahead is
+//     the horizon of cross-shard influence for cancels exactly as for
+//     messages;
+//   * the outcome depends only on (t, lookahead, target time) — never on
+//     shard count, coalescing mode, or where windows happened to fall.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -69,6 +101,14 @@ namespace hyperloop::sim {
 
 class ParallelSimulator {
  public:
+  /// Buckets of the events-per-window histogram: bucket 0 counts empty
+  /// windows, bucket i >= 1 counts windows executing [2^(i-1), 2^i) events.
+  static constexpr int kHistBuckets = 20;
+
+  /// Source-entity sentinel carried by cancel deliveries; orders them after
+  /// every real message at the same timestamp.
+  static constexpr std::uint32_t kCancelSrc = 0xffffffffu;
+
   /// `num_shards` serial engines; `lookahead` is the minimum simulated time
   /// any cross-shard interaction takes (must be > 0). Worker threads are
   /// spawned lazily on the first multi-shard run.
@@ -97,23 +137,33 @@ class ParallelSimulator {
   /// caller is not inside a window (driver thread between runs).
   [[nodiscard]] static int current_shard() { return tls_shard_; }
 
-  /// True while a window is executing on the worker threads. Code running
-  /// then is shard code and must not touch other shards' engines directly.
-  [[nodiscard]] bool in_window() const { return in_window_; }
+  /// True while shard code is executing — a window on the worker threads,
+  /// or a shards=1 direct run on the caller. Code running then must not
+  /// touch other shards' engines (or driver-only APIs) directly.
+  [[nodiscard]] bool in_window() const { return in_window_ || direct_run_; }
+
+  /// Toggle adaptive window coalescing (default on). Off restores the
+  /// classic fixed-lookahead window schedule — same results, more barriers;
+  /// kept togglable so benchmarks can measure the synchronization tax and
+  /// tests can pin digest equality across both modes. Must be called
+  /// between runs, not from shard code.
+  void set_coalescing(bool on);
+  [[nodiscard]] bool coalescing() const { return coalesce_; }
 
   /// Deliver `task` to `dst_shard` at absolute time `when`, ordered
   /// canonically by (when, src_entity, src_seq) against every other
   /// delivery. From inside a window this appends to the current shard's
-  /// mailbox and is merged at the barrier; `when` must then be at or beyond
-  /// the window horizon (checked — a violation means the declared lookahead
-  /// overstates the real minimum latency). Outside a window it schedules
-  /// directly (the caller is the only thread).
+  /// mailbox and is merged at a barrier; `when` must then be at least the
+  /// sender's clock plus the lookahead (checked — a violation means the
+  /// declared lookahead overstates the real minimum latency). Outside a
+  /// window it schedules directly (the caller is the only thread).
   void post(int dst_shard, Time when, std::uint32_t src_entity,
             std::uint64_t src_seq, InlineTask task);
 
   /// Cancel an event created by `dst_shard` from anywhere. Fire-and-forget:
-  /// applied at the next window barrier (see the contract above); success is
-  /// observable only through the event not firing.
+  /// the cancel executes on the owning shard at the caller's clock plus the
+  /// lookahead (see the contract above); success is observable only through
+  /// the event not firing.
   void post_cancel(int dst_shard, EventId id);
 
   /// Run windows until every shard's queue and every mailbox drains.
@@ -132,10 +182,18 @@ class ParallelSimulator {
   [[nodiscard]] std::size_t pending_events() const;
 
   /// Synchronization windows executed so far (perf diagnostics: events per
-  /// window is the parallelism grain).
+  /// window is the parallelism grain). Zero in shards=1 direct mode.
   [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
   /// Cross-shard events merged at barriers so far.
   [[nodiscard]] std::uint64_t messages_merged() const { return merged_; }
+  /// Windows whose adaptive bound extended beyond the classic fixed
+  /// lookahead window (i.e. at least one shard leapt ahead).
+  [[nodiscard]] std::uint64_t coalesced_windows() const { return coalesced_; }
+  /// Log2 histogram of events executed per window (see kHistBuckets).
+  [[nodiscard]] const std::array<std::uint64_t, kHistBuckets>&
+  events_per_window() const {
+    return window_hist_;
+  }
 
   /// Install a hook each worker thread runs right before it exits (the
   /// destructor joins workers after signalling exit). Worker threads hold
@@ -152,43 +210,87 @@ class ParallelSimulator {
  private:
   struct RemoteEvent {
     Time when = 0;
-    std::uint32_t src = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t key = 0;  // delivery_key(src, seq): canonical rank
     InlineTask task;
   };
-  struct Mailbox {
+  /// Per-(src shard, dst shard) append buffer. Single writer (the src
+  /// shard's thread, during its window), drained at barriers; cache-line
+  /// aligned so two shards' appends never share a line.
+  struct alignas(64) Mailbox {
     std::vector<RemoteEvent> events;
-    std::vector<EventId> cancels;
+  };
+  /// Sort key extracted from a RemoteEvent for the barrier merge: boxes are
+  /// key-sorted and k-way merged without moving the 120-byte tasks; each
+  /// task relocates exactly once, box slot -> destination slab.
+  struct MergeKey {
+    Time when;
+    std::uint64_t key;
+    std::uint32_t idx;  // position in the source box
   };
 
-  /// Two-phase window barrier: arrivals counted with atomics, release
-  /// published under a mutex so waiters can fall back from a bounded spin to
-  /// a condition variable (mandatory when shards oversubscribe the host's
-  /// cores — spinning there would stall the very thread being waited on).
+  /// Canonical tie-breaking rank of a delivery inside the destination
+  /// engine's keyed seq space: (src entity, per-source seq) packed above
+  /// Simulator::kKeyedSeqFlag. Comparing keys is comparing (src, seq)
+  /// lexicographically, and the flag puts every delivery after every
+  /// locally-scheduled event at the same timestamp — uniformly across
+  /// direct mode, windowed, and coalesced execution.
+  [[nodiscard]] static std::uint64_t delivery_key(std::uint32_t src,
+                                                  std::uint64_t seq) {
+    HL_CHECK_MSG(src < 0x80000000u || src == kCancelSrc,
+                 "source entity id would collide with the keyed-seq flag");
+    HL_CHECK_MSG(seq < (1ull << 32), "per-source delivery seq overflow");
+    return Simulator::kKeyedSeqFlag |
+           (static_cast<std::uint64_t>(src) << 32) | seq;
+  }
+  /// Per-shard single-writer counters, padded against false sharing.
+  struct alignas(64) ShardLocal {
+    std::uint64_t cancel_seq = 0;
+  };
+
+  /// Sense-reversing centralized barrier. Arrivals count up on one atomic;
+  /// the last arriver resets the count and flips the release sense, which
+  /// waiters observe with a bounded spin (no mutex, no cv on the fast
+  /// path). Waiters that exhaust the spin budget — mandatory when shards
+  /// oversubscribe the host's cores, where spinning would stall the very
+  /// thread being waited on — register as sleepers and fall back to a
+  /// condition variable; the releaser takes the mutex only when the sleeper
+  /// count says someone is (or is about to be) parked. The sense/sleeper
+  /// handshake is seq_cst on both sides so the store-buffering interleaving
+  /// (releaser misses the sleeper, sleeper misses the flip) is impossible.
   class Gate {
    public:
     explicit Gate(int parties) : parties_(parties) {}
-    void arrive_and_wait(int spin_limit);
+    /// `sense` is the calling thread's private sense flag; pass the same
+    /// flag on every crossing of this gate.
+    void arrive_and_wait(int* sense, int spin_limit);
 
    private:
     const int parties_;
     std::atomic<int> arrived_{0};
-    std::atomic<std::uint64_t> phase_{0};
+    std::atomic<int> release_sense_{0};
+    std::atomic<int> sleepers_{0};
     std::mutex mu_;
     std::condition_variable cv_;
   };
 
   void ensure_workers();
   void worker_loop(int shard);
-  void run_window();                 // one window across all shards
-  void merge_mailboxes();            // barrier-side: inboxes -> shard queues
-  [[nodiscard]] Time min_next_event();
+  void run_window();       // one window across all shards
+  void merge_mailboxes();  // barrier-side: inboxes -> shard queues
   void run_windows_until(Time deadline, bool bounded);
+  void record_window(std::uint64_t events, bool extended);
 
   Mailbox& box(int src, int dst) {
     return boxes_[static_cast<std::size_t>(src) *
                       static_cast<std::size_t>(num_shards()) +
                   static_cast<std::size_t>(dst)];
+  }
+
+  /// lookahead-saturating add that never wraps past kTimeNever.
+  [[nodiscard]] Time horizon_after(Time t) const {
+    return t >= kTimeNever - static_cast<Time>(lookahead_)
+               ? kTimeNever
+               : t + static_cast<Time>(lookahead_);
   }
 
   static thread_local int tls_shard_;
@@ -197,23 +299,34 @@ class ParallelSimulator {
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<int> shard_of_;  // entity id -> shard; -1 = unpinned
   std::vector<Mailbox> boxes_;
-  std::vector<RemoteEvent> merge_scratch_;
+  std::vector<ShardLocal> shard_local_;
+
+  // Barrier-merge scratch (coordinator-only, reused across rounds).
+  std::vector<std::vector<MergeKey>> key_scratch_;
+  std::vector<int> active_src_;
+  std::vector<std::size_t> merge_heads_;
+  std::vector<Simulator::TimedTask> merge_batch_;
 
   // Window-loop shared state. Written by the coordinator strictly between
   // barriers, read by workers strictly after them — the Gate's release/
   // acquire pair is the only synchronization these need.
-  Time window_bound_ = 0;
+  std::vector<Time> window_bounds_;  // per-shard adaptive horizon
   bool exit_workers_ = false;
   bool in_window_ = false;
+  bool direct_run_ = false;  // shards=1 + coalescing: serial engine, no windows
+  bool coalesce_ = true;
 
   std::vector<std::thread> workers_;  // shards 1..K-1; shard 0 = caller
   std::function<void()> worker_teardown_;
   Gate gate_;
+  int coord_sense_ = 0;  // coordinator's private barrier sense
   int spin_limit_ = 0;
 
   Time committed_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t merged_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::array<std::uint64_t, kHistBuckets> window_hist_{};
 };
 
 }  // namespace hyperloop::sim

@@ -39,23 +39,36 @@ void Simulator::enqueue(const QueueEntry& e) {
     }
     return;
   }
-  if (sorted_.empty() && !rung_active_) {
+  if (sorted_when_.empty() && !rung_active_) {
     // Quiescent engine with a stale ceiling (everything ahead lives in
-    // staging). Tighten the ceiling instead of seeding sorted_, so a burst
-    // of schedules takes the O(1) staging path rather than O(n)
-    // sorted-inserts. Safe: sorted_ is empty and all staged keys are >= the
-    // old ceiling >= e.when.
+    // staging). Tighten the ceiling instead of seeding the sorted tier, so
+    // a burst of schedules takes the O(1) staging path rather than O(n)
+    // sorted-inserts. Safe: the sorted tier is empty and all staged keys
+    // are >= the old ceiling >= e.when.
     sorted_ceiling_ = e.when;
     staging_.push_back(e);
     return;
   }
-  // Near future: keep sorted_ descending. Short delays land near the back,
-  // so the memmove tail is the handful of events firing sooner than this
-  // one; worst case is bounded by the bucket size, not the queue size.
-  const auto pos = std::lower_bound(
-      sorted_.begin(), sorted_.end(), e,
-      [](const QueueEntry& a, const QueueEntry& b) { return earlier(b, a); });
-  sorted_.insert(pos, e);
+  // Near future: keep the lanes descending. Short delays land near the
+  // back, so the memmove tail is the handful of events firing sooner than
+  // this one; worst case is bounded by the bucket size, not the queue size.
+  std::size_t lo = 0;
+  std::size_t hi = sorted_when_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool mid_later =
+        (sorted_when_[mid] > e.when) |
+        ((sorted_when_[mid] == e.when) & (sorted_ref_[mid].seq > e.seq));
+    if (mid_later) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  sorted_when_.insert(sorted_when_.begin() + static_cast<std::ptrdiff_t>(lo),
+                      e.when);
+  sorted_ref_.insert(sorted_ref_.begin() + static_cast<std::ptrdiff_t>(lo),
+                     SortedRef{e.seq, e.slot, e.gen});
 }
 
 /// Spread staging_ across a fresh rung of equal-width time buckets sized so a
@@ -86,11 +99,13 @@ void Simulator::partition_staging() {
   rung_active_ = true;
 }
 
-/// Make sorted_ non-empty by batch-sorting the next populated rung bucket,
-/// re-partitioning staging_ into a new rung when the current one is spent.
-/// Returns false only when the whole queue is empty.
+/// Make the sorted tier non-empty by batch-sorting the next populated rung
+/// bucket, re-partitioning staging_ into a new rung when the current one is
+/// spent. The bucket is sorted AoS in sort_scratch_ (one key per cache
+/// line's worth of entry) and then split into the two lanes. Returns false
+/// only when the whole queue is empty.
 bool Simulator::refill_sorted() {
-  while (sorted_.empty()) {
+  while (sorted_when_.empty()) {
     if (rung_active_) {
       while (rung_next_ < rung_count_ && rung_[rung_next_].empty()) {
         ++rung_next_;
@@ -103,12 +118,20 @@ bool Simulator::refill_sorted() {
       ++rung_next_;
       sorted_ceiling_ =
           rung_base_ + static_cast<Time>(rung_next_) * rung_width_;
-      sorted_.assign(bucket.begin(), bucket.end());
+      sort_scratch_.assign(bucket.begin(), bucket.end());
       bucket.clear();
-      std::sort(sorted_.begin(), sorted_.end(),
+      std::sort(sort_scratch_.begin(), sort_scratch_.end(),
                 [](const QueueEntry& a, const QueueEntry& b) {
                   return earlier(b, a);
                 });
+      const std::size_t n = sort_scratch_.size();
+      sorted_when_.resize(n);
+      sorted_ref_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const QueueEntry& e = sort_scratch_[i];
+        sorted_when_[i] = e.when;
+        sorted_ref_[i] = SortedRef{e.seq, e.slot, e.gen};
+      }
       return true;
     }
     if (staging_.empty()) return false;
@@ -122,9 +145,10 @@ bool Simulator::refill_sorted() {
 /// and run_until() both funnel through it.
 bool Simulator::top_live() {
   for (;;) {
-    if (sorted_.empty() && !refill_sorted()) return false;
-    if (entry_live(sorted_.back())) return true;
-    sorted_.pop_back();
+    if (sorted_when_.empty() && !refill_sorted()) return false;
+    if (ref_live(sorted_ref_.back())) return true;
+    sorted_when_.pop_back();
+    sorted_ref_.pop_back();
     --dead_;
   }
 }
@@ -139,7 +163,16 @@ void Simulator::purge_dead() {
                            }),
             v.end());  // remove_if is stable: descending order survives
   };
-  scrub(sorted_);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < sorted_ref_.size(); ++i) {
+    if (ref_live(sorted_ref_[i])) {
+      sorted_when_[w] = sorted_when_[i];
+      sorted_ref_[w] = sorted_ref_[i];
+      ++w;
+    }
+  }
+  sorted_when_.resize(w);
+  sorted_ref_.resize(w);
   for (std::size_t i = rung_next_; i < rung_count_; ++i) scrub(rung_[i]);
   scrub(staging_);
   dead_ = 0;
@@ -159,14 +192,16 @@ bool Simulator::cancel(EventId id) {
 
 bool Simulator::step() {
   if (!top_live()) return false;
-  const QueueEntry top = sorted_.back();
-  sorted_.pop_back();
+  const Time when = sorted_when_.back();
+  const SortedRef top = sorted_ref_.back();
+  sorted_when_.pop_back();
+  sorted_ref_.pop_back();
   // Move the callback out and recycle the slot *before* running it, so the
   // callback can schedule new events (possibly into the same slot) freely.
   InlineTask fn = std::move(slab_[top.slot].fn);
   release_slot(top.slot);
   --live_;
-  now_ = top.when;
+  now_ = when;
   ++events_executed_;
   fn();
   return true;
@@ -185,7 +220,7 @@ void Simulator::run_until(Time deadline) {
       if (now_ < deadline) now_ = deadline;
       return;
     }
-    if (sorted_.back().when > deadline) {
+    if (sorted_when_.back() > deadline) {
       now_ = deadline;
       return;
     }
@@ -195,16 +230,45 @@ void Simulator::run_until(Time deadline) {
 
 void Simulator::run_before(Time bound) {
   stopped_ = false;
+  run_bound_ = bound;
   while (!stopped_) {
-    if (!top_live()) return;
-    if (sorted_.back().when >= bound) return;
+    if (!top_live()) break;
+    if (sorted_when_.back() >= run_bound_) break;
     step();
   }
+  run_bound_ = kTimeNever;
 }
 
 Time Simulator::next_event_time() {
   if (!top_live()) return kTimeNever;
-  return sorted_.back().when;
+  return sorted_when_.back();
+}
+
+void Simulator::schedule_batch(std::vector<TimedTask>& batch) {
+  if (batch.empty()) return;
+  // The batch is ascending, so the front carries the tightest constraints:
+  // one not-in-the-past check and one tier-routing check cover everything
+  // when the whole batch clears the lower tiers.
+  HL_CHECK_MSG(batch.front().when >= now_,
+               "cannot schedule a batch event in the past");
+  const Time floor = batch.front().when;
+  if (floor >= sorted_ceiling_ && (!rung_active_ || floor >= rung_end_)) {
+    staging_.reserve(staging_.size() + batch.size());
+    for (TimedTask& t : batch) {
+      const std::uint32_t slot = acquire_slot();
+      slab_[slot].fn = std::move(t.task);
+      staging_.push_back(QueueEntry{t.when, t.seq_key, slot,
+                                    slab_[slot].gen});
+    }
+  } else {
+    for (TimedTask& t : batch) {
+      const std::uint32_t slot = acquire_slot();
+      slab_[slot].fn = std::move(t.task);
+      enqueue(QueueEntry{t.when, t.seq_key, slot, slab_[slot].gen});
+    }
+  }
+  live_ += batch.size();
+  batch.clear();
 }
 
 void Simulator::advance_now(Time t) {

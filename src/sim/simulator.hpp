@@ -18,8 +18,15 @@
 //  * The ready queue is a three-tier ladder queue of trivially-copyable
 //    24-byte entries instead of a comparison heap (a heap pays ~log n
 //    scattered, branch-mispredicting compares per pop):
-//      - sorted_: the near future, kept in descending (when, seq) order, so
-//        popping the next event is pop_back() — O(1) and cache-resident.
+//      - sorted_when_/sorted_ref_: the near future, kept in descending
+//        (when, seq) order, so popping the next event is pop_back() — O(1)
+//        and cache-resident. The tier is stored SoA: a bare timestamp lane
+//        (8 bytes per event) plus an index-aligned reference lane
+//        (seq/slot/gen). Horizon queries — next_event_time(), the window
+//        loop's bound comparison in run_before(), the sharded engine's
+//        min-scan — touch only the timestamp lane; the reference lane and
+//        the slab are read only when an event actually fires (or a dead
+//        entry must be skipped).
 //      - rung_: the mid future, partitioned into equal-width time buckets;
 //        a bucket is batch-sorted only when it becomes current.
 //      - staging_: the far future, a flat unsorted append buffer.
@@ -109,6 +116,61 @@ class Simulator {
     return EventId(slot, gen);
   }
 
+  /// Tie-space flag for externally-keyed events (see schedule_keyed):
+  /// chronological seqs assigned by this engine stay below it, so a keyed
+  /// event always orders after every same-timestamp locally-scheduled one.
+  static constexpr std::uint64_t kKeyedSeqFlag = 1ull << 63;
+
+  /// Schedule an event whose same-timestamp tie rank is supplied by the
+  /// caller instead of assigned chronologically. `seq_key` must have
+  /// kKeyedSeqFlag set and be unique per (when, seq_key) pair. This is how
+  /// the sharded engine gives every cross-shard delivery a canonical rank —
+  /// derived from (source entity, per-source seq), not from when the
+  /// delivery happened to be merged — so the destination queue's order is
+  /// identical whether deliveries arrive through a window barrier, a
+  /// coalesced super-window, or the shards=1 direct path.
+  EventId schedule_keyed(Time when, std::uint64_t seq_key, InlineTask task) {
+    HL_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+    HL_CHECK_MSG(static_cast<bool>(task), "cannot schedule an empty callback");
+    HL_CHECK_MSG(seq_key & kKeyedSeqFlag,
+                 "caller-supplied seq keys live in the flagged tie-space");
+    const std::uint32_t slot = acquire_slot();
+    slab_[slot].fn = std::move(task);
+    const std::uint32_t gen = slab_[slot].gen;
+    enqueue(QueueEntry{when, seq_key, slot, gen});
+    ++live_;
+    return EventId(slot, gen);
+  }
+
+  /// One element of a schedule_batch() bulk insert; `seq_key` as in
+  /// schedule_keyed().
+  struct TimedTask {
+    Time when = 0;
+    std::uint64_t seq_key = 0;
+    InlineTask task;
+  };
+
+  /// Bulk-schedule a batch already in ascending (when, seq_key) order.
+  /// Equivalent to calling schedule_keyed() on each element in sequence,
+  /// but routes the whole batch with one tier-bounds check when it lands
+  /// entirely in the staging tier — the common case for a window barrier's
+  /// merged deliveries, whose arrival times sit at or beyond the lookahead
+  /// horizon. Consumes the tasks and clears `batch` (capacity is retained
+  /// so callers can reuse it as scratch).
+  void schedule_batch(std::vector<TimedTask>& batch);
+
+  /// Lower (never raise) the horizon of the run_before() call currently
+  /// executing on this engine, so the loop stops before `t`. The sharded
+  /// engine calls this from inside event callbacks when a coalesced window
+  /// must end early: a same-shard mailbox post at arrival `a` clamps to `a`
+  /// (the delivery must merge before execution reaches it), and a
+  /// cross-shard post clamps to `a + lookahead` (the receiver's earliest
+  /// consequent arrival back). Outside run_before() the clamp is inert —
+  /// run()/run_until() ignore it and run_before() resets it on entry.
+  void clamp_run_bound(Time t) {
+    if (t < run_bound_) run_bound_ = t;
+  }
+
   /// Cancel a pending event. Returns true exactly when the cancellation
   /// retracted a live event: the event had been scheduled on *this* engine,
   /// had not yet fired, and had not already been cancelled. Returns false —
@@ -138,7 +200,8 @@ class Simulator {
   /// events at exactly `bound` stay queued. This is the window-execution
   /// primitive of the sharded engine: a shard drains [now, bound) while its
   /// peers do the same, and `bound` is the conservative-lookahead horizon no
-  /// cross-shard message can land inside.
+  /// cross-shard message can land inside. Callbacks may shrink the bound
+  /// mid-run via clamp_run_bound() (adaptive window coalescing).
   void run_before(Time bound);
 
   /// Timestamp of the next live event, or kTimeNever when the queue is
@@ -199,9 +262,19 @@ class Simulator {
            ((a.when == b.when) & (a.seq < b.seq));  // FIFO at equal time
   }
 
+  /// Reference lane of the sorted tier: everything needed to fire an event
+  /// except its timestamp, which lives in the index-aligned sorted_when_
+  /// lane. Kept to 16 bytes so a cache line holds four.
+  struct SortedRef {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  static_assert(sizeof(SortedRef) == 16, "keep the reference lane compact");
+
   void enqueue(const QueueEntry& e);
   bool step();      // pop and run one event; false if queue empty
-  bool top_live();  // align sorted_.back() to the next live event
+  bool top_live();  // align the sorted tier's back to the next live event
   bool refill_sorted();
   void partition_staging();
   void purge_dead();
@@ -211,11 +284,17 @@ class Simulator {
   [[nodiscard]] bool entry_live(const QueueEntry& e) const {
     return slab_[e.slot].gen == e.gen;
   }
+  [[nodiscard]] bool ref_live(const SortedRef& r) const {
+    return slab_[r.slot].gen == r.gen;
+  }
 
-  // --- Ladder tiers. Invariant: every key in sorted_ < sorted_ceiling_ <=
-  // every key in rung buckets >= rung_next_ < rung_end_ <= every key in
-  // staging_; inserts are routed by comparing `when` against those bounds.
-  std::vector<QueueEntry> sorted_;  // descending (when, seq); pop_back = next
+  // --- Ladder tiers. Invariant: every key in the sorted lanes <
+  // sorted_ceiling_ <= every key in rung buckets >= rung_next_ < rung_end_
+  // <= every key in staging_; inserts are routed by comparing `when`
+  // against those bounds.
+  std::vector<Time> sorted_when_;      // descending (when, seq); back = next
+  std::vector<SortedRef> sorted_ref_;  // index-aligned with sorted_when_
+  std::vector<QueueEntry> sort_scratch_;  // AoS staging for bucket sorts
   Time sorted_ceiling_ = 0;
   std::vector<std::vector<QueueEntry>> rung_;  // only [0, rung_count_) in use
   std::size_t rung_count_ = 0;
@@ -231,6 +310,7 @@ class Simulator {
   std::size_t live_ = 0;
   std::size_t dead_ = 0;  // cancelled entries still queued somewhere
   Time now_ = 0;
+  Time run_bound_ = kTimeNever;  // live horizon of an executing run_before()
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stopped_ = false;

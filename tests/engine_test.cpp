@@ -187,15 +187,16 @@ TEST(EngineDeterminism, IdenticallySeededRunsMatchExactly) {
 
 // --- Cross-shard cancellation contract (see Simulator::cancel() docs) ------
 //
-// An EventId belongs to the shard that issued it; a callback on another
-// shard cancels through ParallelSimulator::post_cancel(), which applies at
-// the next window barrier. Two deterministic outcomes fall out of the
-// conservative-window model, pinned here at several shard counts:
-//  * a target beyond the canceller's window is always retracted (the barrier
-//    runs before any window that could fire it);
-//  * a target inside the canceller's own window always fires (lookahead is
+// An EventId belongs to the shard that issued it; a callback at time t on
+// another shard cancels through ParallelSimulator::post_cancel(), which
+// ships a cancel *delivery* executing on the owning shard at exactly
+// t + lookahead. Two deterministic outcomes follow, pinned here at several
+// shard counts (and in both window modes, since the fire time depends only
+// on (t, lookahead) — never on where windows happened to fall):
+//  * a target later than t + lookahead is always retracted;
+//  * a target at or before t + lookahead always fires first (lookahead is
 //    the horizon of cross-shard influence for cancels, exactly as for
-//    messages — the cancel cannot outrun the window already executing).
+//    messages — the cancel cannot outrun events inside the horizon).
 
 TEST(EngineCrossShardCancel, CancelBeyondWindowAlwaysWins) {
   for (const int shards : {1, 2, 8}) {
@@ -222,9 +223,9 @@ TEST(EngineCrossShardCancel, CancelInsideSameWindowLosesDeterministically) {
     sim::ParallelSimulator psim(shards, /*lookahead=*/1000);
     const int victim_shard = shards > 1 ? 1 : 0;
     bool victim_fired = false;
-    // Victim at t=800 and canceller at t=100 share window [100, 1100): the
-    // barrier-applied cancel arrives after the victim already fired, at any
-    // shard count — the outcome is deterministic, not racy.
+    // Victim at t=800 sits inside the canceller's horizon (cancel posted at
+    // t=100 fires at 100 + 1000 = 1100 > 800): the victim always fires
+    // first, at any shard count — the outcome is deterministic, not racy.
     const sim::EventId victim = psim.shard(victim_shard).schedule_at(
         800, [&] { victim_fired = true; });
     psim.shard(0).schedule_at(

@@ -1,13 +1,17 @@
 // Determinism and scaling regression for the sharded engine.
 //
 // The contract under test (DESIGN.md §11): for one seed, a run is bit-for-bit
-// identical at every shard count — the window sequence depends only on the
-// global minimum event time, and every cross-shard delivery is merged in the
-// canonical (arrival, source, per-source seq) order rather than wall-clock
-// arrival order. Two layers exercise it:
+// identical at every shard count and in every window mode — adaptive
+// coalescing on or off, shards=1 direct mode included. Window *placement* is
+// not invariant (adaptive bounds depend on the shard layout), but every
+// cross-shard delivery carries a canonical rank (arrival, source, per-source
+// seq) in the destination engine's keyed tie-space, so the destination
+// queue's order is a pure function of the delivery set — merge timing is
+// unobservable. Two layers exercise it:
 //
 //  * a raw-substrate actor mesh posting directly through
-//    ParallelSimulator::post(), digesting each actor's received stream;
+//    ParallelSimulator::post(), digesting each actor's received stream,
+//    swept across coalescing {off, on} x shards {1, 2, 8};
 //  * full HyperLoop groups on a ParallelCluster, compared against the *serial*
 //    Cluster running the identical workload — latencies, event counts, and
 //    the fabric's trace digest all have to match.
@@ -54,12 +58,14 @@ struct MeshResult {
 /// peer, arriving >= one lookahead later (the fabric contract). Receivers
 /// hash (arrival clock, sender, sender's message seq) in execution order, so
 /// the digest pins the exact delivery interleaving — including ties.
-MeshResult run_actor_mesh(int shards, std::uint64_t seed) {
+MeshResult run_actor_mesh(int shards, std::uint64_t seed,
+                          bool coalesce = true) {
   constexpr int kActors = 16;
   constexpr Duration kLookahead = 1000;
   constexpr Time kHorizon = 300'000;
 
   sim::ParallelSimulator psim(shards, kLookahead);
+  psim.set_coalescing(coalesce);
   struct Actor {
     std::uint64_t lcg;
     std::uint64_t send_seq = 0;
@@ -151,6 +157,58 @@ TEST(ParallelEngine, DistinctSeedsDiverge) {
       << "digest is insensitive to the workload — it can't catch anything";
 }
 
+TEST(ParallelEngine, DigestSweepAcrossShardsAndCoalescingModes) {
+  const MeshResult ref = run_actor_mesh(1, 42, /*coalesce=*/true);
+  EXPECT_EQ(ref.windows, 0u) << "shards=1 + coalescing must run direct mode";
+  for (const bool coalesce : {false, true}) {
+    for (const int shards : {1, 2, 8}) {
+      const MeshResult r = run_actor_mesh(shards, 42, coalesce);
+      EXPECT_EQ(ref.digest, r.digest)
+          << "diverged at shards=" << shards << " coalesce=" << coalesce;
+      EXPECT_EQ(ref.events, r.events)
+          << "event count diverged at shards=" << shards
+          << " coalesce=" << coalesce;
+    }
+  }
+  // Coalescing must also actually change the window schedule (fewer
+  // barriers), or the sweep is comparing a mode to itself.
+  EXPECT_LT(run_actor_mesh(8, 42, true).windows,
+            run_actor_mesh(8, 42, false).windows);
+}
+
+TEST(ParallelEngine, DeliveryAtFusedWindowHorizonIsNotEarly) {
+  // Shard 0 holds the global minimum (events at 100 and 200); shard 1's
+  // next event sits at 500. Under adaptive bounds shard 0's window fuses out
+  // to B_0 = 500 + lookahead = 1500 — beyond the classic fixed bound of
+  // 100 + lookahead. Shard 1's event at 500 posts a delivery landing at
+  // exactly 1500 = B_0: the fused window must stop *before* it (run_before
+  // is strict), and at the 1500 tie the locally-scheduled event must still
+  // execute before the delivery (canonical keyed rank).
+  sim::ParallelSimulator psim(2, /*lookahead=*/1000);
+  psim.pin(0, 0);
+  psim.pin(1, 1);
+  std::vector<std::pair<Time, int>> order;  // (shard-0 clock, tag)
+  psim.shard(0).schedule_at(100, [&] { order.emplace_back(100, 0); });
+  psim.shard(0).schedule_at(200, [&] { order.emplace_back(200, 0); });
+  psim.shard(0).schedule_at(1500, [&] {
+    order.emplace_back(psim.shard(0).now(), 1);  // local event at the tie
+  });
+  psim.shard(1).schedule_at(500, [&] {
+    psim.post(0, psim.shard(1).now() + 1000, /*src=*/1, /*seq=*/0,
+              sim::InlineTask([&] {
+                order.emplace_back(psim.shard(0).now(), 2);  // the delivery
+              }));
+  });
+  psim.run_until(3'000);
+  const std::vector<std::pair<Time, int>> expect = {
+      {100, 0}, {200, 0}, {1500, 1}, {1500, 2}};
+  EXPECT_EQ(order, expect)
+      << "a delivery landing exactly at a fused-window horizon must execute "
+         "at its timestamp, after the same-timestamp local event";
+  EXPECT_GT(psim.coalesced_windows(), 0u)
+      << "the workload never fused a window — the edge wasn't exercised";
+}
+
 // --- Full datapath: HyperLoop groups, serial vs sharded --------------------
 
 struct GroupResult {
@@ -211,8 +269,9 @@ GroupResult run_groups_serial() {
   return r;
 }
 
-GroupResult run_groups_sharded(int shards) {
+GroupResult run_groups_sharded(int shards, bool coalesce = true) {
   ParallelCluster cluster(shards);
+  cluster.engine().set_coalescing(coalesce);
   GroupResult r = drive_two_groups(
       cluster, [&](Time t) { cluster.engine().run_until(t); });
   r.events = cluster.engine().events_executed();
@@ -222,16 +281,22 @@ GroupResult run_groups_sharded(int shards) {
 TEST(ParallelEngine, GroupWorkloadMatchesSerialEngineExactly) {
   const GroupResult serial = run_groups_serial();
   ASSERT_EQ(serial.latencies.size(), static_cast<std::size_t>(kGroupOps));
-  for (const int shards : {1, 2, 8}) {
-    const GroupResult par = run_groups_sharded(shards);
-    EXPECT_EQ(serial.latencies, par.latencies)
-        << "client-observed latencies diverged at shards=" << shards;
-    EXPECT_EQ(serial.trace_digest, par.trace_digest)
-        << "fabric trace digest diverged at shards=" << shards;
-    EXPECT_EQ(serial.trace_messages, par.trace_messages)
-        << "message count diverged at shards=" << shards;
-    EXPECT_EQ(serial.events, par.events)
-        << "event count diverged at shards=" << shards;
+  for (const bool coalesce : {false, true}) {
+    for (const int shards : {1, 2, 8}) {
+      const GroupResult par = run_groups_sharded(shards, coalesce);
+      EXPECT_EQ(serial.latencies, par.latencies)
+          << "client-observed latencies diverged at shards=" << shards
+          << " coalesce=" << coalesce;
+      EXPECT_EQ(serial.trace_digest, par.trace_digest)
+          << "fabric trace digest diverged at shards=" << shards
+          << " coalesce=" << coalesce;
+      EXPECT_EQ(serial.trace_messages, par.trace_messages)
+          << "message count diverged at shards=" << shards
+          << " coalesce=" << coalesce;
+      EXPECT_EQ(serial.events, par.events)
+          << "event count diverged at shards=" << shards
+          << " coalesce=" << coalesce;
+    }
   }
 }
 

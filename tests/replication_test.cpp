@@ -225,5 +225,94 @@ TEST_F(ReplicationTest, MonitorKeepsQuietCadence) {
   EXPECT_GE(store_->recoveries(), 0u);
 }
 
+// --- Sharded testbed: monitor timers on a ParallelCluster ------------------
+//
+// The monitor's whole detection path (tick, probe posts, deadline checks,
+// miss counting) lives on the client's shard, so detection timing and the
+// fabric's trace digest must match the serial testbed exactly — probes to a
+// downed replica are dropped at send and never enter the digest. Probe-QP
+// rebuilds are the one driver-deferred piece (service_rebuilds), which
+// detection does not depend on.
+
+struct MonitorRun {
+  std::uint64_t probes = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t messages = 0;
+  Time detected_at = 0;
+  std::size_t failed = 99;
+};
+
+template <typename Testbed, typename RunUntil>
+MonitorRun drive_monitor(Testbed& bed, HeartbeatMonitor& mon,
+                         RunUntil run_until, bool kill) {
+  MonitorRun r;
+  mon.start([&](std::size_t replica) {
+    if (r.failed == 99) {
+      r.failed = replica;
+      r.detected_at = bed.node(3).sim().now();
+    }
+  });
+  Time t = 0;
+  for (int step = 0; step < 400; ++step) {
+    t += 50_us;
+    if (kill && step == 100) bed.network().set_node_down(1, true);
+    run_until(t);
+    mon.service_rebuilds();
+  }
+  mon.stop();
+  r.probes = mon.probes_sent();
+  r.digest = bed.network().trace_digest();
+  r.messages = bed.network().trace_messages();
+  return r;
+}
+
+MonitorRun run_monitor_serial(bool kill) {
+  Cluster bed;
+  for (int i = 0; i < 4; ++i) bed.add_node();
+  bed.network().enable_trace();
+  HeartbeatMonitor mon(bed, 3, {0, 1, 2});
+  return drive_monitor(bed, mon, [&](Time t) { bed.sim().run_until(t); },
+                       kill);
+}
+
+MonitorRun run_monitor_sharded(int shards, bool kill) {
+  ParallelCluster bed(shards);
+  for (int i = 0; i < 4; ++i) bed.add_node();
+  bed.network().enable_trace();
+  HeartbeatMonitor mon(bed, 3, {0, 1, 2});
+  return drive_monitor(bed, mon,
+                       [&](Time t) { bed.engine().run_until(t); }, kill);
+}
+
+TEST(ShardedHeartbeat, HealthyChainTraceMatchesSerialExactly) {
+  const MonitorRun serial = run_monitor_serial(/*kill=*/false);
+  EXPECT_GT(serial.probes, 0u);
+  EXPECT_GT(serial.messages, 0u);
+  EXPECT_EQ(serial.failed, 99u) << "healthy chain reported a failure";
+  for (const int shards : {1, 2, 8}) {
+    const MonitorRun par = run_monitor_sharded(shards, /*kill=*/false);
+    EXPECT_EQ(serial.probes, par.probes) << "shards=" << shards;
+    EXPECT_EQ(serial.digest, par.digest)
+        << "probe traffic digest diverged at shards=" << shards;
+    EXPECT_EQ(serial.messages, par.messages) << "shards=" << shards;
+    EXPECT_EQ(par.failed, 99u) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedHeartbeat, DetectionTimingMatchesSerialExactly) {
+  const MonitorRun serial = run_monitor_serial(/*kill=*/true);
+  ASSERT_EQ(serial.failed, 1u) << "the downed replica was never detected";
+  ASSERT_GT(serial.detected_at, 0u);
+  for (const int shards : {2, 8}) {
+    const MonitorRun par = run_monitor_sharded(shards, /*kill=*/true);
+    EXPECT_EQ(serial.failed, par.failed) << "shards=" << shards;
+    EXPECT_EQ(serial.detected_at, par.detected_at)
+        << "detection time diverged at shards=" << shards;
+    EXPECT_EQ(serial.digest, par.digest)
+        << "trace digest diverged at shards=" << shards
+        << " — dropped probes must never enter the digest";
+  }
+}
+
 }  // namespace
 }  // namespace hyperloop::replication
