@@ -70,6 +70,42 @@ for file in "$@"; do
       check "$file" '.durability_violations == 0' \
           'acked writes lost across a splice'
       ;;
+    chaos_scale)
+      check "$file" '.groups | numbers' 'missing "groups"'
+      check "$file" '.shards | numbers' 'missing "shards"'
+      check "$file" '.splices == .kills' '"splices" must equal "kills"'
+      check "$file" '.steady_p99 | numbers' 'missing "steady_p99"'
+      check "$file" '.chaos_p99 | numbers' 'missing "chaos_p99"'
+      check "$file" '.acked_writes > 0' 'no acked writes (vacuous run)'
+      check "$file" '.p99_ratio <= 1.5' \
+          'fleet chaos p99 exceeds 1.5x steady-state (isolation SLO)'
+      check "$file" '.durability_violations == 0' \
+          'acked writes lost across a splice'
+      ;;
+    reconfig)
+      # Merged baseline (scripts/run_benches.sh): one sub-object per
+      # reconfiguration bench, each held to its own bench's contract.
+      check "$file" '.chaos_splice | objects' 'missing "chaos_splice" object'
+      check "$file" '.chaos_splice.splices == .chaos_splice.kills' \
+          'chaos_splice: "splices" must equal "kills"'
+      check "$file" '.chaos_splice.acked_writes > 0' \
+          'chaos_splice: no acked writes (vacuous run)'
+      check "$file" '.chaos_splice.p99_ratio <= 2' \
+          'chaos_splice: p99 exceeds 2x steady-state'
+      check "$file" '.chaos_splice.durability_violations == 0' \
+          'chaos_splice: acked writes lost across a splice'
+      check "$file" '.chaos_scale | objects' 'missing "chaos_scale" object'
+      check "$file" '.chaos_scale.groups | numbers' \
+          'chaos_scale: missing "groups"'
+      check "$file" '.chaos_scale.splices == .chaos_scale.kills' \
+          'chaos_scale: "splices" must equal "kills"'
+      check "$file" '.chaos_scale.acked_writes > 0' \
+          'chaos_scale: no acked writes (vacuous run)'
+      check "$file" '.chaos_scale.p99_ratio <= 1.5' \
+          'chaos_scale: fleet p99 exceeds 1.5x steady-state'
+      check "$file" '.chaos_scale.durability_violations == 0' \
+          'chaos_scale: acked writes lost across a splice'
+      ;;
     *)
       fail "$file" "unknown or missing \"bench\" field: '$bench'"
       ;;

@@ -3,26 +3,58 @@
 # fault schedule and workload that seed produces (bit-for-bit, see
 # DESIGN.md "Fault model").
 #
-#   scripts/replay_seed.sh <seed> [gtest-filter]
+#   scripts/replay_seed.sh <seed> [gtest-filter] [--shards K]
+#
+# Without --shards this replays the serial sweeps (tests/chaos_test). With
+# --shards K it replays the sharded digest sweeps (tests/chaos_parallel_test)
+# pinned to K shards — the form the parallel suites print when a seed
+# diverges across shard counts.
 #
 # e.g.  scripts/replay_seed.sh 12648430
 #       scripts/replay_seed.sh 12648430 'Chaos.DropPolicy*'
+#       scripts/replay_seed.sh 12648430 --shards 8
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
-  echo "usage: $0 <seed> [gtest-filter]" >&2
+  echo "usage: $0 <seed> [gtest-filter] [--shards K]" >&2
   exit 2
 fi
 seed="$1"
-filter="${2:-Chaos.*}"
+shift
+filter=""
+shards=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shards)
+      [[ $# -ge 2 ]] || { echo "--shards needs a value" >&2; exit 2; }
+      shards="$2"
+      shift 2
+      ;;
+    *)
+      filter="$1"
+      shift
+      ;;
+  esac
+done
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-bin="${repo_root}/build/tests/chaos_test"
+if [[ -n "${shards}" ]]; then
+  target=chaos_parallel_test
+  filter="${filter:-ChaosParallel.*}"
+else
+  target=chaos_test
+  filter="${filter:-Chaos.*}"
+fi
+bin="${repo_root}/build/tests/${target}"
 
 if [[ ! -x "${bin}" ]]; then
-  echo "building chaos_test..." >&2
+  echo "building ${target}..." >&2
   cmake -S "${repo_root}" -B "${repo_root}/build" >/dev/null
-  cmake --build "${repo_root}/build" --target chaos_test -j >/dev/null
+  cmake --build "${repo_root}/build" --target "${target}" -j >/dev/null
 fi
 
+if [[ -n "${shards}" ]]; then
+  exec "${bin}" "--seed=${seed}" "--shards=${shards}" \
+       "--gtest_filter=${filter}"
+fi
 exec "${bin}" "--seed=${seed}" "--gtest_filter=${filter}"

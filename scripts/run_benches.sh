@@ -3,7 +3,8 @@
 #   BENCH_engine.json       (perf_engine: substrate + datapath + shard sweep)
 #   BENCH_datapath.json     (perf_datapath: batching ops/sec)
 #   BENCH_multitenant.json  (fig13_isolation: tail latency under tenant load)
-#   BENCH_reconfig.json     (fig_chaos_splice: online replacement kill storm)
+#   BENCH_reconfig.json     (merged: fig_chaos_splice one-group kill storm +
+#                            fig_chaos_scale 100-group sharded kill storm)
 # then validates each against its schema. Numbers are host-dependent —
 # compare shapes and ratios across PRs, not absolute events/sec; the JSONs
 # record threads_available for honest cross-host reads.
@@ -23,14 +24,29 @@ if [[ ! -f "$BUILD/CMakeCache.txt" ]]; then
   cmake -B "$BUILD" -S "$ROOT"
 fi
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target perf_engine perf_datapath fig13_isolation fig_chaos_splice
+  --target perf_engine perf_datapath fig13_isolation fig_chaos_splice \
+           fig_chaos_scale
 
 "$BUILD/bench/perf_engine" "${QUICK[@]}" --out "$ROOT/BENCH_engine.json"
 "$BUILD/bench/perf_datapath" "${QUICK[@]}" --out "$ROOT/BENCH_datapath.json"
 "$BUILD/bench/fig13_isolation" "${QUICK[@]}" \
   --out "$ROOT/BENCH_multitenant.json"
-"$BUILD/bench/fig_chaos_splice" "${QUICK[@]}" \
-  --out "$ROOT/BENCH_reconfig.json"
+
+# The two reconfiguration benches merge into one baseline. Pure shell: each
+# bench emits a complete JSON object, re-indented and nested under its name
+# (no jq dependency for generation; validation below uses jq when present).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$BUILD/bench/fig_chaos_splice" "${QUICK[@]}" --out "$tmp/splice.json"
+"$BUILD/bench/fig_chaos_scale" "${QUICK[@]}" --out "$tmp/scale.json"
+splice_json="$(sed '2,$s/^/  /' "$tmp/splice.json")"
+scale_json="$(sed '2,$s/^/  /' "$tmp/scale.json")"
+{
+  printf '{\n  "bench": "reconfig",\n'
+  printf '  "chaos_splice": %s,\n' "$splice_json"
+  printf '  "chaos_scale": %s\n' "$scale_json"
+  printf '}\n'
+} > "$ROOT/BENCH_reconfig.json"
 
 "$ROOT/scripts/check_bench_schema.sh" \
   "$ROOT/BENCH_engine.json" \

@@ -31,7 +31,8 @@ HyperLoopGroup::HyperLoopGroup(ParallelCluster& cluster,
                                std::size_t client_node,
                                std::vector<std::size_t> replica_nodes,
                                std::uint64_t region_size, GroupParams params)
-    : params_(params),
+    : pcluster_(&cluster),
+      params_(params),
       region_size_(region_size),
       client_node_(&cluster.node(client_node)) {
   HL_CHECK_MSG(!replica_nodes.empty(), "a group needs at least one replica");
@@ -183,7 +184,7 @@ void HyperLoopGroup::enable_batching() {
 }
 
 // ---------------------------------------------------------------------------
-// HyperLoopGroup: online reconfiguration (serial testbed only)
+// HyperLoopGroup: online reconfiguration
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -191,9 +192,16 @@ namespace {
 constexpr std::uint64_t kDirtyPage = 4096;
 }  // namespace
 
+Node& HyperLoopGroup::resolve_node(std::size_t id) {
+  return cluster_ != nullptr ? cluster_->node(id) : pcluster_->node(id);
+}
+
 bool HyperLoopGroup::evict_replica(std::size_t position) {
-  HL_CHECK_MSG(cluster_ != nullptr,
-               "reconfiguration is a serial-testbed feature");
+  // Splicing rebuilds the datapath across every member NIC; on the sharded
+  // testbed that is only safe from the driver thread between runs (group
+  // construction already runs there).
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "evict_replica is a driver-side call on the sharded testbed");
   HL_CHECK_MSG(position < live_.size(), "evict_replica: bad position");
   if (!live_[position]) return false;  // already spliced out
   if (num_live() == 1) return false;   // would empty the chain
@@ -207,15 +215,22 @@ void HyperLoopGroup::replace_replica(std::size_t position,
                                      std::size_t replacement_node,
                                      ReconfigCallback done,
                                      ReconfigParams params) {
-  HL_CHECK_MSG(cluster_ != nullptr,
-               "reconfiguration is a serial-testbed feature");
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "replace_replica is a driver-side call on the sharded testbed");
   HL_CHECK_MSG(position < live_.size(), "replace_replica: bad position");
   auto refuse = [&](std::string why) {
-    sim().schedule(0, alive_.guard([done = std::move(done),
-                                    st = Status(StatusCode::kFailedPrecondition,
-                                                std::move(why))]() mutable {
+    Status st(StatusCode::kFailedPrecondition, std::move(why));
+    if (pcluster_ != nullptr) {
+      // Driver-side caller, not inside any event: invoking the callback
+      // inline has no re-entrancy hazard (and the client's engine may have
+      // no run scheduled to flush a deferred one).
       if (done) done(st);
-    }));
+      return;
+    }
+    sim().schedule(
+        0, alive_.guard([done = std::move(done), st = std::move(st)]() mutable {
+          if (done) done(st);
+        }));
   };
   if (reconfiguring()) {
     refuse("another reconfiguration is in progress");
@@ -226,7 +241,7 @@ void HyperLoopGroup::replace_replica(std::size_t position,
     return;
   }
 
-  Node& node = cluster_->node(replacement_node);
+  Node& node = resolve_node(replacement_node);
   PendingReplace pr;
   pr.position = position;
   pr.node = &node;
@@ -247,11 +262,20 @@ void HyperLoopGroup::replace_replica(std::size_t position,
   sync_ = std::make_unique<MemberSync>(
       *client_node_, client_info_.region_addr, client_info_.region_lkey, node,
       pending_->info.region_addr, pending_->info.region_rkey, region_size_,
-      params.sync);
+      params.sync, pcluster_ != nullptr ? &pcluster_->engine() : nullptr);
   // Raw `this` captures are safe: sync_ is owned by (and dies with) the
   // group. The completion is deferred one event because it arrives inside
   // MemberSync's own CQ handler and finish_splice destroys the MemberSync.
   sync_->start([this] { return take_dirty_pages(); }, [this](Status st) {
+    if (pcluster_ != nullptr) {
+      // Sharded: the completion fires on the client's shard, inside a
+      // window. The failure path and the cut-over both touch remote-shard
+      // NICs, so just record the result; the driver's service_reconfig()
+      // pump acts on it between runs.
+      sync_status_ = st;
+      sync_done_pending_ = true;
+      return;
+    }
     sim().schedule(0, alive_.guard([this, st] {
       if (!pending_) return;
       if (!st.is_ok()) {
@@ -272,16 +296,19 @@ void HyperLoopGroup::replace_replica(std::size_t position,
 
 void HyperLoopGroup::sync_member(std::size_t position, ReconfigCallback done,
                                  ReconfigParams params) {
-  HL_CHECK_MSG(cluster_ != nullptr,
-               "reconfiguration is a serial-testbed feature");
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "sync_member is a driver-side call on the sharded testbed");
   HL_CHECK_MSG(position < live_.size(), "sync_member: bad position");
   if (reconfiguring() || !live_[position]) {
+    Status st(StatusCode::kFailedPrecondition,
+              "member not live or reconfiguration in progress");
+    if (pcluster_ != nullptr) {
+      if (done) done(st);  // driver-side caller; see replace_replica
+      return;
+    }
     sim().schedule(
-        0, alive_.guard([done = std::move(done)]() mutable {
-          if (done) {
-            done(Status(StatusCode::kFailedPrecondition,
-                        "member not live or reconfiguration in progress"));
-          }
+        0, alive_.guard([done = std::move(done), st = std::move(st)]() mutable {
+          if (done) done(st);
         }));
     return;
   }
@@ -302,8 +329,14 @@ void HyperLoopGroup::sync_member(std::size_t position, ReconfigCallback done,
   sync_ = std::make_unique<MemberSync>(
       *client_node_, client_info_.region_addr, client_info_.region_lkey,
       *replica_nodes_[position], members_[position].region_addr,
-      members_[position].region_rkey, region_size_, params.sync);
+      members_[position].region_rkey, region_size_, params.sync,
+      pcluster_ != nullptr ? &pcluster_->engine() : nullptr);
   sync_->start(nullptr, [this](Status st) {
+    if (pcluster_ != nullptr) {
+      sync_status_ = st;  // acted on by service_reconfig between runs
+      sync_done_pending_ = true;
+      return;
+    }
     sim().schedule(0, alive_.guard([this, st] {
       if (!pending_) return;
       sync_.reset();
@@ -325,9 +358,55 @@ void HyperLoopGroup::finish_splice() {
                    alive_.guard([this] { finish_splice(); }));
     return;
   }
+  splice_commit();
+}
 
-  // --- Atomic splice: everything below runs inside this one event, so no
-  // op ever observes a half-spliced chain. ---------------------------------
+void HyperLoopGroup::service_reconfig() {
+  if (pcluster_ == nullptr) return;  // serial: the event chain runs inline
+  HL_CHECK_MSG(!pcluster_->engine().in_window(),
+               "service_reconfig is a driver-side pump");
+  // A chunk failure inside a window parks its QP rebuild; perform it now.
+  // It may finish the stream (retries exhausted), which records a pending
+  // completion handled in this same pass.
+  if (sync_ != nullptr) sync_->service();
+  if (!sync_done_pending_) return;
+  sync_done_pending_ = false;
+  const Status st = sync_status_;
+  if (!pending_) return;
+  if (!pending_->splice_in) {
+    // sync_member: repair stream over, no membership change.
+    sync_.reset();
+    auto done = std::move(pending_->done);
+    pending_.reset();
+    if (done) done(st);
+    return;
+  }
+  if (!st.is_ok()) {
+    // Catch-up failed: chain stays degraded-but-live, caller retargets.
+    sync_.reset();
+    track_dirty_ = false;
+    dirty_.clear();
+    auto done = std::move(pending_->done);
+    pending_.reset();
+    if (done) done(st);
+    return;
+  }
+  // Quiesce at pump granularity: one attempt per service call, re-arming the
+  // pending completion so the driver runs more simulated time in between.
+  if (client_->outstanding() > 0 && pending_->quiesce_left > 0) {
+    --pending_->quiesce_left;
+    sync_status_ = st;
+    sync_done_pending_ = true;
+    return;
+  }
+  splice_commit();
+}
+
+void HyperLoopGroup::splice_commit() {
+  HL_CHECK(pending_.has_value() && pending_->splice_in);
+  // --- Atomic splice: everything below runs inside this one event (serial)
+  // or one driver-side call with every shard parked (sharded), so no op
+  // ever observes a half-spliced chain. ------------------------------------
   sync_.reset();
   track_dirty_ = false;
   // Residual dirty spans (mutations since the last converged delta round,

@@ -328,9 +328,10 @@ class HyperLoopGroup {
   /// Sharded testbed: the chain's nodes may live on different shards, so
   /// every member schedules on its own node's engine and all inter-node
   /// traffic flows through the (shard-routing) fabric. Group construction
-  /// runs on the driver thread between windows. Serial-only features —
-  /// fault injection, GroupManager arbitration, heartbeat/chain recovery —
-  /// are not available on this testbed.
+  /// runs on the driver thread between windows, and so does every
+  /// reconfiguration entry point (evict/replace/sync — asserted); the
+  /// asynchronous tail of a replacement is completed by the driver pumping
+  /// service_reconfig() between runs.
   HyperLoopGroup(ParallelCluster& cluster, std::size_t client_node,
                  std::vector<std::size_t> replica_nodes,
                  std::uint64_t region_size, GroupParams params = {});
@@ -377,11 +378,15 @@ class HyperLoopGroup {
 
   ~HyperLoopGroup();
 
-  // --- Online reconfiguration (serial testbed only) ------------------------
+  // --- Online reconfiguration ----------------------------------------------
   // A chain member can be evicted (splice-out) and later replaced
   // (catch-up + splice-in) while the surviving members keep serving ops.
-  // Both membership transitions are synchronous within one simulator event,
-  // so no op ever observes a half-spliced chain.
+  // Both membership transitions are synchronous — within one simulator event
+  // on the serial testbed, within one driver-side service_reconfig() call
+  // (between windows, when no shard executes) on the sharded one — so no op
+  // ever observes a half-spliced chain. Sharded entry points are driver-side
+  // only: shard code (a heartbeat callback, an op completion) that wants a
+  // reconfiguration records the intent and lets the driver issue it.
 
   using ReconfigCallback = std::function<void(Status)>;
 
@@ -408,6 +413,16 @@ class HyperLoopGroup {
   /// chain writes while it was unreachable). No membership change.
   void sync_member(std::size_t position, ReconfigCallback done,
                    ReconfigParams params = ReconfigParams());
+
+  /// Sharded testbed: drive the asynchronous tail of a reconfiguration from
+  /// the driver thread between runs. Performs any parked catch-up QP rebuild
+  /// (MemberSync::service) and, once the stream has reported completion,
+  /// runs the failure path or the quiesce + cut-over — work that touches
+  /// remote-shard NICs and therefore cannot run inside the completion event.
+  /// Call in a pump loop interleaved with engine.run_*(); progress is
+  /// observable via reconfiguring(). No-op on the serial testbed (the event
+  /// chain completes inline there) and when nothing is pending.
+  void service_reconfig();
 
   [[nodiscard]] bool is_live(std::size_t i) const { return live_[i] != 0; }
   [[nodiscard]] std::size_t num_live() const;
@@ -449,10 +464,19 @@ class HyperLoopGroup {
   /// event. Ops in flight fail with `reason`.
   void rebuild_datapath(const Status& reason);
 
-  /// Catch-up converged: quiesce, apply the residual dirty spans directly to
-  /// the replacement's memory (synchronous, durable — no NIC cache on the
-  /// direct path), swap the member in, rebuild the datapath.
+  /// Catch-up converged (serial testbed): quiesce via scheduled retries,
+  /// then splice_commit(). The sharded testbed quiesces in service_reconfig
+  /// instead — one attempt per driver pump — and calls splice_commit()
+  /// directly.
   void finish_splice();
+
+  /// The atomic cut-over: apply the residual dirty spans directly to the
+  /// replacement's memory (synchronous, durable — no NIC cache on the
+  /// direct path), swap the member in, rebuild the datapath.
+  void splice_commit();
+
+  /// Node lookup on whichever testbed this group was built over.
+  [[nodiscard]] Node& resolve_node(std::size_t id);
 
   // Page-granular dirty tracking over the client mirror while a catch-up
   // stream runs (4 KiB pages). note_mutation is called from the two mirror
@@ -471,7 +495,8 @@ class HyperLoopGroup {
     bool splice_in = true;  // false for sync_member (no membership change)
   };
 
-  Cluster* cluster_ = nullptr;  // null when built on a ParallelCluster
+  Cluster* cluster_ = nullptr;           // serial testbed, else null
+  ParallelCluster* pcluster_ = nullptr;  // sharded testbed, else null
   GroupParams params_;
   std::uint64_t region_size_;
   Node* client_node_;
@@ -487,6 +512,12 @@ class HyperLoopGroup {
   std::vector<std::uint8_t> live_;    // 1 = serving in the chain
   std::unique_ptr<MemberSync> sync_;
   std::optional<PendingReplace> pending_;
+  /// Sharded testbed: a catch-up stream's completion (recorded on the
+  /// client's shard, inside a window) waiting for the driver's
+  /// service_reconfig() to act on it. The client shard is the only writer;
+  /// the driver reads between runs (window barriers order the hand-off).
+  bool sync_done_pending_ = false;
+  Status sync_status_ = Status::ok();
   bool track_dirty_ = false;
   std::vector<std::uint8_t> dirty_;   // one flag per 4 KiB mirror page
   std::uint64_t splices_ = 0;

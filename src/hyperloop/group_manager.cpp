@@ -46,9 +46,16 @@ GroupInterface* GroupManager::create_group(const GroupSpec& spec,
     if (why) *why = Status(code, msg);
     return nullptr;
   };
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "create_group is a driver-side call on the sharded testbed");
   if (spec.member_nodes.empty()) {
     return refuse(StatusCode::kInvalidArgument,
                   "group needs at least one member");
+  }
+  if (pcluster_ != nullptr &&
+      spec.datapath != GroupSpec::Datapath::kHyperLoop) {
+    return refuse(StatusCode::kInvalidArgument,
+                  "sharded testbed hosts the chain datapath only");
   }
   const std::uint64_t tenant = spec.tenant();
   const std::uint32_t qps = qp_cost(spec);
@@ -70,24 +77,32 @@ GroupInterface* GroupManager::create_group(const GroupSpec& spec,
   e->tenant = tenant;
   switch (spec.datapath) {
     case GroupSpec::Datapath::kHyperLoop:
-      e->chain = std::make_unique<HyperLoopGroup>(
-          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
-          spec.params);
+      e->chain = pcluster_ != nullptr
+                     ? std::make_unique<HyperLoopGroup>(
+                           *pcluster_, spec.client_node, spec.member_nodes,
+                           spec.region_size, spec.params)
+                     : std::make_unique<HyperLoopGroup>(
+                           *cluster_, spec.client_node, spec.member_nodes,
+                           spec.region_size, spec.params);
       e->iface = &e->chain->client();
       break;
     case GroupSpec::Datapath::kFanout:
       e->fanout = std::make_unique<FanoutGroup>(
-          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
+          *cluster_, spec.client_node, spec.member_nodes, spec.region_size,
           spec.params);
       e->iface = e->fanout.get();
       break;
     case GroupSpec::Datapath::kNaive:
       e->naive = std::make_unique<NaiveGroup>(
-          cluster_, spec.client_node, spec.member_nodes, spec.region_size,
+          *cluster_, spec.client_node, spec.member_nodes, spec.region_size,
           spec.naive);
       e->iface = e->naive.get();
       break;
   }
+  // The chain's sim() is the client node's engine on either testbed (on the
+  // serial one that is the cluster's only Simulator — one shared arbiter).
+  e->arb_sim = e->chain ? &e->chain->sim() : &cluster_->sim();
+  arbiters_.try_emplace(e->arb_sim);
 
   e->qps_charged = qps;
   e->slots_charged = slots;
@@ -103,6 +118,8 @@ GroupInterface* GroupManager::create_group(const GroupSpec& spec,
 }
 
 Status GroupManager::destroy_group(GroupInterface* g) {
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "destroy_group is a driver-side call on the sharded testbed");
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->iface != g) continue;
     Entry& e = **it;
@@ -114,7 +131,9 @@ Status GroupManager::destroy_group(GroupInterface* g) {
     u.slots -= e.slots_charged;
     --u.groups;
     entries_.erase(it);  // drops queued doorbells with the group
-    if (cursor_ >= entries_.size()) cursor_ = 0;
+    for (auto& [s, a] : arbiters_) {
+      if (a.cursor >= entries_.size()) a.cursor = 0;
+    }
     return Status::ok();
   }
   return Status(StatusCode::kNotFound,
@@ -124,6 +143,8 @@ Status GroupManager::destroy_group(GroupInterface* g) {
 Status GroupManager::replace_replica(GroupInterface* g, std::size_t failed,
                                      std::size_t replacement_node,
                                      HyperLoopGroup::ReconfigCallback done) {
+  HL_CHECK_MSG(pcluster_ == nullptr || !pcluster_->engine().in_window(),
+               "replace_replica is a driver-side call on the sharded testbed");
   Entry* entry = nullptr;
   for (auto& e : entries_) {
     if (e->iface == g) {
@@ -177,13 +198,32 @@ Status GroupManager::replace_replica(GroupInterface* g, std::size_t failed,
   return Status::ok();
 }
 
+void GroupManager::service_reconfig() {
+  for (auto& e : entries_) {
+    if (e->chain) e->chain->service_reconfig();
+  }
+}
+
+bool GroupManager::reconfiguring() const {
+  for (const auto& e : entries_) {
+    if (e->chain && e->chain->reconfiguring()) return true;
+  }
+  return false;
+}
+
 void GroupManager::submit(GroupInterface* g, std::function<void()> post) {
+  // Callable from the group's client shard mid-run: the entry's doorbell
+  // deque and its engine's arbiter are only ever touched by code running on
+  // that engine, and the entries_ vector / arbiters_ map are structurally
+  // frozen while shards execute.
   for (auto& e : entries_) {
     if (e->iface != g) continue;
     e->doorbells.push_back(std::move(post));
-    if (!arbiter_armed_) {
-      arbiter_armed_ = true;
-      cluster_.sim().schedule(0, alive_.guard([this] { drain_round(); }));
+    Arbiter& a = arbiters_.at(e->arb_sim);
+    if (!a.armed) {
+      a.armed = true;
+      sim::Simulator* s = e->arb_sim;
+      s->schedule(0, alive_.guard([this, s] { drain_round(s); }));
     }
     return;
   }
@@ -196,26 +236,31 @@ std::size_t GroupManager::queued() const {
   return n;
 }
 
-void GroupManager::drain_round() {
-  // arbiter_armed_ stays true for the whole round so submissions made by
-  // the actions we run land in this round's queues instead of scheduling a
-  // competing drain.
+void GroupManager::drain_round(sim::Simulator* arb_sim) {
+  // `armed` stays true for the whole round so submissions made by the
+  // actions we run land in this round's queues instead of scheduling a
+  // competing drain. Entries of other engines are skipped on their
+  // (immutable) arb_sim field alone — their doorbell deques belong to other
+  // shards and must not even be read from here.
+  Arbiter& a = arbiters_.at(arb_sim);
   const std::size_t n = entries_.size();
   bool pending = false;
   for (std::size_t k = 0; k < n; ++k) {
-    Entry& e = *entries_[(cursor_ + k) % n];
-    if (e.doorbells.empty()) continue;
+    Entry& e = *entries_[(a.cursor + k) % n];
+    if (e.arb_sim != arb_sim || e.doorbells.empty()) continue;
     auto fn = std::move(e.doorbells.front());
     e.doorbells.pop_front();
     fn();
   }
-  for (const auto& e : entries_) pending = pending || !e->doorbells.empty();
-  cursor_ = n > 0 ? (cursor_ + 1) % n : 0;
+  for (const auto& e : entries_) {
+    pending = pending || (e->arb_sim == arb_sim && !e->doorbells.empty());
+  }
+  a.cursor = n > 0 ? (a.cursor + 1) % n : 0;
   if (pending) {
-    cluster_.sim().schedule(round_interval_,
-                            alive_.guard([this] { drain_round(); }));
+    arb_sim->schedule(round_interval_,
+                      alive_.guard([this, arb_sim] { drain_round(arb_sim); }));
   } else {
-    arbiter_armed_ = false;
+    a.armed = false;
   }
 }
 

@@ -1,7 +1,7 @@
-// Multi-tenant group hosting: one GroupManager per Cluster owns N replica
-// groups (any datapath), admits them against per-tenant QP/slot quotas, and
-// arbitrates doorbells round-robin so no tenant can monopolize the shared
-// NICs' posting path.
+// Multi-tenant group hosting: one GroupManager per testbed (serial Cluster
+// or sharded ParallelCluster) owns N replica groups, admits them against
+// per-tenant QP/slot quotas, and arbitrates doorbells round-robin so no
+// tenant can monopolize the shared NICs' posting path.
 //
 // Quotas are enforced at admission: every datapath has an exact, verified
 // QP cost (see qp_cost(); tests assert it against Nic::num_qps() deltas),
@@ -15,6 +15,15 @@
 // sim-scheduled arbiter drains one op per group per round in cursor order,
 // rotating the starting group every round. Groups driven directly (not via
 // submit()) bypass the arbiter — fairness is opt-in per posting site.
+//
+// Sharded testbed: only the chain datapath is hosted (fanout/naive refuse
+// with kInvalidArgument), and structural calls — create/destroy/replace,
+// set_quota — are driver-side only (asserted). Arbitration shards with the
+// groups: one arbiter per client engine, each scheduled on its own shard and
+// draining only that engine's entries, so submit() from a client's shard
+// touches single-writer state and no doorbell ever crosses a shard. On the
+// serial testbed every group shares the one engine and the behavior is the
+// original single-arbiter round-robin, unchanged.
 #pragma once
 
 #include <cstdint>
@@ -59,7 +68,11 @@ struct GroupSpec {
 
 class GroupManager {
  public:
-  explicit GroupManager(Cluster& cluster) : cluster_(cluster) {}
+  explicit GroupManager(Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Sharded testbed: chain groups only; see the file comment for the
+  /// driver-side and arbitration rules.
+  explicit GroupManager(ParallelCluster& cluster) : pcluster_(&cluster) {}
 
   GroupManager(const GroupManager&) = delete;
   GroupManager& operator=(const GroupManager&) = delete;
@@ -106,6 +119,14 @@ class GroupManager {
                          std::size_t replacement_node,
                          HyperLoopGroup::ReconfigCallback done);
 
+  /// Sharded driver pump: run every owned chain's
+  /// HyperLoopGroup::service_reconfig() (parked catch-up rebuilds, splice
+  /// cut-overs). Call between engine runs, interleaved with run_*(); a no-op
+  /// on the serial testbed and when nothing is pending.
+  void service_reconfig();
+  /// True while any owned chain has a reconfiguration in flight.
+  [[nodiscard]] bool reconfiguring() const;
+
   struct TenantUsage {
     std::uint32_t qps = 0;
     std::uint32_t slots = 0;
@@ -144,6 +165,10 @@ class GroupManager {
     std::unique_ptr<NaiveGroup> naive;
     GroupInterface* iface = nullptr;
     std::uint64_t tenant = 0;
+    /// The engine this group's doorbells post from: the client node's shard
+    /// engine (sharded) or the cluster's one Simulator (serial). Immutable
+    /// after create_group, so shard code may read it freely.
+    sim::Simulator* arb_sim = nullptr;
     std::deque<std::function<void()>> doorbells;
     // Quota ledger for this group: what admission charged (kept exact across
     // member replacements so destroy_group releases precisely what is held).
@@ -153,15 +178,24 @@ class GroupManager {
     std::vector<std::uint8_t> member_charged;
   };
 
-  void drain_round();
+  /// One doorbell arbiter per client engine. Its state is written only by
+  /// code running on that engine (submit / drain_round), so concurrent
+  /// shards never share an arbiter; the map itself is populated at
+  /// create_group time (driver-side) and read-only during runs.
+  struct Arbiter {
+    std::size_t cursor = 0;  // rotating round-robin start (entry index)
+    bool armed = false;
+  };
 
-  Cluster& cluster_;
+  void drain_round(sim::Simulator* arb_sim);
+
+  Cluster* cluster_ = nullptr;           // serial testbed, else null
+  ParallelCluster* pcluster_ = nullptr;  // sharded testbed, else null
   Lifetime alive_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::unordered_map<std::uint64_t, TenantQuota> quotas_;
   std::unordered_map<std::uint64_t, TenantUsage> usage_;
-  std::size_t cursor_ = 0;       // rotating round-robin start
-  bool arbiter_armed_ = false;
+  std::unordered_map<sim::Simulator*, Arbiter> arbiters_;
   Duration round_interval_ = 1'000;  // 1us between doorbell rounds
 };
 

@@ -11,7 +11,8 @@ MemberSync::MemberSync(Node& src, std::uint64_t src_region_addr,
                        std::uint32_t src_region_lkey, Node& dst,
                        std::uint64_t dst_region_addr,
                        std::uint32_t dst_region_rkey,
-                       std::uint64_t region_size, MemberSyncParams params)
+                       std::uint64_t region_size, MemberSyncParams params,
+                       sim::ParallelSimulator* psim)
     : src_(src),
       dst_(dst),
       src_addr_(src_region_addr),
@@ -19,7 +20,8 @@ MemberSync::MemberSync(Node& src, std::uint64_t src_region_addr,
       dst_addr_(dst_region_addr),
       dst_rkey_(dst_region_rkey),
       region_size_(region_size),
-      params_(params) {
+      params_(params),
+      psim_(psim) {
   HL_CHECK_MSG(region_size_ > 0, "cannot sync an empty region");
   HL_CHECK_MSG(params_.chunk > 0, "sync chunk must be positive");
 }
@@ -119,9 +121,27 @@ void MemberSync::chunk_failed(Status why) {
   }
   --retries_left_;
   ++chunk_retries_;
+  if (psim_ != nullptr && psim_->in_window()) {
+    // The CQ error arrived inside a window (client's shard). Rebuilding
+    // creates and wires a QP on the destination NIC, which may live on
+    // another shard — park it for the driver's service pump. No WRITE is
+    // outstanding, so the stream simply idles until then.
+    rebuild_pending_ = true;
+    return;
+  }
   // Idempotent re-issue: same bytes to the same offset over a fresh QP pair.
   build_qp();
   post_chunk();
+}
+
+bool MemberSync::service() {
+  if (!rebuild_pending_ || finished_) return false;
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "MemberSync::service is a driver-side call");
+  rebuild_pending_ = false;
+  build_qp();
+  post_chunk();
+  return true;
 }
 
 void MemberSync::finish_round() {

@@ -23,6 +23,13 @@
 // idempotent, same bytes to the same offset — up to `retry_limit` times per
 // chunk before the sync fails. A generation counter orphans CQ handler
 // firings from abandoned QP pairs.
+//
+// Sharded testbed: the stream itself is ordinary fabric traffic and needs no
+// special casing, but a QP rebuild touches the *destination* NIC (create +
+// wire), which may live on another shard. When a chunk fails inside a window
+// the rebuild is therefore parked as `rebuild_pending` and performed by
+// service() — called from the driver's reconfiguration pump between windows
+// (HyperLoopGroup::service_reconfig).
 #pragma once
 
 #include <cstdint>
@@ -54,10 +61,14 @@ class MemberSync {
   /// Streams [src_region_addr, +region_size) on `src` (the client's mirror,
   /// read at WRITE-execution time, so every chunk carries current bytes) into
   /// [dst_region_addr, ...) on `dst`.
+  /// `psim` non-null on the sharded testbed: failed-chunk QP rebuilds that
+  /// land inside a window are deferred to service() instead of mutating the
+  /// (possibly remote-shard) destination NIC from shard code.
   MemberSync(Node& src, std::uint64_t src_region_addr,
              std::uint32_t src_region_lkey, Node& dst,
              std::uint64_t dst_region_addr, std::uint32_t dst_region_rkey,
-             std::uint64_t region_size, MemberSyncParams params);
+             std::uint64_t region_size, MemberSyncParams params,
+             sim::ParallelSimulator* psim = nullptr);
 
   MemberSync(const MemberSync&) = delete;
   MemberSync& operator=(const MemberSync&) = delete;
@@ -65,6 +76,12 @@ class MemberSync {
   /// Begin the bulk round. `take_dirty` is polled between rounds (empty =
   /// converged); `done` fires exactly once. Must not be called twice.
   void start(DirtySource take_dirty, Done done);
+
+  /// Perform a parked QP rebuild + chunk re-issue (sharded testbed).
+  /// Driver-side only, between runs; returns true if it did work. Serial
+  /// syncs never park rebuilds and always return false.
+  bool service();
+  [[nodiscard]] bool rebuild_pending() const { return rebuild_pending_; }
 
   [[nodiscard]] std::uint64_t bytes_streamed() const {
     return bytes_streamed_;
@@ -88,6 +105,8 @@ class MemberSync {
   std::uint32_t dst_rkey_;
   std::uint64_t region_size_;
   MemberSyncParams params_;
+  sim::ParallelSimulator* psim_ = nullptr;  // sharded testbed, else null
+  bool rebuild_pending_ = false;            // rebuild parked for service()
   Lifetime alive_;
 
   rnic::QueuePair* qp_ = nullptr;

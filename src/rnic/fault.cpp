@@ -1,15 +1,33 @@
 #include "rnic/fault.hpp"
 
-#include <algorithm>
-
 #include "rnic/network.hpp"
 #include "rnic/nic.hpp"
 #include "sim/simulator.hpp"
 
 namespace hyperloop::rnic {
 
+namespace {
+
+/// splitmix64 finalizer: the standard 3-round xorshift-multiply avalanche.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;  // splitmix64 gamma
+
+}  // namespace
+
 FaultInjector::FaultInjector(std::uint64_t seed)
-    : seed_(seed), rng_(seed), harness_rng_(rng_.fork()) {}
+    : seed_(seed), harness_rng_(Rng(seed).fork()) {}
+
+void FaultInjector::reserve(std::size_t nodes) {
+  if (slots_.size() < nodes) slots_.resize(nodes);
+}
 
 void FaultInjector::clear() {
   default_policy_ = FaultPolicy{};
@@ -18,16 +36,30 @@ void FaultInjector::clear() {
 }
 
 void FaultInjector::partition_nodes(NicId a, NicId b, Time heal_at) {
-  partitions_.push_back(Partition{a, b, /*whole_node=*/false, heal_at});
+  partition_nodes(a, b, /*start_at=*/0, heal_at);
+}
+
+void FaultInjector::partition_nodes(NicId a, NicId b, Time start_at,
+                                    Time heal_at) {
+  partitions_.push_back(Partition{a, b, /*whole_node=*/false, start_at,
+                                  heal_at});
 }
 
 void FaultInjector::isolate_node(NicId node, Time heal_at) {
-  partitions_.push_back(Partition{node, 0, /*whole_node=*/true, heal_at});
+  isolate_node(node, /*start_at=*/0, heal_at);
+}
+
+void FaultInjector::isolate_node(NicId node, Time start_at, Time heal_at) {
+  partitions_.push_back(Partition{node, 0, /*whole_node=*/true, start_at,
+                                  heal_at});
 }
 
 bool FaultInjector::is_partitioned(NicId a, NicId b, Time now) const {
+  // Pure scan, no pruning: decide() calls this from shard threads, so the
+  // table must stay immutable during runs. Chaos schedules register at most
+  // a handful of flap windows, so O(all registered) is fine.
   for (const Partition& p : partitions_) {
-    if (p.heal_at <= now) continue;  // healed
+    if (now < p.start_at || p.heal_at <= now) continue;  // not yet / healed
     if (p.whole_node) {
       if (p.a == a || p.a == b) return true;
     } else if ((p.a == a && p.b == b) || (p.a == b && p.b == a)) {
@@ -42,52 +74,75 @@ const FaultPolicy& FaultInjector::policy_for(NicId src, NicId dst) const {
   return it != link_policies_.end() ? it->second : default_policy_;
 }
 
+double FaultInjector::draw(std::uint64_t link, std::uint64_t seq,
+                           std::uint64_t salt) const {
+  // Counter-based: one splitmix-style avalanche over the (seed, link, seq,
+  // salt) words. Weyl-increment each word by a distinct odd constant before
+  // mixing so structured inputs (small sequential ids) land far apart.
+  std::uint64_t z = seed_;
+  z = mix64(z + link * kGolden);
+  z = mix64(z + seq * 0xD1B54A32D192ED03ull + salt * 0x8CB92BA72F3D8DD7ull);
+  // Top 53 bits -> double in [0, 1), the Rng::next_double mapping.
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
 FaultInjector::Verdict FaultInjector::decide(const Message& msg, Time now) {
   Verdict v;
   if (msg.src == msg.dst) return v;  // loopback never touches the fabric
 
-  if (!partitions_.empty()) {
-    // Lazily prune healed entries so long flapping runs stay O(active).
-    partitions_.erase(
-        std::remove_if(partitions_.begin(), partitions_.end(),
-                       [now](const Partition& p) { return p.heal_at <= now; }),
-        partitions_.end());
-    if (is_partitioned(msg.src, msg.dst, now)) {
-      ++partition_drops_;
-      v.drop = true;
-      return v;
-    }
+  // Sharded runs never take this branch: Network::set_fault_injector /
+  // attach reserve() every NIC id driver-side, precisely because growing
+  // the slot table from shard threads would race. It exists for harness
+  // code probing a bare injector on one thread.
+  if (msg.src >= slots_.size()) slots_.resize(msg.src + 1);
+  SrcState& slot = slots_[msg.src];
+  if (msg.dst >= slot.seq_to.size()) slot.seq_to.resize(msg.dst + 1, 0);
+  // The link index advances for *every* non-loopback message, faulted or
+  // not, partitioned or not: the draw schedule is a pure function of the
+  // per-link message count, independent of which policies or partitions are
+  // active around it.
+  const std::uint64_t seq = slot.seq_to[msg.dst]++;
+
+  if (is_partitioned(msg.src, msg.dst, now)) {
+    ++slot.partition_drops;
+    v.drop = true;
+    return v;
   }
 
   const FaultPolicy& policy = policy_for(msg.src, msg.dst);
   if (!policy.active()) return v;
 
-  if (policy.drop > 0.0 && rng_.next_bool(policy.drop)) {
-    ++drops_;
+  const std::uint64_t link = link_key(msg.src, msg.dst);
+  if (policy.drop > 0.0 && draw(link, seq, 0) < policy.drop) {
+    ++slot.drops;
     v.drop = true;
     return v;
   }
-  if (policy.duplicate > 0.0 && rng_.next_bool(policy.duplicate)) {
-    ++duplicates_;
+  if (policy.duplicate > 0.0 && draw(link, seq, 1) < policy.duplicate) {
+    ++slot.duplicates;
     v.duplicate = true;
     v.duplicate_delay = policy.duplicate_delay;
   }
-  if (policy.corrupt > 0.0 && rng_.next_bool(policy.corrupt)) {
-    ++corruptions_;
+  if (policy.corrupt > 0.0 && draw(link, seq, 2) < policy.corrupt) {
+    ++slot.corruptions;
     v.corrupt = true;
   }
-  if (policy.delay > 0.0 && rng_.next_bool(policy.delay)) {
-    ++delays_;
+  if (policy.delay > 0.0 && draw(link, seq, 3) < policy.delay) {
+    ++slot.delays;
     v.extra_delay = static_cast<Duration>(
-        rng_.next_double() * static_cast<double>(policy.delay_max));
+        draw(link, seq, 4) * static_cast<double>(policy.delay_max));
   }
   return v;
 }
 
 void FaultInjector::schedule_power_fail(sim::Simulator& sim, Nic& nic,
                                         Duration delay) {
-  sim.schedule(delay, [this, &nic] {
-    ++power_fails_;
+  // Driver-side call; make sure the NIC's counter slot exists before the
+  // wipe event (which runs on the NIC's shard) increments it. Indexed at
+  // fire time — a slot reference could dangle across a later reserve().
+  reserve(nic.id() + 1);
+  sim.schedule(delay, [this, id = nic.id(), &nic] {
+    ++slots_[id].power_fails;
     nic.power_fail();
   });
 }

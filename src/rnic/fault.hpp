@@ -5,19 +5,32 @@
 // hands back a verdict: drop the message, deliver a delayed duplicate,
 // flag the payload corrupted (the receiving NIC surfaces it as a checksum
 // NAK), or add delay jitter. Transient partitions drop every message on a
-// link until a scheduled heal time. Scheduled NIC-cache power failures model
-// mid-transaction loss of volatile NIC state.
+// link during a [start_at, heal_at) window. Scheduled NIC-cache power
+// failures model mid-transaction loss of volatile NIC state.
 //
-// Determinism contract: all randomness flows from the single constructor
-// seed through one xoshiro stream, and decisions are made in send() order —
-// which the discrete-event engine makes bit-for-bit reproducible. One seed
+// Determinism contract: every fault decision is a *counter-based* draw — a
+// pure function of (seed, src, dst, per-link message index), mixed through
+// a splitmix64-style finalizer. No shared RNG stream is consumed, so the
+// fault schedule of a (seed, topology, workload) triple is fixed before the
+// run starts and is identical at every shard count: shard threads draw
+// their links' verdicts independently without synchronizing, yet serial and
+// K-sharded runs see bit-for-bit the same drops, duplicates, corruptions
+// and delays (the digest sweep tests pin this at K in {1,2,8}). One seed
 // therefore reproduces one fault schedule exactly; a failing chaos seed
-// replays locally with `scripts/replay_seed.sh <seed>`.
+// replays locally with `scripts/replay_seed.sh <seed> [--shards K]`.
+//
+// Sharded mutation rules: decide() touches only the *source* NIC's padded
+// counter slot, which the source's owning shard is the single writer of —
+// same discipline as Network's per-NodeState slots. Policy/partition tables
+// are read-only during runs; mutating calls (set_*_policy, partition_nodes,
+// isolate_node, clear, reserve) are driver-side only. Aggregate counter
+// getters read across slots and are likewise driver-side (between runs).
 //
 // When no injector is attached (the default) the Network pays one null
 // pointer test per send and nothing else; with an injector attached but an
-// all-zero policy, decide() returns an empty verdict without consuming any
-// randomness for the probability draws that are disabled.
+// all-zero policy, decide() only bumps the link counter — keeping the
+// per-link message index (and so every later draw) independent of which
+// policies happen to be active.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +71,11 @@ class FaultInjector {
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Size the per-source counter slots for NIC ids [0, nodes). Driver-side
+  /// only; Network::set_fault_injector / attach call this so slots exist
+  /// before shard code can draw. Growing never discards existing counters.
+  void reserve(std::size_t nodes);
+
   /// Policy applied to links without a specific override.
   void set_default_policy(const FaultPolicy& policy) {
     default_policy_ = policy;
@@ -67,14 +85,23 @@ class FaultInjector {
     link_policies_[link_key(src, dst)] = policy;
   }
   /// Drop all probabilistic policies and active partitions. Counters and the
-  /// random stream keep their state so a cleared injector stays replayable.
+  /// per-link draw indices keep their state so a cleared injector stays
+  /// replayable.
   void clear();
 
   /// Sever both directions between `a` and `b` until `heal_at` (absolute sim
   /// time); messages on the link are dropped and counted as partition drops.
+  /// Active immediately (start_at = 0).
   void partition_nodes(NicId a, NicId b, Time heal_at);
+  /// Windowed form: the partition is active in [start_at, heal_at). Lets a
+  /// driver pre-register a whole flap schedule before the run — required for
+  /// shard-count-invariant chaos runs, where mid-run registration would tie
+  /// the schedule to a particular window placement.
+  void partition_nodes(NicId a, NicId b, Time start_at, Time heal_at);
   /// Sever every link touching `node` until `heal_at`.
   void isolate_node(NicId node, Time heal_at);
+  /// Windowed form of isolate_node (see partition_nodes).
+  void isolate_node(NicId node, Time start_at, Time heal_at);
   [[nodiscard]] bool is_partitioned(NicId a, NicId b, Time now) const;
 
   /// What the fabric should do with one message. `drop` excludes the others.
@@ -87,29 +114,40 @@ class FaultInjector {
   };
   /// Roll the dice for one message at time `now`. Loopback traffic
   /// (src == dst) is never faulted: it models the PCIe path through the
-  /// local NIC, not the fabric.
+  /// local NIC, not the fabric. Single-writer per source (see file comment).
   Verdict decide(const Message& msg, Time now);
 
   /// Wipe the volatile cache of `nic` after `delay`, modeling a power
-  /// failure mid-transaction. Durable host memory survives.
+  /// failure mid-transaction. Durable host memory survives. Driver-side
+  /// call; on the sharded testbed pass the NIC's own shard engine
+  /// (node.sim()) so the wipe executes on the owning shard.
   void schedule_power_fail(sim::Simulator& sim, Nic& nic, Duration delay);
 
   /// Seed-derived stream for harness-side randomness (workload choice, fault
-  /// window placement) so one seed drives the whole chaos schedule.
+  /// window placement) so one seed drives the whole chaos schedule. The
+  /// stream's derivation from the seed is independent of how many fabric
+  /// decisions were drawn.
   [[nodiscard]] Rng& rng() { return harness_rng_; }
 
-  // --- Per-fault-type counters ---
-  [[nodiscard]] std::uint64_t drops() const { return drops_; }
-  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
-  [[nodiscard]] std::uint64_t corruptions() const { return corruptions_; }
-  [[nodiscard]] std::uint64_t delays() const { return delays_; }
-  [[nodiscard]] std::uint64_t partition_drops() const {
-    return partition_drops_;
+  // --- Per-fault-type counters (aggregated across source slots; read
+  // driver-side between runs in sharded mode) ---
+  [[nodiscard]] std::uint64_t drops() const { return sum(&SrcState::drops); }
+  [[nodiscard]] std::uint64_t duplicates() const {
+    return sum(&SrcState::duplicates);
   }
-  [[nodiscard]] std::uint64_t power_fails() const { return power_fails_; }
+  [[nodiscard]] std::uint64_t corruptions() const {
+    return sum(&SrcState::corruptions);
+  }
+  [[nodiscard]] std::uint64_t delays() const { return sum(&SrcState::delays); }
+  [[nodiscard]] std::uint64_t partition_drops() const {
+    return sum(&SrcState::partition_drops);
+  }
+  [[nodiscard]] std::uint64_t power_fails() const {
+    return sum(&SrcState::power_fails);
+  }
   [[nodiscard]] std::uint64_t injected_total() const {
-    return drops_ + duplicates_ + corruptions_ + delays_ + partition_drops_ +
-           power_fails_;
+    return drops() + duplicates() + corruptions() + delays() +
+           partition_drops() + power_fails();
   }
 
  private:
@@ -118,26 +156,47 @@ class FaultInjector {
   }
   [[nodiscard]] const FaultPolicy& policy_for(NicId src, NicId dst) const;
 
+  /// One uniform draw in [0, 1) as a pure function of
+  /// (seed, link, per-link message index, which sub-decision).
+  [[nodiscard]] double draw(std::uint64_t link, std::uint64_t seq,
+                            std::uint64_t salt) const;
+
   struct Partition {
     NicId a = 0;
     NicId b = 0;
     bool whole_node = false;  // match any link touching `a`
+    Time start_at = 0;        // active in [start_at, heal_at)
     Time heal_at = 0;
   };
 
+  /// All state decide() mutates for messages out of one source NIC, padded
+  /// to a cache line: only the source's owning shard writes its slot, so
+  /// concurrent decisions from different shards never share a line (the
+  /// Network::NodeState discipline). `seq_to[dst]` is the per-link draw
+  /// index; it grows lazily (single writer) when a source first talks to a
+  /// high dst id.
+  struct alignas(64) SrcState {
+    std::vector<std::uint64_t> seq_to;  // per-destination message index
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t partition_drops = 0;
+    std::uint64_t power_fails = 0;
+  };
+
+  [[nodiscard]] std::uint64_t sum(std::uint64_t SrcState::* field) const {
+    std::uint64_t n = 0;
+    for (const SrcState& s : slots_) n += s.*field;
+    return n;
+  }
+
   std::uint64_t seed_;
-  Rng rng_;          // fabric decisions
-  Rng harness_rng_;  // forked once for harness use; independent stream
+  Rng harness_rng_;  // forked from the seed; independent of fabric draws
   FaultPolicy default_policy_;
   std::unordered_map<std::uint64_t, FaultPolicy> link_policies_;
   std::vector<Partition> partitions_;
-
-  std::uint64_t drops_ = 0;
-  std::uint64_t duplicates_ = 0;
-  std::uint64_t corruptions_ = 0;
-  std::uint64_t delays_ = 0;
-  std::uint64_t partition_drops_ = 0;
-  std::uint64_t power_fails_ = 0;
+  std::vector<SrcState> slots_;
 };
 
 }  // namespace rnic

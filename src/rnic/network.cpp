@@ -48,6 +48,9 @@ void Network::attach(Nic* nic) {
   ensure_capacity(nic->id());
   HL_CHECK_MSG(nics_[nic->id()] == nullptr, "duplicate NIC id");
   nics_[nic->id()] = nic;
+  // Keep the injector's single-writer slot table covering every NIC this
+  // fabric can address (attach is registration-time, driver-side).
+  if (fault_ != nullptr) fault_->reserve(nics_.size());
 }
 
 bool Network::is_down(NicId id) const {
@@ -55,17 +58,26 @@ bool Network::is_down(NicId id) const {
 }
 
 void Network::set_node_down(NicId id, bool down) {
-  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
-               "set_node_down mid-window races with shard reads");
+  if (psim_ != nullptr && psim_->in_window()) {
+    // Mid-window (shard code, e.g. a chaos event or an eviction handler):
+    // flipping down_ now would race with other shards' send() reads. Defer
+    // the toggle to the next window boundary, where no shard is executing;
+    // the barrier's release ordering publishes it to every shard.
+    psim_->post_control([this, id, down] {
+      ensure_capacity(id);
+      down_[id] = down ? 1 : 0;
+    });
+    return;
+  }
   ensure_capacity(id);
   down_[id] = down ? 1 : 0;
 }
 
 void Network::set_fault_injector(FaultInjector* injector) {
-  HL_CHECK_MSG(injector == nullptr || psim_ == nullptr,
-               "fault injection consumes one shared RNG stream in execution "
-               "order and is serial-only; run faults on a serial Cluster");
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "set_fault_injector is a driver-side call");
   fault_ = injector;
+  if (fault_ != nullptr) fault_->reserve(nics_.size());
 }
 
 void Network::send(Message msg) {
@@ -126,17 +138,38 @@ void Network::send(Message msg) {
 
   if (fault.duplicate) {
     // The duplicate shares the original's TX-port slot (switch-side copy,
-    // not a second serialization) and trails it by duplicate_delay.
-    // Fault injection is serial-only, so this always targets sim_.
+    // not a second serialization) and trails it by duplicate_delay. It is
+    // still a distinct wire delivery: it consumes its own per-source seq —
+    // its canonical merge rank in sharded mode — and folds its own trace
+    // record, identically in both modes, so the digest of a faulted run is
+    // shard-count-invariant. Loopback is never faulted, so the duplicate
+    // always targets the fabric path.
+    const std::uint64_t dup_seq = st.msg_seq++;
+    const Time dup_arrival = arrival + fault.duplicate_delay;
+    if (trace_) {
+      std::uint64_t h = st.trace_hash;
+      h = fnv1a(h, dup_arrival);
+      h = fnv1a(h, (static_cast<std::uint64_t>(msg.src) << 32) | msg.dst);
+      h = fnv1a(h, dup_seq);
+      h = fnv1a(h, (static_cast<std::uint64_t>(msg.type) << 32) | msg.len);
+      st.trace_hash = h;
+      ++st.trace_count;
+    }
     Message dup = msg;
-    sim_->schedule_at(arrival + fault.duplicate_delay,
-                      [dst, m = std::move(dup), this]() mutable {
-                        if (is_down(m.dst)) {
-                          ++state_[m.dst].dropped;
-                          return;
-                        }
-                        dst->deliver(std::move(m));
-                      });
+    sim::InlineTask dup_task;
+    dup_task.emplace([dst, m = std::move(dup), this]() mutable {
+      if (is_down(m.dst)) {
+        ++state_[m.dst].dropped;
+        return;
+      }
+      dst->deliver(std::move(m));
+    });
+    if (psim_ == nullptr) {
+      sim_->schedule_at(dup_arrival, std::move(dup_task));
+    } else {
+      psim_->post(psim_->shard_of(msg.dst), dup_arrival, msg.src, dup_seq,
+                  std::move(dup_task));
+    }
   }
 
   sim::InlineTask task;
@@ -199,6 +232,20 @@ std::uint64_t Network::trace_messages() const {
   std::uint64_t n = 0;
   for (const NodeState& st : state_) n += st.trace_count;
   return n;
+}
+
+Network::Stats Network::stats_snapshot() const {
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "stats_snapshot needs quiesced shards; read between runs");
+  Stats s;
+  for (const NodeState& st : state_) {
+    s.messages_sent += st.sent;
+    s.bytes_sent += st.bytes;
+    s.messages_dropped += st.dropped;
+    s.trace_messages += st.trace_count;
+  }
+  s.trace_digest = trace_digest();
+  return s;
 }
 
 }  // namespace hyperloop::rnic

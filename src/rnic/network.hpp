@@ -21,8 +21,13 @@
 //    seq, trace hash) lives in a per-node cache-line-padded slot touched
 //    only by the owning shard's thread, so send() needs no locks.
 //
-// Fault injection draws from one shared RNG stream whose consumption order
-// is execution-order-dependent, so it is serial-only (enforced).
+// Fault injection runs in both modes: FaultInjector draws are counter-based
+// per (src, dst) link — pure functions of (seed, link, per-link message
+// index) with per-source padded state — so shards decide faults
+// independently yet the schedule is identical at every shard count.
+// Injected duplicates consume a second per-source message seq and route
+// through the same canonical (arrival, src, seq) delivery key as any other
+// wire message.
 #pragma once
 
 #include <cstdint>
@@ -117,15 +122,22 @@ class Network {
   void send(Message msg);
 
   /// Mark a node unreachable (crash / partition) or reachable again.
-  /// Sharded mode: only from the driver thread between runs — flipping
-  /// reachability mid-window would race with in-flight shard reads.
+  /// Applied immediately from the driver thread between runs (and on the
+  /// serial testbed). From shard code mid-window the toggle is enqueued as
+  /// a boundary control delivery (ParallelSimulator::post_control) and
+  /// lands at the next window barrier, when no shard is reading `down_` —
+  /// deterministic for a fixed shard count, though boundary placement makes
+  /// mid-window toggles not shard-count-invariant (K-invariant runs toggle
+  /// driver-side).
   void set_node_down(NicId id, bool down);
   [[nodiscard]] bool is_down(NicId id) const;
 
   /// Attach (or detach, with nullptr) a fault injector consulted on every
   /// send(). Detached is the default and costs one branch per message.
-  /// Serial-only: the injector consumes one shared RNG stream in execution
-  /// order, which has no canonical equivalent across shards (checked).
+  /// Works on both testbeds (the injector's draws are counter-based per
+  /// link; see rnic/fault.hpp); attaching reserves the injector's
+  /// per-source slots for every NIC id this fabric can address, so call it
+  /// driver-side between runs.
   void set_fault_injector(FaultInjector* injector);
   [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
 
@@ -148,6 +160,20 @@ class Network {
   /// node, lost in flight when the destination went down, or eaten by fault
   /// injection (drops and partition drops).
   [[nodiscard]] std::uint64_t messages_dropped() const;
+
+  /// One consistent cross-shard view of every fabric counter. The
+  /// per-NodeState slots are single-writer shard state, so a consistent
+  /// multi-counter read only exists when no window is executing (asserted);
+  /// benches and tests take one snapshot between runs instead of summing
+  /// the individual getters at different instants.
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t trace_messages = 0;
+    std::uint64_t trace_digest = 0;
+  };
+  [[nodiscard]] Stats stats_snapshot() const;
 
  private:
   /// All state send() mutates, split per node and padded to a cache line:

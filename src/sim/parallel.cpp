@@ -132,6 +132,31 @@ void ParallelSimulator::post_cancel(int dst_shard, EventId id) {
   target->cancel(id);  // driver thread between runs: immediate
 }
 
+void ParallelSimulator::post_control(std::function<void()> fn) {
+  if (in_window_) {
+    const int src_shard = tls_shard_;
+    HL_CHECK_MSG(src_shard >= 0,
+                 "in-window post_control from a non-shard thread");
+    shard_local_[static_cast<std::size_t>(src_shard)].controls.push_back(
+        std::move(fn));
+    return;
+  }
+  // Driver thread between runs, or shards=1 direct mode (one thread, same
+  // apply-immediately semantics as the serial engine).
+  fn();
+}
+
+void ParallelSimulator::drain_controls() {
+  for (auto& sl : shard_local_) {
+    if (sl.controls.empty()) continue;
+    // Append order per shard, shards in index order: deterministic for a
+    // fixed shard count. The drain runs on the coordinator outside any
+    // window, so a control that itself calls post_control applies inline.
+    for (auto& fn : sl.controls) fn();
+    sl.controls.clear();
+  }
+}
+
 void ParallelSimulator::ensure_workers() {
   if (!workers_.empty() || num_shards() == 1) return;
   workers_.reserve(static_cast<std::size_t>(num_shards() - 1));
@@ -175,6 +200,7 @@ void ParallelSimulator::run_window() {
   }
   in_window_ = false;
   merge_mailboxes();
+  drain_controls();
 }
 
 void ParallelSimulator::merge_mailboxes() {

@@ -166,6 +166,21 @@ class ParallelSimulator {
   /// the event not firing.
   void post_cancel(int dst_shard, EventId id);
 
+  /// Enqueue a control mutation of *shared* (non-shard-owned) state — a
+  /// reachability toggle, a global flag — to run at the next window
+  /// boundary, when no shard is executing. From inside a window this
+  /// appends to the calling shard's control queue (single writer, no
+  /// locks); the coordinator drains all queues in shard-index order right
+  /// after the barrier merge, so for a fixed shard count the apply order is
+  /// deterministic. From the driver thread between runs — and in shards=1
+  /// direct mode, where the caller is the only thread, matching the serial
+  /// engine's apply-immediately semantics — the function runs inline.
+  /// Unlike post(), boundary placement *is* observable (it depends on where
+  /// windows fall), so control effects are deterministic per shard count
+  /// but not shard-count-invariant; K-invariant runs apply controls
+  /// driver-side between runs instead.
+  void post_control(std::function<void()> fn);
+
   /// Run windows until every shard's queue and every mailbox drains.
   void run();
 
@@ -242,9 +257,12 @@ class ParallelSimulator {
     return Simulator::kKeyedSeqFlag |
            (static_cast<std::uint64_t>(src) << 32) | seq;
   }
-  /// Per-shard single-writer counters, padded against false sharing.
+  /// Per-shard single-writer counters and control queue, padded against
+  /// false sharing. `controls` is appended by the owning shard's thread
+  /// mid-window and drained by the coordinator at the barrier.
   struct alignas(64) ShardLocal {
     std::uint64_t cancel_seq = 0;
+    std::vector<std::function<void()>> controls;
   };
 
   /// Sense-reversing centralized barrier. Arrivals count up on one atomic;
@@ -277,6 +295,7 @@ class ParallelSimulator {
   void worker_loop(int shard);
   void run_window();       // one window across all shards
   void merge_mailboxes();  // barrier-side: inboxes -> shard queues
+  void drain_controls();   // barrier-side: run queued control mutations
   void run_windows_until(Time deadline, bool bounded);
   void record_window(std::uint64_t events, bool extended);
 

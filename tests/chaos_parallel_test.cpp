@@ -1,0 +1,516 @@
+// Sharded chaos determinism: the counter-based FaultInjector's schedule and
+// the resulting fabric behavior are bit-identical across the serial engine
+// and the sharded engine at K in {1, 2, 8} shards (DESIGN.md "Fault model").
+//
+// Every fault decision is a pure function of (seed, link, per-link message
+// index), so the digest sweep here runs one seeded chaos workload — the same
+// policies as tests/chaos_test.cpp — on a serial Cluster and on
+// ParallelClusters of 1/2/8 shards and pins:
+//
+//   * the fabric trace digest + message count (Network::stats_snapshot),
+//   * every per-fault-type injector counter (the fault schedule itself),
+//   * the client-observed op outcomes and the final replica-0 region bytes.
+//
+// Shard-count invariance requires the *control* schedule to be placement
+// independent, so partitions are pre-registered as [start, heal) windows and
+// power failures are scheduled on the victim node's own engine before the
+// run — never from mid-run driver code (see rnic/fault.hpp).
+//
+// Also here: the mid-window set_node_down regression (the toggle defers to a
+// window boundary via post_control instead of racing shard readers; pinned
+// deterministic-per-K by running it twice on 8 shards).
+//
+// Replay one seed with `scripts/replay_seed.sh <seed> --shards K` or
+// `build/tests/chaos_parallel_test --seed=<seed> [--shards=K]` (also
+// HL_CHAOS_SEED / HL_CHAOS_SHARDS).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "rnic/fault.hpp"
+#include "util/rng.hpp"
+
+namespace {
+/// Set by --seed= / HL_CHAOS_SEED in main(): replay exactly one seed.
+std::optional<std::uint64_t> g_seed_override;
+/// Set by --shards= / HL_CHAOS_SHARDS: compare the serial run against this
+/// shard count only (replay of one failing configuration).
+std::optional<int> g_shards_override;
+}  // namespace
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+constexpr std::uint64_t kBlock = 256;
+constexpr std::size_t kBlocks = 16;  // block 0 holds the CAS counter
+constexpr std::uint64_t kRegion = kBlock * kBlocks;
+constexpr int kOpsPerRun = 40;
+constexpr int kSeedsPerPolicy = 2;
+
+/// Same policy set (and probabilities) as tests/chaos_test.cpp — the sweep
+/// must pin the exact schedules the serial chaos suite validates.
+enum class Policy { kDrop, kDuplicate, kCorrupt, kDelay, kPartition,
+                    kPowerFail, kCombined };
+
+NodeConfig chaos_node_config() {
+  NodeConfig cfg;
+  cfg.nic.response_timeout = 200'000;  // 200us
+  cfg.nic.timeout_retry_limit = 12;
+  return cfg;
+}
+
+core::GroupParams chaos_group_params() {
+  core::GroupParams gp;
+  gp.slots = 32;
+  gp.max_outstanding = 8;
+  gp.op_timeout = 200'000'000;  // 200ms per deadline extension
+  gp.op_retry_limit = 3;
+  return gp;
+}
+
+/// Everything one run pins. Two runs of the same (seed, policy) on any
+/// engine configuration must produce identical values field for field.
+struct ChaosRun {
+  rnic::Network::Stats stats;       // trace digest/count + fabric counters
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t power_fails = 0;
+  int ops_ok = 0;
+  int ops_failed = 0;
+  std::uint64_t region_fp = 0;      // replica 0's final bytes
+  bool workload_done = false;
+};
+
+/// One seeded chaos run against either testbed. `run_until` is the only
+/// driver primitive used, so the identical code drives both engines; all
+/// control mutations (policies, partition windows, power-fail scheduling)
+/// happen before the first run_until.
+template <typename Bed, typename RunUntil>
+ChaosRun run_chaos_on(Bed& bed, RunUntil run_until, Policy policy,
+                      std::uint64_t seed) {
+  const NodeConfig cfg = chaos_node_config();
+  bed.add_node(cfg);  // node 0: client
+  for (int i = 0; i < 3; ++i) bed.add_node(cfg);
+
+  rnic::FaultInjector inj(seed);
+  bed.network().set_fault_injector(&inj);
+  bed.network().enable_trace();
+
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion,
+                             chaos_group_params());
+  core::GroupInterface& g = group.client();
+  Rng wl = inj.rng().fork();  // workload stream, independent of fabric dice
+
+  rnic::FaultPolicy fp;
+  switch (policy) {
+    case Policy::kDrop:      fp.drop = 0.08; break;
+    case Policy::kDuplicate: fp.duplicate = 0.15; break;
+    case Policy::kCorrupt:   fp.corrupt = 0.08; break;
+    case Policy::kDelay:     fp.delay = 0.5; fp.delay_max = 30'000; break;
+    case Policy::kCombined:
+      fp.drop = 0.04; fp.duplicate = 0.08; fp.corrupt = 0.04;
+      fp.delay = 0.25; fp.delay_max = 20'000;
+      break;
+    case Policy::kPartition:
+    case Policy::kPowerFail: break;  // scheduled below, not probabilistic
+  }
+  inj.set_default_policy(fp);
+
+  Rng& hr = inj.rng();
+  if (policy == Policy::kPartition) {
+    // Pre-registered [start, heal) flap windows: the schedule is fixed
+    // before the run, so it cannot depend on window placement.
+    Time t = 1'000'000;
+    for (int w = 0; w < 3; ++w) {
+      const auto node = static_cast<rnic::NicId>(1 + hr.next_below(3));
+      const Time start = t + hr.next_below(2'000'000);
+      const Time heal = start + 2'000'000 + hr.next_below(8'000'000);
+      inj.isolate_node(node, start, heal);
+      t = heal;
+    }
+  }
+  if (policy == Policy::kPowerFail) {
+    for (int w = 0; w < 2; ++w) {
+      const std::size_t node = 1 + hr.next_below(3);
+      // The victim's own engine, so the wipe executes on its owning shard.
+      inj.schedule_power_fail(bed.node(node).sim(), bed.node(node).nic(),
+                              2'000'000 + hr.next_below(8'000'000));
+    }
+  }
+
+  // --- Sequential seeded workload, paced across the fault horizon ---------
+  ChaosRun r;
+  std::uint64_t counter = 0;  // expected CAS word after last definite op
+  int issued = 0;
+  std::function<void()> next_op;
+  auto schedule_next = [&] {
+    const Duration gap = 50'000 + hr.next_below(250'000);  // 50-300us
+    group.sim().schedule(gap, [&] { next_op(); });
+  };
+  next_op = [&] {
+    if (issued == kOpsPerRun) {
+      r.workload_done = true;
+      return;
+    }
+    const int op_index = issued++;
+    const std::uint64_t kind = wl.next_below(100);
+    if (kind < 60) {  // gWRITE to a data block
+      const std::size_t b = 1 + wl.next_below(kBlocks - 1);
+      const bool fl = wl.next_bool(0.25);
+      std::vector<std::uint8_t> pat(kBlock);
+      const std::uint64_t tag = fnv1a_64(seed * 1000003 + op_index);
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        pat[i] = static_cast<std::uint8_t>(tag >> ((i % 8) * 8));
+      }
+      g.region_write(b * kBlock, pat.data(), kBlock);
+      g.gwrite(b * kBlock, static_cast<std::uint32_t>(kBlock), fl,
+               [&](Status s, const std::vector<std::uint64_t>&) {
+                 s.is_ok() ? ++r.ops_ok : ++r.ops_failed;
+                 schedule_next();
+               });
+    } else if (kind < 85) {  // gCAS on the counter word
+      const std::uint64_t expected = counter;
+      g.gcas(0, expected, expected + 1, core::kAllReplicas, false,
+             [&, expected](Status s, const std::vector<std::uint64_t>& vs) {
+               if (s.is_ok()) {
+                 ++r.ops_ok;
+                 bool all_expected = true;
+                 std::uint64_t mx = 0;
+                 for (std::uint64_t v : vs) {
+                   all_expected = all_expected && v == expected;
+                   mx = std::max(mx, v);
+                 }
+                 counter = all_expected ? expected + 1
+                                        : std::max(mx, expected);
+               } else {
+                 ++r.ops_failed;
+               }
+               schedule_next();
+             });
+    } else {  // standalone gFLUSH
+      g.gflush([&](Status s, const std::vector<std::uint64_t>&) {
+        s.is_ok() ? ++r.ops_ok : ++r.ops_failed;
+        schedule_next();
+      });
+    }
+  };
+  group.sim().schedule_at(100'000, [&] { next_op(); });
+
+  Time t = 0;
+  const Time budget = 3'000_ms;
+  while (!r.workload_done && t < budget) {
+    t += 50_us;
+    run_until(t);
+  }
+  EXPECT_TRUE(r.workload_done) << "workload stalled (chain dead?)";
+
+  // Heal (driver-side, between runs) and let retransmits settle so late
+  // traffic is part of the digest, not racing the snapshot.
+  inj.clear();
+  run_until(t + 100_ms);
+
+  r.stats = bed.network().stats_snapshot();
+  r.drops = inj.drops();
+  r.duplicates = inj.duplicates();
+  r.corruptions = inj.corruptions();
+  r.delays = inj.delays();
+  r.partition_drops = inj.partition_drops();
+  r.power_fails = inj.power_fails();
+  std::vector<std::uint8_t> region(kRegion);
+  g.replica_read(0, 0, region.data(), kRegion);
+  r.region_fp = fnv1a_64(region.data(), region.size());
+  return r;
+}
+
+ChaosRun run_serial(Policy policy, std::uint64_t seed) {
+  Cluster cluster;
+  return run_chaos_on(cluster, [&](Time t) { cluster.sim().run_until(t); },
+                      policy, seed);
+}
+
+ChaosRun run_sharded(int shards, Policy policy, std::uint64_t seed) {
+  ParallelCluster cluster(shards);
+  return run_chaos_on(cluster,
+                      [&](Time t) { cluster.engine().run_until(t); }, policy,
+                      seed);
+}
+
+void expect_identical(const ChaosRun& ref, const ChaosRun& run,
+                      const std::string& what) {
+  EXPECT_EQ(ref.stats.trace_digest, run.stats.trace_digest)
+      << what << ": fabric trace digest diverged";
+  EXPECT_EQ(ref.stats.trace_messages, run.stats.trace_messages)
+      << what << ": traced message count diverged";
+  EXPECT_EQ(ref.stats.messages_sent, run.stats.messages_sent) << what;
+  EXPECT_EQ(ref.stats.bytes_sent, run.stats.bytes_sent) << what;
+  EXPECT_EQ(ref.stats.messages_dropped, run.stats.messages_dropped) << what;
+  EXPECT_EQ(ref.drops, run.drops) << what << ": drop schedule diverged";
+  EXPECT_EQ(ref.duplicates, run.duplicates)
+      << what << ": duplicate schedule diverged";
+  EXPECT_EQ(ref.corruptions, run.corruptions)
+      << what << ": corruption schedule diverged";
+  EXPECT_EQ(ref.delays, run.delays) << what << ": delay schedule diverged";
+  EXPECT_EQ(ref.partition_drops, run.partition_drops)
+      << what << ": partition drops diverged";
+  EXPECT_EQ(ref.power_fails, run.power_fails) << what;
+  EXPECT_EQ(ref.ops_ok, run.ops_ok) << what << ": op outcomes diverged";
+  EXPECT_EQ(ref.ops_failed, run.ops_failed)
+      << what << ": op outcomes diverged";
+  EXPECT_EQ(ref.region_fp, run.region_fp)
+      << what << ": final replica bytes diverged";
+}
+
+void sweep(Policy policy, int policy_index) {
+  std::vector<std::uint64_t> seeds;
+  if (g_seed_override.has_value()) {
+    seeds.push_back(*g_seed_override);
+  } else {
+    for (int i = 0; i < kSeedsPerPolicy; ++i) {
+      seeds.push_back(0xC0FFEEull + 1'000'003ull * policy_index + 257ull * i);
+    }
+  }
+  std::vector<int> shard_counts = {1, 2, 8};
+  if (g_shards_override.has_value()) shard_counts = {*g_shards_override};
+  for (std::uint64_t seed : seeds) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed) +
+                 " (replay: scripts/replay_seed.sh " + std::to_string(seed) +
+                 " --shards K)");
+    const ChaosRun serial = run_serial(policy, seed);
+    EXPECT_GT(serial.stats.trace_messages, 0u) << "no traffic was traced";
+    if (::testing::Test::HasFailure()) return;
+    for (const int shards : shard_counts) {
+      const ChaosRun par = run_sharded(shards, policy, seed);
+      expect_identical(serial, par,
+                       "serial vs shards=" + std::to_string(shards));
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "seed " << seed << " shards " << shards
+                      << " diverged; replay with scripts/replay_seed.sh "
+                      << seed << " --shards " << shards;
+        return;  // first failing configuration is the repro
+      }
+    }
+  }
+}
+
+TEST(ChaosParallel, DropScheduleInvariantAcrossShardCounts) {
+  sweep(Policy::kDrop, 0);
+}
+TEST(ChaosParallel, DuplicateScheduleInvariantAcrossShardCounts) {
+  sweep(Policy::kDuplicate, 1);
+}
+TEST(ChaosParallel, CorruptScheduleInvariantAcrossShardCounts) {
+  sweep(Policy::kCorrupt, 2);
+}
+TEST(ChaosParallel, DelayScheduleInvariantAcrossShardCounts) {
+  sweep(Policy::kDelay, 3);
+}
+TEST(ChaosParallel, PartitionWindowsInvariantAcrossShardCounts) {
+  sweep(Policy::kPartition, 4);
+}
+TEST(ChaosParallel, PowerFailScheduleInvariantAcrossShardCounts) {
+  sweep(Policy::kPowerFail, 5);
+}
+TEST(ChaosParallel, CombinedPolicyInvariantAcrossShardCounts) {
+  sweep(Policy::kCombined, 6);
+}
+
+TEST(ChaosParallel, BareInjectorVerdictsMatchAcrossOrderings) {
+  // The schedule is a pure function of (seed, link, per-link seq): drawing
+  // link (0->1)'s verdicts before or after link (2->3)'s yields the same
+  // verdicts — the property execution-order-dependent RNG streams break.
+  rnic::FaultPolicy fp;
+  fp.drop = 0.3;
+  fp.duplicate = 0.3;
+  fp.corrupt = 0.2;
+  fp.delay = 0.5;
+  auto draw_link = [&](rnic::FaultInjector& inj, rnic::NicId src,
+                       rnic::NicId dst, int n) {
+    std::uint64_t h = 14695981039346656037ull;
+    rnic::Message m;
+    m.src = src;
+    m.dst = dst;
+    for (int i = 0; i < n; ++i) {
+      const auto v = inj.decide(m, /*now=*/1000 * i);
+      h = fnv1a_64(h ^ (static_cast<std::uint64_t>(v.drop) |
+                        (static_cast<std::uint64_t>(v.duplicate) << 1) |
+                        (static_cast<std::uint64_t>(v.corrupt) << 2) |
+                        (static_cast<std::uint64_t>(v.extra_delay) << 3)));
+    }
+    return h;
+  };
+  rnic::FaultInjector a(42), b(42);
+  a.set_default_policy(fp);
+  b.set_default_policy(fp);
+  // a: link (0,1) fully, then (2,3). b: interleaved. Same per-link streams.
+  const std::uint64_t a01 = draw_link(a, 0, 1, 64);
+  const std::uint64_t a23 = draw_link(a, 2, 3, 64);
+  std::uint64_t h01 = 14695981039346656037ull;
+  std::uint64_t h23 = 14695981039346656037ull;
+  for (int i = 0; i < 64; ++i) {
+    rnic::Message m;
+    m.src = 2;
+    m.dst = 3;
+    auto v = b.decide(m, 1000 * i);
+    h23 = fnv1a_64(h23 ^ (static_cast<std::uint64_t>(v.drop) |
+                          (static_cast<std::uint64_t>(v.duplicate) << 1) |
+                          (static_cast<std::uint64_t>(v.corrupt) << 2) |
+                          (static_cast<std::uint64_t>(v.extra_delay) << 3)));
+    m.src = 0;
+    m.dst = 1;
+    v = b.decide(m, 1000 * i);
+    h01 = fnv1a_64(h01 ^ (static_cast<std::uint64_t>(v.drop) |
+                          (static_cast<std::uint64_t>(v.duplicate) << 1) |
+                          (static_cast<std::uint64_t>(v.corrupt) << 2) |
+                          (static_cast<std::uint64_t>(v.extra_delay) << 3)));
+  }
+  EXPECT_EQ(a01, h01) << "link (0,1) verdicts depend on draw interleaving";
+  EXPECT_EQ(a23, h23) << "link (2,3) verdicts depend on draw interleaving";
+}
+
+// --- Mid-window node-down regression ---------------------------------------
+
+/// A node-down toggle issued from shard code mid-window must defer to the
+/// next window boundary (Network routes it through post_control) instead of
+/// mutating `down_` while other shards' send paths read it. 8 shards, the
+/// toggle fired from the victim's own engine mid-run; the run is pinned
+/// deterministic by executing it twice and comparing full fabric stats.
+struct NodeDownRun {
+  rnic::Network::Stats stats;
+  int ops_ok = 0;
+  int ops_failed = 0;
+  bool down_observed = false;
+};
+
+NodeDownRun run_mid_window_node_down() {
+  ParallelCluster bed(8);
+  NodeConfig cfg;
+  cfg.nic.response_timeout = 100'000;
+  cfg.nic.timeout_retry_limit = 3;
+  for (int i = 0; i < 8; ++i) bed.add_node(cfg);
+  bed.network().enable_trace();
+
+  core::GroupParams gp;
+  gp.slots = 16;
+  gp.max_outstanding = 4;
+  gp.op_timeout = 1'000'000;  // 1ms per deadline extension
+  gp.op_retry_limit = 1;
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, 1 << 14, gp);
+  core::GroupInterface& g = group.client();
+
+  NodeDownRun r;
+  // Closed-loop pinger keeps traffic flowing across the outage.
+  bool stop = false;
+  std::uint64_t v = 0;
+  std::function<void()> ping = [&] {
+    g.region_write(0, &v, 8);
+    ++v;
+    g.gwrite(0, 8, false, [&](Status s, const auto&) {
+      s.is_ok() ? ++r.ops_ok : ++r.ops_failed;
+      if (!stop) group.sim().schedule(20'000, [&] { ping(); });
+    });
+  };
+  group.sim().schedule_at(100'000, [&] { ping(); });
+
+  // The toggle fires on the *victim's* shard, inside a window, mid-run:
+  // exactly the call set_node_down must defer to the boundary.
+  bed.node(2).sim().schedule_at(2'000'000, [&] {
+    bed.network().set_node_down(2, true);
+  });
+  bed.node(2).sim().schedule_at(8'000'000, [&] {
+    bed.network().set_node_down(2, false);
+  });
+
+  bed.engine().run_until(3'000'000);
+  r.down_observed = bed.network().is_down(2);
+  bed.engine().run_until(20'000'000);
+  stop = true;
+  bed.engine().run_until(25'000'000);
+
+  r.stats = bed.network().stats_snapshot();
+  return r;
+}
+
+TEST(ChaosParallel, MidWindowNodeDownAppliesAtBoundary) {
+  const NodeDownRun a = run_mid_window_node_down();
+  EXPECT_TRUE(a.down_observed)
+      << "mid-window toggle never applied (lost control delivery?)";
+  EXPECT_GT(a.stats.messages_dropped, 0u)
+      << "no message ever hit the downed node";
+  EXPECT_GT(a.ops_failed, 0) << "the outage was invisible to the datapath";
+  EXPECT_GT(a.ops_ok, a.ops_failed) << "the chain never recovered post-heal";
+
+  // Determinism for a fixed shard count: boundary placement is part of the
+  // schedule, so two identical runs must agree bit for bit.
+  const NodeDownRun b = run_mid_window_node_down();
+  EXPECT_EQ(a.stats.trace_digest, b.stats.trace_digest);
+  EXPECT_EQ(a.stats.trace_messages, b.stats.trace_messages);
+  EXPECT_EQ(a.stats.messages_dropped, b.stats.messages_dropped);
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.ops_failed, b.ops_failed);
+}
+
+TEST(ChaosParallel, StatsSnapshotMatchesIndividualGetters) {
+  // The snapshot is the blessed between-runs read; it must agree with the
+  // (equally driver-side) individual getters at a quiesced instant.
+  ParallelCluster bed(4);
+  for (int i = 0; i < 4; ++i) bed.add_node();
+  bed.network().enable_trace();
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, 1 << 14);
+  core::GroupInterface& g = group.client();
+  bool done = false;
+  std::uint64_t v = 0x5a5a;
+  g.region_write(0, &v, 8);
+  g.gwrite(0, 8, true, [&](Status s, const auto&) {
+    EXPECT_TRUE(s.is_ok());
+    done = true;
+  });
+  Time t = 0;
+  while (!done && t < 10'000'000) {
+    t += 50'000;
+    bed.engine().run_until(t);
+  }
+  ASSERT_TRUE(done);
+  const rnic::Network::Stats s = bed.network().stats_snapshot();
+  EXPECT_EQ(s.messages_sent, bed.network().messages_sent());
+  EXPECT_EQ(s.bytes_sent, bed.network().bytes_sent());
+  EXPECT_EQ(s.messages_dropped, bed.network().messages_dropped());
+  EXPECT_EQ(s.trace_messages, bed.network().trace_messages());
+  EXPECT_EQ(s.trace_digest, bed.network().trace_digest());
+  EXPECT_GT(s.messages_sent, 0u);
+}
+
+}  // namespace
+}  // namespace hyperloop
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed_override = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      g_shards_override = static_cast<int>(
+          std::strtoul(arg.c_str() + 9, nullptr, 0));
+    }
+  }
+  if (const char* env = std::getenv("HL_CHAOS_SEED")) {
+    g_seed_override = std::strtoull(env, nullptr, 0);
+  }
+  if (const char* env = std::getenv("HL_CHAOS_SHARDS")) {
+    g_shards_override = static_cast<int>(std::strtoul(env, nullptr, 0));
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,455 @@
+// Sharded reconfiguration chaos: live chain recovery on the parallel engine.
+//
+// The serial reconfiguration suite (tests/reconfig_test.cpp) drives the
+// whole failure -> detect -> evict -> catch-up -> splice pipeline inside one
+// event engine. Here the same pipeline runs on ParallelClusters, where every
+// structural step is a *driver-side* call and the asynchronous tail is
+// completed by pumping service_reconfig()/service_rebuilds() between runs:
+//
+//   * HeartbeatMonitor detects a killed replica on the client's shard and
+//     records the failure for the driver;
+//   * the driver calls replace_replica between runs; MemberSync streams the
+//     region as ordinary (keyed, shard-safe) fabric traffic; parked QP
+//     rebuilds and the splice cut-over happen in the driver pump;
+//   * mid-catch-up the replacement is killed too (the ported
+//     kill-during-catch-up scenario): the stream must fail cleanly, leave
+//     the chain degraded-but-live, and a retried replacement must succeed.
+//
+// Determinism: the pump runs at fixed sim-time steps, every engine-side
+// decision is keyed or counter-based, and parked work is serviced at the
+// same step at every K — so one seed produces bit-identical traces and
+// outcomes across K in {1, 2, 8} shards (pinned over 25 seeds). The serial
+// engine completes the same pipeline inline (different service timing), so
+// serial-vs-sharded equality is out of scope here; the datapath-only
+// equivalence is pinned by chaos_parallel_test.
+//
+// Replay: build/tests/reconfig_parallel_test --seed=<seed> (HL_CHAOS_SEED).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/group_manager.hpp"
+#include "replication/chain.hpp"
+#include "rnic/fault.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::optional<std::uint64_t> g_seed_override;
+}  // namespace
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+constexpr std::uint64_t kRegion = 32 * 1024;
+constexpr int kSeedsPerScenario = 25;
+
+/// Short NIC patience so a killed node surfaces as QP errors fast.
+NodeConfig fast_fail_config() {
+  NodeConfig cfg;
+  cfg.nic.response_timeout = 200'000;  // 200us
+  cfg.nic.timeout_retry_limit = 4;
+  return cfg;
+}
+
+core::GroupParams fast_group_params() {
+  core::GroupParams gp;
+  gp.slots = 32;
+  gp.max_outstanding = 8;
+  gp.op_timeout = 1'000'000;  // 1ms
+  gp.op_retry_limit = 2;
+  return gp;
+}
+
+replication::HeartbeatParams fast_heartbeat() {
+  replication::HeartbeatParams hb;
+  hb.interval = 300'000;       // 300us probe tick
+  hb.probe_timeout = 250'000;
+  hb.misses_for_failure = 3;
+  return hb;
+}
+
+core::ReconfigParams fast_reconfig() {
+  core::ReconfigParams rp;
+  rp.sync.chunk = 4 * 1024;
+  rp.sync.retry_limit = 2;
+  return rp;
+}
+
+/// Everything one kill-during-catch-up run pins across shard counts.
+struct ReconfigRun {
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_messages = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t attempts_failed = 0;
+  std::size_t detected = SIZE_MAX;      // replica index the monitor flagged
+  StatusCode first_replace = StatusCode::kOk;   // must be an error
+  StatusCode second_replace = StatusCode::kOk;  // must be ok
+  std::uint64_t splices = 0;
+  std::uint64_t region_fp = 0;
+  bool converged = false;  // final regions byte-identical on all live members
+};
+
+/// One seeded kill-during-catch-up run on `shards` shards. The driver loop
+/// steps in fixed 100us increments and performs every control action at
+/// those boundaries, so the schedule is identical at every shard count.
+ReconfigRun run_kill_during_catch_up(int shards, std::uint64_t seed) {
+  ParallelCluster bed(shards);
+  const NodeConfig cfg = fast_fail_config();
+  for (int i = 0; i < 5; ++i) bed.add_node(cfg);  // 0: client, 1-3, 4: spare
+  constexpr std::size_t kSpare = 4;
+
+  rnic::FaultInjector inj(seed);
+  bed.network().set_fault_injector(&inj);
+  bed.network().enable_trace();
+
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion,
+                             fast_group_params());
+  core::GroupInterface& g = group.client();
+
+  replication::HeartbeatMonitor monitor(bed, 0, {1, 2, 3}, fast_heartbeat());
+  // The failure callback runs on the client's shard; it only records the
+  // index (single writer) — the driver acts on it between runs.
+  ReconfigRun r;
+  monitor.start([&](std::size_t replica) {
+    if (r.detected == SIZE_MAX) r.detected = replica;
+  });
+
+  // Paced closed-loop writer with version-stamped payloads; failed attempts
+  // re-issue the same version, so `acked` counts distinct durable versions.
+  std::uint64_t version = 0;
+  bool stop = false;
+  std::function<void()> write_next = [&] {
+    if (stop) return;
+    const std::uint64_t v = version + 1;
+    std::uint64_t word[2] = {v, seed ^ v};
+    g.region_write(256, word, sizeof(word));
+    g.gwrite(256, sizeof(word), /*flush=*/true,
+             [&, v](Status s, const std::vector<std::uint64_t>&) {
+               if (s.is_ok()) {
+                 version = v;
+                 ++r.acked;
+               } else {
+                 ++r.attempts_failed;
+               }
+               if (!stop) group.sim().schedule(200'000, write_next);
+             });
+  };
+  group.sim().schedule_at(500'000, write_next);
+
+  // Seed-derived control schedule (harness stream, independent of fabric
+  // dice): when to kill the victim, and how deep into the catch-up stream
+  // to kill the replacement.
+  Rng& hr = inj.rng();
+  const auto victim =
+      static_cast<std::size_t>(1 + hr.next_below(3));  // node id
+  const Time kill_at = 3'000_us + hr.next_below(5'000) * 1'000;
+  const Duration catchup_kill_after = 300'000 + hr.next_below(400) * 1'000;
+
+  enum class Phase { kSteady, kKilled, kReplacing1, kSpareDown, kRetrying,
+                     kDone };
+  Phase phase = Phase::kSteady;
+  bool first_done = false, second_done = false;
+  Time replace1_at = 0;
+
+  Time t = 0;
+  const Time horizon = 200'000_us;
+  while (t < horizon) {
+    t += 100_us;
+    bed.engine().run_until(t);
+    // Driver-side service pump: parked probe-QP rebuilds, parked catch-up
+    // rebuilds, splice cut-over.
+    monitor.service_rebuilds();
+    group.service_reconfig();
+
+    if (phase == Phase::kSteady && t >= kill_at) {
+      bed.network().set_node_down(victim, true);
+      bed.node(victim).nic().power_fail();
+      phase = Phase::kKilled;
+    }
+    if (phase == Phase::kKilled && r.detected != SIZE_MAX) {
+      EXPECT_EQ(r.detected, victim - 1) << "monitor flagged the wrong replica";
+      monitor.stop();
+      group.replace_replica(r.detected, kSpare,
+                            [&](Status s) {
+                              r.first_replace = s.code();
+                              first_done = true;
+                            },
+                            fast_reconfig());
+      replace1_at = t;
+      phase = Phase::kReplacing1;
+    }
+    if (phase == Phase::kReplacing1 && t >= replace1_at + catchup_kill_after &&
+        !first_done) {
+      // Kill the replacement mid-stream: the ported scenario.
+      bed.network().set_node_down(kSpare, true);
+      phase = Phase::kSpareDown;
+    }
+    if ((phase == Phase::kSpareDown ||
+         (phase == Phase::kReplacing1 && first_done)) &&
+        first_done && !group.reconfiguring()) {
+      // First replacement resolved. If the catch-up raced ahead of the kill
+      // it may have legitimately succeeded; either way the chain must be
+      // live. Retry (or finish) with a healed spare.
+      bed.network().set_node_down(kSpare, false);
+      if (r.first_replace != StatusCode::kOk) {
+        group.replace_replica(r.detected, kSpare,
+                              [&](Status s) {
+                                r.second_replace = s.code();
+                                second_done = true;
+                              },
+                              fast_reconfig());
+      } else {
+        r.second_replace = StatusCode::kOk;
+        second_done = true;
+      }
+      phase = Phase::kRetrying;
+    }
+    if (phase == Phase::kRetrying && second_done && !group.reconfiguring()) {
+      phase = Phase::kDone;
+      stop = true;
+    }
+    if (phase == Phase::kDone && t >= replace1_at + 20'000_us) break;
+  }
+  EXPECT_EQ(static_cast<int>(phase), static_cast<int>(Phase::kDone))
+      << "recovery pipeline stalled (phase " << static_cast<int>(phase)
+      << ", detected=" << r.detected << ")";
+  bed.engine().run_until(t + 10'000_us);  // settle
+
+  // Settling pass: the writer's last attempt may have died unacked with its
+  // bytes already staged in the client mirror, so push the mirror's current
+  // block 256 through the healed chain (plus a fresh stamp) before asking
+  // for byte-identity.
+  Time st = t + 10'000_us;
+  std::uint64_t stamp[2] = {0xF1A71ull, seed};
+  g.region_write(512, stamp, sizeof(stamp));
+  for (const std::uint64_t off : {256, 512}) {
+    bool settled = false;
+    g.gwrite(off, 16, true, [&](Status s, const auto&) {
+      EXPECT_TRUE(s.is_ok()) << "settling write failed on recovered chain: "
+                             << s;
+      settled = true;
+    });
+    while (!settled && st < t + 60'000_us) {
+      st += 100_us;
+      bed.engine().run_until(st);
+    }
+    EXPECT_TRUE(settled);
+  }
+
+  std::vector<std::uint8_t> want(kRegion), got(kRegion);
+  g.region_read(0, want.data(), kRegion);
+  r.converged = true;
+  for (std::size_t pos = 0; pos < 3; ++pos) {
+    if (!group.is_live(pos)) continue;
+    g.replica_read(pos, 0, got.data(), kRegion);
+    if (got != want) r.converged = false;
+  }
+  std::uint64_t durable = 0;
+  g.replica_read(0, 256, &durable, 8);
+  EXPECT_GE(durable, version) << "acked version lost across recovery";
+
+  r.splices = group.splices();
+  const rnic::Network::Stats s = bed.network().stats_snapshot();
+  r.trace_digest = s.trace_digest;
+  r.trace_messages = s.trace_messages;
+  r.region_fp = fnv1a_64(want.data(), want.size());
+  return r;
+}
+
+TEST(ReconfigParallel, KillDuringCatchUpInvariantAcrossShardCounts) {
+  std::vector<std::uint64_t> seeds;
+  if (g_seed_override.has_value()) {
+    seeds.push_back(*g_seed_override);
+  } else {
+    for (int i = 0; i < kSeedsPerScenario; ++i) {
+      seeds.push_back(0x5EEDull + 7'000'003ull + 131ull * i);
+    }
+  }
+  for (std::uint64_t seed : seeds) {
+    SCOPED_TRACE("reconfig seed " + std::to_string(seed) +
+                 " (replay: build/tests/reconfig_parallel_test --seed=" +
+                 std::to_string(seed) + ")");
+    const ReconfigRun ref = run_kill_during_catch_up(1, seed);
+    if (::testing::Test::HasFailure()) return;
+    EXPECT_NE(ref.detected, SIZE_MAX);
+    EXPECT_EQ(ref.second_replace, StatusCode::kOk);
+    EXPECT_GE(ref.splices, 1u);
+    EXPECT_TRUE(ref.converged);
+    EXPECT_GT(ref.acked, 0u);
+    for (const int shards : {2, 8}) {
+      const ReconfigRun run = run_kill_during_catch_up(shards, seed);
+      EXPECT_EQ(ref.trace_digest, run.trace_digest)
+          << "trace digest diverged at shards=" << shards;
+      EXPECT_EQ(ref.trace_messages, run.trace_messages)
+          << "message count diverged at shards=" << shards;
+      EXPECT_EQ(ref.acked, run.acked) << "shards=" << shards;
+      EXPECT_EQ(ref.attempts_failed, run.attempts_failed)
+          << "shards=" << shards;
+      EXPECT_EQ(ref.detected, run.detected) << "shards=" << shards;
+      EXPECT_EQ(ref.first_replace, run.first_replace) << "shards=" << shards;
+      EXPECT_EQ(ref.second_replace, run.second_replace)
+          << "shards=" << shards;
+      EXPECT_EQ(ref.splices, run.splices) << "shards=" << shards;
+      EXPECT_EQ(ref.region_fp, run.region_fp) << "shards=" << shards;
+      EXPECT_EQ(ref.converged, run.converged) << "shards=" << shards;
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "seed " << seed << " diverged at shards=" << shards
+                      << "; replay with --seed=" << seed;
+        return;  // first failing seed is the repro
+      }
+    }
+  }
+}
+
+// --- GroupManager on the sharded testbed ------------------------------------
+
+TEST(ReconfigParallel, ManagerHostsChainsAndReplacesOnShardedTestbed) {
+  ParallelCluster bed(8);
+  const NodeConfig cfg = fast_fail_config();
+  for (int i = 0; i < 25; ++i) bed.add_node(cfg);  // 6 groups x 4 + 1 spare
+  constexpr std::size_t kSpare = 24;
+
+  core::GroupManager mgr(bed);
+  core::TenantQuota quota;
+  // Exactly two chain groups per tenant: qp_cost(chain, R=3) = 8 + 11*3.
+  quota.max_qps = 2 * (8 + 11 * 3);
+  for (std::uint64_t tenant = 1; tenant <= 3; ++tenant) {
+    mgr.set_quota(tenant, quota);
+  }
+
+  std::vector<core::GroupInterface*> groups;
+  for (int i = 0; i < 6; ++i) {
+    core::GroupSpec spec;
+    spec.client_node = static_cast<std::size_t>(4 * i);
+    spec.member_nodes = {static_cast<std::size_t>(4 * i + 1),
+                         static_cast<std::size_t>(4 * i + 2),
+                         static_cast<std::size_t>(4 * i + 3)};
+    spec.region_size = 1 << 14;
+    spec.params = fast_group_params();
+    spec.params.tenant = static_cast<std::uint64_t>(1 + i / 2);
+    Status why;
+    core::GroupInterface* g = mgr.create_group(spec, &why);
+    ASSERT_NE(g, nullptr) << why;
+    groups.push_back(g);
+  }
+  // Admission still enforced at quota on the sharded testbed.
+  {
+    core::GroupSpec spec;
+    spec.client_node = 0;
+    spec.member_nodes = {1, 2, 3};
+    spec.params = fast_group_params();
+    spec.params.tenant = 1;
+    Status why;
+    EXPECT_EQ(mgr.create_group(spec, &why), nullptr);
+    EXPECT_EQ(why.code(), StatusCode::kResourceExhausted) << why;
+  }
+  // Only the chain datapath is hosted sharded.
+  {
+    core::GroupSpec spec;
+    spec.datapath = core::GroupSpec::Datapath::kFanout;
+    spec.client_node = 0;
+    spec.member_nodes = {1, 2, 3};
+    Status why;
+    EXPECT_EQ(mgr.create_group(spec, &why), nullptr);
+    EXPECT_EQ(why.code(), StatusCode::kInvalidArgument) << why;
+  }
+
+  // Doorbell-arbitrated traffic on every group: each client engine runs its
+  // own arbiter, so submissions from six different shards never collide —
+  // but the ack *counter* is shared across those shards, hence atomic.
+  std::atomic<int> acked{0};
+  constexpr int kWritesPerGroup = 4;
+  std::uint64_t stamp = 0xAB5000;
+  for (core::GroupInterface* g : groups) {
+    const std::uint64_t v = stamp++;
+    g->region_write(0, &v, 8);
+    for (int w = 0; w < kWritesPerGroup; ++w) {
+      mgr.submit(g, [&, g] {
+        g->gwrite(0, 8, false,
+                  [&](Status s, const std::vector<std::uint64_t>&) {
+                    EXPECT_TRUE(s.is_ok()) << s;
+                    acked.fetch_add(1, std::memory_order_relaxed);
+                  });
+      });
+    }
+  }
+  Time t = 0;
+  while (acked < 6 * kWritesPerGroup && t < 50'000_us) {
+    t += 100_us;
+    bed.engine().run_until(t);
+  }
+  EXPECT_EQ(acked.load(), 6 * kWritesPerGroup);
+  EXPECT_EQ(mgr.queued(), 0u);
+
+  // Online replacement through the manager: kill group 0's middle replica,
+  // replace with the spare, pump the driver-side reconfiguration tail. The
+  // ledger must be conserved (net-zero member swap).
+  const auto usage_before = mgr.usage(1);
+  bed.network().set_node_down(2, true);
+  bed.node(2).nic().power_fail();
+  bool replaced = false;
+  Status replace_status;
+  ASSERT_TRUE(mgr.replace_replica(groups[0], 1, kSpare,
+                                  [&](Status s) {
+                                    replace_status = s;
+                                    replaced = true;
+                                  })
+                  .is_ok());
+  while ((!replaced || mgr.reconfiguring()) && t < 150'000_us) {
+    t += 100_us;
+    bed.engine().run_until(t);
+    mgr.service_reconfig();
+  }
+  ASSERT_TRUE(replaced) << "replacement never completed";
+  EXPECT_TRUE(replace_status.is_ok()) << replace_status;
+  EXPECT_EQ(mgr.usage(1).qps, usage_before.qps)
+      << "member swap must be ledger-neutral";
+
+  // The recovered group still serves writes.
+  bool ok = false;
+  const std::uint64_t v = 0xFEED;
+  groups[0]->region_write(8, &v, 8);
+  mgr.submit(groups[0], [&] {
+    groups[0]->gwrite(8, 8, true, [&](Status s, const auto&) {
+      EXPECT_TRUE(s.is_ok()) << s;
+      ok = true;
+    });
+  });
+  while (!ok && t < 200'000_us) {
+    t += 100_us;
+    bed.engine().run_until(t);
+  }
+  EXPECT_TRUE(ok);
+
+  // Destroy releases the full charge.
+  ASSERT_TRUE(mgr.destroy_group(groups[5]).is_ok());
+  EXPECT_EQ(mgr.usage(3).groups, 1u);
+}
+
+}  // namespace
+}  // namespace hyperloop
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed_override = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    }
+  }
+  if (const char* env = std::getenv("HL_CHAOS_SEED")) {
+    g_seed_override = std::strtoull(env, nullptr, 0);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
