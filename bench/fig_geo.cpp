@@ -1,0 +1,452 @@
+// Geo-replication scenario: a 3-replica group spanning two regions.
+//
+// The paper's testbed is one rack; this bench stretches the same chain
+// across a WAN and asks what each datapath's durability latency becomes when
+// one replication hop costs a region crossing. Nodes 0 (client) and 1 live
+// in "west", replicas 2 and 3 in "east"; the west<->east links carry a WAN
+// profile swept over RTT {0.1ms, 5ms, 40ms} for each of {chain (HyperLoop),
+// fanout, naive} — chain pays the WAN once per op (1->2), fanout's primary
+// crosses it once per backup, naive adds CPU wakeups on top.
+//
+// Two engine-level sections ride along, both self-gating (non-zero exit):
+//   * windows: the same chain workload at 40ms RTT on a 2-shard
+//     region-aligned ParallelCluster, once with the channel-aware lookahead
+//     matrix and once with the uniform global-floor baseline. The matrix
+//     must run strictly fewer windows for bit-identical traffic — the
+//     refactor's reason to exist.
+//   * heartbeat: a HeartbeatMonitor sized by heartbeat_params_for_rtt(max
+//     client<->replica RTT) probing the geo chain with no faults injected
+//     must report zero false failures (the stock 1.5ms probe deadline would
+//     declare every 40ms-away replica dead).
+//
+// Usage: fig_geo [--quick] [--out <path>]
+//   --quick   fewer ops per cell (CI smoke); sets "quick": true in JSON
+//   --out     output path (default: BENCH_geo.json in the CWD)
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "hyperloop/fanout_group.hpp"
+#include "hyperloop/group.hpp"
+#include "hyperloop/naive_group.hpp"
+#include "replication/chain.hpp"
+#include "util/histogram.hpp"
+
+namespace hyperloop::bench {
+namespace {
+
+constexpr std::uint64_t kRegion = 64 * 1024;
+constexpr std::uint64_t kBlock = 256;
+
+const std::vector<Duration> kWanRtts = {100'000, 5'000'000, 40'000'000};
+
+enum class Geo { kChain, kFanout, kNaive };
+
+const char* geo_name(Geo g) {
+  switch (g) {
+    case Geo::kChain: return "chain";
+    case Geo::kFanout: return "fanout";
+    case Geo::kNaive: return "naive";
+  }
+  return "?";
+}
+
+/// Client + replica 1 in "west", replicas 2-3 in "east"; symmetric WAN with
+/// one-way latency rtt/2. Works on either testbed.
+template <typename Bed>
+void apply_geo_regions(Bed& bed, Duration wan_rtt) {
+  rnic::LinkProfile wan;
+  wan.propagation = wan_rtt / 2;
+  wan.hops = 1;
+  bed.define_profile("wan", wan);
+  for (std::size_t n = 0; n < 4; ++n) {
+    bed.set_region(n, n < 2 ? "west" : "east");
+  }
+  bed.set_region_link("west", "east", "wan");
+}
+
+NodeConfig geo_node_config(Duration wan_rtt) {
+  NodeConfig cfg;
+  // The NIC-level retransmit deadline must cover a WAN round trip or every
+  // request to the far region times out and retries forever.
+  cfg.nic.response_timeout = 2 * wan_rtt + 2'000'000;
+  cfg.nic.timeout_retry_limit = 8;
+  return cfg;
+}
+
+struct CellResult {
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  Duration p50 = 0;
+  Duration p99 = 0;
+};
+
+/// One (datapath, RTT) cell: sequential closed-loop flushed gWRITEs on a
+/// serial Cluster, recording durability latency (post -> chain-durable ack).
+CellResult run_latency_cell(Geo which, Duration wan_rtt, int ops) {
+  Cluster bed;
+  const NodeConfig cfg = geo_node_config(wan_rtt);
+  for (int i = 0; i < 4; ++i) bed.add_node(cfg);
+  apply_geo_regions(bed, wan_rtt);
+  bed.apply_profiles();
+
+  // HyperLoopGroup owns the chain and exposes the datapath via client();
+  // the two baselines implement GroupInterface directly.
+  std::unique_ptr<core::HyperLoopGroup> chain;
+  std::unique_ptr<core::GroupInterface> baseline;
+  core::GroupInterface* g = nullptr;
+  // Deadlines cover a few WAN round trips: the chain traverses the WAN in
+  // both directions and gFLUSH adds another.
+  const Duration op_deadline = 8 * wan_rtt + 100'000'000;
+  const std::vector<std::size_t> members{1, 2, 3};
+  if (which == Geo::kChain) {
+    core::GroupParams gp;
+    gp.slots = 32;
+    gp.max_outstanding = 8;
+    gp.op_timeout = op_deadline;
+    chain = std::make_unique<core::HyperLoopGroup>(bed, 0, members, kRegion,
+                                                   gp);
+    g = &chain->client();
+  } else if (which == Geo::kFanout) {
+    core::GroupParams gp;
+    gp.slots = 32;
+    gp.max_outstanding = 8;
+    gp.op_timeout = op_deadline;
+    baseline =
+        std::make_unique<core::FanoutGroup>(bed, 0, members, kRegion, gp);
+    g = baseline.get();
+  } else {
+    core::NaiveParams np;
+    np.op_timeout = op_deadline;
+    baseline =
+        std::make_unique<core::NaiveGroup>(bed, 0, members, kRegion, np);
+    g = baseline.get();
+  }
+
+  CellResult res;
+  LatencyHistogram lat;
+  int issued = 0;
+  bool done = false;
+  std::function<void()> next_op = [&] {
+    if (issued == ops) {
+      done = true;
+      return;
+    }
+    const int op = issued++;
+    std::vector<std::uint8_t> block(kBlock,
+                                    static_cast<std::uint8_t>(op * 37 + 1));
+    g->region_write(kBlock * (1 + op % 8), block.data(), kBlock);
+    const Time start = bed.sim().now();
+    g->gwrite(kBlock * (1 + op % 8), static_cast<std::uint32_t>(kBlock),
+              /*flush=*/true,
+              [&, start](Status s, const std::vector<std::uint64_t>&) {
+                    if (s.is_ok()) {
+                      ++res.acked;
+                      lat.record(bed.sim().now() - start);
+                    } else {
+                      ++res.failed;
+                    }
+                    bed.sim().schedule(50'000, [&] { next_op(); });
+                  });
+  };
+  bed.sim().schedule_at(100'000, [&] { next_op(); });
+
+  // Budget scales with the WAN: each op costs a handful of round trips.
+  const Time budget = static_cast<Time>(ops + 4) * (8 * wan_rtt + 20'000'000);
+  while (!done && bed.sim().now() < budget) {
+    bed.sim().run_until(bed.sim().now() + 1_ms);
+  }
+  HL_CHECK_MSG(done, "geo latency cell stalled");
+  res.p50 = lat.p50();
+  res.p99 = lat.p99();
+  return res;
+}
+
+// --- Window-count comparison (the matrix's payoff) ---------------------------
+
+struct WindowResult {
+  std::uint64_t windows = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t acked = 0;
+};
+
+/// Region-aligned 2-shard run of the chain cell at `wan_rtt`: west = shard
+/// 0, east = shard 1, so every cross-shard message is a WAN message and the
+/// channel-aware matrix may widen windows to WAN width.
+WindowResult run_window_cell(Duration wan_rtt, int ops, bool channel_aware) {
+  ParallelCluster bed(2);
+  const NodeConfig cfg = geo_node_config(wan_rtt);
+  bed.add_node(cfg, 0);
+  bed.add_node(cfg, 0);
+  bed.add_node(cfg, 1);
+  bed.add_node(cfg, 1);
+  apply_geo_regions(bed, wan_rtt);
+  bed.apply_profiles(channel_aware);
+  bed.network().enable_trace();
+
+  core::GroupParams gp;
+  gp.slots = 32;
+  gp.max_outstanding = 8;
+  gp.op_timeout = 8 * wan_rtt + 100'000'000;
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion, gp);
+  core::GroupInterface& g = group.client();
+
+  WindowResult res;
+  int issued = 0;
+  bool done = false;
+  std::function<void()> next_op = [&] {
+    if (issued == ops) {
+      done = true;
+      return;
+    }
+    const int op = issued++;
+    std::vector<std::uint8_t> block(kBlock,
+                                    static_cast<std::uint8_t>(op * 11 + 3));
+    g.region_write(kBlock * (1 + op % 8), block.data(), kBlock);
+    g.gwrite(kBlock * (1 + op % 8), static_cast<std::uint32_t>(kBlock),
+             /*flush=*/true, [&](Status s, const std::vector<std::uint64_t>&) {
+               if (s.is_ok()) ++res.acked;
+               group.sim().schedule(50'000, [&] { next_op(); });
+             });
+  };
+  group.sim().schedule_at(100'000, [&] { next_op(); });
+
+  const Time budget = static_cast<Time>(ops + 4) * (8 * wan_rtt + 20'000'000);
+  while (!done && bed.engine().now() < budget) {
+    bed.engine().run_until(bed.engine().now() + 5_ms);
+  }
+  HL_CHECK_MSG(done, "geo window cell stalled");
+  res.windows = bed.engine().windows_executed();
+  res.digest = bed.network().trace_digest();
+  return res;
+}
+
+// --- Heartbeat across the WAN ------------------------------------------------
+
+struct HeartbeatResult {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t false_failures = 0;
+  Duration probe_timeout = 0;
+  Duration interval = 0;
+};
+
+HeartbeatResult run_heartbeat_cell(Duration wan_rtt) {
+  Cluster bed;
+  const NodeConfig cfg = geo_node_config(wan_rtt);
+  for (int i = 0; i < 4; ++i) bed.add_node(cfg);
+  apply_geo_regions(bed, wan_rtt);
+  bed.apply_profiles();
+
+  Duration max_rtt = 0;
+  for (rnic::NicId r = 1; r <= 3; ++r) {
+    max_rtt = std::max(max_rtt, bed.network().link_rtt(0, r));
+  }
+  const replication::HeartbeatParams hp =
+      replication::heartbeat_params_for_rtt(max_rtt);
+
+  HeartbeatResult res;
+  res.probe_timeout = hp.probe_timeout;
+  res.interval = hp.interval;
+  replication::HeartbeatMonitor monitor(bed, 0, {1, 2, 3}, hp);
+  monitor.start([&](std::size_t) { ++res.false_failures; });
+  // Long enough for several probe rounds even at the WAN-stretched interval.
+  bed.sim().run_until(bed.sim().now() + 12 * hp.interval);
+  monitor.stop();
+  res.probes_sent = monitor.probes_sent();
+  return res;
+}
+
+// --- Driver ------------------------------------------------------------------
+
+bool validate_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fig_geo: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int braces = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    if (braces < 0) return false;
+  }
+  if (braces != 0 || in_string) {
+    std::fprintf(stderr, "fig_geo: unbalanced JSON in %s\n", path.c_str());
+    return false;
+  }
+  for (const char* key :
+       {"\"bench\"", "\"rows\"", "\"wan_rtt_ns\"", "\"datapath\"",
+        "\"windows\"", "\"uniform\"", "\"channel_aware\"", "\"heartbeat\"",
+        "\"false_failures\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "fig_geo: %s missing key %s\n", path.c_str(), key);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_geo.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int ops = quick ? 12 : 40;
+  const int window_ops = quick ? 10 : 24;
+
+  print_header(
+      "Geo-replication: a two-region chain under swept WAN RTT",
+      "What the paper's rack-scale chain becomes when one replication hop "
+      "is a region crossing (extension scenario; not a paper figure)");
+
+  struct Row {
+    Duration rtt;
+    Geo which;
+    CellResult cell;
+  };
+  std::vector<Row> rows;
+  print_row_header({"wan_rtt", "datapath", "acked", "p50", "p99"});
+  for (const Duration rtt : kWanRtts) {
+    for (const Geo which : {Geo::kChain, Geo::kFanout, Geo::kNaive}) {
+      Row row{rtt, which, run_latency_cell(which, rtt, ops)};
+      std::printf("%-16s%-16s%-16llu%-16s%s\n", fmt(rtt).c_str(),
+                  geo_name(which),
+                  static_cast<unsigned long long>(row.cell.acked),
+                  fmt(row.cell.p50).c_str(), fmt(row.cell.p99).c_str());
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const Duration wan = kWanRtts.back();  // 40ms: the interesting regime
+  const WindowResult uniform = run_window_cell(wan, window_ops, false);
+  const WindowResult aware = run_window_cell(wan, window_ops, true);
+  std::printf(
+      "windows @ %s WAN: uniform %llu, channel-aware %llu (%.1fx fewer)\n",
+      fmt(wan).c_str(), static_cast<unsigned long long>(uniform.windows),
+      static_cast<unsigned long long>(aware.windows),
+      aware.windows > 0 ? static_cast<double>(uniform.windows) /
+                              static_cast<double>(aware.windows)
+                        : 0.0);
+
+  const HeartbeatResult hb = run_heartbeat_cell(wan);
+  std::printf(
+      "heartbeat @ %s WAN: %llu probes, %llu false failures (timeout %s, "
+      "interval %s)\n",
+      fmt(wan).c_str(), static_cast<unsigned long long>(hb.probes_sent),
+      static_cast<unsigned long long>(hb.false_failures),
+      fmt(hb.probe_timeout).c_str(), fmt(hb.interval).c_str());
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"geo\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"replicas\": 3,\n"
+     << "  \"ops_per_cell\": " << ops << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"wan_rtt_ns\": " << r.rtt << ", \"datapath\": \""
+       << geo_name(r.which) << "\", \"acked\": " << r.cell.acked
+       << ", \"failed\": " << r.cell.failed << ", \"p50\": " << r.cell.p50
+       << ", \"p99\": " << r.cell.p99 << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"windows\": {\"wan_rtt_ns\": " << wan
+     << ", \"ops\": " << window_ops << ", \"uniform\": " << uniform.windows
+     << ", \"channel_aware\": " << aware.windows << "},\n"
+     << "  \"heartbeat\": {\"wan_rtt_ns\": " << wan
+     << ", \"probes_sent\": " << hb.probes_sent
+     << ", \"probe_timeout\": " << hb.probe_timeout
+     << ", \"interval\": " << hb.interval
+     << ", \"false_failures\": " << hb.false_failures << "}\n}\n";
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "fig_geo: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << os.str();
+  }
+  if (!validate_json(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // --- Self-gates -----------------------------------------------------------
+  int bad = 0;
+  for (const Row& r : rows) {
+    if (r.cell.acked != static_cast<std::uint64_t>(ops) ||
+        r.cell.failed != 0) {
+      std::fprintf(stderr, "fig_geo: %s @ %s acked %llu/%d (%llu failed)\n",
+                   geo_name(r.which), fmt(r.rtt).c_str(),
+                   static_cast<unsigned long long>(r.cell.acked), ops,
+                   static_cast<unsigned long long>(r.cell.failed));
+      ++bad;
+    }
+  }
+  // The WAN must be visible: every datapath's p50 at 40ms RTT is at least
+  // one round trip, and far above its 0.1ms figure.
+  for (const Geo which : {Geo::kChain, Geo::kFanout, Geo::kNaive}) {
+    Duration p50_small = 0, p50_large = 0;
+    for (const Row& r : rows) {
+      if (r.which != which) continue;
+      if (r.rtt == kWanRtts.front()) p50_small = r.cell.p50;
+      if (r.rtt == kWanRtts.back()) p50_large = r.cell.p50;
+    }
+    if (p50_large < kWanRtts.back() || p50_large <= p50_small) {
+      std::fprintf(stderr, "fig_geo: %s p50 ignores the WAN (%llu vs %llu)\n",
+                   geo_name(which),
+                   static_cast<unsigned long long>(p50_large),
+                   static_cast<unsigned long long>(p50_small));
+      ++bad;
+    }
+  }
+  if (uniform.digest != aware.digest || uniform.acked != aware.acked) {
+    std::fprintf(stderr,
+                 "fig_geo: lookahead mode changed results (digest %llx vs "
+                 "%llx)\n",
+                 static_cast<unsigned long long>(uniform.digest),
+                 static_cast<unsigned long long>(aware.digest));
+    ++bad;
+  }
+  if (aware.windows >= uniform.windows) {
+    std::fprintf(stderr,
+                 "fig_geo: channel-aware windows %llu not below uniform "
+                 "%llu\n",
+                 static_cast<unsigned long long>(aware.windows),
+                 static_cast<unsigned long long>(uniform.windows));
+    ++bad;
+  }
+  if (hb.false_failures != 0 || hb.probes_sent == 0) {
+    std::fprintf(stderr,
+                 "fig_geo: heartbeat %llu false failures over %llu probes\n",
+                 static_cast<unsigned long long>(hb.false_failures),
+                 static_cast<unsigned long long>(hb.probes_sent));
+    ++bad;
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hyperloop::bench
+
+int main(int argc, char** argv) { return hyperloop::bench::run(argc, argv); }

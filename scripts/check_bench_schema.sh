@@ -106,6 +106,27 @@ for file in "$@"; do
       check "$file" '.chaos_scale.durability_violations == 0' \
           'chaos_scale: acked writes lost across a splice'
       ;;
+    geo)
+      check "$file" '.replicas | numbers' 'missing "replicas"'
+      check "$file" '.rows | length > 0' 'empty "rows" section'
+      check "$file" '[.rows[] | has("wan_rtt_ns") and has("datapath") and
+          has("acked") and has("failed") and has("p50") and has("p99")] |
+          all' 'malformed "rows" row'
+      check "$file" '[.rows[].datapath] | (index("chain") != null and
+          index("fanout") != null and index("naive") != null)' \
+          'rows must cover chain, fanout, and naive datapaths'
+      check "$file" '[.rows[] | .failed == 0 and .acked > 0] | all' \
+          'a geo cell failed or acked nothing (vacuous run)'
+      check "$file" '[.rows[] | select(.wan_rtt_ns >= 40000000) |
+          .p50 >= .wan_rtt_ns] | all' \
+          'WAN-regime p50 below one round trip (latency not measured)'
+      check "$file" '.windows.channel_aware < .windows.uniform' \
+          'channel-aware lookahead must run strictly fewer windows'
+      check "$file" '.heartbeat.probes_sent > 0' \
+          'heartbeat sent no probes (vacuous run)'
+      check "$file" '.heartbeat.false_failures == 0' \
+          'RTT-scaled heartbeat declared a healthy replica dead'
+      ;;
     *)
       fail "$file" "unknown or missing \"bench\" field: '$bench'"
       ;;

@@ -3,31 +3,41 @@
 # fault schedule and workload that seed produces (bit-for-bit, see
 # DESIGN.md "Fault model").
 #
-#   scripts/replay_seed.sh <seed> [gtest-filter] [--shards K]
+#   scripts/replay_seed.sh <seed> [gtest-filter] [--shards K] [--profile P]
 #
 # Without --shards this replays the serial sweeps (tests/chaos_test). With
 # --shards K it replays the sharded digest sweeps (tests/chaos_parallel_test)
 # pinned to K shards — the form the parallel suites print when a seed
-# diverges across shard counts.
+# diverges across shard counts. --profile P additionally overlays a named
+# heterogeneous link profile on every sharded sweep (tworegion | asym, see
+# tests/chaos_parallel_test.cpp) and composes with --shards; it implies the
+# sharded suite since the serial sweeps take no profile.
 #
 # e.g.  scripts/replay_seed.sh 12648430
 #       scripts/replay_seed.sh 12648430 'Chaos.DropPolicy*'
 #       scripts/replay_seed.sh 12648430 --shards 8
+#       scripts/replay_seed.sh 12648430 --shards 8 --profile asym
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
-  echo "usage: $0 <seed> [gtest-filter] [--shards K]" >&2
+  echo "usage: $0 <seed> [gtest-filter] [--shards K] [--profile P]" >&2
   exit 2
 fi
 seed="$1"
 shift
 filter=""
 shards=""
+profile=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --shards)
       [[ $# -ge 2 ]] || { echo "--shards needs a value" >&2; exit 2; }
       shards="$2"
+      shift 2
+      ;;
+    --profile)
+      [[ $# -ge 2 ]] || { echo "--profile needs a value" >&2; exit 2; }
+      profile="$2"
       shift 2
       ;;
     *)
@@ -38,7 +48,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-if [[ -n "${shards}" ]]; then
+if [[ -n "${shards}" || -n "${profile}" ]]; then
   target=chaos_parallel_test
   filter="${filter:-ChaosParallel.*}"
 else
@@ -53,8 +63,10 @@ if [[ ! -x "${bin}" ]]; then
   cmake --build "${repo_root}/build" --target "${target}" -j >/dev/null
 fi
 
-if [[ -n "${shards}" ]]; then
-  exec "${bin}" "--seed=${seed}" "--shards=${shards}" \
-       "--gtest_filter=${filter}"
+if [[ "${target}" == chaos_parallel_test ]]; then
+  args=("--seed=${seed}")
+  [[ -n "${shards}" ]] && args+=("--shards=${shards}")
+  [[ -n "${profile}" ]] && args+=("--profile=${profile}")
+  exec "${bin}" "${args[@]}" "--gtest_filter=${filter}"
 fi
 exec "${bin}" "--seed=${seed}" "--gtest_filter=${filter}"

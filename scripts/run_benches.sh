@@ -5,6 +5,9 @@
 #   BENCH_multitenant.json  (fig13_isolation: tail latency under tenant load)
 #   BENCH_reconfig.json     (merged: fig_chaos_splice one-group kill storm +
 #                            fig_chaos_scale 100-group sharded kill storm)
+#   BENCH_geo.json          (fig_geo: two-region chain over swept WAN RTT,
+#                            channel-aware vs uniform lookahead windows,
+#                            RTT-scaled heartbeat)
 # then validates each against its schema. Numbers are host-dependent —
 # compare shapes and ratios across PRs, not absolute events/sec; the JSONs
 # record threads_available for honest cross-host reads.
@@ -25,12 +28,13 @@ if [[ ! -f "$BUILD/CMakeCache.txt" ]]; then
 fi
 cmake --build "$BUILD" -j"$(nproc)" \
   --target perf_engine perf_datapath fig13_isolation fig_chaos_splice \
-           fig_chaos_scale
+           fig_chaos_scale fig_geo
 
 "$BUILD/bench/perf_engine" "${QUICK[@]}" --out "$ROOT/BENCH_engine.json"
 "$BUILD/bench/perf_datapath" "${QUICK[@]}" --out "$ROOT/BENCH_datapath.json"
 "$BUILD/bench/fig13_isolation" "${QUICK[@]}" \
   --out "$ROOT/BENCH_multitenant.json"
+"$BUILD/bench/fig_geo" "${QUICK[@]}" --out "$ROOT/BENCH_geo.json"
 
 # The two reconfiguration benches merge into one baseline. Pure shell: each
 # bench emits a complete JSON object, re-indented and nested under its name
@@ -52,4 +56,5 @@ scale_json="$(sed '2,$s/^/  /' "$tmp/scale.json")"
   "$ROOT/BENCH_engine.json" \
   "$ROOT/BENCH_datapath.json" \
   "$ROOT/BENCH_multitenant.json" \
-  "$ROOT/BENCH_reconfig.json"
+  "$ROOT/BENCH_reconfig.json" \
+  "$ROOT/BENCH_geo.json"

@@ -30,6 +30,72 @@ struct NodeConfig {
   rnic::NicParams nic;
 };
 
+namespace detail {
+
+/// Region-based link-profile composition shared by both testbeds: nodes are
+/// assigned to named regions ("west", "east"), region pairs to named
+/// profiles ("rack", "pod", "wan"), and apply() expands that into the
+/// fabric's per-(src, dst) table — both directions of every matching node
+/// pair. Rules are directional on (region a → region b) but registered
+/// symmetrically by set_region_link; the last matching rule wins, so a
+/// broad intra-DC rule can be refined by a later rack-specific one. Nodes
+/// without a region (or pairs without a matching rule) keep the fabric
+/// default, which is what preserves byte-identical behavior when no
+/// profiles are configured.
+class RegionMap {
+ public:
+  void set_region(std::size_t node, const std::string& region) {
+    if (node >= region_of_.size()) region_of_.resize(node + 1);
+    region_of_[node] = region;
+  }
+
+  /// Both directions of every (a, b) node pair — the common symmetric link.
+  void set_region_link(const std::string& a, const std::string& b,
+                       const std::string& profile) {
+    rules_.push_back(Rule{a, b, profile, /*symmetric=*/true});
+  }
+
+  /// One direction only (a → b): asymmetric paths, e.g. a WAN circuit whose
+  /// return route is longer.
+  void set_region_link_directed(const std::string& a, const std::string& b,
+                                const std::string& profile) {
+    rules_.push_back(Rule{a, b, profile, /*symmetric=*/false});
+  }
+
+  void apply(rnic::Network& net, std::size_t nodes) const {
+    for (std::size_t u = 0; u < nodes && u < region_of_.size(); ++u) {
+      if (region_of_[u].empty()) continue;
+      for (std::size_t v = 0; v < nodes && v < region_of_.size(); ++v) {
+        if (v == u || region_of_[v].empty()) continue;
+        const std::string* profile = nullptr;
+        for (const Rule& r : rules_) {
+          if ((r.a == region_of_[u] && r.b == region_of_[v]) ||
+              (r.symmetric && r.a == region_of_[v] &&
+               r.b == region_of_[u])) {
+            profile = &r.profile;
+          }
+        }
+        if (profile != nullptr) {
+          net.set_link_profile(static_cast<rnic::NicId>(u),
+                               static_cast<rnic::NicId>(v), *profile);
+        }
+      }
+    }
+  }
+
+ private:
+  struct Rule {
+    std::string a;
+    std::string b;
+    std::string profile;
+    bool symmetric = true;
+  };
+  std::vector<std::string> region_of_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace detail
+
 class Node {
  public:
   Node(sim::Simulator& sim, rnic::Network& net, rnic::NicId id,
@@ -69,10 +135,31 @@ class Cluster {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
+  // --- Heterogeneous link composition (no-op if never called) ------------
+  std::size_t define_profile(const std::string& name,
+                             rnic::LinkProfile profile) {
+    return network_.define_profile(name, profile);
+  }
+  void set_region(std::size_t node, const std::string& region) {
+    regions_.set_region(node, region);
+  }
+  void set_region_link(const std::string& a, const std::string& b,
+                       const std::string& profile) {
+    regions_.set_region_link(a, b, profile);
+  }
+  void set_region_link_directed(const std::string& a, const std::string& b,
+                                const std::string& profile) {
+    regions_.set_region_link_directed(a, b, profile);
+  }
+  /// Expand the region map into the fabric's per-link table. Call after all
+  /// nodes exist and before traffic flows.
+  void apply_profiles() { regions_.apply(network_, nodes_.size()); }
+
  private:
   sim::Simulator sim_;
   rnic::Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  detail::RegionMap regions_;
 };
 
 /// Sharded testbed. Nodes are pinned to shards at add_node() time (before
@@ -103,10 +190,38 @@ class ParallelCluster {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
+  // --- Heterogeneous link composition (no-op if never called) ------------
+  std::size_t define_profile(const std::string& name,
+                             rnic::LinkProfile profile) {
+    return network_.define_profile(name, profile);
+  }
+  void set_region(std::size_t node, const std::string& region) {
+    regions_.set_region(node, region);
+  }
+  void set_region_link(const std::string& a, const std::string& b,
+                       const std::string& profile) {
+    regions_.set_region_link(a, b, profile);
+  }
+  void set_region_link_directed(const std::string& a, const std::string& b,
+                                const std::string& profile) {
+    regions_.set_region_link_directed(a, b, profile);
+  }
+  /// Expand the region map into the fabric's per-link table, then (by
+  /// default) refresh the engine's per-shard-pair lookahead matrix so the
+  /// windows exploit the heterogeneity. `channel_aware_lookahead = false`
+  /// keeps the engine on the uniform scalar floor — still sound, just
+  /// conservative; fig_geo uses it as the baseline for the window-count
+  /// comparison. Call after all nodes exist and before traffic flows.
+  void apply_profiles(bool channel_aware_lookahead = true) {
+    regions_.apply(network_, nodes_.size());
+    network_.install_lookahead_matrix(channel_aware_lookahead);
+  }
+
  private:
   sim::ParallelSimulator psim_;
   rnic::Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  detail::RegionMap regions_;
 };
 
 }  // namespace hyperloop

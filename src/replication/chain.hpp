@@ -15,6 +15,7 @@
 //    (the coordinator's region) to every member, and resume writes.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -38,6 +39,29 @@ struct HeartbeatParams {
   /// re-detected within ~this bound).
   Duration rebuild_backoff_cap = 1'000'000'000;  // 1s
 };
+
+/// Heartbeat parameters sized for a fabric whose slowest monitored link has
+/// round-trip time `max_rtt` (rnic::Network::link_rtt of the client↔replica
+/// pair, maximized over replicas). The defaults assume a rack-scale RTT; on
+/// a geo fabric a 40ms WAN round trip would blow through the 1.5ms probe
+/// deadline and declare healthy replicas dead on every probe. Deadlines
+/// scale with the RTT but never shrink below the defaults, so rack-scale
+/// topologies keep the exact stock timing:
+/// When 4 * max_rtt fits inside the stock probe deadline the stock params
+/// are returned verbatim (both fields); otherwise
+///   probe_timeout = 4 * max_rtt                 — RTT plus NIC turnaround
+///                                                 and retransmit slack
+///   interval      = max(default, 2 * probe_timeout) — at most one probe
+///                                                 outstanding per replica
+[[nodiscard]] inline HeartbeatParams heartbeat_params_for_rtt(
+    Duration max_rtt) {
+  HeartbeatParams p;
+  const Duration needed = 4 * max_rtt;
+  if (needed <= p.probe_timeout) return p;
+  p.probe_timeout = needed;
+  p.interval = std::max(p.interval, 2 * p.probe_timeout);
+  return p;
+}
 
 /// Probes every replica of a HyperLoop group over dedicated QPs. Purely
 /// one-sided: a live NIC answers without CPU, matching the paper's statement

@@ -1,6 +1,6 @@
 // Deterministic fault injection for the simulated fabric.
 //
-// The Network consults an (optional) FaultInjector on every send(); the
+// The Network consults an (optional) FaultInjector on every transmit(); the
 // injector rolls seeded dice against the policy of the (src, dst) link and
 // hands back a verdict: drop the message, deliver a delayed duplicate,
 // flag the payload corrupted (the receiving NIC surfaces it as a checksum

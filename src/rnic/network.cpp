@@ -19,17 +19,133 @@ inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+namespace {
+
+/// Profile index 0: the fabric-wide default, reproducing the base
+/// LinkParams' arithmetic exactly (same fields, hops = 1), so unprofiled
+/// pairs stay byte-identical to the uniform fabric.
+LinkProfile default_profile(const LinkParams& p) {
+  LinkProfile prof;
+  prof.propagation = p.propagation;
+  prof.bytes_per_ns = p.bytes_per_ns;
+  prof.hops = 1;
+  return prof;
+}
+
+}  // namespace
+
 Network::Network(sim::Simulator& sim, LinkParams params)
-    : sim_(&sim), params_(params) {}
+    : sim_(&sim), params_(params) {
+  profiles_.push_back(default_profile(params));
+  profile_names_.emplace_back("default");
+}
 
 Network::Network(sim::ParallelSimulator& psim, LinkParams params)
     : psim_(&psim), params_(params) {
   HL_CHECK_MSG(psim.lookahead() <= conservative_lookahead(params),
                "engine lookahead exceeds the fabric's minimum wire latency");
+  profiles_.push_back(default_profile(params));
+  profile_names_.emplace_back("default");
   // Shard workers park Message payload blocks on their thread-local free
   // lists; hand them back to the allocator when the engine retires a worker
   // so pooled blocks don't outlive the simulation that produced them.
   psim.set_worker_teardown([] { PayloadBuffer::drain_thread_pool(); });
+}
+
+std::size_t Network::define_profile(const std::string& name,
+                                    LinkProfile profile) {
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "define_profile is a driver-side call");
+  HL_CHECK_MSG(!has_profile(name), "link profile name already defined");
+  HL_CHECK_MSG(profile.hops >= 1 && profile.bytes_per_ns > 0.0,
+               "link profile needs at least one hop and a positive rate");
+  HL_CHECK_MSG(profile_lookahead(profile, params_.header_bytes) > 0,
+               "link profile wire latency must be positive");
+  HL_CHECK_MSG(profiles_.size() < 0xffffu, "too many link profiles");
+  profiles_.push_back(profile);
+  profile_names_.push_back(name);
+  return profiles_.size() - 1;
+}
+
+bool Network::has_profile(const std::string& name) const {
+  for (const std::string& n : profile_names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+void Network::set_link_profile(NicId src, NicId dst,
+                               const std::string& name) {
+  HL_CHECK_MSG(psim_ == nullptr || !psim_->in_window(),
+               "set_link_profile is a driver-side call");
+  HL_CHECK_MSG(src != dst, "loopback never touches the wire; no profile");
+  std::size_t idx = profiles_.size();
+  for (std::size_t i = 0; i < profile_names_.size(); ++i) {
+    if (profile_names_[i] == name) {
+      idx = i;
+      break;
+    }
+  }
+  HL_CHECK_MSG(idx < profiles_.size(), "unknown link profile name");
+  if (src >= pair_profile_.size()) pair_profile_.resize(src + 1);
+  if (dst >= pair_profile_[src].size()) pair_profile_[src].resize(dst + 1, 0);
+  pair_profile_[src][dst] = static_cast<std::uint16_t>(idx);
+  if (idx != 0) heterogeneous_ = true;
+  // The engine's installed lookahead no longer matches the topology; the
+  // owning testbed must re-derive the matrix before traffic.
+  if (psim_ != nullptr) matrix_stale_ = true;
+}
+
+const LinkProfile& Network::link_profile(NicId src, NicId dst) const {
+  return profiles_[profile_index(src, dst)];
+}
+
+Duration Network::link_lookahead(NicId src, NicId dst) const {
+  return profile_lookahead(link_profile(src, dst), params_.header_bytes);
+}
+
+void Network::install_lookahead_matrix(bool channel_aware) {
+  if (psim_ == nullptr) {
+    matrix_stale_ = false;
+    return;
+  }
+  HL_CHECK_MSG(!psim_->in_window(),
+               "install_lookahead_matrix is a driver-side call");
+  const int k = psim_->num_shards();
+  const Duration never = ~Duration{0};
+  std::vector<Duration> matrix(static_cast<std::size_t>(k) *
+                                   static_cast<std::size_t>(k),
+                               never);
+  Duration global_min = never;
+  for (NicId u = 0; u < nics_.size(); ++u) {
+    if (nics_[u] == nullptr) continue;
+    const int su = psim_->shard_of(u);
+    for (NicId v = 0; v < nics_.size(); ++v) {
+      if (v == u || nics_[v] == nullptr) continue;
+      const Duration l = link_lookahead(u, v);
+      const int sv = psim_->shard_of(v);
+      Duration& cell = matrix[static_cast<std::size_t>(su) *
+                                  static_cast<std::size_t>(k) +
+                              static_cast<std::size_t>(sv)];
+      cell = std::min(cell, l);
+      global_min = std::min(global_min, l);
+    }
+  }
+  HL_CHECK_MSG(global_min != never,
+               "install_lookahead_matrix needs at least two attached NICs");
+  // Shard pairs with no attached candidate link (empty shards, single-node
+  // shards on the diagonal) fall back to the global minimum: using a
+  // smaller-than-true lookahead is always sound, just conservative.
+  for (Duration& cell : matrix) {
+    if (cell == never) cell = global_min;
+  }
+  if (!channel_aware) {
+    // Uniform baseline: every pair gets the global floor, i.e. what a
+    // scalar-lookahead engine would be limited to on this topology.
+    std::fill(matrix.begin(), matrix.end(), global_min);
+  }
+  psim_->set_lookahead_matrix(std::move(matrix));
+  matrix_stale_ = false;
 }
 
 void Network::ensure_capacity(NicId id) {
@@ -60,7 +176,7 @@ bool Network::is_down(NicId id) const {
 void Network::set_node_down(NicId id, bool down) {
   if (psim_ != nullptr && psim_->in_window()) {
     // Mid-window (shard code, e.g. a chaos event or an eviction handler):
-    // flipping down_ now would race with other shards' send() reads. Defer
+    // flipping down_ now would race with other shards' transmit() reads. Defer
     // the toggle to the next window boundary, where no shard is executing;
     // the barrier's release ordering publishes it to every shard.
     psim_->post_control([this, id, down] {
@@ -80,7 +196,7 @@ void Network::set_fault_injector(FaultInjector* injector) {
   if (fault_ != nullptr) fault_->reserve(nics_.size());
 }
 
-void Network::send(Message msg) {
+void Network::transmit(Message msg) {
   NodeState& st = state_[msg.src];
   if (is_down(msg.src) || is_down(msg.dst)) {
     ++st.dropped;  // timeouts notice
@@ -110,19 +226,29 @@ void Network::send(Message msg) {
   const bool loopback = msg.src == msg.dst;
   if (loopback) {
     // Loopback QPs never touch the wire; cost is a PCIe round through the
-    // NIC at roughly double link rate.
+    // NIC at roughly double link rate. Node-local, so link profiles (which
+    // describe fabric paths) never apply.
     arrival = src_sim.now() + params_.loopback +
               static_cast<Duration>(static_cast<double>(wire_bytes) /
                                     (2.0 * params_.bytes_per_ns));
   } else {
     // One TX port per NIC: every outgoing message serializes at link rate
     // regardless of destination. FIFO per source implies FIFO per (src,
-    // dst), which RC ordering relies on.
+    // dst), which RC ordering relies on. The (src, dst) pair's profile sets
+    // the link rate and the path delay; the uniform-fabric fast path reads
+    // profile 0, whose fields are the base LinkParams' (identical
+    // arithmetic, so defaults stay byte-identical).
+    const LinkProfile& prof =
+        heterogeneous_ ? profiles_[profile_index(msg.src, msg.dst)]
+                       : profiles_[0];
+    HL_CHECK_MSG(!matrix_stale_,
+                 "link profiles changed on a sharded fabric without "
+                 "install_lookahead_matrix()");
     const Duration serialize = static_cast<Duration>(
-        static_cast<double>(wire_bytes) / params_.bytes_per_ns);
+        static_cast<double>(wire_bytes) / prof.bytes_per_ns);
     Time depart = std::max(src_sim.now(), st.tx_free);
     st.tx_free = depart + serialize;
-    arrival = depart + serialize + params_.propagation;
+    arrival = depart + serialize + prof.propagation * prof.hops;
   }
   arrival += fault.extra_delay;
 

@@ -8,18 +8,19 @@
 //
 // The fabric runs in one of two modes, fixed at construction:
 //
-//  * Serial: one Simulator owns every node; send() schedules the delivery
+//  * Serial: one Simulator owns every node; transmit() schedules the delivery
 //    directly. This is the original engine, byte-for-byte.
 //  * Sharded: a ParallelSimulator owns the nodes, each pinned to a shard.
 //    The fabric is then the *only* cross-shard channel in the system, and
-//    its minimum wire latency (conservative_lookahead) is what makes
+//    its minimum wire latency (conservative_lookahead; per shard pair via
+//    install_lookahead_matrix on heterogeneous fabrics) is what makes
 //    conservative windows safe. Non-loopback deliveries route through
 //    ParallelSimulator::post() keyed by (arrival, src NIC, per-src message
 //    seq) — the canonical order that keeps runs identical at any shard
 //    count. Loopback messages never cross shards and schedule directly.
 //    All mutable per-message state (TX-port horizon, counters, message
 //    seq, trace hash) lives in a per-node cache-line-padded slot touched
-//    only by the owning shard's thread, so send() needs no locks.
+//    only by the owning shard's thread, so transmit() needs no locks.
 //
 // Fault injection runs in both modes: FaultInjector draws are counter-based
 // per (src, dst) link — pure functions of (seed, link, per-link message
@@ -31,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/parallel.hpp"
@@ -103,7 +105,7 @@ class Network {
   /// switch hop that is the propagation delay plus serializing the smallest
   /// possible frame (a bare header) at link rate — TX-port queueing and
   /// payload bytes only add to it. The truncating division must match
-  /// send()'s serialization arithmetic so equality holds for a header-only
+  /// transmit()'s serialization arithmetic so equality holds for a header-only
   /// message departing an idle port. This is the window width a
   /// ParallelSimulator driving this fabric must use (or anything smaller);
   /// wider lookahead means wider (cheaper) windows, so claim all of it.
@@ -113,13 +115,68 @@ class Network {
                                  p.bytes_per_ns);
   }
 
+  /// Minimum wire latency of one profiled link: per-hop propagation times
+  /// hops plus serializing a bare header at the profile's link rate. Same
+  /// truncating arithmetic as transmit(), so equality holds for a
+  /// header-only message departing an idle port.
+  [[nodiscard]] static Duration profile_lookahead(const LinkProfile& p,
+                                                  std::uint32_t header_bytes) {
+    return p.propagation * p.hops +
+           static_cast<Duration>(static_cast<double>(header_bytes) /
+                                 p.bytes_per_ns);
+  }
+
   /// Register a NIC; its id must be unique.
   void attach(Nic* nic);
 
-  /// Transmit a message. Applies serialization + propagation delay, then
-  /// invokes the destination NIC's receive path. Messages to/from down nodes
-  /// are silently dropped (the sender's timeout machinery notices).
-  void send(Message msg);
+  /// Transmit a message. Applies serialization + propagation delay of the
+  /// (src, dst) pair's link profile — the fabric default unless the pair was
+  /// profiled — then invokes the destination NIC's receive path. Messages
+  /// to/from down nodes are silently dropped (the sender's timeout machinery
+  /// notices).
+  void transmit(Message msg);
+
+  /// --- Heterogeneous link profiles ----------------------------------------
+  /// The fabric starts uniform: every (src, dst) pair uses the base
+  /// LinkParams. define_profile() registers a named LinkProfile (names like
+  /// "rack"/"pod"/"wan"); set_link_profile() assigns one to a single
+  /// *directed* pair — assign both directions for a symmetric link. All of
+  /// this is driver-side topology construction: call before traffic flows,
+  /// never from shard code. On a sharded fabric, assignments invalidate the
+  /// engine's lookahead contract until install_lookahead_matrix() re-derives
+  /// it (transmit() checks), because a profile may be faster OR slower than
+  /// the uniform scalar the engine was constructed with.
+  /// Returns the profile's index (index 0 is the built-in default).
+  std::size_t define_profile(const std::string& name, LinkProfile profile);
+  [[nodiscard]] bool has_profile(const std::string& name) const;
+  void set_link_profile(NicId src, NicId dst, const std::string& name);
+  /// The profile governing (src, dst) — the default for unprofiled pairs.
+  [[nodiscard]] const LinkProfile& link_profile(NicId src, NicId dst) const;
+  /// Minimum wire latency of the directed (src, dst) link.
+  [[nodiscard]] Duration link_lookahead(NicId src, NicId dst) const;
+  /// Round-trip time of the (a, b) pair at minimum message size — what
+  /// heartbeat/probe deadlines must cover (replication::HeartbeatParams).
+  [[nodiscard]] Duration link_rtt(NicId a, NicId b) const {
+    return link_lookahead(a, b) + link_lookahead(b, a);
+  }
+  /// True once any pair carries a non-default profile.
+  [[nodiscard]] bool heterogeneous() const { return heterogeneous_; }
+
+  /// Sharded mode: derive the per-shard-pair lookahead matrix
+  /// L[s→d] = min link_lookahead(u, v) over attached NICs u in shard s,
+  /// v in shard d (the fabric is a full mesh, so every attached pair is a
+  /// candidate link; shard pairs with no attached candidates fall back to
+  /// the global minimum, which is always sound) and install it into the
+  /// engine (ParallelSimulator::set_lookahead_matrix). Call after all
+  /// attach()/set_link_profile() calls and before traffic. No-op on the
+  /// serial testbed.
+  ///
+  /// `channel_aware = false` collapses the matrix to its global minimum —
+  /// the uniform-lookahead contract a heterogeneous fabric would get from a
+  /// scalar engine. Sound (never wider than any true pair latency) but
+  /// maximally conservative; it exists as the baseline against which the
+  /// channel-aware matrix's window savings are measured (bench/fig_geo).
+  void install_lookahead_matrix(bool channel_aware = true);
 
   /// Mark a node unreachable (crash / partition) or reachable again.
   /// Applied immediately from the driver thread between runs (and on the
@@ -133,7 +190,7 @@ class Network {
   [[nodiscard]] bool is_down(NicId id) const;
 
   /// Attach (or detach, with nullptr) a fault injector consulted on every
-  /// send(). Detached is the default and costs one branch per message.
+  /// transmit(). Detached is the default and costs one branch per message.
   /// Works on both testbeds (the injector's draws are counter-based per
   /// link; see rnic/fault.hpp); attaching reserves the injector's
   /// per-source slots for every NIC id this fabric can address, so call it
@@ -176,7 +233,7 @@ class Network {
   [[nodiscard]] Stats stats_snapshot() const;
 
  private:
-  /// All state send() mutates, split per node and padded to a cache line:
+  /// All state transmit() mutates, split per node and padded to a cache line:
   /// the slot for node n is written only by code running n's events (its
   /// shard's thread), so concurrent sends from different shards never share
   /// a line. Serial mode uses the same slots from one thread.
@@ -192,6 +249,11 @@ class Network {
 
   void ensure_capacity(NicId id);
   [[nodiscard]] sim::Simulator& sim_of(NicId id);
+  [[nodiscard]] std::size_t profile_index(NicId src, NicId dst) const {
+    return src < pair_profile_.size() && dst < pair_profile_[src].size()
+               ? pair_profile_[src][dst]
+               : 0;
+  }
 
   sim::Simulator* sim_ = nullptr;          // serial mode
   sim::ParallelSimulator* psim_ = nullptr; // sharded mode
@@ -204,6 +266,19 @@ class Network {
   std::vector<NodeState> state_;
   FaultInjector* fault_ = nullptr;
   bool trace_ = false;
+  // Link-profile table. profiles_[0] is the base-LinkParams default; the
+  // per-pair table holds indices into it (0 = default, so an unassigned or
+  // out-of-range pair costs nothing to resolve). Mutated driver-side only;
+  // transmit() reads it from shard threads, which is safe because topology
+  // construction happens before traffic.
+  std::vector<LinkProfile> profiles_;
+  std::vector<std::string> profile_names_;  // parallel to profiles_
+  std::vector<std::vector<std::uint16_t>> pair_profile_;
+  bool heterogeneous_ = false;
+  // Sharded mode: set by set_link_profile, cleared by
+  // install_lookahead_matrix — a profiled pair whose latency differs from
+  // the engine's installed lookahead would break the window contract.
+  bool matrix_stale_ = false;
 };
 
 }  // namespace hyperloop::rnic

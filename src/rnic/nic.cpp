@@ -39,6 +39,17 @@ void CompletionQueue::add_wait_listener(std::function<void()> kick) {
 }
 
 void CompletionQueue::push(const Completion& c) {
+  if (capacity_ != 0 && queue_.size() >= capacity_) {
+    // CQ overrun (IBV_EVENT_CQ_ERR): the CQE is lost, not queued. The
+    // handler fails the QPs completing here; their flush CQEs may land in
+    // this same full queue and be lost too — by then every such QP is in
+    // kError (fail_qp transitions state before flushing), so the handler
+    // finds nothing left to fail and the recursion bottoms out.
+    ++overflows_;
+    overrun_ = true;
+    if (overflow_handler_) overflow_handler_();
+    return;
+  }
   queue_.push_back(c);
   ++produced_;
   ++wait_credits_;
@@ -174,7 +185,19 @@ Nic::Nic(sim::Simulator& sim, Network& network, NicId id,
 CompletionQueue* Nic::create_cq() {
   cqs_.push_back(std::make_unique<CompletionQueue>(
       static_cast<CqId>(cqs_.size())));
-  return cqs_.back().get();
+  CompletionQueue* cq = cqs_.back().get();
+  // A CQ overrun is fatal to every QP completing into the queue: the app can
+  // no longer trust CQE accounting, so surface flush errors rather than let
+  // WRs complete into the void.
+  cq->set_overflow_handler([this, cq] {
+    for (auto& qp : qps_) {
+      if (qp->state() == QueuePair::State::kError) continue;
+      if (&qp->send_cq() == cq || &qp->recv_cq() == cq) {
+        fail_qp(*qp, StatusCode::kResourceExhausted, "CQ overrun");
+      }
+    }
+  });
+  return cq;
 }
 
 CompletionQueue* Nic::cq(CqId id) {
@@ -375,7 +398,7 @@ void Nic::transmit(QueuePair& qp, QueuePair::Pending& p) {
   const Time wire_at = start + prep;
   qp.tx_busy_until_ = wire_at;
   sim_.schedule_at(wire_at, [this, m = std::move(msg)]() mutable {
-    network_.send(std::move(m));
+    network_.transmit(std::move(m));
   });
 }
 
@@ -490,7 +513,7 @@ void Nic::respond(const Message& req, Message resp, Duration extra_delay) {
     }
   }
   sim_.schedule(extra_delay, [this, r = std::move(resp)]() mutable {
-    network_.send(std::move(r));
+    network_.transmit(std::move(r));
   });
 }
 

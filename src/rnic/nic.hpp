@@ -74,6 +74,23 @@ class CompletionQueue {
 
   void push(const Completion& c);
 
+  /// Bounded CQ depth, like the `cqe` argument of ibv_create_cq. 0 (the
+  /// default) is unbounded — the historical behavior, byte-identical. When a
+  /// push finds `capacity` unpolled completions already queued, the new CQE
+  /// is LOST: it never enters the queue, never produces a credit, never
+  /// fires the armed handler. `overflows` counts every lost CQE and
+  /// `overrun` latches; the overflow handler (wired by Nic::create_cq to
+  /// fail every QP completing into this CQ) turns the loss into flush
+  /// errors the application can see — a silent overrun is the one outcome
+  /// this models away from.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  [[nodiscard]] bool overrun() const { return overrun_; }
+  void set_overflow_handler(std::function<void()> handler) {
+    overflow_handler_ = std::move(handler);
+  }
+
  private:
   CqId id_;
   std::deque<Completion> queue_;
@@ -82,6 +99,10 @@ class CompletionQueue {
   bool armed_ = false;
   std::function<void()> handler_;
   std::vector<std::function<void()>> wait_listeners_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t overflows_ = 0;
+  bool overrun_ = false;
+  std::function<void()> overflow_handler_;
 };
 
 class QueuePair {

@@ -205,4 +205,18 @@ struct LinkParams {
   std::uint32_t header_bytes = 60;    // per-message wire overhead
 };
 
+/// Wire characteristics of one directed (src, dst) NIC pair on a
+/// heterogeneous fabric. The base LinkParams stays the fabric-wide default
+/// (and keeps the node-local knobs: loopback latency, header bytes); a
+/// LinkProfile overrides the path a message actually takes — a rack link, a
+/// pod spine, a WAN circuit. One-way wire latency of a profiled link is
+/// hops * propagation plus serialization at bytes_per_ns. The defaults
+/// reproduce LinkParams' defaults exactly, so an unprofiled pair behaves
+/// byte-identically to the uniform fabric.
+struct LinkProfile {
+  Duration propagation = 1'000;       // per-hop one-way delay
+  double bytes_per_ns = 7.0;          // link rate
+  std::uint32_t hops = 1;             // switch hops on the path
+};
+
 }  // namespace hyperloop::rnic

@@ -25,10 +25,57 @@ ParallelSimulator::ParallelSimulator(int num_shards, Duration lookahead)
   active_src_.reserve(static_cast<std::size_t>(num_shards));
   merge_heads_.reserve(static_cast<std::size_t>(num_shards));
   window_bounds_.resize(static_cast<std::size_t>(num_shards), 0);
+  next_times_.resize(static_cast<std::size_t>(num_shards), 0);
   // Spinning at a barrier only helps when every shard has a core to spin on;
   // oversubscribed, a spinner occupies the core its peer needs to arrive.
   const unsigned hw = std::thread::hardware_concurrency();
   spin_limit_ = (hw >= static_cast<unsigned>(num_shards)) ? 4096 : 0;
+}
+
+ParallelSimulator::ParallelSimulator(int num_shards,
+                                     std::vector<Duration> matrix)
+    : ParallelSimulator(num_shards, [&matrix] {
+        // Delegate with the matrix minimum as the scalar floor; the matrix
+        // proper installs (and re-validates) below. An empty/zeroed matrix
+        // trips the same positive-lookahead check the scalar ctor applies.
+        Duration floor = 0;
+        for (const Duration l : matrix) {
+          floor = floor == 0 ? l : std::min(floor, l);
+        }
+        return floor;
+      }()) {
+  set_lookahead_matrix(std::move(matrix));
+}
+
+void ParallelSimulator::set_lookahead_matrix(std::vector<Duration> matrix) {
+  HL_CHECK_MSG(!in_window(), "set_lookahead_matrix is a driver-only control");
+  const std::size_t k = static_cast<std::size_t>(num_shards());
+  HL_CHECK_MSG(matrix.size() == k * k,
+               "lookahead matrix must be row-major num_shards x num_shards");
+  Duration floor = matrix[0];
+  for (const Duration l : matrix) {
+    HL_CHECK_MSG(l > 0, "conservative lookahead must be positive");
+    floor = std::min(floor, l);
+  }
+  matrix_ = std::move(matrix);
+  lookahead_ = floor;
+  out_min_.assign(k, 0);
+  for (std::size_t d = 0; d < k; ++d) {
+    // Minimum outbound latency of shard d over *other* shards: the first
+    // hop of any influence chain that leaves d, which is the earliest a
+    // receiver on d can make anything arrive back at a sender elsewhere
+    // (same-shard deliveries within d never reach the sender, so the
+    // diagonal is rightly excluded — it would needlessly narrow the clamp
+    // to the intra-region latency). With one shard there is no other shard;
+    // the diagonal keeps the clamp defined.
+    Duration m = 0;
+    for (std::size_t x = 0; x < k; ++x) {
+      if (x == d) continue;
+      const Duration l = matrix_[d * k + x];
+      m = m == 0 ? l : std::min(m, l);
+    }
+    out_min_[d] = m == 0 ? matrix_[d * k + d] : m;
+  }
 }
 
 ParallelSimulator::~ParallelSimulator() {
@@ -75,7 +122,7 @@ void ParallelSimulator::post(int dst_shard, Time when,
   const int src_shard = tls_shard_;
   HL_CHECK_MSG(src_shard >= 0, "in-window post from a non-shard thread");
   Simulator& src_engine = *shards_[static_cast<std::size_t>(src_shard)];
-  HL_CHECK_MSG(when >= src_engine.now() + lookahead_,
+  HL_CHECK_MSG(when >= src_engine.now() + pair_lookahead(src_shard, dst_shard),
                "cross-shard delivery under the lookahead horizon: the "
                "declared lookahead overstates the real minimum cross-shard "
                "latency");
@@ -85,10 +132,11 @@ void ParallelSimulator::post(int dst_shard, Time when,
     src_engine.clamp_run_bound(when);
   } else {
     // Activation horizon: a peer woken by this message can make nothing
-    // arrive back (here or anywhere) before when + lookahead. Later rounds
-    // re-derive bounds from the peer's new event horizon, so this clamp is
-    // what keeps a coalesced leap sound beyond one hop.
-    src_engine.clamp_run_bound(horizon_after(when));
+    // arrive back (here or anywhere) before when + the peer's minimum
+    // outbound latency. Later rounds re-derive bounds from the peer's new
+    // event horizon, so this clamp is what keeps a coalesced leap sound
+    // beyond one hop.
+    src_engine.clamp_run_bound(add_horizon(when, out_min(dst_shard)));
   }
   box(src_shard, dst_shard)
       .events.push_back(RemoteEvent{when, delivery_key(src_entity, src_seq),
@@ -104,7 +152,8 @@ void ParallelSimulator::post_cancel(int dst_shard, EventId id) {
     HL_CHECK_MSG(src_shard >= 0,
                  "in-window post_cancel from a non-shard thread");
     Simulator& src_engine = *shards_[static_cast<std::size_t>(src_shard)];
-    const Time fire_at = horizon_after(src_engine.now());
+    const Time fire_at =
+        add_horizon(src_engine.now(), pair_lookahead(src_shard, dst_shard));
     if (dst_shard == src_shard) {
       // The cancel delivery must merge before this shard's own execution
       // reaches it, exactly like a same-shard message.
@@ -122,9 +171,9 @@ void ParallelSimulator::post_cancel(int dst_shard, EventId id) {
   if (direct_run_) {
     // shards=1 direct mode: same contract, no mailboxes — the cancel
     // executes as an ordinary (canonically ranked) event at the caller's
-    // clock + lookahead.
+    // clock + the (single) pair lookahead.
     target->schedule_keyed(
-        horizon_after(target->now()),
+        add_horizon(target->now(), pair_lookahead(0, 0)),
         delivery_key(kCancelSrc, shard_local_[0].cancel_seq++),
         InlineTask([target, id] { target->cancel(id); }));
     return;
@@ -296,6 +345,10 @@ void ParallelSimulator::run_windows_until(Time deadline, bool bounded) {
     direct_run_ = false;
     return;
   }
+  // Channel-aware bounds need the full next-event vector (O(k^2) per round);
+  // the uniform path keeps the O(k) min/second-min scan — and its exact
+  // window schedule, which CI gates on deterministic window counts.
+  const bool matrixed = coalesce_ && !matrix_.empty();
   for (;;) {
     // Per-shard horizons: min and second-min of the next-event times give
     // every shard's  lookahead + min over the *other* shards  in O(k).
@@ -304,6 +357,7 @@ void ParallelSimulator::run_windows_until(Time deadline, bool bounded) {
     int argmin = 0;
     for (int s = 0; s < k; ++s) {
       const Time t = shards_[static_cast<std::size_t>(s)]->next_event_time();
+      if (matrixed) next_times_[static_cast<std::size_t>(s)] = t;
       if (t < min1) {
         min2 = min1;
         min1 = t;
@@ -318,7 +372,21 @@ void ParallelSimulator::run_windows_until(Time deadline, bool bounded) {
     bool extended = false;
     for (int d = 0; d < k; ++d) {
       Time b = base;
-      if (coalesce_) {
+      if (matrixed) {
+        // B_d = min_{s' != d} (n_{s'} + L[s'→d]): shards reachable only
+        // over slow links impose horizons as wide as those links, so a
+        // WAN-linked peer no longer pins every window to the rack floor.
+        b = kTimeNever;
+        for (int s = 0; s < k; ++s) {
+          if (s == d) continue;
+          b = std::min(
+              b, add_horizon(next_times_[static_cast<std::size_t>(s)],
+                             matrix_[static_cast<std::size_t>(s) *
+                                         static_cast<std::size_t>(k) +
+                                     static_cast<std::size_t>(d)]));
+        }
+        extended |= b > base;
+      } else if (coalesce_) {
         b = horizon_after(d == argmin ? min2 : min1);
         extended |= b > base;
       }

@@ -16,11 +16,15 @@
 // Window bounds are *per shard* and adaptive. At each round the coordinator
 // reads every shard's next-event time n_s and gives shard d the bound
 //
-//     B_d = lookahead + min_{s' != d} n_{s'}
+//     B_d = min_{s' != d} (n_{s'} + L[s'→d])
 //
+// where L[s'→d] is the per-shard-pair lookahead — the uniform scalar by
+// default, or the installed matrix on a heterogeneous fabric
+// (set_lookahead_matrix), which lets shards linked only by slow (WAN) paths
+// coalesce far wider windows than the global minimum would allow.
 // Soundness: any message another shard s' sends this round is sent from an
 // event at time >= n_{s'}, so it arrives at d no earlier than
-// n_{s'} + lookahead >= B_d. When the rest of the fleet is idle or far in
+// n_{s'} + L[s'→d] >= B_d. When the rest of the fleet is idle or far in
 // the future, B_d leaps whole stretches of simulated time in one barrier
 // crossing — barrier cost scales with cross-shard traffic, not with
 // simulated time. Two dynamic clamps keep a running shard from outrunning
@@ -29,10 +33,11 @@
 //   * a same-shard mailbox post at arrival `a` clamps the shard's bound to
 //     `a` — the delivery must merge at a barrier before execution reaches
 //     it;
-//   * a cross-shard post at arrival `a` clamps the sender's bound to
-//     `a + lookahead` — a receiver woken by that message can make nothing
-//     arrive back anywhere before then, and later rounds re-derive bounds
-//     from the receiver's new event horizon.
+//   * a cross-shard post to shard d at arrival `a` clamps the sender's
+//     bound to `a + min_x L[d→x]` — a receiver woken by that message can
+//     make nothing arrive back anywhere before then (its first outbound hop
+//     already costs that much), and later rounds re-derive bounds from the
+//     receiver's new event horizon.
 // With coalescing off (set_coalescing(false)), every shard gets the classic
 // fixed bound min_s n_s + lookahead; with one shard and coalescing on, the
 // engine runs the serial Simulator directly — no windows, no mailboxes, no
@@ -72,13 +77,14 @@
 // EventId belongs to the shard that created it. A callback running at time
 // t on any shard may use post_cancel(), which ships a cancel *delivery*
 // through the same mailboxes, executing on the owning shard at exactly
-// t + lookahead (merged canonically with src = kCancelSrc, after every real
-// message at the same timestamp). Consequences, pinned by engine_test:
-//   * a target that fires after t + lookahead is always retracted;
-//   * a target that fires at or before t + lookahead fires — lookahead is
-//     the horizon of cross-shard influence for cancels exactly as for
-//     messages;
-//   * the outcome depends only on (t, lookahead, target time) — never on
+// t + L[src→dst] (merged canonically with src = kCancelSrc, after every
+// real message at the same timestamp; L is the scalar lookahead until a
+// matrix is installed). Consequences, pinned by engine_test:
+//   * a target that fires after t + L[src→dst] is always retracted;
+//   * a target that fires at or before t + L[src→dst] fires — the pair
+//     lookahead is the horizon of cross-shard influence for cancels exactly
+//     as for messages;
+//   * the outcome depends only on (t, L[src→dst], target time) — never on
 //     shard count, coalescing mode, or where windows happened to fall.
 #pragma once
 
@@ -113,6 +119,11 @@ class ParallelSimulator {
   /// any cross-shard interaction takes (must be > 0). Worker threads are
   /// spawned lazily on the first multi-shard run.
   ParallelSimulator(int num_shards, Duration lookahead);
+  /// Construct directly with a per-shard-pair lookahead matrix (row-major
+  /// K*K, validated like the scalar: every entry > 0). Equivalent to the
+  /// scalar constructor with the matrix minimum followed by
+  /// set_lookahead_matrix.
+  ParallelSimulator(int num_shards, std::vector<Duration> matrix);
   ~ParallelSimulator();
 
   ParallelSimulator(const ParallelSimulator&) = delete;
@@ -121,7 +132,32 @@ class ParallelSimulator {
   [[nodiscard]] int num_shards() const {
     return static_cast<int>(shards_.size());
   }
+  /// The scalar conservative floor: the minimum cross-shard latency over
+  /// every shard pair (equal to the matrix minimum once one is installed).
   [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Install a per-shard-pair lookahead matrix: L[s→d] (row-major K*K) is
+  /// the minimum simulated time any interaction from shard s takes to reach
+  /// shard d. Validated the way the scalar is at construction (every entry
+  /// > 0); the scalar floor becomes the matrix minimum. Driver-side only,
+  /// before traffic: deliveries already posted under the previous lookahead
+  /// are not re-validated. With a matrix installed,
+  ///   * post()'s under-horizon check uses L[src→dst],
+  ///   * cross-shard cancels fire at t + L[src→dst],
+  ///   * adaptive run bounds become B_d = min_{s'≠d} (n_{s'} + L[s'→d]),
+  /// so intra-region traffic no longer pays WAN-width windows on a
+  /// heterogeneous fabric. With coalescing off the classic fixed window
+  /// (scalar floor) schedule is kept — same results, more barriers.
+  void set_lookahead_matrix(std::vector<Duration> matrix);
+  [[nodiscard]] bool has_lookahead_matrix() const { return !matrix_.empty(); }
+  /// L[src→dst] — the scalar lookahead until a matrix is installed.
+  [[nodiscard]] Duration pair_lookahead(int src, int dst) const {
+    return matrix_.empty()
+               ? lookahead_
+               : matrix_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(num_shards()) +
+                         static_cast<std::size_t>(dst)];
+  }
 
   /// The serial engine of one shard. Entities pinned to shard `s` schedule
   /// their events here.
@@ -154,16 +190,17 @@ class ParallelSimulator {
   /// canonically by (when, src_entity, src_seq) against every other
   /// delivery. From inside a window this appends to the current shard's
   /// mailbox and is merged at a barrier; `when` must then be at least the
-  /// sender's clock plus the lookahead (checked — a violation means the
-  /// declared lookahead overstates the real minimum latency). Outside a
+  /// sender's clock plus the pair lookahead L[src→dst] (checked — a
+  /// violation means the declared lookahead overstates the real minimum
+  /// latency). Outside a
   /// window it schedules directly (the caller is the only thread).
   void post(int dst_shard, Time when, std::uint32_t src_entity,
             std::uint64_t src_seq, InlineTask task);
 
   /// Cancel an event created by `dst_shard` from anywhere. Fire-and-forget:
   /// the cancel executes on the owning shard at the caller's clock plus the
-  /// lookahead (see the contract above); success is observable only through
-  /// the event not firing.
+  /// pair lookahead L[src→dst] (see the contract above); success is
+  /// observable only through the event not firing.
   void post_cancel(int dst_shard, EventId id);
 
   /// Enqueue a control mutation of *shared* (non-shard-owned) state — a
@@ -305,16 +342,33 @@ class ParallelSimulator {
                   static_cast<std::size_t>(dst)];
   }
 
-  /// lookahead-saturating add that never wraps past kTimeNever.
-  [[nodiscard]] Time horizon_after(Time t) const {
-    return t >= kTimeNever - static_cast<Time>(lookahead_)
+  /// Saturating add that never wraps past kTimeNever.
+  [[nodiscard]] static Time add_horizon(Time t, Duration d) {
+    return t >= kTimeNever - static_cast<Time>(d)
                ? kTimeNever
-               : t + static_cast<Time>(lookahead_);
+               : t + static_cast<Time>(d);
+  }
+  /// t plus the scalar conservative floor.
+  [[nodiscard]] Time horizon_after(Time t) const {
+    return add_horizon(t, lookahead_);
+  }
+  /// Earliest any influence *leaving* shard d can land anywhere: the minimum
+  /// of row d of the matrix over other shards (the scalar floor without a
+  /// matrix). This is the sender-side activation-horizon clamp after a
+  /// cross-shard post to d — a peer woken at `when` can make nothing arrive
+  /// back before when + out_min(d), because the first hop out of d already
+  /// costs that much and every further hop only adds.
+  [[nodiscard]] Duration out_min(int shard) const {
+    return matrix_.empty() ? lookahead_
+                           : out_min_[static_cast<std::size_t>(shard)];
   }
 
   static thread_local int tls_shard_;
 
-  const Duration lookahead_;
+  Duration lookahead_;  // scalar floor (= matrix minimum once installed)
+  /// Per-shard-pair lookahead, row-major K*K; empty = uniform scalar.
+  std::vector<Duration> matrix_;
+  std::vector<Duration> out_min_;  // per-row min over other shards
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<int> shard_of_;  // entity id -> shard; -1 = unpinned
   std::vector<Mailbox> boxes_;
@@ -325,6 +379,7 @@ class ParallelSimulator {
   std::vector<int> active_src_;
   std::vector<std::size_t> merge_heads_;
   std::vector<Simulator::TimedTask> merge_batch_;
+  std::vector<Time> next_times_;  // per-round next-event scratch (matrix path)
 
   // Window-loop shared state. Written by the coordinator strictly between
   // barriers, read by workers strictly after them — the Gate's release/

@@ -21,8 +21,10 @@
 // deterministic-per-K by running it twice on 8 shards).
 //
 // Replay one seed with `scripts/replay_seed.sh <seed> --shards K` or
-// `build/tests/chaos_parallel_test --seed=<seed> [--shards=K]` (also
-// HL_CHAOS_SEED / HL_CHAOS_SHARDS).
+// `build/tests/chaos_parallel_test --seed=<seed> [--shards=K]
+// [--profile=tworegion|asym]` (also HL_CHAOS_SEED / HL_CHAOS_SHARDS /
+// HL_CHAOS_PROFILE). --profile reruns every sweep on a heterogeneous
+// two-region fabric; the digests must stay invariant there too.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -43,6 +45,11 @@ std::optional<std::uint64_t> g_seed_override;
 /// Set by --shards= / HL_CHAOS_SHARDS: compare the serial run against this
 /// shard count only (replay of one failing configuration).
 std::optional<int> g_shards_override;
+/// Set by --profile= / HL_CHAOS_PROFILE: run every sweep on a named
+/// heterogeneous topology ("tworegion" = symmetric two-region WAN, "asym" =
+/// directed asymmetric WAN) instead of the uniform fabric. Composes with
+/// --shards (scripts/replay_seed.sh <seed> --shards K --profile asym).
+std::optional<std::string> g_profile_override;
 }  // namespace
 
 namespace hyperloop {
@@ -94,6 +101,35 @@ struct ChaosRun {
   bool workload_done = false;
 };
 
+/// --profile topologies: nodes 0-1 "west", 2-3 "east"; the WAN latencies
+/// stay well under the 200us NIC response timeout so the chain survives.
+/// Heterogeneity must leave every digest sweep green — fault draws are
+/// counter-based per link, independent of latency — so the whole chaos
+/// matrix doubles as a heterogeneous-fabric regression when replayed with
+/// --profile.
+template <typename Bed>
+void apply_chaos_profile(Bed& bed, const std::string& name) {
+  rnic::LinkProfile wan;
+  wan.propagation = 20'000;  // 2 hops x 20us each way
+  wan.hops = 2;
+  bed.define_profile("wan", wan);
+  for (std::size_t n = 0; n < 4; ++n) {
+    bed.set_region(n, n < 2 ? "west" : "east");
+  }
+  if (name == "asym") {
+    rnic::LinkProfile back;
+    back.propagation = 32'000;
+    back.hops = 2;
+    bed.define_profile("wan_back", back);
+    bed.set_region_link_directed("west", "east", "wan");
+    bed.set_region_link_directed("east", "west", "wan_back");
+  } else {
+    ASSERT_EQ(name, "tworegion") << "unknown --profile (tworegion | asym)";
+    bed.set_region_link("west", "east", "wan");
+  }
+  bed.apply_profiles();
+}
+
 /// One seeded chaos run against either testbed. `run_until` is the only
 /// driver primitive used, so the identical code drives both engines; all
 /// control mutations (policies, partition windows, power-fail scheduling)
@@ -104,6 +140,9 @@ ChaosRun run_chaos_on(Bed& bed, RunUntil run_until, Policy policy,
   const NodeConfig cfg = chaos_node_config();
   bed.add_node(cfg);  // node 0: client
   for (int i = 0; i < 3; ++i) bed.add_node(cfg);
+  if (g_profile_override.has_value()) {
+    apply_chaos_profile(bed, *g_profile_override);
+  }
 
   rnic::FaultInjector inj(seed);
   bed.network().set_fault_injector(&inj);
@@ -503,6 +542,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       g_shards_override = static_cast<int>(
           std::strtoul(arg.c_str() + 9, nullptr, 0));
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      g_profile_override = arg.substr(10);
     }
   }
   if (const char* env = std::getenv("HL_CHAOS_SEED")) {
@@ -510,6 +551,9 @@ int main(int argc, char** argv) {
   }
   if (const char* env = std::getenv("HL_CHAOS_SHARDS")) {
     g_shards_override = static_cast<int>(std::strtoul(env, nullptr, 0));
+  }
+  if (const char* env = std::getenv("HL_CHAOS_PROFILE")) {
+    g_profile_override = std::string(env);
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

@@ -1,0 +1,469 @@
+// Heterogeneous link profiles and the per-shard-pair lookahead matrix.
+//
+// The fabric starts uniform (one LinkParams for every pair); this suite pins
+// the three contracts the heterogeneity refactor must keep:
+//
+//   * Defaults are byte-identical: a fabric with profiles *defined* but never
+//     assigned (and regions mapped but ruleless) produces the exact trace
+//     digest, message count, and event count of an unprofiled run.
+//   * Shaping is real and engine-independent: a WAN profile stretches
+//     observed latency on the serial engine, and an *asymmetric* two-region
+//     topology stays digest-invariant across serial vs K in {1, 2, 8}
+//     shards x coalescing {off, on} — including the counter-based fault
+//     schedule, which is latency-independent by construction.
+//   * The matrix is worth having: with region-aligned shards, the
+//     channel-aware matrix runs strictly fewer windows than the uniform
+//     global-floor baseline for the same (bit-identical) results, and a
+//     cross-shard cancel's outcome follows the *pair* lookahead — a target
+//     between the narrow and wide pair widths is retracted through the
+//     narrow direction and fires through the wide one.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hyperloop/cluster.hpp"
+#include "hyperloop/group.hpp"
+#include "replication/chain.hpp"
+#include "rnic/fault.hpp"
+#include "util/rng.hpp"
+
+namespace hyperloop {
+namespace {
+
+using time_literals::operator""_us;
+using time_literals::operator""_ms;
+
+// --- Profile arithmetic -----------------------------------------------------
+
+TEST(GeoProfiles, DefaultProfileLookaheadMatchesScalar) {
+  const rnic::LinkParams base;
+  rnic::LinkProfile def;
+  def.propagation = base.propagation;
+  def.bytes_per_ns = base.bytes_per_ns;
+  def.hops = 1;
+  EXPECT_EQ(rnic::Network::profile_lookahead(def, base.header_bytes),
+            rnic::Network::conservative_lookahead(base))
+      << "profile 0 must reproduce the uniform fabric's floor exactly";
+}
+
+TEST(GeoProfiles, LinkRttReflectsAssignedProfiles) {
+  Cluster bed;
+  bed.add_node();
+  bed.add_node();
+  const Duration base = bed.network().link_lookahead(0, 1);
+  rnic::LinkProfile wan;
+  wan.propagation = 50'000;  // 50us per hop
+  wan.hops = 2;
+  bed.define_profile("wan", wan);
+  EXPECT_TRUE(bed.network().has_profile("wan"));
+  EXPECT_FALSE(bed.network().has_profile("pod"));
+  bed.network().set_link_profile(0, 1, "wan");
+  EXPECT_TRUE(bed.network().heterogeneous());
+  EXPECT_GT(bed.network().link_lookahead(0, 1), 100'000u);
+  EXPECT_EQ(bed.network().link_lookahead(1, 0), base)
+      << "profiles are directed; the reverse path keeps the default";
+  EXPECT_EQ(bed.network().link_rtt(0, 1),
+            bed.network().link_lookahead(0, 1) + base);
+}
+
+// --- Seeded replicated workload shared by the digest tests ------------------
+
+constexpr std::uint64_t kBlock = 256;
+constexpr std::size_t kBlocks = 8;
+constexpr std::uint64_t kRegion = kBlock * kBlocks;
+constexpr int kGeoOps = 24;
+
+NodeConfig geo_node_config() {
+  NodeConfig cfg;
+  // WAN round trips (hundreds of us here) must fit inside the NIC's
+  // retransmit deadline or every request times out.
+  cfg.nic.response_timeout = 2'000'000;  // 2ms
+  cfg.nic.timeout_retry_limit = 12;
+  return cfg;
+}
+
+core::GroupParams geo_group_params() {
+  core::GroupParams gp;
+  gp.slots = 32;
+  gp.max_outstanding = 8;
+  gp.op_timeout = 200'000'000;
+  gp.op_retry_limit = 3;
+  return gp;
+}
+
+/// Two regions, asymmetric WAN: nodes 0-1 "west", 2-3 "east"; the eastbound
+/// and westbound paths get different profiles (a directed rule each), so any
+/// code path that confuses src with dst shows up as a digest split.
+template <typename Bed>
+void apply_two_region_asym(Bed& bed) {
+  rnic::LinkProfile out;  // west -> east
+  out.propagation = 40'000;
+  out.hops = 2;
+  rnic::LinkProfile back;  // east -> west: slower return route
+  back.propagation = 65'000;
+  back.hops = 2;
+  bed.define_profile("wan_out", out);
+  bed.define_profile("wan_back", back);
+  for (std::size_t n = 0; n < 4; ++n) {
+    bed.set_region(n, n < 2 ? "west" : "east");
+  }
+  bed.set_region_link_directed("west", "east", "wan_out");
+  bed.set_region_link_directed("east", "west", "wan_back");
+  bed.apply_profiles();
+}
+
+struct GeoRun {
+  rnic::Network::Stats stats;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  int ops_ok = 0;
+  int ops_failed = 0;
+  std::uint64_t region_fp = 0;
+  bool workload_done = false;
+  Time finish_time = 0;
+};
+
+/// One seeded closed-loop chain workload; identical driver code for both
+/// testbeds (only run_until differs), mirroring tests/chaos_parallel_test.
+template <typename Bed, typename RunUntil>
+GeoRun run_geo_on(Bed& bed, RunUntil run_until, std::uint64_t seed,
+                  bool profiled, bool faults) {
+  const NodeConfig cfg = geo_node_config();
+  for (int i = 0; i < 4; ++i) bed.add_node(cfg);
+  if (profiled) {
+    apply_two_region_asym(bed);
+  } else {
+    bed.apply_profiles();  // ruleless: must be a no-op
+  }
+
+  rnic::FaultInjector inj(seed);
+  if (faults) {
+    rnic::FaultPolicy fp;
+    fp.drop = 0.04;
+    fp.duplicate = 0.08;
+    fp.corrupt = 0.04;
+    fp.delay = 0.25;
+    fp.delay_max = 20'000;
+    inj.set_default_policy(fp);
+    bed.network().set_fault_injector(&inj);
+  }
+  bed.network().enable_trace();
+
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion, geo_group_params());
+  core::GroupInterface& g = group.client();
+  Rng wl(seed * 0x9E3779B97F4A7C15ull + 1);
+
+  GeoRun r;
+  std::uint64_t counter = 0;
+  int issued = 0;
+  std::function<void()> next_op;
+  auto schedule_next = [&] {
+    const Duration gap = 50'000 + wl.next_below(150'000);
+    group.sim().schedule(gap, [&] { next_op(); });
+  };
+  next_op = [&] {
+    if (issued == kGeoOps) {
+      r.workload_done = true;
+      r.finish_time = group.sim().now();
+      return;
+    }
+    const int op_index = issued++;
+    const std::uint64_t kind = wl.next_below(100);
+    if (kind < 70) {
+      const std::size_t b = 1 + wl.next_below(kBlocks - 1);
+      std::vector<std::uint8_t> pat(kBlock);
+      const std::uint64_t tag = fnv1a_64(seed * 1000003 + op_index);
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        pat[i] = static_cast<std::uint8_t>(tag >> ((i % 8) * 8));
+      }
+      g.region_write(b * kBlock, pat.data(), kBlock);
+      g.gwrite(b * kBlock, static_cast<std::uint32_t>(kBlock),
+               wl.next_bool(0.25),
+               [&](Status s, const std::vector<std::uint64_t>&) {
+                 s.is_ok() ? ++r.ops_ok : ++r.ops_failed;
+                 schedule_next();
+               });
+    } else {
+      const std::uint64_t expected = counter;
+      g.gcas(0, expected, expected + 1, core::kAllReplicas, false,
+             [&, expected](Status s, const std::vector<std::uint64_t>& vs) {
+               if (s.is_ok()) {
+                 ++r.ops_ok;
+                 bool all = true;
+                 std::uint64_t mx = 0;
+                 for (std::uint64_t v : vs) {
+                   all = all && v == expected;
+                   mx = std::max(mx, v);
+                 }
+                 counter = all ? expected + 1 : std::max(mx, expected);
+               } else {
+                 ++r.ops_failed;
+               }
+               schedule_next();
+             });
+    }
+  };
+  group.sim().schedule_at(100'000, [&] { next_op(); });
+
+  Time t = 0;
+  const Time budget = 3'000_ms;
+  while (!r.workload_done && t < budget) {
+    t += 100_us;
+    run_until(t);
+  }
+  EXPECT_TRUE(r.workload_done) << "workload stalled";
+  inj.clear();
+  run_until(t + 100_ms);
+
+  r.stats = bed.network().stats_snapshot();
+  r.drops = inj.drops();
+  r.duplicates = inj.duplicates();
+  r.corruptions = inj.corruptions();
+  r.delays = inj.delays();
+  std::vector<std::uint8_t> region(kRegion);
+  g.replica_read(0, 0, region.data(), kRegion);
+  r.region_fp = fnv1a_64(region.data(), region.size());
+  return r;
+}
+
+GeoRun run_geo_serial(std::uint64_t seed, bool profiled, bool faults) {
+  Cluster bed;
+  return run_geo_on(bed, [&](Time t) { bed.sim().run_until(t); }, seed,
+                    profiled, faults);
+}
+
+GeoRun run_geo_sharded(int shards, bool coalesce, std::uint64_t seed,
+                       bool profiled, bool faults) {
+  ParallelCluster bed(shards);
+  bed.engine().set_coalescing(coalesce);
+  return run_geo_on(bed, [&](Time t) { bed.engine().run_until(t); }, seed,
+                    profiled, faults);
+}
+
+void expect_geo_identical(const GeoRun& ref, const GeoRun& run,
+                          const std::string& what) {
+  EXPECT_EQ(ref.stats.trace_digest, run.stats.trace_digest) << what;
+  EXPECT_EQ(ref.stats.trace_messages, run.stats.trace_messages) << what;
+  EXPECT_EQ(ref.stats.messages_sent, run.stats.messages_sent) << what;
+  EXPECT_EQ(ref.stats.bytes_sent, run.stats.bytes_sent) << what;
+  EXPECT_EQ(ref.stats.messages_dropped, run.stats.messages_dropped) << what;
+  EXPECT_EQ(ref.drops, run.drops) << what;
+  EXPECT_EQ(ref.duplicates, run.duplicates) << what;
+  EXPECT_EQ(ref.corruptions, run.corruptions) << what;
+  EXPECT_EQ(ref.delays, run.delays) << what;
+  EXPECT_EQ(ref.ops_ok, run.ops_ok) << what;
+  EXPECT_EQ(ref.ops_failed, run.ops_failed) << what;
+  EXPECT_EQ(ref.region_fp, run.region_fp) << what;
+}
+
+// --- Byte-identity of the default path --------------------------------------
+
+TEST(GeoProfiles, UnassignedProfilesAreByteIdentical) {
+  // Defining profiles (and mapping regions without rules) must not perturb
+  // a single bit of the run: the uniform fast path reads profile 0, whose
+  // arithmetic is the base LinkParams'.
+  const GeoRun plain = run_geo_serial(11, /*profiled=*/false,
+                                      /*faults=*/false);
+  Cluster bed;
+  rnic::LinkProfile wan;
+  wan.propagation = 40'000;
+  wan.hops = 2;
+  bed.define_profile("wan", wan);   // defined, never assigned
+  bed.set_region(0, "west");        // mapped, no rules
+  bed.set_region(1, "west");
+  const GeoRun defined = run_geo_on(
+      bed, [&](Time t) { bed.sim().run_until(t); }, 11,
+      /*profiled=*/false, /*faults=*/false);
+  expect_geo_identical(plain, defined, "defined-but-unassigned profiles");
+  EXPECT_FALSE(bed.network().heterogeneous());
+}
+
+TEST(GeoProfiles, WanProfileStretchesDurabilityLatency) {
+  const GeoRun flat = run_geo_serial(13, /*profiled=*/false, /*faults=*/false);
+  const GeoRun geo = run_geo_serial(13, /*profiled=*/true, /*faults=*/false);
+  EXPECT_EQ(flat.ops_ok, geo.ops_ok) << "shaping must not fail ops";
+  EXPECT_GT(geo.finish_time, flat.finish_time)
+      << "a 2x40us+ WAN on every chain hop must show up in completion time";
+}
+
+// --- Digest sweep: asymmetric two-region topology ---------------------------
+
+TEST(GeoProfiles, AsymmetricTwoRegionDigestSweep) {
+  for (const std::uint64_t seed : {21ull, 22ull}) {
+    SCOPED_TRACE("geo seed " + std::to_string(seed));
+    const GeoRun serial = run_geo_serial(seed, /*profiled=*/true,
+                                         /*faults=*/true);
+    EXPECT_GT(serial.stats.trace_messages, 0u);
+    EXPECT_GT(serial.ops_ok, 0);
+    if (::testing::Test::HasFailure()) return;
+    for (const bool coalesce : {false, true}) {
+      for (const int shards : {1, 2, 8}) {
+        const GeoRun par = run_geo_sharded(shards, coalesce, seed,
+                                           /*profiled=*/true, /*faults=*/true);
+        expect_geo_identical(
+            serial, par,
+            "serial vs shards=" + std::to_string(shards) +
+                " coalesce=" + std::to_string(coalesce));
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+  }
+}
+
+// --- The matrix is worth having ---------------------------------------------
+
+/// Region-aligned sharding (west = shard 0, east = shard 1): every
+/// cross-shard message rides the WAN, so the channel-aware matrix can widen
+/// both shards' windows to WAN width while the uniform baseline stays at the
+/// intra-region floor.
+struct WindowRun {
+  std::uint64_t windows = 0;
+  std::uint64_t digest = 0;
+  int ops_ok = 0;
+};
+
+WindowRun run_region_aligned(bool channel_aware) {
+  ParallelCluster bed(2);
+  const NodeConfig cfg = geo_node_config();
+  bed.add_node(cfg, 0);  // west
+  bed.add_node(cfg, 0);
+  bed.add_node(cfg, 1);  // east
+  bed.add_node(cfg, 1);
+  rnic::LinkProfile wan;
+  wan.propagation = 40'000;
+  wan.hops = 2;
+  bed.define_profile("wan", wan);
+  bed.set_region(0, "west");
+  bed.set_region(1, "west");
+  bed.set_region(2, "east");
+  bed.set_region(3, "east");
+  bed.set_region_link("west", "east", "wan");
+  bed.apply_profiles(channel_aware);
+  EXPECT_EQ(bed.engine().has_lookahead_matrix(), true);
+  if (channel_aware) {
+    EXPECT_GT(bed.engine().pair_lookahead(0, 1),
+              bed.engine().pair_lookahead(0, 0))
+        << "cross-region pair lookahead must exceed the intra-region one";
+  } else {
+    EXPECT_EQ(bed.engine().pair_lookahead(0, 1),
+              bed.engine().pair_lookahead(0, 0))
+        << "the uniform baseline collapses every pair to the global floor";
+  }
+  bed.network().enable_trace();
+
+  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion, geo_group_params());
+  core::GroupInterface& g = group.client();
+  WindowRun r;
+  int issued = 0;
+  std::function<void()> next_op;
+  std::uint64_t v = 0;
+  next_op = [&] {
+    if (issued++ == 16) return;
+    g.region_write(0, &v, 8);
+    ++v;
+    g.gwrite(0, 8, false, [&](Status s, const auto&) {
+      if (s.is_ok()) ++r.ops_ok;
+      group.sim().schedule(50'000, [&] { next_op(); });
+    });
+  };
+  group.sim().schedule_at(100'000, [&] { next_op(); });
+  Time t = 0;
+  while (issued <= 16 && t < 3'000_ms) {
+    t += 100_us;
+    bed.engine().run_until(t);
+  }
+  r.windows = bed.engine().windows_executed();
+  r.digest = bed.network().trace_digest();
+  return r;
+}
+
+TEST(GeoProfiles, ChannelAwareMatrixRunsFewerWindows) {
+  const WindowRun uniform = run_region_aligned(/*channel_aware=*/false);
+  const WindowRun aware = run_region_aligned(/*channel_aware=*/true);
+  EXPECT_EQ(uniform.digest, aware.digest)
+      << "the lookahead mode may change scheduling cost, never results";
+  EXPECT_EQ(uniform.ops_ok, aware.ops_ok);
+  EXPECT_GT(uniform.ops_ok, 0);
+  EXPECT_LT(aware.windows, uniform.windows)
+      << "WAN-wide windows are the whole point of the matrix";
+}
+
+// --- Cross-shard cancel under an asymmetric matrix --------------------------
+
+TEST(GeoMatrix, CancelOutcomeFollowsThePairLookahead) {
+  // L[0→1] = 400 (narrow), L[1→0] = 2000 (wide); the victim sits 1000 past
+  // the canceller — between the two pair widths. Cancelling across the
+  // narrow direction retracts it; across the wide direction the cancel
+  // arrives too late and the victim fires. Same (t, L, target) inputs, both
+  // window modes.
+  for (const bool coalesce : {false, true}) {
+    const std::vector<Duration> matrix = {400, 400, 2000, 2000};
+    {
+      sim::ParallelSimulator psim(2, matrix);
+      bool fired = false;
+      const sim::EventId victim =
+          psim.shard(1).schedule_at(1100, [&] { fired = true; });
+      psim.set_coalescing(coalesce);
+      psim.shard(0).schedule_at(100, [&] { psim.post_cancel(1, victim); });
+      psim.run_until(10'000);
+      EXPECT_FALSE(fired)
+          << "narrow-direction cancel (fires at 100 + 400) must retract a "
+             "victim at 1100 (coalesce="
+          << coalesce << ")";
+    }
+    {
+      sim::ParallelSimulator psim(2, matrix);
+      bool fired = false;
+      const sim::EventId victim =
+          psim.shard(0).schedule_at(1100, [&] { fired = true; });
+      psim.set_coalescing(coalesce);
+      psim.shard(1).schedule_at(100, [&] { psim.post_cancel(0, victim); });
+      psim.run_until(10'000);
+      EXPECT_TRUE(fired)
+          << "wide-direction cancel (fires at 100 + 2000) must lose to a "
+             "victim at 1100 (coalesce="
+          << coalesce << ")";
+    }
+  }
+}
+
+TEST(GeoMatrix, MatrixConstructorMatchesInstalledMatrix) {
+  const std::vector<Duration> matrix = {500, 700, 900, 1100};
+  sim::ParallelSimulator a(2, matrix);
+  sim::ParallelSimulator b(2, /*lookahead=*/500);
+  b.set_lookahead_matrix(matrix);
+  EXPECT_EQ(a.lookahead(), 500u) << "scalar floor = matrix minimum";
+  EXPECT_EQ(b.lookahead(), 500u);
+  for (int s = 0; s < 2; ++s) {
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_EQ(a.pair_lookahead(s, d), b.pair_lookahead(s, d));
+    }
+  }
+}
+
+// --- Heartbeats sized from the fabric's RTT ---------------------------------
+
+TEST(GeoHeartbeat, ParamsForRttKeepRackDefaultsAndScaleForWan) {
+  const replication::HeartbeatParams stock;
+  // Rack-scale RTT (a few us): the derived params are exactly the stock
+  // ones, so existing topologies see zero change.
+  const replication::HeartbeatParams rack =
+      replication::heartbeat_params_for_rtt(10'000);
+  EXPECT_EQ(rack.interval, stock.interval);
+  EXPECT_EQ(rack.probe_timeout, stock.probe_timeout);
+  // 40ms WAN RTT: the stock 1.5ms probe deadline would declare every
+  // healthy replica dead; the derived deadline covers the round trip with
+  // retransmit slack and the interval keeps one probe outstanding.
+  const replication::HeartbeatParams wan =
+      replication::heartbeat_params_for_rtt(40'000'000);
+  EXPECT_EQ(wan.probe_timeout, 160'000'000u);
+  EXPECT_EQ(wan.interval, 320'000'000u);
+  EXPECT_GE(wan.interval, 2 * wan.probe_timeout);
+}
+
+}  // namespace
+}  // namespace hyperloop

@@ -867,5 +867,65 @@ TEST_F(RnicTest, CacheCapacityEvictsOldestToMemory) {
   EXPECT_EQ(c, 'C');
 }
 
+TEST_F(RnicTest, CqIsUnboundedByDefault) {
+  auto [ea, eb] = make_pair();
+  EXPECT_EQ(ea.send_cq->capacity(), 0u);
+  // Far more signaled completions than any plausible bound: none are lost.
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  // Waves of 32 keep the 64-slot send ring from filling; the CQ, never
+  // polled, accumulates all 128.
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 32; ++i) ASSERT_TRUE(ea.qp->post_send(wr).is_ok());
+    run(20_ms);
+  }
+  EXPECT_EQ(ea.send_cq->overflows(), 0u);
+  EXPECT_FALSE(ea.send_cq->overrun());
+  EXPECT_EQ(ea.send_cq->depth(), 128u);
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kConnected);
+}
+
+TEST_F(RnicTest, BatchedPostsCannotSilentlyOverrunAnArmedCq) {
+  // A 12-WR doorbell batch against a 4-CQE CQ the app never polls: the CQ
+  // must not absorb the excess silently. The 5th completion is lost, the
+  // overflow handler fails the QP (flush errors), and the armed event
+  // handler fired before the overrun — the app had its wakeup and still
+  // gets a loud error path, never a quietly shortened completion stream.
+  auto [ea, eb] = make_pair();
+  ea.send_cq->set_capacity(4);
+  bool notified = false;
+  ea.send_cq->set_event_handler([&] { notified = true; });
+  ea.send_cq->arm();
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ea.buf_addr;
+  wr.local_len = 8;
+  wr.lkey = ea.mr.lkey;
+  wr.remote_addr = eb.buf_addr;
+  wr.rkey = eb.mr.rkey;
+  std::vector<SendWr> wrs(12, wr);
+  ASSERT_TRUE(ea.qp->post_send_chain(wrs.data(), wrs.size()).is_ok());
+  run(50_ms);
+
+  EXPECT_TRUE(notified) << "the armed handler must fire on the first CQE";
+  EXPECT_TRUE(ea.send_cq->overrun());
+  EXPECT_GT(ea.send_cq->overflows(), 0u);
+  EXPECT_LE(ea.send_cq->depth(), 4u) << "capacity is a hard bound";
+  EXPECT_EQ(ea.qp->state(), QueuePair::State::kError)
+      << "CQ overrun must error the QPs completing into it";
+  // Accounting stays exact: with nothing polled, every produced CQE is
+  // still queued; the lost ones live in overflows(), nowhere else.
+  EXPECT_EQ(ea.send_cq->produced(), ea.send_cq->depth())
+      << "produced() must count only delivered CQEs";
+  // A post after the overrun fails fast instead of completing into the void.
+  EXPECT_EQ(ea.qp->post_send(wr).code(), StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace hyperloop::rnic
