@@ -90,7 +90,19 @@ void Network::set_link_profile(NicId src, NicId dst,
   if (src >= pair_profile_.size()) pair_profile_.resize(src + 1);
   if (dst >= pair_profile_[src].size()) pair_profile_[src].resize(dst + 1, 0);
   pair_profile_[src][dst] = static_cast<std::uint16_t>(idx);
-  if (idx != 0) heterogeneous_ = true;
+  // Recompute rather than latch: reassigning every pair back to "default"
+  // restores transmit()'s uniform-fabric fast path. Driver-side and the
+  // table is small, so the rescan is free.
+  heterogeneous_ = false;
+  for (const auto& row : pair_profile_) {
+    for (const std::uint16_t p : row) {
+      if (p != 0) {
+        heterogeneous_ = true;
+        break;
+      }
+    }
+    if (heterogeneous_) break;
+  }
   // The engine's installed lookahead no longer matches the topology; the
   // owning testbed must re-derive the matrix before traffic.
   if (psim_ != nullptr) matrix_stale_ = true;
@@ -141,8 +153,29 @@ void Network::install_lookahead_matrix(bool channel_aware) {
   }
   if (!channel_aware) {
     // Uniform baseline: every pair gets the global floor, i.e. what a
-    // scalar-lookahead engine would be limited to on this topology.
+    // scalar-lookahead engine would be limited to on this topology. Uniform
+    // matrices are trivially min-plus closed.
     std::fill(matrix.begin(), matrix.end(), global_min);
+  } else {
+    // Min-plus closure (Floyd-Warshall). The direct-link minima above are
+    // not automatically triangle-consistent: with three regions whose A-B
+    // and B-C links are fast but whose only direct A-C links are slow, a
+    // relayed influence A→B→C costs L[A→B] + L[B→C], undercutting the
+    // direct entry L[A→C]. The engine's window bound sees only one hop, so
+    // each installed entry must already floor every relay path — otherwise
+    // a shard could run past a relayed arrival (causality violation; the
+    // engine rejects non-closed matrices). Closed entries stay sound
+    // floors: a relay's cost is the sum of direct link costs, each floored
+    // by its own entry.
+    const auto n = static_cast<std::size_t>(k);
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t d = 0; d < n; ++d) {
+          matrix[s * n + d] =
+              std::min(matrix[s * n + d], matrix[s * n + x] + matrix[x * n + d]);
+        }
+      }
+    }
   }
   psim_->set_lookahead_matrix(std::move(matrix));
   matrix_stale_ = false;
@@ -167,6 +200,11 @@ void Network::attach(Nic* nic) {
   // Keep the injector's single-writer slot table covering every NIC this
   // fabric can address (attach is registration-time, driver-side).
   if (fault_ != nullptr) fault_->reserve(nics_.size());
+  // Mirror set_link_profile's staleness guard: a NIC attached after
+  // install_lookahead_matrix() adds candidate links the installed matrix
+  // never saw — possibly faster than its per-pair minima — so the owning
+  // testbed must re-derive the matrix before traffic (transmit() checks).
+  if (psim_ != nullptr && psim_->has_lookahead_matrix()) matrix_stale_ = true;
 }
 
 bool Network::is_down(NicId id) const {

@@ -126,7 +126,9 @@ class Network {
                                  p.bytes_per_ns);
   }
 
-  /// Register a NIC; its id must be unique.
+  /// Register a NIC; its id must be unique. Sharded mode: attaching after
+  /// install_lookahead_matrix() marks the matrix stale (the new NIC's links
+  /// were not among its candidates) — re-derive before traffic.
   void attach(Nic* nic);
 
   /// Transmit a message. Applies serialization + propagation delay of the
@@ -166,8 +168,11 @@ class Network {
   /// L[s→d] = min link_lookahead(u, v) over attached NICs u in shard s,
   /// v in shard d (the fabric is a full mesh, so every attached pair is a
   /// candidate link; shard pairs with no attached candidates fall back to
-  /// the global minimum, which is always sound) and install it into the
-  /// engine (ParallelSimulator::set_lookahead_matrix). Call after all
+  /// the global minimum, which is always sound), take its min-plus closure
+  /// (Floyd-Warshall) so no direct entry exceeds any relay path — the
+  /// engine's one-hop window bound is only sound for a closed matrix — and
+  /// install it into the engine (ParallelSimulator::set_lookahead_matrix,
+  /// which rejects non-closed matrices). Call after all
   /// attach()/set_link_profile() calls and before traffic. No-op on the
   /// serial testbed.
   ///
@@ -275,9 +280,9 @@ class Network {
   std::vector<std::string> profile_names_;  // parallel to profiles_
   std::vector<std::vector<std::uint16_t>> pair_profile_;
   bool heterogeneous_ = false;
-  // Sharded mode: set by set_link_profile, cleared by
-  // install_lookahead_matrix — a profiled pair whose latency differs from
-  // the engine's installed lookahead would break the window contract.
+  // Sharded mode: set by set_link_profile (and by attach once a matrix is
+  // installed), cleared by install_lookahead_matrix — a link the installed
+  // matrix never accounted for would break the window contract.
   bool matrix_stale_ = false;
 };
 

@@ -57,6 +57,28 @@ void ParallelSimulator::set_lookahead_matrix(std::vector<Duration> matrix) {
     HL_CHECK_MSG(l > 0, "conservative lookahead must be positive");
     floor = std::min(floor, l);
   }
+  // The adaptive bound B_d = min_{s'≠d}(n_{s'} + L[s'→d]) only sees one
+  // hop, but influence can relay: an event on s at n_s can wake shard x at
+  // n_s + L[s→x], whose reaction reaches d at n_s + L[s→x] + L[x→d]. If a
+  // direct entry exceeds some relay sum, that relayed influence lands
+  // inside a window d already executed — a causality violation. So the
+  // matrix must be min-plus closed (triangle inequality per off-diagonal
+  // entry); pairwise closure over every intermediate is equivalent to full
+  // Floyd-Warshall closure. Network::install_lookahead_matrix closes the
+  // matrices it derives; caller-supplied matrices must arrive closed.
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t d = 0; d < k; ++d) {
+      if (s == d) continue;
+      for (std::size_t x = 0; x < k; ++x) {
+        HL_CHECK_MSG(matrix[s * k + d] <=
+                         add_horizon(matrix[s * k + x], matrix[x * k + d]),
+                     "lookahead matrix must be min-plus closed: a direct "
+                     "entry L[s->d] exceeds a relay L[s->x] + L[x->d], so a "
+                     "relayed influence could arrive inside an "
+                     "already-executed window");
+      }
+    }
+  }
   matrix_ = std::move(matrix);
   lookahead_ = floor;
   out_min_.assign(k, 0);

@@ -120,9 +120,9 @@ class ParallelSimulator {
   /// spawned lazily on the first multi-shard run.
   ParallelSimulator(int num_shards, Duration lookahead);
   /// Construct directly with a per-shard-pair lookahead matrix (row-major
-  /// K*K, validated like the scalar: every entry > 0). Equivalent to the
-  /// scalar constructor with the matrix minimum followed by
-  /// set_lookahead_matrix.
+  /// K*K, validated like the scalar: every entry > 0, and min-plus closed —
+  /// see set_lookahead_matrix). Equivalent to the scalar constructor with
+  /// the matrix minimum followed by set_lookahead_matrix.
   ParallelSimulator(int num_shards, std::vector<Duration> matrix);
   ~ParallelSimulator();
 
@@ -139,7 +139,13 @@ class ParallelSimulator {
   /// Install a per-shard-pair lookahead matrix: L[s→d] (row-major K*K) is
   /// the minimum simulated time any interaction from shard s takes to reach
   /// shard d. Validated the way the scalar is at construction (every entry
-  /// > 0); the scalar floor becomes the matrix minimum. Driver-side only,
+  /// > 0) plus min-plus closure: every off-diagonal entry must satisfy
+  /// L[s→d] <= L[s→x] + L[x→d] for all x, because the window bound below
+  /// sees only one hop while influence can relay through intermediate
+  /// shards — a caller-supplied matrix must arrive closed (run a
+  /// Floyd-Warshall pass if unsure; Network::install_lookahead_matrix
+  /// closes the matrices it derives). The scalar floor becomes the matrix
+  /// minimum. Driver-side only,
   /// before traffic: deliveries already posted under the previous lookahead
   /// are not re-validated. With a matrix installed,
   ///   * post()'s under-horizon check uses L[src→dst],

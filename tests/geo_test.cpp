@@ -114,6 +114,30 @@ void apply_two_region_asym(Bed& bed) {
   bed.apply_profiles();
 }
 
+/// Three regions in a line: nodes 0-1 "west", 2-3 "mid", 4-5 "east".
+/// West-mid and mid-east ride a fast profile; the only *direct* west-east
+/// profile is slow, so the raw per-shard-pair minima violate the triangle
+/// inequality (L[west→east] > L[west→mid] + L[mid→east]) until
+/// install_lookahead_matrix takes the min-plus closure — the relay case a
+/// two-region topology can never express.
+template <typename Bed>
+void apply_three_region_relay(Bed& bed) {
+  rnic::LinkProfile fast;
+  fast.propagation = 2'000;  // 2us, one hop
+  rnic::LinkProfile slow;
+  slow.propagation = 40'000;  // 40us per hop
+  slow.hops = 2;
+  bed.define_profile("fast", fast);
+  bed.define_profile("slow", slow);
+  for (std::size_t n = 0; n < 6; ++n) {
+    bed.set_region(n, n < 2 ? "west" : n < 4 ? "mid" : "east");
+  }
+  bed.set_region_link("west", "mid", "fast");
+  bed.set_region_link("mid", "east", "fast");
+  bed.set_region_link("west", "east", "slow");
+  bed.apply_profiles();
+}
+
 struct GeoRun {
   rnic::Network::Stats stats;
   std::uint64_t drops = 0;
@@ -127,19 +151,12 @@ struct GeoRun {
   Time finish_time = 0;
 };
 
-/// One seeded closed-loop chain workload; identical driver code for both
-/// testbeds (only run_until differs), mirroring tests/chaos_parallel_test.
+/// One seeded closed-loop chain workload over an already-built topology;
+/// identical driver code for both testbeds (only run_until differs),
+/// mirroring tests/chaos_parallel_test.
 template <typename Bed, typename RunUntil>
-GeoRun run_geo_on(Bed& bed, RunUntil run_until, std::uint64_t seed,
-                  bool profiled, bool faults) {
-  const NodeConfig cfg = geo_node_config();
-  for (int i = 0; i < 4; ++i) bed.add_node(cfg);
-  if (profiled) {
-    apply_two_region_asym(bed);
-  } else {
-    bed.apply_profiles();  // ruleless: must be a no-op
-  }
-
+GeoRun run_geo_workload(Bed& bed, RunUntil run_until, std::uint64_t seed,
+                        bool faults, std::vector<std::size_t> replicas) {
   rnic::FaultInjector inj(seed);
   if (faults) {
     rnic::FaultPolicy fp;
@@ -153,7 +170,8 @@ GeoRun run_geo_on(Bed& bed, RunUntil run_until, std::uint64_t seed,
   }
   bed.network().enable_trace();
 
-  core::HyperLoopGroup group(bed, 0, {1, 2, 3}, kRegion, geo_group_params());
+  core::HyperLoopGroup group(bed, 0, std::move(replicas), kRegion,
+                             geo_group_params());
   core::GroupInterface& g = group.client();
   Rng wl(seed * 0x9E3779B97F4A7C15ull + 1);
 
@@ -228,6 +246,20 @@ GeoRun run_geo_on(Bed& bed, RunUntil run_until, std::uint64_t seed,
   g.replica_read(0, 0, region.data(), kRegion);
   r.region_fp = fnv1a_64(region.data(), region.size());
   return r;
+}
+
+/// The original two-region fixture: four nodes, chain 1→2→3.
+template <typename Bed, typename RunUntil>
+GeoRun run_geo_on(Bed& bed, RunUntil run_until, std::uint64_t seed,
+                  bool profiled, bool faults) {
+  const NodeConfig cfg = geo_node_config();
+  for (int i = 0; i < 4; ++i) bed.add_node(cfg);
+  if (profiled) {
+    apply_two_region_asym(bed);
+  } else {
+    bed.apply_profiles();  // ruleless: must be a no-op
+  }
+  return run_geo_workload(bed, run_until, seed, faults, {1, 2, 3});
 }
 
 GeoRun run_geo_serial(std::uint64_t seed, bool profiled, bool faults) {
@@ -427,6 +459,110 @@ TEST(GeoMatrix, CancelOutcomeFollowsThePairLookahead) {
           << "wide-direction cancel (fires at 100 + 2000) must lose to a "
              "victim at 1100 (coalesce="
           << coalesce << ")";
+    }
+  }
+}
+
+// --- Min-plus closure: relays through an intermediate region ----------------
+
+TEST(GeoMatrix, InstalledMatrixIsMinPlusClosed) {
+  // Region-aligned shards (west=0, mid=1, east=2). The direct west-east
+  // links are slow, but influence can relay west→mid→east over fast links;
+  // the installed L[0→2] must be floored by the relay sum, not the direct
+  // link, or shard 2's window could run past a relayed arrival.
+  ParallelCluster bed(3);
+  const NodeConfig cfg = geo_node_config();
+  for (int i = 0; i < 6; ++i) bed.add_node(cfg, i / 2);
+  apply_three_region_relay(bed);
+  ASSERT_TRUE(bed.engine().has_lookahead_matrix());
+  const Duration direct = bed.network().link_lookahead(0, 4);  // west→east
+  EXPECT_LT(bed.engine().pair_lookahead(0, 2), direct)
+      << "closure must tighten the west→east entry below the slow direct "
+         "link's floor";
+  for (int s = 0; s < 3; ++s) {
+    for (int d = 0; d < 3; ++d) {
+      for (int x = 0; x < 3; ++x) {
+        EXPECT_LE(bed.engine().pair_lookahead(s, d),
+                  bed.engine().pair_lookahead(s, x) +
+                      bed.engine().pair_lookahead(x, d))
+            << "triangle inequality violated for " << s << "→" << x << "→"
+            << d;
+      }
+    }
+  }
+}
+
+TEST(GeoMatrix, SetLookaheadMatrixRejectsNonClosed) {
+  // L[0→2] = 5000 exceeds the relay L[0→1] + L[1→2] = 2000: installing it
+  // would let shard 2 execute past a west→mid→east influence. The engine
+  // must refuse, in both the setter and the matrix constructor.
+  const std::vector<Duration> open = {1000, 1000, 5000,   //
+                                      1000, 1000, 1000,   //
+                                      1000, 1000, 1000};
+  sim::ParallelSimulator psim(3, /*lookahead=*/1000);
+  EXPECT_THROW(psim.set_lookahead_matrix(open), SetupError);
+  EXPECT_THROW((sim::ParallelSimulator(3, open)), SetupError);
+  // The closed version of the same topology installs fine.
+  const std::vector<Duration> closed = {1000, 1000, 2000,   //
+                                        1000, 1000, 1000,   //
+                                        1000, 1000, 1000};
+  psim.set_lookahead_matrix(closed);
+  EXPECT_EQ(psim.pair_lookahead(0, 2), 2000u);
+}
+
+TEST(GeoMatrix, AttachAfterInstallInvalidatesMatrix) {
+  // A NIC attached after install_lookahead_matrix() adds links the matrix
+  // never saw; traffic must refuse to flow until it is re-derived.
+  ParallelCluster bed(2);
+  bed.add_node();
+  bed.add_node();
+  bed.apply_profiles();  // installs the (uniform) matrix
+  ASSERT_TRUE(bed.engine().has_lookahead_matrix());
+  bed.add_node();  // late attach: matrix is now stale
+  rnic::Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  EXPECT_THROW(bed.network().transmit(msg), SetupError)
+      << "transmit on a stale matrix must trip the staleness check";
+  bed.network().install_lookahead_matrix();
+  msg = {};
+  msg.src = 0;
+  msg.dst = 1;
+  EXPECT_NO_THROW(bed.network().transmit(msg))
+      << "re-deriving the matrix clears the staleness";
+}
+
+TEST(GeoMatrix, ThreeRegionRelayDigestSweep) {
+  // End-to-end regression for the closure: a chain spanning all three
+  // regions (client 0 west → 1 west → 2 mid → 4 east) under faults, pinned
+  // serial ≡ K ∈ {1, 2, 3} × coalescing {off, on} with region-aligned
+  // placement. Without the closure the wide direct west→east entry lets
+  // the east shard coalesce past relayed influences and the digests split.
+  const std::uint64_t seed = 31;
+  Cluster sbed;
+  const NodeConfig cfg = geo_node_config();
+  for (int i = 0; i < 6; ++i) sbed.add_node(cfg);
+  apply_three_region_relay(sbed);
+  const GeoRun serial =
+      run_geo_workload(sbed, [&](Time t) { sbed.sim().run_until(t); }, seed,
+                       /*faults=*/true, {1, 2, 4});
+  EXPECT_GT(serial.stats.trace_messages, 0u);
+  EXPECT_GT(serial.ops_ok, 0);
+  if (::testing::Test::HasFailure()) return;
+  for (const bool coalesce : {false, true}) {
+    for (const int shards : {1, 2, 3}) {
+      ParallelCluster bed(shards);
+      bed.engine().set_coalescing(coalesce);
+      for (int i = 0; i < 6; ++i) bed.add_node(cfg, (i / 2) % shards);
+      apply_three_region_relay(bed);
+      const GeoRun par = run_geo_workload(
+          bed, [&](Time t) { bed.engine().run_until(t); }, seed,
+          /*faults=*/true, {1, 2, 4});
+      expect_geo_identical(serial, par,
+                           "3-region serial vs shards=" +
+                               std::to_string(shards) +
+                               " coalesce=" + std::to_string(coalesce));
+      if (::testing::Test::HasFailure()) return;
     }
   }
 }
